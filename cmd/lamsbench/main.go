@@ -1,0 +1,132 @@
+// Command lamsbench regenerates the tables and figures of "Locality-Aware
+// Laplacian Mesh Smoothing" (Aupy, Park, Raghavan; ICPP 2016). Each paper
+// artifact has an experiment id; -exp all runs the full evaluation.
+//
+// Usage:
+//
+//	lamsbench [-exp id] [-verts n] [-full] [-meshes a,b,c] [-nowall]
+//
+// Experiment ids: table1, fig1, fig4, fig5, fig6, fig8, fig9, table2,
+// table3, eq2, fig10, fig11, fig12, fig13, cost, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lams/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (table1, fig1, fig4, fig5, fig6, fig7, fig8, fig9, table2, table3, eq2, fig10, fig11, fig12, fig13, cost, cpack, prefetch, mrc, variants, gs, all)")
+		verts  = flag.Int("verts", 20000, "target vertices per mesh")
+		full   = flag.Bool("full", false, "use the paper's full mesh sizes (~330k vertices; slow)")
+		meshes = flag.String("meshes", "", "comma-separated mesh subset (default: all nine)")
+		nowall = flag.Bool("nowall", false, "skip wall-clock measurements in fig8")
+	)
+	flag.Parse()
+
+	if *full {
+		*verts = 330000
+	}
+	cfg := experiments.ConfigForSize(*verts)
+	if *meshes != "" {
+		cfg.Meshes = strings.Split(*meshes, ",")
+	}
+	s := experiments.NewSuite(cfg)
+
+	if err := run(s, *exp, !*nowall); err != nil {
+		fmt.Fprintln(os.Stderr, "lamsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(s *experiments.Suite, exp string, wall bool) error {
+	type experiment struct {
+		id string
+		fn func() (fmt.Stringer, error)
+	}
+	wrap := func(f func() (fmt.Stringer, error)) func() (fmt.Stringer, error) { return f }
+	var scaling *experiments.ScalingResult
+	getScaling := func() (*experiments.ScalingResult, error) {
+		if scaling != nil {
+			return scaling, nil
+		}
+		var err error
+		scaling, err = s.Scaling()
+		return scaling, err
+	}
+
+	all := []experiment{
+		{"table1", wrap(func() (fmt.Stringer, error) { return s.Table1() })},
+		{"fig1", wrap(func() (fmt.Stringer, error) { return s.Fig1() })},
+		{"fig4", wrap(func() (fmt.Stringer, error) { return s.Fig4() })},
+		{"fig5", wrap(func() (fmt.Stringer, error) { return s.Fig5() })},
+		{"fig6", wrap(func() (fmt.Stringer, error) { return s.Fig6() })},
+		{"fig7", wrap(func() (fmt.Stringer, error) { return s.Fig7() })},
+		{"fig8", wrap(func() (fmt.Stringer, error) { return s.Fig8(wall) })},
+		{"fig9", wrap(func() (fmt.Stringer, error) { return s.Fig9() })},
+		{"table2", wrap(func() (fmt.Stringer, error) { return s.Table2() })},
+		{"table3", wrap(func() (fmt.Stringer, error) { return s.Table3() })},
+		{"eq2", wrap(func() (fmt.Stringer, error) { return s.Eq2() })},
+		{"fig10", wrap(func() (fmt.Stringer, error) {
+			r, err := getScaling()
+			if err != nil {
+				return nil, err
+			}
+			return stringer(r.Fig10String()), nil
+		})},
+		{"fig11", wrap(func() (fmt.Stringer, error) { return s.Fig11() })},
+		{"fig12", wrap(func() (fmt.Stringer, error) {
+			r, err := getScaling()
+			if err != nil {
+				return nil, err
+			}
+			return stringer(r.Fig12String()), nil
+		})},
+		{"fig13", wrap(func() (fmt.Stringer, error) {
+			r, err := getScaling()
+			if err != nil {
+				return nil, err
+			}
+			return stringer(r.Fig13String()), nil
+		})},
+		{"cost", wrap(func() (fmt.Stringer, error) { return s.Cost() })},
+		{"cpack", wrap(func() (fmt.Stringer, error) { return s.CPack() })},
+		{"prefetch", wrap(func() (fmt.Stringer, error) { return s.Prefetch() })},
+		{"mrc", wrap(func() (fmt.Stringer, error) { return s.MRC() })},
+		{"variants", wrap(func() (fmt.Stringer, error) { return s.Variants() })},
+		{"gs", wrap(func() (fmt.Stringer, error) { return s.GaussSeidel() })},
+		{"numa", wrap(func() (fmt.Stringer, error) { return s.NUMA() })},
+	}
+
+	selected := all
+	if exp != "all" {
+		selected = nil
+		for _, e := range all {
+			if e.id == exp {
+				selected = append(selected, e)
+			}
+		}
+		if len(selected) == 0 {
+			return fmt.Errorf("unknown experiment %q", exp)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		r, err := e.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", e.id, time.Since(start).Seconds(), r)
+	}
+	return nil
+}
+
+type stringer string
+
+func (s stringer) String() string { return string(s) }

@@ -1,0 +1,93 @@
+// Command reusedist performs the paper's §5.2.3 locality analysis on one
+// mesh: it traces the smoother's accesses under a chosen ordering, computes
+// reuse-distance quantiles at cache-line granularity, and simulates the
+// Westmere-EX cache hierarchy over the trace.
+//
+// Usage:
+//
+//	reusedist [-mesh carabiner] [-verts 20000] [-order RDR] [-iters 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lams/internal/cache"
+	"lams/internal/core"
+	"lams/internal/order"
+	"lams/internal/reuse"
+	"lams/internal/stats"
+)
+
+func main() {
+	var (
+		meshName = flag.String("mesh", "carabiner", "mesh name")
+		verts    = flag.Int("verts", 20000, "target vertices")
+		ordNames = flag.String("order", "ORI,BFS,RDR", "comma-separated orderings")
+		iters    = flag.Int("iters", 1, "iterations to trace")
+	)
+	flag.Parse()
+
+	m, err := core.BuildMesh(*meshName, *verts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %s\n\n", *meshName, m.Summary())
+
+	cfg := cache.Scaled(m.NumVerts())
+	t := &stats.Table{Header: []string{"ordering", "mean RD", "q50", "q75", "q90", "max", "L1 miss%", "L2 miss%", "L3 miss%", "penalty cycles"}}
+	for _, ordName := range splitList(*ordNames) {
+		ord, err := order.ByName(ordName)
+		if err != nil {
+			fatal(err)
+		}
+		re, err := core.Reorder(m, ord)
+		if err != nil {
+			fatal(err)
+		}
+		_, tb, err := core.SmoothTraced(re.Mesh, 1, *iters)
+		if err != nil {
+			fatal(err)
+		}
+		blocks := reuse.Blocks(tb.Core(0), cfg.VertsPerLine())
+		dists := reuse.StackDistances(blocks)
+		sum := reuse.Summarize(dists)
+		qs, err := reuse.Quantiles(dists, []float64{0.5, 0.75, 0.9, 1})
+		if err != nil {
+			fatal(err)
+		}
+
+		sim, err := cache.NewSim(cfg, 1)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sim.RunTrace(tb); err != nil {
+			fatal(err)
+		}
+		st := sim.Stats()
+		t.AddRow(ordName, sum.Mean, qs[0], qs[1], qs[2], qs[3],
+			100*st[0].MissRate(), 100*st[1].MissRate(), 100*st[2].MissRate(),
+			sim.CorePenaltyCycles(0))
+	}
+	fmt.Print(t.String())
+}
+
+func splitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reusedist:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command smoothmesh runs Laplacian mesh smoothing on a Triangle-format
+// mesh with a chosen vertex ordering, reporting quality and timing — the
+// end-user workflow of the paper.
+//
+// Usage:
+//
+//	smoothmesh -in base [-order RDR] [-workers 1] [-iters 0] [-tol 5e-6] [-out base2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lams/internal/core"
+	"lams/internal/mesh"
+	"lams/internal/smooth"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input mesh base path (reads base.node and base.ele)")
+		ordName = flag.String("order", "RDR", "vertex ordering: ORI, RANDOM, BFS, DFS, RDR, RCM, HILBERT, MORTON")
+		workers = flag.Int("workers", 1, "parallel workers")
+		iters   = flag.Int("iters", 0, "max iterations (0 = until convergence)")
+		tol     = flag.Float64("tol", smooth.DefaultTol, "convergence criterion")
+		out     = flag.String("out", "", "write smoothed mesh to this base path")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "smoothmesh: -in is required")
+		os.Exit(2)
+	}
+
+	m, err := mesh.LoadFiles(*in)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %s: %s\n", *in, m.Summary())
+
+	re, err := core.ReorderByName(m, *ordName)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("applied %s ordering in %v\n", re.Ordering, re.OrderTime.Round(time.Microsecond))
+
+	opt := smooth.Options{Workers: *workers, Tol: *tol}
+	if *iters > 0 {
+		opt.MaxIters = *iters
+	}
+	start := time.Now()
+	res, err := smooth.Run(re.Mesh, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("smoothed in %v: %d iterations, quality %.6f -> %.6f (%d accesses)\n",
+		time.Since(start).Round(time.Millisecond), res.Iterations,
+		res.InitialQuality, res.FinalQuality, res.Accesses)
+
+	if *out != "" {
+		if err := re.Mesh.SaveFiles(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s.node/.ele\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smoothmesh:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,409 @@
+// Package cache simulates the memory hierarchy of the paper's evaluation
+// platform — the Intel Westmere-EX of Figure 2: per-core 32 KB L1 and
+// 256 KB L2, a 24 MB L3 shared by the eight cores of a socket, four sockets,
+// inclusive, LRU, 64-byte lines — and the Eq. (2) cycle-penalty model
+//
+//	(m1·c2 + m1·m2·c3 + m1·m2·m3·cm) · #accesses.
+//
+// It stands in for the PAPI hardware counters the paper reads: the simulator
+// consumes the very access traces the instrumented smoother emits and
+// reports per-level access/miss counters per core and aggregated.
+package cache
+
+import (
+	"fmt"
+
+	"lams/internal/trace"
+)
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name      string
+	SizeBytes int64
+	Assoc     int
+	// Shared marks the level as shared by all cores of a socket (the L3);
+	// unshared levels are private per core.
+	Shared bool
+	// LatencyCycles is the cost of fetching from this level after a miss in
+	// the previous level (the c2/c3 constants of Eq. 2).
+	LatencyCycles float64
+}
+
+// Config describes a cache hierarchy and its host topology.
+type Config struct {
+	LineBytes      int64
+	Levels         []LevelConfig // ordered L1, L2, L3, ...
+	CoresPerSocket int
+	// MemLatencyCycles is the cost of a fetch from main memory (cm).
+	MemLatencyCycles float64
+	// NUMA optionally refines memory latency: [9] reports 175–290 cycles
+	// depending on whether the line's home socket matches the requesting
+	// core's. When nil, every memory fetch costs MemLatencyCycles.
+	NUMA *NUMAConfig
+	// VertexStrideBytes is the size of one vertex record in the data array.
+	// The smoothing kernel reads each vertex's coordinate pair (16 bytes),
+	// so several consecutive records share a cache line — the spatial
+	// locality channel through which orderings act (§4.1). The paper's full
+	// 66-byte node estimate is available as an ablation. Records that
+	// straddle a line boundary touch both lines.
+	VertexStrideBytes int64
+}
+
+// VertsPerLine returns how many vertex records share one cache line (at
+// least 1).
+func (c Config) VertsPerLine() int {
+	if c.VertexStrideBytes <= 0 || c.LineBytes <= 0 {
+		return 1
+	}
+	n := c.LineBytes / c.VertexStrideBytes
+	if n < 1 {
+		n = 1
+	}
+	return int(n)
+}
+
+// NUMAConfig models socket-local vs remote memory access costs. Lines are
+// assigned home sockets by interleaving PageBytes-sized chunks round-robin
+// across Sockets (the default policy of the paper's Linux platform).
+type NUMAConfig struct {
+	Sockets                   int
+	PageBytes                 int64
+	LocalCycles, RemoteCycles float64
+}
+
+// homeSocket returns the socket owning the page containing the line.
+func (n *NUMAConfig) homeSocket(line uint64, lineBytes int64) int {
+	if n.Sockets <= 1 || n.PageBytes <= 0 {
+		return 0
+	}
+	page := line * uint64(lineBytes) / uint64(n.PageBytes)
+	return int(page % uint64(n.Sockets))
+}
+
+// WestmereNUMA returns the Westmere configuration with the [9] NUMA latency
+// split: 175 cycles to local memory, 290 to a remote socket's, 4 KB page
+// interleave over the four sockets.
+func WestmereNUMA() Config {
+	cfg := Westmere()
+	cfg.NUMA = &NUMAConfig{Sockets: 4, PageBytes: 4 << 10, LocalCycles: 175, RemoteCycles: 290}
+	return cfg
+}
+
+// Westmere returns the configuration of the paper's platform (§5.1, [9]):
+// L1 32 KB private (4 cycles), L2 256 KB private (10 cycles), L3 24 MB
+// shared per 8-core socket (38–170 cycles, midpoint-ish 60), memory 175–290
+// cycles (230). Latency of a level is the cost paid on a miss in the level
+// above, matching Eq. (2).
+func Westmere() Config {
+	return Config{
+		LineBytes:      64,
+		CoresPerSocket: 8,
+		Levels: []LevelConfig{
+			{Name: "L1", SizeBytes: 32 << 10, Assoc: 8, LatencyCycles: 4},
+			{Name: "L2", SizeBytes: 256 << 10, Assoc: 8, LatencyCycles: 10},
+			{Name: "L3", SizeBytes: 24 << 20, Assoc: 24, Shared: true, LatencyCycles: 60},
+		},
+		MemLatencyCycles:  230,
+		VertexStrideBytes: 16,
+	}
+}
+
+// Paper capacity ratios: §5.2.3 estimates that roughly 496 / 3,970 /
+// 372,000 mesh elements fit the L1 / L2 / L3 of the 328,082-vertex
+// carabiner run. Scaled preserves these capacity-to-mesh-size ratios at
+// other mesh scales.
+const (
+	paperVerts  = 328082
+	paperL1Elem = 496
+	paperL2Elem = 3970
+	paperL3Elem = 372000
+)
+
+// Scaled returns the Westmere configuration with cache capacities scaled so
+// that each level holds the same *fraction of the mesh* as on the paper's
+// platform and inputs. Running the paper's 300–400k-vertex meshes against
+// the true 24 MB L3 needs no scaling, but the default experiment meshes are
+// ~20x smaller; without scaling, every level past L1 would be cold and the
+// orderings indistinguishable. Associativity and line size are preserved;
+// capacities are floored at two sets per level.
+func Scaled(meshVerts int) Config {
+	cfg := Westmere()
+	if meshVerts <= 0 || meshVerts >= paperVerts {
+		return cfg
+	}
+	for i, elems := range []float64{paperL1Elem, paperL2Elem, paperL3Elem} {
+		lv := &cfg.Levels[i]
+		frac := elems / paperVerts
+		bytes := int64(frac*float64(meshVerts)) * cfg.VertexStrideBytes
+		setBytes := cfg.LineBytes * int64(lv.Assoc)
+		sets := (bytes + setBytes - 1) / setBytes
+		if sets < 2 {
+			sets = 2
+		}
+		lv.SizeBytes = sets * setBytes
+	}
+	return cfg
+}
+
+// set is one associativity set: a tag list kept in LRU order (front = MRU).
+type set struct {
+	tags []uint64
+}
+
+// access looks tag up in the set; on hit it moves the tag to the front and
+// returns true, on miss it inserts the tag (evicting the LRU way) and
+// returns false.
+func (s *set) access(tag uint64, assoc int) bool {
+	for i, t := range s.tags {
+		if t == tag {
+			copy(s.tags[1:i+1], s.tags[:i])
+			s.tags[0] = tag
+			return true
+		}
+	}
+	if len(s.tags) < assoc {
+		s.tags = append(s.tags, 0)
+	}
+	copy(s.tags[1:], s.tags)
+	s.tags[0] = tag
+	return false
+}
+
+// level is one instantiated cache (one core's private level, or one
+// socket's shared level).
+type level struct {
+	cfg  LevelConfig
+	sets []set
+}
+
+func newLevel(cfg LevelConfig, lineBytes int64) *level {
+	nSets := cfg.SizeBytes / (lineBytes * int64(cfg.Assoc))
+	if nSets < 1 {
+		nSets = 1
+	}
+	return &level{cfg: cfg, sets: make([]set, nSets)}
+}
+
+func (l *level) access(line uint64) bool {
+	idx := line % uint64(len(l.sets))
+	return l.sets[idx].access(line, l.cfg.Assoc)
+}
+
+// LevelStats counts accesses and misses at one level.
+type LevelStats struct {
+	Name             string
+	Accesses, Misses int64
+}
+
+// MissRate returns Misses/Accesses (0 when there were no accesses).
+func (s LevelStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+func (s LevelStats) String() string {
+	return fmt.Sprintf("%s: %d/%d (%.3f%%)", s.Name, s.Misses, s.Accesses, 100*s.MissRate())
+}
+
+// Sim simulates a hierarchy for a fixed number of cores.
+type Sim struct {
+	cfg     Config
+	cores   int
+	private [][]*level // [core][privateLevelIdx]
+	shared  [][]*level // [socket][sharedLevelIdx]
+	// levelKind[i] = private index or shared index of config level i.
+	privateIdx, sharedIdx []int
+	stats                 [][]LevelStats // [core][configLevelIdx]
+	memAccesses           []int64        // per core
+	memLocal, memRemote   []int64        // per core, NUMA split (when configured)
+}
+
+// NewSim builds a simulator for the given core count. Cores fill sockets
+// compactly (cores 0..7 on socket 0, ...), the KMP_AFFINITY=compact pinning
+// of §5.1.
+func NewSim(cfg Config, cores int) (*Sim, error) {
+	if cores < 1 {
+		return nil, fmt.Errorf("cache: need at least one core")
+	}
+	if cfg.LineBytes <= 0 || cfg.CoresPerSocket <= 0 {
+		return nil, fmt.Errorf("cache: invalid config: line=%d cores/socket=%d", cfg.LineBytes, cfg.CoresPerSocket)
+	}
+	s := &Sim{cfg: cfg, cores: cores}
+	nSockets := (cores + cfg.CoresPerSocket - 1) / cfg.CoresPerSocket
+	s.privateIdx = make([]int, len(cfg.Levels))
+	s.sharedIdx = make([]int, len(cfg.Levels))
+	var nPriv, nShared int
+	for i, lc := range cfg.Levels {
+		if lc.Shared {
+			s.sharedIdx[i] = nShared
+			s.privateIdx[i] = -1
+			nShared++
+		} else {
+			s.privateIdx[i] = nPriv
+			s.sharedIdx[i] = -1
+			nPriv++
+		}
+	}
+	s.private = make([][]*level, cores)
+	s.stats = make([][]LevelStats, cores)
+	s.memAccesses = make([]int64, cores)
+	s.memLocal = make([]int64, cores)
+	s.memRemote = make([]int64, cores)
+	for c := 0; c < cores; c++ {
+		s.stats[c] = make([]LevelStats, len(cfg.Levels))
+		for i, lc := range cfg.Levels {
+			s.stats[c][i].Name = lc.Name
+			if !lc.Shared {
+				s.private[c] = append(s.private[c], newLevel(lc, cfg.LineBytes))
+			}
+		}
+	}
+	s.shared = make([][]*level, nSockets)
+	for sk := 0; sk < nSockets; sk++ {
+		for _, lc := range cfg.Levels {
+			if lc.Shared {
+				s.shared[sk] = append(s.shared[sk], newLevel(lc, cfg.LineBytes))
+			}
+		}
+	}
+	return s, nil
+}
+
+// AccessLine sends one cache-line access from core through the hierarchy:
+// each level is consulted until one hits; lower levels allocate the line on
+// the way (inclusive fill). Stats are attributed to the issuing core.
+func (s *Sim) AccessLine(core int, line uint64) {
+	socket := core / s.cfg.CoresPerSocket
+	for i := range s.cfg.Levels {
+		var lv *level
+		if pi := s.privateIdx[i]; pi >= 0 {
+			lv = s.private[core][pi]
+		} else {
+			lv = s.shared[socket][s.sharedIdx[i]]
+		}
+		st := &s.stats[core][i]
+		st.Accesses++
+		if lv.access(line) {
+			return
+		}
+		st.Misses++
+	}
+	s.memAccesses[core]++
+	if n := s.cfg.NUMA; n != nil {
+		if n.homeSocket(line, s.cfg.LineBytes) == socket {
+			s.memLocal[core]++
+		} else {
+			s.memRemote[core]++
+		}
+	}
+}
+
+// AccessVertex sends an access to vertex record v (placed at
+// v*VertexStrideBytes) from core, touching every line the record overlaps.
+func (s *Sim) AccessVertex(core int, v int32) {
+	stride := s.cfg.VertexStrideBytes
+	lo := uint64(int64(v)*stride) / uint64(s.cfg.LineBytes)
+	hi := uint64(int64(v)*stride+stride-1) / uint64(s.cfg.LineBytes)
+	for line := lo; line <= hi; line++ {
+		s.AccessLine(core, line)
+	}
+}
+
+// RunTrace replays a trace buffer: core c of the buffer maps to simulator
+// core c. Per-core streams are interleaved round-robin one access at a time,
+// approximating concurrent execution on the shared levels.
+func (s *Sim) RunTrace(tb *trace.Buffer) error {
+	if tb.NumCores() > s.cores {
+		return fmt.Errorf("cache: trace has %d cores, simulator has %d", tb.NumCores(), s.cores)
+	}
+	streams := make([][]int32, tb.NumCores())
+	for c := range streams {
+		streams[c] = tb.Core(c)
+	}
+	for {
+		done := true
+		for c := range streams {
+			if len(streams[c]) == 0 {
+				continue
+			}
+			done = false
+			s.AccessVertex(c, streams[c][0])
+			streams[c] = streams[c][1:]
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// CoreStats returns the per-level counters attributed to one core.
+func (s *Sim) CoreStats(core int) []LevelStats {
+	return append([]LevelStats(nil), s.stats[core]...)
+}
+
+// Stats returns the per-level counters summed over all cores.
+func (s *Sim) Stats() []LevelStats {
+	out := make([]LevelStats, len(s.cfg.Levels))
+	for i, lc := range s.cfg.Levels {
+		out[i].Name = lc.Name
+	}
+	for c := 0; c < s.cores; c++ {
+		for i := range out {
+			out[i].Accesses += s.stats[c][i].Accesses
+			out[i].Misses += s.stats[c][i].Misses
+		}
+	}
+	return out
+}
+
+// MemAccesses returns the number of main-memory fetches (misses in the last
+// cache level), summed over cores.
+func (s *Sim) MemAccesses() int64 {
+	var n int64
+	for _, m := range s.memAccesses {
+		n += m
+	}
+	return n
+}
+
+// CoreMemAccesses returns one core's main-memory fetch count.
+func (s *Sim) CoreMemAccesses(core int) int64 { return s.memAccesses[core] }
+
+// PenaltyCycles evaluates Eq. (2) on absolute counters: every miss at level
+// i costs the latency of level i+1 (or memory for the last level). stats
+// must be ordered like cfg.Levels; memAccesses is the last level's misses.
+func PenaltyCycles(cfg Config, stats []LevelStats, memAccesses int64) float64 {
+	var cycles float64
+	for i, st := range stats {
+		if i+1 < len(cfg.Levels) {
+			cycles += float64(st.Misses) * cfg.Levels[i+1].LatencyCycles
+		}
+	}
+	cycles += float64(memAccesses) * cfg.MemLatencyCycles
+	return cycles
+}
+
+// CorePenaltyCycles evaluates Eq. (2) for a single core. With a NUMA
+// configuration, memory fetches are priced by home-socket locality instead
+// of the flat MemLatencyCycles.
+func (s *Sim) CorePenaltyCycles(core int) float64 {
+	if n := s.cfg.NUMA; n != nil {
+		var cycles float64
+		for i, st := range s.stats[core] {
+			if i+1 < len(s.cfg.Levels) {
+				cycles += float64(st.Misses) * s.cfg.Levels[i+1].LatencyCycles
+			}
+		}
+		cycles += float64(s.memLocal[core])*n.LocalCycles + float64(s.memRemote[core])*n.RemoteCycles
+		return cycles
+	}
+	return PenaltyCycles(s.cfg, s.stats[core], s.memAccesses[core])
+}
+
+// CoreNUMASplit returns one core's local and remote memory fetch counts
+// (both zero unless the configuration has NUMA enabled).
+func (s *Sim) CoreNUMASplit(core int) (local, remote int64) {
+	return s.memLocal[core], s.memRemote[core]
+}

@@ -1,0 +1,288 @@
+package cache
+
+import (
+	"testing"
+
+	"lams/internal/trace"
+)
+
+// tinyConfig is a two-level hierarchy small enough to reason about exactly:
+// L1 = 2 sets x 2 ways, L2 = 4 sets x 2 ways (shared), 64-byte lines.
+func tinyConfig() Config {
+	return Config{
+		LineBytes:      64,
+		CoresPerSocket: 2,
+		Levels: []LevelConfig{
+			{Name: "L1", SizeBytes: 4 * 64, Assoc: 2, LatencyCycles: 4},
+			{Name: "L2", SizeBytes: 8 * 64, Assoc: 2, Shared: true, LatencyCycles: 10},
+		},
+		MemLatencyCycles:  100,
+		VertexStrideBytes: 64,
+	}
+}
+
+func TestLRUHitMiss(t *testing.T) {
+	sim, err := NewSim(tinyConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two lines in the same set (set = line % 2): lines 0 and 2.
+	sim.AccessLine(0, 0) // miss
+	sim.AccessLine(0, 0) // hit
+	sim.AccessLine(0, 2) // miss
+	sim.AccessLine(0, 0) // hit (2-way holds both)
+	st := sim.CoreStats(0)
+	if st[0].Accesses != 4 || st[0].Misses != 2 {
+		t.Errorf("L1 = %+v", st[0])
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	sim, err := NewSim(tinyConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three lines mapping to set 0 of the 2-way L1: 0, 2, 4.
+	sim.AccessLine(0, 0) // miss
+	sim.AccessLine(0, 2) // miss
+	sim.AccessLine(0, 4) // miss, evicts 0 (LRU)
+	sim.AccessLine(0, 0) // miss again: 0 was evicted
+	sim.AccessLine(0, 4) // hit: 4 still resident
+	st := sim.CoreStats(0)
+	if st[0].Misses != 4 {
+		t.Errorf("L1 misses = %d, want 4", st[0].Misses)
+	}
+	if st[0].Accesses != 5 {
+		t.Errorf("L1 accesses = %d", st[0].Accesses)
+	}
+}
+
+func TestL1HitDoesNotTouchL2(t *testing.T) {
+	sim, err := NewSim(tinyConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AccessLine(0, 0)
+	sim.AccessLine(0, 0)
+	st := sim.CoreStats(0)
+	if st[1].Accesses != 1 {
+		t.Errorf("L2 accesses = %d, want 1 (only the L1 miss)", st[1].Accesses)
+	}
+}
+
+func TestSharedL3AcrossSocket(t *testing.T) {
+	// Two cores on the same socket share L2 (the shared level of
+	// tinyConfig): core 1 hits the line core 0 fetched.
+	sim, err := NewSim(tinyConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AccessLine(0, 0) // core 0: L1 miss, L2 miss, memory
+	sim.AccessLine(1, 0) // core 1: L1 miss, L2 HIT (shared)
+	st0 := sim.CoreStats(0)
+	st1 := sim.CoreStats(1)
+	if st0[1].Misses != 1 {
+		t.Errorf("core 0 L2 misses = %d", st0[1].Misses)
+	}
+	if st1[1].Misses != 0 {
+		t.Errorf("core 1 L2 misses = %d, want 0 (shared hit)", st1[1].Misses)
+	}
+	if sim.MemAccesses() != 1 {
+		t.Errorf("memory accesses = %d", sim.MemAccesses())
+	}
+}
+
+func TestSeparateSockets(t *testing.T) {
+	// Cores 0 and 2 are on different sockets (2 cores/socket): no sharing.
+	sim, err := NewSim(tinyConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AccessLine(0, 0)
+	sim.AccessLine(2, 0)
+	if sim.MemAccesses() != 2 {
+		t.Errorf("memory accesses = %d, want 2 (no cross-socket sharing)", sim.MemAccesses())
+	}
+}
+
+func TestPrivateL1PerCore(t *testing.T) {
+	sim, err := NewSim(tinyConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AccessLine(0, 0)
+	sim.AccessLine(1, 0)
+	st1 := sim.CoreStats(1)
+	if st1[0].Misses != 1 {
+		t.Errorf("core 1 should miss its private L1, got %+v", st1[0])
+	}
+}
+
+func TestAccessVertexStride(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.VertexStrideBytes = 16 // 4 vertices per line
+	sim, err := NewSim(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AccessVertex(0, 0) // line 0: miss
+	sim.AccessVertex(0, 1) // line 0: hit
+	sim.AccessVertex(0, 3) // line 0: hit
+	sim.AccessVertex(0, 4) // line 1: miss
+	st := sim.CoreStats(0)
+	if st[0].Misses != 2 || st[0].Accesses != 4 {
+		t.Errorf("L1 = %+v", st[0])
+	}
+}
+
+func TestAccessVertexStraddle(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.VertexStrideBytes = 66 // paper's node estimate: straddles lines
+	sim, err := NewSim(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AccessVertex(0, 1) // bytes 66..131 -> lines 1 and 2: two accesses
+	st := sim.CoreStats(0)
+	if st[0].Accesses != 2 {
+		t.Errorf("straddling record should touch 2 lines, got %d", st[0].Accesses)
+	}
+}
+
+func TestRunTraceMapping(t *testing.T) {
+	sim, err := NewSim(tinyConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := trace.NewBuffer(2)
+	tb.Access(0, 0)
+	tb.Access(1, 1)
+	tb.Access(0, 0)
+	if err := sim.RunTrace(tb); err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Stats()
+	if st[0].Accesses != 3 {
+		t.Errorf("total L1 accesses = %d", st[0].Accesses)
+	}
+	// Too many trace cores errors.
+	tb3 := trace.NewBuffer(3)
+	if err := sim.RunTrace(tb3); err == nil {
+		t.Error("oversized trace accepted")
+	}
+}
+
+func TestPenaltyCycles(t *testing.T) {
+	cfg := tinyConfig()
+	stats := []LevelStats{
+		{Name: "L1", Accesses: 100, Misses: 10},
+		{Name: "L2", Accesses: 10, Misses: 4},
+	}
+	// 10 L1 misses cost the L2 latency (10 cycles); 4 memory accesses cost
+	// 100 cycles each.
+	got := PenaltyCycles(cfg, stats, 4)
+	if got != 10*10+4*100 {
+		t.Errorf("penalty = %v", got)
+	}
+}
+
+func TestCorePenaltyCycles(t *testing.T) {
+	sim, err := NewSim(tinyConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AccessLine(0, 0) // L1 miss (10cy) + L2 miss -> memory (100cy)
+	if got := sim.CorePenaltyCycles(0); got != 110 {
+		t.Errorf("penalty = %v, want 110", got)
+	}
+}
+
+func TestWestmereConfig(t *testing.T) {
+	cfg := Westmere()
+	if len(cfg.Levels) != 3 {
+		t.Fatal("want 3 levels")
+	}
+	if cfg.Levels[0].SizeBytes != 32<<10 || cfg.Levels[1].SizeBytes != 256<<10 || cfg.Levels[2].SizeBytes != 24<<20 {
+		t.Error("level sizes wrong")
+	}
+	if !cfg.Levels[2].Shared || cfg.Levels[0].Shared {
+		t.Error("sharing flags wrong")
+	}
+	if cfg.CoresPerSocket != 8 {
+		t.Error("cores per socket wrong")
+	}
+	if cfg.VertsPerLine() != 4 {
+		t.Errorf("verts per line = %d", cfg.VertsPerLine())
+	}
+}
+
+func TestScaledConfig(t *testing.T) {
+	cfg := Scaled(32808) // one tenth of the paper's carabiner
+	full := Westmere()
+	for i := range cfg.Levels {
+		if cfg.Levels[i].SizeBytes >= full.Levels[i].SizeBytes {
+			t.Errorf("level %d not scaled down", i)
+		}
+		if cfg.Levels[i].Assoc != full.Levels[i].Assoc {
+			t.Errorf("level %d associativity changed", i)
+		}
+		if cfg.Levels[i].SizeBytes < 2*cfg.LineBytes*int64(cfg.Levels[i].Assoc) {
+			t.Errorf("level %d below floor", i)
+		}
+	}
+	// L3 capacity in elements stays slightly above the mesh size
+	// (paper ratio 372k/328k), so a full sweep fits.
+	l3Elems := cfg.Levels[2].SizeBytes / cfg.VertexStrideBytes
+	if l3Elems < 32808 {
+		t.Errorf("scaled L3 holds %d elements for a 32808-vertex mesh", l3Elems)
+	}
+	// At paper scale or above, scaling is a no-op.
+	if got := Scaled(400000); got.Levels[2].SizeBytes != full.Levels[2].SizeBytes {
+		t.Error("paper-scale config should be unscaled")
+	}
+	if got := Scaled(0); got.Levels[0].SizeBytes != full.Levels[0].SizeBytes {
+		t.Error("zero mesh size should be unscaled")
+	}
+}
+
+func TestNewSimErrors(t *testing.T) {
+	if _, err := NewSim(tinyConfig(), 0); err == nil {
+		t.Error("zero cores accepted")
+	}
+	bad := tinyConfig()
+	bad.LineBytes = 0
+	if _, err := NewSim(bad, 1); err == nil {
+		t.Error("zero line bytes accepted")
+	}
+}
+
+func TestLevelStatsString(t *testing.T) {
+	s := LevelStats{Name: "L1", Accesses: 100, Misses: 5}
+	if s.MissRate() != 0.05 {
+		t.Errorf("miss rate = %v", s.MissRate())
+	}
+	if s.String() == "" {
+		t.Error("empty string")
+	}
+	var zero LevelStats
+	if zero.MissRate() != 0 {
+		t.Error("zero stats miss rate should be 0")
+	}
+}
+
+func TestInclusiveFill(t *testing.T) {
+	// After a miss chain, the line is resident at every level: a re-access
+	// after evicting it from L1 must hit L2.
+	sim, err := NewSim(tinyConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AccessLine(0, 0) // fill L1+L2
+	sim.AccessLine(0, 2) // set 0
+	sim.AccessLine(0, 4) // set 0: evicts 0 from L1
+	sim.AccessLine(0, 0) // L1 miss, must hit L2
+	st := sim.CoreStats(0)
+	if st[1].Misses != 3 {
+		t.Errorf("L2 misses = %d, want 3 (lines 0, 2, 4 once each)", st[1].Misses)
+	}
+}

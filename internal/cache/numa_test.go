@@ -1,0 +1,68 @@
+package cache
+
+import "testing"
+
+func TestNUMAHomeSocket(t *testing.T) {
+	n := &NUMAConfig{Sockets: 4, PageBytes: 4 << 10}
+	// 64 lines per 4KB page: lines 0..63 -> socket 0, 64..127 -> socket 1.
+	if got := n.homeSocket(0, 64); got != 0 {
+		t.Errorf("line 0 home = %d", got)
+	}
+	if got := n.homeSocket(63, 64); got != 0 {
+		t.Errorf("line 63 home = %d", got)
+	}
+	if got := n.homeSocket(64, 64); got != 1 {
+		t.Errorf("line 64 home = %d", got)
+	}
+	if got := n.homeSocket(64*4, 64); got != 0 {
+		t.Errorf("interleave wrap: line 256 home = %d", got)
+	}
+	degenerate := &NUMAConfig{Sockets: 1, PageBytes: 4096}
+	if degenerate.homeSocket(999, 64) != 0 {
+		t.Error("single socket must own everything")
+	}
+}
+
+func TestNUMAPenaltySplit(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NUMA = &NUMAConfig{Sockets: 2, PageBytes: 64, LocalCycles: 100, RemoteCycles: 300}
+	sim, err := NewSim(cfg, 2) // cores 0,1 on socket 0 (2 cores/socket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line 0 -> page 0 -> socket 0 (local for core 0).
+	// Line 1 -> page 1 -> socket 1 (remote for core 0).
+	sim.AccessLine(0, 0)
+	sim.AccessLine(0, 1)
+	local, remote := sim.CoreNUMASplit(0)
+	if local != 1 || remote != 1 {
+		t.Fatalf("split = %d local, %d remote", local, remote)
+	}
+	// Penalty: two L1 misses (10cy each to L2), two L2 misses ->
+	// one local (100) + one remote (300) memory fetch.
+	want := 2*10.0 + 100 + 300
+	if got := sim.CorePenaltyCycles(0); got != want {
+		t.Errorf("penalty = %v, want %v", got, want)
+	}
+}
+
+func TestWestmereNUMA(t *testing.T) {
+	cfg := WestmereNUMA()
+	if cfg.NUMA == nil || cfg.NUMA.Sockets != 4 {
+		t.Fatal("NUMA config missing")
+	}
+	if cfg.NUMA.LocalCycles != 175 || cfg.NUMA.RemoteCycles != 290 {
+		t.Error("latencies do not match [9]")
+	}
+}
+
+func TestNUMASplitZeroWithoutConfig(t *testing.T) {
+	sim, err := NewSim(tinyConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AccessLine(0, 0)
+	if l, r := sim.CoreNUMASplit(0); l != 0 || r != 0 {
+		t.Errorf("split = %d, %d without NUMA config", l, r)
+	}
+}

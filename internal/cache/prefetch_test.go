@@ -1,0 +1,82 @@
+package cache
+
+import "testing"
+
+func TestPrefetchSequentialStream(t *testing.T) {
+	p, err := NewPrefetchSim(tinyConfig(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A purely sequential stream: after the second access establishes the
+	// stride, later lines arrive via prefetch.
+	for line := uint64(0); line < 8; line++ {
+		p.AccessLine(0, line)
+	}
+	if p.PrefetchIssued == 0 {
+		t.Fatal("no prefetches issued on a sequential stream")
+	}
+	if p.PrefetchUseful == 0 {
+		t.Fatal("no prefetch was useful")
+	}
+	if p.Coverage() <= 0 || p.Coverage() > 1 {
+		t.Errorf("coverage = %v", p.Coverage())
+	}
+	// Demand misses must be fewer than without prefetching.
+	base, err := NewSim(tinyConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for line := uint64(0); line < 8; line++ {
+		base.AccessLine(0, line)
+	}
+	if p.CoreStats(0)[0].Misses >= base.CoreStats(0)[0].Misses {
+		t.Errorf("prefetching did not reduce misses: %d vs %d",
+			p.CoreStats(0)[0].Misses, base.CoreStats(0)[0].Misses)
+	}
+}
+
+func TestPrefetchRandomStreamIsNeutral(t *testing.T) {
+	p, err := NewPrefetchSim(tinyConfig(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strided (non +1) accesses never trigger the tagged prefetcher.
+	for i := 0; i < 16; i++ {
+		p.AccessLine(0, uint64(i*3))
+	}
+	if p.PrefetchIssued != 0 {
+		t.Errorf("prefetches issued on a stride-3 stream: %d", p.PrefetchIssued)
+	}
+}
+
+func TestPrefetchDisabled(t *testing.T) {
+	p, err := NewPrefetchSim(tinyConfig(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for line := uint64(0); line < 8; line++ {
+		p.AccessLine(0, line)
+	}
+	if p.PrefetchIssued != 0 {
+		t.Error("degree-0 prefetcher issued prefetches")
+	}
+	if p.Coverage() != 0 {
+		t.Error("coverage should be 0 with no prefetches")
+	}
+}
+
+func TestPrefetchAccessVertex(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.VertexStrideBytes = 16
+	p, err := NewPrefetchSim(cfg, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < 32; v++ {
+		p.AccessVertex(0, v)
+	}
+	// Sequential vertex sweep -> sequential lines -> prefetches fire.
+	if p.PrefetchIssued == 0 {
+		t.Error("no prefetches on sequential vertex sweep")
+	}
+}

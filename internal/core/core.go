@@ -1,0 +1,87 @@
+// Package core is the high-level entry point of the library: it wires the
+// substrates together into the paper's pipeline — build (or load) a mesh,
+// compute initial vertex qualities, apply a locality ordering such as RDR,
+// smooth, and analyze locality. Examples and tools that do not need
+// fine-grained control use this package; everything it returns is the plain
+// data structures of the underlying packages.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lams/internal/mesh"
+	"lams/internal/order"
+	"lams/internal/quality"
+	"lams/internal/smooth"
+	"lams/internal/trace"
+)
+
+// BuildMesh generates the named test mesh (one of the nine Table 1 domains)
+// with roughly targetVerts vertices.
+func BuildMesh(name string, targetVerts int) (*mesh.Mesh, error) {
+	return mesh.Generate(name, targetVerts)
+}
+
+// Reordered is a mesh relabeled by an ordering, with the bookkeeping needed
+// to relate it back to the input.
+type Reordered struct {
+	// Mesh is the renumbered mesh (the input mesh is unchanged).
+	Mesh *mesh.Mesh
+	// Ordering is the name of the ordering applied.
+	Ordering string
+	// NewToOld maps new vertex index -> input vertex index.
+	NewToOld []int32
+	// OrderTime is how long computing the permutation took — the
+	// pre-computation cost §5.4 weighs against the smoothing gain.
+	OrderTime time.Duration
+}
+
+// Reorder computes ord on m (driving it with initial edge-length-ratio
+// vertex qualities, which RDR and quality-rooted BFS require) and returns
+// the renumbered mesh.
+func Reorder(m *mesh.Mesh, ord order.Ordering) (*Reordered, error) {
+	met := quality.EdgeRatio{}
+	vq := quality.VertexQualities(m, met)
+	start := time.Now()
+	perm, err := ord.Compute(m, vq)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("core: computing %s ordering: %w", ord.Name(), err)
+	}
+	rm, err := m.Renumber(perm)
+	if err != nil {
+		return nil, fmt.Errorf("core: applying %s ordering: %w", ord.Name(), err)
+	}
+	return &Reordered{Mesh: rm, Ordering: ord.Name(), NewToOld: perm, OrderTime: elapsed}, nil
+}
+
+// ReorderByName is Reorder with the ordering looked up by name
+// (ORI, RANDOM, BFS, DFS, RDR, RCM, HILBERT, MORTON).
+func ReorderByName(m *mesh.Mesh, name string) (*Reordered, error) {
+	ord, err := order.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return Reorder(m, ord)
+}
+
+// Smooth runs Laplacian smoothing on m in place with the given worker count
+// and default convergence settings.
+func Smooth(m *mesh.Mesh, workers int) (smooth.Result, error) {
+	return smooth.Run(m, smooth.Options{Workers: workers})
+}
+
+// SmoothTraced runs smoothing for exactly maxIters iterations while
+// recording the per-worker access trace, returning both. The mesh is
+// modified in place.
+func SmoothTraced(m *mesh.Mesh, workers, maxIters int) (smooth.Result, *trace.Buffer, error) {
+	tb := trace.NewBuffer(workers)
+	res, err := smooth.Run(m, smooth.Options{
+		Workers:  workers,
+		MaxIters: maxIters,
+		Tol:      -1, // run all requested iterations even after convergence
+		Trace:    tb,
+	})
+	return res, tb, err
+}

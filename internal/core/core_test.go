@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"lams/internal/order"
+)
+
+func TestBuildMesh(t *testing.T) {
+	m, err := BuildMesh("wrench", 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildMesh("nope", 1000); err == nil {
+		t.Error("unknown mesh accepted")
+	}
+}
+
+func TestReorder(t *testing.T) {
+	m, err := BuildMesh("valve", 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Reorder(m, order.RDR{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Ordering != "RDR" {
+		t.Errorf("ordering name %q", re.Ordering)
+	}
+	if err := order.ValidatePermutation(re.NewToOld, m.NumVerts()); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Mesh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The input mesh is untouched: coordinates at position 0 unchanged.
+	if re.Mesh == m {
+		t.Error("Reorder returned the input mesh")
+	}
+	// Reordered mesh has the same multiset of coordinates.
+	if re.Mesh.NumVerts() != m.NumVerts() || re.Mesh.NumTris() != m.NumTris() {
+		t.Error("counts changed")
+	}
+	// Check placement: new vertex k is old vertex NewToOld[k].
+	for k := 0; k < 20; k++ {
+		if re.Mesh.Coords[k] != m.Coords[re.NewToOld[k]] {
+			t.Fatalf("vertex %d misplaced", k)
+		}
+	}
+}
+
+func TestReorderByName(t *testing.T) {
+	m, err := BuildMesh("crake", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReorderByName(m, "BFS"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ReorderByName(m, "NOPE"); err == nil {
+		t.Error("unknown ordering accepted")
+	}
+}
+
+func TestSmoothAndTrace(t *testing.T) {
+	m, err := BuildMesh("dialog", 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Smooth(m.Clone(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalQuality <= res.InitialQuality {
+		t.Error("no improvement")
+	}
+
+	res2, tb, err := SmoothTraced(m.Clone(), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Iterations != 3 {
+		t.Errorf("iterations = %d, want exactly 3", res2.Iterations)
+	}
+	if tb.NumCores() != 2 {
+		t.Errorf("trace cores = %d", tb.NumCores())
+	}
+	if int64(tb.Total()) != res2.Accesses {
+		t.Error("trace/access mismatch")
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"lams/internal/mesh"
+	"lams/internal/quality"
+	"lams/internal/smooth"
+)
+
+// TestEndToEndPipeline exercises the full user workflow: generate, save to
+// Triangle files, reload, reorder with RDR, smooth in parallel, and verify
+// the result is a valid improved mesh.
+func TestEndToEndPipeline(t *testing.T) {
+	m, err := BuildMesh("stress", 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "stress")
+	if err := m.SaveFiles(base); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := mesh.LoadFiles(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumVerts() != m.NumVerts() {
+		t.Fatal("file round trip changed vertex count")
+	}
+
+	re, err := ReorderByName(loaded, "RDR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q0 := quality.Global(re.Mesh, quality.EdgeRatio{})
+	res, err := smooth.Run(re.Mesh, smooth.Options{Workers: 3, MaxIters: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalQuality <= q0 {
+		t.Errorf("pipeline did not improve quality: %v -> %v", q0, res.FinalQuality)
+	}
+	if err := re.Mesh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The smoothed mesh still writes and reads cleanly.
+	base2 := filepath.Join(t.TempDir(), "smoothed")
+	if err := re.Mesh.SaveFiles(base2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mesh.LoadFiles(base2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReorderingsPreserveSmoothingResult pins the central correctness
+// property end to end: with Jacobi updates, all orderings produce the same
+// smoothed geometry up to floating-point summation order (the neighbor sums
+// of Eq. 1 accumulate in renumbered order). Aggregate statistics must agree
+// to near machine precision.
+func TestReorderingsPreserveSmoothingResult(t *testing.T) {
+	m, err := BuildMesh("lake", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type agg struct{ sumX, sumY, q float64 }
+	smoothAgg := func(ordName string) agg {
+		re, err := ReorderByName(m, ordName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := smooth.Run(re.Mesh, smooth.Options{MaxIters: 6, Tol: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a agg
+		for _, p := range re.Mesh.Coords {
+			a.sumX += p.X
+			a.sumY += p.Y
+		}
+		a.q = res.FinalQuality
+		return a
+	}
+	ref := smoothAgg("ORI")
+	for _, ordName := range []string{"BFS", "RDR", "HILBERT"} {
+		got := smoothAgg(ordName)
+		if abs(got.sumX-ref.sumX) > 1e-7 || abs(got.sumY-ref.sumY) > 1e-7 {
+			t.Errorf("%s: coordinate sums differ: (%v,%v) vs (%v,%v)",
+				ordName, got.sumX, got.sumY, ref.sumX, ref.sumY)
+		}
+		if abs(got.q-ref.q) > 1e-9 {
+			t.Errorf("%s: final quality %v != %v", ordName, got.q, ref.q)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,336 @@
+// Package delaunay implements an incremental Bowyer–Watson Delaunay
+// triangulator for point sets in the plane. It stands in for Shewchuk's
+// Triangle [15] in the paper's pipeline: given the boundary and interior
+// points of a domain it produces an unstructured triangulation whose vertex
+// numbering is the order in which the points were supplied ("ORI", the
+// original ordering of the mesh creation algorithm).
+//
+// Internally points are inserted in Hilbert-curve order so that the
+// walk-based point location runs in near-constant amortized time, but the
+// triangulation output preserves the caller's point numbering.
+package delaunay
+
+import (
+	"fmt"
+	"sort"
+
+	"lams/internal/geom"
+)
+
+// Triangulation is the result of triangulating a point set: a list of
+// triangles, each a triple of indices into the input point slice, in
+// counterclockwise orientation.
+type Triangulation struct {
+	Points    []geom.Point
+	Triangles [][3]int32
+}
+
+const noTri = int32(-1)
+
+// tri is one triangle of the working triangulation. Edge k is the edge
+// opposite vertex k, i.e. (v[(k+1)%3], v[(k+2)%3]); adj[k] is the neighbor
+// across that edge, or noTri on the hull.
+type tri struct {
+	v    [3]int32
+	adj  [3]int32
+	dead bool
+}
+
+type triangulator struct {
+	pts   []geom.Point // input points + 3 super-triangle points appended
+	tris  []tri
+	free  []int32 // recycled triangle slots
+	last  int32   // most recently created triangle, walk start hint
+	cav   []int32 // scratch: cavity triangles
+	stack []int32 // scratch: cavity BFS stack
+	edges []cavityEdge
+}
+
+type cavityEdge struct {
+	a, b int32 // boundary edge of the cavity (ccw around cavity)
+	out  int32 // triangle outside the cavity across (a,b), or noTri
+	nt   int32 // new triangle built on this edge (filled in pass 2)
+}
+
+// Triangulate computes the Delaunay triangulation of pts. Duplicate points
+// are rejected with an error, as are inputs with fewer than 3 points or with
+// all points collinear.
+func Triangulate(pts []geom.Point) (*Triangulation, error) {
+	if len(pts) < 3 {
+		return nil, fmt.Errorf("delaunay: need at least 3 points, got %d", len(pts))
+	}
+	if dup := findDuplicate(pts); dup >= 0 {
+		return nil, fmt.Errorf("delaunay: duplicate point at index %d: %v", dup, pts[dup])
+	}
+
+	t := &triangulator{}
+	t.init(pts)
+
+	// Insert in Hilbert order for fast walking location.
+	order := insertionOrder(pts)
+	for _, idx := range order {
+		if err := t.insert(int32(idx)); err != nil {
+			return nil, err
+		}
+	}
+
+	return t.extract(), nil
+}
+
+func findDuplicate(pts []geom.Point) int {
+	seen := make(map[geom.Point]struct{}, len(pts))
+	for i, p := range pts {
+		if _, ok := seen[p]; ok {
+			return i
+		}
+		seen[p] = struct{}{}
+	}
+	return -1
+}
+
+func insertionOrder(pts []geom.Point) []int {
+	keys := geom.HilbertSortKeys(pts, 16)
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := keys[order[a]], keys[order[b]]
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// init builds the super-triangle enclosing all points. Its vertices get the
+// three indices just past the real points.
+func (t *triangulator) init(pts []geom.Point) {
+	n := len(pts)
+	b := geom.BoundsOf(pts)
+	c := b.Center()
+	r := b.Width() + b.Height()
+	if r == 0 {
+		r = 1
+	}
+	r *= 1e4 // far enough that super-edges never interfere with the hull
+
+	t.pts = make([]geom.Point, n, n+3)
+	copy(t.pts, pts)
+	t.pts = append(t.pts,
+		geom.Point{X: c.X - 3*r, Y: c.Y - r},
+		geom.Point{X: c.X + 3*r, Y: c.Y - r},
+		geom.Point{X: c.X, Y: c.Y + 3*r},
+	)
+	s0, s1, s2 := int32(n), int32(n+1), int32(n+2)
+	t.tris = append(t.tris, tri{v: [3]int32{s0, s1, s2}, adj: [3]int32{noTri, noTri, noTri}})
+	t.last = 0
+}
+
+// locate walks from the hint triangle toward p and returns a triangle whose
+// closed interior contains p.
+func (t *triangulator) locate(p geom.Point) (int32, error) {
+	cur := t.last
+	if cur < 0 || int(cur) >= len(t.tris) || t.tris[cur].dead {
+		cur = t.anyLive()
+	}
+	// Bounded walk; on a Delaunay triangulation with spatially sorted
+	// insertions the walk is short. The bound guards against cycles caused
+	// by degenerate input.
+	rng := uint32(12345)
+	for steps := 0; steps < 4*len(t.tris)+64; steps++ {
+		tr := &t.tris[cur]
+		// Move across an edge that has p strictly on its outside. The edge
+		// probe order rotates pseudo-randomly each step; a fixed order can
+		// cycle on co-circular configurations (the classic fix for the
+		// straight walk).
+		rng = rng*1664525 + 1013904223
+		start := int(rng % 3)
+		moved := false
+		for j := 0; j < 3; j++ {
+			k := (start + j) % 3
+			va, vb := tr.v[(k+1)%3], tr.v[(k+2)%3]
+			if geom.Orient2D(t.pts[va], t.pts[vb], p) == geom.Clockwise {
+				if tr.adj[k] == noTri {
+					return noTri, fmt.Errorf("delaunay: walked off hull at %v", p)
+				}
+				cur = tr.adj[k]
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return cur, nil
+		}
+	}
+	return noTri, fmt.Errorf("delaunay: point location did not terminate at %v", p)
+}
+
+func (t *triangulator) anyLive() int32 {
+	for i := len(t.tris) - 1; i >= 0; i-- {
+		if !t.tris[i].dead {
+			return int32(i)
+		}
+	}
+	return noTri
+}
+
+// insert adds point pi to the triangulation (Bowyer–Watson).
+func (t *triangulator) insert(pi int32) error {
+	p := t.pts[pi]
+	seed, err := t.locate(p)
+	if err != nil {
+		return err
+	}
+
+	// Grow the cavity: all triangles whose circumcircle strictly contains p.
+	t.cav = t.cav[:0]
+	t.stack = append(t.stack[:0], seed)
+	inCav := map[int32]bool{seed: true}
+	for len(t.stack) > 0 {
+		cur := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		t.cav = append(t.cav, cur)
+		for _, nb := range t.tris[cur].adj {
+			if nb == noTri || inCav[nb] {
+				continue
+			}
+			tr := &t.tris[nb]
+			if geom.InCircle(t.pts[tr.v[0]], t.pts[tr.v[1]], t.pts[tr.v[2]], p) == geom.CounterClockwise {
+				inCav[nb] = true
+				t.stack = append(t.stack, nb)
+			}
+		}
+	}
+
+	// Collect the cavity boundary edges, oriented counterclockwise as seen
+	// from inside the cavity.
+	t.edges = t.edges[:0]
+	for _, ci := range t.cav {
+		tr := &t.tris[ci]
+		for k := 0; k < 3; k++ {
+			nb := tr.adj[k]
+			if nb != noTri && inCav[nb] {
+				continue
+			}
+			a := tr.v[(k+1)%3]
+			b := tr.v[(k+2)%3]
+			t.edges = append(t.edges, cavityEdge{a: a, b: b, out: nb})
+		}
+	}
+	if len(t.edges) < 3 {
+		return fmt.Errorf("delaunay: degenerate cavity (%d edges) inserting point %d", len(t.edges), pi)
+	}
+
+	// Kill cavity triangles and recycle their slots.
+	for _, ci := range t.cav {
+		t.tris[ci].dead = true
+		t.free = append(t.free, ci)
+	}
+
+	// Build the fan of new triangles (p, a, b) and link external adjacency.
+	for i := range t.edges {
+		e := &t.edges[i]
+		nt := t.alloc(tri{v: [3]int32{pi, e.a, e.b}, adj: [3]int32{e.out, noTri, noTri}})
+		e.nt = nt
+		if e.out != noTri {
+			t.linkAcross(e.out, e.a, e.b, nt)
+		}
+	}
+	// Link the fan triangles to each other: triangle on edge (a,b) neighbors
+	// the fan triangle whose edge starts at b (across edge opposite vertex a,
+	// local index 1... edge 2 is (v0,v1) = (p,a), edge 1 is (v2,v0) = (b,p)).
+	next := make(map[int32]int32, len(t.edges)) // a -> fan triangle with edge (a, b)
+	for i := range t.edges {
+		next[t.edges[i].a] = t.edges[i].nt
+	}
+	for i := range t.edges {
+		e := &t.edges[i]
+		// Neighbor across edge (b, p) of e.nt is the fan triangle starting at b.
+		nb, ok := next[e.b]
+		if !ok {
+			return fmt.Errorf("delaunay: cavity boundary not a closed loop at point %d", pi)
+		}
+		t.tris[e.nt].adj[1] = nb // edge 1 of (p,a,b) is (b,p)
+		t.tris[nb].adj[2] = e.nt // edge 2 of (p,b,c) is (p,b)
+	}
+	t.last = t.edges[0].nt
+	return nil
+}
+
+// linkAcross sets the adjacency of triangle out across edge (a,b) to nt.
+func (t *triangulator) linkAcross(out, a, b, nt int32) {
+	tr := &t.tris[out]
+	for k := 0; k < 3; k++ {
+		va := tr.v[(k+1)%3]
+		vb := tr.v[(k+2)%3]
+		if (va == a && vb == b) || (va == b && vb == a) {
+			tr.adj[k] = nt
+			return
+		}
+	}
+}
+
+func (t *triangulator) alloc(tr tri) int32 {
+	if n := len(t.free); n > 0 {
+		idx := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.tris[idx] = tr
+		return idx
+	}
+	t.tris = append(t.tris, tr)
+	return int32(len(t.tris) - 1)
+}
+
+// extract drops dead triangles and triangles incident to the super-triangle
+// and returns the final triangulation over the original points.
+func (t *triangulator) extract() *Triangulation {
+	n := int32(len(t.pts) - 3)
+	out := &Triangulation{Points: t.pts[:n]}
+	for i := range t.tris {
+		tr := &t.tris[i]
+		if tr.dead || tr.v[0] >= n || tr.v[1] >= n || tr.v[2] >= n {
+			continue
+		}
+		out.Triangles = append(out.Triangles, tr.v)
+	}
+	return out
+}
+
+// Validate checks structural invariants of the triangulation: all indices in
+// range, counterclockwise orientation, no zero-area triangles, and the
+// Delaunay empty-circumcircle property against each triangle's edge-adjacent
+// opposite vertices.
+func (tn *Triangulation) Validate() error {
+	n := int32(len(tn.Points))
+	type edge struct{ a, b int32 }
+	opposite := make(map[edge]int32, 3*len(tn.Triangles))
+	for ti, tv := range tn.Triangles {
+		for k := 0; k < 3; k++ {
+			if tv[k] < 0 || tv[k] >= n {
+				return fmt.Errorf("delaunay: triangle %d vertex %d out of range", ti, tv[k])
+			}
+		}
+		a, b, c := tn.Points[tv[0]], tn.Points[tv[1]], tn.Points[tv[2]]
+		if geom.Orient2D(a, b, c) != geom.CounterClockwise {
+			return fmt.Errorf("delaunay: triangle %d not counterclockwise", ti)
+		}
+		for k := 0; k < 3; k++ {
+			va, vb := tv[(k+1)%3], tv[(k+2)%3]
+			opposite[edge{va, vb}] = tv[k]
+		}
+	}
+	// Delaunay check: for each interior edge (a,b) with opposite vertices c
+	// and d, d must not lie strictly inside circumcircle(a,b,c).
+	for e, c := range opposite {
+		d, ok := opposite[edge{e.b, e.a}]
+		if !ok {
+			continue // hull edge
+		}
+		if geom.InCircle(tn.Points[e.a], tn.Points[e.b], tn.Points[c], tn.Points[d]) == geom.CounterClockwise {
+			return fmt.Errorf("delaunay: edge (%d,%d) violates empty circumcircle", e.a, e.b)
+		}
+	}
+	return nil
+}

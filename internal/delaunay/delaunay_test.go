@@ -1,0 +1,201 @@
+package delaunay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lams/internal/geom"
+)
+
+func TestTriangulateTriangle(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}}
+	tn, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tn.Triangles) != 1 {
+		t.Fatalf("got %d triangles, want 1", len(tn.Triangles))
+	}
+	if err := tn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangulateSquare(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}}
+	tn, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tn.Triangles) != 2 {
+		t.Fatalf("got %d triangles, want 2", len(tn.Triangles))
+	}
+	if err := tn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangulateErrors(t *testing.T) {
+	if _, err := Triangulate([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}); err == nil {
+		t.Error("two points should fail")
+	}
+	if _, err := Triangulate([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 0}}); err == nil {
+		t.Error("duplicate points should fail")
+	}
+}
+
+func TestTriangulateGrid(t *testing.T) {
+	// A perfect grid is maximally degenerate (cocircular quads everywhere);
+	// the exact predicates must keep the structure consistent.
+	var pts []geom.Point
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			pts = append(pts, geom.Point{X: float64(x), Y: float64(y)})
+		}
+	}
+	tn, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Euler: for n points with h on the convex hull, triangles = 2n-2-h.
+	n, h := 64, 28
+	if want := 2*n - 2 - h; len(tn.Triangles) != want {
+		t.Errorf("grid triangles = %d, want %d", len(tn.Triangles), want)
+	}
+}
+
+func TestTriangulateCocircular(t *testing.T) {
+	// Points on a circle plus center: every triangle has cocircular
+	// neighbors.
+	pts := []geom.Point{{X: 0, Y: 0}}
+	for i := 0; i < 12; i++ {
+		a := 2 * math.Pi * float64(i) / 12
+		pts = append(pts, geom.Point{X: math.Cos(a), Y: math.Sin(a)})
+	}
+	tn, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tn.Triangles) != 12 {
+		t.Errorf("fan should have 12 triangles, got %d", len(tn.Triangles))
+	}
+}
+
+func TestTriangulateRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		n := 50 + rng.Intn(500)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		}
+		tn, err := Triangulate(pts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := tn.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(tn.Points) != n {
+			t.Fatalf("trial %d: point count changed", trial)
+		}
+	}
+}
+
+func TestTriangulationCoversHull(t *testing.T) {
+	// The triangle areas must sum to the convex hull area.
+	rng := rand.New(rand.NewSource(8))
+	pts := make([]geom.Point, 200)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	tn, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, tv := range tn.Triangles {
+		sum += geom.TriangleArea(tn.Points[tv[0]], tn.Points[tv[1]], tn.Points[tv[2]])
+	}
+	hull := hullArea(pts)
+	if math.Abs(sum-hull) > 1e-9*hull {
+		t.Errorf("triangle area sum %v != hull area %v", sum, hull)
+	}
+}
+
+// hullArea computes the convex hull area by the monotone chain algorithm.
+func hullArea(pts []geom.Point) float64 {
+	sorted := append([]geom.Point(nil), pts...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && (sorted[j].X < sorted[j-1].X ||
+			(sorted[j].X == sorted[j-1].X && sorted[j].Y < sorted[j-1].Y)); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	build := func(pts []geom.Point) []geom.Point {
+		var h []geom.Point
+		for _, p := range pts {
+			for len(h) >= 2 && geom.Orient2DValue(h[len(h)-2], h[len(h)-1], p) <= 0 {
+				h = h[:len(h)-1]
+			}
+			h = append(h, p)
+		}
+		return h
+	}
+	lower := build(sorted)
+	upper := build(reversed(sorted))
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	return geom.Polygon(hull).Area()
+}
+
+func reversed(pts []geom.Point) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[len(pts)-1-i] = p
+	}
+	return out
+}
+
+func TestTriangulateAllPointsUsedOnHullInterior(t *testing.T) {
+	// Every input point must be a vertex of some triangle (no point is
+	// swallowed), for a generic point set.
+	rng := rand.New(rand.NewSource(9))
+	pts := make([]geom.Point, 300)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.NormFloat64(), Y: rng.NormFloat64()}
+	}
+	tn, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make([]bool, len(pts))
+	for _, tv := range tn.Triangles {
+		used[tv[0]], used[tv[1]], used[tv[2]] = true, true, true
+	}
+	for i, u := range used {
+		if !u {
+			t.Errorf("point %d unused", i)
+		}
+	}
+}
+
+func BenchmarkTriangulate10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	pts := make([]geom.Point, 10000)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Triangulate(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,436 @@
+// Package domains defines the nine 2D test domains used throughout the
+// reproduction, standing in for the nine Triangle-generated meshes of the
+// paper's Table 1 (carabiner, crake, dialog, lake, riverflow, ocean, stress,
+// valve, wrench). Each domain is a polygonal region, possibly with holes,
+// whose silhouette loosely matches its name; what matters for the paper's
+// experiments is that the domains yield unstructured triangulations with
+// irregular boundaries, holes, and a spread of initial element qualities.
+//
+// Points(n) produces the point cloud for a mesh of roughly n vertices in
+// "generation order": boundary loops first, then interior points from a
+// jittered-grid scan in row-major order. This generation order defines the
+// ORI (original) vertex numbering, like Triangle's output numbering does in
+// the paper.
+package domains
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"lams/internal/geom"
+)
+
+// Domain is one named test domain.
+type Domain struct {
+	Name   string
+	Label  string // M1..M9, as in Table 1
+	Region geom.Region
+	Seed   int64 // RNG seed for the interior jitter (deterministic meshes)
+}
+
+// Spec records the paper's Table 1 configuration for a mesh.
+type Spec struct {
+	Label     string
+	Name      string
+	Vertices  int
+	Triangles int
+}
+
+// Table1 is the paper's input mesh configuration (Table 1).
+var Table1 = []Spec{
+	{"M1", "carabiner", 328082, 652920},
+	{"M2", "crake", 298898, 595638},
+	{"M3", "dialog", 306824, 611620},
+	{"M4", "lake", 375288, 747676},
+	{"M5", "riverflow", 332699, 661615},
+	{"M6", "ocean", 392674, 783040},
+	{"M7", "stress", 312763, 622868},
+	{"M8", "valve", 300985, 599368},
+	{"M9", "wrench", 386757, 771097},
+}
+
+// Names returns the nine domain names in M1..M9 order.
+func Names() []string {
+	out := make([]string, len(Table1))
+	for i, s := range Table1 {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// SpecFor returns the Table 1 spec for the named mesh.
+func SpecFor(name string) (Spec, error) {
+	for _, s := range Table1 {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("domains: unknown mesh %q", name)
+}
+
+// ByName constructs the named domain.
+func ByName(name string) (Domain, error) {
+	for i, s := range Table1 {
+		if s.Name == name {
+			return Domain{
+				Name:   s.Name,
+				Label:  s.Label,
+				Region: regionFor(s.Name),
+				Seed:   int64(1000 + i),
+			}, nil
+		}
+	}
+	return Domain{}, fmt.Errorf("domains: unknown domain %q", name)
+}
+
+// All returns the nine domains in M1..M9 order.
+func All() []Domain {
+	out := make([]Domain, 0, len(Table1))
+	for _, s := range Table1 {
+		d, err := ByName(s.Name)
+		if err != nil {
+			panic(err) // unreachable: Table1 names are the source of truth
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Points returns approximately targetVerts points covering the domain in
+// generation (ORI) order: boundary loops first, then interior points.
+// The result is deterministic for a given domain and target.
+//
+// Two properties of Triangle-generated meshes matter to the paper and are
+// reproduced here:
+//
+//   - Element quality varies *smoothly in space*: interior points come from
+//     a regular grid deformed by a smooth multi-mode shear warp, so element
+//     distortion (and hence edge-length-ratio quality) is locally uniform
+//     but varies across the domain at feature scale. Badly-shaped elements
+//     cluster in regions instead of being white noise — the structure
+//     RDR's quality-guided walk exploits (§4.2).
+//   - The generation (ORI) numbering has mediocre locality: Ruppert-style
+//     refinement inserts Steiner points from a worst-first priority queue,
+//     so creation order follows local badness, not space. Interior points
+//     are therefore emitted in decreasing order of local distortion —
+//     between RANDOM and BFS in reuse distance, as in Figure 1.
+func (d Domain) Points(targetVerts int) []geom.Point {
+	if targetVerts < 16 {
+		targetVerts = 16
+	}
+	area := d.Region.Area()
+	// A near-regular grid of spacing h places ~area/h^2 interior points.
+	h := math.Sqrt(area / float64(targetVerts))
+
+	boundary := dedupe(d.Region.BoundaryPoints(h))
+	rng := rand.New(rand.NewSource(d.Seed))
+	warp := newWarpField(d.Region.Bounds(), d.Seed)
+
+	b := d.Region.Bounds()
+	var pts []geom.Point
+	pts = append(pts, boundary...)
+	seen := make(map[geom.Point]struct{}, targetVerts)
+	for _, p := range pts {
+		seen[p] = struct{}{}
+	}
+	// Keep interior points at least ~0.4h from the sampled boundary via a
+	// coarse occupancy grid over the boundary samples.
+	guard := newProximityGrid(boundary, 0.45*h)
+
+	type graded struct {
+		p geom.Point
+		f float64
+	}
+	var interior []graded
+	for y := b.Min.Y + h/2; y <= b.Max.Y; y += h {
+		for x := b.Min.X + h/2; x <= b.Max.X; x += h {
+			g := geom.Point{X: x, Y: y}
+			p := warp.apply(g)
+			// A whiff of white jitter keeps the triangulation generic
+			// without drowning the smooth distortion signal.
+			p.X += (rng.Float64() - 0.5) * 0.04 * h
+			p.Y += (rng.Float64() - 0.5) * 0.04 * h
+			if !d.Region.Contains(p) || guard.near(p) {
+				continue
+			}
+			if _, dup := seen[p]; dup {
+				continue
+			}
+			seen[p] = struct{}{}
+			interior = append(interior, graded{p: p, f: warp.distortion(g)})
+		}
+	}
+	// Refinement-priority emission: worst (most distorted) regions first.
+	sort.SliceStable(interior, func(i, j int) bool { return interior[i].f > interior[j].f })
+	for _, g := range interior {
+		pts = append(pts, g.p)
+	}
+	return pts
+}
+
+// warpField is a smooth displacement field: a sum of sinusoidal shear modes
+// whose wavelengths are fractions of the domain size. Its local gradient —
+// the element distortion it induces — varies smoothly across the domain.
+type warpField struct {
+	modes [3]warpMode
+}
+
+// warpMode displaces points along direction (dx, dy) by
+// a*sin(kx*x + ky*y + phase).
+type warpMode struct {
+	kx, ky, dx, dy, a, phase float64
+}
+
+func newWarpField(b geom.Rect, seed int64) *warpField {
+	rng := rand.New(rand.NewSource(seed ^ 0x3779B97F4A7C15))
+	diag := math.Hypot(b.Width(), b.Height())
+	if diag == 0 {
+		diag = 1
+	}
+	w := &warpField{}
+	// Wavelengths diag/3, diag/5, diag/8; per-mode shear strength c keeps
+	// the total |∇d| below ~0.85 so the warp never folds.
+	for i, div := range []float64{1.4, 2.2, 3.4} {
+		lambda := diag / div
+		k := 2 * math.Pi / lambda
+		c := 0.30
+		dir := 2 * math.Pi * rng.Float64()
+		disp := 2 * math.Pi * rng.Float64()
+		w.modes[i] = warpMode{
+			kx:    k * math.Cos(dir),
+			ky:    k * math.Sin(dir),
+			dx:    math.Cos(disp),
+			dy:    math.Sin(disp),
+			a:     c / k,
+			phase: 2 * math.Pi * rng.Float64(),
+		}
+	}
+	return w
+}
+
+// apply returns the warped position of p.
+func (w *warpField) apply(p geom.Point) geom.Point {
+	out := p
+	for _, m := range w.modes {
+		s := m.a * math.Sin(m.kx*p.X+m.ky*p.Y+m.phase)
+		out.X += s * m.dx
+		out.Y += s * m.dy
+	}
+	return out
+}
+
+// distortion returns the local shear magnitude |∇d| at p, a smooth proxy
+// for how badly elements near p are shaped.
+func (w *warpField) distortion(p geom.Point) float64 {
+	var total float64
+	for _, m := range w.modes {
+		k := math.Hypot(m.kx, m.ky)
+		total += math.Abs(m.a * k * math.Cos(m.kx*p.X+m.ky*p.Y+m.phase))
+	}
+	return total
+}
+
+func dedupe(pts []geom.Point) []geom.Point {
+	seen := make(map[geom.Point]struct{}, len(pts))
+	out := pts[:0]
+	for _, p := range pts {
+		if _, ok := seen[p]; ok {
+			continue
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}
+
+// proximityGrid answers "is any seeded point within radius r" queries with a
+// uniform hash grid of cell size r.
+type proximityGrid struct {
+	r     float64
+	cells map[[2]int32][]geom.Point
+}
+
+func newProximityGrid(pts []geom.Point, r float64) *proximityGrid {
+	g := &proximityGrid{r: r, cells: make(map[[2]int32][]geom.Point, len(pts))}
+	for _, p := range pts {
+		c := g.cell(p)
+		g.cells[c] = append(g.cells[c], p)
+	}
+	return g
+}
+
+func (g *proximityGrid) cell(p geom.Point) [2]int32 {
+	return [2]int32{int32(math.Floor(p.X / g.r)), int32(math.Floor(p.Y / g.r))}
+}
+
+func (g *proximityGrid) near(p geom.Point) bool {
+	c := g.cell(p)
+	r2 := g.r * g.r
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for _, q := range g.cells[[2]int32{c[0] + dx, c[1] + dy}] {
+				if p.Dist2(q) < r2 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// blob returns an irregular star-convex outline: a circle of radius rad
+// around c, radially modulated by a few sine harmonics.
+func blob(c geom.Point, rad float64, n int, seed int64, roughness float64) geom.Polygon {
+	rng := rand.New(rand.NewSource(seed))
+	const harmonics = 5
+	amp := make([]float64, harmonics)
+	phase := make([]float64, harmonics)
+	for i := range amp {
+		amp[i] = roughness * rad * rng.Float64() / float64(i+1)
+		phase[i] = 2 * math.Pi * rng.Float64()
+	}
+	pg := make(geom.Polygon, n)
+	for i := range pg {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		r := rad
+		for k := 0; k < harmonics; k++ {
+			r += amp[k] * math.Sin(float64(k+2)*a+phase[k])
+		}
+		pg[i] = geom.Point{X: c.X + r*math.Cos(a), Y: c.Y + r*math.Sin(a)}
+	}
+	return pg
+}
+
+// sinuousBand builds a winding corridor of the given half-width: the top
+// edge follows a sine path left to right, the bottom edge returns.
+func sinuousBand(length, amp, halfWidth float64, n int) geom.Polygon {
+	top := make([]geom.Point, n)
+	bot := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n-1)
+		x := t * length
+		y := amp * math.Sin(3*math.Pi*t)
+		// Normal direction of the centerline.
+		dy := amp * 3 * math.Pi * math.Cos(3*math.Pi*t) / length
+		nx, ny := -dy, 1.0
+		nn := math.Hypot(nx, ny)
+		nx, ny = nx/nn*halfWidth, ny/nn*halfWidth
+		top[i] = geom.Point{X: x + nx, Y: y + ny}
+		bot[i] = geom.Point{X: x - nx, Y: y - ny}
+	}
+	pg := make(geom.Polygon, 0, 2*n)
+	pg = append(pg, bot...)
+	for i := n - 1; i >= 0; i-- {
+		pg = append(pg, top[i])
+	}
+	return pg
+}
+
+func regionFor(name string) geom.Region {
+	switch name {
+	case "carabiner":
+		// Elongated rounded ring, like a climbing carabiner.
+		out := make(geom.Polygon, 0, 96)
+		in := make(geom.Polygon, 0, 96)
+		for i := 0; i < 96; i++ {
+			a := 2 * math.Pi * float64(i) / 96
+			// Superellipse-ish oblong.
+			out = append(out, geom.Point{X: 1.6 * sgnPow(math.Cos(a), 0.8), Y: 2.6 * sgnPow(math.Sin(a), 0.8)})
+			in = append(in, geom.Point{X: 0.95 * sgnPow(math.Cos(a), 0.9), Y: 1.9 * sgnPow(math.Sin(a), 0.9)})
+		}
+		return geom.Region{Outer: out, Holes: []geom.Polygon{in.Reverse()}}
+	case "crake":
+		// Bird-ish irregular blob, no holes.
+		return geom.Region{Outer: blob(geom.Point{}, 2.0, 128, 42, 0.35)}
+	case "dialog":
+		// Rounded box with two button cutouts and a text-area cutout.
+		return geom.Region{
+			Outer: geom.RectPolygon(0, 0, 6, 4),
+			Holes: []geom.Polygon{
+				geom.RectPolygon(0.5, 2.4, 5.5, 3.5).Reverse(),
+				geom.RectPolygon(0.8, 0.5, 2.4, 1.3).Reverse(),
+				geom.RectPolygon(3.6, 0.5, 5.2, 1.3).Reverse(),
+			},
+		}
+	case "lake":
+		// Irregular lake with two islands.
+		return geom.Region{
+			Outer: blob(geom.Point{}, 2.4, 160, 77, 0.30),
+			Holes: []geom.Polygon{
+				blob(geom.Point{X: -0.8, Y: 0.5}, 0.45, 48, 78, 0.25).Reverse(),
+				blob(geom.Point{X: 0.9, Y: -0.7}, 0.35, 40, 79, 0.25).Reverse(),
+			},
+		}
+	case "riverflow":
+		// Long sinuous corridor.
+		return geom.Region{Outer: sinuousBand(10, 1.2, 0.45, 160)}
+	case "ocean":
+		// Large basin with a ragged coastline and three islands.
+		return geom.Region{
+			Outer: blob(geom.Point{}, 3.0, 200, 101, 0.22),
+			Holes: []geom.Polygon{
+				blob(geom.Point{X: 1.1, Y: 0.8}, 0.4, 40, 102, 0.3).Reverse(),
+				blob(geom.Point{X: -1.3, Y: -0.4}, 0.5, 44, 103, 0.3).Reverse(),
+				blob(geom.Point{X: 0.2, Y: -1.5}, 0.3, 36, 104, 0.3).Reverse(),
+			},
+		}
+	case "stress":
+		// Classic stress specimen: plate with three circular holes.
+		return geom.Region{
+			Outer: geom.RectPolygon(0, 0, 8, 3),
+			Holes: []geom.Polygon{
+				geom.RegularPolygon(geom.Point{X: 2, Y: 1.5}, 0.6, 48, 0).Reverse(),
+				geom.RegularPolygon(geom.Point{X: 4, Y: 1.5}, 0.4, 40, 0).Reverse(),
+				geom.RegularPolygon(geom.Point{X: 6, Y: 1.5}, 0.6, 48, 0).Reverse(),
+			},
+		}
+	case "valve":
+		// Valve body: disk with an annular seat and a radial slot.
+		return geom.Region{
+			Outer: blob(geom.Point{}, 2.0, 128, 55, 0.05),
+			Holes: []geom.Polygon{
+				geom.RegularPolygon(geom.Point{}, 0.8, 64, 0).Reverse(),
+				geom.RectPolygon(-0.15, 0.95, 0.15, 1.5).Reverse(),
+			},
+		}
+	case "wrench":
+		// Open-end wrench: straight handle into a round head with hex hole.
+		return geom.Region{
+			Outer: wrenchOutline(),
+			Holes: []geom.Polygon{geom.RegularPolygon(geom.Point{X: 8.9, Y: 0}, 0.62, 6, math.Pi/6).Reverse()},
+		}
+	default:
+		panic("domains: regionFor called with unknown name " + name)
+	}
+}
+
+// sgnPow returns sign(v)*|v|^p, the superellipse shaping function.
+func sgnPow(v, p float64) float64 {
+	if v < 0 {
+		return -math.Pow(-v, p)
+	}
+	return math.Pow(v, p)
+}
+
+// wrenchOutline traces the wrench silhouette counterclockwise: along the
+// bottom of the handle, around the far side of the head circle, and back
+// along the top of the handle. The head circle (center (8.9, 0), radius 1.4)
+// meets the half-width-0.5 handle where sin(a) = 0.5/1.4.
+func wrenchOutline() geom.Polygon {
+	const (
+		cx, r = 8.9, 1.4
+		hw    = 0.5
+	)
+	join := math.Pi - math.Asin(hw/r) // angle of the upper junction
+	var pg geom.Polygon
+	pg = append(pg, geom.Point{X: 0, Y: -hw}, geom.Point{X: cx + r*math.Cos(join), Y: -hw})
+	const arcSteps = 72
+	for i := 0; i <= arcSteps; i++ {
+		a := -join + 2*join*float64(i)/arcSteps
+		pg = append(pg, geom.Point{X: cx + r*math.Cos(a), Y: r * math.Sin(a)})
+	}
+	pg = append(pg, geom.Point{X: 0, Y: hw})
+	return pg
+}

@@ -1,0 +1,197 @@
+package domains
+
+import (
+	"testing"
+
+	"lams/internal/geom"
+)
+
+func TestNamesMatchTable1(t *testing.T) {
+	names := Names()
+	if len(names) != 9 {
+		t.Fatalf("want 9 names, got %d", len(names))
+	}
+	if names[0] != "carabiner" || names[8] != "wrench" {
+		t.Errorf("names order wrong: %v", names)
+	}
+}
+
+func TestSpecFor(t *testing.T) {
+	s, err := SpecFor("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Label != "M6" || s.Vertices != 392674 || s.Triangles != 783040 {
+		t.Errorf("ocean spec = %+v", s)
+	}
+	if _, err := SpecFor("nope"); err == nil {
+		t.Error("unknown mesh should error")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown domain should error")
+	}
+}
+
+func TestAllDomainsValid(t *testing.T) {
+	for _, d := range All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			if d.Region.Area() <= 0 {
+				t.Fatalf("region area %v", d.Region.Area())
+			}
+			if len(d.Region.Outer) < 3 {
+				t.Fatal("outer polygon too small")
+			}
+			// Holes must lie inside the outer polygon and wind opposite.
+			if d.Region.Outer.SignedArea() <= 0 {
+				t.Error("outer polygon should be counterclockwise")
+			}
+			for i, h := range d.Region.Holes {
+				if h.SignedArea() >= 0 {
+					t.Errorf("hole %d should be clockwise", i)
+				}
+				for _, p := range h {
+					if !d.Region.Outer.Contains(p) {
+						t.Errorf("hole %d vertex %v outside outer polygon", i, p)
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPointsDeterministic(t *testing.T) {
+	d, err := ByName("crake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Points(2000)
+	b := d.Points(2000)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+}
+
+func TestPointsCountNearTarget(t *testing.T) {
+	for _, name := range []string{"carabiner", "stress"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const target = 5000
+		pts := d.Points(target)
+		if len(pts) < target*3/4 || len(pts) > target*3/2 {
+			t.Errorf("%s: %d points for target %d", name, len(pts), target)
+		}
+	}
+}
+
+func TestPointsInsideOrOnBoundary(t *testing.T) {
+	d, err := ByName("valve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := d.Points(3000)
+	bp := len(dedupe(d.Region.BoundaryPoints(0))) // just ensure helper exists
+	_ = bp
+	inside := 0
+	for _, p := range pts {
+		if d.Region.Contains(p) {
+			inside++
+		}
+	}
+	// Interior points are strictly inside; boundary samples sit on the
+	// outline where Contains may go either way. At least the interior share
+	// must be inside.
+	if frac := float64(inside) / float64(len(pts)); frac < 0.7 {
+		t.Errorf("only %.0f%% of points inside region", 100*frac)
+	}
+}
+
+func TestPointsNoDuplicates(t *testing.T) {
+	d, err := ByName("dialog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := d.Points(3000)
+	seen := make(map[geom.Point]bool, len(pts))
+	for i, p := range pts {
+		if seen[p] {
+			t.Fatalf("duplicate point at index %d: %v", i, p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestPointsBoundaryFirst(t *testing.T) {
+	d, err := ByName("lake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := d.Points(2000)
+	// The boundary samples (which include the polygon vertices) come first:
+	// the first point must be the first outer-polygon vertex.
+	if pts[0] != d.Region.Outer[0] {
+		t.Errorf("first point %v is not the first boundary vertex %v", pts[0], d.Region.Outer[0])
+	}
+}
+
+func TestPointsTinyTarget(t *testing.T) {
+	d, err := ByName("crake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := d.Points(1) // clamped to a sane minimum
+	if len(pts) < 3 {
+		t.Errorf("too few points: %d", len(pts))
+	}
+}
+
+func TestWarpFieldSmooth(t *testing.T) {
+	d, err := ByName("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWarpField(d.Region.Bounds(), d.Seed)
+	b := d.Region.Bounds()
+	// Distortion at nearby points must be close (smoothness), and the warp
+	// displacement bounded.
+	step := b.Width() / 1000
+	p := b.Center()
+	q := geom.Point{X: p.X + step, Y: p.Y}
+	if diff := w.distortion(p) - w.distortion(q); diff > 0.05 || diff < -0.05 {
+		t.Errorf("distortion jumps by %v over %v", diff, step)
+	}
+	disp := w.apply(p).Sub(p).Norm()
+	if disp > b.Width() {
+		t.Errorf("displacement %v larger than domain", disp)
+	}
+}
+
+func TestPointsIncludePolygonVertices(t *testing.T) {
+	// Boundary sampling must keep the polygon's own vertices so the domain
+	// outline is represented exactly.
+	d, err := ByName("stress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := d.Points(4000)
+	have := make(map[geom.Point]bool, len(pts))
+	for _, p := range pts {
+		have[p] = true
+	}
+	for _, v := range d.Region.Outer {
+		if !have[v] {
+			t.Fatalf("outer vertex %v missing from point cloud", v)
+		}
+	}
+}

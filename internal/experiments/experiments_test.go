@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"lams/internal/mesh"
+)
+
+// tinySuite is a fast suite over two small meshes shared by the tests.
+func tinySuite(t testing.TB) *Suite {
+	t.Helper()
+	cfg := ConfigForSize(2500)
+	cfg.Meshes = []string{"carabiner", "crake"}
+	cfg.CoreCounts = []int{1, 2, 4}
+	return NewSuite(cfg)
+}
+
+func TestSuiteCaching(t *testing.T) {
+	s := tinySuite(t)
+	a, err := s.Mesh("carabiner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Mesh("carabiner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("mesh not cached")
+	}
+	r1, err := s.Reordered("carabiner", "RDR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Reordered("carabiner", "RDR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("reordered mesh not cached")
+	}
+	ori, err := s.Reordered("carabiner", "ORI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ori != a {
+		t.Error("ORI should be the generated mesh itself")
+	}
+	if _, err := s.Reordered("carabiner", "NOPE"); err == nil {
+		t.Error("unknown ordering accepted")
+	}
+	d, err := s.OrderTime("carabiner", "RDR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("order time not recorded")
+	}
+}
+
+func TestConvergedIters(t *testing.T) {
+	s := tinySuite(t)
+	n, err := s.ConvergedIters("crake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 {
+		t.Errorf("iterations = %d", n)
+	}
+	n2, _ := s.ConvergedIters("crake")
+	if n2 != n {
+		t.Error("not cached/deterministic")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[0].Label != "M1" || r.Rows[0].PaperVerts != 328082 {
+		t.Errorf("row 0 = %+v", r.Rows[0])
+	}
+	if !strings.Contains(r.String(), "carabiner") {
+		t.Error("render missing mesh name")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DFSSpan <= 0 || r.BFSSpan <= 0 {
+		t.Errorf("spans = %d, %d", r.DFSSpan, r.BFSSpan)
+	}
+	// The paper's point: BFS packs the accessed positions tighter.
+	if r.BFSSpan > r.DFSSpan {
+		t.Errorf("BFS span %d worse than DFS %d", r.BFSSpan, r.DFSSpan)
+	}
+	if !strings.Contains(r.String(), "Figure 5") {
+		t.Error("render header missing")
+	}
+}
+
+func TestSmallDiskMesh(t *testing.T) {
+	pts, tris := SmallDiskMesh(5, 7)
+	if len(pts) != 13 {
+		t.Fatalf("verts = %d, want 13", len(pts))
+	}
+	m, err := mesh.New(pts, tris)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Center and inner ring are interior, outer ring is boundary.
+	if len(m.InteriorVerts) != 6 {
+		t.Errorf("interior = %v", m.InteriorVerts)
+	}
+}
+
+func TestFig4(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.DFSTrace) == 0 || len(r.BFSTrace) == 0 {
+		t.Fatal("empty traces")
+	}
+	if r.BFSSpan >= r.DFSSpan {
+		t.Errorf("BFS span %f not tighter than DFS %f", r.BFSSpan, r.DFSSpan)
+	}
+}
+
+func TestFig6ProfilesRepeat(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Profiles) < 2 {
+		t.Fatalf("profiles = %d", len(r.Profiles))
+	}
+	// The paper's observation: the reuse pattern repeats across iterations.
+	if r.Correlation < 0.5 {
+		t.Errorf("iteration profiles barely correlate: %v", r.Correlation)
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	cfg := ConfigForSize(2500)
+	cfg.Meshes = []string{"ocean"}
+	s := NewSuite(cfg)
+	r, err := s.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	byName := map[string]Fig1Series{}
+	for _, se := range r.Series {
+		byName[se.Ordering] = se
+	}
+	// Figure 1's ranking: random worst, BFS best.
+	if !(byName["BFS"].MeanReuse < byName["ORI"].MeanReuse) {
+		t.Errorf("BFS reuse %v not better than ORI %v", byName["BFS"].MeanReuse, byName["ORI"].MeanReuse)
+	}
+	if !(byName["ORI"].MeanReuse < byName["RANDOM"].MeanReuse) {
+		t.Errorf("ORI reuse %v not better than RANDOM %v", byName["ORI"].MeanReuse, byName["RANDOM"].MeanReuse)
+	}
+}
+
+func TestFig8And9Shape(t *testing.T) {
+	s := tinySuite(t)
+	r8, err := s.Fig8(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.ModelSpeedupVsORI <= 1 {
+		t.Errorf("RDR model speedup vs ORI = %v, want > 1", r8.ModelSpeedupVsORI)
+	}
+	if r8.ModelSpeedupVsBFS <= 1 {
+		t.Errorf("RDR model speedup vs BFS = %v, want > 1", r8.ModelSpeedupVsBFS)
+	}
+
+	r9, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RDR reduces L1 and L2 misses vs ORI on average.
+	if r9.ReductionVsORI[0] <= 0 || r9.ReductionVsORI[1] <= 0 {
+		t.Errorf("reductions vs ORI = %v", r9.ReductionVsORI)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2*3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if len(row.Quantiles) != 4 {
+			t.Fatalf("quantile count = %d", len(row.Quantiles))
+		}
+		// Quantiles are monotone.
+		for i := 1; i < 4; i++ {
+			if row.Quantiles[i] < row.Quantiles[i-1] {
+				t.Errorf("%s/%s quantiles not monotone: %v", row.Mesh, row.Ordering, row.Quantiles)
+			}
+		}
+	}
+}
+
+func TestScalingShape(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Scaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := r.MeanSpeedups()
+	// Speedups grow with cores and RDR dominates ORI at every count.
+	for ci := range r.Cores {
+		if mean["RDR"][ci] < mean["ORI"][ci] {
+			t.Errorf("cores=%d: RDR %v below ORI %v", r.Cores[ci], mean["RDR"][ci], mean["ORI"][ci])
+		}
+	}
+	if mean["ORI"][len(r.Cores)-1] <= mean["ORI"][0] {
+		t.Error("no parallel speedup")
+	}
+	gains := r.Gains()
+	if gains["ORI"][0] <= 0 {
+		t.Errorf("serial gain vs ORI = %v", gains["ORI"][0])
+	}
+	for _, out := range []string{r.Fig10String(), r.Fig12String(), r.Fig13String(), r.String()} {
+		if out == "" {
+			t.Error("empty render")
+		}
+	}
+}
+
+func TestEq2AndTable3(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Eq2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.Cycles["RDR"] < r.Cycles["ORI"]) {
+		t.Errorf("RDR penalty %v not below ORI %v", r.Cycles["RDR"], r.Cycles["ORI"])
+	}
+	r3, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r3.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r3.Rows))
+	}
+}
+
+func TestCost(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.OrderWall <= 0 || row.IterWall <= 0 {
+			t.Errorf("%s: non-positive timings", row.Mesh)
+		}
+		if row.BreakEvenIters <= 0 {
+			t.Errorf("%s: break-even %v", row.Mesh, row.BreakEvenIters)
+		}
+	}
+}
+
+func TestFig11(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2*3 { // 2 meshes x 3 core counts
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.L2Accesses <= 0 {
+			t.Errorf("%s/%d: no L2 accesses", row.Mesh, row.Cores)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MeshVerts != 20000 || len(cfg.Meshes) != 9 || cfg.TraceIters != 2 {
+		t.Errorf("default config = %+v", cfg)
+	}
+	s := NewSuite(Config{})
+	if s.Cfg.MeshVerts == 0 {
+		t.Error("zero config should fall back to defaults")
+	}
+}

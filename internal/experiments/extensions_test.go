@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCPackCloseToRDR(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.CPack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]CPackRow{}
+	for _, row := range r.Rows {
+		byName[row.Ordering] = row
+	}
+	// RDR should be much closer to the CPACK oracle than to BFS.
+	rdr, cpack, bfs := byName["RDR"], byName["CPACK"], byName["BFS"]
+	if rdr.MeanReuse > bfs.MeanReuse {
+		t.Errorf("RDR reuse %v worse than BFS %v", rdr.MeanReuse, bfs.MeanReuse)
+	}
+	gapOracle := rdr.MeanReuse - cpack.MeanReuse
+	if gapOracle < 0 {
+		gapOracle = -gapOracle
+	}
+	if gapOracle > (bfs.MeanReuse-cpack.MeanReuse)/2 {
+		t.Errorf("RDR (%.1f) not close to CPACK oracle (%.1f); BFS at %.1f",
+			rdr.MeanReuse, cpack.MeanReuse, bfs.MeanReuse)
+	}
+	if !strings.Contains(r.String(), "CPACK") {
+		t.Error("render missing CPACK")
+	}
+}
+
+func TestPrefetchHelpsRDRMost(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Prefetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := map[string]map[int]int64{}
+	for _, row := range r.Rows {
+		if misses[row.Ordering] == nil {
+			misses[row.Ordering] = map[int]int64{}
+		}
+		misses[row.Ordering][row.Degree] = row.L1Misses
+	}
+	// Prefetching must reduce RDR's misses.
+	if misses["RDR"][2] >= misses["RDR"][0] {
+		t.Errorf("prefetch did not help RDR: %d -> %d", misses["RDR"][0], misses["RDR"][2])
+	}
+	// And RDR's relative benefit exceeds ORI's.
+	rdrGain := float64(misses["RDR"][0]-misses["RDR"][2]) / float64(misses["RDR"][0])
+	oriGain := float64(misses["ORI"][0]-misses["ORI"][2]) / float64(misses["ORI"][0])
+	if rdrGain <= oriGain {
+		t.Errorf("RDR prefetch gain %.3f not above ORI's %.3f", rdrGain, oriGain)
+	}
+}
+
+func TestMRCShape(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.MRC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ord := range SerialOrderings {
+		curve := r.Curves[ord]
+		if len(curve) != len(r.Capacities) {
+			t.Fatalf("%s: curve length mismatch", ord)
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i] > curve[i-1]+1e-12 {
+				t.Errorf("%s: miss-ratio curve not monotone at %d", ord, i)
+			}
+		}
+	}
+	// At mid capacities RDR's curve sits below ORI's.
+	mid := len(r.Capacities) / 2
+	if r.Curves["RDR"][mid] > r.Curves["ORI"][mid] {
+		t.Errorf("RDR MRC %v above ORI %v at capacity %d",
+			r.Curves["RDR"][mid], r.Curves["ORI"][mid], r.Capacities[mid])
+	}
+}
+
+func TestVariantsTransfer(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Variants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	penalty := map[string]map[string]float64{}
+	for _, row := range r.Rows {
+		if penalty[row.Variant] == nil {
+			penalty[row.Variant] = map[string]float64{}
+		}
+		penalty[row.Variant][row.Ordering] = row.PenaltyCycles
+	}
+	for variant, p := range penalty {
+		if p["RDR"] >= p["ORI"] {
+			t.Errorf("%s: RDR penalty %v not below ORI %v", variant, p["RDR"], p["ORI"])
+		}
+	}
+}
+
+func TestGaussSeidelStudy(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.GaussSeidel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Jacobi results must be identical across orderings (the §5.1 note) up
+	// to summation-order rounding in the global-quality average.
+	for _, row := range r.Rows[1:] {
+		diff := row.JacobiFinal - r.Rows[0].JacobiFinal
+		if diff < 0 {
+			diff = -diff
+		}
+		if row.JacobiIters != r.Rows[0].JacobiIters || diff > 1e-9 {
+			t.Errorf("Jacobi results ordering-dependent: %+v vs %+v", row, r.Rows[0])
+		}
+	}
+	// Gauss-Seidel converges at least as fast as Jacobi here.
+	for _, row := range r.Rows {
+		if row.GSFinal < row.JacobiFinal-1e-9 && row.GSIters >= row.JacobiIters {
+			t.Errorf("%s: GS strictly worse than Jacobi", row.Ordering)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig7Result reproduces Figure 7: coarse representative renderings of the
+// nine test meshes (here as terminal rasters instead of vector figures).
+type Fig7Result struct {
+	Names   []string
+	Renders []string
+}
+
+// Fig7 renders every configured mesh.
+func (s *Suite) Fig7() (*Fig7Result, error) {
+	out := &Fig7Result{}
+	for _, name := range s.Cfg.Meshes {
+		m, err := s.Mesh(name)
+		if err != nil {
+			return nil, err
+		}
+		out.Names = append(out.Names, name)
+		out.Renders = append(out.Renders, m.Render(64, 24))
+	}
+	return out, nil
+}
+
+func (r *Fig7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 7 — the test meshes (coarse renderings)\n")
+	for i, name := range r.Names {
+		fmt.Fprintf(&b, "\n(%s)\n%s", name, r.Renders[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig7Renders(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Renders) != len(s.Cfg.Meshes) {
+		t.Fatalf("renders = %d", len(r.Renders))
+	}
+	for i, render := range r.Renders {
+		if !strings.Contains(render, ".") || !strings.Contains(render, "#") {
+			t.Errorf("%s: render missing interior or boundary cells", r.Names[i])
+		}
+	}
+	out := r.String()
+	for _, name := range s.Cfg.Meshes {
+		if !strings.Contains(out, "("+name+")") {
+			t.Errorf("render output missing %s", name)
+		}
+	}
+}

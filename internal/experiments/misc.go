@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"lams/internal/mesh"
+	"lams/internal/order"
+	"lams/internal/quality"
+	"lams/internal/reuse"
+	"lams/internal/smooth"
+	"lams/internal/stats"
+)
+
+// ---------------------------------------------------------------- Figure 4
+
+// Fig4Result reproduces Figure 4: excerpts of the node-visiting traces of
+// the smoother under DFS and BFS orderings, showing how BFS packs the
+// accessed locations together.
+type Fig4Result struct {
+	Mesh               string
+	DFSTrace, BFSTrace []int32
+	DFSSpan, BFSSpan   float64 // mean span of each smoothing step's accesses
+}
+
+// Fig4 extracts the trace excerpts (on a small mesh, as in the paper's
+// illustration).
+func (s *Suite) Fig4() (*Fig4Result, error) {
+	meshName := s.Cfg.Meshes[0]
+	out := &Fig4Result{Mesh: meshName}
+	for _, ordName := range []string{"DFS", "BFS"} {
+		streamFull, err := s.FirstIterStream(meshName, ordName)
+		if err != nil {
+			return nil, err
+		}
+		m, err := s.Reordered(meshName, ordName)
+		if err != nil {
+			return nil, err
+		}
+		span := meanStepSpan(m, streamFull)
+		excerpt := streamFull
+		if len(excerpt) > 24 {
+			mid := len(excerpt) / 2
+			excerpt = excerpt[mid : mid+24]
+		}
+		if ordName == "DFS" {
+			out.DFSTrace, out.DFSSpan = excerpt, span
+		} else {
+			out.BFSTrace, out.BFSSpan = excerpt, span
+		}
+	}
+	return out, nil
+}
+
+// meanStepSpan averages, over the interior vertices, the spread
+// (max-min position) of the locations touched while smoothing one vertex.
+func meanStepSpan(m *mesh.Mesh, _ []int32) float64 {
+	var total float64
+	n := 0
+	for _, v := range m.InteriorVerts {
+		lo, hi := v, v
+		for _, w := range m.Neighbors(v) {
+			if w < lo {
+				lo = w
+			}
+			if w > hi {
+				hi = w
+			}
+		}
+		total += float64(hi - lo)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+func (r *Fig4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — node visiting traces (%s mesh)\n", r.Mesh)
+	fmt.Fprintf(&b, "DFS trace: %v\n", r.DFSTrace)
+	fmt.Fprintf(&b, "BFS trace: %v\n", r.BFSTrace)
+	fmt.Fprintf(&b, "mean per-step access span: DFS %.0f, BFS %.0f (paper: BFS locations are much closer together)\n",
+		r.DFSSpan, r.BFSSpan)
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// Fig5Result reproduces the Figure 5 worked example: on a 13-node synthetic
+// mesh, the span of array positions touched when smoothing the worst
+// vertex under DFS vs BFS numbering (the paper reports spans 10 vs 7).
+type Fig5Result struct {
+	DFSSpan, BFSSpan int32
+}
+
+// Fig5 builds the small example mesh and measures the spans.
+func (s *Suite) Fig5() (*Fig5Result, error) {
+	m, err := fig5Mesh()
+	if err != nil {
+		return nil, err
+	}
+	vq := quality.VertexQualities(m, quality.EdgeRatio{})
+	if len(m.InteriorVerts) == 0 {
+		return nil, fmt.Errorf("experiments: fig5 mesh has no interior vertices")
+	}
+	worst := m.InteriorVerts[0]
+	for _, v := range m.InteriorVerts {
+		if vq[v] < vq[worst] {
+			worst = v
+		}
+	}
+	out := &Fig5Result{}
+	for _, ordName := range []string{"DFS", "BFS"} {
+		ord, err := order.ByName(ordName)
+		if err != nil {
+			return nil, err
+		}
+		perm, err := ord.Compute(m, vq)
+		if err != nil {
+			return nil, err
+		}
+		pos := order.Invert(perm)
+		lo, hi := pos[worst], pos[worst]
+		for _, w := range m.Neighbors(worst) {
+			if pos[w] < lo {
+				lo = pos[w]
+			}
+			if pos[w] > hi {
+				hi = pos[w]
+			}
+		}
+		if ordName == "DFS" {
+			out.DFSSpan = hi - lo + 1
+		} else {
+			out.BFSSpan = hi - lo + 1
+		}
+	}
+	return out, nil
+}
+
+// fig5Mesh builds a 13-vertex mesh: a center, an inner ring of 5 and an
+// outer ring of 7, triangulated — the same flavor of small example as the
+// paper's Figure 5. The center is nudged off-center so one vertex has
+// clearly the worst quality.
+func fig5Mesh() (*mesh.Mesh, error) {
+	pts, tris := SmallDiskMesh(5, 7)
+	return mesh.New(pts, tris)
+}
+
+func (r *Fig5Result) String() string {
+	return fmt.Sprintf("Figure 5 — access span on the 13-node example: DFS %d, BFS %d (paper: 10 vs 7)\n",
+		r.DFSSpan, r.BFSSpan)
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Fig6Result reproduces Figure 6: the reuse-distance profile of every
+// smoothing iteration (carabiner mesh, original ordering), demonstrating
+// that the pattern repeats across iterations — the observation RDR builds
+// on.
+type Fig6Result struct {
+	Mesh     string
+	Profiles [][]float64 // per iteration, 100-bucket mean stack distances
+	Means    []float64   // per-iteration mean distance
+	// Correlation is the mean Pearson correlation between consecutive
+	// iteration profiles (1 = identical shape).
+	Correlation float64
+}
+
+// Fig6 traces several iterations and compares their profiles.
+func (s *Suite) Fig6() (*Fig6Result, error) {
+	const meshName = "carabiner"
+	iters, err := s.ConvergedIters(meshName)
+	if err != nil {
+		return nil, err
+	}
+	if iters > 8 {
+		iters = 8 // the paper's Figure 6 execution has eight iterations
+	}
+	if iters < 2 {
+		iters = 2
+	}
+	tb, _, err := s.TraceRun(meshName, "ORI", 1, iters)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig6Result{Mesh: meshName}
+	var prev []float64
+	var corrs []float64
+	for it := 0; it < tb.Iterations(); it++ {
+		stream, err := tb.IterSlice(0, it)
+		if err != nil {
+			return nil, err
+		}
+		dists := reuse.StackDistances(reuse.Blocks(stream, s.VertsPerLine()))
+		prof := reuse.Profile(dists, 100)
+		out.Profiles = append(out.Profiles, prof)
+		out.Means = append(out.Means, reuse.Summarize(dists).Mean)
+		if prev != nil {
+			corrs = append(corrs, pearson(prev, prof))
+		}
+		prev = prof
+	}
+	out.Correlation = stats.Mean(corrs)
+	return out, nil
+}
+
+func pearson(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	ma, mb := stats.Mean(a[:n]), stats.Mean(b[:n])
+	var sab, saa, sbb float64
+	for i := 0; i < n; i++ {
+		da, db := a[i]-ma, b[i]-mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / (math.Sqrt(saa) * math.Sqrt(sbb))
+}
+
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 — reuse distance across iterations (%s, ORI)\n", r.Mesh)
+	for i, prof := range r.Profiles {
+		fmt.Fprintf(&b, "iter %d (mean %8.1f): %s\n", i+1, r.Means[i], stats.Sparkline(prof))
+	}
+	fmt.Fprintf(&b, "mean correlation between consecutive iteration profiles: %.3f (paper: patterns repeat)\n", r.Correlation)
+	return b.String()
+}
+
+// ---------------------------------------------------------------- §5.4 cost
+
+// CostRow is one mesh's reordering-cost accounting.
+type CostRow struct {
+	Mesh string
+	// OrderWall is the measured wall time of computing RDR.
+	OrderWall time.Duration
+	// IterWall is the measured wall time of one ORI smoothing iteration.
+	IterWall time.Duration
+	// ModelGainPerIter is the modeled per-iteration gain of RDR over ORI in
+	// seconds, and BreakEvenIters = model iteration cost / gain: the number
+	// of smoothing iterations after which reordering pays off (paper: >4).
+	ModelGainPerIter float64
+	BreakEvenIters   float64
+}
+
+// CostResult reproduces the §5.4 discussion of reordering cost.
+type CostResult struct {
+	Rows []CostRow
+}
+
+// Cost measures reordering cost against smoothing gain.
+func (s *Suite) Cost() (*CostResult, error) {
+	out := &CostResult{}
+	for _, name := range s.Cfg.Meshes {
+		ow, err := s.OrderTime(name, "RDR")
+		if err != nil {
+			return nil, err
+		}
+		m, err := s.Mesh(name)
+		if err != nil {
+			return nil, err
+		}
+		clone := m.Clone()
+		start := time.Now()
+		if _, err := smooth.Run(clone, smooth.Options{MaxIters: 1, Tol: -1}); err != nil {
+			return nil, err
+		}
+		iw := time.Since(start)
+
+		iters, err := s.ConvergedIters(name)
+		if err != nil {
+			return nil, err
+		}
+		estORI, err := s.ModeledTime(name, "ORI", 1)
+		if err != nil {
+			return nil, err
+		}
+		estRDR, err := s.ModeledTime(name, "RDR", 1)
+		if err != nil {
+			return nil, err
+		}
+		gainPerIter := (estORI.Seconds - estRDR.Seconds) / float64(iters)
+		iterCost := estORI.Seconds / float64(iters) // reordering ≈ one ORI iteration (§5.4)
+		row := CostRow{Mesh: name, OrderWall: ow, IterWall: iw, ModelGainPerIter: gainPerIter}
+		if gainPerIter > 0 {
+			row.BreakEvenIters = iterCost / gainPerIter
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func (r *CostResult) String() string {
+	var b strings.Builder
+	b.WriteString("§5.4 — reordering cost (paper: RDR costs ≈ one ORI iteration; pays off beyond ~4 iterations)\n")
+	t := &stats.Table{Header: []string{"mesh", "RDR order wall", "1 iter wall", "model gain/iter s", "break-even iters"}}
+	for _, row := range r.Rows {
+		t.AddRow(row.Mesh, row.OrderWall.String(), row.IterWall.String(), row.ModelGainPerIter, row.BreakEvenIters)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestNUMAStudy(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.NUMA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 { // 3 orderings x 3 core counts
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Local+row.Remote == 0 {
+			t.Errorf("%s/%d: no memory fetches recorded", row.Ordering, row.Cores)
+		}
+		if row.NUMACycles <= 0 || row.FlatCycles <= 0 {
+			t.Errorf("%s/%d: non-positive penalties", row.Ordering, row.Cores)
+		}
+		// With 4-way page interleave, roughly 3/4 of fetches are remote.
+		frac := float64(row.Remote) / float64(row.Local+row.Remote)
+		if frac < 0.4 || frac > 0.95 {
+			t.Errorf("%s/%d: remote fraction %.2f implausible", row.Ordering, row.Cores, frac)
+		}
+	}
+	if r.String() == "" {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lams/internal/perfmodel"
+	"lams/internal/stats"
+)
+
+// ---------------------------------------------------------------- Fig 10/12
+
+// ScalingResult holds the modeled scalability study shared by Figures 10,
+// 12 and 13: execution times for every (mesh, ordering, core count).
+type ScalingResult struct {
+	Cores     []int
+	Orderings []string
+	Meshes    []string
+	// Seconds[mesh][ordering][coreIdx] is the modeled execution time.
+	Seconds map[string]map[string][]float64
+}
+
+// Scaling runs the full sweep. Speedups are relative to the serial ORI time
+// of the same mesh, the paper's Speedup(ordering, p) = T_ORI(1)/T_ord(p).
+func (s *Suite) Scaling() (*ScalingResult, error) {
+	out := &ScalingResult{
+		Cores:     s.Cfg.CoreCounts,
+		Orderings: SerialOrderings,
+		Meshes:    s.Cfg.Meshes,
+		Seconds:   map[string]map[string][]float64{},
+	}
+	for _, name := range s.Cfg.Meshes {
+		out.Seconds[name] = map[string][]float64{}
+		for _, ordName := range SerialOrderings {
+			times := make([]float64, len(s.Cfg.CoreCounts))
+			for i, p := range s.Cfg.CoreCounts {
+				est, err := s.ModeledTime(name, ordName, p)
+				if err != nil {
+					return nil, err
+				}
+				times[i] = est.Seconds
+			}
+			out.Seconds[name][ordName] = times
+		}
+	}
+	return out, nil
+}
+
+// Speedup returns T_ORI(1)/T_ord(p) for one mesh.
+func (r *ScalingResult) Speedup(mesh, ordering string, coreIdx int) float64 {
+	base := r.Seconds[mesh]["ORI"][0]
+	return perfmodel.Speedup(base, r.Seconds[mesh][ordering][coreIdx])
+}
+
+// MeanSpeedups returns, per ordering, the mean speedup across meshes at
+// each core count — the Figure 12 curves.
+func (r *ScalingResult) MeanSpeedups() map[string][]float64 {
+	out := map[string][]float64{}
+	for _, ord := range r.Orderings {
+		curve := make([]float64, len(r.Cores))
+		for ci := range r.Cores {
+			var sp []float64
+			for _, mesh := range r.Meshes {
+				sp = append(sp, r.Speedup(mesh, ord, ci))
+			}
+			curve[ci] = stats.Mean(sp)
+		}
+		out[ord] = curve
+	}
+	return out
+}
+
+// Gains returns, per baseline ordering (ORI and BFS) and core count, the
+// mean RDR gain (T_algo - T_RDR)/T_algo across meshes — the Figure 13 bars.
+func (r *ScalingResult) Gains() map[string][]float64 {
+	out := map[string][]float64{}
+	for _, baseline := range []string{"ORI", "BFS"} {
+		curve := make([]float64, len(r.Cores))
+		for ci := range r.Cores {
+			var gs []float64
+			for _, mesh := range r.Meshes {
+				gs = append(gs, perfmodel.Gain(r.Seconds[mesh][baseline][ci], r.Seconds[mesh]["RDR"][ci]))
+			}
+			curve[ci] = stats.Mean(gs)
+		}
+		out[baseline] = curve
+	}
+	return out
+}
+
+// Fig10String renders the per-mesh speedup tables of Figure 10.
+func (r *ScalingResult) Fig10String() string {
+	var b strings.Builder
+	b.WriteString("Figure 10 — speedup vs serial ORI, per mesh\n")
+	for ci, p := range r.Cores {
+		fmt.Fprintf(&b, "\n%d core(s):\n", p)
+		t := &stats.Table{Header: []string{"mesh", "ORI", "BFS", "RDR"}}
+		for _, mesh := range r.Meshes {
+			t.AddRow(mesh, r.Speedup(mesh, "ORI", ci), r.Speedup(mesh, "BFS", ci), r.Speedup(mesh, "RDR", ci))
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+// Fig12String renders the mean-speedup curves of Figure 12.
+func (r *ScalingResult) Fig12String() string {
+	var b strings.Builder
+	b.WriteString("Figure 12 — mean speedup vs T_ORI(1) (paper: RDR > 75 at 32 cores)\n")
+	t := &stats.Table{Header: []string{"cores", "ORI", "BFS", "RDR"}}
+	mean := r.MeanSpeedups()
+	for ci, p := range r.Cores {
+		t.AddRow(p, mean["ORI"][ci], mean["BFS"][ci], mean["RDR"][ci])
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Fig13String renders the RDR gain bars of Figure 13.
+func (r *ScalingResult) Fig13String() string {
+	var b strings.Builder
+	b.WriteString("Figure 13 — RDR gain in execution time (%), mean over meshes (paper: 20-30% vs ORI, 10-30% vs BFS)\n")
+	t := &stats.Table{Header: []string{"cores", "vs ORI %", "vs BFS %"}}
+	gains := r.Gains()
+	for ci, p := range r.Cores {
+		t.AddRow(p, 100*gains["ORI"][ci], 100*gains["BFS"][ci])
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+func (r *ScalingResult) String() string {
+	return r.Fig10String() + "\n" + r.Fig12String() + "\n" + r.Fig13String()
+}
+
+// ---------------------------------------------------------------- Fig 11
+
+// Fig11Row is one (mesh, cores) row of Figure 11.
+type Fig11Row struct {
+	Mesh  string
+	Cores int
+	// L2Accesses etc. count accesses reaching each memory level (i.e.
+	// misses of the level above), aggregated over cores — the quantities
+	// plotted in Figure 11.
+	L2Accesses, L3Accesses, MemAccesses int64
+}
+
+// Fig11Result reproduces Figure 11: the number of L2/L3/memory accesses of
+// the ORI ordering as a function of the core count, for the first three
+// meshes.
+type Fig11Result struct {
+	Rows []Fig11Row
+}
+
+// Fig11 runs the access-count scaling study.
+func (s *Suite) Fig11() (*Fig11Result, error) {
+	out := &Fig11Result{}
+	meshes := s.Cfg.Meshes
+	if len(meshes) > 3 {
+		meshes = meshes[:3] // carabiner, crake, dialog as in the paper
+	}
+	for _, name := range meshes {
+		for _, p := range s.Cfg.CoreCounts {
+			est, err := s.ModeledTime(name, "ORI", p)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig11Row{Mesh: name, Cores: p, MemAccesses: est.MemAccesses}
+			if len(est.Levels) >= 2 {
+				row.L2Accesses = est.Levels[1].Accesses
+			}
+			if len(est.Levels) >= 3 {
+				row.L3Accesses = est.Levels[2].Accesses
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func (r *Fig11Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 11 — accesses per memory level vs cores (ORI; paper: distances shrink with cores)\n")
+	t := &stats.Table{Header: []string{"mesh", "cores", "#L2 acc", "#L3 acc", "#mem acc"}}
+	for _, row := range r.Rows {
+		t.AddRow(row.Mesh, row.Cores, row.L2Accesses, row.L3Accesses, row.MemAccesses)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,273 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment is a function on a Suite returning a
+// result struct with a String renderer; cmd/lamsbench and the repository
+// benchmarks drive them. The per-experiment index lives in DESIGN.md and the
+// paper-vs-measured record in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lams/internal/reuse"
+
+	"lams/internal/mesh"
+	"lams/internal/order"
+	"lams/internal/perfmodel"
+	"lams/internal/quality"
+	"lams/internal/smooth"
+	"lams/internal/trace"
+)
+
+// Config scales the experiment suite. The paper's meshes have 300–400k
+// vertices; the default here is smaller so the full suite runs in seconds,
+// and the -full flag of cmd/lamsbench restores the Table 1 magnitudes.
+type Config struct {
+	// MeshVerts is the target vertex count per mesh (default 20000).
+	MeshVerts int
+	// Meshes selects which of the nine meshes to use (default: all).
+	Meshes []string
+	// TraceIters is the number of smoothing iterations traced for the
+	// locality analyses (default 2: one cold + one steady-state; the paper
+	// observes the pattern is identical across iterations, Fig. 6).
+	TraceIters int
+	// Model is the Westmere-EX performance model.
+	Model perfmodel.Model
+	// CoreCounts are the thread counts of the scalability study.
+	CoreCounts []int
+}
+
+// DefaultConfig returns the configuration used by cmd/lamsbench and the
+// benchmarks.
+func DefaultConfig() Config {
+	return ConfigForSize(20000)
+}
+
+// ConfigForSize returns the default configuration at a given mesh size, with
+// the cache model scaled to match (see cache.Scaled).
+func ConfigForSize(meshVerts int) Config {
+	return Config{
+		MeshVerts:  meshVerts,
+		Meshes:     []string{"carabiner", "crake", "dialog", "lake", "riverflow", "ocean", "stress", "valve", "wrench"},
+		TraceIters: 2,
+		Model:      perfmodel.ForMeshSize(meshVerts),
+		CoreCounts: []int{1, 2, 4, 8, 16, 24, 32},
+	}
+}
+
+// Suite lazily generates and caches meshes, orderings, traces and
+// convergence data shared between experiments.
+type Suite struct {
+	Cfg Config
+
+	mu         sync.Mutex
+	meshes     map[string]*mesh.Mesh
+	reordered  map[string]*mesh.Mesh // key: mesh/ordering
+	orderTimes map[string]time.Duration
+	iterCounts map[string]int // converged iteration counts per mesh
+	estimates  map[string]perfmodel.Estimate
+}
+
+// NewSuite creates a Suite for the given configuration.
+func NewSuite(cfg Config) *Suite {
+	if cfg.MeshVerts == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Suite{
+		Cfg:        cfg,
+		meshes:     make(map[string]*mesh.Mesh),
+		reordered:  make(map[string]*mesh.Mesh),
+		orderTimes: make(map[string]time.Duration),
+		iterCounts: make(map[string]int),
+		estimates:  make(map[string]perfmodel.Estimate),
+	}
+}
+
+// Mesh returns the named generated mesh (cached).
+func (s *Suite) Mesh(name string) (*mesh.Mesh, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.meshes[name]; ok {
+		return m, nil
+	}
+	m, err := mesh.Generate(name, s.Cfg.MeshVerts)
+	if err != nil {
+		return nil, err
+	}
+	s.meshes[name] = m
+	return m, nil
+}
+
+// Reordered returns the named mesh relabeled by the named ordering
+// (cached). The ORI ordering returns the generated mesh itself.
+func (s *Suite) Reordered(meshName, ordName string) (*mesh.Mesh, error) {
+	if ordName == "ORI" {
+		return s.Mesh(meshName)
+	}
+	key := meshName + "/" + ordName
+	s.mu.Lock()
+	if m, ok := s.reordered[key]; ok {
+		s.mu.Unlock()
+		return m, nil
+	}
+	s.mu.Unlock()
+
+	base, err := s.Mesh(meshName)
+	if err != nil {
+		return nil, err
+	}
+	ord, err := order.ByName(ordName)
+	if err != nil {
+		return nil, err
+	}
+	vq := quality.VertexQualities(base, quality.EdgeRatio{})
+	start := time.Now()
+	perm, err := ord.Compute(base, vq)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", ordName, meshName, err)
+	}
+	rm, err := base.Renumber(perm)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.reordered[key] = rm
+	s.orderTimes[key] = elapsed
+	s.mu.Unlock()
+	return rm, nil
+}
+
+// OrderTime returns how long the cached ordering computation took; it
+// forces the ordering to be computed first.
+func (s *Suite) OrderTime(meshName, ordName string) (time.Duration, error) {
+	if _, err := s.Reordered(meshName, ordName); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.orderTimes[meshName+"/"+ordName], nil
+}
+
+// ConvergedIters returns the number of iterations Laplacian smoothing takes
+// to converge on the named mesh with the paper's criterion. Jacobi updates
+// make the count ordering-independent, matching §5.1's note.
+func (s *Suite) ConvergedIters(meshName string) (int, error) {
+	s.mu.Lock()
+	if n, ok := s.iterCounts[meshName]; ok {
+		s.mu.Unlock()
+		return n, nil
+	}
+	s.mu.Unlock()
+
+	m, err := s.Mesh(meshName)
+	if err != nil {
+		return 0, err
+	}
+	res, err := smooth.Run(m.Clone(), smooth.Options{})
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.iterCounts[meshName] = res.Iterations
+	s.mu.Unlock()
+	return res.Iterations, nil
+}
+
+// TraceRun smooths a clone of (meshName, ordName) with the given worker
+// count for iters iterations (Cfg.TraceIters when iters is 0), recording
+// the access trace.
+func (s *Suite) TraceRun(meshName, ordName string, workers, iters int) (*trace.Buffer, smooth.Result, error) {
+	if iters == 0 {
+		iters = s.Cfg.TraceIters
+	}
+	m, err := s.Reordered(meshName, ordName)
+	if err != nil {
+		return nil, smooth.Result{}, err
+	}
+	tb := trace.NewBuffer(workers)
+	res, err := smooth.Run(m.Clone(), smooth.Options{
+		Workers:  workers,
+		MaxIters: iters,
+		Tol:      -1,
+		Trace:    tb,
+	})
+	if err != nil {
+		return nil, smooth.Result{}, err
+	}
+	return tb, res, nil
+}
+
+// ModeledTime returns the Westmere-EX execution-time estimate for smoothing
+// (meshName, ordName) on `workers` cores, extrapolated to the converged
+// iteration count (cached). The cache penalty is measured over
+// Cfg.TraceIters iterations; the first carries the compulsory misses and
+// the rest are steady state, so scaling to the full run is linear in the
+// steady-state part.
+func (s *Suite) ModeledTime(meshName, ordName string, workers int) (perfmodel.Estimate, error) {
+	key := fmt.Sprintf("%s/%s/%d", meshName, ordName, workers)
+	s.mu.Lock()
+	if est, ok := s.estimates[key]; ok {
+		s.mu.Unlock()
+		return est, nil
+	}
+	s.mu.Unlock()
+
+	totalIters, err := s.ConvergedIters(meshName)
+	if err != nil {
+		return perfmodel.Estimate{}, err
+	}
+	traced := s.Cfg.TraceIters
+	if traced > totalIters {
+		traced = totalIters
+	}
+	tbFull, _, err := s.TraceRun(meshName, ordName, workers, traced)
+	if err != nil {
+		return perfmodel.Estimate{}, err
+	}
+	full, err := s.Cfg.Model.Run(tbFull)
+	if err != nil {
+		return perfmodel.Estimate{}, err
+	}
+	est := full
+	if traced >= 2 && totalIters > traced {
+		tbFirst, _, err := s.TraceRun(meshName, ordName, workers, 1)
+		if err != nil {
+			return perfmodel.Estimate{}, err
+		}
+		first, err := s.Cfg.Model.Run(tbFirst)
+		if err != nil {
+			return perfmodel.Estimate{}, err
+		}
+		est = perfmodel.ScaleEstimate(full, first, traced, totalIters)
+	}
+	s.mu.Lock()
+	s.estimates[key] = est
+	s.mu.Unlock()
+	return est, nil
+}
+
+// FirstIterStream returns the serial first-iteration access stream for
+// (meshName, ordName): the stream Figures 1/4 and Table 2 analyze.
+func (s *Suite) FirstIterStream(meshName, ordName string) ([]int32, error) {
+	tb, _, err := s.TraceRun(meshName, ordName, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	return tb.Core(0), nil
+}
+
+// VertsPerLine is the number of vertex records per cache line, the
+// granularity of the reuse-distance analyses.
+func (s *Suite) VertsPerLine() int { return s.Cfg.Model.Cache.VertsPerLine() }
+
+// FirstIterBlocks returns the first-iteration access stream mapped to cache
+// lines — the granularity at which orderings change locality.
+func (s *Suite) FirstIterBlocks(meshName, ordName string) ([]int32, error) {
+	stream, err := s.FirstIterStream(meshName, ordName)
+	if err != nil {
+		return nil, err
+	}
+	return reuse.Blocks(stream, s.VertsPerLine()), nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"math"
+
+	"lams/internal/geom"
+)
+
+// SmallDiskMesh builds a tiny hand-triangulated disk: one center vertex, an
+// inner ring of `inner` vertices and an outer ring of `outer` vertices, with
+// fan triangles center-to-inner and a strip between the rings. With
+// inner=5, outer=7 the mesh has 13 vertices like the paper's Figure 5
+// example. The center is displaced so its quality is clearly the worst.
+func SmallDiskMesh(inner, outer int) ([]geom.Point, [][3]int32) {
+	pts := make([]geom.Point, 0, 1+inner+outer)
+	pts = append(pts, geom.Point{X: 0.31, Y: 0.17}) // off-center center vertex
+	for i := 0; i < inner; i++ {
+		a := 2 * math.Pi * float64(i) / float64(inner)
+		pts = append(pts, geom.Point{X: math.Cos(a), Y: math.Sin(a)})
+	}
+	for i := 0; i < outer; i++ {
+		a := 2*math.Pi*float64(i)/float64(outer) + 0.2
+		pts = append(pts, geom.Point{X: 2 * math.Cos(a), Y: 2 * math.Sin(a)})
+	}
+
+	var tris [][3]int32
+	ccw := func(a, b, c int32) {
+		if geom.Orient2D(pts[a], pts[b], pts[c]) == geom.Clockwise {
+			b, c = c, b
+		}
+		tris = append(tris, [3]int32{a, b, c})
+	}
+	// Fan center -> inner ring.
+	for i := 0; i < inner; i++ {
+		a := int32(1 + i)
+		b := int32(1 + (i+1)%inner)
+		ccw(0, a, b)
+	}
+	// Strip between rings: advance along whichever ring is "behind" in
+	// angle, connecting inner ring vertex ii to outer ring vertex oi.
+	angle := func(p geom.Point) float64 { return math.Atan2(p.Y, p.X) }
+	unwrap := func(a, ref float64) float64 {
+		for a < ref-math.Pi {
+			a += 2 * math.Pi
+		}
+		return a
+	}
+	ii, oi := 0, 0
+	for steps := 0; steps < inner+outer; steps++ {
+		iv := int32(1 + ii%inner)
+		ov := int32(1 + inner + oi%outer)
+		ivn := int32(1 + (ii+1)%inner)
+		ovn := int32(1 + inner + (oi+1)%outer)
+		ai := unwrap(angle(pts[ivn]), angle(pts[iv]))
+		ao := unwrap(angle(pts[ovn]), angle(pts[ov]))
+		if (ai <= ao && ii < inner) || oi >= outer {
+			ccw(iv, ov, ivn)
+			ii++
+		} else {
+			ccw(iv, ov, ovn)
+			oi++
+		}
+	}
+	return pts, tris
+}

@@ -1,0 +1,271 @@
+// Package geom provides the 2D geometry kernel used by the mesh generator
+// and the mesh quality metrics: points, vectors, orientation and in-circle
+// predicates, bounding boxes, polygons and point-in-polygon tests.
+//
+// The predicates use floating-point filters with an error-bound fallback in
+// the style of Shewchuk's adaptive predicates: the fast float64 expression is
+// trusted only when its magnitude exceeds a conservative rounding-error
+// bound; otherwise the computation is repeated in exact big.Rat arithmetic.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Point is a point (or vector) in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns s*p.
+func (p Point) Scale(s float64) Point { return Point{s * p.X, s * p.Y} }
+
+// Dot returns the dot product p·q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p x q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return p.Sub(q).Norm() }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 {
+	d := p.Sub(q)
+	return d.X*d.X + d.Y*d.Y
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Lerp returns the linear interpolation (1-t)*p + t*q.
+func Lerp(p, q Point, t float64) Point {
+	return Point{p.X + t*(q.X-p.X), p.Y + t*(q.Y-p.Y)}
+}
+
+// Midpoint returns the midpoint of p and q.
+func Midpoint(p, q Point) Point { return Lerp(p, q, 0.5) }
+
+// Orientation classifies the turn a->b->c.
+type Orientation int
+
+// Possible orientations of an ordered point triple.
+const (
+	Clockwise        Orientation = -1
+	Collinear        Orientation = 0
+	CounterClockwise Orientation = 1
+)
+
+func (o Orientation) String() string {
+	switch o {
+	case Clockwise:
+		return "clockwise"
+	case CounterClockwise:
+		return "counterclockwise"
+	default:
+		return "collinear"
+	}
+}
+
+// epsilon used in the floating-point filters. 2^-52.
+const macheps = 2.220446049250313e-16
+
+// orient2dFilterCoeff bounds the rounding error of the fast orientation
+// determinant: |err| <= coeff * (|detLeft| + |detRight|).
+// The constant follows Shewchuk's ccwerrboundA = (3 + 16*eps)*eps.
+var orient2dFilterCoeff = (3.0 + 16.0*macheps) * macheps
+
+// Orient2D returns the orientation of the triple (a, b, c):
+// CounterClockwise when c lies to the left of the directed line a->b,
+// Clockwise when to the right, Collinear when exactly on it.
+// A floating-point filter decides when the fast path is trustworthy; the
+// slow path evaluates the determinant exactly with rational arithmetic.
+func Orient2D(a, b, c Point) Orientation {
+	detLeft := (a.X - c.X) * (b.Y - c.Y)
+	detRight := (a.Y - c.Y) * (b.X - c.X)
+	det := detLeft - detRight
+
+	var detSum float64
+	switch {
+	case detLeft > 0:
+		if detRight <= 0 {
+			return signOf(det)
+		}
+		detSum = detLeft + detRight
+	case detLeft < 0:
+		if detRight >= 0 {
+			return signOf(det)
+		}
+		detSum = -detLeft - detRight
+	default:
+		return signOf(det)
+	}
+	errBound := orient2dFilterCoeff * detSum
+	if det >= errBound || -det >= errBound {
+		return signOf(det)
+	}
+	return orient2DExact(a, b, c)
+}
+
+// Orient2DValue returns twice the signed area of triangle abc (positive when
+// counterclockwise). It is the raw determinant without the exact fallback and
+// is intended for area/quality computations, not topological decisions.
+func Orient2DValue(a, b, c Point) float64 {
+	return (a.X-c.X)*(b.Y-c.Y) - (a.Y-c.Y)*(b.X-c.X)
+}
+
+func signOf(v float64) Orientation {
+	switch {
+	case v > 0:
+		return CounterClockwise
+	case v < 0:
+		return Clockwise
+	default:
+		return Collinear
+	}
+}
+
+func orient2DExact(a, b, c Point) Orientation {
+	ax, ay := new(big.Rat).SetFloat64(a.X), new(big.Rat).SetFloat64(a.Y)
+	bx, by := new(big.Rat).SetFloat64(b.X), new(big.Rat).SetFloat64(b.Y)
+	cx, cy := new(big.Rat).SetFloat64(c.X), new(big.Rat).SetFloat64(c.Y)
+
+	l := new(big.Rat).Mul(new(big.Rat).Sub(ax, cx), new(big.Rat).Sub(by, cy))
+	r := new(big.Rat).Mul(new(big.Rat).Sub(ay, cy), new(big.Rat).Sub(bx, cx))
+	return Orientation(l.Cmp(r))
+}
+
+// inCircleFilterCoeff follows Shewchuk's iccerrboundA = (10 + 96*eps)*eps.
+var inCircleFilterCoeff = (10.0 + 96.0*macheps) * macheps
+
+// InCircle reports whether point d lies strictly inside the circumcircle of
+// the counterclockwise-oriented triangle (a, b, c). It returns
+// CounterClockwise when d is inside, Clockwise when outside, and Collinear
+// when d is exactly on the circle. The caller must pass (a, b, c) in
+// counterclockwise order; with clockwise input the sign flips.
+func InCircle(a, b, c, d Point) Orientation {
+	adx, ady := a.X-d.X, a.Y-d.Y
+	bdx, bdy := b.X-d.X, b.Y-d.Y
+	cdx, cdy := c.X-d.X, c.Y-d.Y
+
+	bdxcdy, cdxbdy := bdx*cdy, cdx*bdy
+	alift := adx*adx + ady*ady
+
+	cdxady, adxcdy := cdx*ady, adx*cdy
+	blift := bdx*bdx + bdy*bdy
+
+	adxbdy, bdxady := adx*bdy, bdx*ady
+	clift := cdx*cdx + cdy*cdy
+
+	det := alift*(bdxcdy-cdxbdy) + blift*(cdxady-adxcdy) + clift*(adxbdy-bdxady)
+
+	permanent := (math.Abs(bdxcdy)+math.Abs(cdxbdy))*alift +
+		(math.Abs(cdxady)+math.Abs(adxcdy))*blift +
+		(math.Abs(adxbdy)+math.Abs(bdxady))*clift
+	errBound := inCircleFilterCoeff * permanent
+	if det > errBound || -det > errBound {
+		return signOf(det)
+	}
+	return inCircleExact(a, b, c, d)
+}
+
+func inCircleExact(a, b, c, d Point) Orientation {
+	rat := func(f float64) *big.Rat { return new(big.Rat).SetFloat64(f) }
+	sub := func(x, y *big.Rat) *big.Rat { return new(big.Rat).Sub(x, y) }
+	mul := func(x, y *big.Rat) *big.Rat { return new(big.Rat).Mul(x, y) }
+	add := func(x, y *big.Rat) *big.Rat { return new(big.Rat).Add(x, y) }
+
+	dx, dy := rat(d.X), rat(d.Y)
+	adx, ady := sub(rat(a.X), dx), sub(rat(a.Y), dy)
+	bdx, bdy := sub(rat(b.X), dx), sub(rat(b.Y), dy)
+	cdx, cdy := sub(rat(c.X), dx), sub(rat(c.Y), dy)
+
+	alift := add(mul(adx, adx), mul(ady, ady))
+	blift := add(mul(bdx, bdx), mul(bdy, bdy))
+	clift := add(mul(cdx, cdx), mul(cdy, cdy))
+
+	t1 := mul(alift, sub(mul(bdx, cdy), mul(cdx, bdy)))
+	t2 := mul(blift, sub(mul(cdx, ady), mul(adx, cdy)))
+	t3 := mul(clift, sub(mul(adx, bdy), mul(bdx, ady)))
+
+	det := add(add(t1, t2), t3)
+	return Orientation(det.Sign())
+}
+
+// Circumcenter returns the circumcenter of triangle (a, b, c) and true, or a
+// zero Point and false when the triangle is degenerate (collinear vertices).
+func Circumcenter(a, b, c Point) (Point, bool) {
+	d := 2 * ((a.X-c.X)*(b.Y-c.Y) - (a.Y-c.Y)*(b.X-c.X))
+	if d == 0 {
+		return Point{}, false
+	}
+	al := a.Dist2(c)
+	bl := b.Dist2(c)
+	ux := c.X + (al*(b.Y-c.Y)-bl*(a.Y-c.Y))/d
+	uy := c.Y + (bl*(a.X-c.X)-al*(b.X-c.X))/d
+	return Point{ux, uy}, true
+}
+
+// TriangleArea returns the (positive) area of triangle abc.
+func TriangleArea(a, b, c Point) float64 {
+	return math.Abs(Orient2DValue(a, b, c)) / 2
+}
+
+// Centroid returns the centroid of triangle abc.
+func Centroid(a, b, c Point) Point {
+	return Point{(a.X + b.X + c.X) / 3, (a.Y + b.Y + c.Y) / 3}
+}
+
+// Rect is an axis-aligned bounding box.
+type Rect struct {
+	Min, Max Point
+}
+
+// EmptyRect returns a rectangle that Extend can grow from.
+func EmptyRect() Rect {
+	inf := math.Inf(1)
+	return Rect{Min: Point{inf, inf}, Max: Point{-inf, -inf}}
+}
+
+// Extend grows r to include p.
+func (r *Rect) Extend(p Point) {
+	r.Min.X = math.Min(r.Min.X, p.X)
+	r.Min.Y = math.Min(r.Min.Y, p.Y)
+	r.Max.X = math.Max(r.Max.X, p.X)
+	r.Max.Y = math.Max(r.Max.Y, p.Y)
+}
+
+// Width returns the x extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the y extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point { return Midpoint(r.Min, r.Max) }
+
+// Contains reports whether p lies inside or on the boundary of r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// BoundsOf returns the bounding box of pts. It returns the empty rect when
+// pts is empty.
+func BoundsOf(pts []Point) Rect {
+	r := EmptyRect()
+	for _, p := range pts {
+		r.Extend(p)
+	}
+	return r
+}

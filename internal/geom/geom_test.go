@@ -1,0 +1,213 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -1}
+	if got := p.Add(q); got != (Point{4, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 1 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != -7 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := (Point{3, 4}).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := p.Dist(p); got != 0 {
+		t.Errorf("Dist self = %v", got)
+	}
+	if got := (Point{0, 0}).Dist2(Point{3, 4}); got != 25 {
+		t.Errorf("Dist2 = %v", got)
+	}
+}
+
+func TestLerpMidpoint(t *testing.T) {
+	a, b := Point{0, 0}, Point{2, 4}
+	if got := Lerp(a, b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := Lerp(a, b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := Midpoint(a, b); got != (Point{1, 2}) {
+		t.Errorf("Midpoint = %v", got)
+	}
+}
+
+func TestOrient2DBasic(t *testing.T) {
+	a, b := Point{0, 0}, Point{1, 0}
+	cases := []struct {
+		c    Point
+		want Orientation
+	}{
+		{Point{0, 1}, CounterClockwise},
+		{Point{0, -1}, Clockwise},
+		{Point{2, 0}, Collinear},
+		{Point{-5, 0}, Collinear},
+		{Point{0.5, 1e-9}, CounterClockwise},
+	}
+	for _, tc := range cases {
+		if got := Orient2D(a, b, tc.c); got != tc.want {
+			t.Errorf("Orient2D(%v,%v,%v) = %v, want %v", a, b, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestOrient2DExactFallback(t *testing.T) {
+	// Points nearly collinear: the float determinant is in the rounding
+	// noise, forcing the exact path. The third point is constructed exactly
+	// on the line through a and b, then nudged by one ulp.
+	a := Point{0, 0}
+	b := Point{1e-20, 1e-20} // direction (1,1), tiny magnitude
+	c := Point{3, 3}
+	if got := Orient2D(a, b, c); got != Collinear {
+		t.Errorf("exactly collinear points classified %v", got)
+	}
+	c2 := Point{3, math.Nextafter(3, 4)}
+	if got := Orient2D(a, b, c2); got != CounterClockwise {
+		t.Errorf("one-ulp-left point classified %v", got)
+	}
+	c3 := Point{3, math.Nextafter(3, 2)}
+	if got := Orient2D(a, b, c3); got != Clockwise {
+		t.Errorf("one-ulp-right point classified %v", got)
+	}
+}
+
+func TestOrient2DAntisymmetry(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := Point{ax, ay}, Point{bx, by}, Point{cx, cy}
+		return Orient2D(a, b, c) == -Orient2D(b, a, c)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrient2DRotationInvariance(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := Point{ax, ay}, Point{bx, by}, Point{cx, cy}
+		o1 := Orient2D(a, b, c)
+		o2 := Orient2D(b, c, a)
+		o3 := Orient2D(c, a, b)
+		return o1 == o2 && o2 == o3
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInCircleBasic(t *testing.T) {
+	// Unit circle through three points; CCW order.
+	a, b, c := Point{1, 0}, Point{0, 1}, Point{-1, 0}
+	if got := InCircle(a, b, c, Point{0, 0}); got != CounterClockwise {
+		t.Errorf("center not inside: %v", got)
+	}
+	if got := InCircle(a, b, c, Point{2, 2}); got != Clockwise {
+		t.Errorf("far point not outside: %v", got)
+	}
+	if got := InCircle(a, b, c, Point{0, -1}); got != Collinear {
+		t.Errorf("cocircular point not on circle: %v", got)
+	}
+}
+
+func TestInCircleNearBoundary(t *testing.T) {
+	a, b, c := Point{1, 0}, Point{0, 1}, Point{-1, 0}
+	in := Point{0, -1 + 1e-12}
+	out := Point{0, -1 - 1e-12}
+	if got := InCircle(a, b, c, in); got != CounterClockwise {
+		t.Errorf("just-inside point: %v", got)
+	}
+	if got := InCircle(a, b, c, out); got != Clockwise {
+		t.Errorf("just-outside point: %v", got)
+	}
+}
+
+func TestCircumcenter(t *testing.T) {
+	cc, ok := Circumcenter(Point{1, 0}, Point{0, 1}, Point{-1, 0})
+	if !ok {
+		t.Fatal("degenerate reported for valid triangle")
+	}
+	if math.Abs(cc.X) > 1e-12 || math.Abs(cc.Y) > 1e-12 {
+		t.Errorf("circumcenter = %v, want origin", cc)
+	}
+	if _, ok := Circumcenter(Point{0, 0}, Point{1, 1}, Point{2, 2}); ok {
+		t.Error("collinear points should report degenerate")
+	}
+}
+
+func TestCircumcenterEquidistant(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		cc, ok := Circumcenter(a, b, c)
+		if !ok {
+			return true // degenerate input
+		}
+		da, db, dc := cc.Dist(a), cc.Dist(b), cc.Dist(c)
+		scale := 1 + da
+		return math.Abs(da-db) < 1e-9*scale && math.Abs(da-dc) < 1e-9*scale
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleAreaCentroid(t *testing.T) {
+	a, b, c := Point{0, 0}, Point{4, 0}, Point{0, 3}
+	if got := TriangleArea(a, b, c); got != 6 {
+		t.Errorf("area = %v", got)
+	}
+	if got := TriangleArea(a, c, b); got != 6 {
+		t.Errorf("area orientation-dependent: %v", got)
+	}
+	cen := Centroid(a, b, c)
+	if math.Abs(cen.X-4.0/3) > 1e-15 || math.Abs(cen.Y-1) > 1e-15 {
+		t.Errorf("centroid = %v", cen)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := EmptyRect()
+	r.Extend(Point{1, 2})
+	r.Extend(Point{-1, 5})
+	if r.Min != (Point{-1, 2}) || r.Max != (Point{1, 5}) {
+		t.Fatalf("rect = %+v", r)
+	}
+	if r.Width() != 2 || r.Height() != 3 {
+		t.Errorf("dims = %v x %v", r.Width(), r.Height())
+	}
+	if r.Center() != (Point{0, 3.5}) {
+		t.Errorf("center = %v", r.Center())
+	}
+	if !r.Contains(Point{0, 3}) || r.Contains(Point{2, 3}) {
+		t.Error("Contains wrong")
+	}
+	if b := BoundsOf(nil); b.Contains(Point{0, 0}) {
+		t.Error("empty bounds should contain nothing")
+	}
+}
+
+func TestOrientationString(t *testing.T) {
+	if Clockwise.String() != "clockwise" || CounterClockwise.String() != "counterclockwise" || Collinear.String() != "collinear" {
+		t.Error("Orientation.String mismatch")
+	}
+}

@@ -1,0 +1,68 @@
+package geom
+
+// HilbertIndex returns the index of cell (x, y) along a Hilbert curve of the
+// given order (the curve fills a 2^order x 2^order grid). Both coordinates
+// must be < 2^order.
+func HilbertIndex(x, y uint32, order uint) uint64 {
+	var d uint64
+	for s := uint32(1) << (order - 1); s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		// Rotate the quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}
+
+// MortonIndex returns the Z-order (Morton) index of cell (x, y) by
+// interleaving the low 16 bits of x and y.
+func MortonIndex(x, y uint32) uint64 {
+	return interleave16(x) | interleave16(y)<<1
+}
+
+func interleave16(v uint32) uint64 {
+	x := uint64(v & 0xFFFF)
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// HilbertSortKeys maps points into a 2^order grid over their bounding box and
+// returns the Hilbert index of each point. Ties are possible when points
+// share a grid cell; callers sort by (key, index) for determinism.
+func HilbertSortKeys(pts []Point, order uint) []uint64 {
+	keys := make([]uint64, len(pts))
+	if len(pts) == 0 {
+		return keys
+	}
+	b := BoundsOf(pts)
+	w, h := b.Width(), b.Height()
+	if w == 0 {
+		w = 1
+	}
+	if h == 0 {
+		h = 1
+	}
+	side := float64(uint32(1)<<order - 1)
+	for i, p := range pts {
+		gx := uint32((p.X - b.Min.X) / w * side)
+		gy := uint32((p.Y - b.Min.Y) / h * side)
+		keys[i] = HilbertIndex(gx, gy, order)
+	}
+	return keys
+}

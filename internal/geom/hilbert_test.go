@@ -1,0 +1,100 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHilbertIndexBijective(t *testing.T) {
+	const order = 4 // 16x16 grid
+	seen := make(map[uint64]bool)
+	for x := uint32(0); x < 16; x++ {
+		for y := uint32(0); y < 16; y++ {
+			d := HilbertIndex(x, y, order)
+			if d >= 256 {
+				t.Fatalf("index %d out of range for order %d", d, order)
+			}
+			if seen[d] {
+				t.Fatalf("duplicate index %d at (%d,%d)", d, x, y)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestHilbertAdjacency(t *testing.T) {
+	// Consecutive Hilbert indices map to 4-adjacent cells: invert the curve
+	// by scanning the grid once.
+	const order = 5
+	side := uint32(1) << order
+	cells := make([][2]uint32, side*side)
+	for x := uint32(0); x < side; x++ {
+		for y := uint32(0); y < side; y++ {
+			cells[HilbertIndex(x, y, order)] = [2]uint32{x, y}
+		}
+	}
+	for i := 1; i < len(cells); i++ {
+		dx := int(cells[i][0]) - int(cells[i-1][0])
+		dy := int(cells[i][1]) - int(cells[i-1][1])
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("cells %d and %d not adjacent: %v -> %v", i-1, i, cells[i-1], cells[i])
+		}
+	}
+}
+
+func TestMortonIndex(t *testing.T) {
+	if got := MortonIndex(0, 0); got != 0 {
+		t.Errorf("Morton(0,0) = %d", got)
+	}
+	if got := MortonIndex(1, 0); got != 1 {
+		t.Errorf("Morton(1,0) = %d", got)
+	}
+	if got := MortonIndex(0, 1); got != 2 {
+		t.Errorf("Morton(0,1) = %d", got)
+	}
+	if got := MortonIndex(3, 3); got != 15 {
+		t.Errorf("Morton(3,3) = %d", got)
+	}
+}
+
+func TestMortonBijective(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(4))}
+	f := func(x1, y1, x2, y2 uint16) bool {
+		same := x1 == x2 && y1 == y2
+		return (MortonIndex(uint32(x1), uint32(y1)) == MortonIndex(uint32(x2), uint32(y2))) == same
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHilbertSortKeys(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 1}, {0.1, 0.1}, {0.9, 0.9}}
+	keys := HilbertSortKeys(pts, 8)
+	if len(keys) != 4 {
+		t.Fatalf("len = %d", len(keys))
+	}
+	// Nearby points should have closer keys than far points.
+	d01 := absDiff(keys[0], keys[2]) // (0,0) vs (0.1,0.1)
+	d03 := absDiff(keys[0], keys[1]) // (0,0) vs (1,1)
+	if d01 >= d03 {
+		t.Errorf("near pair key distance %d >= far pair %d", d01, d03)
+	}
+	if got := HilbertSortKeys(nil, 8); len(got) != 0 {
+		t.Error("nil input should give empty keys")
+	}
+	// Degenerate: all points identical (zero-size bounds) must not panic.
+	same := []Point{{2, 3}, {2, 3}}
+	k := HilbertSortKeys(same, 8)
+	if k[0] != k[1] {
+		t.Error("identical points should share a key")
+	}
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,142 @@
+package geom
+
+import "math"
+
+// Polygon is a simple closed polygon given by its vertices in order.
+// The closing edge from the last vertex back to the first is implicit.
+type Polygon []Point
+
+// SignedArea returns the signed area of the polygon: positive when the
+// vertices wind counterclockwise.
+func (pg Polygon) SignedArea() float64 {
+	if len(pg) < 3 {
+		return 0
+	}
+	var s float64
+	for i, p := range pg {
+		q := pg[(i+1)%len(pg)]
+		s += p.Cross(q)
+	}
+	return s / 2
+}
+
+// Area returns the absolute area of the polygon.
+func (pg Polygon) Area() float64 { return math.Abs(pg.SignedArea()) }
+
+// Perimeter returns the total edge length of the polygon.
+func (pg Polygon) Perimeter() float64 {
+	var s float64
+	for i, p := range pg {
+		s += p.Dist(pg[(i+1)%len(pg)])
+	}
+	return s
+}
+
+// Bounds returns the bounding box of the polygon.
+func (pg Polygon) Bounds() Rect { return BoundsOf(pg) }
+
+// Contains reports whether p lies strictly inside the polygon, using the
+// even-odd ray-crossing rule. Points exactly on an edge may be classified
+// either way; the mesh generator keeps interior sample points away from the
+// boundary so this ambiguity never matters there.
+func (pg Polygon) Contains(p Point) bool {
+	inside := false
+	n := len(pg)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		vi, vj := pg[i], pg[j]
+		if (vi.Y > p.Y) != (vj.Y > p.Y) {
+			xCross := (vj.X-vi.X)*(p.Y-vi.Y)/(vj.Y-vi.Y) + vi.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Reverse returns a copy of the polygon with the opposite winding.
+func (pg Polygon) Reverse() Polygon {
+	out := make(Polygon, len(pg))
+	for i, p := range pg {
+		out[len(pg)-1-i] = p
+	}
+	return out
+}
+
+// Sample returns points placed along the polygon boundary with spacing
+// approximately h, including the polygon vertices themselves. Each edge is
+// subdivided into ceil(len/h) equal segments.
+func (pg Polygon) Sample(h float64) []Point {
+	if h <= 0 || len(pg) == 0 {
+		return append([]Point(nil), pg...)
+	}
+	var out []Point
+	for i, p := range pg {
+		q := pg[(i+1)%len(pg)]
+		out = append(out, p)
+		segs := int(math.Ceil(p.Dist(q) / h))
+		for k := 1; k < segs; k++ {
+			out = append(out, Lerp(p, q, float64(k)/float64(segs)))
+		}
+	}
+	return out
+}
+
+// Region is a polygonal region with optional holes: a point is inside the
+// region when it is inside the outer polygon and outside every hole.
+type Region struct {
+	Outer Polygon
+	Holes []Polygon
+}
+
+// Contains reports whether p lies inside the region.
+func (r Region) Contains(p Point) bool {
+	if !r.Outer.Contains(p) {
+		return false
+	}
+	for _, h := range r.Holes {
+		if h.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bounds returns the bounding box of the outer polygon.
+func (r Region) Bounds() Rect { return r.Outer.Bounds() }
+
+// Area returns the outer area minus the hole areas.
+func (r Region) Area() float64 {
+	a := r.Outer.Area()
+	for _, h := range r.Holes {
+		a -= h.Area()
+	}
+	return a
+}
+
+// BoundaryPoints samples every boundary loop (outer and holes) with spacing
+// approximately h.
+func (r Region) BoundaryPoints(h float64) []Point {
+	out := r.Outer.Sample(h)
+	for _, hole := range r.Holes {
+		out = append(out, hole.Sample(h)...)
+	}
+	return out
+}
+
+// RegularPolygon returns an n-gon centered at c with circumradius rad,
+// starting at angle phase, counterclockwise.
+func RegularPolygon(c Point, rad float64, n int, phase float64) Polygon {
+	pg := make(Polygon, n)
+	for i := range pg {
+		a := phase + 2*math.Pi*float64(i)/float64(n)
+		pg[i] = Point{c.X + rad*math.Cos(a), c.Y + rad*math.Sin(a)}
+	}
+	return pg
+}
+
+// RectPolygon returns the rectangle [x0,x1]x[y0,y1] as a counterclockwise
+// polygon.
+func RectPolygon(x0, y0, x1, y1 float64) Polygon {
+	return Polygon{{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}}
+}

@@ -1,0 +1,126 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func unitSquare() Polygon { return RectPolygon(0, 0, 1, 1) }
+
+func TestPolygonArea(t *testing.T) {
+	sq := unitSquare()
+	if got := sq.SignedArea(); got != 1 {
+		t.Errorf("ccw signed area = %v", got)
+	}
+	if got := sq.Reverse().SignedArea(); got != -1 {
+		t.Errorf("cw signed area = %v", got)
+	}
+	if got := sq.Area(); got != 1 {
+		t.Errorf("area = %v", got)
+	}
+	if got := (Polygon{{0, 0}, {1, 1}}).SignedArea(); got != 0 {
+		t.Errorf("degenerate polygon area = %v", got)
+	}
+}
+
+func TestPolygonPerimeter(t *testing.T) {
+	if got := unitSquare().Perimeter(); got != 4 {
+		t.Errorf("perimeter = %v", got)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	sq := unitSquare()
+	if !sq.Contains(Point{0.5, 0.5}) {
+		t.Error("center should be inside")
+	}
+	for _, p := range []Point{{-0.1, 0.5}, {1.1, 0.5}, {0.5, -0.1}, {0.5, 1.1}} {
+		if sq.Contains(p) {
+			t.Errorf("%v should be outside", p)
+		}
+	}
+	// Concave polygon: an L-shape.
+	l := Polygon{{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}}
+	if !l.Contains(Point{0.5, 1.5}) {
+		t.Error("L-shape arm should be inside")
+	}
+	if l.Contains(Point{1.5, 1.5}) {
+		t.Error("L-shape notch should be outside")
+	}
+}
+
+func TestPolygonSample(t *testing.T) {
+	sq := unitSquare()
+	pts := sq.Sample(0.25)
+	// Each unit edge splits into 4 segments: 4 vertices + 3 interior points
+	// per edge = 16 points.
+	if len(pts) != 16 {
+		t.Errorf("sampled %d points, want 16", len(pts))
+	}
+	// All sampled points lie on the boundary (x or y is 0 or 1).
+	for _, p := range pts {
+		onX := p.X == 0 || p.X == 1
+		onY := p.Y == 0 || p.Y == 1
+		if !onX && !onY {
+			t.Errorf("sample %v not on boundary", p)
+		}
+	}
+	if got := sq.Sample(0); len(got) != 4 {
+		t.Errorf("h=0 should return vertices, got %d", len(got))
+	}
+}
+
+func TestRegion(t *testing.T) {
+	r := Region{
+		Outer: RectPolygon(0, 0, 4, 4),
+		Holes: []Polygon{RectPolygon(1, 1, 2, 2).Reverse()},
+	}
+	if !r.Contains(Point{3, 3}) {
+		t.Error("point in region should be inside")
+	}
+	if r.Contains(Point{1.5, 1.5}) {
+		t.Error("point in hole should be outside")
+	}
+	if r.Contains(Point{5, 5}) {
+		t.Error("point outside outer should be outside")
+	}
+	if got := r.Area(); got != 15 {
+		t.Errorf("area = %v, want 15", got)
+	}
+	if got := r.Bounds(); got.Min != (Point{0, 0}) || got.Max != (Point{4, 4}) {
+		t.Errorf("bounds = %+v", got)
+	}
+	bp := r.BoundaryPoints(0.5)
+	if len(bp) == 0 {
+		t.Fatal("no boundary points")
+	}
+	nHole := 0
+	for _, p := range bp {
+		if p.X >= 1 && p.X <= 2 && p.Y >= 1 && p.Y <= 2 {
+			nHole++
+		}
+	}
+	if nHole == 0 {
+		t.Error("hole boundary not sampled")
+	}
+}
+
+func TestRegularPolygon(t *testing.T) {
+	hex := RegularPolygon(Point{1, 1}, 2, 6, 0)
+	if len(hex) != 6 {
+		t.Fatalf("len = %d", len(hex))
+	}
+	for _, p := range hex {
+		if math.Abs(p.Dist(Point{1, 1})-2) > 1e-12 {
+			t.Errorf("vertex %v not at radius 2", p)
+		}
+	}
+	if hex.SignedArea() <= 0 {
+		t.Error("regular polygon should be counterclockwise")
+	}
+	// Hexagon area = 3*sqrt(3)/2 * r^2.
+	want := 3 * math.Sqrt(3) / 2 * 4
+	if math.Abs(hex.Area()-want) > 1e-9 {
+		t.Errorf("area = %v, want %v", hex.Area(), want)
+	}
+}

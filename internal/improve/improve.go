@@ -1,0 +1,211 @@
+// Package improve implements the local mesh improvement operations the
+// paper's conclusion names as natural companions of reordered smoothing:
+// edge swapping (Freitag and Ollivier [5]) and optimization-based untangling
+// (Freitag and Plassmann [6]). Both operate on the same mesh structure the
+// smoother uses, so the locality orderings apply to them unchanged.
+package improve
+
+import (
+	"fmt"
+	"sort"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+	"lams/internal/quality"
+)
+
+// SwapResult reports an edge-swapping pass.
+type SwapResult struct {
+	// Passes is the number of sweeps over the edges performed.
+	Passes int
+	// Flips is the total number of edges flipped.
+	Flips int
+	// InitialQuality and FinalQuality are global mesh qualities.
+	InitialQuality, FinalQuality float64
+}
+
+// SwapEdges improves the mesh by flipping interior edges whenever the flip
+// raises the minimum quality of the two incident triangles (the standard
+// local improvement criterion of [5]). It sweeps until no edge flips or
+// maxPasses is reached and returns a new mesh; the input is unchanged.
+func SwapEdges(m *mesh.Mesh, met quality.Metric, maxPasses int) (*mesh.Mesh, SwapResult, error) {
+	if met == nil {
+		met = quality.EdgeRatio{}
+	}
+	if maxPasses < 1 {
+		maxPasses = 1
+	}
+	res := SwapResult{InitialQuality: quality.Global(m, met)}
+
+	tris := append([][3]int32(nil), m.Tris...)
+	coords := m.Coords
+
+	for pass := 0; pass < maxPasses; pass++ {
+		res.Passes++
+		flips := 0
+
+		// Edge -> incident triangles, rebuilt each pass.
+		type edge struct{ a, b int32 }
+		norm := func(a, b int32) edge {
+			if a > b {
+				a, b = b, a
+			}
+			return edge{a, b}
+		}
+		incident := make(map[edge][]int32, 3*len(tris))
+		for ti, tv := range tris {
+			for k := 0; k < 3; k++ {
+				e := norm(tv[k], tv[(k+1)%3])
+				incident[e] = append(incident[e], int32(ti))
+			}
+		}
+		// Deterministic sweep order.
+		edges := make([]edge, 0, len(incident))
+		for e, ts := range incident {
+			if len(ts) == 2 {
+				edges = append(edges, e)
+			}
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].a != edges[j].a {
+				return edges[i].a < edges[j].a
+			}
+			return edges[i].b < edges[j].b
+		})
+
+		flipped := make(map[int32]bool) // triangles consumed this pass
+		for _, e := range edges {
+			ts := incident[e]
+			t1, t2 := ts[0], ts[1]
+			if flipped[t1] || flipped[t2] {
+				continue
+			}
+			c, ok := oppositeVertex(tris[t1], e.a, e.b)
+			if !ok {
+				continue
+			}
+			d, ok := oppositeVertex(tris[t2], e.a, e.b)
+			if !ok {
+				continue
+			}
+			// The flip replaces (a,b,c)+(a,b,d) with (c,d,a)+(c,d,b). It is
+			// valid only when the quad a-c-b-d is strictly convex.
+			if geom.Orient2D(coords[c], coords[d], coords[e.a]) == geom.Orient2D(coords[c], coords[d], coords[e.b]) {
+				continue
+			}
+			oldMin := min2(triQuality(coords, met, e.a, e.b, c), triQuality(coords, met, e.a, e.b, d))
+			newMin := min2(triQuality(coords, met, c, d, e.a), triQuality(coords, met, c, d, e.b))
+			if newMin <= oldMin {
+				continue
+			}
+			tris[t1] = orient(coords, c, d, e.a)
+			tris[t2] = orient(coords, c, d, e.b)
+			flipped[t1], flipped[t2] = true, true
+			flips++
+		}
+		res.Flips += flips
+		if flips == 0 {
+			break
+		}
+	}
+
+	out, err := mesh.New(append([]geom.Point(nil), coords...), tris)
+	if err != nil {
+		return nil, res, fmt.Errorf("improve: rebuilding after swaps: %w", err)
+	}
+	res.FinalQuality = quality.Global(out, met)
+	return out, res, nil
+}
+
+func oppositeVertex(t [3]int32, a, b int32) (int32, bool) {
+	for _, v := range t {
+		if v != a && v != b {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func triQuality(coords []geom.Point, met quality.Metric, a, b, c int32) float64 {
+	return met.Triangle(coords[a], coords[b], coords[c])
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// orient returns the triangle (a, b, c) with counterclockwise winding.
+func orient(coords []geom.Point, a, b, c int32) [3]int32 {
+	if geom.Orient2D(coords[a], coords[b], coords[c]) == geom.Clockwise {
+		b, c = c, b
+	}
+	return [3]int32{a, b, c}
+}
+
+// UntangleResult reports an untangling run.
+type UntangleResult struct {
+	// InvertedBefore and InvertedAfter count triangles with non-positive
+	// area before and after.
+	InvertedBefore, InvertedAfter int
+	// Iterations is the number of corrective sweeps performed.
+	Iterations int
+}
+
+// Untangle repairs inverted (non-counterclockwise) triangles by moving each
+// interior vertex incident to an inverted triangle toward the centroid of
+// its neighbors — the Laplacian step restricted to tangled neighborhoods,
+// the simplest member of the local untangling family of [6]. The mesh is
+// modified in place.
+func Untangle(m *mesh.Mesh, maxIters int) UntangleResult {
+	if maxIters < 1 {
+		maxIters = 1
+	}
+	res := UntangleResult{InvertedBefore: countInverted(m)}
+	res.InvertedAfter = res.InvertedBefore
+	for it := 0; it < maxIters && res.InvertedAfter > 0; it++ {
+		res.Iterations++
+		// Vertices touching an inverted triangle.
+		bad := make(map[int32]bool)
+		for _, tv := range m.Tris {
+			if geom.Orient2D(m.Coords[tv[0]], m.Coords[tv[1]], m.Coords[tv[2]]) != geom.CounterClockwise {
+				bad[tv[0]], bad[tv[1]], bad[tv[2]] = true, true, true
+			}
+		}
+		moved := false
+		for v := range bad {
+			if m.IsBoundary[v] {
+				continue
+			}
+			nbrs := m.Neighbors(v)
+			var sx, sy float64
+			for _, w := range nbrs {
+				sx += m.Coords[w].X
+				sy += m.Coords[w].Y
+			}
+			n := float64(len(nbrs))
+			target := geom.Point{X: sx / n, Y: sy / n}
+			if target != m.Coords[v] {
+				m.Coords[v] = target
+				moved = true
+			}
+		}
+		res.InvertedAfter = countInverted(m)
+		if !moved {
+			break
+		}
+	}
+	return res
+}
+
+func countInverted(m *mesh.Mesh) int {
+	n := 0
+	for _, tv := range m.Tris {
+		if geom.Orient2D(m.Coords[tv[0]], m.Coords[tv[1]], m.Coords[tv[2]]) != geom.CounterClockwise {
+			n++
+		}
+	}
+	return n
+}

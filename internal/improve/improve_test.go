@@ -1,0 +1,160 @@
+package improve
+
+import (
+	"math"
+	"testing"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+	"lams/internal/quality"
+)
+
+// skinnyQuad builds a 60-degree rhombus split along its *long* diagonal:
+// flipping to the short diagonal turns two ratio-0.58 triangles into two
+// equilateral ones.
+func skinnyQuad(t *testing.T) *mesh.Mesh {
+	t.Helper()
+	h := math.Sqrt(3) / 2
+	pts := []geom.Point{
+		{X: 0, Y: 0},
+		{X: 1, Y: 0},
+		{X: 1.5, Y: h},
+		{X: 0.5, Y: h},
+	}
+	m, err := mesh.New(pts, [][3]int32{{0, 1, 2}, {0, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSwapEdgesFixesSkinnyQuad(t *testing.T) {
+	m := skinnyQuad(t)
+	out, res, err := SwapEdges(m, quality.EdgeRatio{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flips != 1 {
+		t.Errorf("flips = %d, want 1", res.Flips)
+	}
+	if res.FinalQuality <= res.InitialQuality {
+		t.Errorf("quality %v -> %v", res.InitialQuality, res.FinalQuality)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The new diagonal is (1,3): both triangles contain vertices 1 and 3.
+	for i, tv := range out.Tris {
+		has1, has3 := false, false
+		for _, v := range tv {
+			if v == 1 {
+				has1 = true
+			}
+			if v == 3 {
+				has3 = true
+			}
+		}
+		if !has1 || !has3 {
+			t.Errorf("triangle %d = %v does not use the flipped diagonal", i, tv)
+		}
+	}
+}
+
+func TestSwapEdgesIdempotentOnGoodMesh(t *testing.T) {
+	// An equilateral fan admits no improving flips.
+	pts := []geom.Point{{X: 0, Y: 0}}
+	for i := 0; i < 6; i++ {
+		a := 2 * math.Pi * float64(i) / 6
+		pts = append(pts, geom.Point{X: math.Cos(a), Y: math.Sin(a)})
+	}
+	var tris [][3]int32
+	for i := 0; i < 6; i++ {
+		tris = append(tris, [3]int32{0, int32(1 + i), int32(1 + (i+1)%6)})
+	}
+	m, err := mesh.New(pts, tris)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := SwapEdges(m, quality.EdgeRatio{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flips != 0 {
+		t.Errorf("flips on an optimal mesh: %d", res.Flips)
+	}
+}
+
+func TestSwapEdgesOnGeneratedMesh(t *testing.T) {
+	m, err := mesh.Generate("stress", 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, res, err := SwapEdges(m, quality.EdgeRatio{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.NumTris() != m.NumTris() || out.NumVerts() != m.NumVerts() {
+		t.Error("swapping changed mesh cardinality")
+	}
+	if res.FinalQuality < res.InitialQuality {
+		t.Errorf("global quality regressed: %v -> %v", res.InitialQuality, res.FinalQuality)
+	}
+	// The input mesh is untouched.
+	if &m.Tris[0] == &out.Tris[0] {
+		t.Error("SwapEdges shares triangle storage with input")
+	}
+}
+
+func TestUntangleFixesInversion(t *testing.T) {
+	// A fan whose center is dragged outside the ring: several triangles
+	// invert; untangling pulls the center back.
+	pts := []geom.Point{{X: 3, Y: 0}} // center far outside
+	for i := 0; i < 6; i++ {
+		a := 2 * math.Pi * float64(i) / 6
+		pts = append(pts, geom.Point{X: math.Cos(a), Y: math.Sin(a)})
+	}
+	var tris [][3]int32
+	for i := 0; i < 6; i++ {
+		tris = append(tris, [3]int32{0, int32(1 + i), int32(1 + (i+1)%6)})
+	}
+	// Build with the *intended* connectivity: orientations computed as if
+	// the center were at the origin, so some triangles are inverted now.
+	m, err := mesh.New(pts, tris)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countInverted(m) == 0 {
+		t.Fatal("test mesh is not tangled")
+	}
+	res := Untangle(m, 20)
+	if res.InvertedBefore == 0 {
+		t.Fatal("inversion not detected")
+	}
+	if res.InvertedAfter != 0 {
+		t.Errorf("still %d inverted after untangling", res.InvertedAfter)
+	}
+	// The center moved to the ring centroid (the origin).
+	if m.Coords[0].Norm() > 1e-9 {
+		t.Errorf("center at %v, want origin", m.Coords[0])
+	}
+}
+
+func TestUntangleNoopOnValidMesh(t *testing.T) {
+	m, err := mesh.Generate("crake", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]geom.Point(nil), m.Coords...)
+	res := Untangle(m, 5)
+	if res.InvertedBefore != 0 || res.InvertedAfter != 0 {
+		t.Errorf("generated mesh reported tangled: %+v", res)
+	}
+	for v := range m.Coords {
+		if m.Coords[v] != before[v] {
+			t.Fatal("untangle moved vertices of a valid mesh")
+		}
+	}
+}

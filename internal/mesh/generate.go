@@ -1,0 +1,45 @@
+package mesh
+
+import (
+	"fmt"
+
+	"lams/internal/delaunay"
+	"lams/internal/domains"
+)
+
+// Generate builds the named test mesh at roughly targetVerts vertices:
+// sample the domain (boundary first, then jittered-grid interior — the ORI
+// generation order), Delaunay-triangulate, and carve triangles outside the
+// region. This is the Triangle [15] substitute pipeline.
+func Generate(name string, targetVerts int) (*Mesh, error) {
+	d, err := domains.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	pts := d.Points(targetVerts)
+	if len(pts) < 3 {
+		return nil, fmt.Errorf("mesh: domain %q produced only %d points", name, len(pts))
+	}
+	t, err := delaunay.Triangulate(pts)
+	if err != nil {
+		return nil, fmt.Errorf("mesh: triangulating %q: %w", name, err)
+	}
+	m, err := FromTriangulation(t, d.Region.Contains)
+	if err != nil {
+		return nil, fmt.Errorf("mesh: carving %q: %w", name, err)
+	}
+	return m, nil
+}
+
+// GenerateAll builds all nine Table 1 meshes at the given target size.
+func GenerateAll(targetVerts int) (map[string]*Mesh, error) {
+	out := make(map[string]*Mesh, len(domains.Table1))
+	for _, name := range domains.Names() {
+		m, err := Generate(name, targetVerts)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = m
+	}
+	return out, nil
+}

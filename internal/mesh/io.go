@@ -1,0 +1,158 @@
+package mesh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"lams/internal/geom"
+)
+
+// WriteNodeEle writes the mesh in Shewchuk Triangle's .node/.ele text format
+// (1-based indices, boundary markers), the format the paper's meshes were
+// distributed in.
+func (m *Mesh) WriteNodeEle(node, ele io.Writer) error {
+	bw := bufio.NewWriter(node)
+	fmt.Fprintf(bw, "%d 2 0 1\n", m.NumVerts())
+	for i, p := range m.Coords {
+		marker := 0
+		if m.IsBoundary[i] {
+			marker = 1
+		}
+		fmt.Fprintf(bw, "%d %.17g %.17g %d\n", i+1, p.X, p.Y, marker)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("mesh: writing nodes: %w", err)
+	}
+	be := bufio.NewWriter(ele)
+	fmt.Fprintf(be, "%d 3 0\n", m.NumTris())
+	for i, tv := range m.Tris {
+		fmt.Fprintf(be, "%d %d %d %d\n", i+1, tv[0]+1, tv[1]+1, tv[2]+1)
+	}
+	if err := be.Flush(); err != nil {
+		return fmt.Errorf("mesh: writing elements: %w", err)
+	}
+	return nil
+}
+
+// ReadNodeEle parses a mesh from Triangle .node/.ele streams.
+func ReadNodeEle(node, ele io.Reader) (*Mesh, error) {
+	ns := bufio.NewScanner(node)
+	ns.Buffer(make([]byte, 1<<20), 1<<20)
+	fields, err := nextFields(ns)
+	if err != nil {
+		return nil, fmt.Errorf("mesh: .node header: %w", err)
+	}
+	var nv, dim, nattr, marker int
+	if _, err := fmt.Sscan(strings.Join(fields, " "), &nv, &dim, &nattr, &marker); err != nil {
+		return nil, fmt.Errorf("mesh: .node header: %w", err)
+	}
+	if dim != 2 {
+		return nil, fmt.Errorf("mesh: only 2D .node files supported, got dim=%d", dim)
+	}
+	coords := make([]geom.Point, nv)
+	for i := 0; i < nv; i++ {
+		f, err := nextFields(ns)
+		if err != nil {
+			return nil, fmt.Errorf("mesh: .node line %d: %w", i+2, err)
+		}
+		if len(f) < 3 {
+			return nil, fmt.Errorf("mesh: .node line %d: want >=3 fields, got %d", i+2, len(f))
+		}
+		var idx int
+		var x, y float64
+		if _, err := fmt.Sscan(f[0], &idx); err != nil {
+			return nil, fmt.Errorf("mesh: .node line %d index: %w", i+2, err)
+		}
+		if _, err := fmt.Sscan(f[1], &x); err != nil {
+			return nil, fmt.Errorf("mesh: .node line %d x: %w", i+2, err)
+		}
+		if _, err := fmt.Sscan(f[2], &y); err != nil {
+			return nil, fmt.Errorf("mesh: .node line %d y: %w", i+2, err)
+		}
+		if idx < 1 || idx > nv {
+			return nil, fmt.Errorf("mesh: .node line %d: index %d out of range", i+2, idx)
+		}
+		coords[idx-1] = geom.Point{X: x, Y: y}
+	}
+
+	es := bufio.NewScanner(ele)
+	es.Buffer(make([]byte, 1<<20), 1<<20)
+	fields, err = nextFields(es)
+	if err != nil {
+		return nil, fmt.Errorf("mesh: .ele header: %w", err)
+	}
+	var nt, per int
+	if _, err := fmt.Sscan(fields[0], &nt); err != nil {
+		return nil, fmt.Errorf("mesh: .ele header: %w", err)
+	}
+	if len(fields) > 1 {
+		if _, err := fmt.Sscan(fields[1], &per); err == nil && per != 3 {
+			return nil, fmt.Errorf("mesh: only 3-node elements supported, got %d", per)
+		}
+	}
+	tris := make([][3]int32, nt)
+	for i := 0; i < nt; i++ {
+		f, err := nextFields(es)
+		if err != nil {
+			return nil, fmt.Errorf("mesh: .ele line %d: %w", i+2, err)
+		}
+		if len(f) < 4 {
+			return nil, fmt.Errorf("mesh: .ele line %d: want >=4 fields, got %d", i+2, len(f))
+		}
+		var idx, a, b, c int
+		for k, dst := range []*int{&idx, &a, &b, &c} {
+			if _, err := fmt.Sscan(f[k], dst); err != nil {
+				return nil, fmt.Errorf("mesh: .ele line %d field %d: %w", i+2, k, err)
+			}
+		}
+		tris[i] = [3]int32{int32(a - 1), int32(b - 1), int32(c - 1)}
+	}
+	return New(coords, tris)
+}
+
+func nextFields(s *bufio.Scanner) ([]string, error) {
+	for s.Scan() {
+		line := strings.TrimSpace(s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return strings.Fields(line), nil
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.ErrUnexpectedEOF
+}
+
+// SaveFiles writes base.node and base.ele.
+func (m *Mesh) SaveFiles(base string) error {
+	nf, err := os.Create(base + ".node")
+	if err != nil {
+		return err
+	}
+	defer nf.Close()
+	ef, err := os.Create(base + ".ele")
+	if err != nil {
+		return err
+	}
+	defer ef.Close()
+	return m.WriteNodeEle(nf, ef)
+}
+
+// LoadFiles reads base.node and base.ele.
+func LoadFiles(base string) (*Mesh, error) {
+	nf, err := os.Open(base + ".node")
+	if err != nil {
+		return nil, err
+	}
+	defer nf.Close()
+	ef, err := os.Open(base + ".ele")
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	return ReadNodeEle(nf, ef)
+}

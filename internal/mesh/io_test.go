@@ -1,0 +1,97 @@
+package mesh
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNodeEleRoundTrip(t *testing.T) {
+	m, err := Generate("dialog", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var node, ele bytes.Buffer
+	if err := m.WriteNodeEle(&node, &ele); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadNodeEle(&node, &ele)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumVerts() != m.NumVerts() || m2.NumTris() != m.NumTris() {
+		t.Fatalf("round trip changed counts: %d/%d vs %d/%d",
+			m2.NumVerts(), m2.NumTris(), m.NumVerts(), m.NumTris())
+	}
+	for i := range m.Coords {
+		if m.Coords[i] != m2.Coords[i] {
+			t.Fatalf("vertex %d changed: %v vs %v", i, m.Coords[i], m2.Coords[i])
+		}
+	}
+	for i := range m.Tris {
+		if m.Tris[i] != m2.Tris[i] {
+			t.Fatalf("triangle %d changed", i)
+		}
+	}
+	if err := m2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadNodeEleComments(t *testing.T) {
+	node := `# a comment
+3 2 0 1
+
+1 0.0 0.0 1
+2 1.0 0.0 1
+# another comment
+3 0.0 1.0 1
+`
+	ele := `1 3 0
+1 1 2 3
+`
+	m, err := ReadNodeEle(strings.NewReader(node), strings.NewReader(ele))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVerts() != 3 || m.NumTris() != 1 {
+		t.Fatalf("counts %d/%d", m.NumVerts(), m.NumTris())
+	}
+}
+
+func TestReadNodeEleErrors(t *testing.T) {
+	cases := []struct{ node, ele, name string }{
+		{"", "", "empty"},
+		{"3 3 0 1\n1 0 0 0\n2 1 0 0\n3 0 1 0\n", "1 3 0\n1 1 2 3\n", "bad dim"},
+		{"3 2 0 1\n1 0 0 0\n", "1 3 0\n1 1 2 3\n", "truncated nodes"},
+		{"3 2 0 1\n1 0 0 0\n2 1 0 0\n9 0 1 0\n", "1 3 0\n1 1 2 3\n", "index out of range"},
+		{"3 2 0 1\n1 0 0 0\n2 1 0 0\n3 0 1 0\n", "1 4 0\n1 1 2 3 4\n", "quad elements"},
+	}
+	for _, c := range cases {
+		if _, err := ReadNodeEle(strings.NewReader(c.node), strings.NewReader(c.ele)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSaveLoadFiles(t *testing.T) {
+	m, err := Generate("crake", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "crake")
+	if err := m.SaveFiles(base); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadFiles(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumVerts() != m.NumVerts() {
+		t.Error("vertex count changed through files")
+	}
+	if _, err := LoadFiles(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing files should error")
+	}
+}

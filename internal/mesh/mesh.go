@@ -1,0 +1,372 @@
+// Package mesh provides the triangular mesh data structure at the heart of
+// the reproduction: a packed vertex array, a triangle array, CSR vertex
+// adjacency, and boundary/interior classification. The vertex storage order
+// is exactly what the paper's orderings permute; Renumber applies an
+// ordering to produce a new mesh whose storage layout follows it.
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"lams/internal/delaunay"
+	"lams/internal/geom"
+)
+
+// Mesh is a 2D triangular mesh. Vertices are identified by their position in
+// the storage arrays; all per-vertex slices are indexed the same way.
+type Mesh struct {
+	// Coords holds the vertex positions in storage order.
+	Coords []geom.Point
+	// Tris holds the triangles as CCW triples of vertex indices.
+	Tris [][3]int32
+	// AdjStart/AdjList is the CSR vertex-to-vertex adjacency:
+	// the neighbors of v are AdjList[AdjStart[v]:AdjStart[v+1]].
+	AdjStart []int32
+	AdjList  []int32
+	// IsBoundary marks vertices incident to a boundary edge (an edge used by
+	// exactly one triangle).
+	IsBoundary []bool
+	// InteriorVerts lists the non-boundary vertices in storage order; these
+	// are the vertices Laplacian smoothing moves.
+	InteriorVerts []int32
+	// TriStart/TriList is the CSR vertex-to-triangle incidence:
+	// the triangles attached to v are TriList[TriStart[v]:TriStart[v+1]].
+	TriStart []int32
+	TriList  []int32
+}
+
+// NumVerts returns the number of vertices.
+func (m *Mesh) NumVerts() int { return len(m.Coords) }
+
+// NumTris returns the number of triangles.
+func (m *Mesh) NumTris() int { return len(m.Tris) }
+
+// Neighbors returns the adjacency list of vertex v as a shared sub-slice;
+// callers must not modify it.
+func (m *Mesh) Neighbors(v int32) []int32 {
+	return m.AdjList[m.AdjStart[v]:m.AdjStart[v+1]]
+}
+
+// Degree returns the number of neighbors of vertex v.
+func (m *Mesh) Degree(v int32) int {
+	return int(m.AdjStart[v+1] - m.AdjStart[v])
+}
+
+// New assembles a mesh from vertices and triangles: it builds the CSR
+// adjacency, classifies boundary vertices, and validates index ranges.
+func New(coords []geom.Point, tris [][3]int32) (*Mesh, error) {
+	m := &Mesh{Coords: coords, Tris: tris}
+	if err := m.build(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FromTriangulation converts a Delaunay triangulation into a mesh, keeping
+// only triangles whose centroid satisfies keep (pass nil to keep all). This
+// is how domain holes and concavities are carved out of the convex-hull
+// triangulation. Vertices left without any triangle are compacted away,
+// preserving the relative (generation) order of the survivors.
+func FromTriangulation(t *delaunay.Triangulation, keep func(centroid geom.Point) bool) (*Mesh, error) {
+	var kept [][3]int32
+	used := make([]bool, len(t.Points))
+	for _, tv := range t.Triangles {
+		if keep != nil {
+			c := geom.Centroid(t.Points[tv[0]], t.Points[tv[1]], t.Points[tv[2]])
+			if !keep(c) {
+				continue
+			}
+		}
+		kept = append(kept, tv)
+		used[tv[0]], used[tv[1]], used[tv[2]] = true, true, true
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("mesh: no triangles kept")
+	}
+
+	// Compact vertices, preserving generation order.
+	remap := make([]int32, len(t.Points))
+	coords := make([]geom.Point, 0, len(t.Points))
+	for i, u := range used {
+		if !u {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = int32(len(coords))
+		coords = append(coords, t.Points[i])
+	}
+	for i := range kept {
+		for k := 0; k < 3; k++ {
+			kept[i][k] = remap[kept[i][k]]
+		}
+	}
+	return New(coords, kept)
+}
+
+func (m *Mesh) build() error {
+	nv := int32(len(m.Coords))
+	for ti, tv := range m.Tris {
+		for k := 0; k < 3; k++ {
+			if tv[k] < 0 || tv[k] >= nv {
+				return fmt.Errorf("mesh: triangle %d vertex index %d out of range [0,%d)", ti, tv[k], nv)
+			}
+		}
+		if tv[0] == tv[1] || tv[1] == tv[2] || tv[0] == tv[2] {
+			return fmt.Errorf("mesh: triangle %d has repeated vertices %v", ti, tv)
+		}
+	}
+
+	// Count undirected edges per vertex via the triangle edges; each
+	// undirected edge appears once or twice among triangle edges, so build
+	// directed adjacency then dedupe per vertex.
+	deg := make([]int32, nv+1)
+	for _, tv := range m.Tris {
+		for k := 0; k < 3; k++ {
+			deg[tv[k]+1] += 2 // each vertex gains two directed edges per triangle
+		}
+	}
+	start := make([]int32, nv+1)
+	for i := int32(0); i < nv; i++ {
+		start[i+1] = start[i] + deg[i+1]
+	}
+	fill := make([]int32, nv)
+	adj := make([]int32, start[nv])
+	for _, tv := range m.Tris {
+		for k := 0; k < 3; k++ {
+			v := tv[k]
+			adj[start[v]+fill[v]] = tv[(k+1)%3]
+			adj[start[v]+fill[v]+1] = tv[(k+2)%3]
+			fill[v] += 2
+		}
+	}
+
+	// Sort and dedupe each vertex's neighbor list in place, then compact.
+	m.AdjStart = make([]int32, nv+1)
+	m.AdjList = adj[:0]
+	for v := int32(0); v < nv; v++ {
+		lst := adj[start[v] : start[v]+fill[v]]
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		m.AdjStart[v] = int32(len(m.AdjList))
+		var prev int32 = -1
+		for _, w := range lst {
+			if w != prev {
+				m.AdjList = append(m.AdjList, w)
+				prev = w
+			}
+		}
+	}
+	m.AdjStart[nv] = int32(len(m.AdjList))
+
+	// Vertex -> triangle incidence.
+	tdeg := make([]int32, nv+1)
+	for _, tv := range m.Tris {
+		tdeg[tv[0]+1]++
+		tdeg[tv[1]+1]++
+		tdeg[tv[2]+1]++
+	}
+	m.TriStart = make([]int32, nv+1)
+	for i := int32(0); i < nv; i++ {
+		m.TriStart[i+1] = m.TriStart[i] + tdeg[i+1]
+	}
+	m.TriList = make([]int32, m.TriStart[nv])
+	tfill := make([]int32, nv)
+	for ti, tv := range m.Tris {
+		for k := 0; k < 3; k++ {
+			v := tv[k]
+			m.TriList[m.TriStart[v]+tfill[v]] = int32(ti)
+			tfill[v]++
+		}
+	}
+
+	m.classifyBoundary()
+	return nil
+}
+
+// VertTris returns the triangles incident to vertex v as a shared sub-slice;
+// callers must not modify it.
+func (m *Mesh) VertTris(v int32) []int32 {
+	return m.TriList[m.TriStart[v]:m.TriStart[v+1]]
+}
+
+// classifyBoundary finds edges used by exactly one triangle and marks their
+// endpoints as boundary vertices, then collects the interior vertex list.
+func (m *Mesh) classifyBoundary() {
+	type edge struct{ a, b int32 }
+	count := make(map[edge]int8, 3*len(m.Tris))
+	norm := func(a, b int32) edge {
+		if a > b {
+			a, b = b, a
+		}
+		return edge{a, b}
+	}
+	for _, tv := range m.Tris {
+		count[norm(tv[0], tv[1])]++
+		count[norm(tv[1], tv[2])]++
+		count[norm(tv[2], tv[0])]++
+	}
+	m.IsBoundary = make([]bool, len(m.Coords))
+	for e, c := range count {
+		if c == 1 {
+			m.IsBoundary[e.a] = true
+			m.IsBoundary[e.b] = true
+		}
+	}
+	// Isolated vertices (none here after compaction, but keep the invariant
+	// that every vertex is boundary or interior) are treated as boundary.
+	for v := range m.IsBoundary {
+		if m.Degree(int32(v)) == 0 {
+			m.IsBoundary[v] = true
+		}
+	}
+	m.InteriorVerts = m.InteriorVerts[:0]
+	for v := int32(0); v < int32(len(m.Coords)); v++ {
+		if !m.IsBoundary[v] {
+			m.InteriorVerts = append(m.InteriorVerts, v)
+		}
+	}
+}
+
+// Renumber returns a new mesh whose vertex k is the receiver's vertex
+// newToOld[k]: applying an ordering's output (the sequence of old indices in
+// their new storage order) relabels the mesh exactly as the paper's
+// Algorithm 2 returns Vnew. The receiver is unchanged.
+func (m *Mesh) Renumber(newToOld []int32) (*Mesh, error) {
+	nv := len(m.Coords)
+	if len(newToOld) != nv {
+		return nil, fmt.Errorf("mesh: permutation length %d != vertex count %d", len(newToOld), nv)
+	}
+	oldToNew := make([]int32, nv)
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	for newIdx, oldIdx := range newToOld {
+		if oldIdx < 0 || int(oldIdx) >= nv {
+			return nil, fmt.Errorf("mesh: permutation entry %d out of range", oldIdx)
+		}
+		if oldToNew[oldIdx] != -1 {
+			return nil, fmt.Errorf("mesh: permutation repeats vertex %d", oldIdx)
+		}
+		oldToNew[oldIdx] = int32(newIdx)
+	}
+
+	coords := make([]geom.Point, nv)
+	for newIdx, oldIdx := range newToOld {
+		coords[newIdx] = m.Coords[oldIdx]
+	}
+	tris := make([][3]int32, len(m.Tris))
+	for i, tv := range m.Tris {
+		tris[i] = [3]int32{oldToNew[tv[0]], oldToNew[tv[1]], oldToNew[tv[2]]}
+	}
+	return New(coords, tris)
+}
+
+// Clone returns a deep copy of the mesh.
+func (m *Mesh) Clone() *Mesh {
+	c := &Mesh{
+		Coords:        append([]geom.Point(nil), m.Coords...),
+		Tris:          append([][3]int32(nil), m.Tris...),
+		AdjStart:      append([]int32(nil), m.AdjStart...),
+		AdjList:       append([]int32(nil), m.AdjList...),
+		IsBoundary:    append([]bool(nil), m.IsBoundary...),
+		InteriorVerts: append([]int32(nil), m.InteriorVerts...),
+		TriStart:      append([]int32(nil), m.TriStart...),
+		TriList:       append([]int32(nil), m.TriList...),
+	}
+	return c
+}
+
+// Validate checks the structural invariants: CSR shape, symmetric adjacency,
+// triangle indices in range, every triangle edge present in the adjacency,
+// and the boundary/interior partition.
+func (m *Mesh) Validate() error {
+	nv := int32(len(m.Coords))
+	if len(m.AdjStart) != int(nv)+1 {
+		return fmt.Errorf("mesh: AdjStart length %d != nv+1", len(m.AdjStart))
+	}
+	for v := int32(0); v < nv; v++ {
+		if m.AdjStart[v] > m.AdjStart[v+1] {
+			return fmt.Errorf("mesh: AdjStart not monotone at %d", v)
+		}
+		prev := int32(-1)
+		for _, w := range m.Neighbors(v) {
+			if w < 0 || w >= nv {
+				return fmt.Errorf("mesh: neighbor %d of %d out of range", w, v)
+			}
+			if w == v {
+				return fmt.Errorf("mesh: self loop at %d", v)
+			}
+			if w <= prev {
+				return fmt.Errorf("mesh: adjacency of %d not sorted/unique", v)
+			}
+			prev = w
+			if !m.hasNeighbor(w, v) {
+				return fmt.Errorf("mesh: adjacency not symmetric: %d->%d", v, w)
+			}
+		}
+	}
+	for ti, tv := range m.Tris {
+		for k := 0; k < 3; k++ {
+			a, b := tv[k], tv[(k+1)%3]
+			if !m.hasNeighbor(a, b) {
+				return fmt.Errorf("mesh: triangle %d edge (%d,%d) missing from adjacency", ti, a, b)
+			}
+		}
+	}
+	nInterior := 0
+	for v := int32(0); v < nv; v++ {
+		if !m.IsBoundary[v] {
+			nInterior++
+		}
+	}
+	if nInterior != len(m.InteriorVerts) {
+		return fmt.Errorf("mesh: interior list length %d != %d non-boundary vertices", len(m.InteriorVerts), nInterior)
+	}
+	for i := 1; i < len(m.InteriorVerts); i++ {
+		if m.InteriorVerts[i-1] >= m.InteriorVerts[i] {
+			return fmt.Errorf("mesh: interior list not in storage order at %d", i)
+		}
+	}
+	return nil
+}
+
+func (m *Mesh) hasNeighbor(v, w int32) bool {
+	lst := m.Neighbors(v)
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= w })
+	return i < len(lst) && lst[i] == w
+}
+
+// Stats summarizes a mesh.
+type Stats struct {
+	Verts, Tris, Interior, Boundary int
+	MinDegree, MaxDegree            int
+	AvgDegree                       float64
+}
+
+// Summary computes mesh statistics.
+func (m *Mesh) Summary() Stats {
+	s := Stats{Verts: m.NumVerts(), Tris: m.NumTris(), Interior: len(m.InteriorVerts)}
+	s.Boundary = s.Verts - s.Interior
+	s.MinDegree = 1 << 30
+	for v := int32(0); v < int32(s.Verts); v++ {
+		d := m.Degree(v)
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		s.AvgDegree += float64(d)
+	}
+	if s.Verts > 0 {
+		s.AvgDegree /= float64(s.Verts)
+	} else {
+		s.MinDegree = 0
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("verts=%d tris=%d interior=%d boundary=%d degree[min=%d avg=%.2f max=%d]",
+		s.Verts, s.Tris, s.Interior, s.Boundary, s.MinDegree, s.AvgDegree, s.MaxDegree)
+}

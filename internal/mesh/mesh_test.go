@@ -1,0 +1,284 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lams/internal/delaunay"
+	"lams/internal/geom"
+)
+
+// twoTriangleMesh is a square split along the diagonal: vertices 0..3,
+// triangles (0,1,2) and (0,2,3). All vertices are boundary.
+func twoTriangleMesh(t *testing.T) *Mesh {
+	t.Helper()
+	m, err := New(
+		[]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}},
+		[][3]int32{{0, 1, 2}, {0, 2, 3}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// diskMesh returns a fan around a center vertex: center 0, ring 1..n.
+func diskMesh(t *testing.T, n int) *Mesh {
+	t.Helper()
+	pts := []geom.Point{{X: 0, Y: 0}}
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		pts = append(pts, geom.Point{X: math.Cos(a), Y: math.Sin(a)})
+	}
+	var tris [][3]int32
+	for i := 0; i < n; i++ {
+		tris = append(tris, [3]int32{0, int32(1 + i), int32(1 + (i+1)%n)})
+	}
+	m, err := New(pts, tris)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuildAdjacency(t *testing.T) {
+	m := twoTriangleMesh(t)
+	if m.NumVerts() != 4 || m.NumTris() != 2 {
+		t.Fatalf("counts: %d verts, %d tris", m.NumVerts(), m.NumTris())
+	}
+	wantDeg := []int{3, 2, 3, 2}
+	for v, want := range wantDeg {
+		if got := m.Degree(int32(v)); got != want {
+			t.Errorf("degree(%d) = %d, want %d", v, got, want)
+		}
+	}
+	// Vertex 0's neighbors are 1, 2, 3 sorted.
+	n0 := m.Neighbors(0)
+	if len(n0) != 3 || n0[0] != 1 || n0[1] != 2 || n0[2] != 3 {
+		t.Errorf("neighbors(0) = %v", n0)
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVertTris(t *testing.T) {
+	m := twoTriangleMesh(t)
+	if got := m.VertTris(0); len(got) != 2 {
+		t.Errorf("vertex 0 should touch 2 triangles, got %v", got)
+	}
+	if got := m.VertTris(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("vertex 1 triangles = %v", got)
+	}
+}
+
+func TestBoundaryClassification(t *testing.T) {
+	m := twoTriangleMesh(t)
+	for v := 0; v < 4; v++ {
+		if !m.IsBoundary[v] {
+			t.Errorf("vertex %d should be boundary", v)
+		}
+	}
+	if len(m.InteriorVerts) != 0 {
+		t.Errorf("interior = %v", m.InteriorVerts)
+	}
+
+	d := diskMesh(t, 6)
+	if d.IsBoundary[0] {
+		t.Error("disk center should be interior")
+	}
+	for v := 1; v <= 6; v++ {
+		if !d.IsBoundary[v] {
+			t.Errorf("ring vertex %d should be boundary", v)
+		}
+	}
+	if len(d.InteriorVerts) != 1 || d.InteriorVerts[0] != 0 {
+		t.Errorf("interior = %v", d.InteriorVerts)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}}
+	if _, err := New(pts, [][3]int32{{0, 1, 5}}); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if _, err := New(pts, [][3]int32{{0, 1, 1}}); err == nil {
+		t.Error("repeated vertex should fail")
+	}
+	if _, err := New(pts, [][3]int32{{-1, 1, 2}}); err == nil {
+		t.Error("negative index should fail")
+	}
+}
+
+func TestRenumberIdentityAndReverse(t *testing.T) {
+	m := diskMesh(t, 6)
+	id := []int32{0, 1, 2, 3, 4, 5, 6}
+	r, err := m.Renumber(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Coords {
+		if r.Coords[i] != m.Coords[i] {
+			t.Fatalf("identity renumber moved vertex %d", i)
+		}
+	}
+
+	rev := []int32{6, 5, 4, 3, 2, 1, 0}
+	r2, err := m.Renumber(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// New vertex 0 is old vertex 6.
+	if r2.Coords[0] != m.Coords[6] {
+		t.Error("reverse renumber wrong placement")
+	}
+	// The interior vertex (old 0) is now at position 6.
+	if len(r2.InteriorVerts) != 1 || r2.InteriorVerts[0] != 6 {
+		t.Errorf("interior after reverse = %v", r2.InteriorVerts)
+	}
+	// Degrees are preserved under relabeling.
+	if r2.Degree(6) != m.Degree(0) {
+		t.Error("degree not preserved")
+	}
+}
+
+func TestRenumberErrors(t *testing.T) {
+	m := twoTriangleMesh(t)
+	if _, err := m.Renumber([]int32{0, 1, 2}); err == nil {
+		t.Error("short permutation should fail")
+	}
+	if _, err := m.Renumber([]int32{0, 1, 2, 2}); err == nil {
+		t.Error("repeated entry should fail")
+	}
+	if _, err := m.Renumber([]int32{0, 1, 2, 9}); err == nil {
+		t.Error("out-of-range entry should fail")
+	}
+}
+
+func TestRenumberPreservesStructure(t *testing.T) {
+	// Property: any permutation of any generated mesh keeps vertex count,
+	// triangle count, interior count and total degree.
+	m, err := Generate("crake", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	cfg := &quick.Config{MaxCount: 10, Rand: rng}
+	f := func(seed int64) bool {
+		perm := rand.New(rand.NewSource(seed)).Perm(m.NumVerts())
+		p32 := make([]int32, len(perm))
+		for i, v := range perm {
+			p32[i] = int32(v)
+		}
+		r, err := m.Renumber(p32)
+		if err != nil {
+			return false
+		}
+		if r.NumVerts() != m.NumVerts() || r.NumTris() != m.NumTris() {
+			return false
+		}
+		if len(r.InteriorVerts) != len(m.InteriorVerts) {
+			return false
+		}
+		if len(r.AdjList) != len(m.AdjList) {
+			return false
+		}
+		return r.Validate() == nil
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := diskMesh(t, 5)
+	c := m.Clone()
+	c.Coords[0] = geom.Point{X: 99, Y: 99}
+	if m.Coords[0] == c.Coords[0] {
+		t.Error("clone shares coordinate storage")
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromTriangulationCarving(t *testing.T) {
+	// Triangulate a square grid and carve out the left half.
+	var pts []geom.Point
+	for x := 0; x < 6; x++ {
+		for y := 0; y < 6; y++ {
+			pts = append(pts, geom.Point{X: float64(x), Y: float64(y)})
+		}
+	}
+	tn, err := delaunay.Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromTriangulation(tn, func(c geom.Point) bool { return c.X > 2.5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Only vertices with x >= 2 survive (they belong to kept triangles).
+	for _, p := range m.Coords {
+		if p.X < 2 {
+			t.Errorf("vertex %v should have been carved away", p)
+		}
+	}
+	if m.NumVerts() >= len(pts) {
+		t.Error("carving should drop vertices")
+	}
+	// Empty carve errors.
+	if _, err := FromTriangulation(tn, func(geom.Point) bool { return false }); err == nil {
+		t.Error("carving everything should fail")
+	}
+}
+
+func TestGenerateAllSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ms, err := GenerateAll(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 9 {
+		t.Fatalf("got %d meshes", len(ms))
+	}
+	for name, m := range ms {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(m.InteriorVerts) == 0 {
+			t.Errorf("%s: no interior vertices", name)
+		}
+		s := m.Summary()
+		if s.MinDegree < 2 {
+			t.Errorf("%s: min degree %d", name, s.MinDegree)
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("nope", 100); err == nil {
+		t.Error("unknown mesh should fail")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	m := twoTriangleMesh(t)
+	s := m.Summary()
+	if s.Verts != 4 || s.Tris != 2 || s.Boundary != 4 || s.Interior != 0 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}

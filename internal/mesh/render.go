@@ -1,0 +1,119 @@
+package mesh
+
+import (
+	"strings"
+
+	"lams/internal/geom"
+)
+
+// Render rasterizes the mesh onto a character grid — the terminal analogue
+// of the paper's Figure 7, which shows "coarser but representative versions"
+// of the nine meshes. Cells covered by any triangle are filled; boundary
+// cells (adjacent to an uncovered cell) are drawn darker.
+func (m *Mesh) Render(width, height int) string {
+	if width < 2 || height < 2 || m.NumTris() == 0 {
+		return ""
+	}
+	b := geom.BoundsOf(m.Coords)
+	w, h := b.Width(), b.Height()
+	if w == 0 || h == 0 {
+		return ""
+	}
+	// Preserve aspect ratio in character cells (terminal cells are ~2x
+	// taller than wide).
+	covered := make([][]bool, height)
+	for i := range covered {
+		covered[i] = make([]bool, width)
+	}
+
+	toCell := func(p geom.Point) (int, int) {
+		cx := int((p.X - b.Min.X) / w * float64(width-1))
+		cy := int((p.Y - b.Min.Y) / h * float64(height-1))
+		return cx, cy
+	}
+	// Rasterize each triangle by sampling its bounding box at cell centers.
+	for _, tv := range m.Tris {
+		p0, p1, p2 := m.Coords[tv[0]], m.Coords[tv[1]], m.Coords[tv[2]]
+		x0, y0 := toCell(p0)
+		x1, y1 := toCell(p1)
+		x2, y2 := toCell(p2)
+		minX, maxX := min3i(x0, x1, x2), max3i(x0, x1, x2)
+		minY, maxY := min3i(y0, y1, y2), max3i(y0, y1, y2)
+		for cy := minY; cy <= maxY; cy++ {
+			for cx := minX; cx <= maxX; cx++ {
+				// Cell center in mesh coordinates.
+				p := geom.Point{
+					X: b.Min.X + (float64(cx)+0.5)/float64(width)*w,
+					Y: b.Min.Y + (float64(cy)+0.5)/float64(height)*h,
+				}
+				if inTriangle(p, p0, p1, p2) {
+					covered[cy][cx] = true
+				}
+			}
+		}
+		// Vertices always mark their cells so thin features survive.
+		covered[y0][x0] = true
+		covered[y1][x1] = true
+		covered[y2][x2] = true
+	}
+
+	var sb strings.Builder
+	for cy := height - 1; cy >= 0; cy-- { // y grows upward
+		for cx := 0; cx < width; cx++ {
+			switch {
+			case !covered[cy][cx]:
+				sb.WriteByte(' ')
+			case isEdgeCell(covered, cx, cy):
+				sb.WriteByte('#')
+			default:
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func inTriangle(p, a, b, c geom.Point) bool {
+	d1 := geom.Orient2DValue(a, b, p)
+	d2 := geom.Orient2DValue(b, c, p)
+	d3 := geom.Orient2DValue(c, a, p)
+	neg := d1 < 0 || d2 < 0 || d3 < 0
+	pos := d1 > 0 || d2 > 0 || d3 > 0
+	return !(neg && pos)
+}
+
+func isEdgeCell(covered [][]bool, x, y int) bool {
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			ny, nx := y+dy, x+dx
+			if ny < 0 || ny >= len(covered) || nx < 0 || nx >= len(covered[0]) {
+				return true
+			}
+			if !covered[ny][nx] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func min3i(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func max3i(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,46 @@
+package mesh
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	m, err := Generate("carabiner", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Render(48, 20)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("render has %d lines, want 20", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 48 {
+			t.Fatalf("line %d width %d, want 48", i, len(l))
+		}
+	}
+	filled := strings.Count(s, ".") + strings.Count(s, "#")
+	if filled == 0 {
+		t.Fatal("render is empty")
+	}
+	// The carabiner is a ring: its bounding-box center must be empty (the
+	// hole) while plenty of cells are filled.
+	mid := lines[10]
+	if mid[24] != ' ' {
+		t.Errorf("carabiner hole not visible at center: %q", string(mid[24]))
+	}
+	if !strings.Contains(s, "#") {
+		t.Error("no boundary cells drawn")
+	}
+}
+
+func TestRenderDegenerate(t *testing.T) {
+	m := twoTriangleMesh(t)
+	if got := m.Render(1, 1); got != "" {
+		t.Error("degenerate size should render empty")
+	}
+	if got := m.Render(10, 5); got == "" {
+		t.Error("valid render empty")
+	}
+}

@@ -1,0 +1,67 @@
+package order
+
+import (
+	"fmt"
+
+	"lams/internal/mesh"
+)
+
+// CPack is the consecutive-packing data reordering of Ding and Kennedy, the
+// trace-driven baseline of Strout and Hovland [18]: given an access trace of
+// the computation, place data elements in memory in first-touch order. It
+// is the a-posteriori "oracle" that RDR approximates a priori — RDR predicts
+// the smoother's first-touch order from initial qualities instead of
+// recording it.
+//
+// Trace supplies the access trace; when nil, CPack instruments the
+// quality-greedy smoothing traversal itself (one virtual iteration), which
+// makes it exactly the first-touch packing of the paper's LMS.
+type CPack struct {
+	Trace []int32
+}
+
+// Name implements Ordering.
+func (CPack) Name() string { return "CPACK" }
+
+// Compute implements Ordering.
+func (c CPack) Compute(m *mesh.Mesh, vq []float64) ([]int32, error) {
+	tr := c.Trace
+	if tr == nil {
+		if vq == nil {
+			return nil, fmt.Errorf("order: CPACK without an explicit trace requires vertex qualities")
+		}
+		w, err := GreedyWalk(m, vq, false)
+		if err != nil {
+			return nil, err
+		}
+		// Reconstruct the smoother's access stream: each interior head is
+		// touched, then its neighbors.
+		for _, h := range w.Heads {
+			if m.IsBoundary[h] {
+				continue
+			}
+			tr = append(tr, h)
+			tr = append(tr, m.Neighbors(h)...)
+		}
+	}
+
+	nv := m.NumVerts()
+	perm := make([]int32, 0, nv)
+	seen := make([]bool, nv)
+	for _, v := range tr {
+		if v < 0 || int(v) >= nv {
+			return nil, fmt.Errorf("order: CPACK trace references vertex %d outside [0,%d)", v, nv)
+		}
+		if !seen[v] {
+			seen[v] = true
+			perm = append(perm, v)
+		}
+	}
+	// Untouched vertices keep their relative order at the end.
+	for v := int32(0); v < int32(nv); v++ {
+		if !seen[v] {
+			perm = append(perm, v)
+		}
+	}
+	return perm, nil
+}

@@ -1,0 +1,75 @@
+package order
+
+import (
+	"testing"
+)
+
+func TestCPackExplicitTrace(t *testing.T) {
+	m, _ := testMesh(t)
+	// A trace touching a few vertices, with repeats.
+	tr := []int32{5, 3, 5, 7, 3, 1}
+	perm, err := CPack{Trace: tr}.Compute(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePermutation(perm, m.NumVerts()); err != nil {
+		t.Fatal(err)
+	}
+	// First-touch order: 5, 3, 7, 1 lead the permutation.
+	want := []int32{5, 3, 7, 1}
+	for i, w := range want {
+		if perm[i] != w {
+			t.Errorf("position %d = %d, want %d", i, perm[i], w)
+		}
+	}
+}
+
+func TestCPackFromWalk(t *testing.T) {
+	m, vq := testMesh(t)
+	perm, err := CPack{}.Compute(m, vq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePermutation(perm, m.NumVerts()); err != nil {
+		t.Fatal(err)
+	}
+	// CPACK from the greedy walk is the first-touch packing of the same
+	// traversal RDR predicts: the two permutations must agree closely. RDR
+	// appends each head's *sorted* neighbor block, CPACK records raw touch
+	// order, so allow local divergence but demand strong prefix agreement
+	// in the first positions.
+	rdr, err := RDR{}.Compute(m, vq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm[0] != rdr[0] {
+		t.Errorf("first vertex differs: CPACK %d vs RDR %d", perm[0], rdr[0])
+	}
+	// Positional distance between the two layouts is small on average.
+	posR := Invert(rdr)
+	posC := Invert(perm)
+	var total float64
+	for v := 0; v < m.NumVerts(); v++ {
+		d := float64(posR[v] - posC[v])
+		if d < 0 {
+			d = -d
+		}
+		total += d
+	}
+	if avg := total / float64(m.NumVerts()); avg > float64(m.NumVerts())/10 {
+		t.Errorf("average positional distance RDR vs CPACK = %.1f (of %d)", avg, m.NumVerts())
+	}
+}
+
+func TestCPackErrors(t *testing.T) {
+	m, _ := testMesh(t)
+	if _, err := (CPack{}).Compute(m, nil); err == nil {
+		t.Error("no trace and no qualities accepted")
+	}
+	if _, err := (CPack{Trace: []int32{-1}}).Compute(m, nil); err == nil {
+		t.Error("out-of-range trace vertex accepted")
+	}
+	if (CPack{}).Name() != "CPACK" {
+		t.Error("name")
+	}
+}

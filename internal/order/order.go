@@ -1,0 +1,391 @@
+// Package order implements the vertex orderings studied in the paper:
+//
+//   - ORI: the original generation ordering (identity permutation);
+//   - RANDOM: a uniformly random shuffle (Figure 1's worst case);
+//   - DFS and BFS: depth- and breadth-first traversals, BFS being the
+//     state-of-the-art reordering of Strout and Hovland [18];
+//   - RDR: the paper's contribution (Algorithm 2), a reuse-distance-reducing
+//     ordering driven by initial vertex qualities;
+//   - RCM: reverse Cuthill–McKee, the classic bandwidth-reducing ordering;
+//   - HILBERT and MORTON: space-filling-curve orderings as in Sastry et
+//     al. [14].
+//
+// An ordering computes a newToOld permutation: position k of the result
+// holds the index (in the input mesh) of the vertex that should be stored
+// k-th. mesh.Renumber applies it.
+package order
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+)
+
+// Ordering computes a vertex permutation for a mesh.
+type Ordering interface {
+	// Name identifies the ordering in reports (upper-case, as in the paper).
+	Name() string
+	// Compute returns the newToOld permutation. vertexQuality holds the
+	// initial per-vertex qualities; orderings that do not use quality may
+	// ignore it (and accept nil).
+	Compute(m *mesh.Mesh, vertexQuality []float64) ([]int32, error)
+}
+
+// Original is the identity ordering: the mesh keeps its generation order.
+type Original struct{}
+
+// Name implements Ordering.
+func (Original) Name() string { return "ORI" }
+
+// Compute implements Ordering.
+func (Original) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
+	perm := make([]int32, m.NumVerts())
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	return perm, nil
+}
+
+// Random shuffles the vertices uniformly, the locality worst case of Fig. 1a.
+type Random struct {
+	Seed int64
+}
+
+// Name implements Ordering.
+func (Random) Name() string { return "RANDOM" }
+
+// Compute implements Ordering.
+func (r Random) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
+	perm := make([]int32, m.NumVerts())
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	return perm, nil
+}
+
+// BFS is the breadth-first ordering of Strout and Hovland [18]. The
+// traversal starts from Root (or, when WorstQualityRoot is set, from the
+// vertex with the lowest initial quality) and restarts from the first
+// unvisited vertex for each further connected component.
+type BFS struct {
+	Root             int32
+	WorstQualityRoot bool
+}
+
+// Name implements Ordering.
+func (BFS) Name() string { return "BFS" }
+
+// Compute implements Ordering.
+func (b BFS) Compute(m *mesh.Mesh, vq []float64) ([]int32, error) {
+	nv := m.NumVerts()
+	root := b.Root
+	if b.WorstQualityRoot {
+		if vq == nil {
+			return nil, fmt.Errorf("order: BFS with WorstQualityRoot requires vertex qualities")
+		}
+		root = argminQuality(vq)
+	}
+	if root < 0 || int(root) >= nv {
+		return nil, fmt.Errorf("order: BFS root %d out of range [0,%d)", root, nv)
+	}
+	visited := make([]bool, nv)
+	perm := make([]int32, 0, nv)
+	queue := make([]int32, 0, nv)
+
+	enqueue := func(v int32) {
+		if !visited[v] {
+			visited[v] = true
+			queue = append(queue, v)
+		}
+	}
+	enqueue(root)
+	next := int32(0)
+	for len(perm) < nv {
+		if len(queue) == 0 {
+			for visited[next] {
+				next++
+			}
+			enqueue(next)
+		}
+		v := queue[0]
+		queue = queue[1:]
+		perm = append(perm, v)
+		for _, w := range m.Neighbors(v) {
+			enqueue(w)
+		}
+	}
+	return perm, nil
+}
+
+// DFS orders vertices by a depth-first traversal from Root.
+type DFS struct {
+	Root int32
+}
+
+// Name implements Ordering.
+func (DFS) Name() string { return "DFS" }
+
+// Compute implements Ordering.
+func (d DFS) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
+	nv := m.NumVerts()
+	if d.Root < 0 || int(d.Root) >= nv {
+		return nil, fmt.Errorf("order: DFS root %d out of range [0,%d)", d.Root, nv)
+	}
+	visited := make([]bool, nv)
+	perm := make([]int32, 0, nv)
+	stack := make([]int32, 0, 64)
+
+	start := d.Root
+	next := int32(0)
+	for len(perm) < nv {
+		if len(stack) == 0 {
+			for visited[start] {
+				start = next
+				next++
+			}
+			visited[start] = true
+			stack = append(stack, start)
+		}
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		perm = append(perm, v)
+		// Push neighbors in reverse so the lowest-index neighbor is visited
+		// first, matching the usual recursive DFS order.
+		nbrs := m.Neighbors(v)
+		for i := len(nbrs) - 1; i >= 0; i-- {
+			w := nbrs[i]
+			if !visited[w] {
+				visited[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return perm, nil
+}
+
+// RCM is the reverse Cuthill–McKee ordering: BFS with neighbors visited in
+// increasing-degree order, reversed at the end.
+type RCM struct{}
+
+// Name implements Ordering.
+func (RCM) Name() string { return "RCM" }
+
+// Compute implements Ordering.
+func (RCM) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
+	nv := m.NumVerts()
+	visited := make([]bool, nv)
+	perm := make([]int32, 0, nv)
+	queue := make([]int32, 0, nv)
+	var scratch []int32
+
+	next := int32(0)
+	for len(perm) < nv {
+		if len(queue) == 0 {
+			for visited[next] {
+				next++
+			}
+			// Start each component from a minimum-degree vertex reachable
+			// from `next`'s component; min-degree of the whole remainder is
+			// a cheap, standard peripheral heuristic.
+			start := minDegreeInComponent(m, next, visited)
+			visited[start] = true
+			queue = append(queue, start)
+		}
+		v := queue[0]
+		queue = queue[1:]
+		perm = append(perm, v)
+		scratch = scratch[:0]
+		for _, w := range m.Neighbors(v) {
+			if !visited[w] {
+				visited[w] = true
+				scratch = append(scratch, w)
+			}
+		}
+		sort.Slice(scratch, func(i, j int) bool {
+			di, dj := m.Degree(scratch[i]), m.Degree(scratch[j])
+			if di != dj {
+				return di < dj
+			}
+			return scratch[i] < scratch[j]
+		})
+		queue = append(queue, scratch...)
+	}
+	// Reverse.
+	for i, j := 0, len(perm)-1; i < j; i, j = i+1, j-1 {
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm, nil
+}
+
+func minDegreeInComponent(m *mesh.Mesh, seed int32, visited []bool) int32 {
+	seen := map[int32]bool{seed: true}
+	stack := []int32{seed}
+	best := seed
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if m.Degree(v) < m.Degree(best) || (m.Degree(v) == m.Degree(best) && v < best) {
+			best = v
+		}
+		for _, w := range m.Neighbors(v) {
+			if !visited[w] && !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return best
+}
+
+// Hilbert orders vertices along a Hilbert space-filling curve over their
+// coordinates (Sastry et al. [14]).
+type Hilbert struct{}
+
+// Name implements Ordering.
+func (Hilbert) Name() string { return "HILBERT" }
+
+// Compute implements Ordering.
+func (Hilbert) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
+	return curveOrder(m, func(pts []geom.Point) []uint64 {
+		return geom.HilbertSortKeys(pts, 16)
+	})
+}
+
+// Morton orders vertices along a Z-order (Morton) curve.
+type Morton struct{}
+
+// Name implements Ordering.
+func (Morton) Name() string { return "MORTON" }
+
+// Compute implements Ordering.
+func (Morton) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
+	return curveOrder(m, func(pts []geom.Point) []uint64 {
+		b := geom.BoundsOf(pts)
+		w, h := b.Width(), b.Height()
+		if w == 0 {
+			w = 1
+		}
+		if h == 0 {
+			h = 1
+		}
+		keys := make([]uint64, len(pts))
+		for i, p := range pts {
+			gx := uint32((p.X - b.Min.X) / w * 65535)
+			gy := uint32((p.Y - b.Min.Y) / h * 65535)
+			keys[i] = geom.MortonIndex(gx, gy)
+		}
+		return keys
+	})
+}
+
+func curveOrder(m *mesh.Mesh, keyfn func([]geom.Point) []uint64) ([]int32, error) {
+	keys := keyfn(m.Coords)
+	perm := make([]int32, m.NumVerts())
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		ka, kb := keys[perm[a]], keys[perm[b]]
+		if ka != kb {
+			return ka < kb
+		}
+		return perm[a] < perm[b]
+	})
+	return perm, nil
+}
+
+// Reversed wraps another ordering and reverses its result, as in the
+// reversed-BFS variant Munson and Hovland [19] found effective.
+type Reversed struct {
+	Inner Ordering
+}
+
+// Name implements Ordering.
+func (r Reversed) Name() string { return "R" + r.Inner.Name() }
+
+// Compute implements Ordering.
+func (r Reversed) Compute(m *mesh.Mesh, vq []float64) ([]int32, error) {
+	perm, err := r.Inner.Compute(m, vq)
+	if err != nil {
+		return nil, err
+	}
+	for i, j := 0, len(perm)-1; i < j; i, j = i+1, j-1 {
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm, nil
+}
+
+func argminQuality(vq []float64) int32 {
+	best := 0
+	for i, q := range vq {
+		if q < vq[best] {
+			best = i
+		}
+	}
+	return int32(best)
+}
+
+// ValidatePermutation checks that perm is a permutation of 0..n-1.
+func ValidatePermutation(perm []int32, n int) error {
+	if len(perm) != n {
+		return fmt.Errorf("order: permutation length %d != %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for pos, v := range perm {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("order: entry %d at position %d out of range", v, pos)
+		}
+		if seen[v] {
+			return fmt.Errorf("order: vertex %d appears twice", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Invert returns the inverse permutation: out[perm[i]] = i.
+func Invert(perm []int32) []int32 {
+	out := make([]int32, len(perm))
+	for i, v := range perm {
+		out[v] = int32(i)
+	}
+	return out
+}
+
+// ByName returns the named ordering with default parameters. Recognized
+// names (case sensitive, as used in reports): ORI, RANDOM, BFS, DFS, RDR,
+// RCM, HILBERT, MORTON.
+func ByName(name string) (Ordering, error) {
+	switch name {
+	case "ORI":
+		return Original{}, nil
+	case "RANDOM":
+		return Random{Seed: 1}, nil
+	case "BFS":
+		return BFS{}, nil
+	case "DFS":
+		return DFS{}, nil
+	case "RDR":
+		return RDR{}, nil
+	case "RCM":
+		return RCM{}, nil
+	case "HILBERT":
+		return Hilbert{}, nil
+	case "MORTON":
+		return Morton{}, nil
+	case "CPACK":
+		return CPack{}, nil
+	default:
+		return nil, fmt.Errorf("order: unknown ordering %q", name)
+	}
+}
+
+// Names lists the orderings ByName recognizes, in report order.
+func Names() []string {
+	return []string{"ORI", "RANDOM", "BFS", "DFS", "RDR", "RCM", "HILBERT", "MORTON", "CPACK"}
+}

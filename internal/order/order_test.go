@@ -1,0 +1,307 @@
+package order
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+	"lams/internal/quality"
+)
+
+// testMesh builds a small generated mesh shared by the ordering tests.
+func testMesh(t testing.TB) (*mesh.Mesh, []float64) {
+	t.Helper()
+	m, err := mesh.Generate("crake", 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, quality.VertexQualities(m, quality.EdgeRatio{})
+}
+
+// gridMesh builds a deterministic structured mesh for exact-order tests.
+func gridMesh(t testing.TB, nx, ny int) *mesh.Mesh {
+	t.Helper()
+	pts := make([]geom.Point, 0, nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			pts = append(pts, geom.Point{X: float64(x), Y: float64(y)})
+		}
+	}
+	var tris [][3]int32
+	at := func(x, y int) int32 { return int32(y*nx + x) }
+	for y := 0; y+1 < ny; y++ {
+		for x := 0; x+1 < nx; x++ {
+			tris = append(tris, [3]int32{at(x, y), at(x+1, y), at(x, y+1)})
+			tris = append(tris, [3]int32{at(x+1, y), at(x+1, y+1), at(x, y+1)})
+		}
+	}
+	m, err := mesh.New(pts, tris)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAllOrderingsAreValidPermutations(t *testing.T) {
+	m, vq := testMesh(t)
+	for _, name := range Names() {
+		ord, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm, err := ord.Compute(m, vq)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := ValidatePermutation(perm, m.NumVerts()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestOriginalIsIdentity(t *testing.T) {
+	m, _ := testMesh(t)
+	perm, err := Original{}.Compute(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range perm {
+		if int32(i) != v {
+			t.Fatalf("position %d holds %d", i, v)
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	m, _ := testMesh(t)
+	a, _ := Random{Seed: 5}.Compute(m, nil)
+	b, _ := Random{Seed: 5}.Compute(m, nil)
+	c, _ := Random{Seed: 6}.Compute(m, nil)
+	same, diff := true, false
+	for i := range a {
+		same = same && a[i] == b[i]
+		diff = diff || a[i] != c[i]
+	}
+	if !same {
+		t.Error("same seed gave different shuffles")
+	}
+	if !diff {
+		t.Error("different seeds gave identical shuffles")
+	}
+}
+
+func TestBFSLevelOrder(t *testing.T) {
+	// On a path-of-triangles grid, BFS from vertex 0 orders vertices by
+	// graph distance from 0.
+	m := gridMesh(t, 10, 3)
+	perm, err := BFS{}.Compute(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := bfsDistances(m, 0)
+	for i := 1; i < len(perm); i++ {
+		if dist[perm[i]] < dist[perm[i-1]] {
+			t.Fatalf("BFS order not by level at position %d", i)
+		}
+	}
+	if perm[0] != 0 {
+		t.Error("BFS must start at the root")
+	}
+}
+
+func bfsDistances(m *mesh.Mesh, root int32) []int {
+	dist := make([]int, m.NumVerts())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	queue := []int32{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range m.Neighbors(v) {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+func TestBFSWorstQualityRoot(t *testing.T) {
+	m, vq := testMesh(t)
+	perm, err := BFS{WorstQualityRoot: true}.Compute(m, vq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := argminQuality(vq)
+	if perm[0] != worst {
+		t.Errorf("root = %d, worst = %d", perm[0], worst)
+	}
+	if _, err := (BFS{WorstQualityRoot: true}).Compute(m, nil); err == nil {
+		t.Error("missing qualities should error")
+	}
+	if _, err := (BFS{Root: -1}).Compute(m, nil); err == nil {
+		t.Error("bad root should error")
+	}
+}
+
+func TestDFSDepthFirst(t *testing.T) {
+	m := gridMesh(t, 6, 6)
+	perm, err := DFS{}.Compute(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePermutation(perm, m.NumVerts()); err != nil {
+		t.Fatal(err)
+	}
+	if perm[0] != 0 {
+		t.Error("DFS must start at root 0")
+	}
+	// Second visited vertex is the lowest-index neighbor of the root.
+	if perm[1] != m.Neighbors(0)[0] {
+		t.Errorf("DFS second vertex = %d, want %d", perm[1], m.Neighbors(0)[0])
+	}
+	if _, err := (DFS{Root: 1 << 30}).Compute(m, nil); err == nil {
+		t.Error("bad root should error")
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	m, vq := testMesh(t)
+	rcm, err := RCM{}.Compute(m, vq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, _ := Random{Seed: 3}.Compute(m, nil)
+	if bw := bandwidth(m, rcm); bw >= bandwidth(m, random) {
+		t.Errorf("RCM bandwidth %d not better than random %d", bw, bandwidth(m, random))
+	}
+}
+
+// bandwidth computes the maximum |pos(u)-pos(v)| over mesh edges under the
+// newToOld permutation.
+func bandwidth(m *mesh.Mesh, newToOld []int32) int32 {
+	pos := Invert(newToOld)
+	var bw int32
+	for v := int32(0); v < int32(m.NumVerts()); v++ {
+		for _, w := range m.Neighbors(v) {
+			d := pos[v] - pos[w]
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+func TestSpaceFillingCurvesImproveLocality(t *testing.T) {
+	m, vq := testMesh(t)
+	random, _ := Random{Seed: 4}.Compute(m, nil)
+	for _, name := range []string{"HILBERT", "MORTON"} {
+		ord, _ := ByName(name)
+		perm, err := ord.Compute(m, vq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if avgEdgeSpan(m, perm) >= avgEdgeSpan(m, random) {
+			t.Errorf("%s does not beat random edge span", name)
+		}
+	}
+}
+
+func avgEdgeSpan(m *mesh.Mesh, newToOld []int32) float64 {
+	pos := Invert(newToOld)
+	var total float64
+	var n int
+	for v := int32(0); v < int32(m.NumVerts()); v++ {
+		for _, w := range m.Neighbors(v) {
+			if w > v {
+				total += math.Abs(float64(pos[v] - pos[w]))
+				n++
+			}
+		}
+	}
+	return total / float64(n)
+}
+
+func TestReversed(t *testing.T) {
+	m, vq := testMesh(t)
+	inner := BFS{}
+	rev := Reversed{Inner: inner}
+	if rev.Name() != "RBFS" {
+		t.Errorf("name = %s", rev.Name())
+	}
+	a, err := inner.Compute(m, vq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rev.Compute(m, vq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[len(b)-1-i] {
+			t.Fatal("Reversed is not the reverse of its inner ordering")
+		}
+	}
+}
+
+func TestInvertProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(13))}
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		perm := rand.New(rand.NewSource(seed)).Perm(n)
+		p32 := make([]int32, n)
+		for i, v := range perm {
+			p32[i] = int32(v)
+		}
+		inv := Invert(p32)
+		for i, v := range p32 {
+			if inv[v] != int32(i) {
+				return false
+			}
+		}
+		return ValidatePermutation(inv, n) == nil
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidatePermutationErrors(t *testing.T) {
+	if err := ValidatePermutation([]int32{0, 1}, 3); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if err := ValidatePermutation([]int32{0, 1, 1}, 3); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := ValidatePermutation([]int32{0, 1, 5}, 3); err == nil {
+		t.Error("out of range accepted")
+	}
+	if err := ValidatePermutation([]int32{2, 0, 1}, 3); err != nil {
+		t.Errorf("valid permutation rejected: %v", err)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("FOO"); err == nil {
+		t.Error("unknown ordering accepted")
+	}
+	for _, n := range Names() {
+		ord, err := ByName(n)
+		if err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+		if ord.Name() != n && !(n == "RANDOM" && ord.Name() == "RANDOM") {
+			t.Errorf("ByName(%q).Name() = %q", n, ord.Name())
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package order
+
+import (
+	"testing"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+	"lams/internal/quality"
+)
+
+func TestRDRTheorem1(t *testing.T) {
+	// Theorem 1: Algorithm 2 orders every element of the mesh exactly once.
+	m, vq := testMesh(t)
+	perm, err := RDR{}.Compute(m, vq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePermutation(perm, m.NumVerts()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRDRRequiresQualities(t *testing.T) {
+	m, _ := testMesh(t)
+	if _, err := (RDR{}).Compute(m, nil); err == nil {
+		t.Error("nil qualities accepted")
+	}
+	if _, err := (RDR{}).Compute(m, []float64{1, 2}); err == nil {
+		t.Error("short qualities accepted")
+	}
+}
+
+func TestRDRStartsAtWorstInterior(t *testing.T) {
+	m, vq := testMesh(t)
+	perm, err := RDR{}.Compute(m, vq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := m.InteriorVerts[0]
+	for _, v := range m.InteriorVerts {
+		if vq[v] < vq[worst] {
+			worst = v
+		}
+	}
+	if perm[0] != worst {
+		t.Errorf("first ordered vertex %d (q=%.4f), want worst interior %d (q=%.4f)",
+			perm[0], vq[perm[0]], worst, vq[worst])
+	}
+}
+
+func TestRDRDeterministic(t *testing.T) {
+	m, vq := testMesh(t)
+	a, _ := RDR{}.Compute(m, vq)
+	b, _ := RDR{}.Compute(m, vq)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RDR not deterministic")
+		}
+	}
+}
+
+func TestRDRDescendingDiffers(t *testing.T) {
+	m, vq := testMesh(t)
+	asc, _ := RDR{}.Compute(m, vq)
+	desc, err := RDR{SortDescending: true}.Compute(m, vq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePermutation(desc, m.NumVerts()); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range asc {
+		if asc[i] != desc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("descending RDR identical to ascending")
+	}
+	if (RDR{SortDescending: true}).Name() != "RDR-DESC" || (RDR{}).Name() != "RDR" {
+		t.Error("RDR names wrong")
+	}
+}
+
+func TestGreedyWalkCoversInterior(t *testing.T) {
+	m, vq := testMesh(t)
+	w, err := GreedyWalk(m, vq, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int32]int)
+	for _, h := range w.Heads {
+		seen[h]++
+	}
+	for _, v := range m.InteriorVerts {
+		if seen[v] != 1 {
+			t.Fatalf("interior vertex %d processed %d times", v, seen[v])
+		}
+	}
+	// No head is processed twice.
+	for h, n := range seen {
+		if n != 1 {
+			t.Fatalf("vertex %d processed %d times", h, n)
+		}
+	}
+	// Appends are unique.
+	ap := make(map[int32]bool)
+	for _, v := range w.Appends {
+		if ap[v] {
+			t.Fatalf("vertex %d appended twice", v)
+		}
+		ap[v] = true
+	}
+}
+
+func TestGreedyWalkBadInput(t *testing.T) {
+	m, _ := testMesh(t)
+	if _, err := GreedyWalk(m, []float64{0}, false); err == nil {
+		t.Error("short qualities accepted")
+	}
+}
+
+func TestRDRWalkHeadsFollowQualityGreedily(t *testing.T) {
+	// First head is the worst interior vertex; the second head is its
+	// worst-quality unprocessed neighbor.
+	m, vq := testMesh(t)
+	w, err := GreedyWalk(m, vq, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := w.Heads[0]
+	var want int32 = -1
+	for _, u := range m.Neighbors(h0) {
+		if want == -1 || vq[u] < vq[want] || (vq[u] == vq[want] && u < want) {
+			want = u
+		}
+	}
+	if w.Heads[1] != want {
+		t.Errorf("second head %d, want worst neighbor %d", w.Heads[1], want)
+	}
+}
+
+func TestRDRCompletionSweepOnBoundaryOnlyComponent(t *testing.T) {
+	// A mesh with no interior vertices (single triangle) exercises the
+	// completion sweep: RDR must still return a full permutation.
+	m := singleTriangle(t)
+	vq := quality.VertexQualities(m, quality.EdgeRatio{})
+	perm, err := RDR{}.Compute(m, vq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePermutation(perm, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func singleTriangle(t *testing.T) *mesh.Mesh {
+	t.Helper()
+	m, err := mesh.New(
+		[]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}},
+		[][3]int32{{0, 1, 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

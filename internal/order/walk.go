@@ -1,0 +1,94 @@
+package order
+
+import (
+	"fmt"
+	"sort"
+
+	"lams/internal/mesh"
+)
+
+// Walk is the result of the quality-greedy traversal that both the paper's
+// Laplacian smoother (§4.2) and the RDR ordering (Algorithm 2) follow.
+//
+// Heads is the sequence of vertices the traversal processes: starting from
+// the worst-quality interior vertex, it repeatedly moves to the
+// worst-quality unprocessed neighbor, restarting from the globally
+// worst-quality unprocessed interior vertex when it gets stuck. Every
+// interior vertex appears exactly once (boundary vertices may also appear,
+// when the walk steps onto them).
+//
+// Appends is the order vertices are first *touched* (appended to Vnew in
+// Algorithm 2): each processed head appends its not-yet-appended neighbors
+// sorted by increasing quality. This is the RDR permutation, modulo the
+// final completion sweep.
+type Walk struct {
+	Heads   []int32
+	Appends []int32
+}
+
+// GreedyWalk runs Algorithm 2's traversal over the mesh with the given
+// initial vertex qualities. When descending is true the quality comparisons
+// are reversed (best-first; an ablation).
+func GreedyWalk(m *mesh.Mesh, vq []float64, descending bool) (Walk, error) {
+	nv := m.NumVerts()
+	if len(vq) != nv {
+		return Walk{}, fmt.Errorf("order: quality slice length %d != vertex count %d", len(vq), nv)
+	}
+	less := func(a, b int32) bool {
+		if vq[a] != vq[b] {
+			if descending {
+				return vq[a] > vq[b]
+			}
+			return vq[a] < vq[b]
+		}
+		return a < b // deterministic tie-break
+	}
+
+	// Line 6: interior vertices sorted by increasing quality.
+	seeds := append([]int32(nil), m.InteriorVerts...)
+	sort.Slice(seeds, func(i, j int) bool { return less(seeds[i], seeds[j]) })
+
+	w := Walk{
+		Heads:   make([]int32, 0, nv),
+		Appends: make([]int32, 0, nv),
+	}
+	processed := make([]bool, nv) // line 3
+	sorted := make([]bool, nv)    // line 4
+	var l []int32
+	neighborsOf := func(v int32) []int32 { // lines 13/23
+		l = l[:0]
+		for _, u := range m.Neighbors(v) {
+			if !processed[u] {
+				l = append(l, u)
+			}
+		}
+		sort.Slice(l, func(i, j int) bool { return less(l[i], l[j]) })
+		return l
+	}
+
+	for _, i := range seeds {
+		if processed[i] { // line 7
+			continue
+		}
+		if !sorted[i] { // lines 8-11
+			w.Appends = append(w.Appends, i)
+			sorted[i] = true
+		}
+		processed[i] = true // line 12
+		w.Heads = append(w.Heads, i)
+		l = neighborsOf(i)
+		for len(l) > 0 { // line 14
+			for _, u := range l { // lines 15-21
+				if !sorted[u] {
+					w.Appends = append(w.Appends, u)
+					sorted[u] = true
+				}
+			}
+			head := l[0]
+			processed[head] = true // line 22
+			w.Heads = append(w.Heads, head)
+			l = neighborsOf(head)
+		}
+	}
+	return w, nil
+}

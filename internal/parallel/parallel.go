@@ -1,0 +1,55 @@
+// Package parallel provides the static work partitioning and worker-pool
+// helpers that stand in for the paper's OpenMP runtime
+// (schedule(static) with KMP_AFFINITY=compact: contiguous chunks of the
+// vertex array, one per pinned thread).
+package parallel
+
+import "sync"
+
+// Chunk is a half-open index range [Lo, Hi).
+type Chunk struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the chunk.
+func (c Chunk) Len() int { return c.Hi - c.Lo }
+
+// SplitChunks partitions [0, n) into parts contiguous chunks whose sizes
+// differ by at most one, exactly like OpenMP's schedule(static). When
+// parts > n the trailing chunks are empty.
+func SplitChunks(n, parts int) []Chunk {
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([]Chunk, parts)
+	base := n / parts
+	rem := n % parts
+	lo := 0
+	for i := range out {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = Chunk{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return out
+}
+
+// ForEachChunk runs fn(workerID, chunk) on every chunk concurrently and
+// waits for all of them.
+func ForEachChunk(chunks []Chunk, fn func(worker int, c Chunk)) {
+	if len(chunks) == 1 {
+		fn(0, chunks[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for w, c := range chunks {
+		wg.Add(1)
+		go func(w int, c Chunk) {
+			defer wg.Done()
+			fn(w, c)
+		}(w, c)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitChunksExact(t *testing.T) {
+	chunks := SplitChunks(10, 3)
+	want := []Chunk{{0, 4}, {4, 7}, {7, 10}}
+	for i, c := range chunks {
+		if c != want[i] {
+			t.Errorf("chunk %d = %+v, want %+v", i, c, want[i])
+		}
+	}
+}
+
+func TestSplitChunksProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(18))}
+	f := func(nRaw, pRaw uint16) bool {
+		n := int(nRaw % 10000)
+		p := int(pRaw%64) + 1
+		chunks := SplitChunks(n, p)
+		if len(chunks) != p {
+			return false
+		}
+		// Chunks tile [0, n) contiguously with sizes differing by <= 1.
+		lo := 0
+		minLen, maxLen := 1<<30, 0
+		for _, c := range chunks {
+			if c.Lo != lo || c.Hi < c.Lo {
+				return false
+			}
+			lo = c.Hi
+			if c.Len() < minLen {
+				minLen = c.Len()
+			}
+			if c.Len() > maxLen {
+				maxLen = c.Len()
+			}
+		}
+		return lo == n && maxLen-minLen <= 1
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitChunksMoreWorkersThanWork(t *testing.T) {
+	chunks := SplitChunks(2, 5)
+	total := 0
+	for _, c := range chunks {
+		total += c.Len()
+	}
+	if total != 2 {
+		t.Errorf("chunks cover %d items", total)
+	}
+}
+
+func TestSplitChunksClampsParts(t *testing.T) {
+	if got := SplitChunks(5, 0); len(got) != 1 || got[0] != (Chunk{0, 5}) {
+		t.Errorf("chunks = %v", got)
+	}
+}
+
+func TestForEachChunk(t *testing.T) {
+	chunks := SplitChunks(1000, 8)
+	var sum int64
+	ForEachChunk(chunks, func(w int, c Chunk) {
+		var local int64
+		for i := c.Lo; i < c.Hi; i++ {
+			local += int64(i)
+		}
+		atomic.AddInt64(&sum, local)
+	})
+	if sum != 999*1000/2 {
+		t.Errorf("sum = %d", sum)
+	}
+	// Single chunk runs inline.
+	ran := false
+	ForEachChunk([]Chunk{{0, 1}}, func(w int, c Chunk) { ran = true })
+	if !ran {
+		t.Error("single chunk not executed")
+	}
+}

@@ -1,0 +1,165 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"lams/internal/cache"
+	"lams/internal/trace"
+)
+
+func TestPlacement(t *testing.T) {
+	m := Default()
+	m.Pinning = Compact
+	n, mapping := m.placement(10)
+	if n != 10 {
+		t.Errorf("compact cores = %d", n)
+	}
+	for i, c := range mapping {
+		if c != i {
+			t.Errorf("compact mapping[%d] = %d", i, c)
+		}
+	}
+
+	m.Pinning = Scatter
+	_, mapping = m.placement(8)
+	// Threads 0..3 land on sockets 0..3 (cores 0, 8, 16, 24); threads 4..7
+	// are the second core of each socket.
+	want := []int{0, 8, 16, 24, 1, 9, 17, 25}
+	for i, c := range mapping {
+		if c != want[i] {
+			t.Errorf("scatter mapping[%d] = %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestSpeedupGain(t *testing.T) {
+	if Speedup(10, 2) != 5 {
+		t.Error("speedup")
+	}
+	if Speedup(10, 0) != 0 {
+		t.Error("zero-time speedup")
+	}
+	if Gain(10, 8) != 0.2 {
+		t.Error("gain")
+	}
+	if Gain(0, 8) != 0 {
+		t.Error("zero-base gain")
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	mdl := Default()
+	mdl.Cache = cache.Scaled(100)
+	tb := trace.NewBuffer(1)
+	for i := int32(0); i < 100; i++ {
+		tb.Access(0, i%10)
+	}
+	est, err := mdl.Run(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Cores != 1 || est.Seconds <= 0 {
+		t.Errorf("estimate = %+v", est)
+	}
+	if est.BaseCycles != mdl.ComputeCyclesPerAccess*100 {
+		t.Errorf("base cycles = %v", est.BaseCycles)
+	}
+	if len(est.Levels) != 3 {
+		t.Errorf("levels = %d", len(est.Levels))
+	}
+}
+
+func TestRunMoreCoresFaster(t *testing.T) {
+	mdl := Default()
+	mdl.Cache = cache.Scaled(4000)
+	// Same total work split over 1 vs 4 cores as contiguous chunks, the
+	// static partitioning the smoother uses.
+	mk := func(p int) *trace.Buffer {
+		tb := trace.NewBuffer(p)
+		perCore := 40000 / p
+		for c := 0; c < p; c++ {
+			for i := 0; i < perCore; i++ {
+				v := int32((c*perCore + i) % 4000)
+				tb.Access(c, v)
+			}
+		}
+		return tb
+	}
+	e1, err := mdl.Run(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e4, err := mdl.Run(mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e4.Seconds >= e1.Seconds {
+		t.Errorf("4 cores (%v) not faster than 1 (%v)", e4.Seconds, e1.Seconds)
+	}
+	if e4.Seconds > e1.Seconds/2 {
+		t.Errorf("4 cores only %.2fx faster", e1.Seconds/e4.Seconds)
+	}
+}
+
+func TestScaleEstimate(t *testing.T) {
+	first := Estimate{Seconds: 1, BaseCycles: 10, PenaltyCycles: 5,
+		Levels:         []cache.LevelStats{{Name: "L1", Accesses: 100, Misses: 10}},
+		PerCoreSeconds: []float64{1}}
+	full := Estimate{Seconds: 3, BaseCycles: 30, PenaltyCycles: 9,
+		Levels:      []cache.LevelStats{{Name: "L1", Accesses: 300, Misses: 14}},
+		MemAccesses: 8, PerCoreSeconds: []float64{3}}
+	// Traced 3 iterations (1 cold + 2 steady), want 5 total:
+	// steady-state part scales by (5-1)/(3-1) = 2.
+	got := ScaleEstimate(full, first, 3, 5)
+	if got.Seconds != 1+(3-1)*2 {
+		t.Errorf("seconds = %v", got.Seconds)
+	}
+	if got.PenaltyCycles != 5+(9-5)*2 {
+		t.Errorf("penalty = %v", got.PenaltyCycles)
+	}
+	if got.Levels[0].Misses != 10+(14-10)*2 {
+		t.Errorf("L1 misses = %d", got.Levels[0].Misses)
+	}
+	// No-op cases.
+	if got := ScaleEstimate(full, first, 1, 5); got.Seconds != full.Seconds {
+		t.Error("tracedIters<2 should be a no-op")
+	}
+	if got := ScaleEstimate(full, first, 3, 3); got.Seconds != full.Seconds {
+		t.Error("totalIters<=traced should be a no-op")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	mdl := Default()
+	if err := mdl.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := mdl
+	bad.ComputeCyclesPerAccess = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero work accepted")
+	}
+	bad = mdl
+	bad.FrequencyHz = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	bad = mdl
+	bad.Cache.Levels = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no levels accepted")
+	}
+}
+
+func TestForMeshSize(t *testing.T) {
+	m := ForMeshSize(10000)
+	if m.Cache.Levels[2].SizeBytes >= cache.Westmere().Levels[2].SizeBytes {
+		t.Error("cache not scaled")
+	}
+}
+
+func TestPinningString(t *testing.T) {
+	if Compact.String() != "compact" || Scatter.String() != "scatter" {
+		t.Error("pinning names")
+	}
+}

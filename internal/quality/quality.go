@@ -1,0 +1,143 @@
+// Package quality implements the mesh quality metrics of the paper: the
+// edge-length ratio of Knupp [7] (the metric the paper smooths with and the
+// key that drives the RDR ordering), plus minimum-angle and aspect-ratio
+// metrics used by the ablation studies.
+//
+// All metrics map a triangle to [0, 1], where 1 is the equilateral ideal.
+// Vertex quality is the average metric over the triangles attached to the
+// vertex; global quality is the average of all vertex qualities — exactly as
+// §3.2 defines them.
+package quality
+
+import (
+	"math"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+)
+
+// Metric maps a triangle to a quality value in [0, 1].
+type Metric interface {
+	// Triangle returns the quality of triangle (a, b, c).
+	Triangle(a, b, c geom.Point) float64
+	// Name identifies the metric in reports.
+	Name() string
+}
+
+// EdgeRatio is the edge-length ratio metric: the ratio of the shortest to
+// the longest edge of the triangle. It is 1 for an equilateral triangle and
+// approaches 0 as the triangle degenerates.
+type EdgeRatio struct{}
+
+// Name implements Metric.
+func (EdgeRatio) Name() string { return "edge-length-ratio" }
+
+// Triangle implements Metric.
+func (EdgeRatio) Triangle(a, b, c geom.Point) float64 {
+	e0 := a.Dist(b)
+	e1 := b.Dist(c)
+	e2 := c.Dist(a)
+	lo := math.Min(e0, math.Min(e1, e2))
+	hi := math.Max(e0, math.Max(e1, e2))
+	if hi == 0 {
+		return 0
+	}
+	return lo / hi
+}
+
+// MinAngle is the normalized minimum-angle metric: the smallest interior
+// angle divided by 60 degrees.
+type MinAngle struct{}
+
+// Name implements Metric.
+func (MinAngle) Name() string { return "min-angle" }
+
+// Triangle implements Metric.
+func (MinAngle) Triangle(a, b, c geom.Point) float64 {
+	ang := func(p, q, r geom.Point) float64 {
+		u, v := q.Sub(p), r.Sub(p)
+		nu, nv := u.Norm(), v.Norm()
+		if nu == 0 || nv == 0 {
+			return 0
+		}
+		cos := u.Dot(v) / (nu * nv)
+		cos = math.Max(-1, math.Min(1, cos))
+		return math.Acos(cos)
+	}
+	m := math.Min(ang(a, b, c), math.Min(ang(b, c, a), ang(c, a, b)))
+	return m / (math.Pi / 3)
+}
+
+// AspectRatio is the normalized area-to-edge metric
+// 4*sqrt(3)*area / (sum of squared edge lengths), which is 1 for an
+// equilateral triangle and 0 for a degenerate one.
+type AspectRatio struct{}
+
+// Name implements Metric.
+func (AspectRatio) Name() string { return "aspect-ratio" }
+
+// Triangle implements Metric.
+func (AspectRatio) Triangle(a, b, c geom.Point) float64 {
+	area := geom.TriangleArea(a, b, c)
+	s := a.Dist2(b) + b.Dist2(c) + c.Dist2(a)
+	if s == 0 {
+		return 0
+	}
+	return 4 * math.Sqrt(3) * area / s
+}
+
+// TriangleQualities returns the metric value of every triangle.
+func TriangleQualities(m *mesh.Mesh, met Metric) []float64 {
+	out := make([]float64, m.NumTris())
+	for i, tv := range m.Tris {
+		out[i] = met.Triangle(m.Coords[tv[0]], m.Coords[tv[1]], m.Coords[tv[2]])
+	}
+	return out
+}
+
+// VertexQualities returns the quality of every vertex: the average metric
+// value of the triangles attached to it (§3.2).
+func VertexQualities(m *mesh.Mesh, met Metric) []float64 {
+	triQ := TriangleQualities(m, met)
+	out := make([]float64, m.NumVerts())
+	for v := int32(0); v < int32(m.NumVerts()); v++ {
+		ts := m.VertTris(v)
+		if len(ts) == 0 {
+			continue
+		}
+		var s float64
+		for _, t := range ts {
+			s += triQ[t]
+		}
+		out[v] = s / float64(len(ts))
+	}
+	return out
+}
+
+// VertexQuality recomputes the quality of a single vertex from the current
+// coordinates (used by incremental updates during smoothing).
+func VertexQuality(m *mesh.Mesh, met Metric, v int32) float64 {
+	ts := m.VertTris(v)
+	if len(ts) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range ts {
+		tv := m.Tris[t]
+		s += met.Triangle(m.Coords[tv[0]], m.Coords[tv[1]], m.Coords[tv[2]])
+	}
+	return s / float64(len(ts))
+}
+
+// Global returns the mesh-wide quality: the average vertex quality (§3.2).
+func Global(m *mesh.Mesh, met Metric) float64 {
+	vq := VertexQualities(m, met)
+	if len(vq) == 0 {
+		return 0
+	}
+	var s float64
+	for _, q := range vq {
+		s += q
+	}
+	return s / float64(len(vq))
+}

@@ -1,0 +1,166 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+)
+
+var equilateral = [3]geom.Point{
+	{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0.5, Y: math.Sqrt(3) / 2},
+}
+
+func TestMetricsEquilateral(t *testing.T) {
+	for _, met := range []Metric{EdgeRatio{}, MinAngle{}, AspectRatio{}} {
+		got := met.Triangle(equilateral[0], equilateral[1], equilateral[2])
+		if math.Abs(got-1) > 1e-12 {
+			t.Errorf("%s(equilateral) = %v, want 1", met.Name(), got)
+		}
+	}
+}
+
+func TestMetricsDegenerate(t *testing.T) {
+	a, b, c := geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 0}, geom.Point{X: 2, Y: 0}
+	for _, met := range []Metric{MinAngle{}, AspectRatio{}} {
+		if got := met.Triangle(a, b, c); got != 0 {
+			t.Errorf("%s(collinear) = %v, want 0", met.Name(), got)
+		}
+	}
+	// Edge ratio of a collinear "triangle" is still min/max edge length;
+	// the degenerate zero-size case is the one that must not divide by 0.
+	if got := (EdgeRatio{}).Triangle(a, a, a); got != 0 {
+		t.Errorf("EdgeRatio(point) = %v", got)
+	}
+	if got := (AspectRatio{}).Triangle(a, a, a); got != 0 {
+		t.Errorf("AspectRatio(point) = %v", got)
+	}
+	if got := (MinAngle{}).Triangle(a, a, a); got != 0 {
+		t.Errorf("MinAngle(point) = %v", got)
+	}
+}
+
+func TestEdgeRatioKnown(t *testing.T) {
+	// Right isoceles with legs 1: edges 1, 1, sqrt2 -> ratio 1/sqrt2.
+	got := (EdgeRatio{}).Triangle(geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 0}, geom.Point{X: 0, Y: 1})
+	want := 1 / math.Sqrt2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("edge ratio = %v, want %v", got, want)
+	}
+}
+
+func TestMinAngleKnown(t *testing.T) {
+	// Right isoceles: min angle 45 degrees -> 45/60 = 0.75.
+	got := (MinAngle{}).Triangle(geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 0}, geom.Point{X: 0, Y: 1})
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("min angle = %v, want 0.75", got)
+	}
+}
+
+func TestMetricsInUnitRange(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(12))}
+	for _, met := range []Metric{EdgeRatio{}, MinAngle{}, AspectRatio{}} {
+		met := met
+		f := func(ax, ay, bx, by, cx, cy float32) bool {
+			q := met.Triangle(
+				geom.Point{X: float64(ax), Y: float64(ay)},
+				geom.Point{X: float64(bx), Y: float64(by)},
+				geom.Point{X: float64(cx), Y: float64(cy)},
+			)
+			return q >= 0 && q <= 1+1e-9
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", met.Name(), err)
+		}
+	}
+}
+
+// fanMesh builds a regular fan (center + ring) whose triangles are all
+// congruent, so every quality is identical and easy to check.
+func fanMesh(t *testing.T, n int) *mesh.Mesh {
+	t.Helper()
+	pts := []geom.Point{{X: 0, Y: 0}}
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		pts = append(pts, geom.Point{X: math.Cos(a), Y: math.Sin(a)})
+	}
+	var tris [][3]int32
+	for i := 0; i < n; i++ {
+		tris = append(tris, [3]int32{0, int32(1 + i), int32(1 + (i+1)%n)})
+	}
+	m, err := mesh.New(pts, tris)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestVertexAndGlobalQuality(t *testing.T) {
+	m := fanMesh(t, 6)
+	met := EdgeRatio{}
+	tq := TriangleQualities(m, met)
+	// Hexagonal fan triangles are equilateral.
+	for i, q := range tq {
+		if math.Abs(q-1) > 1e-9 {
+			t.Errorf("triangle %d quality %v", i, q)
+		}
+	}
+	vq := VertexQualities(m, met)
+	for v, q := range vq {
+		if math.Abs(q-1) > 1e-9 {
+			t.Errorf("vertex %d quality %v", v, q)
+		}
+		if got := VertexQuality(m, met, int32(v)); math.Abs(got-q) > 1e-12 {
+			t.Errorf("VertexQuality(%d) = %v, VertexQualities = %v", v, got, q)
+		}
+	}
+	if g := Global(m, met); math.Abs(g-1) > 1e-9 {
+		t.Errorf("global = %v", g)
+	}
+}
+
+func TestVertexQualityIsTriangleAverage(t *testing.T) {
+	m := fanMesh(t, 5) // pentagon fan: not equilateral
+	met := EdgeRatio{}
+	tq := TriangleQualities(m, met)
+	vq := VertexQualities(m, met)
+	// Center vertex touches all triangles.
+	var want float64
+	for _, q := range tq {
+		want += q
+	}
+	want /= float64(len(tq))
+	if math.Abs(vq[0]-want) > 1e-12 {
+		t.Errorf("center quality %v, want %v", vq[0], want)
+	}
+	// Ring vertex 1 touches triangles 0 and n-1.
+	want = (tq[0] + tq[len(tq)-1]) / 2
+	if math.Abs(vq[1]-want) > 1e-12 {
+		t.Errorf("ring quality %v, want %v", vq[1], want)
+	}
+}
+
+func TestGlobalIsVertexAverage(t *testing.T) {
+	m := fanMesh(t, 7)
+	met := AspectRatio{}
+	vq := VertexQualities(m, met)
+	var want float64
+	for _, q := range vq {
+		want += q
+	}
+	want /= float64(len(vq))
+	if got := Global(m, met); math.Abs(got-want) > 1e-12 {
+		t.Errorf("global = %v, want %v", got, want)
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	if (EdgeRatio{}).Name() != "edge-length-ratio" ||
+		(MinAngle{}).Name() != "min-angle" ||
+		(AspectRatio{}).Name() != "aspect-ratio" {
+		t.Error("metric name mismatch")
+	}
+}

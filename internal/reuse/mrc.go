@@ -1,0 +1,65 @@
+package reuse
+
+import (
+	"math"
+	"sort"
+)
+
+// MissRatioCurve computes the LRU miss-ratio curve from a distance slice:
+// for each capacity c (in elements), the fraction of accesses that miss an
+// LRU cache of that capacity under the §3.1 model (stack distance >= c, or
+// cold). Because LRU stack distances fully determine misses at every
+// capacity simultaneously, one pass over the histogram yields the whole
+// curve — the classic Mattson et al. construction the reuse-distance
+// literature (Beyls and D'Hollander [1]) builds on.
+//
+// The returned curve has len(capacities) entries aligned with the input.
+func MissRatioCurve(dists []int64, capacities []int64) []float64 {
+	out := make([]float64, len(capacities))
+	if len(dists) == 0 {
+		return out
+	}
+	// Sort a copy of the finite distances; cold accesses miss at every
+	// capacity.
+	finite := make([]int64, 0, len(dists))
+	cold := 0
+	for _, d := range dists {
+		if d == Cold {
+			cold++
+			continue
+		}
+		finite = append(finite, d)
+	}
+	sort.Slice(finite, func(i, j int) bool { return finite[i] < finite[j] })
+	total := float64(len(dists))
+	for i, c := range capacities {
+		// Misses: finite distances >= c, plus all cold accesses.
+		idx := sort.Search(len(finite), func(k int) bool { return finite[k] >= c })
+		out[i] = (float64(len(finite)-idx) + float64(cold)) / total
+	}
+	return out
+}
+
+// CapacitySweep returns a geometric capacity ladder from 1 to max,
+// suitable as the x-axis of a miss-ratio curve.
+func CapacitySweep(max int64, points int) []int64 {
+	if points < 2 || max < 2 {
+		return []int64{1, max}
+	}
+	out := make([]int64, 0, points)
+	ratio := float64(max)
+	step := math.Pow(ratio, 1/float64(points-1))
+	v := 1.0
+	var prev int64
+	for i := 0; i < points; i++ {
+		c := int64(v + 0.5)
+		if c <= prev {
+			c = prev + 1
+		}
+		out = append(out, c)
+		prev = c
+		v *= step
+	}
+	out[len(out)-1] = max
+	return out
+}

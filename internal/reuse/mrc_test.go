@@ -1,0 +1,91 @@
+package reuse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMissRatioCurveKnown(t *testing.T) {
+	// Cyclic sweep over 10 elements, 3 rounds: first 10 accesses are cold,
+	// the remaining 20 have distance 9. MRC: capacity <= 9 misses
+	// everything; capacity 10 misses only the 10 cold accesses.
+	var stream []int32
+	for r := 0; r < 3; r++ {
+		for i := int32(0); i < 10; i++ {
+			stream = append(stream, i)
+		}
+	}
+	d := StackDistances(stream)
+	mrc := MissRatioCurve(d, []int64{1, 9, 10, 100})
+	if mrc[0] != 1 || mrc[1] != 1 {
+		t.Errorf("small-capacity miss ratio = %v, %v, want 1", mrc[0], mrc[1])
+	}
+	if want := 10.0 / 30.0; mrc[2] != want || mrc[3] != want {
+		t.Errorf("large-capacity miss ratio = %v, %v, want %v", mrc[2], mrc[3], want)
+	}
+}
+
+func TestMissRatioCurveMonotone(t *testing.T) {
+	// Property: the MRC is non-increasing in capacity (LRU inclusion).
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(20))}
+	f := func(raw []uint8) bool {
+		stream := make([]int32, len(raw))
+		for i, r := range raw {
+			stream[i] = int32(r % 32)
+		}
+		d := StackDistances(stream)
+		caps := []int64{1, 2, 4, 8, 16, 32, 64}
+		mrc := MissRatioCurve(d, caps)
+		for i := 1; i < len(mrc); i++ {
+			if mrc[i] > mrc[i-1]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissRatioCurveMatchesMissModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	stream := make([]int32, 3000)
+	for i := range stream {
+		stream[i] = int32(rng.Intn(100))
+	}
+	d := StackDistances(stream)
+	for _, c := range []int64{4, 16, 64} {
+		mrc := MissRatioCurve(d, []int64{c})
+		total, _ := (MissModel{CapacityElements: c}).Misses(d)
+		if want := float64(total) / float64(len(d)); mrc[0] != want {
+			t.Errorf("capacity %d: MRC %v != miss model %v", c, mrc[0], want)
+		}
+	}
+}
+
+func TestMissRatioCurveEmpty(t *testing.T) {
+	mrc := MissRatioCurve(nil, []int64{1, 2})
+	if mrc[0] != 0 || mrc[1] != 0 {
+		t.Error("empty stream should give zero curve")
+	}
+}
+
+func TestCapacitySweep(t *testing.T) {
+	s := CapacitySweep(1000, 10)
+	if len(s) != 10 {
+		t.Fatalf("points = %d", len(s))
+	}
+	if s[0] != 1 || s[len(s)-1] != 1000 {
+		t.Errorf("endpoints = %d, %d", s[0], s[len(s)-1])
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatalf("sweep not strictly increasing at %d", i)
+		}
+	}
+	if got := CapacitySweep(1, 5); len(got) != 2 {
+		t.Errorf("degenerate sweep = %v", got)
+	}
+}

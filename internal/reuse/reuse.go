@@ -1,0 +1,227 @@
+// Package reuse implements the reuse-distance analysis of §3.1 and §5.2.3:
+// exact LRU stack distances (number of *distinct* elements touched between
+// two consecutive accesses to the same element, computed with a Fenwick tree
+// in O(n log n)), plain time distances (number of accesses in between),
+// quantiles, per-timestep profiles (Figures 1 and 6), and the first-order
+// cache-miss model the paper uses to interpret its PAPI measurements.
+package reuse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Cold marks a first-touch access in a distance slice.
+const Cold = int64(-1)
+
+// Blocks maps a stream of vertex storage positions to the stream of memory
+// blocks (cache lines) they live in, with vertsPerLine consecutive vertex
+// records per line. This is the granularity at which orderings change
+// locality: the traversal (and hence the vertex-identity stream) is fixed
+// by the algorithm, but which vertices share a line is decided by the
+// ordering (§4.1: a node "is streamed to the cache along with its
+// neighboring nodes, as many as can fit in a cache line").
+func Blocks(stream []int32, vertsPerLine int) []int32 {
+	if vertsPerLine < 1 {
+		vertsPerLine = 1
+	}
+	out := make([]int32, len(stream))
+	for i, v := range stream {
+		out[i] = v / int32(vertsPerLine)
+	}
+	return out
+}
+
+// StackDistances returns, for each access in the stream, the LRU stack
+// distance: the number of distinct elements accessed since the previous
+// access to the same element, or Cold for a first touch.
+func StackDistances(stream []int32) []int64 {
+	out := make([]int64, len(stream))
+	last := make(map[int32]int32, 1024) // element -> last access position (1-based)
+	fw := newFenwick(len(stream) + 1)
+	for i, v := range stream {
+		pos := int32(i + 1)
+		if lp, ok := last[v]; ok {
+			// Distinct elements since lp: marked positions in (lp, pos).
+			out[i] = int64(fw.prefixSum(int(pos)-1) - fw.prefixSum(int(lp)))
+			fw.add(int(lp), -1)
+		} else {
+			out[i] = Cold
+		}
+		fw.add(int(pos), 1)
+		last[v] = pos
+	}
+	return out
+}
+
+// TimeDistances returns, for each access, the number of accesses since the
+// previous access to the same element (not necessarily distinct), or Cold
+// for a first touch.
+func TimeDistances(stream []int32) []int64 {
+	out := make([]int64, len(stream))
+	last := make(map[int32]int, 1024)
+	for i, v := range stream {
+		if lp, ok := last[v]; ok {
+			out[i] = int64(i - lp - 1)
+		} else {
+			out[i] = Cold
+		}
+		last[v] = i
+	}
+	return out
+}
+
+// fenwick is a binary indexed tree over 1..n.
+type fenwick struct {
+	tree []int32
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int32, n+1)} }
+
+func (f *fenwick) add(i int, delta int32) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+func (f *fenwick) prefixSum(i int) int32 {
+	var s int32
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// Summary aggregates a distance slice.
+type Summary struct {
+	Accesses int     // total accesses
+	Cold     int     // first-touch accesses
+	Mean     float64 // mean over finite distances
+	Max      int64   // maximum finite distance
+}
+
+// Summarize computes aggregate statistics of a distance slice.
+func Summarize(dists []int64) Summary {
+	s := Summary{Accesses: len(dists)}
+	var sum float64
+	n := 0
+	for _, d := range dists {
+		if d == Cold {
+			s.Cold++
+			continue
+		}
+		sum += float64(d)
+		n++
+		if d > s.Max {
+			s.Max = d
+		}
+	}
+	if n > 0 {
+		s.Mean = sum / float64(n)
+	}
+	return s
+}
+
+// Quantiles returns, for each q in qs (0 < q <= 1), the smallest finite
+// distance value such that at least a proportion q of the finite distances
+// lie at or below it — the paper's Table 2 definition. Cold accesses are
+// excluded. Returns an error when there are no finite distances.
+func Quantiles(dists []int64, qs []float64) ([]int64, error) {
+	finite := make([]int64, 0, len(dists))
+	for _, d := range dists {
+		if d != Cold {
+			finite = append(finite, d)
+		}
+	}
+	if len(finite) == 0 {
+		return nil, fmt.Errorf("reuse: no finite distances")
+	}
+	sort.Slice(finite, func(i, j int) bool { return finite[i] < finite[j] })
+	out := make([]int64, len(qs))
+	for i, q := range qs {
+		if q <= 0 || q > 1 {
+			return nil, fmt.Errorf("reuse: quantile %g out of (0,1]", q)
+		}
+		idx := int(math.Ceil(q*float64(len(finite)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = finite[idx]
+	}
+	return out, nil
+}
+
+// Profile averages distances over nBuckets equal time buckets, the series
+// plotted in Figures 1 and 6 (there, 100 buckets of ~20k accesses each).
+// Cold accesses are skipped; empty buckets yield 0.
+func Profile(dists []int64, nBuckets int) []float64 {
+	if nBuckets < 1 || len(dists) == 0 {
+		return nil
+	}
+	if nBuckets > len(dists) {
+		nBuckets = len(dists)
+	}
+	out := make([]float64, nBuckets)
+	for b := 0; b < nBuckets; b++ {
+		lo := b * len(dists) / nBuckets
+		hi := (b + 1) * len(dists) / nBuckets
+		var sum float64
+		n := 0
+		for _, d := range dists[lo:hi] {
+			if d == Cold {
+				continue
+			}
+			sum += float64(d)
+			n++
+		}
+		if n > 0 {
+			out[b] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// MissModel is the first-order cache model of §3.1: with an LRU cache
+// holding capacity elements, an access misses exactly when its stack
+// distance exceeds the capacity (cold accesses always miss).
+type MissModel struct {
+	// CapacityElements is the number of mesh elements that fit the cache
+	// level (cache bytes / element bytes).
+	CapacityElements int64
+}
+
+// Misses counts the accesses that miss: cold accesses plus accesses whose
+// stack distance is at least the capacity.
+func (mm MissModel) Misses(dists []int64) (total, cold int64) {
+	for _, d := range dists {
+		if d == Cold {
+			total++
+			cold++
+			continue
+		}
+		if d >= mm.CapacityElements {
+			total++
+		}
+	}
+	return total, cold
+}
+
+// EstimateCapacity inverts the model as §5.2.3 does for Table 3: assuming
+// the observed missCount misses are the accesses with the largest reuse
+// distances, the cache capacity (in elements) is the smallest distance among
+// those missing accesses. Cold accesses are excluded (the paper subtracts
+// compulsory misses first). Returns 0 when missCount is not in (0, len].
+func EstimateCapacity(dists []int64, missCount int64) int64 {
+	finite := make([]int64, 0, len(dists))
+	for _, d := range dists {
+		if d != Cold {
+			finite = append(finite, d)
+		}
+	}
+	if missCount <= 0 || missCount > int64(len(finite)) {
+		return 0
+	}
+	sort.Slice(finite, func(i, j int) bool { return finite[i] > finite[j] })
+	return finite[missCount-1]
+}

@@ -1,0 +1,243 @@
+package reuse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStackDistancesKnown(t *testing.T) {
+	// Stream a b c a b b: distances Cold Cold Cold 2 2 0.
+	stream := []int32{0, 1, 2, 0, 1, 1}
+	want := []int64{Cold, Cold, Cold, 2, 2, 0}
+	got := StackDistances(stream)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("access %d: distance %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStackDistancesRepeats(t *testing.T) {
+	// Repeated accesses to one element always have distance 0 after the
+	// first.
+	got := StackDistances([]int32{5, 5, 5, 5})
+	if got[0] != Cold || got[1] != 0 || got[3] != 0 {
+		t.Errorf("distances = %v", got)
+	}
+}
+
+func TestStackVsTimeDistances(t *testing.T) {
+	// Stream a b b a: stack distance of final a is 1 (only b between),
+	// time distance is 2 (two accesses between).
+	stream := []int32{0, 1, 1, 0}
+	sd := StackDistances(stream)
+	td := TimeDistances(stream)
+	if sd[3] != 1 {
+		t.Errorf("stack = %d, want 1", sd[3])
+	}
+	if td[3] != 2 {
+		t.Errorf("time = %d, want 2", td[3])
+	}
+}
+
+func TestStackDistanceCyclic(t *testing.T) {
+	// Cyclic sweep over n elements: every non-cold access has distance n-1.
+	const n = 50
+	var stream []int32
+	for rep := 0; rep < 4; rep++ {
+		for i := int32(0); i < n; i++ {
+			stream = append(stream, i)
+		}
+	}
+	d := StackDistances(stream)
+	for i := n; i < len(d); i++ {
+		if d[i] != n-1 {
+			t.Fatalf("access %d: distance %d, want %d", i, d[i], n-1)
+		}
+	}
+}
+
+func TestStackDistanceBounded(t *testing.T) {
+	// Property: distance is always < number of distinct elements, and Cold
+	// appears exactly once per element.
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(14))}
+	f := func(raw []uint8) bool {
+		stream := make([]int32, len(raw))
+		distinct := map[int32]bool{}
+		for i, r := range raw {
+			stream[i] = int32(r % 16)
+			distinct[stream[i]] = true
+		}
+		d := StackDistances(stream)
+		cold := 0
+		for _, v := range d {
+			if v == Cold {
+				cold++
+				continue
+			}
+			if v < 0 || v >= int64(len(distinct)) {
+				return false
+			}
+		}
+		return cold == len(distinct)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeGEStack(t *testing.T) {
+	// Time distance always dominates stack distance.
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(15))}
+	f := func(raw []uint8) bool {
+		stream := make([]int32, len(raw))
+		for i, r := range raw {
+			stream[i] = int32(r % 8)
+		}
+		sd := StackDistances(stream)
+		td := TimeDistances(stream)
+		for i := range sd {
+			if (sd[i] == Cold) != (td[i] == Cold) {
+				return false
+			}
+			if sd[i] != Cold && td[i] < sd[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int64{Cold, 2, 4, Cold, 6})
+	if s.Accesses != 5 || s.Cold != 2 || s.Mean != 4 || s.Max != 6 {
+		t.Errorf("summary = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.Mean != 0 || empty.Max != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	dists := []int64{Cold, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	qs, err := Quantiles(dists, []float64{0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs[0] != 5 || qs[1] != 10 {
+		t.Errorf("quantiles = %v", qs)
+	}
+	if _, err := Quantiles([]int64{Cold}, []float64{0.5}); err == nil {
+		t.Error("all-cold stream accepted")
+	}
+	if _, err := Quantiles(dists, []float64{1.5}); err == nil {
+		t.Error("out-of-range quantile accepted")
+	}
+	if _, err := Quantiles(dists, []float64{0}); err == nil {
+		t.Error("zero quantile accepted")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	dists := []int64{1, 1, 3, 3, Cold, 5}
+	p := Profile(dists, 3)
+	if len(p) != 3 {
+		t.Fatalf("profile length %d", len(p))
+	}
+	if p[0] != 1 || p[1] != 3 || p[2] != 5 {
+		t.Errorf("profile = %v", p)
+	}
+	if got := Profile(nil, 10); got != nil {
+		t.Error("empty profile should be nil")
+	}
+	if got := Profile(dists, 0); got != nil {
+		t.Error("zero buckets should be nil")
+	}
+	// More buckets than accesses clamps.
+	if got := Profile([]int64{1, 2}, 10); len(got) != 2 {
+		t.Errorf("clamped profile length %d", len(got))
+	}
+}
+
+func TestMissModel(t *testing.T) {
+	mm := MissModel{CapacityElements: 4}
+	dists := []int64{Cold, 1, 4, 5, 3}
+	total, cold := mm.Misses(dists)
+	// Misses: the cold access plus distances 4 and 5 (>= capacity).
+	if total != 3 || cold != 1 {
+		t.Errorf("misses = %d cold = %d", total, cold)
+	}
+}
+
+func TestEstimateCapacity(t *testing.T) {
+	dists := []int64{Cold, 10, 20, 30, 40}
+	// One miss -> the largest distance 40 missed -> capacity 40.
+	if got := EstimateCapacity(dists, 1); got != 40 {
+		t.Errorf("capacity(1 miss) = %d", got)
+	}
+	// Two misses -> 30.
+	if got := EstimateCapacity(dists, 2); got != 30 {
+		t.Errorf("capacity(2 misses) = %d", got)
+	}
+	if got := EstimateCapacity(dists, 0); got != 0 {
+		t.Errorf("capacity(0) = %d", got)
+	}
+	if got := EstimateCapacity(dists, 100); got != 0 {
+		t.Errorf("capacity(too many) = %d", got)
+	}
+}
+
+func TestMissModelInverseProperty(t *testing.T) {
+	// For a random stream, counting misses with capacity C and then
+	// estimating the capacity from that miss count must give a value <= C
+	// consistent with the model (the smallest missing distance).
+	rng := rand.New(rand.NewSource(16))
+	stream := make([]int32, 4000)
+	for i := range stream {
+		stream[i] = int32(rng.Intn(200))
+	}
+	d := StackDistances(stream)
+	for _, c := range []int64{5, 20, 80} {
+		mm := MissModel{CapacityElements: c}
+		total, cold := mm.Misses(d)
+		est := EstimateCapacity(d, total-cold)
+		if est < c {
+			t.Errorf("capacity %d: estimate %d below true capacity", c, est)
+		}
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	stream := []int32{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	b := Blocks(stream, 4)
+	want := []int32{0, 0, 0, 0, 1, 1, 1, 1, 2}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("block[%d] = %d, want %d", i, b[i], want[i])
+		}
+	}
+	// vertsPerLine < 1 clamps to identity.
+	id := Blocks(stream, 0)
+	for i := range stream {
+		if id[i] != stream[i] {
+			t.Error("clamped Blocks should be identity")
+		}
+	}
+}
+
+func BenchmarkStackDistances(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	stream := make([]int32, 100000)
+	for i := range stream {
+		stream[i] = int32(rng.Intn(10000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StackDistances(stream)
+	}
+}

@@ -1,0 +1,50 @@
+package reuse
+
+import "math/rand"
+
+// SampledStackDistances estimates the stack-distance distribution by
+// measuring only a random subset of accesses, the standard trick for
+// full-scale traces where the exact O(n log n) pass is too slow (the
+// paper's own "verbose run" analyzes 15M+ accesses). For each sampled
+// access, the exact distance is computed by scanning backward to the
+// previous access of the same element and counting distinct elements in
+// between; unsampled accesses still advance the scan state.
+//
+// rate is the sampling probability in (0, 1]; seed makes runs reproducible.
+// The returned slice contains only the sampled distances (Cold entries for
+// sampled first touches).
+func SampledStackDistances(stream []int32, rate float64, seed int64) []int64 {
+	if rate >= 1 {
+		return StackDistances(stream)
+	}
+	if rate <= 0 || len(stream) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// lastPos[v] = last access index of v; for sampled accesses we walk the
+	// window [lastPos[v]+1, i) and count distinct elements with a hash set.
+	lastPos := make(map[int32]int, 1024)
+	out := make([]int64, 0, int(float64(len(stream))*rate)+16)
+	seen := make(map[int32]struct{}, 256)
+
+	for i, v := range stream {
+		if rng.Float64() < rate {
+			if lp, ok := lastPos[v]; ok {
+				for k := range seen {
+					delete(seen, k)
+				}
+				for j := lp + 1; j < i; j++ {
+					if stream[j] != v {
+						seen[stream[j]] = struct{}{}
+					}
+				}
+				out = append(out, int64(len(seen)))
+			} else {
+				out = append(out, Cold)
+			}
+		}
+		lastPos[v] = i
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package reuse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSampledMatchesExactDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	stream := make([]int32, 20000)
+	for i := range stream {
+		stream[i] = int32(rng.Intn(500))
+	}
+	exact := Summarize(StackDistances(stream))
+	sampled := SampledStackDistances(stream, 0.1, 7)
+	if len(sampled) == 0 {
+		t.Fatal("no samples")
+	}
+	// The sample count is near rate*n.
+	if n := float64(len(sampled)); n < 1000 || n > 3000 {
+		t.Errorf("sample count %v for rate 0.1 of 20000", n)
+	}
+	est := Summarize(sampled)
+	// Means agree within 10%.
+	if math.Abs(est.Mean-exact.Mean) > 0.1*exact.Mean {
+		t.Errorf("sampled mean %v vs exact %v", est.Mean, exact.Mean)
+	}
+}
+
+func TestSampledExactnessPerSample(t *testing.T) {
+	// With rate 1 the sampled path must defer to the exact one.
+	stream := []int32{0, 1, 2, 0, 1, 1}
+	a := StackDistances(stream)
+	b := SampledStackDistances(stream, 1, 1)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("access %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSampledSmallStreamCorrect(t *testing.T) {
+	// Every sampled distance must equal the exact distance at that access:
+	// verify by sampling a tiny stream many times with different seeds and
+	// cross-checking against the exact values via value containment.
+	stream := []int32{3, 1, 3, 2, 1, 3}
+	exact := StackDistances(stream) // [C, C, 1, C, 2, 2]
+	for seed := int64(0); seed < 20; seed++ {
+		got := SampledStackDistances(stream, 0.5, seed)
+		// Each sampled value must appear in the exact multiset.
+		counts := map[int64]int{}
+		for _, d := range exact {
+			counts[d]++
+		}
+		for _, d := range got {
+			if counts[d] == 0 {
+				t.Fatalf("seed %d: sampled distance %d not in exact set", seed, d)
+			}
+			counts[d]--
+		}
+	}
+}
+
+func TestSampledEdgeCases(t *testing.T) {
+	if got := SampledStackDistances(nil, 0.5, 1); got != nil {
+		t.Error("empty stream")
+	}
+	if got := SampledStackDistances([]int32{1, 2}, 0, 1); got != nil {
+		t.Error("zero rate should sample nothing")
+	}
+}

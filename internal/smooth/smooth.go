@@ -1,0 +1,283 @@
+// Package smooth implements the Laplacian Mesh Smoothing application of the
+// paper (Algorithm 1): visit the interior vertices, move each to the average
+// of its neighbors (Eq. 1), and iterate until the global edge-length-ratio
+// quality improves by less than the convergence criterion (5e-6 in the
+// paper's evaluation) or an iteration cap is hit.
+//
+// The visit order is the quality-greedy traversal §4.2 describes: the
+// smoother starts at the worst-quality vertex and repeatedly moves to the
+// worst-quality unprocessed neighbor (restarting from the globally worst
+// unprocessed vertex when stuck). This traversal is a property of the
+// algorithm, independent of how vertices are numbered in memory — which is
+// exactly why the RDR ordering works: it lays vertices out in the order
+// this traversal touches them. A plain storage-order sweep is available as
+// an ablation.
+//
+// Coordinate updates are Jacobi-style (all moves within an iteration read
+// the previous iteration's coordinates). This makes the numerical result —
+// and hence the iteration count — independent of the vertex ordering and of
+// the number of cores, matching the paper's observation that "the orderings
+// did not change the number of iterations needed". A Gauss–Seidel in-place
+// variant is provided for the serial ablation study.
+package smooth
+
+import (
+	"fmt"
+	"sync"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+	"lams/internal/order"
+	"lams/internal/parallel"
+	"lams/internal/quality"
+	"lams/internal/trace"
+)
+
+// DefaultTol is the paper's quality convergence criterion (§5.1).
+const DefaultTol = 0.000005
+
+// Traversal selects the order in which a sweep visits the interior
+// vertices.
+type Traversal int
+
+const (
+	// QualityGreedy is the paper's LMS traversal (§4.2): worst-quality
+	// vertex first, then greedily the worst-quality unprocessed neighbor.
+	// The walk is computed once from the initial qualities and reused by
+	// every iteration (the paper observes the access pattern repeats
+	// across iterations, Figure 6).
+	QualityGreedy Traversal = iota
+	// StorageOrder sweeps the interior vertices in storage order
+	// (ablation).
+	StorageOrder
+)
+
+func (t Traversal) String() string {
+	if t == StorageOrder {
+		return "storage-order"
+	}
+	return "quality-greedy"
+}
+
+// Options configures a smoothing run. The zero value means: edge-length
+// ratio metric, tolerance DefaultTol, at most 100 iterations, one worker,
+// quality-greedy traversal, Jacobi updates, no tracing.
+type Options struct {
+	// Metric is the quality metric (default quality.EdgeRatio{}).
+	Metric quality.Metric
+	// Tol stops the run when an iteration improves global quality by less
+	// than this amount (default DefaultTol). A negative Tol disables the
+	// criterion so exactly MaxIters iterations run.
+	Tol float64
+	// GoalQuality stops the run once global quality reaches it (default 1,
+	// i.e. effectively "run to convergence").
+	GoalQuality float64
+	// MaxIters caps the iteration count (default 100).
+	MaxIters int
+	// Workers is the number of parallel workers; the visit sequence is
+	// statically partitioned into contiguous chunks, one per worker — the
+	// OpenMP schedule(static) analogue (default 1).
+	Workers int
+	// Traversal selects the visit order (default QualityGreedy).
+	Traversal Traversal
+	// GaussSeidel selects in-place updates. Only valid with Workers == 1.
+	GaussSeidel bool
+	// Trace, when non-nil, records every vertex-array access (the smoothed
+	// vertex, then each of its neighbors) on the worker's stream. The
+	// buffer must have at least Workers cores.
+	Trace *trace.Buffer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Metric == nil {
+		o.Metric = quality.EdgeRatio{}
+	}
+	if o.Tol == 0 {
+		o.Tol = DefaultTol
+	}
+	if o.GoalQuality == 0 {
+		o.GoalQuality = 1
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 100
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// Result reports a smoothing run.
+type Result struct {
+	// Iterations is the number of smoothing sweeps executed.
+	Iterations int
+	// InitialQuality and FinalQuality are the global qualities before and
+	// after the run.
+	InitialQuality, FinalQuality float64
+	// QualityHistory holds the global quality after each iteration.
+	QualityHistory []float64
+	// Accesses counts vertex-array accesses performed by the sweeps (each
+	// smoothed vertex plus each of its neighbors, per iteration).
+	Accesses int64
+}
+
+// Run smooths the mesh in place and returns the run statistics.
+func Run(m *mesh.Mesh, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	if opt.Workers < 1 {
+		return Result{}, fmt.Errorf("smooth: workers must be >= 1, got %d", opt.Workers)
+	}
+	if opt.GaussSeidel && opt.Workers != 1 {
+		return Result{}, fmt.Errorf("smooth: Gauss-Seidel updates require a single worker")
+	}
+	if opt.Trace != nil && opt.Trace.NumCores() < opt.Workers {
+		return Result{}, fmt.Errorf("smooth: trace buffer has %d cores, need %d", opt.Trace.NumCores(), opt.Workers)
+	}
+
+	visit, err := visitSequence(m, opt)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{InitialQuality: quality.Global(m, opt.Metric)}
+	res.FinalQuality = res.InitialQuality
+	prevQ := res.InitialQuality
+
+	next := make([]geom.Point, len(m.Coords))
+	chunks := parallel.SplitChunks(len(visit), opt.Workers)
+
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		if prevQ >= opt.GoalQuality {
+			break
+		}
+		if opt.GaussSeidel {
+			res.Accesses += sweepGaussSeidel(m, visit, opt.Trace)
+		} else {
+			res.Accesses += sweepJacobi(m, visit, next, chunks, opt.Trace)
+		}
+		if opt.Trace != nil {
+			opt.Trace.EndIteration()
+		}
+		res.Iterations++
+
+		q := quality.Global(m, opt.Metric)
+		res.QualityHistory = append(res.QualityHistory, q)
+		res.FinalQuality = q
+		if q-prevQ < opt.Tol {
+			prevQ = q
+			break
+		}
+		prevQ = q
+	}
+	return res, nil
+}
+
+// visitSequence returns the interior vertices in the order the sweeps visit
+// them.
+func visitSequence(m *mesh.Mesh, opt Options) ([]int32, error) {
+	if opt.Traversal == StorageOrder {
+		return m.InteriorVerts, nil
+	}
+	vq := quality.VertexQualities(m, opt.Metric)
+	w, err := order.GreedyWalk(m, vq, false)
+	if err != nil {
+		return nil, fmt.Errorf("smooth: computing traversal: %w", err)
+	}
+	visit := make([]int32, 0, len(m.InteriorVerts))
+	for _, v := range w.Heads {
+		if !m.IsBoundary[v] {
+			visit = append(visit, v)
+		}
+	}
+	if len(visit) != len(m.InteriorVerts) {
+		return nil, fmt.Errorf("smooth: traversal visited %d of %d interior vertices", len(visit), len(m.InteriorVerts))
+	}
+	return visit, nil
+}
+
+// sweepJacobi performs one iteration: workers compute the new position of
+// every vertex in their chunk of the visit sequence from the current
+// coordinates, then the new positions are committed. Returns the number of
+// vertex accesses.
+func sweepJacobi(m *mesh.Mesh, visit []int32, next []geom.Point, chunks []parallel.Chunk, tb *trace.Buffer) int64 {
+	var accesses int64
+	if len(chunks) == 1 {
+		accesses = jacobiChunk(m, visit, next, chunks[0], 0, tb)
+	} else {
+		var wg sync.WaitGroup
+		counts := make([]int64, len(chunks))
+		for w, ch := range chunks {
+			wg.Add(1)
+			go func(w int, ch parallel.Chunk) {
+				defer wg.Done()
+				counts[w] = jacobiChunk(m, visit, next, ch, w, tb)
+			}(w, ch)
+		}
+		wg.Wait()
+		for _, c := range counts {
+			accesses += c
+		}
+	}
+	for _, v := range visit {
+		m.Coords[v] = next[v]
+	}
+	return accesses
+}
+
+func jacobiChunk(m *mesh.Mesh, visit []int32, next []geom.Point, ch parallel.Chunk, core int, tb *trace.Buffer) int64 {
+	var accesses int64
+	if tb == nil {
+		for _, v := range visit[ch.Lo:ch.Hi] {
+			nbrs := m.Neighbors(v)
+			var sx, sy float64
+			for _, w := range nbrs {
+				p := m.Coords[w]
+				sx += p.X
+				sy += p.Y
+			}
+			inv := 1 / float64(len(nbrs))
+			next[v] = geom.Point{X: sx * inv, Y: sy * inv}
+			accesses += int64(len(nbrs)) + 1
+		}
+		return accesses
+	}
+	for _, v := range visit[ch.Lo:ch.Hi] {
+		tb.Access(core, v)
+		nbrs := m.Neighbors(v)
+		var sx, sy float64
+		for _, w := range nbrs {
+			tb.Access(core, w)
+			p := m.Coords[w]
+			sx += p.X
+			sy += p.Y
+		}
+		inv := 1 / float64(len(nbrs))
+		next[v] = geom.Point{X: sx * inv, Y: sy * inv}
+		accesses += int64(len(nbrs)) + 1
+	}
+	return accesses
+}
+
+// sweepGaussSeidel performs one in-place iteration (serial only).
+func sweepGaussSeidel(m *mesh.Mesh, visit []int32, tb *trace.Buffer) int64 {
+	var accesses int64
+	for _, v := range visit {
+		if tb != nil {
+			tb.Access(0, v)
+		}
+		nbrs := m.Neighbors(v)
+		var sx, sy float64
+		for _, w := range nbrs {
+			if tb != nil {
+				tb.Access(0, w)
+			}
+			p := m.Coords[w]
+			sx += p.X
+			sy += p.Y
+		}
+		inv := 1 / float64(len(nbrs))
+		m.Coords[v] = geom.Point{X: sx * inv, Y: sy * inv}
+		accesses += int64(len(nbrs)) + 1
+	}
+	return accesses
+}

@@ -1,0 +1,123 @@
+package smooth
+
+import (
+	"testing"
+
+	"lams/internal/geom"
+)
+
+func TestVariantStrings(t *testing.T) {
+	if Plain.String() != "plain" || Smart.String() != "smart" ||
+		Weighted.String() != "weighted" || Constrained.String() != "constrained" {
+		t.Error("variant names")
+	}
+}
+
+func TestVariantsImproveQuality(t *testing.T) {
+	base := genMesh(t, 1500)
+	for _, v := range []Variant{Plain, Smart, Weighted, Constrained} {
+		opt := VariantOptions{Variant: v, MaxDisplacement: 0.1}
+		opt.MaxIters = 5
+		opt.Tol = -1
+		m := base.Clone()
+		res, err := RunVariant(m, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if res.FinalQuality <= res.InitialQuality {
+			t.Errorf("%s: quality %v -> %v", v, res.InitialQuality, res.FinalQuality)
+		}
+	}
+}
+
+func TestSmartNeverDecreasesVertexQuality(t *testing.T) {
+	// Smart smoothing must never regress the global quality in an
+	// iteration (each accepted move keeps the local vertex quality).
+	m := genMesh(t, 1200)
+	opt := VariantOptions{Variant: Smart}
+	opt.MaxIters = 8
+	opt.Tol = -1
+	res, err := RunVariant(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := res.InitialQuality
+	for i, q := range res.QualityHistory {
+		if q < prev-1e-9 {
+			t.Errorf("smart variant regressed at iteration %d: %v -> %v", i, prev, q)
+		}
+		prev = q
+	}
+}
+
+func TestConstrainedBoundsDisplacement(t *testing.T) {
+	m := genMesh(t, 1200)
+	before := append([]geom.Point(nil), m.Coords...)
+	const maxDisp = 1e-3
+	opt := VariantOptions{Variant: Constrained, MaxDisplacement: maxDisp}
+	opt.MaxIters = 1
+	opt.Tol = -1
+	if _, err := RunVariant(m, opt); err != nil {
+		t.Fatal(err)
+	}
+	for v := range m.Coords {
+		if d := m.Coords[v].Dist(before[v]); d > maxDisp*(1+1e-12) {
+			t.Fatalf("vertex %d moved %v > %v", v, d, maxDisp)
+		}
+	}
+}
+
+func TestVariantErrors(t *testing.T) {
+	m := genMesh(t, 600)
+	if _, err := RunVariant(m, VariantOptions{Variant: Constrained}); err == nil {
+		t.Error("constrained without MaxDisplacement accepted")
+	}
+	opt := VariantOptions{Variant: Smart}
+	opt.Workers = 2
+	if _, err := RunVariant(m, opt); err == nil {
+		t.Error("parallel smart accepted")
+	}
+}
+
+func TestPlainVariantEqualsRun(t *testing.T) {
+	a := genMesh(t, 1000)
+	b := a.Clone()
+	optA := VariantOptions{Variant: Plain}
+	optA.MaxIters = 4
+	optA.Tol = -1
+	if _, err := RunVariant(a, optA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(b, Options{MaxIters: 4, Tol: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Coords {
+		if a.Coords[v] != b.Coords[v] {
+			t.Fatal("plain variant diverged from Run")
+		}
+	}
+}
+
+func TestWeightedDiffersFromPlain(t *testing.T) {
+	a := genMesh(t, 1000)
+	b := a.Clone()
+	optW := VariantOptions{Variant: Weighted}
+	optW.MaxIters = 2
+	optW.Tol = -1
+	if _, err := RunVariant(a, optW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(b, Options{MaxIters: 2, Tol: -1}); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for v := range a.Coords {
+		if a.Coords[v] != b.Coords[v] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("weighted variant identical to plain")
+	}
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("geomean = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7})
+	if lo != -1 || hi != 7 {
+		t.Errorf("minmax = %v, %v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Error("empty minmax")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("max = %v", got)
+	}
+	if got := Quantile(xs, 0.001); got != 1 {
+		t.Errorf("min-ish = %v", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := &Table{Header: []string{"name", "value"}}
+	tab.AddRow("x", 1.5)
+	tab.AddRow("longer-name", 123456.0)
+	s := tab.String()
+	if !strings.Contains(s, "name") || !strings.Contains(s, "longer-name") {
+		t.Errorf("table output:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines", len(lines))
+	}
+	// Columns align: all lines have the same prefix width for column 1.
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Errorf("separator line: %q", lines[1])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"},
+		{1234.5, "1234.5"},
+		{0.25, "0.25"},
+		{1e-9, "1.000e-09"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline runes = %d", len([]rune(s)))
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	runes := []rune(flat)
+	if runes[0] != runes[1] || runes[1] != runes[2] {
+		t.Error("flat series should render uniformly")
+	}
+}

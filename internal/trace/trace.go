@@ -1,0 +1,95 @@
+// Package trace records the data-access traces of the smoothing algorithm:
+// the sequence of vertex-array locations each core touches, which is the
+// input to the reuse-distance analyzer and the cache simulator (the paper's
+// "verbose run noting the data locations being addressed", §5.2.3).
+package trace
+
+import "fmt"
+
+// Buffer collects one access stream per core, with iteration boundaries.
+type Buffer struct {
+	cores    [][]int32
+	iterEnds [][]int // per core, cumulative stream length at each iteration end
+}
+
+// NewBuffer returns a Buffer for the given number of cores.
+func NewBuffer(cores int) *Buffer {
+	if cores < 1 {
+		cores = 1
+	}
+	return &Buffer{
+		cores:    make([][]int32, cores),
+		iterEnds: make([][]int, cores),
+	}
+}
+
+// NumCores returns the number of per-core streams.
+func (b *Buffer) NumCores() int { return len(b.cores) }
+
+// Access appends one access to core's stream. Distinct cores may call
+// Access concurrently; a single core's stream must be appended serially.
+func (b *Buffer) Access(core int, v int32) {
+	b.cores[core] = append(b.cores[core], v)
+}
+
+// EndIteration marks an iteration boundary on every core's stream. It must
+// be called from the coordinating goroutine, between iterations.
+func (b *Buffer) EndIteration() {
+	for c := range b.cores {
+		b.iterEnds[c] = append(b.iterEnds[c], len(b.cores[c]))
+	}
+}
+
+// Core returns core c's full access stream (shared slice; do not modify).
+func (b *Buffer) Core(c int) []int32 { return b.cores[c] }
+
+// Iterations returns the number of completed iterations recorded.
+func (b *Buffer) Iterations() int {
+	if len(b.iterEnds) == 0 {
+		return 0
+	}
+	return len(b.iterEnds[0])
+}
+
+// IterSlice returns core c's accesses during iteration it (0-based).
+func (b *Buffer) IterSlice(c, it int) ([]int32, error) {
+	ends := b.iterEnds[c]
+	if it < 0 || it >= len(ends) {
+		return nil, fmt.Errorf("trace: iteration %d out of range [0,%d)", it, len(ends))
+	}
+	lo := 0
+	if it > 0 {
+		lo = ends[it-1]
+	}
+	return b.cores[c][lo:ends[it]], nil
+}
+
+// Total returns the total number of recorded accesses across all cores.
+func (b *Buffer) Total() int {
+	n := 0
+	for _, s := range b.cores {
+		n += len(s)
+	}
+	return n
+}
+
+// Merged concatenates the per-core streams in core order. For a single-core
+// run this is simply the stream itself.
+func (b *Buffer) Merged() []int32 {
+	if len(b.cores) == 1 {
+		return b.cores[0]
+	}
+	out := make([]int32, 0, b.Total())
+	for _, s := range b.cores {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Reset drops all recorded accesses, keeping capacity.
+func (b *Buffer) Reset() {
+	for c := range b.cores {
+		b.cores[c] = b.cores[c][:0]
+		b.iterEnds[c] = b.iterEnds[c][:0]
+	}
+}

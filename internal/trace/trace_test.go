@@ -1,0 +1,94 @@
+package trace
+
+import "testing"
+
+func TestBufferBasics(t *testing.T) {
+	b := NewBuffer(2)
+	if b.NumCores() != 2 {
+		t.Fatalf("cores = %d", b.NumCores())
+	}
+	b.Access(0, 10)
+	b.Access(0, 11)
+	b.Access(1, 20)
+	b.EndIteration()
+	b.Access(0, 12)
+	b.EndIteration()
+
+	if b.Total() != 4 {
+		t.Errorf("total = %d", b.Total())
+	}
+	if b.Iterations() != 2 {
+		t.Errorf("iterations = %d", b.Iterations())
+	}
+	if got := b.Core(0); len(got) != 3 || got[0] != 10 {
+		t.Errorf("core 0 = %v", got)
+	}
+
+	it0, err := b.IterSlice(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(it0) != 2 || it0[1] != 11 {
+		t.Errorf("iter 0 core 0 = %v", it0)
+	}
+	it1, err := b.IterSlice(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(it1) != 1 || it1[0] != 12 {
+		t.Errorf("iter 1 core 0 = %v", it1)
+	}
+	it0c1, err := b.IterSlice(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(it0c1) != 1 || it0c1[0] != 20 {
+		t.Errorf("iter 0 core 1 = %v", it0c1)
+	}
+}
+
+func TestIterSliceErrors(t *testing.T) {
+	b := NewBuffer(1)
+	b.Access(0, 1)
+	b.EndIteration()
+	if _, err := b.IterSlice(0, 1); err == nil {
+		t.Error("out-of-range iteration accepted")
+	}
+	if _, err := b.IterSlice(0, -1); err == nil {
+		t.Error("negative iteration accepted")
+	}
+}
+
+func TestMerged(t *testing.T) {
+	b := NewBuffer(2)
+	b.Access(0, 1)
+	b.Access(1, 2)
+	b.Access(0, 3)
+	m := b.Merged()
+	if len(m) != 3 || m[0] != 1 || m[1] != 3 || m[2] != 2 {
+		t.Errorf("merged = %v", m)
+	}
+	// Single-core merged is the stream itself (no copy).
+	s := NewBuffer(1)
+	s.Access(0, 7)
+	if got := s.Merged(); len(got) != 1 || got[0] != 7 {
+		t.Errorf("single merged = %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := NewBuffer(1)
+	b.Access(0, 1)
+	b.EndIteration()
+	b.Reset()
+	if b.Total() != 0 || b.Iterations() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestZeroCoresClamped(t *testing.T) {
+	b := NewBuffer(0)
+	if b.NumCores() != 1 {
+		t.Errorf("cores = %d, want clamp to 1", b.NumCores())
+	}
+}
