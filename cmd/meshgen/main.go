@@ -12,9 +12,7 @@ import (
 	"os"
 	"path/filepath"
 
-	"lams/internal/domains"
-	"lams/internal/mesh"
-	"lams/internal/quality"
+	"lams/pkg/lams"
 )
 
 func main() {
@@ -26,12 +24,12 @@ func main() {
 	)
 	flag.Parse()
 
-	names := domains.Names()
+	names := lams.Domains()
 	if *name != "" {
 		names = []string{*name}
 	}
 	for _, n := range names {
-		m, err := mesh.Generate(n, *verts)
+		m, err := lams.GenerateMesh(n, *verts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "meshgen: %s: %v\n", n, err)
 			os.Exit(1)
@@ -47,7 +45,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "meshgen: writing %s: %v\n", base, err)
 			os.Exit(1)
 		}
-		q := quality.Global(m, quality.EdgeRatio{})
+		q := lams.GlobalQuality(m, nil)
 		fmt.Printf("%-10s %s quality=%.4f -> %s.node/.ele\n", n, m.Summary(), q, base)
 	}
 }

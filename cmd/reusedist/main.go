@@ -9,15 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"lams/internal/cache"
-	"lams/internal/core"
-	"lams/internal/order"
-	"lams/internal/reuse"
 	"lams/internal/stats"
+	"lams/pkg/lams"
 )
 
 func main() {
@@ -28,63 +27,33 @@ func main() {
 		iters    = flag.Int("iters", 1, "iterations to trace")
 	)
 	flag.Parse()
+	ctx := context.Background()
 
-	m, err := core.BuildMesh(*meshName, *verts)
+	m, err := lams.GenerateMesh(*meshName, *verts)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%s: %s\n\n", *meshName, m.Summary())
 
-	cfg := cache.Scaled(m.NumVerts())
 	t := &stats.Table{Header: []string{"ordering", "mean RD", "q50", "q75", "q90", "max", "L1 miss%", "L2 miss%", "L3 miss%", "penalty cycles"}}
-	for _, ordName := range splitList(*ordNames) {
-		ord, err := order.ByName(ordName)
+	for _, ordName := range strings.Split(*ordNames, ",") {
+		ordName = strings.TrimSpace(ordName)
+		if ordName == "" {
+			continue
+		}
+		re, err := lams.Reorder(m, ordName)
 		if err != nil {
 			fatal(err)
 		}
-		re, err := core.Reorder(m, ord)
+		rep, err := lams.AnalyzeLocality(ctx, re.Mesh, lams.WithAnalysisIterations(*iters))
 		if err != nil {
 			fatal(err)
 		}
-		_, tb, err := core.SmoothTraced(re.Mesh, 1, *iters)
-		if err != nil {
-			fatal(err)
-		}
-		blocks := reuse.Blocks(tb.Core(0), cfg.VertsPerLine())
-		dists := reuse.StackDistances(blocks)
-		sum := reuse.Summarize(dists)
-		qs, err := reuse.Quantiles(dists, []float64{0.5, 0.75, 0.9, 1})
-		if err != nil {
-			fatal(err)
-		}
-
-		sim, err := cache.NewSim(cfg, 1)
-		if err != nil {
-			fatal(err)
-		}
-		if err := sim.RunTrace(tb); err != nil {
-			fatal(err)
-		}
-		st := sim.Stats()
-		t.AddRow(ordName, sum.Mean, qs[0], qs[1], qs[2], qs[3],
-			100*st[0].MissRate(), 100*st[1].MissRate(), 100*st[2].MissRate(),
-			sim.CorePenaltyCycles(0))
+		t.AddRow(ordName, rep.MeanReuseDistance, rep.ReuseQ50, rep.ReuseQ75, rep.ReuseQ90, rep.MaxReuseDistance,
+			100*rep.MissRates[0], 100*rep.MissRates[1], 100*rep.MissRates[2],
+			rep.PenaltyCycles)
 	}
 	fmt.Print(t.String())
-}
-
-func splitList(s string) []string {
-	var out []string
-	start := 0
-	for i := 0; i <= len(s); i++ {
-		if i == len(s) || s[i] == ',' {
-			if i > start {
-				out = append(out, s[start:i])
-			}
-			start = i + 1
-		}
-	}
-	return out
 }
 
 func fatal(err error) {

@@ -1,6 +1,6 @@
 // Command smoothmesh runs Laplacian mesh smoothing on a Triangle-format
 // mesh with a chosen vertex ordering, reporting quality and timing — the
-// end-user workflow of the paper.
+// end-user workflow of the paper. Ctrl-C cancels cleanly between sweeps.
 //
 // Usage:
 //
@@ -8,23 +8,24 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
-	"lams/internal/core"
-	"lams/internal/mesh"
-	"lams/internal/smooth"
+	"lams/pkg/lams"
 )
 
 func main() {
 	var (
 		in      = flag.String("in", "", "input mesh base path (reads base.node and base.ele)")
-		ordName = flag.String("order", "RDR", "vertex ordering: ORI, RANDOM, BFS, DFS, RDR, RCM, HILBERT, MORTON")
+		ordName = flag.String("order", "RDR", "vertex ordering: "+strings.Join(lams.Orderings(), ", "))
 		workers = flag.Int("workers", 1, "parallel workers")
 		iters   = flag.Int("iters", 0, "max iterations (0 = until convergence)")
-		tol     = flag.Float64("tol", smooth.DefaultTol, "convergence criterion")
+		tol     = flag.Float64("tol", lams.DefaultTol, "convergence criterion")
 		out     = flag.String("out", "", "write smoothed mesh to this base path")
 	)
 	flag.Parse()
@@ -32,25 +33,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smoothmesh: -in is required")
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	m, err := mesh.LoadFiles(*in)
+	m, err := lams.LoadMesh(*in)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("loaded %s: %s\n", *in, m.Summary())
 
-	re, err := core.ReorderByName(m, *ordName)
+	re, err := lams.Reorder(m, *ordName)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("applied %s ordering in %v\n", re.Ordering, re.OrderTime.Round(time.Microsecond))
 
-	opt := smooth.Options{Workers: *workers, Tol: *tol}
+	opts := []lams.SmoothOption{lams.WithWorkers(*workers), lams.WithTolerance(*tol)}
 	if *iters > 0 {
-		opt.MaxIters = *iters
+		opts = append(opts, lams.WithMaxIterations(*iters))
 	}
 	start := time.Now()
-	res, err := smooth.Run(re.Mesh, opt)
+	res, err := lams.Smooth(ctx, re.Mesh, opts...)
 	if err != nil {
 		fatal(err)
 	}

@@ -2,16 +2,19 @@
 // Laplacian Mesh Smoothing" (Aupy, Park, Raghavan; ICPP 2016,
 // arXiv:1606.00803).
 //
-// The library lives under internal/: the RDR reordering and its baselines
-// (internal/order), the Laplacian smoother (internal/smooth), the mesh data
+// The public API lives in pkg/lams: the build → order → smooth → analyze
+// pipeline with functional options and context cancellation. The
+// implementation lives under internal/: the RDR reordering and its
+// baselines behind a self-registering registry (internal/order), the
+// unified kernel-driven smoothing engine (internal/smooth), the mesh data
 // structures and generator substrates (internal/mesh, internal/delaunay,
 // internal/domains, internal/geom), and the locality-analysis machinery
 // (internal/trace, internal/reuse, internal/cache, internal/perfmodel).
-// internal/core is the high-level facade; internal/experiments regenerates
-// every table and figure of the paper's evaluation.
+// internal/core is the thin facade pkg/lams delegates to;
+// internal/experiments regenerates every table and figure of the paper's
+// evaluation.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The benchmarks in bench_test.go regenerate each paper artifact; the
+// See README.md for a package tour and a quickstart through the public
+// API. The benchmarks in bench_test.go regenerate each paper artifact; the
 // cmd/lamsbench binary prints them as reports.
 package lams

@@ -1,28 +1,29 @@
 // Cache study: the anatomy of the paper's §5.2 — trace the smoother under
 // several orderings, measure reuse-distance quantiles at cache-line
 // granularity, replay the traces through the simulated Westmere-EX
-// hierarchy, and convert misses into Eq. (2) penalty cycles.
+// hierarchy, and convert misses into Eq. (2) penalty cycles. All through
+// the public AnalyzeLocality API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"lams/internal/cache"
-	"lams/internal/core"
-	"lams/internal/reuse"
 	"lams/internal/stats"
+	"lams/pkg/lams"
 )
 
 func main() {
 	const meshName = "ocean"
-	m, err := core.BuildMesh(meshName, 20000)
+	ctx := context.Background()
+	m, err := lams.GenerateMesh(meshName, 20000)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s: %s\n\n", meshName, m.Summary())
 
-	cfg := cache.Scaled(m.NumVerts())
+	cfg := lams.ScaledCache(m.NumVerts())
 	fmt.Printf("cache model (scaled to mesh): L1 %dB, L2 %dB, L3 %dB, %d vertex records per %dB line\n\n",
 		cfg.Levels[0].SizeBytes, cfg.Levels[1].SizeBytes, cfg.Levels[2].SizeBytes,
 		cfg.VertsPerLine(), cfg.LineBytes)
@@ -30,33 +31,19 @@ func main() {
 	t := &stats.Table{Header: []string{"ordering", "mean RD", "q50", "q90", "max",
 		"L1 miss%", "L2 miss%", "L3 miss%", "penalty Mcycles"}}
 	for _, ordName := range []string{"RANDOM", "ORI", "DFS", "BFS", "RCM", "HILBERT", "RDR"} {
-		re, err := core.ReorderByName(m, ordName)
+		re, err := lams.Reorder(m, ordName)
 		if err != nil {
 			log.Fatal(err)
 		}
-		_, tb, err := core.SmoothTraced(re.Mesh, 1, 2)
+		rep, err := lams.AnalyzeLocality(ctx, re.Mesh,
+			lams.WithAnalysisIterations(2),
+			lams.WithAnalysisCache(cfg))
 		if err != nil {
 			log.Fatal(err)
 		}
-
-		dists := reuse.StackDistances(reuse.Blocks(tb.Core(0), cfg.VertsPerLine()))
-		sum := reuse.Summarize(dists)
-		qs, err := reuse.Quantiles(dists, []float64{0.5, 0.9, 1})
-		if err != nil {
-			log.Fatal(err)
-		}
-
-		sim, err := cache.NewSim(cfg, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := sim.RunTrace(tb); err != nil {
-			log.Fatal(err)
-		}
-		st := sim.Stats()
-		t.AddRow(ordName, sum.Mean, qs[0], qs[1], qs[2],
-			100*st[0].MissRate(), 100*st[1].MissRate(), 100*st[2].MissRate(),
-			sim.CorePenaltyCycles(0)/1e6)
+		t.AddRow(ordName, rep.MeanReuseDistance, rep.ReuseQ50, rep.ReuseQ90, rep.MaxReuseDistance,
+			100*rep.MissRates[0], 100*rep.MissRates[1], 100*rep.MissRates[2],
+			rep.PenaltyCycles/1e6)
 	}
 	fmt.Print(t.String())
 	fmt.Println("\nexpected shape (paper §5.2): RDR < BFS < ORI < RANDOM in penalty;")

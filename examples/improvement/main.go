@@ -5,22 +5,22 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"lams/internal/core"
 	"lams/internal/improve"
-	"lams/internal/quality"
-	"lams/internal/smooth"
+	"lams/pkg/lams"
 )
 
 func main() {
-	m, err := core.BuildMesh("stress", 15000)
+	ctx := context.Background()
+	m, err := lams.GenerateMesh("stress", 15000)
 	if err != nil {
 		log.Fatal(err)
 	}
-	met := quality.EdgeRatio{}
-	fmt.Printf("generated: %s, quality %.4f\n", m.Summary(), quality.Global(m, met))
+	met := lams.EdgeRatio{}
+	fmt.Printf("generated: %s, quality %.4f\n", m.Summary(), lams.GlobalQuality(m, met))
 
 	// Stage 0: the generator cannot produce tangles, but a production
 	// pipeline always checks.
@@ -32,11 +32,11 @@ func main() {
 	}
 
 	// Stage 1: RDR-ordered Laplacian smoothing.
-	re, err := core.ReorderByName(m, "RDR")
+	re, err := lams.Reorder(m, "RDR")
 	if err != nil {
 		log.Fatal(err)
 	}
-	s1, err := smooth.Run(re.Mesh, smooth.Options{MaxIters: 20})
+	s1, err := lams.Smooth(ctx, re.Mesh, lams.WithMaxIterations(20))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,15 +53,15 @@ func main() {
 		sw.Flips, sw.Passes, sw.InitialQuality, sw.FinalQuality)
 
 	// Stage 3: smooth the swapped mesh (re-reordered: connectivity changed).
-	re2, err := core.ReorderByName(swapped, "RDR")
+	re2, err := lams.Reorder(swapped, "RDR")
 	if err != nil {
 		log.Fatal(err)
 	}
-	s2, err := smooth.Run(re2.Mesh, smooth.Options{MaxIters: 20})
+	s2, err := lams.Smooth(ctx, re2.Mesh, lams.WithMaxIterations(20))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("smoothing pass 2: %.4f -> %.4f (%d iterations)\n",
 		s2.InitialQuality, s2.FinalQuality, s2.Iterations)
-	fmt.Printf("pipeline total: %.4f -> %.4f\n", quality.Global(m, met), s2.FinalQuality)
+	fmt.Printf("pipeline total: %.4f -> %.4f\n", lams.GlobalQuality(m, met), s2.FinalQuality)
 }

@@ -1,26 +1,25 @@
 // PDE pipeline: the finite-element-method workflow the paper's introduction
-// motivates. A solver needs a high-quality mesh; this example generates the
-// lake domain, smooths it to a quality target with the RDR-reordered mesh,
-// verifies element quality statistics a PDE solver would care about
-// (minimum angle, aspect ratio), and writes the result in Triangle format
-// for downstream tools.
+// motivates. A solver needs a high-quality mesh; this example runs the
+// public pipeline API end to end — generate the lake domain, reorder with
+// RDR, smooth to a quality target — then verifies element quality
+// statistics a PDE solver would care about (minimum angle, aspect ratio)
+// and writes the result in Triangle format for downstream tools.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 
-	"lams/internal/core"
-	"lams/internal/mesh"
-	"lams/internal/quality"
-	"lams/internal/smooth"
 	"lams/internal/stats"
+	"lams/pkg/lams"
 )
 
 func main() {
-	m, err := core.BuildMesh("lake", 30000)
+	ctx := context.Background()
+	m, err := lams.GenerateMesh("lake", 30000)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,25 +27,24 @@ func main() {
 
 	report("before smoothing", m)
 
-	// Reorder for locality, then smooth toward a quality goal.
-	re, err := core.ReorderByName(m, "RDR")
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := smooth.Run(re.Mesh, smooth.Options{
-		GoalQuality: 0.72,
-		MaxIters:    200,
-	})
+	// Reorder for locality, then smooth toward a quality goal — one
+	// pipeline call.
+	res, err := lams.Run(ctx,
+		lams.FromMesh(m),
+		lams.WithOrdering("RDR"),
+		lams.WithSmoothing(
+			lams.WithGoalQuality(0.72),
+			lams.WithMaxIterations(200)))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("smoothed %d iterations: global quality %.4f -> %.4f\n",
-		res.Iterations, res.InitialQuality, res.FinalQuality)
+		res.Smooth.Iterations, res.Smooth.InitialQuality, res.Smooth.FinalQuality)
 
-	report("after smoothing", re.Mesh)
+	report("after smoothing", res.Mesh)
 
 	out := filepath.Join(os.TempDir(), "lake-smoothed")
-	if err := re.Mesh.SaveFiles(out); err != nil {
+	if err := res.Mesh.SaveFiles(out); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s.node / %s.ele\n", out, out)
@@ -54,10 +52,10 @@ func main() {
 
 // report prints the per-triangle quality statistics a solver cares about:
 // the worst element, the 5th percentile, and the mean, for each metric.
-func report(label string, m *mesh.Mesh) {
+func report(label string, m *lams.Mesh) {
 	fmt.Printf("%s:\n", label)
-	for _, met := range []quality.Metric{quality.EdgeRatio{}, quality.MinAngle{}, quality.AspectRatio{}} {
-		tq := quality.TriangleQualities(m, met)
+	for _, met := range []lams.Metric{lams.EdgeRatio{}, lams.MinAngle{}, lams.AspectRatio{}} {
+		tq := lams.TriangleQualities(m, met)
 		lo, _ := stats.MinMax(tq)
 		fmt.Printf("  %-18s min %.4f  p5 %.4f  mean %.4f\n",
 			met.Name(), lo, stats.Quantile(tq, 0.05), stats.Mean(tq))

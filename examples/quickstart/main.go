@@ -1,32 +1,36 @@
 // Quickstart: generate a mesh, reorder it with RDR, smooth it, and compare
 // against the original ordering — the paper's headline workflow in a dozen
-// lines of library calls.
+// lines of public-API calls.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"lams/internal/core"
-	"lams/internal/smooth"
+	"lams/pkg/lams"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Build the carabiner test mesh (M1 in the paper) at laptop scale.
-	m, err := core.BuildMesh("carabiner", 20000)
+	m, err := lams.GenerateMesh("carabiner", 20000)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("mesh:", m.Summary())
 
 	for _, ordering := range []string{"ORI", "BFS", "RDR"} {
-		re, err := core.ReorderByName(m, ordering)
+		re, err := lams.Reorder(m, ordering)
 		if err != nil {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		res, err := smooth.Run(re.Mesh, smooth.Options{MaxIters: 20, Tol: -1})
+		res, err := lams.Smooth(ctx, re.Mesh,
+			lams.WithMaxIterations(20),
+			lams.WithTolerance(-1))
 		if err != nil {
 			log.Fatal(err)
 		}

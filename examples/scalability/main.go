@@ -4,17 +4,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"lams/internal/core"
 	"lams/internal/perfmodel"
 	"lams/internal/stats"
+	"lams/pkg/lams"
 )
 
 func main() {
 	const meshName = "crake"
-	m, err := core.BuildMesh(meshName, 20000)
+	ctx := context.Background()
+	m, err := lams.GenerateMesh(meshName, 20000)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,12 +27,12 @@ func main() {
 	times := map[string][]float64{}
 
 	for _, ordName := range []string{"ORI", "BFS", "RDR"} {
-		re, err := core.ReorderByName(m, ordName)
+		re, err := lams.Reorder(m, ordName)
 		if err != nil {
 			log.Fatal(err)
 		}
 		for _, p := range cores {
-			_, tb, err := core.SmoothTraced(re.Mesh.Clone(), p, 2)
+			_, tb, err := lams.SmoothTraced(ctx, re.Mesh.Clone(), p, 2)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,3 @@
+module lams
+
+go 1.22

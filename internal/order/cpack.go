@@ -65,3 +65,7 @@ func (c CPack) Compute(m *mesh.Mesh, vq []float64) ([]int32, error) {
 	}
 	return perm, nil
 }
+
+func init() {
+	Register("CPACK", func() Ordering { return CPack{} })
+}

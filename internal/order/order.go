@@ -357,35 +357,12 @@ func Invert(perm []int32) []int32 {
 	return out
 }
 
-// ByName returns the named ordering with default parameters. Recognized
-// names (case sensitive, as used in reports): ORI, RANDOM, BFS, DFS, RDR,
-// RCM, HILBERT, MORTON.
-func ByName(name string) (Ordering, error) {
-	switch name {
-	case "ORI":
-		return Original{}, nil
-	case "RANDOM":
-		return Random{Seed: 1}, nil
-	case "BFS":
-		return BFS{}, nil
-	case "DFS":
-		return DFS{}, nil
-	case "RDR":
-		return RDR{}, nil
-	case "RCM":
-		return RCM{}, nil
-	case "HILBERT":
-		return Hilbert{}, nil
-	case "MORTON":
-		return Morton{}, nil
-	case "CPACK":
-		return CPack{}, nil
-	default:
-		return nil, fmt.Errorf("order: unknown ordering %q", name)
-	}
-}
-
-// Names lists the orderings ByName recognizes, in report order.
-func Names() []string {
-	return []string{"ORI", "RANDOM", "BFS", "DFS", "RDR", "RCM", "HILBERT", "MORTON", "CPACK"}
+func init() {
+	Register("ORI", func() Ordering { return Original{} })
+	Register("RANDOM", func() Ordering { return Random{Seed: 1} })
+	Register("BFS", func() Ordering { return BFS{} })
+	Register("DFS", func() Ordering { return DFS{} })
+	Register("RCM", func() Ordering { return RCM{} })
+	Register("HILBERT", func() Ordering { return Hilbert{} })
+	Register("MORTON", func() Ordering { return Morton{} })
 }

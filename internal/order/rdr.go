@@ -54,3 +54,7 @@ func (r RDR) Compute(m *mesh.Mesh, vq []float64) ([]int32, error) {
 	}
 	return vnew, nil
 }
+
+func init() {
+	Register("RDR", func() Ordering { return RDR{} })
+}

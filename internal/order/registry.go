@@ -1,0 +1,83 @@
+package order
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The ordering registry. Each ordering registers a factory for itself from
+// its defining file's init function, so adding an ordering is a one-file
+// change: implement Ordering, call Register. ByName and Names are driven
+// entirely by the registry — there is no central switch to extend.
+
+var registry = struct {
+	sync.RWMutex
+	factories map[string]func() Ordering
+}{factories: make(map[string]func() Ordering)}
+
+// reportOrder fixes the presentation order of the paper's orderings in
+// Names (the order the evaluation tables use). Orderings registered beyond
+// this list sort alphabetically after it.
+var reportOrder = map[string]int{
+	"ORI": 0, "RANDOM": 1, "BFS": 2, "DFS": 3, "RDR": 4,
+	"RCM": 5, "HILBERT": 6, "MORTON": 7, "CPACK": 8,
+}
+
+// Register makes the ordering produced by factory available through ByName
+// under the given name. The factory must return an ordering with default
+// parameters whose Name() equals name. Register panics on an empty name or
+// a duplicate registration — both are programmer errors caught at init time.
+func Register(name string, factory func() Ordering) {
+	if name == "" {
+		panic("order: Register with empty name")
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("order: Register(%q) with nil factory", name))
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.factories[name]; dup {
+		panic(fmt.Sprintf("order: ordering %q registered twice", name))
+	}
+	registry.factories[name] = factory
+}
+
+// ByName returns the named ordering with default parameters. The built-in
+// names (case sensitive, as used in reports) are ORI, RANDOM, BFS, DFS,
+// RDR, RCM, HILBERT, MORTON and CPACK; Register adds more.
+func ByName(name string) (Ordering, error) {
+	registry.RLock()
+	factory, ok := registry.factories[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("order: unknown ordering %q (known: %v)", name, Names())
+	}
+	return factory(), nil
+}
+
+// Names lists the registered orderings: the paper's nine in report order,
+// then any further registrations alphabetically.
+func Names() []string {
+	registry.RLock()
+	out := make([]string, 0, len(registry.factories))
+	for name := range registry.factories {
+		out = append(out, name)
+	}
+	registry.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		ri, iKnown := reportOrder[out[i]]
+		rj, jKnown := reportOrder[out[j]]
+		switch {
+		case iKnown && jKnown:
+			return ri < rj
+		case iKnown:
+			return true
+		case jKnown:
+			return false
+		default:
+			return out[i] < out[j]
+		}
+	})
+	return out
+}

@@ -1,0 +1,106 @@
+package order
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"lams/internal/mesh"
+)
+
+func TestRegistryNamesReportOrder(t *testing.T) {
+	want := []string{"ORI", "RANDOM", "BFS", "DFS", "RDR", "RCM", "HILBERT", "MORTON", "CPACK"}
+	got := Names()
+	if len(got) < len(want) {
+		t.Fatalf("Names() = %v, want at least the paper's nine", got)
+	}
+	if !reflect.DeepEqual(got[:len(want)], want) {
+		t.Errorf("Names() = %v, want prefix %v", got, want)
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		ord, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if ord.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, ord.Name())
+		}
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	for _, name := range []string{"", "rdr", "NOPE", "BFS "} {
+		if _, err := ByName(name); err == nil {
+			t.Errorf("ByName(%q) did not fail", name)
+		}
+	}
+}
+
+func TestRegistryEveryOrderingPermutes(t *testing.T) {
+	m, vq := testMesh(t)
+	for _, name := range Names() {
+		ord, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm, err := ord.Compute(m, vq)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := ValidatePermutation(perm, m.NumVerts()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRegisterRejectsBadRegistrations(t *testing.T) {
+	mustPanic := func(label string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", label)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() { Register("", func() Ordering { return Original{} }) })
+	mustPanic("nil factory", func() { Register("X-NIL", nil) })
+	mustPanic("duplicate", func() { Register("ORI", func() Ordering { return Original{} }) })
+}
+
+// stubOrdering is a registry-extension fixture: an identity ordering under
+// a custom name.
+type stubOrdering struct{ name string }
+
+func (s stubOrdering) Name() string { return s.name }
+
+func (s stubOrdering) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
+	return Original{}.Compute(m, nil)
+}
+
+// registerStubOnce guards the test registration so repeated in-process runs
+// (go test -count=2, -cpu lists) do not trip Register's duplicate panic.
+var registerStubOnce sync.Once
+
+func TestRegisterExtends(t *testing.T) {
+	// A new registration is immediately visible through ByName and sorts
+	// after the paper's nine in Names.
+	const name = "ZZZ-STUB"
+	registerStubOnce.Do(func() {
+		Register(name, func() Ordering { return stubOrdering{name: name} })
+	})
+	ord, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ord.Name() != name {
+		t.Errorf("registered ordering Name() = %q", ord.Name())
+	}
+	names := Names()
+	if names[len(names)-1] != name {
+		t.Errorf("extra ordering should sort last: %v", names)
+	}
+}

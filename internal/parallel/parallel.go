@@ -4,7 +4,10 @@
 // vertex array, one per pinned thread).
 package parallel
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Chunk is a half-open index range [Lo, Hi).
 type Chunk struct {
@@ -39,17 +42,33 @@ func SplitChunks(n, parts int) []Chunk {
 // ForEachChunk runs fn(workerID, chunk) on every chunk concurrently and
 // waits for all of them.
 func ForEachChunk(chunks []Chunk, fn func(worker int, c Chunk)) {
+	_ = ForEachChunkCtx(context.Background(), chunks, fn)
+}
+
+// ForEachChunkCtx runs fn(workerID, chunk) on every chunk concurrently and
+// waits for the started ones. Chunks whose worker has not begun when ctx is
+// canceled are skipped; cancellation within a running chunk is up to fn.
+// The returned error is ctx.Err() at completion, so a non-nil error means
+// the chunk set may be incomplete and its results must not be committed.
+func ForEachChunkCtx(ctx context.Context, chunks []Chunk, fn func(worker int, c Chunk)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if len(chunks) == 1 {
 		fn(0, chunks[0])
-		return
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	for w, c := range chunks {
 		wg.Add(1)
 		go func(w int, c Chunk) {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
 			fn(w, c)
 		}(w, c)
 	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -141,3 +141,62 @@ func Global(m *mesh.Mesh, met Metric) float64 {
 	}
 	return s / float64(len(vq))
 }
+
+// Scratch holds reusable buffers for repeated quality evaluations, so a
+// convergence loop that re-measures global quality every iteration does not
+// reallocate two O(n) slices per sweep. The zero value is ready to use; a
+// Scratch is not safe for concurrent use.
+type Scratch struct {
+	tri, vert []float64
+}
+
+// TriangleQualities is like the package-level TriangleQualities but writes
+// into the scratch buffer. The result is valid until the next call on s.
+func (s *Scratch) TriangleQualities(m *mesh.Mesh, met Metric) []float64 {
+	s.tri = grow(s.tri, m.NumTris())
+	for i, tv := range m.Tris {
+		s.tri[i] = met.Triangle(m.Coords[tv[0]], m.Coords[tv[1]], m.Coords[tv[2]])
+	}
+	return s.tri
+}
+
+// VertexQualities is like the package-level VertexQualities but writes into
+// the scratch buffers. The result is valid until the next call on s.
+func (s *Scratch) VertexQualities(m *mesh.Mesh, met Metric) []float64 {
+	triQ := s.TriangleQualities(m, met)
+	s.vert = grow(s.vert, m.NumVerts())
+	for v := int32(0); v < int32(m.NumVerts()); v++ {
+		ts := m.VertTris(v)
+		if len(ts) == 0 {
+			s.vert[v] = 0
+			continue
+		}
+		var sum float64
+		for _, t := range ts {
+			sum += triQ[t]
+		}
+		s.vert[v] = sum / float64(len(ts))
+	}
+	return s.vert
+}
+
+// Global is like the package-level Global but allocation-free after the
+// scratch buffers have grown to the mesh's size.
+func (s *Scratch) Global(m *mesh.Mesh, met Metric) float64 {
+	vq := s.VertexQualities(m, met)
+	if len(vq) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, q := range vq {
+		sum += q
+	}
+	return sum / float64(len(vq))
+}
+
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,158 @@
+package smooth
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"lams/internal/mesh"
+	"lams/internal/order"
+	"lams/internal/quality"
+)
+
+// benchMeshVerts is the mid-size mesh the sweep benchmarks run on — large
+// enough that memory layout matters, small enough for quick iteration.
+const benchMeshVerts = 20000
+
+func benchMesh(b *testing.B) *mesh.Mesh {
+	b.Helper()
+	m, err := mesh.Generate("carabiner", benchMeshVerts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkSweepPerOrdering measures one storage-order Jacobi sweep of the
+// unified engine per vertex ordering: ns/op exposes each layout's locality,
+// and allocs/op shows the engine's steady-state buffer reuse (the visit and
+// next arrays are allocated once per Smoother, not once per run).
+func BenchmarkSweepPerOrdering(b *testing.B) {
+	base := benchMesh(b)
+	vq := quality.VertexQualities(base, quality.EdgeRatio{})
+	ctx := context.Background()
+	for _, name := range []string{"ORI", "RANDOM", "BFS", "RCM", "HILBERT", "RDR"} {
+		ord, err := order.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		perm, err := ord.Compute(base, vq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rm, err := base.Renumber(perm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			m := rm.Clone()
+			s := NewSmoother()
+			opt := Options{MaxIters: 1, Tol: -1, Traversal: StorageOrder}
+			if _, err := s.Run(ctx, m, opt); err != nil { // warm the buffers
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(ctx, m, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepWorkers measures the parallel Jacobi sweep at several
+// worker counts on the RDR-ordered mesh.
+func BenchmarkSweepWorkers(b *testing.B) {
+	base := benchMesh(b)
+	vq := quality.VertexQualities(base, quality.EdgeRatio{})
+	ord, err := order.ByName("RDR")
+	if err != nil {
+		b.Fatal(err)
+	}
+	perm, err := ord.Compute(base, vq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm, err := base.Renumber(perm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m := rm.Clone()
+			s := NewSmoother()
+			opt := Options{MaxIters: 1, Tol: -1, Traversal: StorageOrder, Workers: workers}
+			if _, err := s.Run(ctx, m, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(ctx, m, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepKernels measures one sweep per update kernel, all through
+// the same engine path.
+func BenchmarkSweepKernels(b *testing.B) {
+	base := benchMesh(b)
+	kernels := []Kernel{PlainKernel{}, SmartKernel{}, WeightedKernel{}, ConstrainedKernel{MaxDisplacement: 0.05}}
+	ctx := context.Background()
+	for _, kern := range kernels {
+		b.Run(kern.Name(), func(b *testing.B) {
+			m := base.Clone()
+			s := NewSmoother()
+			opt := Options{MaxIters: 1, Tol: -1, Traversal: StorageOrder, Kernel: kern}
+			if _, err := s.Run(ctx, m, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(ctx, m, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSmootherFreshVsReused quantifies the scratch-buffer win: a fresh
+// engine per run reallocates the next-coordinate array every time, a held
+// Smoother does not.
+func BenchmarkSmootherFreshVsReused(b *testing.B) {
+	base := benchMesh(b)
+	ctx := context.Background()
+	opt := Options{MaxIters: 1, Tol: -1, Traversal: StorageOrder}
+	b.Run("fresh", func(b *testing.B) {
+		m := base.Clone()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := NewSmoother().Run(ctx, m, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		m := base.Clone()
+		s := NewSmoother()
+		if _, err := s.Run(ctx, m, opt); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Run(ctx, m, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

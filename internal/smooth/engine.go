@@ -1,0 +1,195 @@
+package smooth
+
+import (
+	"context"
+	"fmt"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+	"lams/internal/order"
+	"lams/internal/parallel"
+	"lams/internal/quality"
+	"lams/internal/trace"
+)
+
+// Smoother is the unified sweep engine. It runs the convergence loop of
+// Algorithm 1 with any Kernel, any traversal, and any worker count, and it
+// owns the per-run scratch buffers (the visit sequence, the Jacobi
+// next-coordinate array, the per-worker access counters) so repeated runs
+// reuse them instead of reallocating on the hot path.
+//
+// A Smoother is not safe for concurrent use; each goroutine that smooths
+// should own one. The zero value is ready to use.
+type Smoother struct {
+	visit  []int32
+	next   []geom.Point
+	counts []int64
+	qs     quality.Scratch
+}
+
+// NewSmoother returns an empty engine whose scratch buffers grow on first
+// use and are reused by subsequent runs.
+func NewSmoother() *Smoother { return &Smoother{} }
+
+// Run smooths the mesh in place and returns the run statistics. The context
+// cancels between iterations and between worker chunks: on cancellation the
+// mesh holds the coordinates of the last completed sweep, the partial
+// Result reflects the work done, and ctx.Err() is returned.
+func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	if opt.Workers < 1 {
+		return Result{}, fmt.Errorf("smooth: workers must be >= 1, got %d", opt.Workers)
+	}
+	kern := opt.Kernel
+	if kern == nil {
+		kern = PlainKernel{}
+	}
+	inPlace := opt.GaussSeidel || kern.InPlace()
+	if inPlace && opt.Workers != 1 {
+		return Result{}, fmt.Errorf("smooth: in-place (Gauss-Seidel style) updates require a single worker, got %d", opt.Workers)
+	}
+	if opt.Trace != nil && opt.Trace.NumCores() < opt.Workers {
+		return Result{}, fmt.Errorf("smooth: trace buffer has %d cores, need %d", opt.Trace.NumCores(), opt.Workers)
+	}
+
+	visit, err := s.visitSequence(m, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	var next []geom.Point
+	if !inPlace {
+		next = s.nextBuffer(len(m.Coords))
+	}
+	chunks := parallel.SplitChunks(len(visit), opt.Workers)
+
+	res := Result{InitialQuality: s.qs.Global(m, opt.Metric)}
+	res.FinalQuality = res.InitialQuality
+	if opt.MaxIters > 0 {
+		res.QualityHistory = make([]float64, 0, opt.MaxIters)
+	}
+	prevQ := res.InitialQuality
+
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		if prevQ >= opt.GoalQuality {
+			break
+		}
+		acc, err := s.sweep(ctx, m, kern, inPlace, visit, next, chunks, opt.Trace)
+		res.Accesses += acc
+		if err != nil {
+			return res, err
+		}
+		if opt.Trace != nil {
+			opt.Trace.EndIteration()
+		}
+		res.Iterations++
+
+		q := s.qs.Global(m, opt.Metric)
+		res.QualityHistory = append(res.QualityHistory, q)
+		res.FinalQuality = q
+		if q-prevQ < opt.Tol {
+			break
+		}
+		prevQ = q
+	}
+	return res, nil
+}
+
+// sweep performs one iteration with the given kernel. Jacobi-style kernels
+// compute into the next buffer across worker chunks and commit afterwards;
+// in-place kernels apply each update immediately (serial). Returns the
+// number of vertex accesses.
+func (s *Smoother) sweep(ctx context.Context, m *mesh.Mesh, kern Kernel, inPlace bool, visit []int32, next []geom.Point, chunks []parallel.Chunk, tb *trace.Buffer) (int64, error) {
+	if inPlace {
+		var accesses int64
+		for _, v := range visit {
+			traceTouch(tb, 0, m, v)
+			m.Coords[v] = kern.Update(m, v)
+			accesses += int64(m.Degree(v)) + 1
+		}
+		return accesses, nil
+	}
+
+	counts := s.countsBuffer(len(chunks))
+	err := parallel.ForEachChunkCtx(ctx, chunks, func(w int, ch parallel.Chunk) {
+		var acc int64
+		for _, v := range visit[ch.Lo:ch.Hi] {
+			traceTouch(tb, w, m, v)
+			next[v] = kern.Update(m, v)
+			acc += int64(m.Degree(v)) + 1
+		}
+		counts[w] = acc
+	})
+	var accesses int64
+	for _, c := range counts {
+		accesses += c
+	}
+	if err != nil {
+		// Canceled mid-sweep: the next buffer may be incomplete, so do not
+		// commit it; the mesh keeps the previous iteration's coordinates.
+		return accesses, err
+	}
+	for _, v := range visit {
+		m.Coords[v] = next[v]
+	}
+	return accesses, nil
+}
+
+// traceTouch records the access pattern of one vertex update: the smoothed
+// vertex, then each of its neighbors.
+func traceTouch(tb *trace.Buffer, core int, m *mesh.Mesh, v int32) {
+	if tb == nil {
+		return
+	}
+	tb.Access(core, v)
+	for _, w := range m.Neighbors(v) {
+		tb.Access(core, w)
+	}
+}
+
+// visitSequence returns the interior vertices in the order the sweeps visit
+// them, reusing the engine's visit buffer for the quality-greedy traversal.
+func (s *Smoother) visitSequence(m *mesh.Mesh, opt Options) ([]int32, error) {
+	if opt.Traversal == StorageOrder {
+		return m.InteriorVerts, nil
+	}
+	vq := s.qs.VertexQualities(m, opt.Metric)
+	w, err := order.GreedyWalk(m, vq, false)
+	if err != nil {
+		return nil, fmt.Errorf("smooth: computing traversal: %w", err)
+	}
+	s.visit = s.visit[:0]
+	for _, v := range w.Heads {
+		if !m.IsBoundary[v] {
+			s.visit = append(s.visit, v)
+		}
+	}
+	if len(s.visit) != len(m.InteriorVerts) {
+		return nil, fmt.Errorf("smooth: traversal visited %d of %d interior vertices", len(s.visit), len(m.InteriorVerts))
+	}
+	return s.visit, nil
+}
+
+// nextBuffer returns a zeroed-or-stale scratch slice of n points; contents
+// are fully overwritten before being read.
+func (s *Smoother) nextBuffer(n int) []geom.Point {
+	if cap(s.next) < n {
+		s.next = make([]geom.Point, n)
+	}
+	s.next = s.next[:n]
+	return s.next
+}
+
+// countsBuffer returns a zeroed per-worker access-count slice.
+func (s *Smoother) countsBuffer(n int) []int64 {
+	if cap(s.counts) < n {
+		s.counts = make([]int64, n)
+	}
+	s.counts = s.counts[:n]
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	return s.counts
+}

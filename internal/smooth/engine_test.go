@@ -1,0 +1,221 @@
+package smooth
+
+import (
+	"context"
+	"testing"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+	"lams/internal/order"
+	"lams/internal/quality"
+)
+
+// referenceJacobi is a frozen copy of the pre-refactor sweep path
+// (visitSequence + sweepJacobi as they existed before the unified engine),
+// kept verbatim so the engine's Jacobi results can be checked bit-for-bit
+// against the historical behavior.
+func referenceJacobi(t *testing.T, m *mesh.Mesh, iters int) {
+	t.Helper()
+	vq := quality.VertexQualities(m, quality.EdgeRatio{})
+	w, err := order.GreedyWalk(m, vq, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visit := make([]int32, 0, len(m.InteriorVerts))
+	for _, v := range w.Heads {
+		if !m.IsBoundary[v] {
+			visit = append(visit, v)
+		}
+	}
+	next := make([]geom.Point, len(m.Coords))
+	for it := 0; it < iters; it++ {
+		for _, v := range visit {
+			nbrs := m.Neighbors(v)
+			var sx, sy float64
+			for _, nb := range nbrs {
+				p := m.Coords[nb]
+				sx += p.X
+				sy += p.Y
+			}
+			inv := 1 / float64(len(nbrs))
+			next[v] = geom.Point{X: sx * inv, Y: sy * inv}
+		}
+		for _, v := range visit {
+			m.Coords[v] = next[v]
+		}
+	}
+}
+
+// referenceGaussSeidel is the frozen pre-refactor in-place sweep.
+func referenceGaussSeidel(t *testing.T, m *mesh.Mesh, iters int) {
+	t.Helper()
+	vq := quality.VertexQualities(m, quality.EdgeRatio{})
+	w, err := order.GreedyWalk(m, vq, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < iters; it++ {
+		for _, v := range w.Heads {
+			if m.IsBoundary[v] {
+				continue
+			}
+			nbrs := m.Neighbors(v)
+			var sx, sy float64
+			for _, nb := range nbrs {
+				p := m.Coords[nb]
+				sx += p.X
+				sy += p.Y
+			}
+			inv := 1 / float64(len(nbrs))
+			m.Coords[v] = geom.Point{X: sx * inv, Y: sy * inv}
+		}
+	}
+}
+
+func coordsEqual(t *testing.T, label string, got, want *mesh.Mesh) {
+	t.Helper()
+	for i := range want.Coords {
+		if got.Coords[i] != want.Coords[i] {
+			t.Fatalf("%s: vertex %d differs bit-wise: got %v, want %v", label, i, got.Coords[i], want.Coords[i])
+		}
+	}
+}
+
+func TestEngineJacobiBitIdentical(t *testing.T) {
+	base := genMesh(t, 2000)
+	const iters = 7
+
+	want := base.Clone()
+	referenceJacobi(t, want, iters)
+
+	for _, workers := range []int{1, 3, 8} {
+		got := base.Clone()
+		if _, err := Run(got, Options{MaxIters: iters, Tol: -1, Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		coordsEqual(t, "jacobi", got, want)
+	}
+}
+
+func TestEngineGaussSeidelBitIdentical(t *testing.T) {
+	base := genMesh(t, 1500)
+	const iters = 4
+
+	want := base.Clone()
+	referenceGaussSeidel(t, want, iters)
+
+	got := base.Clone()
+	if _, err := Run(got, Options{MaxIters: iters, Tol: -1, GaussSeidel: true}); err != nil {
+		t.Fatal(err)
+	}
+	coordsEqual(t, "gauss-seidel", got, want)
+}
+
+func TestEngineKernelOptionMatchesVariant(t *testing.T) {
+	// Options.Kernel and RunVariant are two spellings of the same engine
+	// invocation and must agree exactly.
+	base := genMesh(t, 1200)
+	for _, v := range []Variant{Smart, Weighted, Constrained} {
+		kern, err := KernelForVariant(v, nil, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaKernel := base.Clone()
+		if _, err := Run(viaKernel, Options{MaxIters: 5, Tol: -1, Kernel: kern}); err != nil {
+			t.Fatal(err)
+		}
+		viaVariant := base.Clone()
+		if _, err := RunVariant(viaVariant, VariantOptions{
+			Options:         Options{MaxIters: 5, Tol: -1},
+			Variant:         v,
+			MaxDisplacement: 0.05,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		coordsEqual(t, v.String(), viaKernel, viaVariant)
+	}
+}
+
+func TestEngineContextAlreadyCanceled(t *testing.T) {
+	m := genMesh(t, 1000)
+	before := append([]geom.Point(nil), m.Coords...)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := NewSmoother().Run(ctx, m, Options{MaxIters: 10, Tol: -1})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Iterations != 0 {
+		t.Errorf("ran %d iterations under a canceled context", res.Iterations)
+	}
+	for i := range before {
+		if m.Coords[i] != before[i] {
+			t.Fatalf("vertex %d moved under a canceled context", i)
+		}
+	}
+}
+
+func TestEngineContextCancelMidRun(t *testing.T) {
+	m := genMesh(t, 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	// A kernel that cancels the context partway through the first sweep:
+	// the run must stop without committing a partial iteration.
+	kern := cancelingKernel{inner: PlainKernel{}, after: 50, calls: &calls, cancel: cancel}
+	res, err := NewSmoother().Run(ctx, m, Options{MaxIters: 10, Tol: -1, Kernel: kern})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Iterations > 1 {
+		t.Errorf("ran %d iterations after cancellation", res.Iterations)
+	}
+}
+
+type cancelingKernel struct {
+	inner  Kernel
+	after  int
+	calls  *int
+	cancel context.CancelFunc
+}
+
+func (k cancelingKernel) Name() string  { return "canceling" }
+func (k cancelingKernel) InPlace() bool { return false }
+
+func (k cancelingKernel) Update(m *mesh.Mesh, v int32) geom.Point {
+	*k.calls++
+	if *k.calls == k.after {
+		k.cancel()
+	}
+	return k.inner.Update(m, v)
+}
+
+func TestSmootherReuseMatchesFresh(t *testing.T) {
+	// Reusing one Smoother across runs must not change results relative to
+	// fresh engines.
+	base := genMesh(t, 1500)
+	s := NewSmoother()
+	ctx := context.Background()
+	for run := 0; run < 3; run++ {
+		reused := base.Clone()
+		fresh := base.Clone()
+		resR, err := s.Run(ctx, reused, Options{MaxIters: 4, Tol: -1, Workers: 1 + run})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resF, err := Run(fresh, Options{MaxIters: 4, Tol: -1, Workers: 1 + run})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coordsEqual(t, "reuse", reused, fresh)
+		if resR.Accesses != resF.Accesses || resR.FinalQuality != resF.FinalQuality {
+			t.Errorf("run %d: reused engine result differs: %+v vs %+v", run, resR, resF)
+		}
+	}
+}
+
+func TestEngineRejectsParallelInPlaceKernel(t *testing.T) {
+	m := genMesh(t, 500)
+	if _, err := Run(m, Options{Workers: 2, Kernel: SmartKernel{}}); err == nil {
+		t.Error("parallel in-place kernel accepted")
+	}
+}

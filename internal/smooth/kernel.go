@@ -1,0 +1,148 @@
+package smooth
+
+import (
+	"lams/internal/geom"
+	"lams/internal/mesh"
+	"lams/internal/quality"
+)
+
+// Kernel is the per-vertex update rule of a smoothing sweep. The engine owns
+// everything else — traversal, chunking, tracing, Jacobi buffering and the
+// convergence loop — so a new smoothing variant is just a new Kernel.
+type Kernel interface {
+	// Name identifies the kernel in reports.
+	Name() string
+	// InPlace reports whether the kernel must observe its own writes within
+	// a sweep (Gauss–Seidel style). In-place kernels run serially and the
+	// engine commits each Update to m.Coords immediately; otherwise updates
+	// are buffered and committed together after the sweep (Jacobi style).
+	InPlace() bool
+	// Update computes the new position of vertex v from the mesh's current
+	// coordinates. It must only read m.Coords at v and v's neighbors (plus,
+	// for in-place kernels, write m.Coords[v]).
+	Update(m *mesh.Mesh, v int32) geom.Point
+}
+
+// PlainKernel is Eq. (1): move the vertex to the unweighted average of its
+// neighbors. This is the paper's Laplacian smoothing update.
+type PlainKernel struct{}
+
+// Name implements Kernel.
+func (PlainKernel) Name() string { return "plain" }
+
+// InPlace implements Kernel.
+func (PlainKernel) InPlace() bool { return false }
+
+// Update implements Kernel.
+func (PlainKernel) Update(m *mesh.Mesh, v int32) geom.Point {
+	nbrs := m.Neighbors(v)
+	var sx, sy float64
+	for _, w := range nbrs {
+		p := m.Coords[w]
+		sx += p.X
+		sy += p.Y
+	}
+	inv := 1 / float64(len(nbrs))
+	return geom.Point{X: sx * inv, Y: sy * inv}
+}
+
+// plainDivTarget is the Eq. (1) target in the division form the smoothing
+// variants have always used. It is numerically equivalent to — but not
+// bit-identical with — PlainKernel's multiply-by-reciprocal form, so the
+// variants keep it to preserve their exact historical results.
+func plainDivTarget(m *mesh.Mesh, v int32) geom.Point {
+	nbrs := m.Neighbors(v)
+	var sx, sy float64
+	for _, w := range nbrs {
+		p := m.Coords[w]
+		sx += p.X
+		sy += p.Y
+	}
+	n := float64(len(nbrs))
+	return geom.Point{X: sx / n, Y: sy / n}
+}
+
+// SmartKernel computes the Eq. (1) position but keeps the move only when it
+// does not decrease the vertex's local quality (the Mesquite default). Its
+// accept test must see the candidate applied, so it runs in place (serial).
+type SmartKernel struct {
+	// Metric is the local quality metric (default quality.EdgeRatio{}).
+	Metric quality.Metric
+}
+
+// Name implements Kernel.
+func (SmartKernel) Name() string { return "smart" }
+
+// InPlace implements Kernel.
+func (SmartKernel) InPlace() bool { return true }
+
+// Update implements Kernel.
+func (k SmartKernel) Update(m *mesh.Mesh, v int32) geom.Point {
+	met := k.Metric
+	if met == nil {
+		met = quality.EdgeRatio{}
+	}
+	before := quality.VertexQuality(m, met, v)
+	old := m.Coords[v]
+	m.Coords[v] = plainDivTarget(m, v)
+	if quality.VertexQuality(m, met, v) < before {
+		m.Coords[v] = old // reject the move
+	}
+	return m.Coords[v]
+}
+
+// WeightedKernel averages neighbors with inverse-edge-length weights,
+// pulling vertices toward close neighbors more gently.
+type WeightedKernel struct{}
+
+// Name implements Kernel.
+func (WeightedKernel) Name() string { return "weighted" }
+
+// InPlace implements Kernel.
+func (WeightedKernel) InPlace() bool { return false }
+
+// Update implements Kernel.
+func (WeightedKernel) Update(m *mesh.Mesh, v int32) geom.Point {
+	cur := m.Coords[v]
+	var sx, sy, wsum float64
+	for _, w := range m.Neighbors(v) {
+		p := m.Coords[w]
+		d := cur.Dist(p)
+		wt := 1.0
+		if d > 0 {
+			wt = 1 / d
+		}
+		sx += wt * p.X
+		sy += wt * p.Y
+		wsum += wt
+	}
+	if wsum == 0 {
+		return cur
+	}
+	return geom.Point{X: sx / wsum, Y: sy / wsum}
+}
+
+// ConstrainedKernel is the plain update with the per-sweep displacement
+// clamped to MaxDisplacement, in the spirit of Parthasarathy and
+// Kodiyalam's constrained smoothing.
+type ConstrainedKernel struct {
+	// MaxDisplacement bounds each per-sweep move (must be > 0).
+	MaxDisplacement float64
+}
+
+// Name implements Kernel.
+func (ConstrainedKernel) Name() string { return "constrained" }
+
+// InPlace implements Kernel.
+func (ConstrainedKernel) InPlace() bool { return false }
+
+// Update implements Kernel.
+func (k ConstrainedKernel) Update(m *mesh.Mesh, v int32) geom.Point {
+	cur := m.Coords[v]
+	target := plainDivTarget(m, v)
+	d := target.Sub(cur)
+	if norm := d.Norm(); norm > k.MaxDisplacement {
+		target = cur.Add(d.Scale(k.MaxDisplacement / norm))
+	}
+	return target
+}

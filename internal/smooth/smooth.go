@@ -22,13 +22,9 @@
 package smooth
 
 import (
-	"fmt"
-	"sync"
+	"context"
 
-	"lams/internal/geom"
 	"lams/internal/mesh"
-	"lams/internal/order"
-	"lams/internal/parallel"
 	"lams/internal/quality"
 	"lams/internal/trace"
 )
@@ -80,7 +76,10 @@ type Options struct {
 	Workers int
 	// Traversal selects the visit order (default QualityGreedy).
 	Traversal Traversal
-	// GaussSeidel selects in-place updates. Only valid with Workers == 1.
+	// Kernel is the per-vertex update rule (default PlainKernel{}, Eq. 1).
+	Kernel Kernel
+	// GaussSeidel selects in-place updates for a Jacobi-style kernel. Only
+	// valid with Workers == 1.
 	GaussSeidel bool
 	// Trace, when non-nil, records every vertex-array access (the smoothed
 	// vertex, then each of its neighbors) on the worker's stream. The
@@ -121,163 +120,15 @@ type Result struct {
 	Accesses int64
 }
 
-// Run smooths the mesh in place and returns the run statistics.
+// Run smooths the mesh in place with a one-shot engine and returns the run
+// statistics. Callers that smooth repeatedly should hold a Smoother and use
+// its Run method, which reuses the scratch buffers across runs.
 func Run(m *mesh.Mesh, opt Options) (Result, error) {
-	opt = opt.withDefaults()
-	if opt.Workers < 1 {
-		return Result{}, fmt.Errorf("smooth: workers must be >= 1, got %d", opt.Workers)
-	}
-	if opt.GaussSeidel && opt.Workers != 1 {
-		return Result{}, fmt.Errorf("smooth: Gauss-Seidel updates require a single worker")
-	}
-	if opt.Trace != nil && opt.Trace.NumCores() < opt.Workers {
-		return Result{}, fmt.Errorf("smooth: trace buffer has %d cores, need %d", opt.Trace.NumCores(), opt.Workers)
-	}
-
-	visit, err := visitSequence(m, opt)
-	if err != nil {
-		return Result{}, err
-	}
-
-	res := Result{InitialQuality: quality.Global(m, opt.Metric)}
-	res.FinalQuality = res.InitialQuality
-	prevQ := res.InitialQuality
-
-	next := make([]geom.Point, len(m.Coords))
-	chunks := parallel.SplitChunks(len(visit), opt.Workers)
-
-	for iter := 0; iter < opt.MaxIters; iter++ {
-		if prevQ >= opt.GoalQuality {
-			break
-		}
-		if opt.GaussSeidel {
-			res.Accesses += sweepGaussSeidel(m, visit, opt.Trace)
-		} else {
-			res.Accesses += sweepJacobi(m, visit, next, chunks, opt.Trace)
-		}
-		if opt.Trace != nil {
-			opt.Trace.EndIteration()
-		}
-		res.Iterations++
-
-		q := quality.Global(m, opt.Metric)
-		res.QualityHistory = append(res.QualityHistory, q)
-		res.FinalQuality = q
-		if q-prevQ < opt.Tol {
-			prevQ = q
-			break
-		}
-		prevQ = q
-	}
-	return res, nil
+	return NewSmoother().Run(context.Background(), m, opt)
 }
 
-// visitSequence returns the interior vertices in the order the sweeps visit
-// them.
-func visitSequence(m *mesh.Mesh, opt Options) ([]int32, error) {
-	if opt.Traversal == StorageOrder {
-		return m.InteriorVerts, nil
-	}
-	vq := quality.VertexQualities(m, opt.Metric)
-	w, err := order.GreedyWalk(m, vq, false)
-	if err != nil {
-		return nil, fmt.Errorf("smooth: computing traversal: %w", err)
-	}
-	visit := make([]int32, 0, len(m.InteriorVerts))
-	for _, v := range w.Heads {
-		if !m.IsBoundary[v] {
-			visit = append(visit, v)
-		}
-	}
-	if len(visit) != len(m.InteriorVerts) {
-		return nil, fmt.Errorf("smooth: traversal visited %d of %d interior vertices", len(visit), len(m.InteriorVerts))
-	}
-	return visit, nil
-}
-
-// sweepJacobi performs one iteration: workers compute the new position of
-// every vertex in their chunk of the visit sequence from the current
-// coordinates, then the new positions are committed. Returns the number of
-// vertex accesses.
-func sweepJacobi(m *mesh.Mesh, visit []int32, next []geom.Point, chunks []parallel.Chunk, tb *trace.Buffer) int64 {
-	var accesses int64
-	if len(chunks) == 1 {
-		accesses = jacobiChunk(m, visit, next, chunks[0], 0, tb)
-	} else {
-		var wg sync.WaitGroup
-		counts := make([]int64, len(chunks))
-		for w, ch := range chunks {
-			wg.Add(1)
-			go func(w int, ch parallel.Chunk) {
-				defer wg.Done()
-				counts[w] = jacobiChunk(m, visit, next, ch, w, tb)
-			}(w, ch)
-		}
-		wg.Wait()
-		for _, c := range counts {
-			accesses += c
-		}
-	}
-	for _, v := range visit {
-		m.Coords[v] = next[v]
-	}
-	return accesses
-}
-
-func jacobiChunk(m *mesh.Mesh, visit []int32, next []geom.Point, ch parallel.Chunk, core int, tb *trace.Buffer) int64 {
-	var accesses int64
-	if tb == nil {
-		for _, v := range visit[ch.Lo:ch.Hi] {
-			nbrs := m.Neighbors(v)
-			var sx, sy float64
-			for _, w := range nbrs {
-				p := m.Coords[w]
-				sx += p.X
-				sy += p.Y
-			}
-			inv := 1 / float64(len(nbrs))
-			next[v] = geom.Point{X: sx * inv, Y: sy * inv}
-			accesses += int64(len(nbrs)) + 1
-		}
-		return accesses
-	}
-	for _, v := range visit[ch.Lo:ch.Hi] {
-		tb.Access(core, v)
-		nbrs := m.Neighbors(v)
-		var sx, sy float64
-		for _, w := range nbrs {
-			tb.Access(core, w)
-			p := m.Coords[w]
-			sx += p.X
-			sy += p.Y
-		}
-		inv := 1 / float64(len(nbrs))
-		next[v] = geom.Point{X: sx * inv, Y: sy * inv}
-		accesses += int64(len(nbrs)) + 1
-	}
-	return accesses
-}
-
-// sweepGaussSeidel performs one in-place iteration (serial only).
-func sweepGaussSeidel(m *mesh.Mesh, visit []int32, tb *trace.Buffer) int64 {
-	var accesses int64
-	for _, v := range visit {
-		if tb != nil {
-			tb.Access(0, v)
-		}
-		nbrs := m.Neighbors(v)
-		var sx, sy float64
-		for _, w := range nbrs {
-			if tb != nil {
-				tb.Access(0, w)
-			}
-			p := m.Coords[w]
-			sx += p.X
-			sy += p.Y
-		}
-		inv := 1 / float64(len(nbrs))
-		m.Coords[v] = geom.Point{X: sx * inv, Y: sy * inv}
-		accesses += int64(len(nbrs)) + 1
-	}
-	return accesses
+// RunContext is Run with cancellation: the context is checked between
+// iterations and between worker chunks.
+func RunContext(ctx context.Context, m *mesh.Mesh, opt Options) (Result, error) {
+	return NewSmoother().Run(ctx, m, opt)
 }

@@ -3,19 +3,18 @@ package smooth
 import (
 	"fmt"
 
-	"lams/internal/geom"
 	"lams/internal/mesh"
 	"lams/internal/quality"
 )
 
-// This file implements the smoothing variants the paper's conclusion points
-// at ("we expect our new reuse-distance-aware algorithm to outperform
-// extensions of Laplacian mesh smoothing as well"): smart Laplacian
-// smoothing (move only when local quality improves, the Mesquite default),
-// length-weighted Laplacian smoothing, and constrained smoothing in the
-// spirit of Parthasarathy and Kodiyalam [13] (bounded displacement). They
-// share the traversal machinery of Run, so every ordering applies to them
-// unchanged.
+// This file maps the smoothing variants the paper's conclusion points at
+// ("we expect our new reuse-distance-aware algorithm to outperform
+// extensions of Laplacian mesh smoothing as well") onto the unified sweep
+// engine: smart Laplacian smoothing (move only when local quality improves,
+// the Mesquite default), length-weighted Laplacian smoothing, and
+// constrained smoothing in the spirit of Parthasarathy and Kodiyalam [13]
+// (bounded displacement). Each variant is just a Kernel, so every ordering
+// and traversal applies to them unchanged.
 
 // Variant selects the vertex update rule.
 type Variant int
@@ -47,6 +46,27 @@ func (v Variant) String() string {
 	}
 }
 
+// KernelForVariant returns the sweep kernel implementing the variant. The
+// metric parameterizes Smart's accept test (nil means quality.EdgeRatio{});
+// maxDisplacement bounds Constrained's per-sweep moves.
+func KernelForVariant(v Variant, met quality.Metric, maxDisplacement float64) (Kernel, error) {
+	switch v {
+	case Plain:
+		return PlainKernel{}, nil
+	case Smart:
+		return SmartKernel{Metric: met}, nil
+	case Weighted:
+		return WeightedKernel{}, nil
+	case Constrained:
+		if maxDisplacement <= 0 {
+			return nil, fmt.Errorf("smooth: constrained variant requires MaxDisplacement > 0")
+		}
+		return ConstrainedKernel{MaxDisplacement: maxDisplacement}, nil
+	default:
+		return nil, fmt.Errorf("smooth: unknown variant %d", int(v))
+	}
+}
+
 // VariantOptions configures RunVariant.
 type VariantOptions struct {
 	// Options embeds the base smoothing options; GaussSeidel and Trace are
@@ -59,126 +79,18 @@ type VariantOptions struct {
 	MaxDisplacement float64
 }
 
-// RunVariant smooths the mesh in place with the selected update rule.
+// RunVariant smooths the mesh in place with the selected update rule. It is
+// a thin wrapper that resolves the variant to its Kernel and runs the
+// engine.
 func RunVariant(m *mesh.Mesh, opt VariantOptions) (Result, error) {
 	base := opt.Options.withDefaults()
-	if opt.Variant == Constrained && opt.MaxDisplacement <= 0 {
-		return Result{}, fmt.Errorf("smooth: constrained variant requires MaxDisplacement > 0")
-	}
 	if opt.Variant == Smart && base.Workers != 1 {
 		return Result{}, fmt.Errorf("smooth: smart variant is serial (got %d workers)", base.Workers)
 	}
-	if opt.Variant == Plain {
-		return Run(m, opt.Options)
-	}
-
-	visit, err := visitSequence(m, base)
+	kern, err := KernelForVariant(opt.Variant, base.Metric, opt.MaxDisplacement)
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{InitialQuality: quality.Global(m, base.Metric)}
-	res.FinalQuality = res.InitialQuality
-	prevQ := res.InitialQuality
-
-	next := make([]geom.Point, len(m.Coords))
-	for iter := 0; iter < base.MaxIters; iter++ {
-		if prevQ >= base.GoalQuality {
-			break
-		}
-		res.Accesses += sweepVariant(m, visit, next, opt, base)
-		if base.Trace != nil {
-			base.Trace.EndIteration()
-		}
-		res.Iterations++
-		q := quality.Global(m, base.Metric)
-		res.QualityHistory = append(res.QualityHistory, q)
-		res.FinalQuality = q
-		if q-prevQ < base.Tol {
-			break
-		}
-		prevQ = q
-	}
-	return res, nil
-}
-
-// sweepVariant performs one Jacobi-style iteration with the variant's
-// update rule, then commits. Smart runs in place (Gauss–Seidel) because its
-// accept test must see the candidate position applied.
-func sweepVariant(m *mesh.Mesh, visit []int32, next []geom.Point, opt VariantOptions, base Options) int64 {
-	var accesses int64
-	switch opt.Variant {
-	case Weighted, Constrained:
-		for _, v := range visit {
-			if base.Trace != nil {
-				base.Trace.Access(0, v)
-			}
-			target := variantTarget(m, v, opt, base)
-			next[v] = target
-			accesses += int64(m.Degree(v)) + 1
-		}
-		for _, v := range visit {
-			m.Coords[v] = next[v]
-		}
-	case Smart:
-		met := base.Metric
-		for _, v := range visit {
-			if base.Trace != nil {
-				base.Trace.Access(0, v)
-			}
-			before := quality.VertexQuality(m, met, v)
-			old := m.Coords[v]
-			m.Coords[v] = variantTarget(m, v, opt, base)
-			if quality.VertexQuality(m, met, v) < before {
-				m.Coords[v] = old // reject the move
-			}
-			accesses += int64(m.Degree(v)) + 1
-		}
-	}
-	return accesses
-}
-
-// variantTarget computes the candidate position for vertex v.
-func variantTarget(m *mesh.Mesh, v int32, opt VariantOptions, base Options) geom.Point {
-	nbrs := m.Neighbors(v)
-	cur := m.Coords[v]
-	var sx, sy, wsum float64
-	switch opt.Variant {
-	case Weighted:
-		for _, w := range nbrs {
-			if base.Trace != nil {
-				base.Trace.Access(0, w)
-			}
-			p := m.Coords[w]
-			d := cur.Dist(p)
-			wt := 1.0
-			if d > 0 {
-				wt = 1 / d
-			}
-			sx += wt * p.X
-			sy += wt * p.Y
-			wsum += wt
-		}
-		if wsum == 0 {
-			return cur
-		}
-		return geom.Point{X: sx / wsum, Y: sy / wsum}
-	default: // Smart and Constrained use the plain Eq. (1) target
-		for _, w := range nbrs {
-			if base.Trace != nil {
-				base.Trace.Access(0, w)
-			}
-			p := m.Coords[w]
-			sx += p.X
-			sy += p.Y
-		}
-		n := float64(len(nbrs))
-		target := geom.Point{X: sx / n, Y: sy / n}
-		if opt.Variant == Constrained {
-			d := target.Sub(cur)
-			if norm := d.Norm(); norm > opt.MaxDisplacement {
-				target = cur.Add(d.Scale(opt.MaxDisplacement / norm))
-			}
-		}
-		return target
-	}
+	base.Kernel = kern
+	return Run(m, base)
 }

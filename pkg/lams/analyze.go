@@ -1,0 +1,123 @@
+package lams
+
+import (
+	"context"
+	"fmt"
+
+	"lams/internal/cache"
+	"lams/internal/reuse"
+)
+
+// CacheConfig describes a simulated cache hierarchy (levels, line size,
+// miss penalties).
+type CacheConfig = cache.Config
+
+// WestmereCache returns the paper's Westmere-EX hierarchy at full size.
+func WestmereCache() CacheConfig { return cache.Westmere() }
+
+// ScaledCache returns the Westmere-EX hierarchy scaled down to a mesh of
+// the given vertex count, so small test meshes exercise the same relative
+// capacity pressure as the paper's full-size runs.
+func ScaledCache(meshVerts int) CacheConfig { return cache.Scaled(meshVerts) }
+
+// LocalityReport is the paper's §5.2 locality analysis of one smoothing
+// configuration: reuse-distance statistics at cache-line granularity and a
+// simulated cache hierarchy's miss rates and penalty cycles over the trace.
+type LocalityReport struct {
+	// Iterations is the number of smoothing sweeps traced.
+	Iterations int
+	// Accesses is the total number of vertex accesses in the trace.
+	Accesses int64
+	// Cache is the simulated hierarchy the miss rates refer to.
+	Cache CacheConfig
+	// MeanReuseDistance is the mean cache-line stack reuse distance.
+	MeanReuseDistance float64
+	// ReuseQ50, ReuseQ75 and ReuseQ90 are reuse-distance quantiles;
+	// MaxReuseDistance is the largest finite distance observed.
+	ReuseQ50, ReuseQ75, ReuseQ90, MaxReuseDistance int64
+	// MissRates holds the simulated miss rate per cache level (L1, L2, L3).
+	MissRates []float64
+	// PenaltyCycles is the Eq. (2) cycle penalty of the misses on core 0.
+	PenaltyCycles float64
+}
+
+// analyzeConfig collects AnalyzeOption settings.
+type analyzeConfig struct {
+	iters   int
+	workers int
+	cache   *CacheConfig
+}
+
+// AnalyzeOption configures AnalyzeLocality.
+type AnalyzeOption func(*analyzeConfig)
+
+// WithAnalysisIterations sets how many smoothing sweeps are traced
+// (default 1).
+func WithAnalysisIterations(n int) AnalyzeOption {
+	return func(c *analyzeConfig) { c.iters = n }
+}
+
+// WithAnalysisWorkers sets the traced worker count (default 1). Reuse
+// distances are computed on worker 0's stream.
+func WithAnalysisWorkers(n int) AnalyzeOption {
+	return func(c *analyzeConfig) { c.workers = n }
+}
+
+// WithAnalysisCache sets the simulated hierarchy (default ScaledCache for
+// the analyzed mesh).
+func WithAnalysisCache(cfg CacheConfig) AnalyzeOption {
+	return func(c *analyzeConfig) { c.cache = &cfg }
+}
+
+// AnalyzeLocality traces Laplacian smoothing on a copy of m (the input mesh
+// is unchanged) and reports the reuse-distance and cache behavior of its
+// access stream. Analyze a mesh returned by Reorder to measure an
+// ordering's locality.
+func AnalyzeLocality(ctx context.Context, m *Mesh, opts ...AnalyzeOption) (*LocalityReport, error) {
+	cfg := analyzeConfig{iters: 1, workers: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	ccfg := ScaledCache(m.NumVerts())
+	if cfg.cache != nil {
+		ccfg = *cfg.cache
+	}
+
+	res, tb, err := SmoothTraced(ctx, m.Clone(), cfg.workers, cfg.iters)
+	if err != nil {
+		return nil, fmt.Errorf("lams: tracing smoother: %w", err)
+	}
+
+	dists := reuse.StackDistances(reuse.Blocks(tb.Core(0), ccfg.VertsPerLine()))
+	sum := reuse.Summarize(dists)
+	qs, err := reuse.Quantiles(dists, []float64{0.5, 0.75, 0.9, 1})
+	if err != nil {
+		return nil, fmt.Errorf("lams: reuse quantiles: %w", err)
+	}
+
+	sim, err := cache.NewSim(ccfg, cfg.workers)
+	if err != nil {
+		return nil, fmt.Errorf("lams: cache simulator: %w", err)
+	}
+	if err := sim.RunTrace(tb); err != nil {
+		return nil, fmt.Errorf("lams: simulating trace: %w", err)
+	}
+	stats := sim.Stats()
+	rates := make([]float64, len(stats))
+	for i, st := range stats {
+		rates[i] = st.MissRate()
+	}
+
+	return &LocalityReport{
+		Iterations:        res.Iterations,
+		Accesses:          res.Accesses,
+		Cache:             ccfg,
+		MeanReuseDistance: sum.Mean,
+		ReuseQ50:          qs[0],
+		ReuseQ75:          qs[1],
+		ReuseQ90:          qs[2],
+		MaxReuseDistance:  qs[3],
+		MissRates:         rates,
+		PenaltyCycles:     sim.CorePenaltyCycles(0),
+	}, nil
+}

@@ -1,0 +1,131 @@
+// Package lams is the public API of the Locality-Aware Laplacian Mesh
+// Smoothing library (Aupy, Park, Raghavan; ICPP 2016, arXiv:1606.00803).
+//
+// It exposes the paper's pipeline as four composable stages:
+//
+//	build   — GenerateMesh / LoadMesh construct a triangular mesh;
+//	order   — Reorder relabels the vertices with a locality ordering
+//	          (RDR, BFS, Hilbert, …) from the extensible ordering registry;
+//	smooth  — Smooth (or a reusable Smoother) runs Laplacian smoothing with
+//	          functional options and context cancellation;
+//	analyze — AnalyzeLocality traces the smoother and reports reuse
+//	          distances, simulated cache miss rates, and penalty cycles.
+//
+// Run chains all four stages in one call. The heavy data structures (Mesh,
+// orderings, quality metrics, trace buffers) are aliases of the internal
+// implementation packages, so values returned here interoperate with every
+// stage without conversion.
+package lams
+
+import (
+	"lams/internal/core"
+	"lams/internal/domains"
+	"lams/internal/geom"
+	"lams/internal/mesh"
+	"lams/internal/order"
+	"lams/internal/quality"
+	"lams/internal/trace"
+)
+
+// Mesh is a 2-D triangular mesh (vertex coordinates, triangles, adjacency).
+type Mesh = mesh.Mesh
+
+// MeshStats summarizes a mesh (vertex/triangle/boundary counts).
+type MeshStats = mesh.Stats
+
+// Point is a 2-D coordinate.
+type Point = geom.Point
+
+// GenerateMesh builds the named test domain (one of the paper's Table 1
+// meshes; see Domains) with roughly targetVerts vertices.
+func GenerateMesh(name string, targetVerts int) (*Mesh, error) {
+	return mesh.Generate(name, targetVerts)
+}
+
+// LoadMesh reads a Triangle-format mesh from base.node and base.ele.
+// Mesh.SaveFiles is the inverse.
+func LoadMesh(base string) (*Mesh, error) {
+	return mesh.LoadFiles(base)
+}
+
+// Domains lists the generatable test-mesh names (the paper's nine Table 1
+// domains).
+func Domains() []string { return domains.Names() }
+
+// Metric scores a triangle's shape in [0, 1]; 1 is ideal (equilateral).
+type Metric = quality.Metric
+
+// EdgeRatio is the paper's edge-length-ratio metric (the default).
+type EdgeRatio = quality.EdgeRatio
+
+// MinAngle is the normalized minimum-angle metric.
+type MinAngle = quality.MinAngle
+
+// AspectRatio is the normalized aspect-ratio metric.
+type AspectRatio = quality.AspectRatio
+
+// GlobalQuality returns the mesh-wide quality: the average vertex quality.
+// A nil metric means EdgeRatio.
+func GlobalQuality(m *Mesh, met Metric) float64 {
+	return quality.Global(m, orDefaultMetric(met))
+}
+
+// VertexQualities returns every vertex's quality: the average metric value
+// of its attached triangles. A nil metric means EdgeRatio.
+func VertexQualities(m *Mesh, met Metric) []float64 {
+	return quality.VertexQualities(m, orDefaultMetric(met))
+}
+
+// TriangleQualities returns the metric value of every triangle. A nil
+// metric means EdgeRatio.
+func TriangleQualities(m *Mesh, met Metric) []float64 {
+	return quality.TriangleQualities(m, orDefaultMetric(met))
+}
+
+func orDefaultMetric(met Metric) Metric {
+	if met == nil {
+		return EdgeRatio{}
+	}
+	return met
+}
+
+// TraceBuffer records the smoother's per-worker vertex-access streams for
+// locality analysis.
+type TraceBuffer = trace.Buffer
+
+// NewTraceBuffer returns a trace buffer with one stream per worker.
+func NewTraceBuffer(workers int) *TraceBuffer { return trace.NewBuffer(workers) }
+
+// Ordering computes a vertex permutation for a mesh. Position k of the
+// result holds the index (in the input mesh) of the vertex to store k-th.
+type Ordering = order.Ordering
+
+// Reordered is a mesh relabeled by an ordering, with the permutation and
+// the time the ordering took (the pre-computation cost the paper's §5.4
+// weighs against the smoothing gain).
+type Reordered = core.Reordered
+
+// Orderings lists the registered ordering names in report order: ORI,
+// RANDOM, BFS, DFS, RDR, RCM, HILBERT, MORTON, CPACK, plus any orderings
+// added through RegisterOrdering.
+func Orderings() []string { return order.Names() }
+
+// OrderingByName returns the named registered ordering with default
+// parameters.
+func OrderingByName(name string) (Ordering, error) { return order.ByName(name) }
+
+// RegisterOrdering adds a custom ordering to the registry, making it
+// available to OrderingByName, Reorder, and Run by name. It panics on a
+// duplicate or empty name.
+func RegisterOrdering(name string, factory func() Ordering) { order.Register(name, factory) }
+
+// Reorder relabels m's vertices with the named registered ordering and
+// returns the renumbered mesh (the input is unchanged).
+func Reorder(m *Mesh, orderingName string) (*Reordered, error) {
+	return core.ReorderByName(m, orderingName)
+}
+
+// ReorderWith is Reorder with an explicit Ordering implementation.
+func ReorderWith(m *Mesh, ord Ordering) (*Reordered, error) {
+	return core.Reorder(m, ord)
+}

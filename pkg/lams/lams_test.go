@@ -1,0 +1,248 @@
+package lams_test
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"lams/pkg/lams"
+)
+
+func testMesh(t testing.TB, n int) *lams.Mesh {
+	t.Helper()
+	m, err := lams.GenerateMesh("carabiner", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGenerateAndQuality(t *testing.T) {
+	m := testMesh(t, 1500)
+	if m.NumVerts() == 0 || m.NumTris() == 0 {
+		t.Fatalf("empty mesh: %s", m.Summary())
+	}
+	q := lams.GlobalQuality(m, nil)
+	if q <= 0 || q > 1 {
+		t.Errorf("global quality %v out of (0,1]", q)
+	}
+	if got := len(lams.VertexQualities(m, nil)); got != m.NumVerts() {
+		t.Errorf("vertex qualities length %d", got)
+	}
+	if len(lams.Domains()) != 9 {
+		t.Errorf("Domains() = %v, want the paper's nine", lams.Domains())
+	}
+}
+
+func TestReorderAndOrderings(t *testing.T) {
+	m := testMesh(t, 1500)
+	for _, name := range lams.Orderings() {
+		re, err := lams.Reorder(m, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if re.Mesh.NumVerts() != m.NumVerts() {
+			t.Errorf("%s: vertex count changed", name)
+		}
+		if len(re.NewToOld) != m.NumVerts() {
+			t.Errorf("%s: permutation length %d", name, len(re.NewToOld))
+		}
+	}
+	if _, err := lams.Reorder(m, "NOPE"); err == nil {
+		t.Error("unknown ordering accepted")
+	}
+	ord, err := lams.OrderingByName("RDR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lams.ReorderWith(m, ord); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmoothFunctionalOptions(t *testing.T) {
+	m := testMesh(t, 1500)
+	res, err := lams.Smooth(context.Background(), m,
+		lams.WithMaxIterations(5),
+		lams.WithTolerance(-1),
+		lams.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 5 {
+		t.Errorf("iterations = %d, want 5", res.Iterations)
+	}
+	if res.FinalQuality <= res.InitialQuality {
+		t.Errorf("quality did not improve: %v -> %v", res.InitialQuality, res.FinalQuality)
+	}
+}
+
+func TestSmoothCancellation(t *testing.T) {
+	m := testMesh(t, 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := lams.Smooth(ctx, m, lams.WithMaxIterations(10)); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSmootherReuseAndKernels(t *testing.T) {
+	base := testMesh(t, 1200)
+	s := lams.NewSmoother()
+	for _, kern := range []lams.Kernel{
+		lams.PlainKernel(),
+		lams.SmartKernel(nil),
+		lams.WeightedKernel(),
+		lams.ConstrainedKernel(0.05),
+	} {
+		m := base.Clone()
+		res, err := s.Smooth(context.Background(), m,
+			lams.WithKernel(kern),
+			lams.WithMaxIterations(3),
+			lams.WithTolerance(-1))
+		if err != nil {
+			t.Fatalf("%s: %v", kern.Name(), err)
+		}
+		if res.Iterations != 3 {
+			t.Errorf("%s: iterations = %d", kern.Name(), res.Iterations)
+		}
+	}
+}
+
+func TestSmoothTraced(t *testing.T) {
+	m := testMesh(t, 1000)
+	res, tb, err := lams.SmoothTraced(context.Background(), m, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Iterations() != 2 {
+		t.Errorf("trace iterations = %d", tb.Iterations())
+	}
+	if int64(tb.Total()) != res.Accesses {
+		t.Errorf("trace total %d != accesses %d", tb.Total(), res.Accesses)
+	}
+}
+
+func TestAnalyzeLocalityRDRBeatsRandom(t *testing.T) {
+	m := testMesh(t, 2000)
+	reports := map[string]*lams.LocalityReport{}
+	for _, name := range []string{"RANDOM", "RDR"} {
+		re, err := lams.Reorder(m, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := re.Mesh.Coords[0]
+		rep, err := lams.AnalyzeLocality(context.Background(), re.Mesh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re.Mesh.Coords[0] != before {
+			t.Errorf("%s: AnalyzeLocality mutated its input mesh", name)
+		}
+		if rep.Iterations != 1 || rep.Accesses == 0 || len(rep.MissRates) != 3 {
+			t.Errorf("%s: malformed report %+v", name, rep)
+		}
+		reports[name] = rep
+	}
+	// The paper's headline: RDR collapses reuse distances relative to the
+	// worst-case ordering.
+	if reports["RDR"].MeanReuseDistance >= reports["RANDOM"].MeanReuseDistance {
+		t.Errorf("RDR mean reuse distance %v not below RANDOM %v",
+			reports["RDR"].MeanReuseDistance, reports["RANDOM"].MeanReuseDistance)
+	}
+	if reports["RDR"].PenaltyCycles >= reports["RANDOM"].PenaltyCycles {
+		t.Errorf("RDR penalty %v not below RANDOM %v",
+			reports["RDR"].PenaltyCycles, reports["RANDOM"].PenaltyCycles)
+	}
+}
+
+func TestPipelineRun(t *testing.T) {
+	res, err := lams.Run(context.Background(),
+		lams.FromDomain("crake", 1500),
+		lams.WithOrdering("BFS"),
+		lams.WithSmoothing(lams.WithMaxIterations(5), lams.WithTolerance(-1)),
+		lams.WithLocalityAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reordered.Ordering != "BFS" {
+		t.Errorf("ordering = %q", res.Reordered.Ordering)
+	}
+	if res.Smooth.Iterations != 5 {
+		t.Errorf("smooth iterations = %d", res.Smooth.Iterations)
+	}
+	if res.Locality == nil || res.Locality.Accesses == 0 {
+		t.Errorf("locality report missing: %+v", res.Locality)
+	}
+	if res.Mesh == nil || res.Mesh.NumVerts() == 0 {
+		t.Error("pipeline returned no mesh")
+	}
+}
+
+func TestPipelineNeedsSource(t *testing.T) {
+	if _, err := lams.Run(context.Background()); err == nil {
+		t.Error("pipeline without a source accepted")
+	}
+}
+
+func TestPipelineFromMeshDoesNotMutateInput(t *testing.T) {
+	m := testMesh(t, 1000)
+	before := append([]lams.Point(nil), m.Coords...)
+	if _, err := lams.Run(context.Background(), lams.FromMesh(m),
+		lams.WithSmoothing(lams.WithMaxIterations(3), lams.WithTolerance(-1))); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if m.Coords[i] != before[i] {
+			t.Fatalf("input mesh vertex %d mutated", i)
+		}
+	}
+}
+
+func TestMeshRoundTripFiles(t *testing.T) {
+	m := testMesh(t, 800)
+	base := filepath.Join(t.TempDir(), "m")
+	if err := m.SaveFiles(base); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := lams.LoadMesh(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumVerts() != m.NumVerts() || m2.NumTris() != m.NumTris() {
+		t.Errorf("round trip changed mesh: %s vs %s", m2.Summary(), m.Summary())
+	}
+}
+
+// registerStubOnce guards the test registration so repeated in-process runs
+// (go test -count=2, -cpu lists) do not trip the registry's duplicate panic.
+var registerStubOnce sync.Once
+
+func TestRegisterOrderingExtends(t *testing.T) {
+	registerStubOnce.Do(func() {
+		lams.RegisterOrdering("ZZZ-PUBLIC-STUB", func() lams.Ordering { return identityOrdering{} })
+	})
+	m := testMesh(t, 600)
+	re, err := lams.Reorder(m, "ZZZ-PUBLIC-STUB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range re.NewToOld {
+		if int32(i) != v {
+			t.Fatalf("identity ordering permuted vertex %d -> %d", i, v)
+		}
+	}
+}
+
+type identityOrdering struct{}
+
+func (identityOrdering) Name() string { return "ZZZ-PUBLIC-STUB" }
+
+func (identityOrdering) Compute(m *lams.Mesh, _ []float64) ([]int32, error) {
+	perm := make([]int32, m.NumVerts())
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	return perm, nil
+}

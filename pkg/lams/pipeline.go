@@ -1,0 +1,126 @@
+package lams
+
+import (
+	"context"
+	"fmt"
+)
+
+// PipelineResult collects the outputs of Run's stages.
+type PipelineResult struct {
+	// Mesh is the final mesh: reordered, and smoothed unless smoothing was
+	// disabled.
+	Mesh *Mesh
+	// Reordered holds the ordering bookkeeping (permutation, order time).
+	Reordered *Reordered
+	// Smooth reports the smoothing run (zero value when disabled).
+	Smooth SmoothResult
+	// Locality is the locality analysis of the reordered mesh, non-nil only
+	// when WithLocalityAnalysis was given. It is measured from the
+	// pre-smoothing state, matching the paper's methodology.
+	Locality *LocalityReport
+}
+
+type pipelineConfig struct {
+	source      func() (*Mesh, error)
+	ordering    string
+	smoothOpts  []SmoothOption
+	noSmoothing bool
+	analyze     bool
+	analyzeOpts []AnalyzeOption
+}
+
+// PipelineOption configures Run.
+type PipelineOption func(*pipelineConfig)
+
+// FromDomain generates the named test domain at roughly targetVerts
+// vertices as the pipeline input.
+func FromDomain(name string, targetVerts int) PipelineOption {
+	return func(c *pipelineConfig) {
+		c.source = func() (*Mesh, error) { return GenerateMesh(name, targetVerts) }
+	}
+}
+
+// FromFiles loads a Triangle-format mesh (base.node, base.ele) as the
+// pipeline input.
+func FromFiles(base string) PipelineOption {
+	return func(c *pipelineConfig) {
+		c.source = func() (*Mesh, error) { return LoadMesh(base) }
+	}
+}
+
+// FromMesh uses an existing mesh as the pipeline input. The mesh is not
+// modified: the ordering stage copies it.
+func FromMesh(m *Mesh) PipelineOption {
+	return func(c *pipelineConfig) {
+		c.source = func() (*Mesh, error) { return m, nil }
+	}
+}
+
+// WithOrdering selects the vertex ordering stage by registry name
+// (default RDR, the paper's contribution; ORI keeps the input order).
+func WithOrdering(name string) PipelineOption {
+	return func(c *pipelineConfig) { c.ordering = name }
+}
+
+// WithSmoothing passes options to the smoothing stage.
+func WithSmoothing(opts ...SmoothOption) PipelineOption {
+	return func(c *pipelineConfig) { c.smoothOpts = append(c.smoothOpts, opts...) }
+}
+
+// WithoutSmoothing skips the smoothing stage (build, order, and optionally
+// analyze only).
+func WithoutSmoothing() PipelineOption {
+	return func(c *pipelineConfig) { c.noSmoothing = true }
+}
+
+// WithLocalityAnalysis enables the analyze stage on the reordered mesh.
+func WithLocalityAnalysis(opts ...AnalyzeOption) PipelineOption {
+	return func(c *pipelineConfig) {
+		c.analyze = true
+		c.analyzeOpts = append(c.analyzeOpts, opts...)
+	}
+}
+
+// Run executes the paper's pipeline — build (or load) a mesh, apply a
+// locality ordering, optionally analyze the ordering's locality, and smooth
+// — returning every stage's output. A mesh source option (FromDomain,
+// FromFiles, or FromMesh) is required; everything else has defaults.
+func Run(ctx context.Context, opts ...PipelineOption) (*PipelineResult, error) {
+	cfg := pipelineConfig{ordering: "RDR"}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.source == nil {
+		return nil, fmt.Errorf("lams: Run needs a mesh source (FromDomain, FromFiles, or FromMesh)")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	m, err := cfg.source()
+	if err != nil {
+		return nil, fmt.Errorf("lams: building mesh: %w", err)
+	}
+	re, err := Reorder(m, cfg.ordering)
+	if err != nil {
+		return nil, err
+	}
+	res := &PipelineResult{Mesh: re.Mesh, Reordered: re}
+
+	if cfg.analyze {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res.Locality, err = AnalyzeLocality(ctx, re.Mesh, cfg.analyzeOpts...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.noSmoothing {
+		res.Smooth, err = Smooth(ctx, re.Mesh, cfg.smoothOpts...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,135 @@
+package lams
+
+import (
+	"context"
+
+	"lams/internal/smooth"
+)
+
+// DefaultTol is the paper's quality convergence criterion (§5.1).
+const DefaultTol = smooth.DefaultTol
+
+// SmoothResult reports a smoothing run: iterations executed, global quality
+// before/after and per iteration, and the vertex-access count.
+type SmoothResult = smooth.Result
+
+// Kernel is the per-vertex update rule of a smoothing sweep; see the
+// *Kernel constructors. Custom kernels plug into the same engine.
+type Kernel = smooth.Kernel
+
+// PlainKernel is Eq. (1): move each vertex to the unweighted average of its
+// neighbors (the default).
+func PlainKernel() Kernel { return smooth.PlainKernel{} }
+
+// SmartKernel keeps a move only when it does not decrease the vertex's
+// local quality (serial). A nil metric means EdgeRatio.
+func SmartKernel(met Metric) Kernel { return smooth.SmartKernel{Metric: met} }
+
+// WeightedKernel averages neighbors with inverse-edge-length weights.
+func WeightedKernel() Kernel { return smooth.WeightedKernel{} }
+
+// ConstrainedKernel is the plain update with each per-sweep displacement
+// clamped to maxDisplacement (> 0).
+func ConstrainedKernel(maxDisplacement float64) Kernel {
+	return smooth.ConstrainedKernel{MaxDisplacement: maxDisplacement}
+}
+
+// SmoothOption configures a smoothing run.
+type SmoothOption func(*smooth.Options)
+
+// WithWorkers sets the number of parallel workers (default 1). The visit
+// sequence is statically partitioned into contiguous chunks, one per
+// worker — the OpenMP schedule(static) analogue.
+func WithWorkers(n int) SmoothOption {
+	return func(o *smooth.Options) { o.Workers = n }
+}
+
+// WithMaxIterations caps the number of smoothing sweeps (default 100).
+func WithMaxIterations(n int) SmoothOption {
+	return func(o *smooth.Options) { o.MaxIters = n }
+}
+
+// WithTolerance stops the run when an iteration improves global quality by
+// less than tol (default DefaultTol). A negative tol disables the criterion
+// so exactly the iteration cap runs.
+func WithTolerance(tol float64) SmoothOption {
+	return func(o *smooth.Options) { o.Tol = tol }
+}
+
+// WithGoalQuality stops the run once global quality reaches q.
+func WithGoalQuality(q float64) SmoothOption {
+	return func(o *smooth.Options) { o.GoalQuality = q }
+}
+
+// WithMetric sets the quality metric (default EdgeRatio).
+func WithMetric(met Metric) SmoothOption {
+	return func(o *smooth.Options) { o.Metric = met }
+}
+
+// WithKernel sets the per-vertex update rule (default PlainKernel).
+func WithKernel(k Kernel) SmoothOption {
+	return func(o *smooth.Options) { o.Kernel = k }
+}
+
+// WithStorageOrderTraversal sweeps the interior vertices in storage order
+// instead of the paper's quality-greedy traversal (an ablation).
+func WithStorageOrderTraversal() SmoothOption {
+	return func(o *smooth.Options) { o.Traversal = smooth.StorageOrder }
+}
+
+// WithGaussSeidel applies each update in place (serial), instead of the
+// default Jacobi buffering that makes results independent of ordering and
+// worker count.
+func WithGaussSeidel() SmoothOption {
+	return func(o *smooth.Options) { o.GaussSeidel = true }
+}
+
+// WithTrace records every vertex access on tb (which needs one stream per
+// worker) for locality analysis.
+func WithTrace(tb *TraceBuffer) SmoothOption {
+	return func(o *smooth.Options) { o.Trace = tb }
+}
+
+func buildOptions(opts []SmoothOption) smooth.Options {
+	var o smooth.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// Smooth runs Laplacian smoothing on m in place and returns the run
+// statistics. The context cancels between iterations and worker chunks; on
+// cancellation the mesh holds the last completed sweep's coordinates.
+func Smooth(ctx context.Context, m *Mesh, opts ...SmoothOption) (SmoothResult, error) {
+	return smooth.RunContext(ctx, m, buildOptions(opts))
+}
+
+// SmoothTraced smooths m in place for exactly iters iterations (ignoring
+// the convergence criterion) while recording the per-worker access trace,
+// and returns both.
+func SmoothTraced(ctx context.Context, m *Mesh, workers, iters int) (SmoothResult, *TraceBuffer, error) {
+	tb := NewTraceBuffer(workers)
+	res, err := Smooth(ctx, m,
+		WithWorkers(workers),
+		WithMaxIterations(iters),
+		WithTolerance(-1),
+		WithTrace(tb))
+	return res, tb, err
+}
+
+// Smoother is a reusable smoothing engine: it keeps the visit-sequence,
+// next-coordinate, and quality scratch buffers across runs, so services
+// that smooth many meshes (or one mesh repeatedly) stop reallocating on the
+// hot path. Not safe for concurrent use; the zero value is ready.
+type Smoother struct {
+	engine smooth.Smoother
+}
+
+// NewSmoother returns a reusable smoothing engine.
+func NewSmoother() *Smoother { return &Smoother{} }
+
+// Smooth is like the package-level Smooth but reuses the engine's buffers.
+func (s *Smoother) Smooth(ctx context.Context, m *Mesh, opts ...SmoothOption) (SmoothResult, error) {
+	return s.engine.Run(ctx, m, buildOptions(opts))
+}
