@@ -1,0 +1,77 @@
+// Command lamsd serves the lams smoothing pipeline over HTTP: upload or
+// generate a mesh, reorder it with any registered ordering (RDR by
+// default), smooth it through a pool of warm engines, and fetch locality
+// analyses — the paper's preprocess-once / smooth-many amortization
+// argument as a long-running service.
+//
+// Usage:
+//
+//	lamsd -addr :8080 -max-concurrent 4
+//
+// See pkg/lamsd for the endpoint reference and README.md ("Running the
+// service") for a curl walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lams/pkg/lamsd"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxConcurrent = flag.Int("max-concurrent", 0, "max concurrent smooth requests (0 = GOMAXPROCS, capped at 8)")
+		maxMeshes     = flag.Int("max-meshes", 64, "max resident meshes")
+		maxVerts      = flag.Int("max-verts", 4_000_000, "max vertices per mesh")
+		maxWorkers    = flag.Int("max-workers", 0, "max smoothing workers per request (0 = GOMAXPROCS)")
+		defTimeout    = flag.Duration("default-timeout", 60*time.Second, "default per-request deadline")
+		maxTimeout    = flag.Duration("max-timeout", 10*time.Minute, "maximum per-request deadline (?timeout is clamped to this)")
+	)
+	flag.Parse()
+
+	srv := lamsd.New(
+		lamsd.WithMaxConcurrentSmooths(*maxConcurrent),
+		lamsd.WithMaxMeshes(*maxMeshes),
+		lamsd.WithMaxMeshVerts(*maxVerts),
+		lamsd.WithMaxWorkers(*maxWorkers),
+		lamsd.WithTimeouts(*defTimeout, *maxTimeout),
+	)
+	srv.PublishExpvar("lamsd")
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// No WriteTimeout: per-request work is already bounded by the
+		// deadline middleware (-max-timeout), and large mesh exports may
+		// legitimately stream for a while.
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("lamsd listening on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("lamsd: %v", err)
+	case <-ctx.Done():
+		log.Printf("lamsd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("lamsd: shutdown: %v", err)
+		}
+	}
+}

@@ -14,7 +14,14 @@
 // internal/experiments regenerates every table and figure of the paper's
 // evaluation.
 //
-// See README.md for a package tour and a quickstart through the public
-// API. The benchmarks in bench_test.go regenerate each paper artifact; the
-// cmd/lamsbench binary prints them as reports.
+// pkg/lamsd turns the library into a long-running HTTP service (served by
+// cmd/lamsd): uploaded meshes and warm smoothing engines stay resident
+// between requests, so the paper's reorder-once / smooth-many amortization
+// argument holds across a request stream, and the pooled hot path performs
+// no per-request engine allocation.
+//
+// See README.md for a package tour, a quickstart through the public API,
+// and a curl walkthrough of the service. The benchmarks in bench_test.go
+// regenerate each paper artifact; the cmd/lamsbench binary prints them as
+// reports.
 package lams

@@ -2,18 +2,32 @@ package mesh
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"strconv"
 	"strings"
 
 	"lams/internal/geom"
 )
 
-// WriteNodeEle writes the mesh in Shewchuk Triangle's .node/.ele text format
-// (1-based indices, boundary markers), the format the paper's meshes were
-// distributed in.
-func (m *Mesh) WriteNodeEle(node, ele io.Writer) error {
+// maxEntities bounds the vertex and triangle counts a Triangle-format header
+// may declare. Beyond it the header is treated as corrupt rather than as an
+// instruction to allocate hundreds of gigabytes — important now that the
+// codec parses untrusted HTTP uploads, not just local files.
+const maxEntities = 1 << 27 // ~134M; the paper's largest mesh is ~17M verts
+
+// ErrMeshTooLarge marks a header count beyond the caller's limit (or
+// maxEntities). It is wrapped, so test with errors.Is; servers map it to
+// 413. The check runs before any count-sized allocation, so a tiny hostile
+// body cannot force a huge one.
+var ErrMeshTooLarge = errors.New("mesh size limit exceeded")
+
+// WriteNode writes the vertex section in Shewchuk Triangle's .node text
+// format (1-based indices, boundary markers).
+func (m *Mesh) WriteNode(node io.Writer) error {
 	bw := bufio.NewWriter(node)
 	fmt.Fprintf(bw, "%d 2 0 1\n", m.NumVerts())
 	for i, p := range m.Coords {
@@ -26,6 +40,11 @@ func (m *Mesh) WriteNodeEle(node, ele io.Writer) error {
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("mesh: writing nodes: %w", err)
 	}
+	return nil
+}
+
+// WriteEle writes the triangle section in Triangle's .ele text format.
+func (m *Mesh) WriteEle(ele io.Writer) error {
 	be := bufio.NewWriter(ele)
 	fmt.Fprintf(be, "%d 3 0\n", m.NumTris())
 	for i, tv := range m.Tris {
@@ -37,80 +56,189 @@ func (m *Mesh) WriteNodeEle(node, ele io.Writer) error {
 	return nil
 }
 
-// ReadNodeEle parses a mesh from Triangle .node/.ele streams.
-func ReadNodeEle(node, ele io.Reader) (*Mesh, error) {
-	ns := bufio.NewScanner(node)
-	ns.Buffer(make([]byte, 1<<20), 1<<20)
+// WriteNodeEle writes the mesh in Triangle's .node/.ele text format, the
+// format the paper's meshes were distributed in.
+func (m *Mesh) WriteNodeEle(node, ele io.Writer) error {
+	if err := m.WriteNode(node); err != nil {
+		return err
+	}
+	return m.WriteEle(ele)
+}
+
+// ReadNode parses a Triangle .node stream into vertex coordinates. It
+// validates the input strictly enough to face untrusted uploads: the header
+// counts must be plausible, every vertex index must appear exactly once and
+// in range, and coordinates must be finite numbers. Errors name the
+// offending line. maxVerts (when > 0) rejects larger headers with
+// ErrMeshTooLarge before anything count-sized is allocated.
+func ReadNode(node io.Reader, maxVerts int) ([]geom.Point, error) {
+	ns := newScanner(node)
 	fields, err := nextFields(ns)
 	if err != nil {
 		return nil, fmt.Errorf("mesh: .node header: %w", err)
 	}
-	var nv, dim, nattr, marker int
-	if _, err := fmt.Sscan(strings.Join(fields, " "), &nv, &dim, &nattr, &marker); err != nil {
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("mesh: .node header: want >=2 fields (#verts dim), got %d", len(fields))
+	}
+	nv, err := parseCount(fields[0], "vertex count", maxVerts)
+	if err != nil {
 		return nil, fmt.Errorf("mesh: .node header: %w", err)
+	}
+	dim, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("mesh: .node header dimension %q: %w", fields[1], err)
 	}
 	if dim != 2 {
 		return nil, fmt.Errorf("mesh: only 2D .node files supported, got dim=%d", dim)
 	}
+	if nv == 0 {
+		return nil, fmt.Errorf("mesh: .node header declares zero vertices")
+	}
+
 	coords := make([]geom.Point, nv)
+	seen := make([]bool, nv)
 	for i := 0; i < nv; i++ {
 		f, err := nextFields(ns)
 		if err != nil {
-			return nil, fmt.Errorf("mesh: .node line %d: %w", i+2, err)
+			return nil, fmt.Errorf("mesh: .node truncated after %d of %d vertices: %w", i, nv, err)
 		}
 		if len(f) < 3 {
-			return nil, fmt.Errorf("mesh: .node line %d: want >=3 fields, got %d", i+2, len(f))
+			return nil, fmt.Errorf("mesh: .node line %d: want >=3 fields (index x y), got %d", i+2, len(f))
 		}
-		var idx int
-		var x, y float64
-		if _, err := fmt.Sscan(f[0], &idx); err != nil {
-			return nil, fmt.Errorf("mesh: .node line %d index: %w", i+2, err)
-		}
-		if _, err := fmt.Sscan(f[1], &x); err != nil {
-			return nil, fmt.Errorf("mesh: .node line %d x: %w", i+2, err)
-		}
-		if _, err := fmt.Sscan(f[2], &y); err != nil {
-			return nil, fmt.Errorf("mesh: .node line %d y: %w", i+2, err)
+		idx, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("mesh: .node line %d index %q: %w", i+2, f[0], err)
 		}
 		if idx < 1 || idx > nv {
-			return nil, fmt.Errorf("mesh: .node line %d: index %d out of range", i+2, idx)
+			return nil, fmt.Errorf("mesh: .node line %d: vertex index %d out of range [1,%d]", i+2, idx, nv)
+		}
+		if seen[idx-1] {
+			return nil, fmt.Errorf("mesh: .node line %d: duplicate vertex index %d", i+2, idx)
+		}
+		seen[idx-1] = true
+		x, err := parseCoord(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("mesh: .node line %d x: %w", i+2, err)
+		}
+		y, err := parseCoord(f[2])
+		if err != nil {
+			return nil, fmt.Errorf("mesh: .node line %d y: %w", i+2, err)
 		}
 		coords[idx-1] = geom.Point{X: x, Y: y}
 	}
+	return coords, nil
+}
 
-	es := bufio.NewScanner(ele)
-	es.Buffer(make([]byte, 1<<20), 1<<20)
-	fields, err = nextFields(es)
+// ReadEle parses a Triangle .ele stream into triangles over numVerts
+// vertices (0-based output indices). Like ReadNode it is hardened against
+// malformed input: truncated files, duplicate triangle ids, and vertex
+// references outside [1, numVerts] all return descriptive errors instead of
+// panicking or silently mis-parsing. maxTris (when > 0) rejects larger
+// headers with ErrMeshTooLarge before allocation.
+func ReadEle(ele io.Reader, numVerts, maxTris int) ([][3]int32, error) {
+	es := newScanner(ele)
+	fields, err := nextFields(es)
 	if err != nil {
 		return nil, fmt.Errorf("mesh: .ele header: %w", err)
 	}
-	var nt, per int
-	if _, err := fmt.Sscan(fields[0], &nt); err != nil {
+	nt, err := parseCount(fields[0], "triangle count", maxTris)
+	if err != nil {
 		return nil, fmt.Errorf("mesh: .ele header: %w", err)
 	}
 	if len(fields) > 1 {
-		if _, err := fmt.Sscan(fields[1], &per); err == nil && per != 3 {
+		if per, err := strconv.Atoi(fields[1]); err == nil && per != 3 {
 			return nil, fmt.Errorf("mesh: only 3-node elements supported, got %d", per)
 		}
 	}
+	if nt == 0 {
+		return nil, fmt.Errorf("mesh: .ele header declares zero triangles")
+	}
+
 	tris := make([][3]int32, nt)
+	seen := make([]bool, nt)
 	for i := 0; i < nt; i++ {
 		f, err := nextFields(es)
 		if err != nil {
-			return nil, fmt.Errorf("mesh: .ele line %d: %w", i+2, err)
+			return nil, fmt.Errorf("mesh: .ele truncated after %d of %d triangles: %w", i, nt, err)
 		}
 		if len(f) < 4 {
-			return nil, fmt.Errorf("mesh: .ele line %d: want >=4 fields, got %d", i+2, len(f))
+			return nil, fmt.Errorf("mesh: .ele line %d: want >=4 fields (index v1 v2 v3), got %d", i+2, len(f))
 		}
-		var idx, a, b, c int
-		for k, dst := range []*int{&idx, &a, &b, &c} {
-			if _, err := fmt.Sscan(f[k], dst); err != nil {
-				return nil, fmt.Errorf("mesh: .ele line %d field %d: %w", i+2, k, err)
+		idx, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("mesh: .ele line %d index %q: %w", i+2, f[0], err)
+		}
+		if idx < 1 || idx > nt {
+			return nil, fmt.Errorf("mesh: .ele line %d: triangle index %d out of range [1,%d]", i+2, idx, nt)
+		}
+		if seen[idx-1] {
+			return nil, fmt.Errorf("mesh: .ele line %d: duplicate triangle index %d", i+2, idx)
+		}
+		seen[idx-1] = true
+		var tv [3]int32
+		for k := 0; k < 3; k++ {
+			v, err := strconv.Atoi(f[k+1])
+			if err != nil {
+				return nil, fmt.Errorf("mesh: .ele line %d vertex %d %q: %w", i+2, k+1, f[k+1], err)
 			}
+			if v < 1 || v > numVerts {
+				return nil, fmt.Errorf("mesh: .ele line %d: vertex index %d out of range [1,%d]", i+2, v, numVerts)
+			}
+			tv[k] = int32(v - 1)
 		}
-		tris[i] = [3]int32{int32(a - 1), int32(b - 1), int32(c - 1)}
+		tris[idx-1] = tv
+	}
+	return tris, nil
+}
+
+// ReadNodeEle parses a mesh from Triangle .node/.ele streams. The node
+// stream is consumed fully before the ele stream is touched, so sequential
+// sources (multipart HTTP uploads, tar entries) work without buffering.
+func ReadNodeEle(node, ele io.Reader) (*Mesh, error) {
+	coords, err := ReadNode(node, 0)
+	if err != nil {
+		return nil, err
+	}
+	tris, err := ReadEle(ele, len(coords), 0)
+	if err != nil {
+		return nil, err
 	}
 	return New(coords, tris)
+}
+
+func newScanner(r io.Reader) *bufio.Scanner {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 1<<20), 1<<20)
+	return s
+}
+
+func parseCount(field, what string, max int) (int, error) {
+	n, err := strconv.Atoi(field)
+	if err != nil {
+		return 0, fmt.Errorf("%s %q: %w", what, field, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("%s %d is negative", what, n)
+	}
+	limit := maxEntities
+	if max > 0 && max < limit {
+		limit = max
+	}
+	if n > limit {
+		return 0, fmt.Errorf("%s %d exceeds the %d limit: %w", what, n, limit, ErrMeshTooLarge)
+	}
+	return n, nil
+}
+
+func parseCoord(field string) (float64, error) {
+	v, err := strconv.ParseFloat(field, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("coordinate %q is not finite", field)
+	}
+	return v, nil
 }
 
 func nextFields(s *bufio.Scanner) ([]string, error) {

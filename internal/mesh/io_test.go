@@ -2,6 +2,7 @@ package mesh
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -72,6 +73,71 @@ func TestReadNodeEleErrors(t *testing.T) {
 		if _, err := ReadNodeEle(strings.NewReader(c.node), strings.NewReader(c.ele)); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
+	}
+}
+
+// TestReadNodeEleMalformed exercises the hardened codec on hostile input:
+// every case must come back as a descriptive error containing the fragment,
+// never a panic, an OOM-sized allocation, or a silently mis-parsed mesh.
+func TestReadNodeEleMalformed(t *testing.T) {
+	goodNode := "3 2 0 1\n1 0 0 1\n2 1 0 1\n3 0 1 1\n"
+	cases := []struct{ name, node, ele, frag string }{
+		{"negative vertex count", "-1 2 0 1\n", "1 3 0\n1 1 2 3\n", "negative"},
+		{"implausible vertex count", "999999999999 2 0 1\n", "1 3 0\n1 1 2 3\n", "limit"},
+		{"zero vertices", "0 2 0 1\n", "1 3 0\n1 1 2 3\n", "zero vertices"},
+		{"garbage header", "three 2 0 1\n", "1 3 0\n1 1 2 3\n", "vertex count"},
+		{"duplicate node index", "3 2 0 1\n1 0 0 1\n1 1 0 1\n3 0 1 1\n", "1 3 0\n1 1 2 3\n", "duplicate vertex index"},
+		{"non-finite coordinate", "3 2 0 1\n1 NaN 0 1\n2 1 0 1\n3 0 1 1\n", "1 3 0\n1 1 2 3\n", "not finite"},
+		{"truncated nodes", "3 2 0 1\n1 0 0 1\n", "1 3 0\n1 1 2 3\n", "truncated after 1 of 3"},
+		{"truncated elements", goodNode, "2 3 0\n1 1 2 3\n", "truncated after 1 of 2"},
+		{"negative triangle count", goodNode, "-5 3 0\n", "negative"},
+		{"zero triangles", goodNode, "0 3 0\n", "zero triangles"},
+		{"duplicate triangle id", "4 2 0 1\n1 0 0 1\n2 1 0 1\n3 0 1 1\n4 1 1 0\n", "2 3 0\n1 1 2 3\n1 1 2 4\n", "duplicate triangle"},
+		{"vertex ref out of range", goodNode, "1 3 0\n1 1 2 7\n", "out of range [1,3]"},
+		{"vertex ref zero", goodNode, "1 3 0\n1 0 2 3\n", "out of range [1,3]"},
+		{"triangle id out of range", goodNode, "1 3 0\n9 1 2 3\n", "out of range [1,1]"},
+		{"repeated vertices in triangle", goodNode, "1 3 0\n1 1 1 2\n", "repeated vertices"},
+	}
+	for _, c := range cases {
+		_, err := ReadNodeEle(strings.NewReader(c.node), strings.NewReader(c.ele))
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+// TestReadEleOrderIndependence checks that .ele lines keyed by explicit
+// triangle ids land in id order even when the file lists them shuffled.
+func TestReadEleOrderIndependence(t *testing.T) {
+	tris, err := ReadEle(strings.NewReader("2 3 0\n2 2 3 4\n1 1 2 3\n"), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tris[0] != [3]int32{0, 1, 2} || tris[1] != [3]int32{1, 2, 3} {
+		t.Fatalf("shuffled ids mis-assembled: %v", tris)
+	}
+}
+
+// TestReadNodeEleCallerLimits checks the pre-allocation size caps: a header
+// declaring more entities than the caller allows fails with ErrMeshTooLarge
+// before any count-sized slice is allocated.
+func TestReadNodeEleCallerLimits(t *testing.T) {
+	_, err := ReadNode(strings.NewReader("1000000 2 0 1\n"), 100)
+	if !errors.Is(err, ErrMeshTooLarge) {
+		t.Errorf("ReadNode over caller limit: err = %v, want ErrMeshTooLarge", err)
+	}
+	_, err = ReadEle(strings.NewReader("1000000 3 0\n"), 100, 400)
+	if !errors.Is(err, ErrMeshTooLarge) {
+		t.Errorf("ReadEle over caller limit: err = %v, want ErrMeshTooLarge", err)
+	}
+	// Within the limit, parsing proceeds to the real (truncation) error.
+	_, err = ReadNode(strings.NewReader("50 2 0 1\n"), 100)
+	if err == nil || errors.Is(err, ErrMeshTooLarge) {
+		t.Errorf("ReadNode under limit: err = %v, want a truncation error", err)
 	}
 }
 

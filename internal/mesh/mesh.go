@@ -336,11 +336,16 @@ func (m *Mesh) hasNeighbor(v, w int32) bool {
 	return i < len(lst) && lst[i] == w
 }
 
-// Stats summarizes a mesh.
+// Stats summarizes a mesh. The JSON field names are part of the lamsd HTTP
+// API (mesh summaries in upload/list/get responses).
 type Stats struct {
-	Verts, Tris, Interior, Boundary int
-	MinDegree, MaxDegree            int
-	AvgDegree                       float64
+	Verts     int     `json:"verts"`
+	Tris      int     `json:"tris"`
+	Interior  int     `json:"interior"`
+	Boundary  int     `json:"boundary"`
+	MinDegree int     `json:"min_degree"`
+	MaxDegree int     `json:"max_degree"`
+	AvgDegree float64 `json:"avg_degree"`
 }
 
 // Summary computes mesh statistics.

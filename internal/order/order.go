@@ -78,7 +78,12 @@ type BFS struct {
 }
 
 // Name implements Ordering.
-func (BFS) Name() string { return "BFS" }
+func (b BFS) Name() string {
+	if b.WorstQualityRoot {
+		return "BFS-WORST"
+	}
+	return "BFS"
+}
 
 // Compute implements Ordering.
 func (b BFS) Compute(m *mesh.Mesh, vq []float64) ([]int32, error) {
@@ -361,6 +366,7 @@ func init() {
 	Register("ORI", func() Ordering { return Original{} })
 	Register("RANDOM", func() Ordering { return Random{Seed: 1} })
 	Register("BFS", func() Ordering { return BFS{} })
+	Register("BFS-WORST", func() Ordering { return BFS{WorstQualityRoot: true} })
 	Register("DFS", func() Ordering { return DFS{} })
 	Register("RCM", func() Ordering { return RCM{} })
 	Register("HILBERT", func() Ordering { return Hilbert{} })

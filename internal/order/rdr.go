@@ -57,4 +57,5 @@ func (r RDR) Compute(m *mesh.Mesh, vq []float64) ([]int32, error) {
 
 func init() {
 	Register("RDR", func() Ordering { return RDR{} })
+	Register("RDR-DESC", func() Ordering { return RDR{SortDescending: true} })
 }

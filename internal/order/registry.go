@@ -45,7 +45,9 @@ func Register(name string, factory func() Ordering) {
 
 // ByName returns the named ordering with default parameters. The built-in
 // names (case sensitive, as used in reports) are ORI, RANDOM, BFS, DFS,
-// RDR, RCM, HILBERT, MORTON and CPACK; Register adds more.
+// RDR, RCM, HILBERT, MORTON and CPACK, plus the parameterized variants
+// BFS-WORST (BFS rooted at the worst-quality vertex) and RDR-DESC (RDR
+// with reversed quality comparisons); Register adds more.
 func ByName(name string) (Ordering, error) {
 	registry.RLock()
 	factory, ok := registry.factories[name]

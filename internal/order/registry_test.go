@@ -31,6 +31,62 @@ func TestRegistryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRegistryVariantEntries covers the parameterized registry entries:
+// BFS-WORST must root its traversal at the worst-quality vertex, and
+// RDR-DESC must be a valid permutation distinct from RDR.
+func TestRegistryVariantEntries(t *testing.T) {
+	m, vq := testMesh(t)
+
+	ord, err := ByName("BFS-WORST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := ord.Compute(m, vq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePermutation(perm, m.NumVerts()); err != nil {
+		t.Fatal(err)
+	}
+	worst := argminQuality(vq)
+	if perm[0] != worst {
+		t.Errorf("BFS-WORST starts at %d, want worst-quality vertex %d", perm[0], worst)
+	}
+	if _, err := ord.Compute(m, nil); err == nil {
+		t.Error("BFS-WORST without qualities should error")
+	}
+
+	desc, err := ByName("RDR-DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := desc.Compute(m, vq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePermutation(dp, m.NumVerts()); err != nil {
+		t.Fatal(err)
+	}
+	rdr, err := ByName("RDR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := rdr.Compute(m, vq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range rp {
+		if rp[i] != dp[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("RDR-DESC produced the same permutation as RDR")
+	}
+}
+
 func TestRegistryUnknownName(t *testing.T) {
 	for _, name := range []string{"", "rdr", "NOPE", "BFS "} {
 		if _, err := ByName(name); err == nil {

@@ -1,7 +1,9 @@
 package parallel
 
 import (
+	"context"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -63,6 +65,95 @@ func TestSplitChunksClampsParts(t *testing.T) {
 	if got := SplitChunks(5, 0); len(got) != 1 || got[0] != (Chunk{0, 5}) {
 		t.Errorf("chunks = %v", got)
 	}
+}
+
+func TestForEachChunkCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int64(0)
+	err := ForEachChunkCtx(ctx, SplitChunks(100, 4), func(w int, c Chunk) {
+		atomic.AddInt64(&ran, 1)
+	})
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d chunks ran under a pre-canceled context", ran)
+	}
+}
+
+// TestForEachChunkCtxCancelMidSweep cancels while worker chunks are
+// mid-execution: every chunk that started must run to completion (the sweep
+// contract — a chunk is never torn mid-write), the call must still return
+// ctx.Err() so the caller knows not to commit, and no goroutine may be left
+// behind. Run under -race this also checks the worker handoff.
+func TestForEachChunkCtxCancelMidSweep(t *testing.T) {
+	const workers = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan int, workers)
+	release := make(chan struct{})
+	var startedCount, finished int64
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errCh := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		errCh <- ForEachChunkCtx(ctx, SplitChunks(8000, workers), func(w int, c Chunk) {
+			atomic.AddInt64(&startedCount, 1)
+			started <- w
+			<-release
+			atomic.AddInt64(&finished, 1)
+		})
+	}()
+
+	// Wait for at least one worker to be mid-chunk, then cancel while it is
+	// still blocked, then let every blocked worker finish.
+	<-started
+	cancel()
+	close(release)
+	wg.Wait()
+
+	if err := <-errCh; err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if s, f := atomic.LoadInt64(&startedCount), atomic.LoadInt64(&finished); s != f {
+		t.Errorf("%d chunks started but only %d finished — a started chunk was abandoned mid-sweep", s, f)
+	}
+}
+
+// TestForEachChunkCtxCancelSkipsUnstarted pins one worker, cancels, and
+// verifies the engine-facing guarantee that an error return means the chunk
+// set may be incomplete: with GOMAXPROCS-free scheduling we cannot force a
+// skip deterministically, so assert the weaker invariant that the error is
+// reported whenever any chunk was skipped.
+func TestForEachChunkCtxCancelSkipsUnstarted(t *testing.T) {
+	const workers = 16
+	for attempt := 0; attempt < 20; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		gate := make(chan struct{})
+		var ran int64
+		var wg sync.WaitGroup
+		wg.Add(1)
+		var err error
+		go func() {
+			defer wg.Done()
+			err = ForEachChunkCtx(ctx, SplitChunks(workers, workers), func(w int, c Chunk) {
+				<-gate
+				atomic.AddInt64(&ran, 1)
+			})
+		}()
+		cancel()
+		close(gate)
+		wg.Wait()
+		if err == nil {
+			t.Fatal("ForEachChunkCtx returned nil after cancellation")
+		}
+		if atomic.LoadInt64(&ran) < int64(workers) {
+			return // observed a skipped chunk, and err was non-nil: contract holds
+		}
+	}
+	t.Skip("scheduler always started every chunk before cancel; skip-path not observed")
 }
 
 func TestForEachChunk(t *testing.T) {

@@ -31,6 +31,12 @@ type Smoother struct {
 // use and are reused by subsequent runs.
 func NewSmoother() *Smoother { return &Smoother{} }
 
+// Reset releases the engine's scratch buffers, returning it to its zero
+// state. Long-lived holders (engine pools) call it to stop an engine that
+// last smoothed an unusually large mesh from pinning that high-water-mark
+// memory forever; the next run re-grows the buffers to fit its mesh.
+func (s *Smoother) Reset() { *s = Smoother{} }
+
 // Run smooths the mesh in place and returns the run statistics. The context
 // cancels between iterations and between worker chunks: on cancellation the
 // mesh holds the coordinates of the last completed sweep, the partial

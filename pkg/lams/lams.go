@@ -106,8 +106,10 @@ type Ordering = order.Ordering
 type Reordered = core.Reordered
 
 // Orderings lists the registered ordering names in report order: ORI,
-// RANDOM, BFS, DFS, RDR, RCM, HILBERT, MORTON, CPACK, plus any orderings
-// added through RegisterOrdering.
+// RANDOM, BFS, DFS, RDR, RCM, HILBERT, MORTON, CPACK, then the
+// parameterized variants BFS-WORST (BFS rooted at the worst-quality
+// vertex) and RDR-DESC (RDR with reversed quality comparisons), plus any
+// orderings added through RegisterOrdering.
 func Orderings() []string { return order.Names() }
 
 // OrderingByName returns the named registered ordering with default

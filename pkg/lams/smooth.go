@@ -133,3 +133,9 @@ func NewSmoother() *Smoother { return &Smoother{} }
 func (s *Smoother) Smooth(ctx context.Context, m *Mesh, opts ...SmoothOption) (SmoothResult, error) {
 	return s.engine.Run(ctx, m, buildOptions(opts))
 }
+
+// Reset releases the engine's scratch buffers. Engine pools call it when
+// parking an engine that last smoothed an unusually large mesh, so idle
+// engines do not pin their high-water-mark memory; the buffers re-grow on
+// the next run.
+func (s *Smoother) Reset() { s.engine.Reset() }

@@ -1,0 +1,762 @@
+package lamsd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"lams/internal/mesh"
+	"lams/pkg/lams"
+)
+
+// apiError is an error with an HTTP status. Handlers return it from their
+// core logic; the shared error writer maps everything else to 500 (or to
+// 504/503 for context expiry).
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e apiError) Error() string { return e.Msg }
+
+func apiErrorf(status int, format string, args ...any) apiError {
+	return apiError{Status: status, Msg: fmt.Sprintf(format, args...)}
+}
+
+func errorStatus(err error) int {
+	var ae apiError
+	if errors.As(err, &ae) {
+		return ae.Status
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := errorStatus(err)
+	writeJSON(w, status, map[string]any{"status": status, "error": err.Error()})
+}
+
+// statusRecorder captures the response status for the error counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument counts requests and non-2xx responses per route.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests.Add(route, 1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		if rec.status >= 400 {
+			s.metrics.errors.Add(route, 1)
+		}
+	}
+}
+
+// withDeadline maps the per-request deadline onto the request context: the
+// configured default, or ?timeout=DURATION clamped to the configured
+// maximum. Work cut off by the deadline surfaces as 504.
+func (s *Server) withDeadline(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		d := s.cfg.DefaultTimeout
+		if q := r.URL.Query().Get("timeout"); q != "" {
+			pd, err := time.ParseDuration(q)
+			if err != nil || pd <= 0 {
+				writeError(w, apiErrorf(http.StatusBadRequest, "invalid timeout %q: want a positive Go duration like 30s", q))
+				return
+			}
+			if pd > s.cfg.MaxTimeout {
+				pd = s.cfg.MaxTimeout
+			}
+			d = pd
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+func decodeJSON(r *http.Request, dst any, allowEmpty bool) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		if allowEmpty && errors.Is(err, io.EOF) {
+			return nil
+		}
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return err
+		}
+		return apiErrorf(http.StatusBadRequest, "invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+// meshInfo is the JSON summary of a resident mesh.
+type meshInfo struct {
+	ID          string         `json:"id"`
+	Name        string         `json:"name"`
+	Ordering    string         `json:"ordering"`
+	OrderTimeMS float64        `json:"order_time_ms"`
+	Created     time.Time      `json:"created"`
+	SmoothRuns  int64          `json:"smooth_runs"`
+	Quality     float64        `json:"quality"`
+	Summary     lams.MeshStats `json:"summary"`
+}
+
+// info snapshots the record's display metadata, refreshing the cached
+// quality first if an operation left it stale (one O(n) pass, then cached —
+// listings stay cheap however many meshes are resident). It never waits on
+// the mesh lock: if a smooth is in flight, the previous cached quality is
+// served and the refresh happens on a later view.
+func (rec *meshRecord) info() meshInfo {
+	rec.metaMu.Lock()
+	stale := rec.qualityStale
+	rec.metaMu.Unlock()
+	if stale && rec.mu.TryRLock() {
+		q := lams.GlobalQuality(rec.mesh, nil)
+		gen := rec.gen.Load()
+		rec.mu.RUnlock()
+		rec.metaMu.Lock()
+		// Commit only if no mutation slipped in between the read lock and
+		// here — otherwise the freshly-computed value is already stale.
+		if rec.qualityStale && rec.gen.Load() == gen {
+			rec.quality = q
+			rec.qualityStale = false
+		}
+		rec.metaMu.Unlock()
+	}
+	rec.metaMu.Lock()
+	defer rec.metaMu.Unlock()
+	return meshInfo{
+		ID:          rec.id,
+		Name:        rec.name,
+		Ordering:    rec.ordering,
+		OrderTimeMS: float64(rec.orderTime) / float64(time.Millisecond),
+		Created:     rec.created,
+		SmoothRuns:  rec.smoothRuns,
+		Quality:     rec.quality,
+		Summary:     rec.summary,
+	}
+}
+
+func (s *Server) recordOr404(id string) (*meshRecord, error) {
+	rec := s.store.Get(id)
+	if rec == nil {
+		return nil, apiErrorf(http.StatusNotFound, "mesh %q not found", id)
+	}
+	return rec, nil
+}
+
+// --- simple endpoints ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"meshes":         s.store.Len(),
+		"pool":           s.pool.Stats(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.metrics.vars.String())
+}
+
+func (s *Server) handleOrderings(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"orderings": lams.Orderings(),
+		"default":   "RDR",
+	})
+}
+
+func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"domains": lams.Domains()})
+}
+
+// --- mesh lifecycle ---
+
+// generateRequest is the JSON body of POST /v1/meshes: generate one of the
+// paper's named domains server-side.
+type generateRequest struct {
+	Domain      string `json:"domain"`
+	TargetVerts int    `json:"target_verts"`
+}
+
+func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	ct := r.Header.Get("Content-Type")
+	var (
+		m    *lams.Mesh
+		name string
+		err  error
+	)
+	switch {
+	case strings.HasPrefix(ct, "application/json"):
+		m, name, err = s.generateMesh(r)
+	case strings.HasPrefix(ct, "multipart/"):
+		m, name, err = s.uploadMesh(r)
+	default:
+		err = apiErrorf(http.StatusUnsupportedMediaType,
+			"Content-Type %q: want application/json (generate a domain) or multipart/form-data with node and ele parts (upload)", ct)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rec, err := s.store.Add(m, name)
+	if err != nil {
+		writeError(w, apiErrorf(http.StatusInsufficientStorage, "%v", err))
+		return
+	}
+	s.metrics.uploads.Add(1)
+	w.Header().Set("Location", "/v1/meshes/"+rec.id)
+	writeJSON(w, http.StatusCreated, rec.info())
+}
+
+func (s *Server) generateMesh(r *http.Request) (*lams.Mesh, string, error) {
+	var req generateRequest
+	if err := decodeJSON(r, &req, false); err != nil {
+		return nil, "", err
+	}
+	if req.Domain == "" {
+		return nil, "", apiErrorf(http.StatusBadRequest, "domain is required; known domains: %v", lams.Domains())
+	}
+	if req.TargetVerts <= 0 {
+		req.TargetVerts = 10_000
+	}
+	if req.TargetVerts > s.cfg.MaxMeshVerts {
+		return nil, "", apiErrorf(http.StatusRequestEntityTooLarge,
+			"target_verts %d exceeds the server limit %d", req.TargetVerts, s.cfg.MaxMeshVerts)
+	}
+	m, err := lams.GenerateMesh(req.Domain, req.TargetVerts)
+	if err != nil {
+		return nil, "", apiErrorf(http.StatusBadRequest, "generating mesh: %v", err)
+	}
+	return m, req.Domain, nil
+}
+
+// uploadMesh streams a Triangle-format mesh out of a multipart body. The
+// parts must arrive as "node" then "ele" — the codec consumes the node
+// stream before the ele stream, so no buffering is needed regardless of
+// mesh size.
+func (s *Server) uploadMesh(r *http.Request) (*lams.Mesh, string, error) {
+	mr, err := r.MultipartReader()
+	if err != nil {
+		return nil, "", apiErrorf(http.StatusBadRequest, "reading multipart body: %v", err)
+	}
+	nodePart, err := mr.NextPart()
+	if err != nil {
+		return nil, "", apiErrorf(http.StatusBadRequest, "multipart body has no parts: %v", err)
+	}
+	if nodePart.FormName() != "node" {
+		return nil, "", apiErrorf(http.StatusBadRequest,
+			"first multipart part is %q, want \"node\" (then \"ele\")", nodePart.FormName())
+	}
+	coords, err := mesh.ReadNode(nodePart, s.cfg.MaxMeshVerts)
+	if err != nil {
+		return nil, "", uploadError(err)
+	}
+	elePart, err := mr.NextPart()
+	if err != nil {
+		return nil, "", apiErrorf(http.StatusBadRequest, "multipart body is missing the \"ele\" part: %v", err)
+	}
+	if elePart.FormName() != "ele" {
+		return nil, "", apiErrorf(http.StatusBadRequest,
+			"second multipart part is %q, want \"ele\"", elePart.FormName())
+	}
+	// Euler's formula bounds a planar triangulation at < 2 triangles per
+	// vertex; allow slack for unusual but legal inputs.
+	tris, err := mesh.ReadEle(elePart, len(coords), 4*len(coords))
+	if err != nil {
+		return nil, "", uploadError(err)
+	}
+	m, err := mesh.New(coords, tris)
+	if err != nil {
+		return nil, "", uploadError(err)
+	}
+	return m, "upload", nil
+}
+
+// uploadError turns a codec parse error into a 400, unless the body-size
+// limit tripped underneath it or the declared mesh exceeds the server's
+// size limits (413).
+func uploadError(err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return err
+	}
+	if errors.Is(err, mesh.ErrMeshTooLarge) {
+		return apiErrorf(http.StatusRequestEntityTooLarge, "%v", err)
+	}
+	return apiErrorf(http.StatusBadRequest, "invalid mesh upload: %v", err)
+}
+
+func (s *Server) handleListMeshes(w http.ResponseWriter, r *http.Request) {
+	recs := s.store.List()
+	infos := make([]meshInfo, len(recs))
+	for i, rec := range recs {
+		infos[i] = rec.info()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"meshes": infos})
+}
+
+func (s *Server) handleGetMesh(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.recordOr404(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec.info())
+}
+
+func (s *Server) handleDeleteMesh(w http.ResponseWriter, r *http.Request) {
+	existed, empty := s.store.Delete(r.PathValue("id"))
+	if !existed {
+		writeError(w, apiErrorf(http.StatusNotFound, "mesh %q not found", r.PathValue("id")))
+		return
+	}
+	if empty {
+		// No meshes left: parked engine buffers are sized for meshes that no
+		// longer exist, so release them.
+		s.pool.Trim()
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleExportMesh(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.recordOr404(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	part := r.URL.Query().Get("part")
+	if part == "" {
+		part = "node"
+	}
+	if part != "node" && part != "ele" {
+		writeError(w, apiErrorf(http.StatusBadRequest, "part %q: want \"node\" or \"ele\"", part))
+		return
+	}
+	// Clone under the read lock and stream from the copy: a slow-reading
+	// client must never pin the mesh lock (and with it every writer of this
+	// mesh) for the duration of its download.
+	rec.mu.RLock()
+	clone := rec.mesh.Clone()
+	rec.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.%s", rec.id, part))
+	if part == "node" {
+		_ = clone.WriteNode(w)
+	} else {
+		_ = clone.WriteEle(w)
+	}
+}
+
+// --- pipeline endpoints ---
+
+// reorderRequest is the JSON body of POST /v1/meshes/{id}/reorder.
+type reorderRequest struct {
+	Ordering string `json:"ordering"`
+}
+
+func (s *Server) handleReorderMesh(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.recordOr404(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req reorderRequest
+	if err := decodeJSON(r, &req, false); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Ordering == "" {
+		writeError(w, apiErrorf(http.StatusBadRequest, "ordering is required; see GET /v1/orderings"))
+		return
+	}
+	if _, err := lams.OrderingByName(req.Ordering); err != nil {
+		writeError(w, apiErrorf(http.StatusBadRequest, "%v", err))
+		return
+	}
+
+	// Compute the ordering on a clone, off the mesh lock, so the request
+	// deadline stays enforceable (lams.Reorder itself takes no context) and
+	// other requests for this mesh keep flowing during the computation. The
+	// generation counter detects a concurrent mutation at commit time.
+	rec.mu.RLock()
+	clone := rec.mesh.Clone()
+	gen := rec.gen.Load()
+	rec.mu.RUnlock()
+
+	type reorderResult struct {
+		re  *lams.Reordered
+		err error
+	}
+	ch := make(chan reorderResult, 1)
+	go func() {
+		re, err := lams.Reorder(clone, req.Ordering)
+		ch <- reorderResult{re: re, err: err}
+	}()
+
+	var re *lams.Reordered
+	select {
+	case <-r.Context().Done():
+		// The orphaned computation finishes on the clone and is discarded.
+		writeError(w, r.Context().Err())
+		return
+	case res := <-ch:
+		if res.err != nil {
+			writeError(w, res.err)
+			return
+		}
+		re = res.re
+	}
+
+	rec.mu.Lock()
+	if rec.gen.Load() != gen {
+		rec.mu.Unlock()
+		writeError(w, apiErrorf(http.StatusConflict,
+			"mesh %q was modified while the ordering was being computed; retry", rec.id))
+		return
+	}
+	rec.mesh = re.Mesh
+	rec.gen.Add(1)
+	rec.metaMu.Lock()
+	rec.ordering = req.Ordering
+	rec.orderTime = re.OrderTime
+	// Quality is permutation-invariant up to float summation order;
+	// recompute lazily rather than serve a subtly drifted cache.
+	rec.qualityStale = true
+	rec.metaMu.Unlock()
+	rec.mu.Unlock()
+
+	s.metrics.reorders.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":            rec.id,
+		"ordering":      req.Ordering,
+		"order_time_ms": float64(re.OrderTime) / float64(time.Millisecond),
+	})
+}
+
+// smoothRequest is the JSON body of POST /v1/meshes/{id}/smooth. The zero
+// value (or an empty body) selects the library defaults: the plain kernel,
+// one worker, quality-greedy traversal, the paper's convergence tolerance.
+type smoothRequest struct {
+	// Kernel is one of plain, smart, weighted, constrained.
+	Kernel string `json:"kernel"`
+	// MaxDisplacement parameterizes the constrained kernel (> 0).
+	MaxDisplacement float64 `json:"max_displacement"`
+	// Workers is the parallel worker count (default 1).
+	Workers int `json:"workers"`
+	// MaxIters caps the number of sweeps (default 100).
+	MaxIters int `json:"max_iters"`
+	// Tol overrides the convergence criterion; negative disables it.
+	Tol *float64 `json:"tol"`
+	// GoalQuality stops the run once global quality reaches it.
+	GoalQuality float64 `json:"goal_quality"`
+	// Metric is one of edge-ratio (default), min-angle, aspect-ratio.
+	Metric string `json:"metric"`
+	// StorageOrder sweeps in storage order instead of the quality-greedy
+	// traversal.
+	StorageOrder bool `json:"storage_order"`
+	// GaussSeidel applies updates in place (requires workers == 1).
+	GaussSeidel bool `json:"gauss_seidel"`
+}
+
+// smoothResponse reports a smoothing run and the pool state that served it.
+type smoothResponse struct {
+	ID             string    `json:"id"`
+	Kernel         string    `json:"kernel"`
+	Workers        int       `json:"workers"`
+	Iterations     int       `json:"iterations"`
+	InitialQuality float64   `json:"initial_quality"`
+	FinalQuality   float64   `json:"final_quality"`
+	Accesses       int64     `json:"accesses"`
+	DurationMS     float64   `json:"duration_ms"`
+	Pool           PoolStats `json:"pool"`
+}
+
+// kernelFor resolves the request kernel. met is the already-resolved
+// request metric, so the smart kernel judges moves with the same metric
+// that drives convergence and the reported qualities.
+func kernelFor(req smoothRequest, met lams.Metric) (lams.Kernel, string, error) {
+	switch req.Kernel {
+	case "", "plain":
+		return lams.PlainKernel(), "plain", nil
+	case "smart":
+		return lams.SmartKernel(met), "smart", nil
+	case "weighted":
+		return lams.WeightedKernel(), "weighted", nil
+	case "constrained":
+		if req.MaxDisplacement <= 0 {
+			return nil, "", apiErrorf(http.StatusBadRequest,
+				"constrained kernel needs max_displacement > 0, got %g", req.MaxDisplacement)
+		}
+		return lams.ConstrainedKernel(req.MaxDisplacement), "constrained", nil
+	}
+	return nil, "", apiErrorf(http.StatusBadRequest,
+		"unknown kernel %q: want plain, smart, weighted, or constrained", req.Kernel)
+}
+
+func metricFor(name string) (lams.Metric, error) {
+	switch name {
+	case "", "edge-ratio":
+		return nil, nil // library default
+	case "min-angle":
+		return lams.MinAngle{}, nil
+	case "aspect-ratio":
+		return lams.AspectRatio{}, nil
+	}
+	return nil, apiErrorf(http.StatusBadRequest,
+		"unknown metric %q: want edge-ratio, min-angle, or aspect-ratio", name)
+}
+
+func (s *Server) handleSmoothMesh(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.recordOr404(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req smoothRequest
+	if err := decodeJSON(r, &req, true); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.runSmooth(r.Context(), rec, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runSmooth is the pooled hot path: validate the request, check a warm
+// engine out of the pool (queueing under the request deadline), run the
+// sweep engine on the stored mesh under its write lock, and return the
+// engine. In steady state this performs no per-request engine allocation —
+// the engine's visit/next/quality scratch buffers were grown by earlier
+// requests; see TestServerPooledSmoothSteadyState.
+func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothRequest) (smoothResponse, error) {
+	met, err := metricFor(req.Metric)
+	if err != nil {
+		return smoothResponse{}, err
+	}
+	kern, kernName, err := kernelFor(req, met)
+	if err != nil {
+		return smoothResponse{}, err
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers < 1 || workers > s.cfg.MaxWorkers {
+		return smoothResponse{}, apiErrorf(http.StatusBadRequest,
+			"workers %d out of range [1,%d]", workers, s.cfg.MaxWorkers)
+	}
+	if (req.GaussSeidel || req.Kernel == "smart") && workers != 1 {
+		return smoothResponse{}, apiErrorf(http.StatusBadRequest,
+			"in-place updates (gauss_seidel or the smart kernel) require workers == 1, got %d", workers)
+	}
+	if req.MaxIters < 0 {
+		return smoothResponse{}, apiErrorf(http.StatusBadRequest, "max_iters %d is negative", req.MaxIters)
+	}
+
+	// Serialize on the mesh BEFORE taking a pool slot: requests for one hot
+	// mesh queue on its lock without pinning global smooth capacity, so they
+	// cannot starve smooths of other meshes. The mutex wait itself is not
+	// context-aware, but it is bounded by the lock holder's own deadline and
+	// the request's deadline is re-checked the moment the lock arrives.
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return smoothResponse{}, err
+	}
+	key := engineKey{Kernel: kernName, Workers: workers}
+	eng, err := s.pool.Acquire(ctx, key)
+	if err != nil {
+		// The deadline or client disconnect fired while queued.
+		return smoothResponse{}, err
+	}
+	defer s.pool.Release(key, eng)
+
+	opts := make([]lams.SmoothOption, 0, 8)
+	opts = append(opts, lams.WithKernel(kern), lams.WithWorkers(workers))
+	if met != nil {
+		opts = append(opts, lams.WithMetric(met))
+	}
+	if req.MaxIters > 0 {
+		opts = append(opts, lams.WithMaxIterations(req.MaxIters))
+	}
+	if req.Tol != nil {
+		opts = append(opts, lams.WithTolerance(*req.Tol))
+	}
+	if req.GoalQuality > 0 {
+		opts = append(opts, lams.WithGoalQuality(req.GoalQuality))
+	}
+	if req.StorageOrder {
+		opts = append(opts, lams.WithStorageOrderTraversal())
+	}
+	if req.GaussSeidel {
+		opts = append(opts, lams.WithGaussSeidel())
+	}
+
+	start := time.Now()
+	res, err := eng.Smooth(ctx, rec.mesh, opts...)
+	dur := time.Since(start)
+	if res.Iterations > 0 {
+		rec.gen.Add(1)
+	}
+	rec.metaMu.Lock()
+	switch {
+	case err != nil:
+		// A deadline-cut run still committed its completed sweeps.
+		if res.Iterations > 0 {
+			rec.qualityStale = true
+		}
+	case met == nil:
+		// The engine's final quality IS the default-metric global quality:
+		// refresh the cache for free on the common path.
+		rec.smoothRuns++
+		rec.quality = res.FinalQuality
+		rec.qualityStale = false
+	default:
+		rec.smoothRuns++
+		rec.qualityStale = true
+	}
+	rec.metaMu.Unlock()
+	if err != nil {
+		// On deadline expiry the mesh holds the last completed sweep; the
+		// client sees 504 and may retry with a longer budget.
+		return smoothResponse{}, err
+	}
+
+	s.metrics.smoothRuns.Add(1)
+	s.metrics.smoothIterations.Add(int64(res.Iterations))
+	s.metrics.smoothAccesses.Add(res.Accesses)
+	return smoothResponse{
+		ID:             rec.id,
+		Kernel:         kernName,
+		Workers:        workers,
+		Iterations:     res.Iterations,
+		InitialQuality: res.InitialQuality,
+		FinalQuality:   res.FinalQuality,
+		Accesses:       res.Accesses,
+		DurationMS:     float64(dur) / float64(time.Millisecond),
+		Pool:           s.pool.Stats(),
+	}, nil
+}
+
+// analyzeResponse is the JSON shape of GET /v1/meshes/{id}/analyze.
+type analyzeResponse struct {
+	ID                string    `json:"id"`
+	Ordering          string    `json:"ordering"`
+	Iterations        int       `json:"iterations"`
+	Accesses          int64     `json:"accesses"`
+	MeanReuseDistance float64   `json:"mean_reuse_distance"`
+	ReuseQ50          int64     `json:"reuse_q50"`
+	ReuseQ75          int64     `json:"reuse_q75"`
+	ReuseQ90          int64     `json:"reuse_q90"`
+	MaxReuseDistance  int64     `json:"max_reuse_distance"`
+	MissRates         []float64 `json:"miss_rates"`
+	PenaltyCycles     float64   `json:"penalty_cycles"`
+	DurationMS        float64   `json:"duration_ms"`
+}
+
+func (s *Server) handleAnalyzeMesh(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.recordOr404(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	iters, err := queryInt(r, "iters", 1, 1, 16)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	workers, err := queryInt(r, "workers", 1, 1, s.cfg.MaxWorkers)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	// Analysis traces a clone, so only the copy needs the read lock; the
+	// (expensive) trace and simulation run without blocking other requests
+	// for this mesh.
+	rec.mu.RLock()
+	clone := rec.mesh.Clone()
+	rec.mu.RUnlock()
+	rec.metaMu.Lock()
+	ordering := rec.ordering
+	rec.metaMu.Unlock()
+
+	start := time.Now()
+	rep, err := lams.AnalyzeLocality(r.Context(), clone,
+		lams.WithAnalysisIterations(iters),
+		lams.WithAnalysisWorkers(workers))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.metrics.analyses.Add(1)
+	writeJSON(w, http.StatusOK, analyzeResponse{
+		ID:                rec.id,
+		Ordering:          ordering,
+		Iterations:        rep.Iterations,
+		Accesses:          rep.Accesses,
+		MeanReuseDistance: rep.MeanReuseDistance,
+		ReuseQ50:          rep.ReuseQ50,
+		ReuseQ75:          rep.ReuseQ75,
+		ReuseQ90:          rep.ReuseQ90,
+		MaxReuseDistance:  rep.MaxReuseDistance,
+		MissRates:         rep.MissRates,
+		PenaltyCycles:     rep.PenaltyCycles,
+		DurationMS:        float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func queryInt(r *http.Request, name string, def, lo, hi int) (int, error) {
+	q := r.URL.Query().Get(name)
+	if q == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil {
+		return 0, apiErrorf(http.StatusBadRequest, "invalid %s %q: %v", name, q, err)
+	}
+	if v < lo || v > hi {
+		return 0, apiErrorf(http.StatusBadRequest, "%s %d out of range [%d,%d]", name, v, lo, hi)
+	}
+	return v, nil
+}

@@ -1,0 +1,54 @@
+package lamsd
+
+import (
+	"expvar"
+)
+
+// metrics holds the service counters as expvar values. The vars live in a
+// private expvar.Map rather than the process-global expvar registry so that
+// many Servers can coexist (httptest spins several up per test binary);
+// cmd/lamsd publishes the map globally once via Server.PublishExpvar.
+type metrics struct {
+	vars *expvar.Map
+
+	requests         *expvar.Map // per-route request counts
+	errors           *expvar.Map // per-route non-2xx response counts
+	smoothRuns       *expvar.Int
+	smoothIterations *expvar.Int
+	smoothAccesses   *expvar.Int
+	reorders         *expvar.Int
+	analyses         *expvar.Int
+	uploads          *expvar.Int
+}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		vars:             new(expvar.Map).Init(),
+		requests:         new(expvar.Map).Init(),
+		errors:           new(expvar.Map).Init(),
+		smoothRuns:       new(expvar.Int),
+		smoothIterations: new(expvar.Int),
+		smoothAccesses:   new(expvar.Int),
+		reorders:         new(expvar.Int),
+		analyses:         new(expvar.Int),
+		uploads:          new(expvar.Int),
+	}
+	m.vars.Set("requests", m.requests)
+	m.vars.Set("errors", m.errors)
+	m.vars.Set("smooth_runs", m.smoothRuns)
+	m.vars.Set("smooth_iterations", m.smoothIterations)
+	m.vars.Set("smooth_vertex_accesses", m.smoothAccesses)
+	m.vars.Set("reorders", m.reorders)
+	m.vars.Set("analyses", m.analyses)
+	m.vars.Set("uploads", m.uploads)
+	return m
+}
+
+// PublishExpvar mounts the server's metrics map into the process-global
+// expvar registry under the given name (conventionally "lamsd"), making it
+// visible to the standard /debug/vars endpoint alongside memstats. It
+// panics if the name is already taken, exactly like expvar.Publish; call it
+// at most once per process.
+func (s *Server) PublishExpvar(name string) {
+	expvar.Publish(name, s.metrics.vars)
+}

@@ -1,0 +1,146 @@
+package lamsd
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"lams/pkg/lams"
+)
+
+// engineKey identifies a smoothing configuration whose engines are
+// interchangeable. Engines are pooled per kernel × worker count so a warm
+// engine handed to a request has scratch buffers shaped by the same kind of
+// run that grew them.
+type engineKey struct {
+	Kernel  string
+	Workers int
+}
+
+// enginePool is a keyed pool of warm lams.Smoother engines with bounded
+// concurrency. Acquire blocks (the request queue) until one of the
+// pool's concurrency slots frees up or the request's context expires; the
+// engine it returns has its ~O(mesh) scratch buffers already grown from
+// earlier runs, so steady-state smooth requests do not reallocate them.
+type enginePool struct {
+	capacity int
+	sem      chan struct{}
+
+	mu        sync.Mutex
+	idle      map[engineKey][]*lams.Smoother
+	totalIdle int // parked engines across all keys, bounded by capacity
+
+	queued atomic.Int64
+	inUse  atomic.Int64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// PoolStats is a point-in-time snapshot of the engine pool, reported by
+// /healthz, /metrics, and every smooth response.
+type PoolStats struct {
+	// Capacity is the maximum number of concurrently checked-out engines.
+	Capacity int `json:"capacity"`
+	// InUse is the number of engines currently checked out.
+	InUse int64 `json:"in_use"`
+	// Queued is the number of requests waiting for a concurrency slot.
+	Queued int64 `json:"queued"`
+	// Idle is the number of warm engines parked across all keys.
+	Idle int `json:"idle"`
+	// Hits and Misses count checkouts served by a warm engine vs. a fresh
+	// allocation. A steady-state service converges to all hits.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+func newEnginePool(capacity int) *enginePool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &enginePool{
+		capacity: capacity,
+		sem:      make(chan struct{}, capacity),
+		idle:     make(map[engineKey][]*lams.Smoother),
+	}
+}
+
+// Acquire checks out an engine for key, waiting in the request queue for a
+// concurrency slot. It returns ctx.Err() if the context expires first, so a
+// queued request honors its deadline without ever holding a slot.
+func (p *enginePool) Acquire(ctx context.Context, key engineKey) (*lams.Smoother, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p.queued.Add(1)
+	select {
+	case p.sem <- struct{}{}:
+		p.queued.Add(-1)
+	case <-ctx.Done():
+		p.queued.Add(-1)
+		return nil, ctx.Err()
+	}
+
+	p.mu.Lock()
+	var eng *lams.Smoother
+	if list := p.idle[key]; len(list) > 0 {
+		eng = list[len(list)-1]
+		p.idle[key] = list[:len(list)-1]
+		p.totalIdle--
+	}
+	p.mu.Unlock()
+
+	if eng != nil {
+		p.hits.Add(1)
+	} else {
+		p.misses.Add(1)
+		eng = lams.NewSmoother()
+	}
+	p.inUse.Add(1)
+	return eng, nil
+}
+
+// Release returns an engine to the pool and frees its concurrency slot.
+// At most capacity engines stay parked across ALL keys — matching the
+// actual concurrency bound — so a client sweeping many kernel × workers
+// combinations cannot pin an unbounded set of O(mesh) scratch buffers;
+// engines beyond the bound are dropped for the garbage collector.
+func (p *enginePool) Release(key engineKey, eng *lams.Smoother) {
+	p.mu.Lock()
+	if p.totalIdle < p.capacity {
+		p.idle[key] = append(p.idle[key], eng)
+		p.totalIdle++
+	}
+	p.mu.Unlock()
+	p.inUse.Add(-1)
+	<-p.sem
+}
+
+// Trim resets and drops every parked engine. The server calls it when the
+// mesh store empties: warm buffers sized for meshes that no longer exist
+// are pure memory overhead.
+func (p *enginePool) Trim() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, list := range p.idle {
+		for _, eng := range list {
+			eng.Reset()
+		}
+		delete(p.idle, key)
+	}
+	p.totalIdle = 0
+}
+
+// Stats snapshots the pool gauges and counters.
+func (p *enginePool) Stats() PoolStats {
+	p.mu.Lock()
+	idle := p.totalIdle
+	p.mu.Unlock()
+	return PoolStats{
+		Capacity: p.capacity,
+		InUse:    p.inUse.Load(),
+		Queued:   p.queued.Load(),
+		Idle:     idle,
+		Hits:     p.hits.Load(),
+		Misses:   p.misses.Load(),
+	}
+}

@@ -1,0 +1,154 @@
+package lamsd
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"lams/pkg/lams"
+)
+
+// TestServerPoolConcurrentCheckout hammers the pool from many goroutines,
+// each smoothing its own mesh clone with a checked-out engine. Run under
+// -race this is the engine-handoff safety test: an engine must never be
+// visible to two smooths at once.
+func TestServerPoolConcurrentCheckout(t *testing.T) {
+	const (
+		capacity   = 4
+		goroutines = 16
+		runs       = 5
+	)
+	p := newEnginePool(capacity)
+	base, err := lams.GenerateMesh("carabiner", 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := engineKey{Kernel: "plain", Workers: 1 + g%2}
+			m := base.Clone()
+			for i := 0; i < runs; i++ {
+				eng, err := p.Acquire(ctx, key)
+				if err != nil {
+					t.Errorf("goroutine %d: acquire: %v", g, err)
+					return
+				}
+				_, err = eng.Smooth(ctx, m,
+					lams.WithWorkers(key.Workers),
+					lams.WithMaxIterations(1),
+					lams.WithTolerance(-1))
+				p.Release(key, eng)
+				if err != nil {
+					t.Errorf("goroutine %d: smooth: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := p.Stats()
+	if st.InUse != 0 || st.Queued != 0 {
+		t.Errorf("pool not drained: %+v", st)
+	}
+	if st.Hits+st.Misses != goroutines*runs {
+		t.Errorf("checkouts = %d, want %d", st.Hits+st.Misses, goroutines*runs)
+	}
+	// Retention is bounded globally by the concurrency capacity, however
+	// many keys are in play.
+	if st.Idle > capacity {
+		t.Errorf("idle engines %d exceed the retention bound %d", st.Idle, capacity)
+	}
+	// With 16 goroutines over 4 slots, most checkouts must find a warm engine.
+	if st.Misses > goroutines*runs/2 {
+		t.Errorf("misses = %d of %d: pool is not reusing engines", st.Misses, goroutines*runs)
+	}
+}
+
+// TestServerPoolQueueHonorsDeadline checks the request-queue contract: a
+// caller waiting for a concurrency slot gives up when its context expires,
+// without consuming a slot.
+func TestServerPoolQueueHonorsDeadline(t *testing.T) {
+	p := newEnginePool(1)
+	key := engineKey{Kernel: "plain", Workers: 1}
+	eng, err := p.Acquire(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Acquire(ctx, key); err != context.DeadlineExceeded {
+		t.Errorf("queued acquire err = %v, want context.DeadlineExceeded", err)
+	}
+
+	p.Release(key, eng)
+	st := p.Stats()
+	if st.InUse != 0 || st.Queued != 0 {
+		t.Errorf("pool state after timed-out queue wait: %+v", st)
+	}
+
+	// The slot freed by Release is immediately usable.
+	eng, err = p.Acquire(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(key, eng)
+}
+
+// TestServerPoolKeyedReuse verifies engines come back for their own
+// (kernel × workers) key: a hit on the same key, a miss on a new one.
+func TestServerPoolKeyedReuse(t *testing.T) {
+	p := newEnginePool(2)
+	ctx := context.Background()
+	a := engineKey{Kernel: "plain", Workers: 1}
+	b := engineKey{Kernel: "smart", Workers: 1}
+
+	eng, err := p.Acquire(ctx, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(a, eng)
+	if eng, err = p.Acquire(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	p.Release(a, eng)
+	if eng, err = p.Acquire(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	p.Release(b, eng)
+
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 1/2", st.Hits, st.Misses)
+	}
+}
+
+func TestServerPoolTrim(t *testing.T) {
+	p := newEnginePool(2)
+	ctx := context.Background()
+	key := engineKey{Kernel: "plain", Workers: 1}
+	eng, err := p.Acquire(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(key, eng)
+	if st := p.Stats(); st.Idle != 1 {
+		t.Fatalf("idle = %d before trim", st.Idle)
+	}
+	p.Trim()
+	if st := p.Stats(); st.Idle != 0 {
+		t.Errorf("idle = %d after trim", st.Idle)
+	}
+	// The pool still works after a trim.
+	if eng, err = p.Acquire(ctx, key); err != nil {
+		t.Fatal(err)
+	}
+	p.Release(key, eng)
+}

@@ -1,0 +1,181 @@
+// Package lamsd implements the lams smoothing service: an HTTP front-end
+// over the pkg/lams pipeline that keeps uploaded meshes and warm smoothing
+// engines resident between requests.
+//
+// The paper (conf_icpp_AupyPR16) frames reordering as a one-time
+// preprocessing cost amortized over many smoothing runs; lamsd is that
+// amortization argument deployed. A mesh is uploaded (or generated) once,
+// reordered once, and then smoothed and analyzed as many times as clients
+// ask, with every smooth request served by a pooled engine whose scratch
+// buffers were grown by earlier runs — the hot path performs no per-request
+// engine allocation.
+//
+// Endpoints:
+//
+//	POST   /v1/meshes               upload Triangle .node/.ele (multipart) or generate a domain (JSON)
+//	GET    /v1/meshes               list resident meshes
+//	GET    /v1/meshes/{id}          mesh summary (stats, quality, ordering)
+//	DELETE /v1/meshes/{id}          evict a mesh
+//	GET    /v1/meshes/{id}/export   download the mesh (?part=node|ele)
+//	POST   /v1/meshes/{id}/reorder  apply a registered ordering in place
+//	POST   /v1/meshes/{id}/smooth   run smoothing through the engine pool
+//	GET    /v1/meshes/{id}/analyze  reuse-distance / cache-simulation report
+//	GET    /v1/orderings            registered ordering names
+//	GET    /v1/domains              generatable domain names
+//	GET    /healthz                 liveness + pool/store gauges
+//	GET    /metrics                 expvar counters (JSON)
+//
+// Every request runs under a deadline: the server default, overridable per
+// request with ?timeout=DURATION (clamped to the configured maximum), mapped
+// onto the context.Context cancellation that pkg/lams threads through the
+// sweep engine. A smooth cut off by its deadline leaves the mesh on the last
+// completed sweep and returns 504.
+package lamsd
+
+import (
+	"expvar"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config collects the server limits. The zero value of any field selects
+// the default noted on it.
+type Config struct {
+	// MaxConcurrentSmooths bounds how many smooth requests run at once;
+	// further requests queue (and honor their deadlines while queued).
+	// Default: GOMAXPROCS, capped at 8.
+	MaxConcurrentSmooths int
+	// MaxMeshes bounds the number of resident meshes. Default: 64.
+	MaxMeshes int
+	// MaxMeshVerts rejects uploads/generations beyond this vertex count.
+	// Default: 4,000,000.
+	MaxMeshVerts int
+	// MaxUploadBytes bounds the request body of a mesh upload.
+	// Default: 256 MiB.
+	MaxUploadBytes int64
+	// MaxWorkers caps the per-request smoothing worker count.
+	// Default: GOMAXPROCS, floored at 4 (workers are static chunks, not
+	// pinned threads, so modest oversubscription is harmless).
+	MaxWorkers int
+	// DefaultTimeout is the per-request deadline when the client does not
+	// pass ?timeout. Default: 60s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested deadlines. Default: 10m.
+	MaxTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrentSmooths <= 0 {
+		c.MaxConcurrentSmooths = min(runtime.GOMAXPROCS(0), 8)
+	}
+	if c.MaxMeshes <= 0 {
+		c.MaxMeshes = 64
+	}
+	if c.MaxMeshVerts <= 0 {
+		c.MaxMeshVerts = 4_000_000
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 256 << 20
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = max(4, runtime.GOMAXPROCS(0))
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	return c
+}
+
+// Option configures a Server.
+type Option func(*Config)
+
+// WithMaxConcurrentSmooths bounds concurrent smooth requests (the engine
+// pool's capacity); further requests queue.
+func WithMaxConcurrentSmooths(n int) Option {
+	return func(c *Config) { c.MaxConcurrentSmooths = n }
+}
+
+// WithMaxMeshes bounds the number of resident meshes.
+func WithMaxMeshes(n int) Option { return func(c *Config) { c.MaxMeshes = n } }
+
+// WithMaxMeshVerts bounds the vertex count of uploaded or generated meshes.
+func WithMaxMeshVerts(n int) Option { return func(c *Config) { c.MaxMeshVerts = n } }
+
+// WithMaxUploadBytes bounds the mesh-upload request body size.
+func WithMaxUploadBytes(n int64) Option { return func(c *Config) { c.MaxUploadBytes = n } }
+
+// WithMaxWorkers caps the per-request smoothing worker count.
+func WithMaxWorkers(n int) Option { return func(c *Config) { c.MaxWorkers = n } }
+
+// WithTimeouts sets the default and maximum per-request deadlines.
+func WithTimeouts(def, max time.Duration) Option {
+	return func(c *Config) {
+		c.DefaultTimeout = def
+		c.MaxTimeout = max
+	}
+}
+
+// Server is the lamsd HTTP service. Create one with New and serve its
+// Handler; it is safe for concurrent use.
+type Server struct {
+	cfg     Config
+	store   *meshStore
+	pool    *enginePool
+	metrics *metrics
+	mux     *http.ServeMux
+	start   time.Time
+}
+
+// New assembles a Server with the given options.
+func New(opts ...Option) *Server {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		store:   newMeshStore(cfg.MaxMeshes),
+		pool:    newEnginePool(cfg.MaxConcurrentSmooths),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	// Live gauges alongside the counters: rendered at scrape time.
+	s.metrics.vars.Set("uptime_seconds", expvar.Func(func() any { return time.Since(s.start).Seconds() }))
+	s.metrics.vars.Set("pool", expvar.Func(func() any { return s.pool.Stats() }))
+	s.metrics.vars.Set("meshes_resident", expvar.Func(func() any { return s.store.Len() }))
+	s.routes()
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// routes wires every endpoint through the shared instrumentation (request
+// counters) and deadline middleware.
+func (s *Server) routes() {
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /v1/orderings", s.handleOrderings)
+	s.handle("GET /v1/domains", s.handleDomains)
+	s.handle("POST /v1/meshes", s.handleCreateMesh)
+	s.handle("GET /v1/meshes", s.handleListMeshes)
+	s.handle("GET /v1/meshes/{id}", s.handleGetMesh)
+	s.handle("DELETE /v1/meshes/{id}", s.handleDeleteMesh)
+	s.handle("GET /v1/meshes/{id}/export", s.handleExportMesh)
+	s.handle("POST /v1/meshes/{id}/reorder", s.handleReorderMesh)
+	s.handle("POST /v1/meshes/{id}/smooth", s.handleSmoothMesh)
+	s.handle("GET /v1/meshes/{id}/analyze", s.handleAnalyzeMesh)
+}
+
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.instrument(pattern, s.withDeadline(h)))
+}

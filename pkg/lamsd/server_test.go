@@ -1,0 +1,588 @@
+package lamsd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+
+	"lams/pkg/lams"
+)
+
+// newTestServer boots a Server behind httptest with small limits so the
+// capacity paths are reachable.
+func newTestServer(t *testing.T, opts ...Option) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts...)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func doJSON(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func createDomainMesh(t *testing.T, baseURL, domain string, verts int) meshInfo {
+	t.Helper()
+	resp, data := doJSON(t, http.MethodPost, baseURL+"/v1/meshes",
+		map[string]any{"domain": domain, "target_verts": verts})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create mesh: status %d: %s", resp.StatusCode, data)
+	}
+	var info meshInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestServerHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, data := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var health struct {
+		Status string    `json:"status"`
+		Meshes int       `json:"meshes"`
+		Pool   PoolStats `json:"pool"`
+	}
+	if err := json.Unmarshal(data, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Pool.Capacity < 1 {
+		t.Errorf("malformed health: %s", data)
+	}
+
+	resp, data = doJSON(t, http.MethodGet, ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(data, &vars); err != nil {
+		t.Fatalf("metrics is not a JSON object: %v\n%s", err, data)
+	}
+	for _, key := range []string{"requests", "smooth_runs", "pool", "meshes_resident", "uptime_seconds"} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("metrics missing %q: %s", key, data)
+		}
+	}
+}
+
+func TestServerOrderingsAndDomains(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, data := doJSON(t, http.MethodGet, ts.URL+"/v1/orderings", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("orderings status %d", resp.StatusCode)
+	}
+	var ords struct {
+		Orderings []string `json:"orderings"`
+		Default   string   `json:"default"`
+	}
+	if err := json.Unmarshal(data, &ords); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"RDR": false, "RDR-DESC": false, "BFS-WORST": false}
+	for _, name := range ords.Orderings {
+		if _, ok := want[name]; ok {
+			want[name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("orderings missing %s: %v", name, ords.Orderings)
+		}
+	}
+	if ords.Default != "RDR" {
+		t.Errorf("default ordering %q", ords.Default)
+	}
+
+	resp, data = doJSON(t, http.MethodGet, ts.URL+"/v1/domains", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("domains status %d", resp.StatusCode)
+	}
+	if !bytes.Contains(data, []byte("carabiner")) {
+		t.Errorf("domains missing carabiner: %s", data)
+	}
+}
+
+func TestServerMeshLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, WithMaxMeshes(2))
+	info := createDomainMesh(t, ts.URL, "carabiner", 1200)
+	if info.ID == "" || info.Summary.Verts == 0 || info.Ordering != "ORI" {
+		t.Fatalf("malformed create response: %+v", info)
+	}
+
+	// Get and list see the mesh.
+	resp, data := doJSON(t, http.MethodGet, ts.URL+"/v1/meshes/"+info.ID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get status %d: %s", resp.StatusCode, data)
+	}
+	resp, data = doJSON(t, http.MethodGet, ts.URL+"/v1/meshes", nil)
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte(info.ID)) {
+		t.Fatalf("list status %d: %s", resp.StatusCode, data)
+	}
+
+	// Export streams a parseable .node.
+	resp, data = doJSON(t, http.MethodGet, ts.URL+"/v1/meshes/"+info.ID+"/export?part=node", nil)
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(data), fmt.Sprintf("%d 2", info.Summary.Verts)) {
+		t.Fatalf("export: status %d, body %.40s", resp.StatusCode, data)
+	}
+	resp, _ = doJSON(t, http.MethodGet, ts.URL+"/v1/meshes/"+info.ID+"/export?part=bogus", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus export part: status %d", resp.StatusCode)
+	}
+
+	// Capacity: a second mesh fits, a third is refused.
+	createDomainMesh(t, ts.URL, "crake", 800)
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes", map[string]any{"domain": "crake", "target_verts": 800})
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Errorf("over-capacity create: status %d, want 507", resp.StatusCode)
+	}
+
+	// Delete, then 404.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/meshes/"+info.ID, nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp2.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodGet, ts.URL+"/v1/meshes/"+info.ID, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("get after delete: status %d", resp.StatusCode)
+	}
+
+	// Error cases on create.
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes", map[string]any{"domain": "not-a-domain"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown domain: status %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes", map[string]any{"domain": "crake", "target_verts": 100_000_000})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized generate: status %d", resp.StatusCode)
+	}
+}
+
+// multipartMesh encodes a mesh as the multipart body the upload endpoint
+// streams: a "node" part then an "ele" part.
+func multipartMesh(t *testing.T, m *lams.Mesh) (*bytes.Buffer, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	nw, err := mw.CreateFormFile("node", "m.node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteNode(nw); err != nil {
+		t.Fatal(err)
+	}
+	ew, err := mw.CreateFormFile("ele", "m.ele")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteEle(ew); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf, mw.FormDataContentType()
+}
+
+func TestServerUploadMultipart(t *testing.T) {
+	_, ts := newTestServer(t)
+	m, err := lams.GenerateMesh("wrench", 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, ct := multipartMesh(t, m)
+	resp, err := http.Post(ts.URL+"/v1/meshes", ct, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", resp.StatusCode, data)
+	}
+	var info meshInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Summary.Verts != m.NumVerts() || info.Summary.Tris != m.NumTris() {
+		t.Errorf("upload round trip changed counts: %+v vs %d/%d", info.Summary, m.NumVerts(), m.NumTris())
+	}
+	if info.Name != "upload" {
+		t.Errorf("name %q", info.Name)
+	}
+}
+
+func TestServerUploadRejectsMalformed(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	post := func(buf *bytes.Buffer, ct string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/meshes", ct, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// A truncated .node: the hardened codec turns it into a 400, not a hang
+	// or a panic.
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	nw, _ := mw.CreateFormFile("node", "m.node")
+	fmt.Fprint(nw, "5 2 0 1\n1 0 0 1\n")
+	ew, _ := mw.CreateFormFile("ele", "m.ele")
+	fmt.Fprint(ew, "1 3 0\n1 1 2 3\n")
+	mw.Close()
+	if got := post(&buf, mw.FormDataContentType()); got != http.StatusBadRequest {
+		t.Errorf("truncated node upload: status %d, want 400", got)
+	}
+
+	// Out-of-range vertex reference in the .ele part.
+	buf.Reset()
+	mw = multipart.NewWriter(&buf)
+	nw, _ = mw.CreateFormFile("node", "m.node")
+	fmt.Fprint(nw, "3 2 0 1\n1 0 0 1\n2 1 0 1\n3 0 1 1\n")
+	ew, _ = mw.CreateFormFile("ele", "m.ele")
+	fmt.Fprint(ew, "1 3 0\n1 1 2 9\n")
+	mw.Close()
+	if got := post(&buf, mw.FormDataContentType()); got != http.StatusBadRequest {
+		t.Errorf("out-of-range ele upload: status %d, want 400", got)
+	}
+
+	// Parts in the wrong order.
+	buf.Reset()
+	mw = multipart.NewWriter(&buf)
+	ew, _ = mw.CreateFormFile("ele", "m.ele")
+	fmt.Fprint(ew, "1 3 0\n1 1 2 3\n")
+	mw.Close()
+	if got := post(&buf, mw.FormDataContentType()); got != http.StatusBadRequest {
+		t.Errorf("wrong part order: status %d, want 400", got)
+	}
+
+	// Unsupported content type.
+	buf.Reset()
+	buf.WriteString("not a mesh")
+	if got := post(&buf, "text/plain"); got != http.StatusUnsupportedMediaType {
+		t.Errorf("text/plain upload: status %d, want 415", got)
+	}
+
+	// A tiny body whose header declares a huge mesh: rejected with 413
+	// before the codec allocates anything count-sized.
+	buf.Reset()
+	mw = multipart.NewWriter(&buf)
+	nw, _ = mw.CreateFormFile("node", "m.node")
+	fmt.Fprint(nw, "99999999 2 0 1\n")
+	mw.Close()
+	if got := post(&buf, mw.FormDataContentType()); got != http.StatusRequestEntityTooLarge {
+		t.Errorf("huge-header upload: status %d, want 413", got)
+	}
+}
+
+func TestServerReorder(t *testing.T) {
+	_, ts := newTestServer(t)
+	info := createDomainMesh(t, ts.URL, "carabiner", 1500)
+
+	for _, ordering := range []string{"RDR", "BFS-WORST", "RDR-DESC"} {
+		resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/reorder",
+			map[string]any{"ordering": ordering})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", ordering, resp.StatusCode, data)
+		}
+		resp, data = doJSON(t, http.MethodGet, ts.URL+"/v1/meshes/"+info.ID, nil)
+		var got meshInfo
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Ordering != ordering {
+			t.Errorf("stored ordering %q after reorder to %s", got.Ordering, ordering)
+		}
+		if got.Summary.Verts != info.Summary.Verts {
+			t.Errorf("%s: reorder changed vertex count", ordering)
+		}
+	}
+
+	resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/reorder",
+		map[string]any{"ordering": "NOPE"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown ordering: status %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/missing/reorder",
+		map[string]any{"ordering": "RDR"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("reorder of missing mesh: status %d", resp.StatusCode)
+	}
+}
+
+func TestServerSmooth(t *testing.T) {
+	_, ts := newTestServer(t)
+	info := createDomainMesh(t, ts.URL, "carabiner", 1500)
+
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/smooth",
+		map[string]any{"workers": 2, "max_iters": 5, "tol": -1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("smooth status %d: %s", resp.StatusCode, data)
+	}
+	var sr smoothResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Iterations != 5 || sr.FinalQuality <= sr.InitialQuality {
+		t.Errorf("malformed smooth result: %+v", sr)
+	}
+	if sr.Pool.Capacity < 1 {
+		t.Errorf("missing pool stats: %+v", sr.Pool)
+	}
+
+	// An empty body selects the defaults and runs to convergence.
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/smooth", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default smooth status %d: %s", resp.StatusCode, data)
+	}
+
+	// Every kernel works end to end.
+	for _, body := range []map[string]any{
+		{"kernel": "smart", "max_iters": 2, "tol": -1},
+		{"kernel": "smart", "metric": "min-angle", "max_iters": 2, "tol": -1},
+		{"kernel": "weighted", "max_iters": 2, "tol": -1},
+		{"kernel": "constrained", "max_displacement": 0.05, "max_iters": 2, "tol": -1},
+	} {
+		resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/smooth", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%v: status %d: %s", body, resp.StatusCode, data)
+		}
+	}
+
+	// Validation errors.
+	for _, c := range []struct {
+		body map[string]any
+		want int
+	}{
+		{map[string]any{"kernel": "bogus"}, http.StatusBadRequest},
+		{map[string]any{"workers": -3}, http.StatusBadRequest},
+		{map[string]any{"workers": 10_000}, http.StatusBadRequest},
+		{map[string]any{"gauss_seidel": true, "workers": 4}, http.StatusBadRequest},
+		{map[string]any{"kernel": "constrained"}, http.StatusBadRequest},
+		{map[string]any{"metric": "bogus"}, http.StatusBadRequest},
+		{map[string]any{"max_iters": -1}, http.StatusBadRequest},
+		{map[string]any{"no_such_field": 1}, http.StatusBadRequest},
+	} {
+		resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/smooth", c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%v: status %d, want %d (%s)", c.body, resp.StatusCode, c.want, data)
+		}
+	}
+
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/missing/smooth", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("smooth of missing mesh: status %d", resp.StatusCode)
+	}
+}
+
+func TestServerSmoothDeadline(t *testing.T) {
+	_, ts := newTestServer(t)
+	info := createDomainMesh(t, ts.URL, "carabiner", 1500)
+
+	// A 1ns budget expires before the pool checkout; the request must come
+	// back as 504, not hang in the queue.
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/smooth?timeout=1ns", nil)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("deadline smooth: status %d, want 504 (%s)", resp.StatusCode, data)
+	}
+
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/smooth?timeout=banana", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid timeout: status %d, want 400", resp.StatusCode)
+	}
+
+	// Reorder honors the deadline too: the ordering is computed off-lock on
+	// a clone and the expired context wins the race, leaving the stored
+	// mesh untouched.
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/reorder?timeout=1ns",
+		map[string]any{"ordering": "RDR"})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("deadline reorder: status %d, want 504 (%s)", resp.StatusCode, data)
+	}
+	resp, data = doJSON(t, http.MethodGet, ts.URL+"/v1/meshes/"+info.ID, nil)
+	var after meshInfo
+	if err := json.Unmarshal(data, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Ordering != "ORI" {
+		t.Errorf("timed-out reorder was committed: ordering %q", after.Ordering)
+	}
+}
+
+func TestServerAnalyze(t *testing.T) {
+	_, ts := newTestServer(t)
+	info := createDomainMesh(t, ts.URL, "carabiner", 1500)
+	if resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/reorder",
+		map[string]any{"ordering": "RDR"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("reorder: %d %s", resp.StatusCode, data)
+	}
+
+	resp, data := doJSON(t, http.MethodGet, ts.URL+"/v1/meshes/"+info.ID+"/analyze?iters=2&workers=1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d: %s", resp.StatusCode, data)
+	}
+	var ar analyzeResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Iterations != 2 || ar.Accesses == 0 || len(ar.MissRates) != 3 || ar.Ordering != "RDR" {
+		t.Errorf("malformed analyze response: %+v", ar)
+	}
+
+	// Analysis must not mutate the stored mesh (it traces a clone).
+	resp, data = doJSON(t, http.MethodGet, ts.URL+"/v1/meshes/"+info.ID, nil)
+	var after meshInfo
+	if err := json.Unmarshal(data, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.SmoothRuns != 0 {
+		t.Errorf("analyze counted as a smooth run: %+v", after)
+	}
+
+	resp, _ = doJSON(t, http.MethodGet, ts.URL+"/v1/meshes/"+info.ID+"/analyze?iters=99", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("iters out of range: status %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodGet, ts.URL+"/v1/meshes/missing/analyze", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("analyze of missing mesh: status %d", resp.StatusCode)
+	}
+}
+
+// bytesPerRun measures heap bytes allocated per call of fn.
+func bytesPerRun(runs int, fn func()) uint64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return (after.TotalAlloc - before.TotalAlloc) / uint64(runs)
+}
+
+// TestServerPooledSmoothSteadyState is the acceptance assertion for the
+// engine pool: once an engine is warm, a smooth request through the pooled
+// path performs no per-request engine allocation. The engine's scratch
+// buffers for this mesh are ~64 KiB (next-coordinate array alone is
+// NumVerts × 16 B); steady state must allocate only request-scoped
+// small objects, orders of magnitude below one buffer.
+func TestServerPooledSmoothSteadyState(t *testing.T) {
+	s := New(WithMaxConcurrentSmooths(2))
+	m, err := lams.GenerateMesh("carabiner", 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.store.Add(m, "carabiner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := -1.0
+	// Storage-order traversal isolates the engine's own allocation behavior:
+	// the quality-greedy walk recomputes an O(n) traversal per run by design
+	// (a documented precomputation, not engine scratch).
+	req := smoothRequest{Workers: 1, MaxIters: 2, Tol: &tol, StorageOrder: true}
+	ctx := context.Background()
+
+	if _, err := s.runSmooth(ctx, rec, req); err != nil { // grow the buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := s.runSmooth(ctx, rec, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 40 {
+		t.Errorf("pooled smooth: %.0f allocs/request, want request-scoped constants only", allocs)
+	}
+	bytesPer := bytesPerRun(50, func() {
+		if _, err := s.runSmooth(ctx, rec, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if limit := uint64(16 << 10); bytesPer > limit {
+		t.Errorf("pooled smooth allocates %d B/request, want < %d (engine buffers for this mesh are ~64 KiB — reuse is broken)",
+			bytesPer, limit)
+	}
+
+	st := s.pool.Stats()
+	if st.Misses != 1 {
+		t.Errorf("pool misses = %d, want exactly 1 (the warmup checkout)", st.Misses)
+	}
+	if st.Hits < 70 {
+		t.Errorf("pool hits = %d, want every post-warmup request", st.Hits)
+	}
+}
+
+// BenchmarkServerPooledSmooth keeps the pooled hot path visible in the CI
+// bench smoke: allocs/op is the number to watch.
+func BenchmarkServerPooledSmooth(b *testing.B) {
+	s := New(WithMaxConcurrentSmooths(2))
+	m, err := lams.GenerateMesh("carabiner", 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := s.store.Add(m, "carabiner")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tol := -1.0
+	req := smoothRequest{Workers: 1, MaxIters: 1, Tol: &tol, StorageOrder: true}
+	ctx := context.Background()
+	if _, err := s.runSmooth(ctx, rec, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.runSmooth(ctx, rec, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

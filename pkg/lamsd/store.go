@@ -1,0 +1,131 @@
+package lamsd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lams/pkg/lams"
+)
+
+// meshRecord is one resident mesh and its bookkeeping.
+//
+// Two locks with a strict order (mu before metaMu, when both are needed):
+//
+//   - mu serializes access to the mesh contents. Smoothing takes the write
+//     lock for the duration of the run; reorder takes it only to commit;
+//     export and analysis take the read lock just long enough to clone.
+//   - metaMu guards the cheap display metadata (ordering, run counts,
+//     cached quality), so summaries and listings never wait behind an
+//     in-flight smooth of the mesh they describe.
+//
+// Handlers lock the record, never the store, while doing mesh work, so a
+// long smooth on one mesh does not block requests for another.
+type meshRecord struct {
+	id      string
+	seq     uint64
+	created time.Time
+	name    string // originating domain, or "upload"
+	// summary is computed once at Add time: it is purely topological
+	// (counts and degrees), which neither smoothing nor renumbering changes.
+	summary lams.MeshStats
+
+	mu   sync.RWMutex
+	mesh *lams.Mesh
+	// gen counts mesh mutations. It is incremented under mu's write lock
+	// but read atomically anywhere, letting off-lock computations (reorder,
+	// quality refresh) detect that the mesh changed under them and discard
+	// their result instead of committing stale data.
+	gen atomic.Uint64
+
+	metaMu     sync.Mutex
+	ordering   string // last applied ordering ("ORI" until reordered)
+	orderTime  time.Duration
+	smoothRuns int64
+	// quality caches the default-metric global quality so summaries and
+	// listings are O(1); qualityStale forces a lazy recompute after an
+	// operation that changed (or may have changed) the coordinates under a
+	// different metric.
+	quality      float64
+	qualityStale bool
+}
+
+// meshStore is the in-memory mesh registry: id → record, bounded by
+// maxMeshes so a misbehaving client cannot grow the server without limit.
+type meshStore struct {
+	maxMeshes int
+
+	mu      sync.Mutex
+	records map[string]*meshRecord
+	nextSeq uint64
+}
+
+func newMeshStore(maxMeshes int) *meshStore {
+	if maxMeshes < 1 {
+		maxMeshes = 1
+	}
+	return &meshStore{maxMeshes: maxMeshes, records: make(map[string]*meshRecord)}
+}
+
+// Add registers a mesh and returns its record, or an error when the store
+// is at capacity (the handler maps it to 507 Insufficient Storage).
+func (st *meshStore) Add(m *lams.Mesh, name string) (*meshRecord, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.records) >= st.maxMeshes {
+		return nil, fmt.Errorf("mesh store full (%d meshes resident); delete one first", len(st.records))
+	}
+	st.nextSeq++
+	rec := &meshRecord{
+		id:           fmt.Sprintf("m%d", st.nextSeq),
+		seq:          st.nextSeq,
+		created:      time.Now(),
+		mesh:         m,
+		name:         name,
+		ordering:     "ORI",
+		qualityStale: true,
+		summary:      m.Summary(),
+	}
+	st.records[rec.id] = rec
+	return rec, nil
+}
+
+// Get returns the record for id, or nil.
+func (st *meshStore) Get(id string) *meshRecord {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.records[id]
+}
+
+// Delete removes the record for id, reporting whether it existed and
+// whether the store is now empty.
+func (st *meshStore) Delete(id string) (existed, empty bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.records[id]; !ok {
+		return false, len(st.records) == 0
+	}
+	delete(st.records, id)
+	return true, len(st.records) == 0
+}
+
+// List returns the resident records in creation order.
+func (st *meshStore) List() []*meshRecord {
+	st.mu.Lock()
+	out := make([]*meshRecord, 0, len(st.records))
+	for _, rec := range st.records {
+		out = append(out, rec)
+	}
+	st.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// Len returns the number of resident meshes.
+func (st *meshStore) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.records)
+}
