@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lamsbench [-exp id] [-verts n] [-full] [-meshes a,b,c] [-nowall]
+//	lamsbench [-exp id] [-verts n] [-full] [-meshes a,b,c] [-nowall] [-schedule static|guided|stealing]
 //
 // Experiment ids: table1, fig1, fig4, fig5, fig6, fig8, fig9, table2,
 // table3, eq2, fig10, fig11, fig12, fig13, cost, all.
@@ -18,25 +18,34 @@ import (
 	"time"
 
 	"lams/internal/experiments"
+	"lams/internal/parallel"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (table1, fig1, fig4, fig5, fig6, fig7, fig8, fig9, table2, table3, eq2, fig10, fig11, fig12, fig13, cost, cpack, prefetch, mrc, variants, gs, all)")
-		verts  = flag.Int("verts", 20000, "target vertices per mesh")
-		full   = flag.Bool("full", false, "use the paper's full mesh sizes (~330k vertices; slow)")
-		meshes = flag.String("meshes", "", "comma-separated mesh subset (default: all nine)")
-		nowall = flag.Bool("nowall", false, "skip wall-clock measurements in fig8")
+		exp      = flag.String("exp", "all", "experiment id (table1, fig1, fig4, fig5, fig6, fig7, fig8, fig9, table2, table3, eq2, fig10, fig11, fig12, fig13, cost, cpack, prefetch, mrc, variants, gs, all)")
+		verts    = flag.Int("verts", 20000, "target vertices per mesh")
+		full     = flag.Bool("full", false, "use the paper's full mesh sizes (~330k vertices; slow)")
+		meshes   = flag.String("meshes", "", "comma-separated mesh subset (default: all nine)")
+		nowall   = flag.Bool("nowall", false, "skip wall-clock measurements in fig8")
+		schedule = flag.String("schedule", "", "chunk schedule for the parallel traced runs: "+strings.Join(parallel.Schedules(), ", ")+" (default static)")
 	)
 	flag.Parse()
 
 	if *full {
 		*verts = 330000
 	}
+	if *schedule != "" {
+		if _, err := parallel.SchedulerByName(*schedule); err != nil {
+			fmt.Fprintln(os.Stderr, "lamsbench:", err)
+			os.Exit(2)
+		}
+	}
 	cfg := experiments.ConfigForSize(*verts)
 	if *meshes != "" {
 		cfg.Meshes = strings.Split(*meshes, ",")
 	}
+	cfg.Schedule = *schedule
 	s := experiments.NewSuite(cfg)
 
 	if err := run(s, *exp, !*nowall); err != nil {

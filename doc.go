@@ -6,10 +6,14 @@
 // pipeline with functional options and context cancellation. The
 // implementation lives under internal/: the RDR reordering and its
 // baselines behind a self-registering registry (internal/order), the
-// unified kernel-driven smoothing engine (internal/smooth), the mesh data
-// structures and generator substrates (internal/mesh, internal/delaunay,
-// internal/domains, internal/geom), and the locality-analysis machinery
-// (internal/trace, internal/reuse, internal/cache, internal/perfmodel).
+// unified kernel-driven smoothing engine (internal/smooth), the chunk
+// schedulers that distribute each sweep across workers — static (the
+// paper's OpenMP configuration, the default), guided, and lock-free
+// work-stealing, all bit-identical in results and selectable per run
+// (internal/parallel), the mesh data structures and generator substrates
+// (internal/mesh, internal/delaunay, internal/domains, internal/geom), and
+// the locality-analysis machinery (internal/trace, internal/reuse,
+// internal/cache, internal/perfmodel).
 // internal/core is the thin facade pkg/lams delegates to;
 // internal/experiments regenerates every table and figure of the paper's
 // evaluation.

@@ -36,6 +36,12 @@ type Config struct {
 	Model perfmodel.Model
 	// CoreCounts are the thread counts of the scalability study.
 	CoreCounts []int
+	// Schedule is the chunk schedule the parallel traced runs use (default
+	// "static", the paper's configuration). Jacobi updates keep results
+	// bit-identical across schedules; what changes is which worker touches
+	// which vertices — exactly what the NUMA-style per-core trace analyses
+	// measure.
+	Schedule string
 }
 
 // DefaultConfig returns the configuration used by cmd/lamsbench and the
@@ -189,6 +195,7 @@ func (s *Suite) TraceRun(meshName, ordName string, workers, iters int) (*trace.B
 	tb := trace.NewBuffer(workers)
 	res, err := smooth.Run(m.Clone(), smooth.Options{
 		Workers:  workers,
+		Schedule: s.Cfg.Schedule,
 		MaxIters: iters,
 		Tol:      -1,
 		Trace:    tb,

@@ -1,0 +1,81 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+func init() {
+	RegisterScheduler(ScheduleGuided, func() Scheduler { return &Guided{} })
+}
+
+// DefaultGuidedMinChunk is the floor on guided chunk sizes. Chunks below it
+// would spend more time on the shared cursor than on the work; it also
+// bounds how finely the tail of the range is fragmented.
+const DefaultGuidedMinChunk = 64
+
+// Guided is the OpenMP schedule(guided) analogue: workers pull chunks from
+// a shared atomic cursor, each sized proportionally to the work remaining
+// (remaining / workers, floored at MinChunk). Early chunks are large —
+// preserving most of the locality a reordering bought — and late chunks
+// shrink so no worker is left holding a long tail while the others idle.
+//
+// The zero value is ready to use. Not safe for concurrent Run calls.
+type Guided struct {
+	// MinChunk floors the chunk size (default DefaultGuidedMinChunk).
+	MinChunk int
+
+	spawner
+	cursor atomic.Int64
+}
+
+// Name implements Scheduler.
+func (g *Guided) Name() string { return ScheduleGuided }
+
+// Run implements Scheduler.
+func (g *Guided) Run(ctx context.Context, n, workers int, fn func(worker int, c Chunk)) error {
+	if workers <= 1 || n == 0 {
+		return runSerial(ctx, n, fn)
+	}
+	if g.body == nil {
+		g.body = g.work
+	}
+	g.cursor.Store(0)
+	return g.launch(ctx, n, workers, fn)
+}
+
+// work is one worker's pull loop: size the next chunk from the remaining
+// work, claim it by advancing the shared cursor, process it, repeat. The
+// size estimate may be stale by the time the cursor advances; the claim is
+// still exact (the cursor is the single source of truth) and the final
+// chunk is clamped to n.
+func (g *Guided) work() {
+	defer g.wg.Done()
+	w := g.workerID()
+	minChunk := g.MinChunk
+	if minChunk <= 0 {
+		minChunk = DefaultGuidedMinChunk
+	}
+	for {
+		if g.ctx.Err() != nil {
+			return
+		}
+		remaining := g.n - int(g.cursor.Load())
+		if remaining <= 0 {
+			return
+		}
+		size := remaining / g.workers
+		if size < minChunk {
+			size = minChunk
+		}
+		lo := int(g.cursor.Add(int64(size))) - size
+		if lo >= g.n {
+			return
+		}
+		hi := lo + size
+		if hi > g.n {
+			hi = g.n
+		}
+		g.fn(w, Chunk{lo, hi})
+	}
+}

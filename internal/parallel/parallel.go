@@ -1,13 +1,12 @@
-// Package parallel provides the static work partitioning and worker-pool
-// helpers that stand in for the paper's OpenMP runtime
-// (schedule(static) with KMP_AFFINITY=compact: contiguous chunks of the
-// vertex array, one per pinned thread).
+// Package parallel stands in for the paper's OpenMP runtime. The paper's
+// experiments run under schedule(static) with KMP_AFFINITY=compact —
+// contiguous chunks of the vertex array, one per pinned thread — and that
+// remains the default here; the Scheduler registry adds the dynamic
+// schedules the paper's NUMA discussion leaves open (guided, work-stealing)
+// behind one interface, so the sweep engine can compare locality against
+// load balance without changing numerical results (every schedule hands out
+// each index exactly once, in contiguous ascending chunks).
 package parallel
-
-import (
-	"context"
-	"sync"
-)
 
 // Chunk is a half-open index range [Lo, Hi).
 type Chunk struct {
@@ -25,50 +24,22 @@ func SplitChunks(n, parts int) []Chunk {
 		parts = 1
 	}
 	out := make([]Chunk, parts)
-	base := n / parts
-	rem := n % parts
-	lo := 0
 	for i := range out {
-		size := base
-		if i < rem {
-			size++
-		}
-		out[i] = Chunk{Lo: lo, Hi: lo + size}
-		lo += size
+		out[i] = StaticChunk(n, parts, i)
 	}
 	return out
 }
 
-// ForEachChunk runs fn(workerID, chunk) on every chunk concurrently and
-// waits for all of them.
-func ForEachChunk(chunks []Chunk, fn func(worker int, c Chunk)) {
-	_ = ForEachChunkCtx(context.Background(), chunks, fn)
-}
-
-// ForEachChunkCtx runs fn(workerID, chunk) on every chunk concurrently and
-// waits for the started ones. Chunks whose worker has not begun when ctx is
-// canceled are skipped; cancellation within a running chunk is up to fn.
-// The returned error is ctx.Err() at completion, so a non-nil error means
-// the chunk set may be incomplete and its results must not be committed.
-func ForEachChunkCtx(ctx context.Context, chunks []Chunk, fn func(worker int, c Chunk)) error {
-	if err := ctx.Err(); err != nil {
-		return err
+// StaticChunk returns the i-th of the parts chunks SplitChunks(n, parts)
+// would produce, without materializing the slice — the static schedule and
+// the stealing schedule's initial split compute their bounds through it on
+// the allocation-free hot path.
+func StaticChunk(n, parts, i int) Chunk {
+	base, rem := n/parts, n%parts
+	lo := i*base + min(i, rem)
+	size := base
+	if i < rem {
+		size++
 	}
-	if len(chunks) == 1 {
-		fn(0, chunks[0])
-		return ctx.Err()
-	}
-	var wg sync.WaitGroup
-	for w, c := range chunks {
-		wg.Add(1)
-		go func(w int, c Chunk) {
-			defer wg.Done()
-			if ctx.Err() != nil {
-				return
-			}
-			fn(w, c)
-		}(w, c)
-	}
-	wg.Wait()
-	return ctx.Err()
+	return Chunk{Lo: lo, Hi: lo + size}
 }

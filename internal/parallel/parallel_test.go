@@ -1,10 +1,7 @@
 package parallel
 
 import (
-	"context"
 	"math/rand"
-	"sync"
-	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -50,6 +47,61 @@ func TestSplitChunksProperties(t *testing.T) {
 	}
 }
 
+// FuzzSplitChunks is the full property suite for the static partition, run
+// by `go test` on its seed corpus and open-ended under `go test -fuzz`:
+// exactly parts chunks, contiguous and disjoint, covering [0, n) exactly,
+// sizes differing by at most one, empty chunks only as a trailing run (so
+// parts > n yields n singletons then parts-n empties), and bit-agreement
+// with StaticChunk, the allocation-free arithmetic the schedules use.
+func FuzzSplitChunks(f *testing.F) {
+	f.Add(10, 3)
+	f.Add(0, 1)
+	f.Add(2, 5)
+	f.Add(5, 0)
+	f.Add(5, -3)
+	f.Add(7, 7)
+	f.Add(10000, 64)
+	f.Add(1, 1024)
+	f.Fuzz(func(t *testing.T, n, parts int) {
+		if n < 0 || n > 1<<20 || parts > 1<<12 {
+			t.Skip() // SplitChunks is documented for n >= 0; cap the allocation
+		}
+		chunks := SplitChunks(n, parts)
+		effParts := parts
+		if effParts < 1 {
+			effParts = 1 // documented clamp
+		}
+		if len(chunks) != effParts {
+			t.Fatalf("SplitChunks(%d, %d) returned %d chunks, want %d", n, parts, len(chunks), effParts)
+		}
+		lo := 0
+		minLen, maxLen := n+1, 0
+		emptySeen := false
+		for i, c := range chunks {
+			if c.Lo != lo || c.Hi < c.Lo || c.Hi > n {
+				t.Fatalf("chunk %d = %+v breaks the contiguous tiling at offset %d", i, c, lo)
+			}
+			if got := StaticChunk(n, effParts, i); got != c {
+				t.Fatalf("StaticChunk(%d, %d, %d) = %+v, want %+v", n, effParts, i, got, c)
+			}
+			if c.Len() == 0 {
+				emptySeen = true
+			} else if emptySeen {
+				t.Fatalf("chunk %d is non-empty after an empty chunk; empties must trail", i)
+			}
+			lo = c.Hi
+			minLen = min(minLen, c.Len())
+			maxLen = max(maxLen, c.Len())
+		}
+		if lo != n {
+			t.Fatalf("chunks cover [0, %d), want [0, %d)", lo, n)
+		}
+		if maxLen-minLen > 1 {
+			t.Fatalf("chunk sizes range %d..%d, want spread <= 1", minLen, maxLen)
+		}
+	})
+}
+
 func TestSplitChunksMoreWorkersThanWork(t *testing.T) {
 	chunks := SplitChunks(2, 5)
 	total := 0
@@ -64,115 +116,5 @@ func TestSplitChunksMoreWorkersThanWork(t *testing.T) {
 func TestSplitChunksClampsParts(t *testing.T) {
 	if got := SplitChunks(5, 0); len(got) != 1 || got[0] != (Chunk{0, 5}) {
 		t.Errorf("chunks = %v", got)
-	}
-}
-
-func TestForEachChunkCtxPreCanceled(t *testing.T) {
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	ran := int64(0)
-	err := ForEachChunkCtx(ctx, SplitChunks(100, 4), func(w int, c Chunk) {
-		atomic.AddInt64(&ran, 1)
-	})
-	if err != context.Canceled {
-		t.Errorf("err = %v, want context.Canceled", err)
-	}
-	if ran != 0 {
-		t.Errorf("%d chunks ran under a pre-canceled context", ran)
-	}
-}
-
-// TestForEachChunkCtxCancelMidSweep cancels while worker chunks are
-// mid-execution: every chunk that started must run to completion (the sweep
-// contract — a chunk is never torn mid-write), the call must still return
-// ctx.Err() so the caller knows not to commit, and no goroutine may be left
-// behind. Run under -race this also checks the worker handoff.
-func TestForEachChunkCtxCancelMidSweep(t *testing.T) {
-	const workers = 8
-	ctx, cancel := context.WithCancel(context.Background())
-	started := make(chan int, workers)
-	release := make(chan struct{})
-	var startedCount, finished int64
-
-	var wg sync.WaitGroup
-	wg.Add(1)
-	errCh := make(chan error, 1)
-	go func() {
-		defer wg.Done()
-		errCh <- ForEachChunkCtx(ctx, SplitChunks(8000, workers), func(w int, c Chunk) {
-			atomic.AddInt64(&startedCount, 1)
-			started <- w
-			<-release
-			atomic.AddInt64(&finished, 1)
-		})
-	}()
-
-	// Wait for at least one worker to be mid-chunk, then cancel while it is
-	// still blocked, then let every blocked worker finish.
-	<-started
-	cancel()
-	close(release)
-	wg.Wait()
-
-	if err := <-errCh; err != context.Canceled {
-		t.Errorf("err = %v, want context.Canceled", err)
-	}
-	if s, f := atomic.LoadInt64(&startedCount), atomic.LoadInt64(&finished); s != f {
-		t.Errorf("%d chunks started but only %d finished — a started chunk was abandoned mid-sweep", s, f)
-	}
-}
-
-// TestForEachChunkCtxCancelSkipsUnstarted pins one worker, cancels, and
-// verifies the engine-facing guarantee that an error return means the chunk
-// set may be incomplete: with GOMAXPROCS-free scheduling we cannot force a
-// skip deterministically, so assert the weaker invariant that the error is
-// reported whenever any chunk was skipped.
-func TestForEachChunkCtxCancelSkipsUnstarted(t *testing.T) {
-	const workers = 16
-	for attempt := 0; attempt < 20; attempt++ {
-		ctx, cancel := context.WithCancel(context.Background())
-		gate := make(chan struct{})
-		var ran int64
-		var wg sync.WaitGroup
-		wg.Add(1)
-		var err error
-		go func() {
-			defer wg.Done()
-			err = ForEachChunkCtx(ctx, SplitChunks(workers, workers), func(w int, c Chunk) {
-				<-gate
-				atomic.AddInt64(&ran, 1)
-			})
-		}()
-		cancel()
-		close(gate)
-		wg.Wait()
-		if err == nil {
-			t.Fatal("ForEachChunkCtx returned nil after cancellation")
-		}
-		if atomic.LoadInt64(&ran) < int64(workers) {
-			return // observed a skipped chunk, and err was non-nil: contract holds
-		}
-	}
-	t.Skip("scheduler always started every chunk before cancel; skip-path not observed")
-}
-
-func TestForEachChunk(t *testing.T) {
-	chunks := SplitChunks(1000, 8)
-	var sum int64
-	ForEachChunk(chunks, func(w int, c Chunk) {
-		var local int64
-		for i := c.Lo; i < c.Hi; i++ {
-			local += int64(i)
-		}
-		atomic.AddInt64(&sum, local)
-	})
-	if sum != 999*1000/2 {
-		t.Errorf("sum = %d", sum)
-	}
-	// Single chunk runs inline.
-	ran := false
-	ForEachChunk([]Chunk{{0, 1}}, func(w int, c Chunk) { ran = true })
-	if !ran {
-		t.Error("single chunk not executed")
 	}
 }

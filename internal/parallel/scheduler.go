@@ -1,0 +1,176 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Scheduler distributes the index range [0, n) of one sweep across worker
+// goroutines. Implementations differ in how they trade locality (large
+// contiguous chunks, stable worker↔range affinity) against load balance
+// (small chunks handed out on demand), but they all share one contract:
+//
+//   - every index in [0, n) is handed to fn exactly once;
+//   - each call receives a contiguous Chunk, so the caller visits the
+//     indices inside it in ascending order — a reordered vertex layout keeps
+//     its intra-chunk locality under every schedule;
+//   - worker ids are in [0, workers) and each id is used by at most one
+//     goroutine per Run, so per-worker accumulators need no atomics;
+//   - a chunk that has started is never abandoned: on cancellation Run
+//     returns ctx.Err() after the started chunks complete, and the caller
+//     must not commit the (possibly incomplete) results.
+//
+// A Scheduler instance keeps reusable per-run scratch (that is how the
+// dynamic schedules stay near-zero-alloc in steady state); it is therefore
+// not safe for concurrent Run calls. Each engine owns its own instance.
+type Scheduler interface {
+	// Name returns the registered schedule name.
+	Name() string
+	// Run executes fn over [0, n) with the given worker count and blocks
+	// until the started work completes. It returns ctx.Err() as of
+	// completion: non-nil means some indices may not have been processed.
+	Run(ctx context.Context, n, workers int, fn func(worker int, c Chunk)) error
+}
+
+// The schedule registry. Each schedule registers a factory for itself from
+// its defining file's init function, mirroring the ordering registry in
+// internal/order: adding a schedule is a one-file change.
+
+var schedulers = struct {
+	sync.RWMutex
+	factories map[string]func() Scheduler
+}{factories: make(map[string]func() Scheduler)}
+
+// scheduleOrder fixes the presentation order of the built-in schedules in
+// Schedules: static (the OpenMP-static analogue and default), then the
+// dynamic schedules by increasing adaptivity. Later registrations sort
+// alphabetically after them.
+var scheduleOrder = map[string]int{
+	ScheduleStatic: 0, ScheduleGuided: 1, ScheduleStealing: 2,
+}
+
+// Built-in schedule names.
+const (
+	// ScheduleStatic is the default: contiguous equal chunks, one per
+	// worker, like OpenMP schedule(static) with compact affinity.
+	ScheduleStatic = "static"
+	// ScheduleGuided hands out decaying chunk sizes from a shared cursor,
+	// like OpenMP schedule(guided).
+	ScheduleGuided = "guided"
+	// ScheduleStealing gives each worker a contiguous range and lets idle
+	// workers steal the back half of a straggler's remainder.
+	ScheduleStealing = "stealing"
+)
+
+// RegisterScheduler makes the schedule produced by factory available
+// through SchedulerByName under the given name. The factory must return a
+// fresh instance (instances hold per-run scratch and are single-owner)
+// whose Name() equals name. It panics on an empty name or a duplicate
+// registration — both programmer errors caught at init time.
+func RegisterScheduler(name string, factory func() Scheduler) {
+	if name == "" {
+		panic("parallel: RegisterScheduler with empty name")
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("parallel: RegisterScheduler(%q) with nil factory", name))
+	}
+	schedulers.Lock()
+	defer schedulers.Unlock()
+	if _, dup := schedulers.factories[name]; dup {
+		panic(fmt.Sprintf("parallel: schedule %q registered twice", name))
+	}
+	schedulers.factories[name] = factory
+}
+
+// SchedulerByName returns a fresh instance of the named schedule with
+// default parameters. The built-in names are static, guided and stealing;
+// RegisterScheduler adds more.
+func SchedulerByName(name string) (Scheduler, error) {
+	schedulers.RLock()
+	factory, ok := schedulers.factories[name]
+	schedulers.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("parallel: unknown schedule %q (known: %v)", name, Schedules())
+	}
+	return factory(), nil
+}
+
+// Schedules lists the registered schedule names: the built-ins in
+// presentation order, then any further registrations alphabetically.
+func Schedules() []string {
+	schedulers.RLock()
+	out := make([]string, 0, len(schedulers.factories))
+	for name := range schedulers.factories {
+		out = append(out, name)
+	}
+	schedulers.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		ri, iKnown := scheduleOrder[out[i]]
+		rj, jKnown := scheduleOrder[out[j]]
+		switch {
+		case iKnown && jKnown:
+			return ri < rj
+		case iKnown:
+			return true
+		case jKnown:
+			return false
+		default:
+			return out[i] < out[j]
+		}
+	})
+	return out
+}
+
+// runSerial is the workers == 1 fast path shared by every schedule: one
+// inline chunk, no goroutines, no allocation, identical semantics across
+// schedules by construction.
+func runSerial(ctx context.Context, n int, fn func(worker int, c Chunk)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n > 0 {
+		fn(0, Chunk{0, n})
+	}
+	return ctx.Err()
+}
+
+// spawner is the fan-out scaffolding the scheduler implementations embed:
+// the per-run parameters their worker loops read, unique worker-id
+// handout, and a prebuilt goroutine body (set once by the embedding
+// scheduler) so the steady-state spawn loop passes an existing func value
+// and allocates nothing. The embedding scheduler's Run resets its own
+// state (cursor, spans, ...) and then calls launch.
+type spawner struct {
+	ctx     context.Context
+	fn      func(worker int, c Chunk)
+	n       int
+	workers int
+	nextID  atomic.Int32
+	wg      sync.WaitGroup
+	body    func()
+}
+
+// workerID hands the calling goroutine its unique id in [0, workers).
+func (sp *spawner) workerID() int { return int(sp.nextID.Add(1) - 1) }
+
+// launch publishes the run parameters, spawns workers copies of the
+// prebuilt body, and waits for them. The happens-before edges are the
+// spawn (parameters are visible to the workers) and wg.Wait (the workers'
+// writes are visible to the caller). Returns ctx.Err() as of completion.
+func (sp *spawner) launch(ctx context.Context, n, workers int, fn func(worker int, c Chunk)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sp.ctx, sp.fn, sp.n, sp.workers = ctx, fn, n, workers
+	sp.nextID.Store(0)
+	sp.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go sp.body()
+	}
+	sp.wg.Wait()
+	sp.ctx, sp.fn = nil, nil
+	return ctx.Err()
+}

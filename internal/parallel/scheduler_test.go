@@ -1,0 +1,217 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// runAndCount runs sched over [0, n) and returns a per-index visit counter
+// plus any contract violation observed inside fn (worker id or chunk bounds
+// out of range). fn runs on worker goroutines, so violations are collected
+// atomically and reported by the caller.
+func runAndCount(t *testing.T, sched Scheduler, n, workers int) []int32 {
+	t.Helper()
+	counts := make([]int32, n)
+	var badWorker, badChunk atomic.Int32
+	err := sched.Run(context.Background(), n, workers, func(w int, c Chunk) {
+		if w < 0 || w >= workers {
+			badWorker.Store(int32(w) + 1)
+		}
+		if c.Lo < 0 || c.Hi > n || c.Lo > c.Hi {
+			badChunk.Store(1)
+		}
+		for i := c.Lo; i < c.Hi; i++ {
+			atomic.AddInt32(&counts[i], 1)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if w := badWorker.Load(); w != 0 {
+		t.Fatalf("worker id %d out of [0, %d)", w-1, workers)
+	}
+	if badChunk.Load() != 0 {
+		t.Fatalf("chunk out of [0, %d) handed to fn", n)
+	}
+	return counts
+}
+
+// TestSchedulersCoverExactlyOnce drives every registered schedule across a
+// grid of sizes and worker counts — including n == 0, workers > n, and
+// non-dividing counts — and asserts the shared contract: each index handed
+// to fn exactly once. The same instance runs the whole grid, so scratch
+// reuse across differently-shaped runs is exercised too.
+func TestSchedulersCoverExactlyOnce(t *testing.T) {
+	shapes := []struct{ n, workers int }{
+		{0, 1}, {0, 8}, {1, 1}, {1, 8}, {17, 4}, {64, 64}, {100, 7},
+		{1000, 1}, {1000, 3}, {1000, 16}, {37, 64}, {10000, 8},
+	}
+	for _, name := range Schedules() {
+		sched, err := SchedulerByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sched.Name() != name {
+			t.Fatalf("SchedulerByName(%q).Name() = %q", name, sched.Name())
+		}
+		for _, shape := range shapes {
+			t.Run(fmt.Sprintf("%s/n=%d/workers=%d", name, shape.n, shape.workers), func(t *testing.T) {
+				counts := runAndCount(t, sched, shape.n, shape.workers)
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("index %d visited %d times, want exactly 1", i, c)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSchedulersTinyGrainCoverage re-runs the coverage check with the
+// dynamic schedules tuned to their most contended settings (chunk floor 1),
+// where every index is its own handout and the CAS/cursor paths collide
+// constantly.
+func TestSchedulersTinyGrainCoverage(t *testing.T) {
+	scheds := []Scheduler{&Guided{MinChunk: 1}, &Stealing{Grain: 1}}
+	for _, sched := range scheds {
+		for _, workers := range []int{2, 5, 16} {
+			t.Run(fmt.Sprintf("%s/workers=%d", sched.Name(), workers), func(t *testing.T) {
+				counts := runAndCount(t, sched, 503, workers)
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("index %d visited %d times", i, c)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSchedulersPreCanceled verifies no schedule starts work under an
+// already-canceled context.
+func TestSchedulersPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range Schedules() {
+		sched, err := SchedulerByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ran atomic.Int64
+		err = sched.Run(ctx, 1000, 4, func(w int, c Chunk) { ran.Add(1) })
+		if err != context.Canceled {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("%s: %d chunks ran under a pre-canceled context", name, ran.Load())
+		}
+	}
+}
+
+// TestStaticCancelMidSweep cancels while static worker chunks are
+// mid-execution: every chunk that started must run to completion (the
+// sweep contract — a chunk is never torn mid-write), Run must still return
+// ctx.Err() so the caller knows not to commit, and no goroutine may be
+// left behind (Run returning is wg.Wait returning). Under -race this also
+// checks the spawner handoff.
+func TestStaticCancelMidSweep(t *testing.T) {
+	const workers = 8
+	s := &Static{}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan int, workers)
+	release := make(chan struct{})
+	var startedCount, finished int64
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errCh := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		errCh <- s.Run(ctx, 8000, workers, func(w int, c Chunk) {
+			atomic.AddInt64(&startedCount, 1)
+			started <- w
+			<-release
+			atomic.AddInt64(&finished, 1)
+		})
+	}()
+
+	// Wait for at least one worker to be mid-chunk, then cancel while it is
+	// still blocked, then let every blocked worker finish.
+	<-started
+	cancel()
+	close(release)
+	wg.Wait()
+
+	if err := <-errCh; err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if sc, f := atomic.LoadInt64(&startedCount), atomic.LoadInt64(&finished); sc != f {
+		t.Errorf("%d chunks started but only %d finished — a started chunk was abandoned mid-sweep", sc, f)
+	}
+}
+
+// TestSchedulerRegistry covers the registry surface: presentation order,
+// fresh single-owner instances, the unknown-name error listing the known
+// names, and init-time panics on bad registrations.
+func TestSchedulerRegistry(t *testing.T) {
+	names := Schedules()
+	if len(names) < 3 || names[0] != ScheduleStatic || names[1] != ScheduleGuided || names[2] != ScheduleStealing {
+		t.Fatalf("Schedules() = %v, want static, guided, stealing first", names)
+	}
+
+	a, err := SchedulerByName(ScheduleStealing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SchedulerByName(ScheduleStealing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("SchedulerByName returned a shared instance; instances hold scratch and must be single-owner")
+	}
+
+	_, err = SchedulerByName("fifo")
+	if err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+	for _, want := range append([]string{"fifo"}, names...) {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+
+	mustPanic(t, "empty name", func() { RegisterScheduler("", func() Scheduler { return &Static{} }) })
+	mustPanic(t, "nil factory", func() { RegisterScheduler("x", nil) })
+	mustPanic(t, "duplicate", func() { RegisterScheduler(ScheduleStatic, func() Scheduler { return &Static{} }) })
+}
+
+func mustPanic(t *testing.T, label string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: RegisterScheduler did not panic", label)
+		}
+	}()
+	fn()
+}
+
+// TestStaticChunkMatchesSplitChunks pins StaticChunk (the allocation-free
+// arithmetic the static and stealing schedules use) to SplitChunks, the
+// documented reference.
+func TestStaticChunkMatchesSplitChunks(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000, 9999} {
+		for _, parts := range []int{1, 2, 3, 7, 64, 100} {
+			chunks := SplitChunks(n, parts)
+			for i, c := range chunks {
+				if got := StaticChunk(n, parts, i); got != c {
+					t.Fatalf("StaticChunk(%d, %d, %d) = %+v, want %+v", n, parts, i, got, c)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package parallel
+
+import "context"
+
+func init() {
+	RegisterScheduler(ScheduleStatic, func() Scheduler { return &Static{} })
+}
+
+// Static is the OpenMP schedule(static) analogue and the default schedule:
+// [0, n) is split into `workers` contiguous chunks whose sizes differ by at
+// most one, and worker w processes chunk w. Maximum locality and zero
+// coordination, at the cost of idling workers whose chunk finishes early.
+//
+// The zero value is ready to use. Not safe for concurrent Run calls.
+type Static struct {
+	spawner
+}
+
+// Name implements Scheduler.
+func (s *Static) Name() string { return ScheduleStatic }
+
+// Run implements Scheduler.
+func (s *Static) Run(ctx context.Context, n, workers int, fn func(worker int, c Chunk)) error {
+	if workers <= 1 || n == 0 {
+		return runSerial(ctx, n, fn)
+	}
+	if s.body == nil {
+		s.body = s.work
+	}
+	return s.launch(ctx, n, workers, fn)
+}
+
+// work is one worker's (single) assignment: the chunk with its own id.
+func (s *Static) work() {
+	defer s.wg.Done()
+	w := s.workerID()
+	if s.ctx.Err() != nil {
+		return
+	}
+	if c := StaticChunk(s.n, s.workers, w); c.Len() > 0 {
+		s.fn(w, c)
+	}
+}

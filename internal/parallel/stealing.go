@@ -1,0 +1,173 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+)
+
+func init() {
+	RegisterScheduler(ScheduleStealing, func() Scheduler { return &Stealing{} })
+}
+
+// DefaultStealGrain is the floor on the chunk size an owner takes from the
+// front of its own range per grab.
+const DefaultStealGrain = 64
+
+// Stealing is a contiguous-range work-stealing schedule. Every worker
+// starts with the same static chunk the Static schedule would give it, so
+// in the balanced case the two behave identically; the difference is what
+// happens to stragglers. A worker consumes its own range from the front in
+// grain-sized pieces, and a worker that runs dry steals the back half of a
+// pseudo-randomly probed victim's remainder. Ranges stay contiguous under
+// both operations, so the indices inside every chunk handed to fn are
+// consecutive and ascending — the locality a vertex reordering bought
+// survives stealing, shrinking only at the steal boundaries.
+//
+// Each per-worker range is a lock-free deque packed into one uint64
+// (lo in the high half, hi in the low half) updated by CAS: the owner
+// advances lo, thieves retreat hi. Within a run lo only grows and hi only
+// shrinks, so a packed value never repeats and CAS is immune to ABA.
+//
+// The zero value is ready to use; the span array is retained between runs
+// (per-worker scratch reuse). Not safe for concurrent Run calls.
+type Stealing struct {
+	// Grain floors the owner's per-grab chunk size (default
+	// DefaultStealGrain). Tests use Grain 1 to maximize contention.
+	Grain int
+
+	spans []stealSpan // one deque per worker, reused across runs
+
+	spawner
+	remaining atomic.Int64 // unclaimed indices; workers exit at 0
+}
+
+// stealSpan is one worker's range, padded to a cache line so the owner's
+// CAS traffic does not false-share with its neighbors'.
+type stealSpan struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+func packSpan(lo, hi int) uint64     { return uint64(lo)<<32 | uint64(hi) }
+func unpackSpan(v uint64) (int, int) { return int(v >> 32), int(v & 0xFFFFFFFF) }
+
+// Name implements Scheduler.
+func (s *Stealing) Name() string { return ScheduleStealing }
+
+// Run implements Scheduler. n is limited to what a packed span can index
+// (MaxUint32); a larger range errors rather than silently wrapping.
+func (s *Stealing) Run(ctx context.Context, n, workers int, fn func(worker int, c Chunk)) error {
+	if workers <= 1 || n == 0 {
+		return runSerial(ctx, n, fn)
+	}
+	if uint64(n) > math.MaxUint32 {
+		return fmt.Errorf("parallel: stealing schedule supports at most %d indices, got %d", uint64(math.MaxUint32), n)
+	}
+	if s.body == nil {
+		s.body = s.work
+	}
+	if cap(s.spans) < workers {
+		s.spans = make([]stealSpan, workers)
+	}
+	s.spans = s.spans[:workers]
+	for i := range s.spans {
+		c := StaticChunk(n, workers, i)
+		s.spans[i].v.Store(packSpan(c.Lo, c.Hi))
+	}
+	s.remaining.Store(int64(n))
+	return s.launch(ctx, n, workers, fn)
+}
+
+// work is one worker's loop: drain the own range from the front, then probe
+// the other workers in a pseudo-random order and steal the back half of the
+// first non-empty range found. The loop exits when every index has been
+// claimed (claimed work is finished by its claimant before wg.Wait returns)
+// or the context is canceled.
+func (s *Stealing) work() {
+	defer s.wg.Done()
+	w := s.workerID()
+	grain := s.Grain
+	if grain <= 0 {
+		grain = DefaultStealGrain
+	}
+	// Per-worker xorshift state for victim probing; seeding from the worker
+	// id keeps the schedule self-contained (results never depend on the
+	// probe order, only steal contention does).
+	rng := uint64(w)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	for s.remaining.Load() > 0 {
+		if s.ctx.Err() != nil {
+			return
+		}
+		if c, ok := s.popFront(w, grain); ok {
+			s.remaining.Add(-int64(c.Len()))
+			s.fn(w, c)
+			continue
+		}
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		stole := false
+		off := int(rng % uint64(s.workers))
+		for i := 0; i < s.workers; i++ {
+			v := (off + i) % s.workers
+			if v == w {
+				continue
+			}
+			if c, ok := s.stealBack(v); ok {
+				s.remaining.Add(-int64(c.Len()))
+				s.fn(w, c)
+				stole = true
+				break
+			}
+		}
+		if !stole {
+			// Everything left is claimed or contended; yield and re-check.
+			runtime.Gosched()
+		}
+	}
+}
+
+// popFront claims a grain-sized chunk off the front of worker w's own
+// range: at least grain indices, more while the range is long (an eighth of
+// the remainder) so a locality-friendly large chunk is kept when there is
+// no balance pressure yet.
+func (s *Stealing) popFront(w, grain int) (Chunk, bool) {
+	sp := &s.spans[w]
+	for {
+		packed := sp.v.Load()
+		lo, hi := unpackSpan(packed)
+		if lo >= hi {
+			return Chunk{}, false
+		}
+		g := grain
+		if r := (hi - lo) / 8; r > g {
+			g = r
+		}
+		if g > hi-lo {
+			g = hi - lo
+		}
+		if sp.v.CompareAndSwap(packed, packSpan(lo+g, hi)) {
+			return Chunk{lo, lo + g}, true
+		}
+	}
+}
+
+// stealBack claims the back half of victim v's remaining range.
+func (s *Stealing) stealBack(v int) (Chunk, bool) {
+	sp := &s.spans[v]
+	for {
+		packed := sp.v.Load()
+		lo, hi := unpackSpan(packed)
+		avail := hi - lo
+		if avail <= 0 {
+			return Chunk{}, false
+		}
+		take := (avail + 1) / 2
+		if sp.v.CompareAndSwap(packed, packSpan(lo, hi-take)) {
+			return Chunk{hi - take, hi}, true
+		}
+	}
+}

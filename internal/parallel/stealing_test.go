@@ -1,0 +1,158 @@
+package parallel
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStealingStress hammers the lock-free deques under -race: many more
+// workers than cores, grain 1 (every index is a separate CAS), and repeated
+// runs on the same instance so the reused span scratch is re-initialized
+// every round. Any lost or double handout fails the exactly-once check; any
+// unsynchronized access trips the race detector.
+func TestStealingStress(t *testing.T) {
+	s := &Stealing{Grain: 1}
+	const workers = 16
+	for round := 0; round < 30; round++ {
+		n := 63 + round*17 // vary shape so the spans re-pack differently each round
+		counts := make([]int32, n)
+		err := s.Run(context.Background(), n, workers, func(w int, c Chunk) {
+			for i := c.Lo; i < c.Hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("round %d: index %d handed out %d times", round, i, c)
+			}
+		}
+	}
+}
+
+// TestStealingRangeTooLarge pins the packed-span limit: a range beyond
+// what 32-bit span halves can index must error loudly instead of silently
+// wrapping and skipping indices.
+func TestStealingRangeTooLarge(t *testing.T) {
+	if math.MaxInt <= math.MaxUint32 {
+		t.Skip("needs 64-bit int to express an out-of-range n")
+	}
+	var big int64 = math.MaxUint32 + 1 // via a variable: not a constant-overflow on 32-bit builds
+	s := &Stealing{}
+	err := s.Run(context.Background(), int(big), 2, func(w int, c Chunk) {
+		t.Error("fn called for an unrepresentable range")
+	})
+	if err == nil {
+		t.Fatal("range beyond MaxUint32 accepted")
+	}
+}
+
+// TestStealingCancelMidSweep mirrors TestStaticCancelMidSweep for the
+// stealing schedule: workers block inside fn, the context is canceled
+// while they are mid-chunk, and then they are released. The contract under
+// test: every chunk that started runs to completion (no index is ever torn
+// mid-write), nothing is handed out twice even across the cancellation
+// boundary, Run still returns ctx.Err() so the caller knows not to commit,
+// and no goroutine is left behind (Run returning is wg.Wait returning).
+func TestStealingCancelMidSweep(t *testing.T) {
+	const workers = 8
+	s := &Stealing{Grain: 1} // tiny chunks: cancellation lands between many handouts
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var startedCount, finished int64
+	counts := make([]int32, 4096)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errCh := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		errCh <- s.Run(ctx, len(counts), workers, func(w int, c Chunk) {
+			atomic.AddInt64(&startedCount, 1)
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-release
+			for i := c.Lo; i < c.Hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+			atomic.AddInt64(&finished, 1)
+		})
+	}()
+
+	<-started
+	cancel()
+	close(release)
+	wg.Wait()
+
+	if err := <-errCh; err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if sc, f := atomic.LoadInt64(&startedCount), atomic.LoadInt64(&finished); sc != f {
+		t.Errorf("%d chunks started but only %d finished — a started chunk was abandoned", sc, f)
+	}
+	processed := 0
+	for i, c := range counts {
+		switch c {
+		case 0: // skipped by cancellation: fine, Run reported the error
+		case 1:
+			processed++
+		default:
+			t.Fatalf("index %d handed out %d times across a cancellation", i, c)
+		}
+	}
+	if processed == len(counts) {
+		t.Log("cancellation landed after all handouts; exactly-once still verified")
+	}
+}
+
+// TestStealingCancelStress interleaves cancellation with the steal storm
+// repeatedly: a canceler goroutine fires at a random-ish point while 16
+// workers fight over grain-1 chunks. Runs under -race this is the
+// concurrent-cancellation soak the deque must survive; the invariant is
+// only ever exactly-once-or-skipped, never torn or duplicated.
+func TestStealingCancelStress(t *testing.T) {
+	s := &Stealing{Grain: 1}
+	const workers = 16
+	for round := 0; round < 25; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 257 + round*13
+		counts := make([]int32, n)
+		var handed atomic.Int64
+		trigger := int64(round * n / 25) // cancel progressively later each round
+		go func() {
+			for handed.Load() < trigger {
+				runtime.Gosched()
+			}
+			cancel()
+		}()
+		err := s.Run(ctx, n, workers, func(w int, c Chunk) {
+			for i := c.Lo; i < c.Hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+			handed.Add(int64(c.Len()))
+		})
+		cancel()
+		for i, c := range counts {
+			if c > 1 {
+				t.Fatalf("round %d: index %d handed out %d times", round, i, c)
+			}
+		}
+		if err == nil {
+			// Cancellation landed after completion: every index must be in.
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("round %d: err == nil but index %d visited %d times", round, i, c)
+				}
+			}
+		}
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"testing"
 
+	"lams/internal/geom"
 	"lams/internal/mesh"
 	"lams/internal/order"
+	"lams/internal/parallel"
 	"lams/internal/quality"
 )
 
@@ -96,6 +98,75 @@ func BenchmarkSweepWorkers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// skewedBenchKernel models the irregular meshes the schedules exist for:
+// the vertices in the leading hot fraction of the array cost ~16x a plain
+// update (think a refinement region packed together by a locality
+// ordering). Under the static schedule the workers owning the hot chunks
+// straggle while the rest idle; guided and stealing redistribute the tail.
+// The kernel stays Jacobi-pure, so results remain bit-identical — only the
+// load profile is skewed.
+type skewedBenchKernel struct {
+	hot   int32
+	inner PlainKernel
+}
+
+func (k skewedBenchKernel) Name() string  { return "skewed" }
+func (k skewedBenchKernel) InPlace() bool { return false }
+
+func (k skewedBenchKernel) Update(m *mesh.Mesh, v int32) geom.Point {
+	p := k.inner.Update(m, v)
+	if v < k.hot {
+		for i := 0; i < 15; i++ {
+			p = k.inner.Update(m, v)
+		}
+	}
+	return p
+}
+
+// BenchmarkSweepSchedules compares the registered chunk schedules across
+// worker counts on two workloads: uniform (every vertex costs the same —
+// static's best case, any scheduling overhead shows up directly) and skewed
+// (a 16x-hot leading quarter — static straggles and the dynamic schedules'
+// balance pays). ns/op is the locality-vs-balance tradeoff as a measured
+// number; allocs/op is the steady-state scratch-reuse guarantee (engine and
+// scheduler buffers were grown by the warmup run, so every schedule must
+// stay within the few request-scoped allocations).
+func BenchmarkSweepSchedules(b *testing.B) {
+	base := benchMesh(b)
+	ctx := context.Background()
+	workloads := []struct {
+		name string
+		kern Kernel
+	}{
+		{"uniform", PlainKernel{}},
+		{"skewed", skewedBenchKernel{hot: int32(len(base.Coords) / 4)}},
+	}
+	for _, wl := range workloads {
+		for _, schedule := range parallel.Schedules() {
+			for _, workers := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/%s/workers=%d", wl.name, schedule, workers), func(b *testing.B) {
+					m := base.Clone()
+					s := NewSmoother()
+					opt := Options{
+						MaxIters: 1, Tol: -1, Traversal: StorageOrder,
+						Workers: workers, Schedule: schedule, Kernel: wl.kern,
+					}
+					if _, err := s.Run(ctx, m, opt); err != nil { // warm engine + scheduler scratch
+						b.Fatal(err)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := s.Run(ctx, m, opt); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
 	}
 }
 

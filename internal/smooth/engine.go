@@ -25,6 +25,11 @@ type Smoother struct {
 	next   []geom.Point
 	counts []int64
 	qs     quality.Scratch
+
+	// sched is the resolved chunk scheduler, cached by name so repeated
+	// runs with the same Options.Schedule reuse its per-worker scratch.
+	sched     parallel.Scheduler
+	schedName string
 }
 
 // NewSmoother returns an empty engine whose scratch buffers grow on first
@@ -58,6 +63,10 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 		return Result{}, fmt.Errorf("smooth: trace buffer has %d cores, need %d", opt.Trace.NumCores(), opt.Workers)
 	}
 
+	if err := s.resolveScheduler(opt.Schedule); err != nil {
+		return Result{}, err
+	}
+
 	visit, err := s.visitSequence(m, opt)
 	if err != nil {
 		return Result{}, err
@@ -66,7 +75,6 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 	if !inPlace {
 		next = s.nextBuffer(len(m.Coords))
 	}
-	chunks := parallel.SplitChunks(len(visit), opt.Workers)
 
 	res := Result{InitialQuality: s.qs.Global(m, opt.Metric)}
 	res.FinalQuality = res.InitialQuality
@@ -82,7 +90,7 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 		if prevQ >= opt.GoalQuality {
 			break
 		}
-		acc, err := s.sweep(ctx, m, kern, inPlace, visit, next, chunks, opt.Trace)
+		acc, err := s.sweep(ctx, m, kern, inPlace, visit, next, opt.Workers, opt.Trace)
 		res.Accesses += acc
 		if err != nil {
 			return res, err
@@ -104,10 +112,10 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 }
 
 // sweep performs one iteration with the given kernel. Jacobi-style kernels
-// compute into the next buffer across worker chunks and commit afterwards;
-// in-place kernels apply each update immediately (serial). Returns the
-// number of vertex accesses.
-func (s *Smoother) sweep(ctx context.Context, m *mesh.Mesh, kern Kernel, inPlace bool, visit []int32, next []geom.Point, chunks []parallel.Chunk, tb *trace.Buffer) (int64, error) {
+// compute into the next buffer across worker chunks — distributed by the
+// resolved scheduler — and commit afterwards; in-place kernels apply each
+// update immediately (serial). Returns the number of vertex accesses.
+func (s *Smoother) sweep(ctx context.Context, m *mesh.Mesh, kern Kernel, inPlace bool, visit []int32, next []geom.Point, workers int, tb *trace.Buffer) (int64, error) {
 	if inPlace {
 		var accesses int64
 		for _, v := range visit {
@@ -118,15 +126,18 @@ func (s *Smoother) sweep(ctx context.Context, m *mesh.Mesh, kern Kernel, inPlace
 		return accesses, nil
 	}
 
-	counts := s.countsBuffer(len(chunks))
-	err := parallel.ForEachChunkCtx(ctx, chunks, func(w int, ch parallel.Chunk) {
+	// Dynamic schedules hand a worker many chunks, so the per-worker access
+	// counts accumulate (each worker id runs on one goroutine per sweep, so
+	// no atomics are needed).
+	counts := s.countsBuffer(workers)
+	err := s.sched.Run(ctx, len(visit), workers, func(w int, ch parallel.Chunk) {
 		var acc int64
 		for _, v := range visit[ch.Lo:ch.Hi] {
 			traceTouch(tb, w, m, v)
 			next[v] = kern.Update(m, v)
 			acc += int64(m.Degree(v)) + 1
 		}
-		counts[w] = acc
+		counts[w] += acc
 	})
 	var accesses int64
 	for _, c := range counts {
@@ -176,6 +187,25 @@ func (s *Smoother) visitSequence(m *mesh.Mesh, opt Options) ([]int32, error) {
 		return nil, fmt.Errorf("smooth: traversal visited %d of %d interior vertices", len(s.visit), len(m.InteriorVerts))
 	}
 	return s.visit, nil
+}
+
+// resolveScheduler caches the chunk scheduler for the named schedule (""
+// means static). Keeping the instance across runs preserves its per-worker
+// scratch, which is what makes the dynamic schedules near-zero-alloc in
+// steady state.
+func (s *Smoother) resolveScheduler(name string) error {
+	if name == "" {
+		name = parallel.ScheduleStatic
+	}
+	if s.sched != nil && s.schedName == name {
+		return nil
+	}
+	sched, err := parallel.SchedulerByName(name)
+	if err != nil {
+		return fmt.Errorf("smooth: %w", err)
+	}
+	s.sched, s.schedName = sched, name
+	return nil
 }
 
 // nextBuffer returns a zeroed-or-stale scratch slice of n points; contents

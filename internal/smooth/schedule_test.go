@@ -1,0 +1,217 @@
+package smooth
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+	"lams/internal/parallel"
+)
+
+// scheduleWorkerCounts is the worker-count axis of the equivalence harness:
+// serial, the small powers of two, and an oversubscribed 16 (more workers
+// than the host has cores, so dynamic schedules interleave heavily).
+var scheduleWorkerCounts = []int{1, 2, 4, 8, 16}
+
+// TestScheduleEquivalence is the cross-schedule equivalence harness: for
+// every registered schedule, every worker count, and both traversals, a
+// multi-iteration Jacobi run must produce bit-identical coordinates — and
+// identical Result accounting — to the serial static reference. This is the
+// guarantee that lets lamsd expose ?schedule= at all: dynamic scheduling
+// can change which worker computes a vertex, never what it computes,
+// because every schedule hands out each visit index exactly once and the
+// Jacobi commit is a serial pass over the same next buffer.
+func TestScheduleEquivalence(t *testing.T) {
+	base := genMesh(t, 3000)
+	const iters = 5
+
+	for _, traversal := range []Traversal{QualityGreedy, StorageOrder} {
+		ref := base.Clone()
+		refRes, err := Run(ref, Options{MaxIters: iters, Tol: -1, Traversal: traversal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, schedule := range parallel.Schedules() {
+			for _, workers := range scheduleWorkerCounts {
+				name := fmt.Sprintf("%s/%s/workers=%d", traversal, schedule, workers)
+				t.Run(name, func(t *testing.T) {
+					got := base.Clone()
+					res, err := Run(got, Options{
+						MaxIters:  iters,
+						Tol:       -1,
+						Traversal: traversal,
+						Workers:   workers,
+						Schedule:  schedule,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					coordsEqual(t, name, got, ref)
+					if res.Iterations != refRes.Iterations {
+						t.Errorf("iterations = %d, want %d", res.Iterations, refRes.Iterations)
+					}
+					if res.Accesses != refRes.Accesses {
+						t.Errorf("accesses = %d, want %d (some vertex was skipped or double-visited)",
+							res.Accesses, refRes.Accesses)
+					}
+					if res.FinalQuality != refRes.FinalQuality {
+						t.Errorf("final quality = %v, want bit-identical %v", res.FinalQuality, refRes.FinalQuality)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestScheduleEquivalenceTinyMeshes pushes the degenerate shapes through
+// every schedule: fewer interior vertices than workers, a single interior
+// vertex, and worker counts that do not divide the visit count. The static
+// split leaves empty trailing chunks and the stealing deques start empty —
+// the exactly-once contract must hold regardless.
+func TestScheduleEquivalenceTinyMeshes(t *testing.T) {
+	for _, verts := range []int{40, 120} {
+		base := genMesh(t, verts)
+		ref := base.Clone()
+		refRes, err := Run(ref, Options{MaxIters: 3, Tol: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, schedule := range parallel.Schedules() {
+			for _, workers := range []int{3, 16} {
+				t.Run(fmt.Sprintf("verts=%d/%s/workers=%d", verts, schedule, workers), func(t *testing.T) {
+					got := base.Clone()
+					res, err := Run(got, Options{MaxIters: 3, Tol: -1, Workers: workers, Schedule: schedule})
+					if err != nil {
+						t.Fatal(err)
+					}
+					coordsEqual(t, schedule, got, ref)
+					if res.Accesses != refRes.Accesses {
+						t.Errorf("accesses = %d, want %d", res.Accesses, refRes.Accesses)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSmootherScheduleSwitch reuses one engine across schedules — the lamsd
+// pool does exactly this when a client varies ?schedule= — and checks each
+// run still matches a fresh engine bit-for-bit: switching schedules must
+// re-resolve the scheduler without leaking the previous one's scratch into
+// the results.
+func TestSmootherScheduleSwitch(t *testing.T) {
+	base := genMesh(t, 1500)
+	s := NewSmoother()
+	ctx := context.Background()
+	sequence := append(parallel.Schedules(), parallel.Schedules()...)
+	for i, schedule := range sequence {
+		reused := base.Clone()
+		fresh := base.Clone()
+		opt := Options{MaxIters: 3, Tol: -1, Workers: 4, Schedule: schedule}
+		if _, err := s.Run(ctx, reused, opt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(fresh, opt); err != nil {
+			t.Fatal(err)
+		}
+		coordsEqual(t, fmt.Sprintf("switch %d (%s)", i, schedule), reused, fresh)
+	}
+}
+
+// TestScheduleUnknownName verifies the engine rejects an unregistered
+// schedule up front, naming the registered ones, and leaves the mesh
+// untouched.
+func TestScheduleUnknownName(t *testing.T) {
+	m := genMesh(t, 300)
+	before := m.Clone()
+	_, err := Run(m, Options{MaxIters: 2, Tol: -1, Workers: 2, Schedule: "round-robin"})
+	if err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+	for _, want := range []string{"round-robin", "static", "guided", "stealing"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	coordsEqual(t, "untouched", m, before)
+}
+
+// TestScheduleCancellationNoPartialCommit cancels mid-sweep under each
+// dynamic schedule: the run must return ctx.Err() and the mesh must hold
+// the last completed sweep, never a torn one (the same contract the static
+// path already honors).
+func TestScheduleCancellationNoPartialCommit(t *testing.T) {
+	for _, schedule := range parallel.Schedules() {
+		t.Run(schedule, func(t *testing.T) {
+			m := genMesh(t, 1000)
+			before := m.Clone()
+			ctx, cancel := context.WithCancel(context.Background())
+			kern := concurrentCancelKernel{after: 50, calls: new(atomic.Int64), cancel: cancel}
+			res, err := NewSmoother().Run(ctx, m, Options{
+				MaxIters: 10, Tol: -1, Workers: 4, Schedule: schedule, Kernel: kern,
+			})
+			if err != context.Canceled {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if res.Iterations != 0 {
+				t.Errorf("committed %d iterations after a first-sweep cancellation", res.Iterations)
+			}
+			coordsEqual(t, "no partial commit", m, before)
+		})
+	}
+}
+
+// concurrentCancelKernel cancels the context after a fixed number of
+// updates, like engine_test.go's cancelingKernel, but with an atomic
+// counter: these tests run it under Workers > 1, where every schedule
+// calls Update from several goroutines at once (Add returns each count
+// exactly once, so the cancel fires exactly once too).
+type concurrentCancelKernel struct {
+	after  int64
+	calls  *atomic.Int64
+	cancel context.CancelFunc
+}
+
+func (k concurrentCancelKernel) Name() string  { return "concurrent-cancel" }
+func (k concurrentCancelKernel) InPlace() bool { return false }
+
+func (k concurrentCancelKernel) Update(m *mesh.Mesh, v int32) geom.Point {
+	if k.calls.Add(1) == k.after {
+		k.cancel()
+	}
+	return PlainKernel{}.Update(m, v)
+}
+
+// TestScheduleSteadyStateAllocs pins the near-zero-alloc property the
+// schedules promise: after warmup, a storage-order sweep stays within the
+// handful of request-scoped allocations (the sweep closure, the quality
+// history) for every schedule — the scheduler's own machinery (goroutine
+// fan-out, deques, cursors) must come from reused scratch. The bound is
+// deliberately loose enough for -race builds; BenchmarkSweepSchedules
+// reports the exact steady-state numbers.
+func TestScheduleSteadyStateAllocs(t *testing.T) {
+	base := genMesh(t, 4000)
+	ctx := context.Background()
+	for _, schedule := range parallel.Schedules() {
+		t.Run(schedule, func(t *testing.T) {
+			m := base.Clone()
+			s := NewSmoother()
+			opt := Options{MaxIters: 1, Tol: -1, Traversal: StorageOrder, Workers: 8, Schedule: schedule}
+			if _, err := s.Run(ctx, m, opt); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := s.Run(ctx, m, opt); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 8 {
+				t.Errorf("schedule %s: %.0f allocs per steady-state sweep, want <= 8", schedule, allocs)
+			}
+		})
+	}
+}

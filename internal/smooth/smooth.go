@@ -74,6 +74,14 @@ type Options struct {
 	// statically partitioned into contiguous chunks, one per worker — the
 	// OpenMP schedule(static) analogue (default 1).
 	Workers int
+	// Schedule names the registered chunk schedule that distributes the
+	// visit sequence across the workers: "static" (default), "guided",
+	// "stealing", or any schedule added via parallel.RegisterScheduler.
+	// Jacobi updates make the numerical result bit-identical under every
+	// schedule; only the worker↔chunk assignment (and with it locality and
+	// balance) changes. Ignored by in-place (Gauss-Seidel style) runs,
+	// which are serial.
+	Schedule string
 	// Traversal selects the visit order (default QualityGreedy).
 	Traversal Traversal
 	// Kernel is the per-vertex update rule (default PlainKernel{}, Eq. 1).

@@ -3,6 +3,8 @@ package lams_test
 import (
 	"context"
 	"path/filepath"
+	"slices"
+	"strings"
 	"sync"
 	"testing"
 
@@ -75,6 +77,55 @@ func TestSmoothFunctionalOptions(t *testing.T) {
 	}
 	if res.FinalQuality <= res.InitialQuality {
 		t.Errorf("quality did not improve: %v -> %v", res.InitialQuality, res.FinalQuality)
+	}
+}
+
+// TestSmoothSchedules is the public-API face of the cross-schedule
+// equivalence guarantee: every name Schedules() reports works through
+// WithSchedule, and the smoothed coordinates are bit-identical to the
+// static default at every worker count; an unregistered name errors with
+// the known names.
+func TestSmoothSchedules(t *testing.T) {
+	schedules := lams.Schedules()
+	for _, want := range []string{"static", "guided", "stealing"} {
+		if !slices.Contains(schedules, want) {
+			t.Fatalf("Schedules() = %v missing %q", schedules, want)
+		}
+	}
+
+	base := testMesh(t, 1500)
+	ref := base.Clone()
+	refRes, err := lams.Smooth(context.Background(), ref,
+		lams.WithMaxIterations(4), lams.WithTolerance(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, schedule := range schedules {
+		for _, workers := range []int{2, 8} {
+			m := base.Clone()
+			res, err := lams.Smooth(context.Background(), m,
+				lams.WithSchedule(schedule),
+				lams.WithWorkers(workers),
+				lams.WithMaxIterations(4),
+				lams.WithTolerance(-1))
+			if err != nil {
+				t.Fatalf("%s/%d: %v", schedule, workers, err)
+			}
+			if res.FinalQuality != refRes.FinalQuality || res.Accesses != refRes.Accesses {
+				t.Errorf("%s/%d: result diverged from static: %+v vs %+v", schedule, workers, res, refRes)
+			}
+			for i := range ref.Coords {
+				if m.Coords[i] != ref.Coords[i] {
+					t.Fatalf("%s/%d: vertex %d differs bit-wise from the static run", schedule, workers, i)
+				}
+			}
+		}
+	}
+
+	if _, err := lams.Smooth(context.Background(), base.Clone(), lams.WithSchedule("fifo")); err == nil {
+		t.Error("unknown schedule accepted")
+	} else if !strings.Contains(err.Error(), "stealing") {
+		t.Errorf("error %q does not list the registered schedules", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package lams
 import (
 	"context"
 
+	"lams/internal/parallel"
 	"lams/internal/smooth"
 )
 
@@ -34,6 +35,27 @@ func ConstrainedKernel(maxDisplacement float64) Kernel {
 	return smooth.ConstrainedKernel{MaxDisplacement: maxDisplacement}
 }
 
+// DefaultSchedule is the chunk schedule used when WithSchedule is not
+// given: the paper's OpenMP schedule(static) analogue.
+const DefaultSchedule = parallel.ScheduleStatic
+
+// Schedules lists the registered chunk-schedule names in presentation
+// order: static, guided, stealing, then any schedules added through
+// RegisterScheduler.
+func Schedules() []string { return parallel.Schedules() }
+
+// Scheduler distributes a sweep's index range across workers; see
+// parallel.Scheduler for the exactly-once / contiguous-chunk contract a
+// custom schedule must honor.
+type Scheduler = parallel.Scheduler
+
+// RegisterScheduler adds a custom chunk schedule to the registry, making it
+// available to WithSchedule by name. It panics on a duplicate or empty
+// name.
+func RegisterScheduler(name string, factory func() Scheduler) {
+	parallel.RegisterScheduler(name, factory)
+}
+
 // SmoothOption configures a smoothing run.
 type SmoothOption func(*smooth.Options)
 
@@ -42,6 +64,17 @@ type SmoothOption func(*smooth.Options)
 // worker — the OpenMP schedule(static) analogue.
 func WithWorkers(n int) SmoothOption {
 	return func(o *smooth.Options) { o.Workers = n }
+}
+
+// WithSchedule selects the registered chunk schedule that distributes the
+// sweep across workers: "static" (the default, the OpenMP schedule(static)
+// analogue), "guided" (decaying chunk sizes from a shared cursor), or
+// "stealing" (per-worker contiguous ranges with randomized stealing).
+// Jacobi updates make the smoothed coordinates bit-identical under every
+// schedule — only load balance and locality change. An unknown name makes
+// Smooth return an error listing the registered schedules (see Schedules).
+func WithSchedule(name string) SmoothOption {
+	return func(o *smooth.Options) { o.Schedule = name }
 }
 
 // WithMaxIterations caps the number of smoothing sweeps (default 100).

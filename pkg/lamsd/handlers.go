@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -203,6 +204,13 @@ func (s *Server) handleOrderings(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"domains": lams.Domains()})
+}
+
+func (s *Server) handleSchedules(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schedules": lams.Schedules(),
+		"default":   lams.DefaultSchedule,
+	})
 }
 
 // --- mesh lifecycle ---
@@ -480,6 +488,10 @@ type smoothRequest struct {
 	MaxDisplacement float64 `json:"max_displacement"`
 	// Workers is the parallel worker count (default 1).
 	Workers int `json:"workers"`
+	// Schedule is the chunk schedule distributing the sweep across workers:
+	// static (default), guided, or stealing. The ?schedule= query parameter
+	// overrides it.
+	Schedule string `json:"schedule"`
 	// MaxIters caps the number of sweeps (default 100).
 	MaxIters int `json:"max_iters"`
 	// Tol overrides the convergence criterion; negative disables it.
@@ -500,6 +512,7 @@ type smoothResponse struct {
 	ID             string    `json:"id"`
 	Kernel         string    `json:"kernel"`
 	Workers        int       `json:"workers"`
+	Schedule       string    `json:"schedule"`
 	Iterations     int       `json:"iterations"`
 	InitialQuality float64   `json:"initial_quality"`
 	FinalQuality   float64   `json:"final_quality"`
@@ -530,6 +543,21 @@ func kernelFor(req smoothRequest, met lams.Metric) (lams.Kernel, string, error) 
 		"unknown kernel %q: want plain, smart, weighted, or constrained", req.Kernel)
 }
 
+// scheduleFor resolves the request's chunk schedule ("" means the library
+// default) against the registry. The engine would reject an unknown name
+// too, but only after the request holds the mesh lock and a pool slot —
+// validating here keeps bad names a cheap 400 that never touches either.
+func scheduleFor(name string) (string, error) {
+	if name == "" {
+		return lams.DefaultSchedule, nil
+	}
+	if slices.Contains(lams.Schedules(), name) {
+		return name, nil
+	}
+	return "", apiErrorf(http.StatusBadRequest,
+		"unknown schedule %q: registered schedules are %v", name, lams.Schedules())
+}
+
 func metricFor(name string) (lams.Metric, error) {
 	switch name {
 	case "", "edge-ratio":
@@ -553,6 +581,9 @@ func (s *Server) handleSmoothMesh(w http.ResponseWriter, r *http.Request) {
 	if err := decodeJSON(r, &req, true); err != nil {
 		writeError(w, err)
 		return
+	}
+	if q := r.URL.Query().Get("schedule"); q != "" {
+		req.Schedule = q
 	}
 	resp, err := s.runSmooth(r.Context(), rec, req)
 	if err != nil {
@@ -592,6 +623,10 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	if req.MaxIters < 0 {
 		return smoothResponse{}, apiErrorf(http.StatusBadRequest, "max_iters %d is negative", req.MaxIters)
 	}
+	schedule, err := scheduleFor(req.Schedule)
+	if err != nil {
+		return smoothResponse{}, err
+	}
 
 	// Serialize on the mesh BEFORE taking a pool slot: requests for one hot
 	// mesh queue on its lock without pinning global smooth capacity, so they
@@ -603,7 +638,7 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	if err := ctx.Err(); err != nil {
 		return smoothResponse{}, err
 	}
-	key := engineKey{Kernel: kernName, Workers: workers}
+	key := engineKey{Kernel: kernName, Workers: workers, Schedule: schedule}
 	eng, err := s.pool.Acquire(ctx, key)
 	if err != nil {
 		// The deadline or client disconnect fired while queued.
@@ -611,8 +646,8 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	}
 	defer s.pool.Release(key, eng)
 
-	opts := make([]lams.SmoothOption, 0, 8)
-	opts = append(opts, lams.WithKernel(kern), lams.WithWorkers(workers))
+	opts := make([]lams.SmoothOption, 0, 10)
+	opts = append(opts, lams.WithKernel(kern), lams.WithWorkers(workers), lams.WithSchedule(schedule))
 	if met != nil {
 		opts = append(opts, lams.WithMetric(met))
 	}
@@ -663,12 +698,14 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	}
 
 	s.metrics.smoothRuns.Add(1)
+	s.metrics.smoothBySchedule.Add(schedule, 1)
 	s.metrics.smoothIterations.Add(int64(res.Iterations))
 	s.metrics.smoothAccesses.Add(res.Accesses)
 	return smoothResponse{
 		ID:             rec.id,
 		Kernel:         kernName,
 		Workers:        workers,
+		Schedule:       schedule,
 		Iterations:     res.Iterations,
 		InitialQuality: res.InitialQuality,
 		FinalQuality:   res.FinalQuality,

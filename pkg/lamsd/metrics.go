@@ -14,6 +14,7 @@ type metrics struct {
 	requests         *expvar.Map // per-route request counts
 	errors           *expvar.Map // per-route non-2xx response counts
 	smoothRuns       *expvar.Int
+	smoothBySchedule *expvar.Map // completed smooth runs per chunk schedule
 	smoothIterations *expvar.Int
 	smoothAccesses   *expvar.Int
 	reorders         *expvar.Int
@@ -27,6 +28,7 @@ func newMetrics() *metrics {
 		requests:         new(expvar.Map).Init(),
 		errors:           new(expvar.Map).Init(),
 		smoothRuns:       new(expvar.Int),
+		smoothBySchedule: new(expvar.Map).Init(),
 		smoothIterations: new(expvar.Int),
 		smoothAccesses:   new(expvar.Int),
 		reorders:         new(expvar.Int),
@@ -36,6 +38,7 @@ func newMetrics() *metrics {
 	m.vars.Set("requests", m.requests)
 	m.vars.Set("errors", m.errors)
 	m.vars.Set("smooth_runs", m.smoothRuns)
+	m.vars.Set("smooth_runs_by_schedule", m.smoothBySchedule)
 	m.vars.Set("smooth_iterations", m.smoothIterations)
 	m.vars.Set("smooth_vertex_accesses", m.smoothAccesses)
 	m.vars.Set("reorders", m.reorders)

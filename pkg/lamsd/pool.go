@@ -9,12 +9,14 @@ import (
 )
 
 // engineKey identifies a smoothing configuration whose engines are
-// interchangeable. Engines are pooled per kernel × worker count so a warm
-// engine handed to a request has scratch buffers shaped by the same kind of
-// run that grew them.
+// interchangeable. Engines are pooled per kernel × worker count × schedule
+// so a warm engine handed to a request has scratch buffers (including the
+// cached scheduler's per-worker state) shaped by the same kind of run that
+// grew them.
 type engineKey struct {
-	Kernel  string
-	Workers int
+	Kernel   string
+	Workers  int
+	Schedule string
 }
 
 // enginePool is a keyed pool of warm lams.Smoother engines with bounded

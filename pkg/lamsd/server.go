@@ -18,10 +18,11 @@
 //	DELETE /v1/meshes/{id}          evict a mesh
 //	GET    /v1/meshes/{id}/export   download the mesh (?part=node|ele)
 //	POST   /v1/meshes/{id}/reorder  apply a registered ordering in place
-//	POST   /v1/meshes/{id}/smooth   run smoothing through the engine pool
+//	POST   /v1/meshes/{id}/smooth   run smoothing through the engine pool (?schedule=static|guided|stealing)
 //	GET    /v1/meshes/{id}/analyze  reuse-distance / cache-simulation report
 //	GET    /v1/orderings            registered ordering names
 //	GET    /v1/domains              generatable domain names
+//	GET    /v1/schedules            registered chunk-schedule names
 //	GET    /healthz                 liveness + pool/store gauges
 //	GET    /metrics                 expvar counters (JSON)
 //
@@ -166,6 +167,7 @@ func (s *Server) routes() {
 	s.handle("GET /metrics", s.handleMetrics)
 	s.handle("GET /v1/orderings", s.handleOrderings)
 	s.handle("GET /v1/domains", s.handleDomains)
+	s.handle("GET /v1/schedules", s.handleSchedules)
 	s.handle("POST /v1/meshes", s.handleCreateMesh)
 	s.handle("GET /v1/meshes", s.handleListMeshes)
 	s.handle("GET /v1/meshes/{id}", s.handleGetMesh)

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"slices"
 	"strings"
 	"testing"
 
@@ -418,6 +419,91 @@ func TestServerSmooth(t *testing.T) {
 	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/missing/smooth", nil)
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("smooth of missing mesh: status %d", resp.StatusCode)
+	}
+}
+
+// TestServerSmoothSchedules covers the chunk-schedule surface of the
+// smooth endpoint: the /v1/schedules discovery route, ?schedule= and the
+// body field (query wins), the 400 for an unregistered name carrying the
+// registered list, and the per-schedule run counters in /metrics.
+func TestServerSmoothSchedules(t *testing.T) {
+	_, ts := newTestServer(t)
+	info := createDomainMesh(t, ts.URL, "carabiner", 1500)
+	smoothURL := ts.URL + "/v1/meshes/" + info.ID + "/smooth"
+
+	resp, data := doJSON(t, http.MethodGet, ts.URL+"/v1/schedules", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedules status %d", resp.StatusCode)
+	}
+	var sched struct {
+		Schedules []string `json:"schedules"`
+		Default   string   `json:"default"`
+	}
+	if err := json.Unmarshal(data, &sched); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Default != "static" {
+		t.Errorf("default schedule = %q", sched.Default)
+	}
+	for _, want := range []string{"static", "guided", "stealing"} {
+		if !slices.Contains(sched.Schedules, want) {
+			t.Errorf("schedules %v missing %q", sched.Schedules, want)
+		}
+	}
+
+	smoothWith := func(url string, body map[string]any) smoothResponse {
+		t.Helper()
+		resp, data := doJSON(t, http.MethodPost, url, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("smooth status %d: %s", resp.StatusCode, data)
+		}
+		var sr smoothResponse
+		if err := json.Unmarshal(data, &sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+
+	// ?schedule=guided succeeds and is echoed in the response.
+	sr := smoothWith(smoothURL+"?schedule=guided", map[string]any{"workers": 4, "max_iters": 3, "tol": -1})
+	if sr.Schedule != "guided" || sr.Iterations != 3 {
+		t.Errorf("guided smooth = %+v", sr)
+	}
+	// The body field works; the default is static; the query overrides the body.
+	if sr := smoothWith(smoothURL, map[string]any{"schedule": "stealing", "workers": 4, "max_iters": 2, "tol": -1}); sr.Schedule != "stealing" {
+		t.Errorf("body schedule ignored: %+v", sr)
+	}
+	if sr := smoothWith(smoothURL, map[string]any{"workers": 2, "max_iters": 1, "tol": -1}); sr.Schedule != "static" {
+		t.Errorf("default schedule = %q, want static", sr.Schedule)
+	}
+	if sr := smoothWith(smoothURL+"?schedule=stealing", map[string]any{"schedule": "guided", "workers": 2, "max_iters": 1, "tol": -1}); sr.Schedule != "stealing" {
+		t.Errorf("query did not override body: %+v", sr)
+	}
+
+	// An unknown schedule is a 400 naming the registered schedules.
+	resp, data = doJSON(t, http.MethodPost, smoothURL+"?schedule=round-robin", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown schedule: status %d, want 400 (%s)", resp.StatusCode, data)
+	}
+	for _, want := range []string{"round-robin", "static", "guided", "stealing"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("400 body %s does not mention %q", data, want)
+		}
+	}
+
+	// Per-schedule counters: 1 guided, 2 stealing, 1 static so far.
+	resp, data = doJSON(t, http.MethodGet, ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var vars struct {
+		BySchedule map[string]int64 `json:"smooth_runs_by_schedule"`
+	}
+	if err := json.Unmarshal(data, &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.BySchedule["guided"] != 1 || vars.BySchedule["stealing"] != 2 || vars.BySchedule["static"] != 1 {
+		t.Errorf("smooth_runs_by_schedule = %v, want guided:1 stealing:2 static:1", vars.BySchedule)
 	}
 }
 
