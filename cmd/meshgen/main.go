@@ -1,9 +1,10 @@
 // Command meshgen generates the nine test meshes in Triangle .node/.ele
-// format, the pipeline the paper drives with Shewchuk's Triangle.
+// format, the pipeline the paper drives with Shewchuk's Triangle — or, with
+// -dim 3, the structured cube tetrahedral mesh in TetGen format.
 //
 // Usage:
 //
-//	meshgen [-verts n] [-out dir] [-mesh name] [-validate]
+//	meshgen [-verts n] [-out dir] [-mesh name] [-validate] [-dim 2|3] [-jitter j]
 package main
 
 import (
@@ -21,8 +22,36 @@ func main() {
 		out      = flag.String("out", ".", "output directory")
 		name     = flag.String("mesh", "", "single mesh to generate (default: all nine)")
 		validate = flag.Bool("validate", true, "validate structural invariants")
+		dim      = flag.Int("dim", 2, "mesh dimension: 2 (triangle domains) or 3 (cube tet mesh)")
+		jitter   = flag.Float64("jitter", 0.3, "interior jitter fraction for -dim 3 (0 keeps the regular grid)")
 	)
 	flag.Parse()
+
+	if *dim == 3 {
+		m, err := lams.GenerateTetCubeVerts(*verts, *jitter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "meshgen: cube: %v\n", err)
+			os.Exit(1)
+		}
+		if *validate {
+			if err := m.Validate(); err != nil {
+				fmt.Fprintf(os.Stderr, "meshgen: cube failed validation: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		base := filepath.Join(*out, "cube")
+		if err := m.SaveFiles(base); err != nil {
+			fmt.Fprintf(os.Stderr, "meshgen: writing %s: %v\n", base, err)
+			os.Exit(1)
+		}
+		q := lams.TetGlobalQuality(m, nil)
+		fmt.Printf("%-10s %s quality=%.4f -> %s.node/.ele\n", "cube", m.Summary(), q, base)
+		return
+	}
+	if *dim != 2 {
+		fmt.Fprintf(os.Stderr, "meshgen: -dim %d: want 2 or 3\n", *dim)
+		os.Exit(1)
+	}
 
 	names := lams.Domains()
 	if *name != "" {

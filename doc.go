@@ -3,17 +3,25 @@
 // arXiv:1606.00803).
 //
 // The public API lives in pkg/lams: the build → order → smooth → analyze
-// pipeline with functional options and context cancellation. The
+// pipeline with functional options and context cancellation, over both 2D
+// triangular meshes (the paper's nine Table 1 domains) and 3D tetrahedral
+// meshes (the structured cube generator, TetGen-format I/O). The
 // implementation lives under internal/: the RDR reordering and its
-// baselines behind a self-registering registry (internal/order), the
-// unified kernel-driven smoothing engine (internal/smooth), the chunk
+// baselines behind a self-registering registry (internal/order) — the
+// orderings traverse a dimension-agnostic adjacency abstraction
+// (order.Graph/order.Spatial), so the same registry entries reorder
+// triangles and tetrahedra — the kernel-driven smoothing engines
+// (internal/smooth: Smoother for triangles, Smoother3 for tets, twin
+// engines with one convergence-loop/Jacobi/tracing structure built on the
+// same scheduler, trace, and quality-scratch components), the chunk
 // schedulers that distribute each sweep across workers — static (the
 // paper's OpenMP configuration, the default), guided, and lock-free
-// work-stealing, all bit-identical in results and selectable per run
-// (internal/parallel), the mesh data structures and generator substrates
-// (internal/mesh, internal/delaunay, internal/domains, internal/geom), and
-// the locality-analysis machinery (internal/trace, internal/reuse,
-// internal/cache, internal/perfmodel).
+// work-stealing, all bit-identical in results and selectable per run in
+// either dimension (internal/parallel), the mesh data structures and
+// generator substrates (internal/mesh, internal/delaunay,
+// internal/domains, internal/geom — including the Orient3D predicate and
+// 3D Hilbert/Morton keys), and the locality-analysis machinery
+// (internal/trace, internal/reuse, internal/cache, internal/perfmodel).
 // internal/core is the thin facade pkg/lams delegates to;
 // internal/experiments regenerates every table and figure of the paper's
 // evaluation.

@@ -1,0 +1,195 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// This file is the 3D half of the geometry kernel: points, the Orient3D
+// predicate (floating-point filter + exact big.Rat fallback, mirroring
+// Orient2D), tetrahedron volume, and axis-aligned boxes. It follows the same
+// conventions as the 2D half so the mesh and quality layers can treat the two
+// dimensions symmetrically.
+
+// Point3 is a point (or vector) in space.
+type Point3 struct {
+	X, Y, Z float64
+}
+
+// Add returns p + q.
+func (p Point3) Add(q Point3) Point3 { return Point3{p.X + q.X, p.Y + q.Y, p.Z + q.Z} }
+
+// Sub returns p - q.
+func (p Point3) Sub(q Point3) Point3 { return Point3{p.X - q.X, p.Y - q.Y, p.Z - q.Z} }
+
+// Scale returns s*p.
+func (p Point3) Scale(s float64) Point3 { return Point3{s * p.X, s * p.Y, s * p.Z} }
+
+// Dot returns the dot product p·q.
+func (p Point3) Dot(q Point3) float64 { return p.X*q.X + p.Y*q.Y + p.Z*q.Z }
+
+// Cross returns the cross product p × q.
+func (p Point3) Cross(q Point3) Point3 {
+	return Point3{
+		X: p.Y*q.Z - p.Z*q.Y,
+		Y: p.Z*q.X - p.X*q.Z,
+		Z: p.X*q.Y - p.Y*q.X,
+	}
+}
+
+// Norm returns the Euclidean length of p.
+func (p Point3) Norm() float64 { return math.Sqrt(p.Dot(p)) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point3) Dist(q Point3) float64 { return p.Sub(q).Norm() }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point3) Dist2(q Point3) float64 {
+	d := p.Sub(q)
+	return d.Dot(d)
+}
+
+// String implements fmt.Stringer.
+func (p Point3) String() string { return fmt.Sprintf("(%g, %g, %g)", p.X, p.Y, p.Z) }
+
+// Lerp3 returns the linear interpolation (1-t)*p + t*q.
+func Lerp3(p, q Point3, t float64) Point3 {
+	return Point3{p.X + t*(q.X-p.X), p.Y + t*(q.Y-p.Y), p.Z + t*(q.Z-p.Z)}
+}
+
+// Midpoint3 returns the midpoint of p and q.
+func Midpoint3(p, q Point3) Point3 { return Lerp3(p, q, 0.5) }
+
+// orient3dFilterCoeff bounds the rounding error of the fast 3D orientation
+// determinant, following Shewchuk's o3derrboundA = (7 + 56*eps)*eps.
+var orient3dFilterCoeff = (7.0 + 56.0*macheps) * macheps
+
+// Orient3D returns the orientation of the tetrahedron (a, b, c, d), in
+// Shewchuk's convention: CounterClockwise (positive) when d lies below the
+// plane through a, b, c — "below" meaning the side from which a, b, c appear
+// in clockwise order — Clockwise when above it, and Collinear when the four
+// points are exactly coplanar. A floating-point filter decides when the fast
+// path is trustworthy; the slow path evaluates the determinant exactly with
+// rational arithmetic, mirroring Orient2D.
+func Orient3D(a, b, c, d Point3) Orientation {
+	adx, ady, adz := a.X-d.X, a.Y-d.Y, a.Z-d.Z
+	bdx, bdy, bdz := b.X-d.X, b.Y-d.Y, b.Z-d.Z
+	cdx, cdy, cdz := c.X-d.X, c.Y-d.Y, c.Z-d.Z
+
+	bdxcdy, cdxbdy := bdx*cdy, cdx*bdy
+	cdxady, adxcdy := cdx*ady, adx*cdy
+	adxbdy, bdxady := adx*bdy, bdx*ady
+
+	det := adz*(bdxcdy-cdxbdy) + bdz*(cdxady-adxcdy) + cdz*(adxbdy-bdxady)
+
+	permanent := (math.Abs(bdxcdy)+math.Abs(cdxbdy))*math.Abs(adz) +
+		(math.Abs(cdxady)+math.Abs(adxcdy))*math.Abs(bdz) +
+		(math.Abs(adxbdy)+math.Abs(bdxady))*math.Abs(cdz)
+	errBound := orient3dFilterCoeff * permanent
+	if det > errBound || -det > errBound {
+		return signOf(det)
+	}
+	return orient3DExact(a, b, c, d)
+}
+
+// Orient3DValue returns six times the signed volume of tetrahedron (a, b, c,
+// d) (positive when positively oriented). It is the raw determinant without
+// the exact fallback and is intended for volume/quality computations, not
+// topological decisions.
+func Orient3DValue(a, b, c, d Point3) float64 {
+	adx, ady, adz := a.X-d.X, a.Y-d.Y, a.Z-d.Z
+	bdx, bdy, bdz := b.X-d.X, b.Y-d.Y, b.Z-d.Z
+	cdx, cdy, cdz := c.X-d.X, c.Y-d.Y, c.Z-d.Z
+	return adz*(bdx*cdy-cdx*bdy) + bdz*(cdx*ady-adx*cdy) + cdz*(adx*bdy-bdx*ady)
+}
+
+func orient3DExact(a, b, c, d Point3) Orientation {
+	rat := func(f float64) *big.Rat { return new(big.Rat).SetFloat64(f) }
+	sub := func(x, y *big.Rat) *big.Rat { return new(big.Rat).Sub(x, y) }
+	mul := func(x, y *big.Rat) *big.Rat { return new(big.Rat).Mul(x, y) }
+	add := func(x, y *big.Rat) *big.Rat { return new(big.Rat).Add(x, y) }
+
+	dx, dy, dz := rat(d.X), rat(d.Y), rat(d.Z)
+	adx, ady, adz := sub(rat(a.X), dx), sub(rat(a.Y), dy), sub(rat(a.Z), dz)
+	bdx, bdy, bdz := sub(rat(b.X), dx), sub(rat(b.Y), dy), sub(rat(b.Z), dz)
+	cdx, cdy, cdz := sub(rat(c.X), dx), sub(rat(c.Y), dy), sub(rat(c.Z), dz)
+
+	t1 := mul(adz, sub(mul(bdx, cdy), mul(cdx, bdy)))
+	t2 := mul(bdz, sub(mul(cdx, ady), mul(adx, cdy)))
+	t3 := mul(cdz, sub(mul(adx, bdy), mul(bdx, ady)))
+
+	det := add(add(t1, t2), t3)
+	return Orientation(det.Sign())
+}
+
+// TetVolume returns the (positive) volume of tetrahedron (a, b, c, d).
+func TetVolume(a, b, c, d Point3) float64 {
+	return math.Abs(Orient3DValue(a, b, c, d)) / 6
+}
+
+// SignedTetVolume returns the signed volume of tetrahedron (a, b, c, d):
+// positive when the tetrahedron is positively oriented (Orient3D counter-
+// clockwise), negative when inverted.
+func SignedTetVolume(a, b, c, d Point3) float64 {
+	return Orient3DValue(a, b, c, d) / 6
+}
+
+// Centroid3 returns the centroid of tetrahedron (a, b, c, d).
+func Centroid3(a, b, c, d Point3) Point3 {
+	return Point3{
+		X: (a.X + b.X + c.X + d.X) / 4,
+		Y: (a.Y + b.Y + c.Y + d.Y) / 4,
+		Z: (a.Z + b.Z + c.Z + d.Z) / 4,
+	}
+}
+
+// Box is an axis-aligned bounding box in space.
+type Box struct {
+	Min, Max Point3
+}
+
+// EmptyBox returns a box that Extend can grow from.
+func EmptyBox() Box {
+	inf := math.Inf(1)
+	return Box{Min: Point3{inf, inf, inf}, Max: Point3{-inf, -inf, -inf}}
+}
+
+// Extend grows b to include p.
+func (b *Box) Extend(p Point3) {
+	b.Min.X = math.Min(b.Min.X, p.X)
+	b.Min.Y = math.Min(b.Min.Y, p.Y)
+	b.Min.Z = math.Min(b.Min.Z, p.Z)
+	b.Max.X = math.Max(b.Max.X, p.X)
+	b.Max.Y = math.Max(b.Max.Y, p.Y)
+	b.Max.Z = math.Max(b.Max.Z, p.Z)
+}
+
+// Width returns the x extent of b.
+func (b Box) Width() float64 { return b.Max.X - b.Min.X }
+
+// Height returns the y extent of b.
+func (b Box) Height() float64 { return b.Max.Y - b.Min.Y }
+
+// Depth returns the z extent of b.
+func (b Box) Depth() float64 { return b.Max.Z - b.Min.Z }
+
+// Center returns the midpoint of b.
+func (b Box) Center() Point3 { return Midpoint3(b.Min, b.Max) }
+
+// Contains reports whether p lies inside or on the boundary of b.
+func (b Box) Contains(p Point3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// BoundsOf3 returns the bounding box of pts. It returns the empty box when
+// pts is empty.
+func BoundsOf3(pts []Point3) Box {
+	b := EmptyBox()
+	for _, p := range pts {
+		b.Extend(p)
+	}
+	return b
+}

@@ -1,0 +1,149 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPoint3Ops(t *testing.T) {
+	p := Point3{1, 2, 3}
+	q := Point3{4, 6, 8}
+	if got := p.Add(q); got != (Point3{5, 8, 11}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); got != (Point3{3, 4, 5}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 4+12+24 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := (Point3{1, 0, 0}).Cross(Point3{0, 1, 0}); got != (Point3{0, 0, 1}) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := (Point3{3, 4, 12}).Norm(); got != 13 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := p.Dist2(q); got != 9+16+25 {
+		t.Errorf("Dist2 = %v", got)
+	}
+	if got := Midpoint3(p, q); got != (Point3{2.5, 4, 5.5}) {
+		t.Errorf("Midpoint3 = %v", got)
+	}
+}
+
+func TestOrient3DBasic(t *testing.T) {
+	a := Point3{0, 0, 0}
+	b := Point3{1, 0, 0}
+	c := Point3{0, 1, 0}
+	up := Point3{0, 0, 1}
+	down := Point3{0, 0, -1}
+	on := Point3{0.25, 0.25, 0}
+
+	// Positive orientation: a, b, c counterclockwise as seen from d.
+	if got := Orient3D(a, b, c, down); got != CounterClockwise {
+		t.Errorf("Orient3D below plane = %v, want counterclockwise", got)
+	}
+	if got := Orient3D(a, b, c, up); got != Clockwise {
+		t.Errorf("Orient3D above plane = %v, want clockwise", got)
+	}
+	if got := Orient3D(a, b, c, on); got != Collinear {
+		t.Errorf("Orient3D coplanar = %v, want collinear", got)
+	}
+	// Sign must agree with the raw determinant away from degeneracy.
+	if v := Orient3DValue(a, b, c, down); v <= 0 {
+		t.Errorf("Orient3DValue = %v, want > 0", v)
+	}
+}
+
+// TestOrient3DExactFallback drives the predicate into the region where the
+// float64 determinant is drowned by rounding error: a point displaced off a
+// plane by less than the filter can certify must still be classified by the
+// exact path, and truly coplanar points must come back Collinear even when
+// built from awkward coordinates.
+func TestOrient3DExactFallback(t *testing.T) {
+	a := Point3{1e6, 1e6, 1e6}
+	b := Point3{1e6 + 1, 1e6, 1e6}
+	c := Point3{1e6, 1e6 + 1, 1e6}
+	// Exactly coplanar with awkward magnitudes.
+	d := Point3{1e6 + 0.5, 1e6 + 0.25, 1e6}
+	if got := Orient3D(a, b, c, d); got != Collinear {
+		t.Errorf("coplanar at large offset = %v, want collinear", got)
+	}
+	// Displace by one ulp of 1e6: far below the naive error bound, so only
+	// the exact path can decide the sign. The displacement is downward in z,
+	// which makes (a, b, c, d) positively oriented.
+	ulp := math.Nextafter(1e6, 2e6) - 1e6
+	dBelow := Point3{1e6 + 0.5, 1e6 + 0.25, 1e6 - ulp}
+	if got := Orient3D(a, b, c, dBelow); got != CounterClockwise {
+		t.Errorf("one-ulp below plane = %v, want counterclockwise", got)
+	}
+	dAbove := Point3{1e6 + 0.5, 1e6 + 0.25, 1e6 + ulp}
+	if got := Orient3D(a, b, c, dAbove); got != Clockwise {
+		t.Errorf("one-ulp above plane = %v, want clockwise", got)
+	}
+}
+
+func TestOrient3DMatchesExactRandom(t *testing.T) {
+	// Pseudo-random but deterministic triples: the filtered predicate must
+	// always agree with the pure big.Rat evaluation.
+	next := uint64(1)
+	rnd := func() float64 {
+		next = next*6364136223846793005 + 1442695040888963407
+		return float64(int64(next>>11)) / float64(1<<52)
+	}
+	for i := 0; i < 200; i++ {
+		a := Point3{rnd(), rnd(), rnd()}
+		b := Point3{rnd(), rnd(), rnd()}
+		c := Point3{rnd(), rnd(), rnd()}
+		d := Point3{rnd(), rnd(), rnd()}
+		if got, want := Orient3D(a, b, c, d), orient3DExact(a, b, c, d); got != want {
+			t.Fatalf("case %d: Orient3D = %v, exact = %v", i, got, want)
+		}
+	}
+}
+
+func TestTetVolume(t *testing.T) {
+	a := Point3{0, 0, 0}
+	b := Point3{1, 0, 0}
+	c := Point3{0, 1, 0}
+	d := Point3{0, 0, 1}
+	if got := TetVolume(a, b, c, d); math.Abs(got-1.0/6) > 1e-15 {
+		t.Errorf("unit corner tet volume = %v, want 1/6", got)
+	}
+	// Signed volume flips with orientation and is zero for degenerate tets.
+	if SignedTetVolume(a, b, c, d) >= 0 {
+		t.Error("unit corner tet (a,b,c,d) should be negatively oriented (d above ccw abc)")
+	}
+	if SignedTetVolume(a, c, b, d) <= 0 {
+		t.Error("swapping two vertices must flip the signed volume")
+	}
+	if got := TetVolume(a, b, c, Point3{0.3, 0.4, 0}); got != 0 {
+		t.Errorf("flat tet volume = %v, want 0", got)
+	}
+	if got := Centroid3(a, b, c, d); got != (Point3{0.25, 0.25, 0.25}) {
+		t.Errorf("Centroid3 = %v", got)
+	}
+}
+
+func TestBox(t *testing.T) {
+	b := BoundsOf3([]Point3{{1, 2, 3}, {-1, 5, 0}, {0, 0, 7}})
+	if b.Min != (Point3{-1, 0, 0}) || b.Max != (Point3{1, 5, 7}) {
+		t.Errorf("bounds = %+v", b)
+	}
+	if b.Width() != 2 || b.Height() != 5 || b.Depth() != 7 {
+		t.Errorf("extents = %v %v %v", b.Width(), b.Height(), b.Depth())
+	}
+	if !b.Contains(Point3{0, 1, 1}) || b.Contains(Point3{2, 0, 0}) {
+		t.Error("Contains misclassifies")
+	}
+	e := EmptyBox()
+	if e.Contains(Point3{0, 0, 0}) {
+		t.Error("empty box contains a point")
+	}
+	if got := BoundsOf3(nil); !math.IsInf(got.Min.X, 1) {
+		t.Error("BoundsOf3(nil) is not empty")
+	}
+}

@@ -1,0 +1,136 @@
+package geom
+
+// HilbertIndex3 returns the index of cell (x, y, z) along a 3D Hilbert curve
+// of the given order (the curve fills a 2^order cube per axis). All three
+// coordinates must be < 2^order. It implements Skilling's transpose
+// algorithm ("Programming the Hilbert curve", AIP 2004), the standard
+// n-dimensional generalization of the 2D rotate-and-flip recurrence
+// HilbertIndex uses.
+func HilbertIndex3(x, y, z uint32, order uint) uint64 {
+	X := [3]uint32{x, y, z}
+
+	// Inverse undo: strip the rotations the curve applies at each level.
+	for q := uint32(1) << (order - 1); q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < 3; i++ {
+			if X[i]&q != 0 {
+				X[0] ^= p
+			} else {
+				t := (X[0] ^ X[i]) & p
+				X[0] ^= t
+				X[i] ^= t
+			}
+		}
+	}
+
+	// Gray encode.
+	for i := 1; i < 3; i++ {
+		X[i] ^= X[i-1]
+	}
+	var t uint32
+	for q := uint32(1) << (order - 1); q > 1; q >>= 1 {
+		if X[2]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < 3; i++ {
+		X[i] ^= t
+	}
+
+	// X now holds the index in transposed form: bit b of axis i is bit
+	// 3*b + (2-i) of the index. Interleave most-significant first.
+	var d uint64
+	for b := int(order) - 1; b >= 0; b-- {
+		for i := 0; i < 3; i++ {
+			d = d<<1 | uint64((X[i]>>uint(b))&1)
+		}
+	}
+	return d
+}
+
+// MortonIndex3 returns the Z-order (Morton) index of cell (x, y, z) by
+// interleaving the low 21 bits of each coordinate.
+func MortonIndex3(x, y, z uint32) uint64 {
+	return spread21(x) | spread21(y)<<1 | spread21(z)<<2
+}
+
+// spread21 spaces the low 21 bits of v three apart (bit k moves to bit 3k).
+func spread21(v uint32) uint64 {
+	x := uint64(v) & 0x1FFFFF
+	x = (x | x<<32) & 0x001F00000000FFFF
+	x = (x | x<<16) & 0x001F0000FF0000FF
+	x = (x | x<<8) & 0x100F00F00F00F00F
+	x = (x | x<<4) & 0x10C30C30C30C30C3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// HilbertSortKeys3 maps points into a 2^order grid over their bounding box
+// and returns the 3D Hilbert index of each point, mirroring HilbertSortKeys.
+// Ties are possible when points share a grid cell; callers sort by
+// (key, index) for determinism.
+func HilbertSortKeys3(pts []Point3, order uint) []uint64 {
+	return curveKeys3(pts, order, func(gx, gy, gz uint32) uint64 {
+		return HilbertIndex3(gx, gy, gz, order)
+	})
+}
+
+// MortonSortKeys3 maps points into a 2^order grid over their bounding box
+// and returns the Morton index of each point.
+func MortonSortKeys3(pts []Point3, order uint) []uint64 {
+	return curveKeys3(pts, order, func(gx, gy, gz uint32) uint64 {
+		return MortonIndex3(gx, gy, gz)
+	})
+}
+
+func curveKeys3(pts []Point3, order uint, index func(gx, gy, gz uint32) uint64) []uint64 {
+	keys := make([]uint64, len(pts))
+	if len(pts) == 0 {
+		return keys
+	}
+	b := BoundsOf3(pts)
+	w, h, d := b.Width(), b.Height(), b.Depth()
+	if w == 0 {
+		w = 1
+	}
+	if h == 0 {
+		h = 1
+	}
+	if d == 0 {
+		d = 1
+	}
+	side := float64(uint32(1)<<order - 1)
+	for i, p := range pts {
+		gx := uint32((p.X - b.Min.X) / w * side)
+		gy := uint32((p.Y - b.Min.Y) / h * side)
+		gz := uint32((p.Z - b.Min.Z) / d * side)
+		keys[i] = index(gx, gy, gz)
+	}
+	return keys
+}
+
+// MortonSortKeys maps 2D points into a 2^order grid over their bounding box
+// and returns the Morton index of each point — the 2D companion of
+// HilbertSortKeys, hoisted here so mesh types can expose both curve keys
+// behind one interface.
+func MortonSortKeys(pts []Point, order uint) []uint64 {
+	keys := make([]uint64, len(pts))
+	if len(pts) == 0 {
+		return keys
+	}
+	b := BoundsOf(pts)
+	w, h := b.Width(), b.Height()
+	if w == 0 {
+		w = 1
+	}
+	if h == 0 {
+		h = 1
+	}
+	side := float64(uint32(1)<<order - 1)
+	for i, p := range pts {
+		gx := uint32((p.X - b.Min.X) / w * side)
+		gy := uint32((p.Y - b.Min.Y) / h * side)
+		keys[i] = MortonIndex(gx, gy)
+	}
+	return keys
+}

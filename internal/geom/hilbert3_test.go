@@ -1,0 +1,145 @@
+package geom
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestHilbertIndex3Bijective checks that every cell of the 2^order cube maps
+// to a distinct index in [0, 8^order) for orders 1-4 (exhaustive).
+func TestHilbertIndex3Bijective(t *testing.T) {
+	for order := uint(1); order <= 4; order++ {
+		side := uint32(1) << order
+		total := int(side) * int(side) * int(side)
+		seen := make([]bool, total)
+		for z := uint32(0); z < side; z++ {
+			for y := uint32(0); y < side; y++ {
+				for x := uint32(0); x < side; x++ {
+					d := HilbertIndex3(x, y, z, order)
+					if d >= uint64(total) {
+						t.Fatalf("order %d: index %d of cell (%d,%d,%d) out of range [0,%d)", order, d, x, y, z, total)
+					}
+					if seen[d] {
+						t.Fatalf("order %d: index %d hit twice (at cell (%d,%d,%d))", order, d, x, y, z)
+					}
+					seen[d] = true
+				}
+			}
+		}
+	}
+}
+
+// TestHilbertIndex3Continuity is the defining property of a Hilbert curve:
+// cells at consecutive indices are face neighbors (they differ by exactly 1
+// in exactly one axis). Checked exhaustively for orders 1-4.
+func TestHilbertIndex3Continuity(t *testing.T) {
+	type cell struct {
+		d       uint64
+		x, y, z uint32
+	}
+	for order := uint(1); order <= 4; order++ {
+		side := uint32(1) << order
+		cells := make([]cell, 0, int(side)*int(side)*int(side))
+		for z := uint32(0); z < side; z++ {
+			for y := uint32(0); y < side; y++ {
+				for x := uint32(0); x < side; x++ {
+					cells = append(cells, cell{HilbertIndex3(x, y, z, order), x, y, z})
+				}
+			}
+		}
+		sort.Slice(cells, func(i, j int) bool { return cells[i].d < cells[j].d })
+		abs := func(a, b uint32) uint32 {
+			if a > b {
+				return a - b
+			}
+			return b - a
+		}
+		for i := 1; i < len(cells); i++ {
+			p, q := cells[i-1], cells[i]
+			if abs(p.x, q.x)+abs(p.y, q.y)+abs(p.z, q.z) != 1 {
+				t.Fatalf("order %d: steps %d->%d jump from (%d,%d,%d) to (%d,%d,%d)",
+					order, p.d, q.d, p.x, p.y, p.z, q.x, q.y, q.z)
+			}
+		}
+	}
+}
+
+// mortonNaive3 is the obvious bit loop MortonIndex3's magic-mask form must
+// match.
+func mortonNaive3(x, y, z uint32) uint64 {
+	var d uint64
+	for b := uint(0); b < 21; b++ {
+		d |= uint64(x>>b&1) << (3 * b)
+		d |= uint64(y>>b&1) << (3*b + 1)
+		d |= uint64(z>>b&1) << (3*b + 2)
+	}
+	return d
+}
+
+func TestMortonIndex3MatchesNaive(t *testing.T) {
+	cases := [][3]uint32{
+		{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+		{0x1FFFFF, 0x1FFFFF, 0x1FFFFF},
+		{0x15555, 0xAAAA, 0x1F0F0},
+		{12345, 54321, 99999},
+	}
+	next := uint64(7)
+	for i := 0; i < 100; i++ {
+		next = next*6364136223846793005 + 1442695040888963407
+		cases = append(cases, [3]uint32{
+			uint32(next) & 0x1FFFFF,
+			uint32(next>>21) & 0x1FFFFF,
+			uint32(next>>42) & 0x1FFFFF,
+		})
+	}
+	for _, c := range cases {
+		if got, want := MortonIndex3(c[0], c[1], c[2]), mortonNaive3(c[0], c[1], c[2]); got != want {
+			t.Errorf("MortonIndex3(%d,%d,%d) = %#x, want %#x", c[0], c[1], c[2], got, want)
+		}
+	}
+}
+
+// TestSortKeys3GridMapping pins the normalization: corners of the bounding
+// box land on the extreme grid cells, and degenerate (flat) extents do not
+// divide by zero.
+func TestSortKeys3GridMapping(t *testing.T) {
+	pts := []Point3{{0, 0, 0}, {1, 2, 4}, {0.5, 1, 2}}
+	hk := HilbertSortKeys3(pts, 4)
+	mk := MortonSortKeys3(pts, 4)
+	if len(hk) != 3 || len(mk) != 3 {
+		t.Fatalf("key lengths %d, %d", len(hk), len(mk))
+	}
+	if hk[0] != HilbertIndex3(0, 0, 0, 4) {
+		t.Errorf("min corner key = %d", hk[0])
+	}
+	if hk[1] != HilbertIndex3(15, 15, 15, 4) {
+		t.Errorf("max corner key = %d, want %d", hk[1], HilbertIndex3(15, 15, 15, 4))
+	}
+	if mk[1] != MortonIndex3(15, 15, 15) {
+		t.Errorf("max corner morton = %d", mk[1])
+	}
+	// All points share a plane: the z extent is zero, handled by the guard.
+	flat := []Point3{{0, 0, 1}, {1, 0, 1}, {0, 1, 1}}
+	_ = HilbertSortKeys3(flat, 4)
+	_ = MortonSortKeys3(flat, 4)
+	if got := HilbertSortKeys3(nil, 4); len(got) != 0 {
+		t.Error("nil points should give no keys")
+	}
+}
+
+// TestMortonSortKeys2DMatchesLegacy pins the hoisted 2D Morton key helper to
+// the exact arithmetic the MORTON ordering historically inlined, so the
+// ordering-layer refactor cannot drift the permutation.
+func TestMortonSortKeys2DMatchesLegacy(t *testing.T) {
+	pts := []Point{{0.1, 0.9}, {3.7, -2.2}, {1.5, 0.5}, {-1, 4}}
+	b := BoundsOf(pts)
+	w, h := b.Width(), b.Height()
+	got := MortonSortKeys(pts, 16)
+	for i, p := range pts {
+		gx := uint32((p.X - b.Min.X) / w * 65535)
+		gy := uint32((p.Y - b.Min.Y) / h * 65535)
+		if want := MortonIndex(gx, gy); got[i] != want {
+			t.Errorf("point %d: key %d, want %d", i, got[i], want)
+		}
+	}
+}

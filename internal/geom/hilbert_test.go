@@ -98,3 +98,67 @@ func absDiff(a, b uint64) uint64 {
 	}
 	return b - a
 }
+
+// hilbertRecursiveRef is a structurally independent reference for
+// HilbertIndex: the textbook xy2d quadrant recursion written as explicit
+// per-quadrant coordinate transforms, instead of the iterative fold the
+// production code uses. Agreement between the two locks the key computation
+// the 3D Hilbert keys build on.
+func hilbertRecursiveRef(x, y uint32, order uint) uint64 {
+	if order == 0 {
+		return 0
+	}
+	s := uint32(1) << (order - 1)
+	rx, ry := x/s, y/s
+	x, y = x%s, y%s
+	cell := uint64(s) * uint64(s)
+	switch {
+	case rx == 0 && ry == 0: // lower-left: transpose
+		return 0*cell + hilbertRecursiveRef(y, x, order-1)
+	case rx == 0 && ry == 1: // upper-left: identity
+		return 1*cell + hilbertRecursiveRef(x, y, order-1)
+	case rx == 1 && ry == 1: // upper-right: identity
+		return 2*cell + hilbertRecursiveRef(x, y, order-1)
+	default: // lower-right: anti-transpose
+		return 3*cell + hilbertRecursiveRef(s-1-y, s-1-x, order-1)
+	}
+}
+
+// TestHilbertIndexMatchesReference compares HilbertIndex against the
+// recursive reference exhaustively for orders 1-6 (up to a 64x64 grid).
+func TestHilbertIndexMatchesReference(t *testing.T) {
+	for order := uint(1); order <= 6; order++ {
+		side := uint32(1) << order
+		for x := uint32(0); x < side; x++ {
+			for y := uint32(0); y < side; y++ {
+				got := HilbertIndex(x, y, order)
+				want := hilbertRecursiveRef(x, y, order)
+				if got != want {
+					t.Fatalf("order %d: HilbertIndex(%d,%d) = %d, reference = %d", order, x, y, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestHilbertIndexBijectiveAllOrders extends the bijectivity check to every
+// order the reference comparison covers: each cell maps to a distinct index
+// in [0, 4^order).
+func TestHilbertIndexBijectiveAllOrders(t *testing.T) {
+	for order := uint(1); order <= 6; order++ {
+		side := uint32(1) << order
+		seen := make([]bool, int(side)*int(side))
+		for x := uint32(0); x < side; x++ {
+			for y := uint32(0); y < side; y++ {
+				d := HilbertIndex(x, y, order)
+				if d >= uint64(len(seen)) {
+					t.Fatalf("order %d: index %d of (%d,%d) out of range", order, d, x, y)
+				}
+				if seen[d] {
+					t.Fatalf("order %d: index %d hit twice (at (%d,%d))", order, d, x, y)
+				}
+				seen[d] = true
+			}
+		}
+	}
+}

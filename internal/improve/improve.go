@@ -89,8 +89,15 @@ func SwapEdges(m *mesh.Mesh, met quality.Metric, maxPasses int) (*mesh.Mesh, Swa
 				continue
 			}
 			// The flip replaces (a,b,c)+(a,b,d) with (c,d,a)+(c,d,b). It is
-			// valid only when the quad a-c-b-d is strictly convex.
-			if geom.Orient2D(coords[c], coords[d], coords[e.a]) == geom.Orient2D(coords[c], coords[d], coords[e.b]) {
+			// valid only when the quad a-c-b-d is strictly convex: a and b
+			// must lie strictly on opposite sides of the new diagonal c-d. A
+			// collinear endpoint would make one new triangle zero-area — and
+			// EdgeRatio, which only sees edge lengths, would still score it
+			// as an improvement — so Collinear is rejected, not treated as
+			// "different from the other side".
+			oa := geom.Orient2D(coords[c], coords[d], coords[e.a])
+			ob := geom.Orient2D(coords[c], coords[d], coords[e.b])
+			if oa == geom.Collinear || ob == geom.Collinear || oa == ob {
 				continue
 			}
 			oldMin := min2(triQuality(coords, met, e.a, e.b, c), triQuality(coords, met, e.a, e.b, d))
@@ -174,8 +181,18 @@ func Untangle(m *mesh.Mesh, maxIters int) UntangleResult {
 				bad[tv[0]], bad[tv[1]], bad[tv[2]] = true, true, true
 			}
 		}
-		moved := false
+		// Commit the moves in ascending vertex order: the updates are applied
+		// in place, so later moves read earlier ones — iterating the map
+		// directly would make the result depend on Go's randomized map order,
+		// run to run, in a repo whose schedulers guarantee bit-identical
+		// sweeps.
+		vs := make([]int32, 0, len(bad))
 		for v := range bad {
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		moved := false
+		for _, v := range vs {
 			if m.IsBoundary[v] {
 				continue
 			}

@@ -158,3 +158,91 @@ func TestUntangleNoopOnValidMesh(t *testing.T) {
 		}
 	}
 }
+
+// TestSwapEdgesRejectsCollinearQuad is the regression test for the convexity
+// predicate: quad a-c-b-d whose corner a lies exactly on the line c-d. The
+// flip would create the zero-area triangle (c,d,a), and EdgeRatio — which
+// only sees edge lengths and is nonzero for collinear points — scores the
+// flip as an improvement over the skinny input triangles. The old test
+// (Orient2D(c,d,a) == Orient2D(c,d,b)) let it through because Collinear
+// differs from CounterClockwise; strictly-opposite-sides must reject it.
+func TestSwapEdgesRejectsCollinearQuad(t *testing.T) {
+	pts := []geom.Point{
+		{X: 1, Y: 0},    // 0: a, on the segment c-d
+		{X: 1, Y: 0.05}, // 1: b
+		{X: 0, Y: 0},    // 2: c
+		{X: 2, Y: 0},    // 3: d
+	}
+	m, err := mesh.New(pts, [][3]int32{{0, 1, 2}, {1, 0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Confirm the trap is armed: the flip would raise the minimum EdgeRatio,
+	// so only the convexity test stands between it and a degenerate triangle.
+	met := quality.EdgeRatio{}
+	oldMin := math.Min(met.Triangle(pts[0], pts[1], pts[2]), met.Triangle(pts[0], pts[1], pts[3]))
+	newMin := math.Min(met.Triangle(pts[2], pts[3], pts[0]), met.Triangle(pts[2], pts[3], pts[1]))
+	if newMin <= oldMin {
+		t.Fatalf("fixture broken: flip would not look like an improvement (%v <= %v)", newMin, oldMin)
+	}
+	out, res, err := SwapEdges(m, met, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flips != 0 {
+		t.Errorf("flipped %d edges across a collinear quad corner", res.Flips)
+	}
+	for i, tv := range out.Tris {
+		if geom.Orient2D(out.Coords[tv[0]], out.Coords[tv[1]], out.Coords[tv[2]]) != geom.CounterClockwise {
+			t.Errorf("triangle %d = %v is degenerate or inverted after swapping", i, tv)
+		}
+	}
+}
+
+// TestUntangleDeterministic is the regression test for the map-iteration
+// nondeterminism: several adjacent interior vertices are dragged far outside
+// the mesh so Untangle must move an interconnected set in place, where the
+// commit order changes the intermediate (and potentially final) coordinates.
+// Every run on an identical tangle must produce identical coordinates.
+func TestUntangleDeterministic(t *testing.T) {
+	tangle := func() *mesh.Mesh {
+		m, err := mesh.Generate("crake", 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m.InteriorVerts) < 8 {
+			t.Fatal("fixture has too few interior vertices")
+		}
+		// Drag a vertex and its interior neighbors far away, so the bad set
+		// is adjacent (moves observe each other's in-place commits).
+		seed := m.InteriorVerts[len(m.InteriorVerts)/2]
+		dragged := []int32{seed}
+		for _, w := range m.Neighbors(seed) {
+			if !m.IsBoundary[w] {
+				dragged = append(dragged, w)
+			}
+		}
+		for i, v := range dragged {
+			m.Coords[v] = geom.Point{X: 50 + float64(i), Y: 40 - float64(i)}
+		}
+		return m
+	}
+
+	ref := tangle()
+	refRes := Untangle(ref, 25)
+	if refRes.InvertedBefore == 0 {
+		t.Fatal("fixture is not tangled")
+	}
+	for run := 0; run < 5; run++ {
+		m := tangle()
+		res := Untangle(m, 25)
+		if res != refRes {
+			t.Fatalf("run %d: result %+v differs from %+v", run, res, refRes)
+		}
+		for v := range m.Coords {
+			if m.Coords[v] != ref.Coords[v] {
+				t.Fatalf("run %d: vertex %d = %v, want bit-identical %v", run, v, m.Coords[v], ref.Coords[v])
+			}
+		}
+	}
+}

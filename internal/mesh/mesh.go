@@ -53,6 +53,27 @@ func (m *Mesh) Degree(v int32) int {
 	return int(m.AdjStart[v+1] - m.AdjStart[v])
 }
 
+// Interior returns the interior (non-boundary) vertices in storage order,
+// implementing the ordering layer's adjacency view (order.Graph).
+func (m *Mesh) Interior() []int32 { return m.InteriorVerts }
+
+// OnBoundary reports whether vertex v lies on the mesh boundary,
+// implementing the ordering layer's adjacency view (order.Graph).
+func (m *Mesh) OnBoundary(v int32) bool { return m.IsBoundary[v] }
+
+// HilbertKeys returns the Hilbert curve key of every vertex on a
+// 2^bits-per-axis grid over the mesh bounds, implementing the ordering
+// layer's spatial view (order.Spatial).
+func (m *Mesh) HilbertKeys(bits uint) []uint64 {
+	return geom.HilbertSortKeys(m.Coords, bits)
+}
+
+// MortonKeys returns the Z-order curve key of every vertex, implementing
+// the ordering layer's spatial view (order.Spatial).
+func (m *Mesh) MortonKeys(bits uint) []uint64 {
+	return geom.MortonSortKeys(m.Coords, bits)
+}
+
 // New assembles a mesh from vertices and triangles: it builds the CSR
 // adjacency, classifies boundary vertices, and validates index ranges.
 func New(coords []geom.Point, tris [][3]int32) (*Mesh, error) {

@@ -1,0 +1,370 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"lams/internal/geom"
+)
+
+// TetMesh is a 3D tetrahedral mesh — the volume counterpart of Mesh. The
+// storage layout follows the same contract: vertices are identified by their
+// position in the storage arrays, all per-vertex slices are indexed the same
+// way, and Renumber applies an ordering by permuting that storage order. The
+// CSR adjacency and interior/boundary partition have the same shape as the
+// 2D mesh's, which is what lets the ordering and smoothing layers treat both
+// meshes through one adjacency abstraction.
+type TetMesh struct {
+	// Coords holds the vertex positions in storage order.
+	Coords []geom.Point3
+	// Tets holds the tetrahedra as positively-oriented quadruples of vertex
+	// indices (geom.Orient3D(a, b, c, d) counterclockwise).
+	Tets [][4]int32
+	// AdjStart/AdjList is the CSR vertex-to-vertex adjacency:
+	// the neighbors of v are AdjList[AdjStart[v]:AdjStart[v+1]].
+	AdjStart []int32
+	AdjList  []int32
+	// IsBoundary marks vertices incident to a boundary face (a triangular
+	// face used by exactly one tetrahedron).
+	IsBoundary []bool
+	// InteriorVerts lists the non-boundary vertices in storage order; these
+	// are the vertices Laplacian smoothing moves.
+	InteriorVerts []int32
+	// TetStart/TetList is the CSR vertex-to-tetrahedron incidence:
+	// the tets attached to v are TetList[TetStart[v]:TetStart[v+1]].
+	TetStart []int32
+	TetList  []int32
+}
+
+// NumVerts returns the number of vertices.
+func (m *TetMesh) NumVerts() int { return len(m.Coords) }
+
+// NumTets returns the number of tetrahedra.
+func (m *TetMesh) NumTets() int { return len(m.Tets) }
+
+// Neighbors returns the adjacency list of vertex v as a shared sub-slice;
+// callers must not modify it.
+func (m *TetMesh) Neighbors(v int32) []int32 {
+	return m.AdjList[m.AdjStart[v]:m.AdjStart[v+1]]
+}
+
+// Degree returns the number of neighbors of vertex v.
+func (m *TetMesh) Degree(v int32) int {
+	return int(m.AdjStart[v+1] - m.AdjStart[v])
+}
+
+// VertTets returns the tetrahedra incident to vertex v as a shared
+// sub-slice; callers must not modify it.
+func (m *TetMesh) VertTets(v int32) []int32 {
+	return m.TetList[m.TetStart[v]:m.TetStart[v+1]]
+}
+
+// Interior returns the interior (non-boundary) vertices in storage order,
+// implementing the ordering layer's adjacency view.
+func (m *TetMesh) Interior() []int32 { return m.InteriorVerts }
+
+// OnBoundary reports whether vertex v lies on the mesh boundary,
+// implementing the ordering layer's adjacency view.
+func (m *TetMesh) OnBoundary(v int32) bool { return m.IsBoundary[v] }
+
+// HilbertKeys returns the 3D Hilbert curve key of every vertex on a
+// 2^bits-per-axis grid over the mesh bounds, implementing the ordering
+// layer's spatial view.
+func (m *TetMesh) HilbertKeys(bits uint) []uint64 {
+	return geom.HilbertSortKeys3(m.Coords, bits)
+}
+
+// MortonKeys returns the Z-order curve key of every vertex, implementing the
+// ordering layer's spatial view.
+func (m *TetMesh) MortonKeys(bits uint) []uint64 {
+	return geom.MortonSortKeys3(m.Coords, bits)
+}
+
+// NewTet assembles a tetrahedral mesh from vertices and tets: it builds the
+// CSR adjacency and vertex-tet incidence, classifies boundary vertices via
+// faces used by exactly one tet, and validates index ranges.
+func NewTet(coords []geom.Point3, tets [][4]int32) (*TetMesh, error) {
+	m := &TetMesh{Coords: coords, Tets: tets}
+	if err := m.build(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *TetMesh) build() error {
+	nv := int32(len(m.Coords))
+	for ti, tv := range m.Tets {
+		for k := 0; k < 4; k++ {
+			if tv[k] < 0 || tv[k] >= nv {
+				return fmt.Errorf("mesh: tet %d vertex index %d out of range [0,%d)", ti, tv[k], nv)
+			}
+			for j := k + 1; j < 4; j++ {
+				if tv[k] == tv[j] {
+					return fmt.Errorf("mesh: tet %d has repeated vertices %v", ti, tv)
+				}
+			}
+		}
+	}
+
+	// Each vertex of a tet gains three directed edges (to the other three
+	// vertices); build directed adjacency then sort and dedupe per vertex,
+	// exactly as the 2D build does.
+	deg := make([]int32, nv+1)
+	for _, tv := range m.Tets {
+		for k := 0; k < 4; k++ {
+			deg[tv[k]+1] += 3
+		}
+	}
+	start := make([]int32, nv+1)
+	for i := int32(0); i < nv; i++ {
+		start[i+1] = start[i] + deg[i+1]
+	}
+	fill := make([]int32, nv)
+	adj := make([]int32, start[nv])
+	for _, tv := range m.Tets {
+		for k := 0; k < 4; k++ {
+			v := tv[k]
+			adj[start[v]+fill[v]] = tv[(k+1)%4]
+			adj[start[v]+fill[v]+1] = tv[(k+2)%4]
+			adj[start[v]+fill[v]+2] = tv[(k+3)%4]
+			fill[v] += 3
+		}
+	}
+
+	m.AdjStart = make([]int32, nv+1)
+	m.AdjList = adj[:0]
+	for v := int32(0); v < nv; v++ {
+		lst := adj[start[v] : start[v]+fill[v]]
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		m.AdjStart[v] = int32(len(m.AdjList))
+		var prev int32 = -1
+		for _, w := range lst {
+			if w != prev {
+				m.AdjList = append(m.AdjList, w)
+				prev = w
+			}
+		}
+	}
+	m.AdjStart[nv] = int32(len(m.AdjList))
+
+	// Vertex -> tet incidence.
+	tdeg := make([]int32, nv+1)
+	for _, tv := range m.Tets {
+		for k := 0; k < 4; k++ {
+			tdeg[tv[k]+1]++
+		}
+	}
+	m.TetStart = make([]int32, nv+1)
+	for i := int32(0); i < nv; i++ {
+		m.TetStart[i+1] = m.TetStart[i] + tdeg[i+1]
+	}
+	m.TetList = make([]int32, m.TetStart[nv])
+	tfill := make([]int32, nv)
+	for ti, tv := range m.Tets {
+		for k := 0; k < 4; k++ {
+			v := tv[k]
+			m.TetList[m.TetStart[v]+tfill[v]] = int32(ti)
+			tfill[v]++
+		}
+	}
+
+	m.classifyBoundary()
+	return nil
+}
+
+// tetFaces lists the four triangular faces of a tet by local vertex index.
+var tetFaces = [4][3]int{{1, 2, 3}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2}}
+
+// classifyBoundary finds triangular faces used by exactly one tet and marks
+// their corners as boundary vertices, then collects the interior vertex
+// list — the 3D analogue of the 2D edge-count classification.
+func (m *TetMesh) classifyBoundary() {
+	type face struct{ a, b, c int32 }
+	norm := func(a, b, c int32) face {
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b, c = c, b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return face{a, b, c}
+	}
+	count := make(map[face]int8, 4*len(m.Tets))
+	for _, tv := range m.Tets {
+		for _, f := range tetFaces {
+			count[norm(tv[f[0]], tv[f[1]], tv[f[2]])]++
+		}
+	}
+	m.IsBoundary = make([]bool, len(m.Coords))
+	for f, c := range count {
+		if c == 1 {
+			m.IsBoundary[f.a] = true
+			m.IsBoundary[f.b] = true
+			m.IsBoundary[f.c] = true
+		}
+	}
+	// Isolated vertices keep the invariant that every vertex is boundary or
+	// interior.
+	for v := range m.IsBoundary {
+		if m.Degree(int32(v)) == 0 {
+			m.IsBoundary[v] = true
+		}
+	}
+	m.InteriorVerts = m.InteriorVerts[:0]
+	for v := int32(0); v < int32(len(m.Coords)); v++ {
+		if !m.IsBoundary[v] {
+			m.InteriorVerts = append(m.InteriorVerts, v)
+		}
+	}
+}
+
+// Renumber returns a new mesh whose vertex k is the receiver's vertex
+// newToOld[k], exactly as Mesh.Renumber relabels the 2D mesh. The receiver
+// is unchanged.
+func (m *TetMesh) Renumber(newToOld []int32) (*TetMesh, error) {
+	nv := len(m.Coords)
+	if len(newToOld) != nv {
+		return nil, fmt.Errorf("mesh: permutation length %d != vertex count %d", len(newToOld), nv)
+	}
+	oldToNew := make([]int32, nv)
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	for newIdx, oldIdx := range newToOld {
+		if oldIdx < 0 || int(oldIdx) >= nv {
+			return nil, fmt.Errorf("mesh: permutation entry %d out of range", oldIdx)
+		}
+		if oldToNew[oldIdx] != -1 {
+			return nil, fmt.Errorf("mesh: permutation repeats vertex %d", oldIdx)
+		}
+		oldToNew[oldIdx] = int32(newIdx)
+	}
+
+	coords := make([]geom.Point3, nv)
+	for newIdx, oldIdx := range newToOld {
+		coords[newIdx] = m.Coords[oldIdx]
+	}
+	tets := make([][4]int32, len(m.Tets))
+	for i, tv := range m.Tets {
+		tets[i] = [4]int32{oldToNew[tv[0]], oldToNew[tv[1]], oldToNew[tv[2]], oldToNew[tv[3]]}
+	}
+	return NewTet(coords, tets)
+}
+
+// Clone returns a deep copy of the mesh.
+func (m *TetMesh) Clone() *TetMesh {
+	return &TetMesh{
+		Coords:        append([]geom.Point3(nil), m.Coords...),
+		Tets:          append([][4]int32(nil), m.Tets...),
+		AdjStart:      append([]int32(nil), m.AdjStart...),
+		AdjList:       append([]int32(nil), m.AdjList...),
+		IsBoundary:    append([]bool(nil), m.IsBoundary...),
+		InteriorVerts: append([]int32(nil), m.InteriorVerts...),
+		TetStart:      append([]int32(nil), m.TetStart...),
+		TetList:       append([]int32(nil), m.TetList...),
+	}
+}
+
+// Validate checks the structural invariants: CSR shape, symmetric adjacency,
+// tet indices in range, every tet edge present in the adjacency, and the
+// boundary/interior partition.
+func (m *TetMesh) Validate() error {
+	nv := int32(len(m.Coords))
+	if len(m.AdjStart) != int(nv)+1 {
+		return fmt.Errorf("mesh: AdjStart length %d != nv+1", len(m.AdjStart))
+	}
+	for v := int32(0); v < nv; v++ {
+		if m.AdjStart[v] > m.AdjStart[v+1] {
+			return fmt.Errorf("mesh: AdjStart not monotone at %d", v)
+		}
+		prev := int32(-1)
+		for _, w := range m.Neighbors(v) {
+			if w < 0 || w >= nv {
+				return fmt.Errorf("mesh: neighbor %d of %d out of range", w, v)
+			}
+			if w == v {
+				return fmt.Errorf("mesh: self loop at %d", v)
+			}
+			if w <= prev {
+				return fmt.Errorf("mesh: adjacency of %d not sorted/unique", v)
+			}
+			prev = w
+			if !m.hasNeighbor(w, v) {
+				return fmt.Errorf("mesh: adjacency not symmetric: %d->%d", v, w)
+			}
+		}
+	}
+	for ti, tv := range m.Tets {
+		for k := 0; k < 4; k++ {
+			for j := k + 1; j < 4; j++ {
+				if !m.hasNeighbor(tv[k], tv[j]) {
+					return fmt.Errorf("mesh: tet %d edge (%d,%d) missing from adjacency", ti, tv[k], tv[j])
+				}
+			}
+		}
+	}
+	nInterior := 0
+	for v := int32(0); v < nv; v++ {
+		if !m.IsBoundary[v] {
+			nInterior++
+		}
+	}
+	if nInterior != len(m.InteriorVerts) {
+		return fmt.Errorf("mesh: interior list length %d != %d non-boundary vertices", len(m.InteriorVerts), nInterior)
+	}
+	for i := 1; i < len(m.InteriorVerts); i++ {
+		if m.InteriorVerts[i-1] >= m.InteriorVerts[i] {
+			return fmt.Errorf("mesh: interior list not in storage order at %d", i)
+		}
+	}
+	return nil
+}
+
+func (m *TetMesh) hasNeighbor(v, w int32) bool {
+	lst := m.Neighbors(v)
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= w })
+	return i < len(lst) && lst[i] == w
+}
+
+// TetStats summarizes a tetrahedral mesh. The JSON field names are part of
+// the lamsd HTTP API (mesh summaries for dim=3 meshes).
+type TetStats struct {
+	Verts     int     `json:"verts"`
+	Tets      int     `json:"tets"`
+	Interior  int     `json:"interior"`
+	Boundary  int     `json:"boundary"`
+	MinDegree int     `json:"min_degree"`
+	MaxDegree int     `json:"max_degree"`
+	AvgDegree float64 `json:"avg_degree"`
+}
+
+// Summary computes mesh statistics.
+func (m *TetMesh) Summary() TetStats {
+	s := TetStats{Verts: m.NumVerts(), Tets: m.NumTets(), Interior: len(m.InteriorVerts)}
+	s.Boundary = s.Verts - s.Interior
+	s.MinDegree = 1 << 30
+	for v := int32(0); v < int32(s.Verts); v++ {
+		d := m.Degree(v)
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		s.AvgDegree += float64(d)
+	}
+	if s.Verts > 0 {
+		s.AvgDegree /= float64(s.Verts)
+	} else {
+		s.MinDegree = 0
+	}
+	return s
+}
+
+func (s TetStats) String() string {
+	return fmt.Sprintf("verts=%d tets=%d interior=%d boundary=%d degree[min=%d avg=%.2f max=%d]",
+		s.Verts, s.Tets, s.Interior, s.Boundary, s.MinDegree, s.AvgDegree, s.MaxDegree)
+}

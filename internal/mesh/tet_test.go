@@ -1,0 +1,294 @@
+package mesh
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lams/internal/geom"
+)
+
+// singleTet is the smallest valid tet mesh: four vertices, one tetrahedron,
+// every vertex on the boundary.
+func singleTet(t *testing.T) *TetMesh {
+	t.Helper()
+	coords := []geom.Point3{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 0, Z: 0}, {X: 0, Y: 1, Z: 0}, {X: 0, Y: 0, Z: 1}}
+	m, err := NewTet(coords, [][4]int32{{0, 2, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSingleTetStructure(t *testing.T) {
+	m := singleTet(t)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVerts() != 4 || m.NumTets() != 1 {
+		t.Fatalf("counts = %d verts, %d tets", m.NumVerts(), m.NumTets())
+	}
+	for v := int32(0); v < 4; v++ {
+		if m.Degree(v) != 3 {
+			t.Errorf("vertex %d degree = %d, want 3", v, m.Degree(v))
+		}
+		if !m.IsBoundary[v] {
+			t.Errorf("vertex %d of a single tet must be boundary", v)
+		}
+		if len(m.VertTets(v)) != 1 || m.VertTets(v)[0] != 0 {
+			t.Errorf("vertex %d incidence = %v", v, m.VertTets(v))
+		}
+	}
+	if len(m.InteriorVerts) != 0 {
+		t.Errorf("interior = %v, want empty", m.InteriorVerts)
+	}
+}
+
+func TestNewTetRejectsBadInput(t *testing.T) {
+	coords := []geom.Point3{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 0, Z: 0}, {X: 0, Y: 1, Z: 0}, {X: 0, Y: 0, Z: 1}}
+	if _, err := NewTet(coords, [][4]int32{{0, 1, 2, 4}}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if _, err := NewTet(coords, [][4]int32{{0, 1, 2, 2}}); err == nil {
+		t.Error("repeated vertex accepted")
+	}
+}
+
+func TestGenerateTetCube(t *testing.T) {
+	m, err := GenerateTetCube(3, 4, 5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.NumVerts(), 4*5*6; got != want {
+		t.Errorf("verts = %d, want %d", got, want)
+	}
+	if got, want := m.NumTets(), 6*3*4*5; got != want {
+		t.Errorf("tets = %d, want %d", got, want)
+	}
+	// Exactly the strict interior of the grid is interior: the boundary
+	// faces of the cube are each used by one tet.
+	if got, want := len(m.InteriorVerts), 2*3*4; got != want {
+		t.Errorf("interior = %d, want %d", got, want)
+	}
+	// Every tet is positively oriented and has nonzero volume.
+	for i, tv := range m.Tets {
+		if geom.Orient3D(m.Coords[tv[0]], m.Coords[tv[1]], m.Coords[tv[2]], m.Coords[tv[3]]) != geom.CounterClockwise {
+			t.Fatalf("tet %d not positively oriented", i)
+		}
+	}
+	// The subdivision tiles the cube: volumes sum to 1.
+	var vol float64
+	for _, tv := range m.Tets {
+		vol += geom.TetVolume(m.Coords[tv[0]], m.Coords[tv[1]], m.Coords[tv[2]], m.Coords[tv[3]])
+	}
+	if vol < 0.999999 || vol > 1.000001 {
+		t.Errorf("total volume = %v, want 1", vol)
+	}
+}
+
+func TestGenerateTetCubeDeterministic(t *testing.T) {
+	a, err := GenerateTetCube(4, 4, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTetCube(4, 4, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Coords {
+		if a.Coords[v] != b.Coords[v] {
+			t.Fatalf("vertex %d differs between identical generations", v)
+		}
+	}
+}
+
+func TestGenerateTetCubeRejectsBadParams(t *testing.T) {
+	if _, err := GenerateTetCube(0, 1, 1, 0); err == nil {
+		t.Error("zero cells accepted")
+	}
+	if _, err := GenerateTetCube(1, 1, 1, 0.5); err == nil {
+		t.Error("jitter 0.5 accepted")
+	}
+}
+
+func TestGenerateTetCubeVertsTargets(t *testing.T) {
+	m, err := GenerateTetCubeVerts(1500, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVerts() > 1500 || m.NumVerts() < 500 {
+		t.Errorf("verts = %d, want close to but not above 1500", m.NumVerts())
+	}
+}
+
+func TestTetRenumberRoundTrip(t *testing.T) {
+	m, err := GenerateTetCube(3, 3, 3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv := m.NumVerts()
+	// Reverse the storage order.
+	perm := make([]int32, nv)
+	for i := range perm {
+		perm[i] = int32(nv - 1 - i)
+	}
+	rm, err := m.Renumber(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for newIdx, oldIdx := range perm {
+		if rm.Coords[newIdx] != m.Coords[oldIdx] {
+			t.Fatalf("coordinate of new vertex %d does not match old vertex %d", newIdx, oldIdx)
+		}
+		if rm.IsBoundary[newIdx] != m.IsBoundary[oldIdx] {
+			t.Fatalf("boundary flag of new vertex %d does not match old vertex %d", newIdx, oldIdx)
+		}
+	}
+	if rm.NumTets() != m.NumTets() {
+		t.Error("renumbering changed the tet count")
+	}
+	// Renumbering back restores the original.
+	back, err := rm.Renumber(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range m.Coords {
+		if back.Coords[v] != m.Coords[v] {
+			t.Fatal("double reversal did not restore the mesh")
+		}
+	}
+}
+
+func TestTetRenumberRejectsBadPermutations(t *testing.T) {
+	m := singleTet(t)
+	if _, err := m.Renumber([]int32{0, 1, 2}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := m.Renumber([]int32{0, 1, 2, 2}); err == nil {
+		t.Error("repeated entry accepted")
+	}
+	if _, err := m.Renumber([]int32{0, 1, 2, 4}); err == nil {
+		t.Error("out-of-range entry accepted")
+	}
+}
+
+func TestTetCloneIsDeep(t *testing.T) {
+	m := singleTet(t)
+	c := m.Clone()
+	c.Coords[0] = geom.Point3{X: 9, Y: 9, Z: 9}
+	c.Tets[0][0] = 3
+	if m.Coords[0] == c.Coords[0] || m.Tets[0][0] == c.Tets[0][0] {
+		t.Error("clone shares storage with the original")
+	}
+}
+
+func TestTetSummary(t *testing.T) {
+	m, err := GenerateTetCube(2, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Summary()
+	if s.Verts != 27 || s.Tets != 48 || s.Interior != 1 || s.Boundary != 26 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.MinDegree <= 0 || s.MaxDegree < s.MinDegree || s.AvgDegree <= 0 {
+		t.Errorf("degree stats = %+v", s)
+	}
+	if !strings.Contains(s.String(), "tets=48") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestTetNodeEleRoundTrip(t *testing.T) {
+	m, err := GenerateTetCube(3, 2, 2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var node, ele bytes.Buffer
+	if err := m.WriteNodeEle(&node, &ele); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTetNodeEle(&node, &ele)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVerts() != m.NumVerts() || got.NumTets() != m.NumTets() {
+		t.Fatalf("round trip changed counts: %d/%d -> %d/%d",
+			m.NumVerts(), m.NumTets(), got.NumVerts(), got.NumTets())
+	}
+	for v := range m.Coords {
+		if got.Coords[v] != m.Coords[v] {
+			t.Fatalf("vertex %d coordinates drifted through the codec", v)
+		}
+	}
+	for i := range m.Tets {
+		if got.Tets[i] != m.Tets[i] {
+			t.Fatalf("tet %d drifted through the codec", i)
+		}
+	}
+}
+
+func TestTetSaveLoadFiles(t *testing.T) {
+	m, err := GenerateTetCube(2, 2, 2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "cube")
+	if err := m.SaveFiles(base); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTetFiles(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVerts() != m.NumVerts() || got.NumTets() != m.NumTets() {
+		t.Error("file round trip changed counts")
+	}
+}
+
+func TestReadNode3Malformed(t *testing.T) {
+	cases := map[string]string{
+		"2D header":        "3 2 0 1\n1 0 0 0\n2 1 0 0\n3 0 1 0\n",
+		"zero verts":       "0 3 0 1\n",
+		"truncated":        "2 3 0 1\n1 0 0 0 0\n",
+		"few fields":       "1 3 0 1\n1 0 0\n",
+		"dup index":        "2 3 0 1\n1 0 0 0 0\n1 1 1 1 0\n",
+		"index range":      "1 3 0 1\n7 0 0 0 0\n",
+		"non-finite coord": "1 3 0 1\n1 0 NaN 0 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadNode3(strings.NewReader(in), 0); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := ReadNode3(strings.NewReader("100 3 0 1\n"), 10); !errors.Is(err, ErrMeshTooLarge) {
+		t.Errorf("oversize header error = %v, want ErrMeshTooLarge", err)
+	}
+}
+
+func TestReadTetEleMalformed(t *testing.T) {
+	cases := map[string]string{
+		"3-node elements": "1 3 0\n1 1 2 3\n",
+		"zero tets":       "0 4 0\n",
+		"truncated":       "2 4 0\n1 1 2 3 4\n",
+		"few fields":      "1 4 0\n1 1 2 3\n",
+		"dup index":       "2 4 0\n1 1 2 3 4\n1 1 2 3 4\n",
+		"vertex range":    "1 4 0\n1 1 2 3 9\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTetEle(strings.NewReader(in), 4, 0); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := ReadTetEle(strings.NewReader("100 4 0\n"), 4, 10); !errors.Is(err, ErrMeshTooLarge) {
+		t.Errorf("oversize header error = %v, want ErrMeshTooLarge", err)
+	}
+}

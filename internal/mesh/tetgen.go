@@ -1,0 +1,95 @@
+package mesh
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lams/internal/geom"
+)
+
+// kuhnPaths lists the six monotone corner paths 000 -> 111 of a cube, each
+// naming the two intermediate corners by bitmask (bit 0 = x, bit 1 = y,
+// bit 2 = z). Every grid cell splits into the six Kuhn tetrahedra
+// (c000, cA, cB, c111); because each tet shares the main diagonal and the
+// split of every cell face depends only on the face's own corner bits, the
+// subdivision is conforming across neighboring cells.
+var kuhnPaths = [6][2]int{
+	{0b001, 0b011}, // x then y
+	{0b001, 0b101}, // x then z
+	{0b010, 0b011}, // y then x
+	{0b010, 0b110}, // y then z
+	{0b100, 0b101}, // z then x
+	{0b100, 0b110}, // z then y
+}
+
+// GenerateTetCube builds a structured tetrahedral mesh of the unit cube:
+// an (nx+1)x(ny+1)x(nz+1) vertex grid whose cells are each split into six
+// Kuhn tetrahedra. Interior vertices are displaced by a deterministic jitter
+// of up to jitter*h per axis (h the local grid spacing; pass 0 for the
+// regular grid), which gives the smoother something to do — exactly the role
+// the jittered-grid interior plays in the 2D generator. Vertices are laid
+// out in x-fastest generation order; this is the mesh's ORI ordering.
+func GenerateTetCube(nx, ny, nz int, jitter float64) (*TetMesh, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("mesh: cube cells %dx%dx%d: all dimensions must be >= 1", nx, ny, nz)
+	}
+	if jitter < 0 || jitter >= 0.5 {
+		return nil, fmt.Errorf("mesh: jitter %g out of range [0, 0.5)", jitter)
+	}
+	vx, vy, vz := nx+1, ny+1, nz+1
+	vid := func(i, j, k int) int32 {
+		return int32((k*vy+j)*vx + i)
+	}
+	hx, hy, hz := 1.0/float64(nx), 1.0/float64(ny), 1.0/float64(nz)
+
+	rng := rand.New(rand.NewSource(1))
+	coords := make([]geom.Point3, 0, vx*vy*vz)
+	for k := 0; k < vz; k++ {
+		for j := 0; j < vy; j++ {
+			for i := 0; i < vx; i++ {
+				p := geom.Point3{X: float64(i) * hx, Y: float64(j) * hy, Z: float64(k) * hz}
+				if jitter > 0 && i > 0 && i < nx && j > 0 && j < ny && k > 0 && k < nz {
+					p.X += (2*rng.Float64() - 1) * jitter * hx
+					p.Y += (2*rng.Float64() - 1) * jitter * hy
+					p.Z += (2*rng.Float64() - 1) * jitter * hz
+				}
+				coords = append(coords, p)
+			}
+		}
+	}
+
+	tets := make([][4]int32, 0, 6*nx*ny*nz)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				corner := func(bits int) int32 {
+					return vid(i+(bits&1), j+(bits>>1&1), k+(bits>>2&1))
+				}
+				for _, path := range kuhnPaths {
+					tv := [4]int32{corner(0), corner(path[0]), corner(path[1]), corner(0b111)}
+					// Orient positively so downstream volume/quality code can
+					// rely on the sign convention.
+					if geom.Orient3D(coords[tv[0]], coords[tv[1]], coords[tv[2]], coords[tv[3]]) == geom.Clockwise {
+						tv[1], tv[2] = tv[2], tv[1]
+					}
+					tets = append(tets, tv)
+				}
+			}
+		}
+	}
+	return NewTet(coords, tets)
+}
+
+// GenerateTetCubeVerts builds the jittered unit-cube tet mesh sized to
+// roughly targetVerts vertices (equal cell counts per axis). It is the 3D
+// counterpart of Generate's targetVerts contract, used by the service layer.
+func GenerateTetCubeVerts(targetVerts int, jitter float64) (*TetMesh, error) {
+	if targetVerts < 8 {
+		targetVerts = 8
+	}
+	n := 1
+	for (n+2)*(n+2)*(n+2) <= targetVerts {
+		n++
+	}
+	return GenerateTetCube(n, n, n, jitter)
+}

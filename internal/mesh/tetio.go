@@ -1,0 +1,224 @@
+package mesh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"lams/internal/geom"
+)
+
+// Tetrahedral-mesh I/O in TetGen's .node/.ele text format — the dim=3
+// sibling of the Triangle codec in io.go, built on the same hardened
+// streaming scanner (header count caps before allocation, duplicate-index
+// and range checks, finite-coordinate validation).
+
+// WriteNode writes the vertex section in TetGen's .node text format
+// (1-based indices, dimension 3, boundary markers).
+func (m *TetMesh) WriteNode(node io.Writer) error {
+	bw := bufio.NewWriter(node)
+	fmt.Fprintf(bw, "%d 3 0 1\n", m.NumVerts())
+	for i, p := range m.Coords {
+		marker := 0
+		if m.IsBoundary[i] {
+			marker = 1
+		}
+		fmt.Fprintf(bw, "%d %.17g %.17g %.17g %d\n", i+1, p.X, p.Y, p.Z, marker)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("mesh: writing nodes: %w", err)
+	}
+	return nil
+}
+
+// WriteEle writes the tetrahedron section in TetGen's .ele text format
+// (4 nodes per element).
+func (m *TetMesh) WriteEle(ele io.Writer) error {
+	be := bufio.NewWriter(ele)
+	fmt.Fprintf(be, "%d 4 0\n", m.NumTets())
+	for i, tv := range m.Tets {
+		fmt.Fprintf(be, "%d %d %d %d %d\n", i+1, tv[0]+1, tv[1]+1, tv[2]+1, tv[3]+1)
+	}
+	if err := be.Flush(); err != nil {
+		return fmt.Errorf("mesh: writing elements: %w", err)
+	}
+	return nil
+}
+
+// WriteNodeEle writes the mesh in TetGen's .node/.ele text format.
+func (m *TetMesh) WriteNodeEle(node, ele io.Writer) error {
+	if err := m.WriteNode(node); err != nil {
+		return err
+	}
+	return m.WriteEle(ele)
+}
+
+// ReadNode3 parses a TetGen .node stream (dimension 3) into vertex
+// coordinates, with the same strictness as the 2D ReadNode: plausible header
+// counts, every vertex index exactly once and in range, finite coordinates,
+// errors naming the offending line. maxVerts (when > 0) rejects larger
+// headers with ErrMeshTooLarge before anything count-sized is allocated.
+func ReadNode3(node io.Reader, maxVerts int) ([]geom.Point3, error) {
+	ns := newScanner(node)
+	fields, err := nextFields(ns)
+	if err != nil {
+		return nil, fmt.Errorf("mesh: .node header: %w", err)
+	}
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("mesh: .node header: want >=2 fields (#verts dim), got %d", len(fields))
+	}
+	nv, err := parseCount(fields[0], "vertex count", maxVerts)
+	if err != nil {
+		return nil, fmt.Errorf("mesh: .node header: %w", err)
+	}
+	dim, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("mesh: .node header dimension %q: %w", fields[1], err)
+	}
+	if dim != 3 {
+		return nil, fmt.Errorf("mesh: ReadNode3 wants dim=3 .node files, got dim=%d", dim)
+	}
+	if nv == 0 {
+		return nil, fmt.Errorf("mesh: .node header declares zero vertices")
+	}
+
+	coords := make([]geom.Point3, nv)
+	seen := make([]bool, nv)
+	for i := 0; i < nv; i++ {
+		f, err := nextFields(ns)
+		if err != nil {
+			return nil, fmt.Errorf("mesh: .node truncated after %d of %d vertices: %w", i, nv, err)
+		}
+		if len(f) < 4 {
+			return nil, fmt.Errorf("mesh: .node line %d: want >=4 fields (index x y z), got %d", i+2, len(f))
+		}
+		idx, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("mesh: .node line %d index %q: %w", i+2, f[0], err)
+		}
+		if idx < 1 || idx > nv {
+			return nil, fmt.Errorf("mesh: .node line %d: vertex index %d out of range [1,%d]", i+2, idx, nv)
+		}
+		if seen[idx-1] {
+			return nil, fmt.Errorf("mesh: .node line %d: duplicate vertex index %d", i+2, idx)
+		}
+		seen[idx-1] = true
+		var xyz [3]float64
+		for k := 0; k < 3; k++ {
+			v, err := parseCoord(f[k+1])
+			if err != nil {
+				return nil, fmt.Errorf("mesh: .node line %d coordinate %d: %w", i+2, k+1, err)
+			}
+			xyz[k] = v
+		}
+		coords[idx-1] = geom.Point3{X: xyz[0], Y: xyz[1], Z: xyz[2]}
+	}
+	return coords, nil
+}
+
+// ReadTetEle parses a TetGen .ele stream into tetrahedra over numVerts
+// vertices (0-based output indices), hardened exactly like the 2D ReadEle.
+// maxTets (when > 0) rejects larger headers with ErrMeshTooLarge before
+// allocation.
+func ReadTetEle(ele io.Reader, numVerts, maxTets int) ([][4]int32, error) {
+	es := newScanner(ele)
+	fields, err := nextFields(es)
+	if err != nil {
+		return nil, fmt.Errorf("mesh: .ele header: %w", err)
+	}
+	nt, err := parseCount(fields[0], "tet count", maxTets)
+	if err != nil {
+		return nil, fmt.Errorf("mesh: .ele header: %w", err)
+	}
+	if len(fields) > 1 {
+		if per, err := strconv.Atoi(fields[1]); err == nil && per != 4 {
+			return nil, fmt.Errorf("mesh: only 4-node elements supported, got %d", per)
+		}
+	}
+	if nt == 0 {
+		return nil, fmt.Errorf("mesh: .ele header declares zero tets")
+	}
+
+	tets := make([][4]int32, nt)
+	seen := make([]bool, nt)
+	for i := 0; i < nt; i++ {
+		f, err := nextFields(es)
+		if err != nil {
+			return nil, fmt.Errorf("mesh: .ele truncated after %d of %d tets: %w", i, nt, err)
+		}
+		if len(f) < 5 {
+			return nil, fmt.Errorf("mesh: .ele line %d: want >=5 fields (index v1 v2 v3 v4), got %d", i+2, len(f))
+		}
+		idx, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("mesh: .ele line %d index %q: %w", i+2, f[0], err)
+		}
+		if idx < 1 || idx > nt {
+			return nil, fmt.Errorf("mesh: .ele line %d: tet index %d out of range [1,%d]", i+2, idx, nt)
+		}
+		if seen[idx-1] {
+			return nil, fmt.Errorf("mesh: .ele line %d: duplicate tet index %d", i+2, idx)
+		}
+		seen[idx-1] = true
+		var tv [4]int32
+		for k := 0; k < 4; k++ {
+			v, err := strconv.Atoi(f[k+1])
+			if err != nil {
+				return nil, fmt.Errorf("mesh: .ele line %d vertex %d %q: %w", i+2, k+1, f[k+1], err)
+			}
+			if v < 1 || v > numVerts {
+				return nil, fmt.Errorf("mesh: .ele line %d: vertex index %d out of range [1,%d]", i+2, v, numVerts)
+			}
+			tv[k] = int32(v - 1)
+		}
+		tets[idx-1] = tv
+	}
+	return tets, nil
+}
+
+// ReadTetNodeEle parses a tetrahedral mesh from TetGen .node/.ele streams.
+// The node stream is consumed fully before the ele stream is touched, so
+// sequential sources work without buffering.
+func ReadTetNodeEle(node, ele io.Reader) (*TetMesh, error) {
+	coords, err := ReadNode3(node, 0)
+	if err != nil {
+		return nil, err
+	}
+	tets, err := ReadTetEle(ele, len(coords), 0)
+	if err != nil {
+		return nil, err
+	}
+	return NewTet(coords, tets)
+}
+
+// SaveFiles writes base.node and base.ele.
+func (m *TetMesh) SaveFiles(base string) error {
+	nf, err := os.Create(base + ".node")
+	if err != nil {
+		return err
+	}
+	defer nf.Close()
+	ef, err := os.Create(base + ".ele")
+	if err != nil {
+		return err
+	}
+	defer ef.Close()
+	return m.WriteNodeEle(nf, ef)
+}
+
+// LoadTetFiles reads base.node and base.ele.
+func LoadTetFiles(base string) (*TetMesh, error) {
+	nf, err := os.Open(base + ".node")
+	if err != nil {
+		return nil, err
+	}
+	defer nf.Close()
+	ef, err := os.Open(base + ".ele")
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	return ReadTetNodeEle(nf, ef)
+}

@@ -2,8 +2,6 @@ package order
 
 import (
 	"fmt"
-
-	"lams/internal/mesh"
 )
 
 // CPack is the consecutive-packing data reordering of Ding and Kennedy, the
@@ -24,28 +22,28 @@ type CPack struct {
 func (CPack) Name() string { return "CPACK" }
 
 // Compute implements Ordering.
-func (c CPack) Compute(m *mesh.Mesh, vq []float64) ([]int32, error) {
+func (c CPack) Compute(g Graph, vq []float64) ([]int32, error) {
 	tr := c.Trace
 	if tr == nil {
 		if vq == nil {
 			return nil, fmt.Errorf("order: CPACK without an explicit trace requires vertex qualities")
 		}
-		w, err := GreedyWalk(m, vq, false)
+		w, err := GreedyWalk(g, vq, false)
 		if err != nil {
 			return nil, err
 		}
 		// Reconstruct the smoother's access stream: each interior head is
 		// touched, then its neighbors.
 		for _, h := range w.Heads {
-			if m.IsBoundary[h] {
+			if g.OnBoundary(h) {
 				continue
 			}
 			tr = append(tr, h)
-			tr = append(tr, m.Neighbors(h)...)
+			tr = append(tr, g.Neighbors(h)...)
 		}
 	}
 
-	nv := m.NumVerts()
+	nv := g.NumVerts()
 	perm := make([]int32, 0, nv)
 	seen := make([]bool, nv)
 	for _, v := range tr {

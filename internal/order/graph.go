@@ -1,0 +1,32 @@
+package order
+
+// Graph is the adjacency view the orderings traverse: a CSR vertex
+// neighborhood structure plus the boundary/interior partition. Both
+// *mesh.Mesh (2D triangles) and *mesh.TetMesh (3D tetrahedra) implement it,
+// which is what makes every registered ordering dimension-agnostic — the
+// traversals only ever see vertices and edges, never elements.
+type Graph interface {
+	// NumVerts returns the number of vertices.
+	NumVerts() int
+	// Neighbors returns the sorted, unique adjacency list of vertex v as a
+	// shared sub-slice; callers must not modify it.
+	Neighbors(v int32) []int32
+	// Degree returns the number of neighbors of vertex v.
+	Degree(v int32) int
+	// Interior returns the non-boundary vertices in storage order.
+	Interior() []int32
+	// OnBoundary reports whether vertex v lies on the mesh boundary.
+	OnBoundary(v int32) bool
+}
+
+// Spatial is the optional coordinate view of a Graph: space-filling-curve
+// keys over the vertex positions. The curve orderings (HILBERT, MORTON)
+// require it and fail on graphs without geometry; every other ordering works
+// from adjacency alone.
+type Spatial interface {
+	// HilbertKeys returns a Hilbert curve key per vertex on a
+	// 2^bits-per-axis grid over the vertex bounds.
+	HilbertKeys(bits uint) []uint64
+	// MortonKeys returns a Z-order curve key per vertex on the same grid.
+	MortonKeys(bits uint) []uint64
+}

@@ -1,0 +1,113 @@
+package order
+
+import (
+	"testing"
+
+	"lams/internal/mesh"
+)
+
+// TestEveryOrderingPermutesTetMesh is the payoff of the Graph abstraction:
+// every registered ordering — including the quality-driven RDR family and
+// the coordinate-driven curve orderings — must produce a valid permutation
+// of a tetrahedral mesh with no 3D-specific code in this package.
+func TestEveryOrderingPermutesTetMesh(t *testing.T) {
+	tm, err := mesh.GenerateTetCube(4, 3, 3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic qualities (any deterministic values do for traversal seeding).
+	vq := make([]float64, tm.NumVerts())
+	for i := range vq {
+		vq[i] = float64((i*2654435761)%1000) / 1000
+	}
+	for _, name := range Names() {
+		ord, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm, err := ord.Compute(tm, vq)
+		if err != nil {
+			t.Fatalf("%s over tet mesh: %v", name, err)
+		}
+		if err := ValidatePermutation(perm, tm.NumVerts()); err != nil {
+			t.Errorf("%s over tet mesh: %v", name, err)
+		}
+	}
+}
+
+// TestGreedyWalkCoversTetInterior mirrors the 2D walk-coverage guarantee on
+// the 3D mesh: the quality-greedy traversal processes every interior vertex
+// exactly once.
+func TestGreedyWalkCoversTetInterior(t *testing.T) {
+	tm, err := mesh.GenerateTetCube(3, 3, 3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vq := make([]float64, tm.NumVerts())
+	for i := range vq {
+		vq[i] = float64((i*7919)%977) / 977
+	}
+	w, err := GreedyWalk(tm, vq, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int32]int)
+	for _, v := range w.Heads {
+		seen[v]++
+	}
+	for _, v := range tm.InteriorVerts {
+		if seen[v] != 1 {
+			t.Errorf("interior vertex %d processed %d times", v, seen[v])
+		}
+	}
+}
+
+// TestCurveOrderingsRequireSpatial pins the error path: a Graph without
+// coordinates cannot be curve-ordered.
+func TestCurveOrderingsRequireSpatial(t *testing.T) {
+	g := pureGraph{n: 4}
+	if _, err := (Hilbert{}).Compute(g, nil); err == nil {
+		t.Error("HILBERT accepted a graph without coordinates")
+	}
+	if _, err := (Morton{}).Compute(g, nil); err == nil {
+		t.Error("MORTON accepted a graph without coordinates")
+	}
+	// Adjacency-only orderings must still work on it.
+	perm, err := BFS{}.Compute(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePermutation(perm, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+// pureGraph is a path graph with no geometry: 0-1-2-...-(n-1).
+type pureGraph struct{ n int }
+
+func (g pureGraph) NumVerts() int { return g.n }
+
+func (g pureGraph) Neighbors(v int32) []int32 {
+	switch {
+	case g.n == 1:
+		return nil
+	case v == 0:
+		return []int32{1}
+	case int(v) == g.n-1:
+		return []int32{v - 1}
+	default:
+		return []int32{v - 1, v + 1}
+	}
+}
+
+func (g pureGraph) Degree(v int32) int { return len(g.Neighbors(v)) }
+
+func (g pureGraph) Interior() []int32 {
+	var out []int32
+	for v := int32(1); int(v) < g.n-1; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+func (g pureGraph) OnBoundary(v int32) bool { return v == 0 || int(v) == g.n-1 }

@@ -13,25 +13,27 @@
 // An ordering computes a newToOld permutation: position k of the result
 // holds the index (in the input mesh) of the vertex that should be stored
 // k-th. mesh.Renumber applies it.
+//
+// Orderings traverse the Graph adjacency abstraction (see graph.go), not a
+// concrete mesh type: any vertex structure with CSR adjacency and a
+// boundary/interior partition — the 2D triangular mesh and the 3D
+// tetrahedral mesh alike — reorders through the same registry.
 package order
 
 import (
 	"fmt"
 	"math/rand"
 	"sort"
-
-	"lams/internal/geom"
-	"lams/internal/mesh"
 )
 
 // Ordering computes a vertex permutation for a mesh.
 type Ordering interface {
 	// Name identifies the ordering in reports (upper-case, as in the paper).
 	Name() string
-	// Compute returns the newToOld permutation. vertexQuality holds the
-	// initial per-vertex qualities; orderings that do not use quality may
-	// ignore it (and accept nil).
-	Compute(m *mesh.Mesh, vertexQuality []float64) ([]int32, error)
+	// Compute returns the newToOld permutation for the graph's vertices.
+	// vertexQuality holds the initial per-vertex qualities; orderings that
+	// do not use quality may ignore it (and accept nil).
+	Compute(g Graph, vertexQuality []float64) ([]int32, error)
 }
 
 // Original is the identity ordering: the mesh keeps its generation order.
@@ -41,8 +43,8 @@ type Original struct{}
 func (Original) Name() string { return "ORI" }
 
 // Compute implements Ordering.
-func (Original) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
-	perm := make([]int32, m.NumVerts())
+func (Original) Compute(g Graph, _ []float64) ([]int32, error) {
+	perm := make([]int32, g.NumVerts())
 	for i := range perm {
 		perm[i] = int32(i)
 	}
@@ -58,8 +60,8 @@ type Random struct {
 func (Random) Name() string { return "RANDOM" }
 
 // Compute implements Ordering.
-func (r Random) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
-	perm := make([]int32, m.NumVerts())
+func (r Random) Compute(g Graph, _ []float64) ([]int32, error) {
+	perm := make([]int32, g.NumVerts())
 	for i := range perm {
 		perm[i] = int32(i)
 	}
@@ -86,8 +88,8 @@ func (b BFS) Name() string {
 }
 
 // Compute implements Ordering.
-func (b BFS) Compute(m *mesh.Mesh, vq []float64) ([]int32, error) {
-	nv := m.NumVerts()
+func (b BFS) Compute(g Graph, vq []float64) ([]int32, error) {
+	nv := g.NumVerts()
 	root := b.Root
 	if b.WorstQualityRoot {
 		if vq == nil {
@@ -120,7 +122,7 @@ func (b BFS) Compute(m *mesh.Mesh, vq []float64) ([]int32, error) {
 		v := queue[0]
 		queue = queue[1:]
 		perm = append(perm, v)
-		for _, w := range m.Neighbors(v) {
+		for _, w := range g.Neighbors(v) {
 			enqueue(w)
 		}
 	}
@@ -136,8 +138,8 @@ type DFS struct {
 func (DFS) Name() string { return "DFS" }
 
 // Compute implements Ordering.
-func (d DFS) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
-	nv := m.NumVerts()
+func (d DFS) Compute(g Graph, _ []float64) ([]int32, error) {
+	nv := g.NumVerts()
 	if d.Root < 0 || int(d.Root) >= nv {
 		return nil, fmt.Errorf("order: DFS root %d out of range [0,%d)", d.Root, nv)
 	}
@@ -161,7 +163,7 @@ func (d DFS) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
 		perm = append(perm, v)
 		// Push neighbors in reverse so the lowest-index neighbor is visited
 		// first, matching the usual recursive DFS order.
-		nbrs := m.Neighbors(v)
+		nbrs := g.Neighbors(v)
 		for i := len(nbrs) - 1; i >= 0; i-- {
 			w := nbrs[i]
 			if !visited[w] {
@@ -181,8 +183,8 @@ type RCM struct{}
 func (RCM) Name() string { return "RCM" }
 
 // Compute implements Ordering.
-func (RCM) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
-	nv := m.NumVerts()
+func (RCM) Compute(g Graph, _ []float64) ([]int32, error) {
+	nv := g.NumVerts()
 	visited := make([]bool, nv)
 	perm := make([]int32, 0, nv)
 	queue := make([]int32, 0, nv)
@@ -197,7 +199,7 @@ func (RCM) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
 			// Start each component from a minimum-degree vertex reachable
 			// from `next`'s component; min-degree of the whole remainder is
 			// a cheap, standard peripheral heuristic.
-			start := minDegreeInComponent(m, next, visited)
+			start := minDegreeInComponent(g, next, visited)
 			visited[start] = true
 			queue = append(queue, start)
 		}
@@ -205,14 +207,14 @@ func (RCM) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
 		queue = queue[1:]
 		perm = append(perm, v)
 		scratch = scratch[:0]
-		for _, w := range m.Neighbors(v) {
+		for _, w := range g.Neighbors(v) {
 			if !visited[w] {
 				visited[w] = true
 				scratch = append(scratch, w)
 			}
 		}
 		sort.Slice(scratch, func(i, j int) bool {
-			di, dj := m.Degree(scratch[i]), m.Degree(scratch[j])
+			di, dj := g.Degree(scratch[i]), g.Degree(scratch[j])
 			if di != dj {
 				return di < dj
 			}
@@ -227,17 +229,17 @@ func (RCM) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
 	return perm, nil
 }
 
-func minDegreeInComponent(m *mesh.Mesh, seed int32, visited []bool) int32 {
+func minDegreeInComponent(g Graph, seed int32, visited []bool) int32 {
 	seen := map[int32]bool{seed: true}
 	stack := []int32{seed}
 	best := seed
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if m.Degree(v) < m.Degree(best) || (m.Degree(v) == m.Degree(best) && v < best) {
+		if g.Degree(v) < g.Degree(best) || (g.Degree(v) == g.Degree(best) && v < best) {
 			best = v
 		}
-		for _, w := range m.Neighbors(v) {
+		for _, w := range g.Neighbors(v) {
 			if !visited[w] && !seen[w] {
 				seen[w] = true
 				stack = append(stack, w)
@@ -247,50 +249,48 @@ func minDegreeInComponent(m *mesh.Mesh, seed int32, visited []bool) int32 {
 	return best
 }
 
+// curveBits is the per-axis grid resolution of the space-filling-curve
+// orderings: 2^16 cells per axis, as the 2D orderings have always used.
+const curveBits = 16
+
 // Hilbert orders vertices along a Hilbert space-filling curve over their
-// coordinates (Sastry et al. [14]).
+// coordinates (Sastry et al. [14]). It requires a Graph that also implements
+// Spatial.
 type Hilbert struct{}
 
 // Name implements Ordering.
 func (Hilbert) Name() string { return "HILBERT" }
 
 // Compute implements Ordering.
-func (Hilbert) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
-	return curveOrder(m, func(pts []geom.Point) []uint64 {
-		return geom.HilbertSortKeys(pts, 16)
-	})
+func (Hilbert) Compute(g Graph, _ []float64) ([]int32, error) {
+	sp, ok := g.(Spatial)
+	if !ok {
+		return nil, fmt.Errorf("order: HILBERT requires vertex coordinates (graph does not implement Spatial)")
+	}
+	return curveOrder(g.NumVerts(), sp.HilbertKeys(curveBits))
 }
 
-// Morton orders vertices along a Z-order (Morton) curve.
+// Morton orders vertices along a Z-order (Morton) curve. It requires a Graph
+// that also implements Spatial.
 type Morton struct{}
 
 // Name implements Ordering.
 func (Morton) Name() string { return "MORTON" }
 
 // Compute implements Ordering.
-func (Morton) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
-	return curveOrder(m, func(pts []geom.Point) []uint64 {
-		b := geom.BoundsOf(pts)
-		w, h := b.Width(), b.Height()
-		if w == 0 {
-			w = 1
-		}
-		if h == 0 {
-			h = 1
-		}
-		keys := make([]uint64, len(pts))
-		for i, p := range pts {
-			gx := uint32((p.X - b.Min.X) / w * 65535)
-			gy := uint32((p.Y - b.Min.Y) / h * 65535)
-			keys[i] = geom.MortonIndex(gx, gy)
-		}
-		return keys
-	})
+func (Morton) Compute(g Graph, _ []float64) ([]int32, error) {
+	sp, ok := g.(Spatial)
+	if !ok {
+		return nil, fmt.Errorf("order: MORTON requires vertex coordinates (graph does not implement Spatial)")
+	}
+	return curveOrder(g.NumVerts(), sp.MortonKeys(curveBits))
 }
 
-func curveOrder(m *mesh.Mesh, keyfn func([]geom.Point) []uint64) ([]int32, error) {
-	keys := keyfn(m.Coords)
-	perm := make([]int32, m.NumVerts())
+func curveOrder(nv int, keys []uint64) ([]int32, error) {
+	if len(keys) != nv {
+		return nil, fmt.Errorf("order: curve produced %d keys for %d vertices", len(keys), nv)
+	}
+	perm := make([]int32, nv)
 	for i := range perm {
 		perm[i] = int32(i)
 	}
@@ -314,8 +314,8 @@ type Reversed struct {
 func (r Reversed) Name() string { return "R" + r.Inner.Name() }
 
 // Compute implements Ordering.
-func (r Reversed) Compute(m *mesh.Mesh, vq []float64) ([]int32, error) {
-	perm, err := r.Inner.Compute(m, vq)
+func (r Reversed) Compute(g Graph, vq []float64) ([]int32, error) {
+	perm, err := r.Inner.Compute(g, vq)
 	if err != nil {
 		return nil, err
 	}

@@ -2,8 +2,6 @@ package order
 
 import (
 	"fmt"
-
-	"lams/internal/mesh"
 )
 
 // RDR is the paper's Reuse Distance Reducing ordering (Algorithm 2).
@@ -34,20 +32,20 @@ func (r RDR) Name() string {
 // the only addition is a final sweep appending vertices the walk never
 // reached (possible for boundary vertices in components without interior
 // vertices), so the result is always a complete permutation.
-func (r RDR) Compute(m *mesh.Mesh, vq []float64) ([]int32, error) {
+func (r RDR) Compute(g Graph, vq []float64) ([]int32, error) {
 	if vq == nil {
 		return nil, fmt.Errorf("order: RDR requires initial vertex qualities")
 	}
-	w, err := GreedyWalk(m, vq, r.SortDescending)
+	w, err := GreedyWalk(g, vq, r.SortDescending)
 	if err != nil {
 		return nil, err
 	}
 	vnew := w.Appends
-	seen := make([]bool, m.NumVerts())
+	seen := make([]bool, g.NumVerts())
 	for _, v := range vnew {
 		seen[v] = true
 	}
-	for v := int32(0); v < int32(m.NumVerts()); v++ {
+	for v := int32(0); v < int32(g.NumVerts()); v++ {
 		if !seen[v] {
 			vnew = append(vnew, v)
 		}

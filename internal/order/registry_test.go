@@ -4,8 +4,6 @@ import (
 	"reflect"
 	"sync"
 	"testing"
-
-	"lams/internal/mesh"
 )
 
 func TestRegistryNamesReportOrder(t *testing.T) {
@@ -133,8 +131,8 @@ type stubOrdering struct{ name string }
 
 func (s stubOrdering) Name() string { return s.name }
 
-func (s stubOrdering) Compute(m *mesh.Mesh, _ []float64) ([]int32, error) {
-	return Original{}.Compute(m, nil)
+func (s stubOrdering) Compute(g Graph, _ []float64) ([]int32, error) {
+	return Original{}.Compute(g, nil)
 }
 
 // registerStubOnce guards the test registration so repeated in-process runs

@@ -3,8 +3,6 @@ package order
 import (
 	"fmt"
 	"sort"
-
-	"lams/internal/mesh"
 )
 
 // Walk is the result of the quality-greedy traversal that both the paper's
@@ -26,11 +24,11 @@ type Walk struct {
 	Appends []int32
 }
 
-// GreedyWalk runs Algorithm 2's traversal over the mesh with the given
+// GreedyWalk runs Algorithm 2's traversal over the graph with the given
 // initial vertex qualities. When descending is true the quality comparisons
 // are reversed (best-first; an ablation).
-func GreedyWalk(m *mesh.Mesh, vq []float64, descending bool) (Walk, error) {
-	nv := m.NumVerts()
+func GreedyWalk(g Graph, vq []float64, descending bool) (Walk, error) {
+	nv := g.NumVerts()
 	if len(vq) != nv {
 		return Walk{}, fmt.Errorf("order: quality slice length %d != vertex count %d", len(vq), nv)
 	}
@@ -45,7 +43,7 @@ func GreedyWalk(m *mesh.Mesh, vq []float64, descending bool) (Walk, error) {
 	}
 
 	// Line 6: interior vertices sorted by increasing quality.
-	seeds := append([]int32(nil), m.InteriorVerts...)
+	seeds := append([]int32(nil), g.Interior()...)
 	sort.Slice(seeds, func(i, j int) bool { return less(seeds[i], seeds[j]) })
 
 	w := Walk{
@@ -57,7 +55,7 @@ func GreedyWalk(m *mesh.Mesh, vq []float64, descending bool) (Walk, error) {
 	var l []int32
 	neighborsOf := func(v int32) []int32 { // lines 13/23
 		l = l[:0]
-		for _, u := range m.Neighbors(v) {
+		for _, u := range g.Neighbors(v) {
 			if !processed[u] {
 				l = append(l, u)
 			}

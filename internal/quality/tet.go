@@ -1,0 +1,174 @@
+package quality
+
+import (
+	"math"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+)
+
+// Tetrahedral quality metrics — the 3D counterparts of the triangle metrics,
+// with the same normalization contract: every metric maps a tet to [0, 1],
+// 1 for the regular (equilateral) tetrahedron, 0 for a degenerate or
+// inverted one. Vertex quality is the average over attached tets and global
+// quality the average vertex quality, exactly as §3.2 aggregates triangles.
+
+// TetMetric maps a tetrahedron to a quality value in [0, 1].
+type TetMetric interface {
+	// Tet returns the quality of tetrahedron (a, b, c, d).
+	Tet(a, b, c, d geom.Point3) float64
+	// Name identifies the metric in reports.
+	Name() string
+}
+
+// MeanRatio3 is the normalized mean-ratio metric for tetrahedra,
+// 12*(3V)^(2/3) / Σ l_i² over the six edges: 1 for the regular tetrahedron,
+// approaching 0 as the tet degenerates, and 0 for flat or inverted tets
+// (negative orientation). It is the standard algebraic shape measure of
+// Liu and Joe and the default 3D smoothing metric here.
+type MeanRatio3 struct{}
+
+// Name implements TetMetric.
+func (MeanRatio3) Name() string { return "mean-ratio" }
+
+// Tet implements TetMetric.
+func (MeanRatio3) Tet(a, b, c, d geom.Point3) float64 {
+	vol6 := geom.Orient3DValue(a, b, c, d)
+	if vol6 <= 0 {
+		return 0
+	}
+	s := a.Dist2(b) + a.Dist2(c) + a.Dist2(d) + b.Dist2(c) + b.Dist2(d) + c.Dist2(d)
+	if s == 0 {
+		return 0
+	}
+	// vol6 is 6V, so 3V = vol6/2.
+	return 12 * math.Cbrt((vol6/2)*(vol6/2)) / s
+}
+
+// EdgeRatio3 is the edge-length-ratio metric lifted to tetrahedra: the ratio
+// of the shortest to the longest of the six edges, 1 for the regular tet.
+// Like its 2D namesake it is orientation-blind and cheap — the natural
+// driver for the RDR ordering's initial qualities when smoothing 3D meshes
+// with the paper's metric family.
+type EdgeRatio3 struct{}
+
+// Name implements TetMetric.
+func (EdgeRatio3) Name() string { return "edge-length-ratio" }
+
+// Tet implements TetMetric.
+func (EdgeRatio3) Tet(a, b, c, d geom.Point3) float64 {
+	e := [6]float64{a.Dist(b), a.Dist(c), a.Dist(d), b.Dist(c), b.Dist(d), c.Dist(d)}
+	lo, hi := e[0], e[0]
+	for _, l := range e[1:] {
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	if hi == 0 {
+		return 0
+	}
+	return lo / hi
+}
+
+// TetQualities returns the metric value of every tetrahedron.
+func TetQualities(m *mesh.TetMesh, met TetMetric) []float64 {
+	out := make([]float64, m.NumTets())
+	for i, tv := range m.Tets {
+		out[i] = met.Tet(m.Coords[tv[0]], m.Coords[tv[1]], m.Coords[tv[2]], m.Coords[tv[3]])
+	}
+	return out
+}
+
+// TetVertexQualities returns the quality of every vertex: the average metric
+// value of the tets attached to it (§3.2, lifted to 3D).
+func TetVertexQualities(m *mesh.TetMesh, met TetMetric) []float64 {
+	tetQ := TetQualities(m, met)
+	out := make([]float64, m.NumVerts())
+	for v := int32(0); v < int32(m.NumVerts()); v++ {
+		ts := m.VertTets(v)
+		if len(ts) == 0 {
+			continue
+		}
+		var s float64
+		for _, t := range ts {
+			s += tetQ[t]
+		}
+		out[v] = s / float64(len(ts))
+	}
+	return out
+}
+
+// TetVertexQuality recomputes the quality of a single vertex from the
+// current coordinates (used by incremental updates during smoothing).
+func TetVertexQuality(m *mesh.TetMesh, met TetMetric, v int32) float64 {
+	ts := m.VertTets(v)
+	if len(ts) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range ts {
+		tv := m.Tets[t]
+		s += met.Tet(m.Coords[tv[0]], m.Coords[tv[1]], m.Coords[tv[2]], m.Coords[tv[3]])
+	}
+	return s / float64(len(ts))
+}
+
+// TetGlobal returns the mesh-wide quality: the average vertex quality.
+func TetGlobal(m *mesh.TetMesh, met TetMetric) float64 {
+	vq := TetVertexQualities(m, met)
+	if len(vq) == 0 {
+		return 0
+	}
+	var s float64
+	for _, q := range vq {
+		s += q
+	}
+	return s / float64(len(vq))
+}
+
+// TetQualities is like the package-level TetQualities but writes into the
+// scratch buffer. The result is valid until the next call on s.
+func (s *Scratch) TetQualities(m *mesh.TetMesh, met TetMetric) []float64 {
+	s.tri = grow(s.tri, m.NumTets())
+	for i, tv := range m.Tets {
+		s.tri[i] = met.Tet(m.Coords[tv[0]], m.Coords[tv[1]], m.Coords[tv[2]], m.Coords[tv[3]])
+	}
+	return s.tri
+}
+
+// TetVertexQualities is like the package-level TetVertexQualities but writes
+// into the scratch buffers. The result is valid until the next call on s.
+func (s *Scratch) TetVertexQualities(m *mesh.TetMesh, met TetMetric) []float64 {
+	tetQ := s.TetQualities(m, met)
+	s.vert = grow(s.vert, m.NumVerts())
+	for v := int32(0); v < int32(m.NumVerts()); v++ {
+		ts := m.VertTets(v)
+		if len(ts) == 0 {
+			s.vert[v] = 0
+			continue
+		}
+		var sum float64
+		for _, t := range ts {
+			sum += tetQ[t]
+		}
+		s.vert[v] = sum / float64(len(ts))
+	}
+	return s.vert
+}
+
+// TetGlobal is like the package-level TetGlobal but allocation-free after
+// the scratch buffers have grown to the mesh's size.
+func (s *Scratch) TetGlobal(m *mesh.TetMesh, met TetMetric) float64 {
+	vq := s.TetVertexQualities(m, met)
+	if len(vq) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, q := range vq {
+		sum += q
+	}
+	return sum / float64(len(vq))
+}

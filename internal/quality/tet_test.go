@@ -1,0 +1,136 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+)
+
+// regularTet returns the vertices of a regular tetrahedron with unit edges,
+// positively oriented.
+func regularTet() [4]geom.Point3 {
+	h := math.Sqrt(3) / 2
+	pts := [4]geom.Point3{
+		{X: 0, Y: 0, Z: 0},
+		{X: 1, Y: 0, Z: 0},
+		{X: 0.5, Y: h, Z: 0},
+		{X: 0.5, Y: math.Sqrt(3) / 6, Z: math.Sqrt(2.0 / 3.0)},
+	}
+	if geom.Orient3D(pts[0], pts[1], pts[2], pts[3]) != geom.CounterClockwise {
+		pts[1], pts[2] = pts[2], pts[1]
+	}
+	return pts
+}
+
+func TestTetMetricsNormalization(t *testing.T) {
+	reg := regularTet()
+	for _, met := range []TetMetric{MeanRatio3{}, EdgeRatio3{}} {
+		if q := met.Tet(reg[0], reg[1], reg[2], reg[3]); math.Abs(q-1) > 1e-12 {
+			t.Errorf("%s(regular tet) = %v, want 1", met.Name(), q)
+		}
+		// A squashed tet scores strictly between 0 and 1.
+		squash := reg[3]
+		squash.Z *= 0.2
+		q := met.Tet(reg[0], reg[1], reg[2], squash)
+		if q <= 0 || q >= 1 {
+			t.Errorf("%s(squashed tet) = %v, want in (0,1)", met.Name(), q)
+		}
+		if met.Name() == "" {
+			t.Error("metric has empty name")
+		}
+	}
+}
+
+func TestMeanRatio3DegenerateIsZero(t *testing.T) {
+	reg := regularTet()
+	// Flat tet: the volume term zeroes the mean ratio. (EdgeRatio3, like its
+	// 2D namesake, is deliberately blind to flatness — it only sees edges.)
+	if q := (MeanRatio3{}).Tet(reg[0], reg[1], reg[2], geom.Midpoint3(reg[0], reg[1])); q != 0 {
+		t.Errorf("mean ratio of flat tet = %v, want 0", q)
+	}
+	// Swapping two vertices inverts the orientation.
+	if q := (MeanRatio3{}).Tet(reg[0], reg[2], reg[1], reg[3]); q != 0 {
+		t.Errorf("mean ratio of inverted tet = %v, want 0", q)
+	}
+	// EdgeRatio3 is orientation-blind by design.
+	if q := (EdgeRatio3{}).Tet(reg[0], reg[2], reg[1], reg[3]); math.Abs(q-1) > 1e-12 {
+		t.Errorf("edge ratio of inverted regular tet = %v, want 1", q)
+	}
+}
+
+func TestMeanRatio3ScaleInvariant(t *testing.T) {
+	reg := regularTet()
+	for _, s := range []float64{0.01, 3, 1000} {
+		q := (MeanRatio3{}).Tet(reg[0].Scale(s), reg[1].Scale(s), reg[2].Scale(s), reg[3].Scale(s))
+		if math.Abs(q-1) > 1e-9 {
+			t.Errorf("scale %g: mean ratio = %v, want 1", s, q)
+		}
+	}
+}
+
+func TestTetAggregation(t *testing.T) {
+	m, err := mesh.GenerateTetCube(3, 3, 3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := MeanRatio3{}
+	tq := TetQualities(m, met)
+	if len(tq) != m.NumTets() {
+		t.Fatalf("tet qualities length %d", len(tq))
+	}
+	for i, q := range tq {
+		if q <= 0 || q > 1 {
+			t.Fatalf("tet %d quality %v outside (0,1]", i, q)
+		}
+	}
+	vq := TetVertexQualities(m, met)
+	if len(vq) != m.NumVerts() {
+		t.Fatalf("vertex qualities length %d", len(vq))
+	}
+	// Spot check one vertex against the single-vertex recomputation.
+	for _, v := range []int32{0, int32(m.NumVerts() / 2), int32(m.NumVerts() - 1)} {
+		if got, want := TetVertexQuality(m, met, v), vq[v]; got != want {
+			t.Errorf("vertex %d quality %v != bulk %v", v, got, want)
+		}
+	}
+	g := TetGlobal(m, met)
+	if g <= 0 || g > 1 {
+		t.Errorf("global quality %v", g)
+	}
+	var sum float64
+	for _, q := range vq {
+		sum += q
+	}
+	if math.Abs(g-sum/float64(len(vq))) > 1e-15 {
+		t.Errorf("global %v is not the mean vertex quality", g)
+	}
+}
+
+func TestTetScratchMatchesPackageLevel(t *testing.T) {
+	m, err := mesh.GenerateTetCube(3, 2, 2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Scratch
+	met := MeanRatio3{}
+	if got, want := s.TetGlobal(m, met), TetGlobal(m, met); got != want {
+		t.Errorf("scratch global %v != %v", got, want)
+	}
+	a := s.TetVertexQualities(m, met)
+	b := TetVertexQualities(m, met)
+	for i := range b {
+		if a[i] != b[i] {
+			t.Fatalf("vertex %d scratch quality differs", i)
+		}
+	}
+	// The scratch also still serves 2D meshes afterwards (shared buffers).
+	m2, err := mesh.Generate("carabiner", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Global(m2, EdgeRatio{}), Global(m2, EdgeRatio{}); got != want {
+		t.Errorf("2D scratch global after tet use: %v != %v", got, want)
+	}
+}

@@ -1,0 +1,282 @@
+package smooth
+
+import (
+	"context"
+	"fmt"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+	"lams/internal/order"
+	"lams/internal/parallel"
+	"lams/internal/quality"
+	"lams/internal/trace"
+)
+
+// Options3 configures a 3D smoothing run. The zero value means: mean-ratio
+// metric, tolerance DefaultTol, at most 100 iterations, one worker,
+// quality-greedy traversal, Jacobi updates, no tracing — the same defaults
+// as the 2D Options, with the metric swapped for its tetrahedral
+// counterpart. The shared fields carry the exact semantics documented on
+// Options.
+type Options3 struct {
+	// Metric is the tet quality metric (default quality.MeanRatio3{}).
+	Metric quality.TetMetric
+	// Tol stops the run when an iteration improves global quality by less
+	// than this amount (default DefaultTol); negative disables the criterion.
+	Tol float64
+	// GoalQuality stops the run once global quality reaches it (default 1).
+	GoalQuality float64
+	// MaxIters caps the iteration count (default 100).
+	MaxIters int
+	// Workers is the number of parallel workers (default 1).
+	Workers int
+	// Schedule names the registered chunk schedule distributing the visit
+	// sequence across workers; see Options.Schedule. Jacobi updates make the
+	// numerical result bit-identical under every schedule.
+	Schedule string
+	// Traversal selects the visit order (default QualityGreedy).
+	Traversal Traversal
+	// Kernel is the per-vertex update rule (default PlainKernel3{}).
+	Kernel Kernel3
+	// GaussSeidel selects in-place updates for a Jacobi-style kernel. Only
+	// valid with Workers == 1.
+	GaussSeidel bool
+	// Trace, when non-nil, records every vertex-array access on the
+	// worker's stream; the buffer must have at least Workers cores.
+	Trace *trace.Buffer
+}
+
+func (o Options3) withDefaults() Options3 {
+	if o.Metric == nil {
+		o.Metric = quality.MeanRatio3{}
+	}
+	if o.Tol == 0 {
+		o.Tol = DefaultTol
+	}
+	if o.GoalQuality == 0 {
+		o.GoalQuality = 1
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 100
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// Smoother3 is the tetrahedral sweep engine: the same convergence loop,
+// Jacobi buffering, chunk scheduling, and tracing as the 2D Smoother, run
+// over a TetMesh with a Kernel3. It owns reusable scratch buffers exactly
+// like its 2D sibling; the zero value is ready to use and not safe for
+// concurrent use.
+type Smoother3 struct {
+	visit  []int32
+	next   []geom.Point3
+	counts []int64
+	qs     quality.Scratch
+
+	sched     parallel.Scheduler
+	schedName string
+}
+
+// NewSmoother3 returns an empty 3D engine whose scratch buffers grow on
+// first use and are reused by subsequent runs.
+func NewSmoother3() *Smoother3 { return &Smoother3{} }
+
+// Reset releases the engine's scratch buffers, returning it to its zero
+// state; see Smoother.Reset.
+func (s *Smoother3) Reset() { *s = Smoother3{} }
+
+// Run smooths the tetrahedral mesh in place and returns the run statistics.
+// The context cancels between iterations and between worker chunks with the
+// same no-torn-sweep guarantee as the 2D engine.
+func (s *Smoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Options3) (Result, error) {
+	opt = opt.withDefaults()
+	if opt.Workers < 1 {
+		return Result{}, fmt.Errorf("smooth: workers must be >= 1, got %d", opt.Workers)
+	}
+	kern := opt.Kernel
+	if kern == nil {
+		kern = PlainKernel3{}
+	}
+	inPlace := opt.GaussSeidel || kern.InPlace()
+	if inPlace && opt.Workers != 1 {
+		return Result{}, fmt.Errorf("smooth: in-place (Gauss-Seidel style) updates require a single worker, got %d", opt.Workers)
+	}
+	if opt.Trace != nil && opt.Trace.NumCores() < opt.Workers {
+		return Result{}, fmt.Errorf("smooth: trace buffer has %d cores, need %d", opt.Trace.NumCores(), opt.Workers)
+	}
+
+	if err := s.resolveScheduler(opt.Schedule); err != nil {
+		return Result{}, err
+	}
+
+	visit, err := s.visitSequence(m, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	var next []geom.Point3
+	if !inPlace {
+		next = s.nextBuffer(len(m.Coords))
+	}
+
+	res := Result{InitialQuality: s.qs.TetGlobal(m, opt.Metric)}
+	res.FinalQuality = res.InitialQuality
+	if opt.MaxIters > 0 {
+		res.QualityHistory = make([]float64, 0, opt.MaxIters)
+	}
+	prevQ := res.InitialQuality
+
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		if prevQ >= opt.GoalQuality {
+			break
+		}
+		acc, err := s.sweep(ctx, m, kern, inPlace, visit, next, opt.Workers, opt.Trace)
+		res.Accesses += acc
+		if err != nil {
+			return res, err
+		}
+		if opt.Trace != nil {
+			opt.Trace.EndIteration()
+		}
+		res.Iterations++
+
+		q := s.qs.TetGlobal(m, opt.Metric)
+		res.QualityHistory = append(res.QualityHistory, q)
+		res.FinalQuality = q
+		if q-prevQ < opt.Tol {
+			break
+		}
+		prevQ = q
+	}
+	return res, nil
+}
+
+// sweep performs one iteration with the given kernel; see Smoother.sweep —
+// the structure (Jacobi next-buffer, scheduler-distributed chunks, serial
+// commit, cancellation without partial commit) is identical.
+func (s *Smoother3) sweep(ctx context.Context, m *mesh.TetMesh, kern Kernel3, inPlace bool, visit []int32, next []geom.Point3, workers int, tb *trace.Buffer) (int64, error) {
+	if inPlace {
+		var accesses int64
+		for _, v := range visit {
+			traceTouch3(tb, 0, m, v)
+			m.Coords[v] = kern.Update(m, v)
+			accesses += int64(m.Degree(v)) + 1
+		}
+		return accesses, nil
+	}
+
+	counts := s.countsBuffer(workers)
+	err := s.sched.Run(ctx, len(visit), workers, func(w int, ch parallel.Chunk) {
+		var acc int64
+		for _, v := range visit[ch.Lo:ch.Hi] {
+			traceTouch3(tb, w, m, v)
+			next[v] = kern.Update(m, v)
+			acc += int64(m.Degree(v)) + 1
+		}
+		counts[w] += acc
+	})
+	var accesses int64
+	for _, c := range counts {
+		accesses += c
+	}
+	if err != nil {
+		// Canceled mid-sweep: do not commit the possibly-incomplete buffer.
+		return accesses, err
+	}
+	for _, v := range visit {
+		m.Coords[v] = next[v]
+	}
+	return accesses, nil
+}
+
+// traceTouch3 records the access pattern of one vertex update: the smoothed
+// vertex, then each of its neighbors.
+func traceTouch3(tb *trace.Buffer, core int, m *mesh.TetMesh, v int32) {
+	if tb == nil {
+		return
+	}
+	tb.Access(core, v)
+	for _, w := range m.Neighbors(v) {
+		tb.Access(core, w)
+	}
+}
+
+// visitSequence returns the interior vertices in visit order. The
+// quality-greedy traversal runs order.GreedyWalk over the tet mesh through
+// the same Graph view the orderings use.
+func (s *Smoother3) visitSequence(m *mesh.TetMesh, opt Options3) ([]int32, error) {
+	if opt.Traversal == StorageOrder {
+		return m.InteriorVerts, nil
+	}
+	vq := s.qs.TetVertexQualities(m, opt.Metric)
+	w, err := order.GreedyWalk(m, vq, false)
+	if err != nil {
+		return nil, fmt.Errorf("smooth: computing traversal: %w", err)
+	}
+	s.visit = s.visit[:0]
+	for _, v := range w.Heads {
+		if !m.IsBoundary[v] {
+			s.visit = append(s.visit, v)
+		}
+	}
+	if len(s.visit) != len(m.InteriorVerts) {
+		return nil, fmt.Errorf("smooth: traversal visited %d of %d interior vertices", len(s.visit), len(m.InteriorVerts))
+	}
+	return s.visit, nil
+}
+
+// resolveScheduler caches the chunk scheduler for the named schedule; see
+// Smoother.resolveScheduler.
+func (s *Smoother3) resolveScheduler(name string) error {
+	if name == "" {
+		name = parallel.ScheduleStatic
+	}
+	if s.sched != nil && s.schedName == name {
+		return nil
+	}
+	sched, err := parallel.SchedulerByName(name)
+	if err != nil {
+		return fmt.Errorf("smooth: %w", err)
+	}
+	s.sched, s.schedName = sched, name
+	return nil
+}
+
+// nextBuffer returns a zeroed-or-stale scratch slice of n points; contents
+// are fully overwritten before being read.
+func (s *Smoother3) nextBuffer(n int) []geom.Point3 {
+	if cap(s.next) < n {
+		s.next = make([]geom.Point3, n)
+	}
+	s.next = s.next[:n]
+	return s.next
+}
+
+// countsBuffer returns a zeroed per-worker access-count slice.
+func (s *Smoother3) countsBuffer(n int) []int64 {
+	if cap(s.counts) < n {
+		s.counts = make([]int64, n)
+	}
+	s.counts = s.counts[:n]
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	return s.counts
+}
+
+// Run3 smooths the tetrahedral mesh in place with a one-shot engine.
+// Callers that smooth repeatedly should hold a Smoother3 and use its Run
+// method, which reuses the scratch buffers across runs.
+func Run3(m *mesh.TetMesh, opt Options3) (Result, error) {
+	return NewSmoother3().Run(context.Background(), m, opt)
+}
+
+// RunContext3 is Run3 with cancellation.
+func RunContext3(ctx context.Context, m *mesh.TetMesh, opt Options3) (Result, error) {
+	return NewSmoother3().Run(ctx, m, opt)
+}

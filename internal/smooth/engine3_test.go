@@ -1,0 +1,201 @@
+package smooth
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+	"lams/internal/order"
+	"lams/internal/quality"
+	"lams/internal/trace"
+)
+
+func genTetMesh(t testing.TB, cells int) *mesh.TetMesh {
+	t.Helper()
+	m, err := mesh.GenerateTetCube(cells, cells, cells, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSmoothing3ImprovesQuality(t *testing.T) {
+	m := genTetMesh(t, 6)
+	res, err := Run3(m, Options3{MaxIters: 10, Tol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 10 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+	if res.FinalQuality <= res.InitialQuality {
+		t.Errorf("quality did not improve: %v -> %v", res.InitialQuality, res.FinalQuality)
+	}
+	if len(res.QualityHistory) != 10 {
+		t.Errorf("history length %d", len(res.QualityHistory))
+	}
+}
+
+func TestBoundary3VerticesFixed(t *testing.T) {
+	m := genTetMesh(t, 5)
+	before := append([]geom.Point3(nil), m.Coords...)
+	if _, err := Run3(m, Options3{MaxIters: 3, Tol: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < m.NumVerts(); v++ {
+		if m.IsBoundary[v] && m.Coords[v] != before[v] {
+			t.Fatalf("boundary vertex %d moved", v)
+		}
+	}
+}
+
+func TestJacobi3MatchesEquationOne(t *testing.T) {
+	m := genTetMesh(t, 4)
+	before := append([]geom.Point3(nil), m.Coords...)
+	if _, err := Run3(m, Options3{MaxIters: 1, Tol: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.InteriorVerts {
+		var sx, sy, sz float64
+		nbrs := m.Neighbors(v)
+		for _, w := range nbrs {
+			sx += before[w].X
+			sy += before[w].Y
+			sz += before[w].Z
+		}
+		n := float64(len(nbrs))
+		want := geom.Point3{X: sx / n, Y: sy / n, Z: sz / n}
+		if math.Abs(want.X-m.Coords[v].X) > 1e-12 ||
+			math.Abs(want.Y-m.Coords[v].Y) > 1e-12 ||
+			math.Abs(want.Z-m.Coords[v].Z) > 1e-12 {
+			t.Fatalf("vertex %d at %v, want %v", v, m.Coords[v], want)
+		}
+	}
+}
+
+// TestOrdering3IndependentResult is the 3D analogue of the 2D Jacobi
+// regression: reordering the mesh must not change what the smoother
+// computes, only where vertices live in memory. Smoothing a renumbered mesh
+// and mapping the coordinates back must match smoothing the original to
+// floating-point roundoff (renumbering permutes each neighbor sum's
+// evaluation order, so exact bitwise equality is reserved for the
+// schedule/worker axis, which never changes the layout).
+func TestOrdering3IndependentResult(t *testing.T) {
+	base := genTetMesh(t, 5)
+	ref := base.Clone()
+	refRes, err := Run3(ref, Options3{MaxIters: 5, Tol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vq := quality.TetVertexQualities(base, quality.MeanRatio3{})
+	for _, name := range []string{"BFS", "RDR", "HILBERT"} {
+		ord, err := order.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm, err := ord.Compute(base, vq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := base.Renumber(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run3(rm, Options3{MaxIters: 5, Tol: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iterations != refRes.Iterations {
+			t.Errorf("%s: %d iterations, want %d", name, res.Iterations, refRes.Iterations)
+		}
+		for newIdx, oldIdx := range perm {
+			got, want := rm.Coords[newIdx], ref.Coords[oldIdx]
+			if math.Abs(got.X-want.X) > 1e-12 ||
+				math.Abs(got.Y-want.Y) > 1e-12 ||
+				math.Abs(got.Z-want.Z) > 1e-12 {
+				t.Fatalf("%s: vertex %d (old %d) = %v, want %v", name, newIdx, oldIdx, got, want)
+			}
+		}
+	}
+}
+
+func TestGaussSeidel3SerialOnly(t *testing.T) {
+	m := genTetMesh(t, 4)
+	if _, err := Run3(m, Options3{GaussSeidel: true, Workers: 2}); err == nil {
+		t.Error("Gauss-Seidel with workers>1 accepted")
+	}
+	res, err := Run3(m, Options3{GaussSeidel: true, MaxIters: 3, Tol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalQuality <= res.InitialQuality {
+		t.Error("Gauss-Seidel did not improve quality")
+	}
+}
+
+func TestSmart3IsInPlaceAndMonotone(t *testing.T) {
+	m := genTetMesh(t, 4)
+	if _, err := Run3(m, Options3{Kernel: SmartKernel3{}, Workers: 2}); err == nil {
+		t.Error("smart kernel with workers>1 accepted")
+	}
+	res, err := Run3(m, Options3{Kernel: SmartKernel3{}, MaxIters: 4, Tol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalQuality < res.InitialQuality {
+		t.Errorf("smart smoothing regressed quality: %v -> %v", res.InitialQuality, res.FinalQuality)
+	}
+}
+
+func TestConstrained3BoundsMoves(t *testing.T) {
+	const maxD = 1e-4
+	m := genTetMesh(t, 4)
+	before := append([]geom.Point3(nil), m.Coords...)
+	if _, err := Run3(m, Options3{Kernel: ConstrainedKernel3{MaxDisplacement: maxD}, MaxIters: 1, Tol: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for v := range m.Coords {
+		if d := m.Coords[v].Dist(before[v]); d > maxD*(1+1e-12) {
+			t.Fatalf("vertex %d moved %v > max displacement %v", v, d, maxD)
+		}
+	}
+}
+
+func TestTrace3Accounting(t *testing.T) {
+	m := genTetMesh(t, 4)
+	tb := trace.NewBuffer(1)
+	res, err := Run3(m, Options3{MaxIters: 2, Tol: -1, Trace: tb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(tb.Total()) != res.Accesses {
+		t.Errorf("trace has %d accesses, result says %d", tb.Total(), res.Accesses)
+	}
+	if tb.Iterations() != 2 {
+		t.Errorf("trace iterations = %d", tb.Iterations())
+	}
+	if _, err := Run3(m, Options3{Workers: 2, Trace: trace.NewBuffer(1)}); err == nil {
+		t.Error("undersized trace buffer accepted")
+	}
+}
+
+func TestRun3Cancellation(t *testing.T) {
+	m := genTetMesh(t, 5)
+	before := m.Clone()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := NewSmoother3().Run(ctx, m, Options3{MaxIters: 5, Tol: -1})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Iterations != 0 {
+		t.Errorf("iterations = %d after pre-canceled run", res.Iterations)
+	}
+	for v := range m.Coords {
+		if m.Coords[v] != before.Coords[v] {
+			t.Fatal("pre-canceled run mutated the mesh")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package smooth
+
+import (
+	"lams/internal/geom"
+	"lams/internal/mesh"
+	"lams/internal/quality"
+)
+
+// Kernel3 is the per-vertex update rule of a 3D smoothing sweep — the
+// tetrahedral counterpart of Kernel. The engine owns everything else
+// (traversal, chunking, tracing, Jacobi buffering, convergence), so the 3D
+// smoothing variants are these four kernels and nothing more.
+type Kernel3 interface {
+	// Name identifies the kernel in reports.
+	Name() string
+	// InPlace reports whether the kernel must observe its own writes within
+	// a sweep (Gauss–Seidel style); see Kernel.InPlace.
+	InPlace() bool
+	// Update computes the new position of vertex v from the mesh's current
+	// coordinates. It must only read m.Coords at v and v's neighbors (plus,
+	// for in-place kernels, write m.Coords[v]).
+	Update(m *mesh.TetMesh, v int32) geom.Point3
+}
+
+// PlainKernel3 is Eq. (1) in 3D: move the vertex to the unweighted average
+// of its neighbors.
+type PlainKernel3 struct{}
+
+// Name implements Kernel3.
+func (PlainKernel3) Name() string { return "plain" }
+
+// InPlace implements Kernel3.
+func (PlainKernel3) InPlace() bool { return false }
+
+// Update implements Kernel3.
+func (PlainKernel3) Update(m *mesh.TetMesh, v int32) geom.Point3 {
+	nbrs := m.Neighbors(v)
+	var sx, sy, sz float64
+	for _, w := range nbrs {
+		p := m.Coords[w]
+		sx += p.X
+		sy += p.Y
+		sz += p.Z
+	}
+	inv := 1 / float64(len(nbrs))
+	return geom.Point3{X: sx * inv, Y: sy * inv, Z: sz * inv}
+}
+
+// plainDivTarget3 is the Eq. (1) target in division form, mirroring the 2D
+// variants' historical arithmetic (numerically equivalent to, but not
+// bit-identical with, PlainKernel3's multiply-by-reciprocal form).
+func plainDivTarget3(m *mesh.TetMesh, v int32) geom.Point3 {
+	nbrs := m.Neighbors(v)
+	var sx, sy, sz float64
+	for _, w := range nbrs {
+		p := m.Coords[w]
+		sx += p.X
+		sy += p.Y
+		sz += p.Z
+	}
+	n := float64(len(nbrs))
+	return geom.Point3{X: sx / n, Y: sy / n, Z: sz / n}
+}
+
+// SmartKernel3 computes the Eq. (1) position but keeps the move only when it
+// does not decrease the vertex's local quality. Its accept test must see the
+// candidate applied, so it runs in place (serial).
+type SmartKernel3 struct {
+	// Metric is the local quality metric (default quality.MeanRatio3{}).
+	Metric quality.TetMetric
+}
+
+// Name implements Kernel3.
+func (SmartKernel3) Name() string { return "smart" }
+
+// InPlace implements Kernel3.
+func (SmartKernel3) InPlace() bool { return true }
+
+// Update implements Kernel3.
+func (k SmartKernel3) Update(m *mesh.TetMesh, v int32) geom.Point3 {
+	met := k.Metric
+	if met == nil {
+		met = quality.MeanRatio3{}
+	}
+	before := quality.TetVertexQuality(m, met, v)
+	old := m.Coords[v]
+	m.Coords[v] = plainDivTarget3(m, v)
+	if quality.TetVertexQuality(m, met, v) < before {
+		m.Coords[v] = old // reject the move
+	}
+	return m.Coords[v]
+}
+
+// WeightedKernel3 averages neighbors with inverse-edge-length weights,
+// pulling vertices toward close neighbors more gently.
+type WeightedKernel3 struct{}
+
+// Name implements Kernel3.
+func (WeightedKernel3) Name() string { return "weighted" }
+
+// InPlace implements Kernel3.
+func (WeightedKernel3) InPlace() bool { return false }
+
+// Update implements Kernel3.
+func (WeightedKernel3) Update(m *mesh.TetMesh, v int32) geom.Point3 {
+	cur := m.Coords[v]
+	var sx, sy, sz, wsum float64
+	for _, w := range m.Neighbors(v) {
+		p := m.Coords[w]
+		d := cur.Dist(p)
+		wt := 1.0
+		if d > 0 {
+			wt = 1 / d
+		}
+		sx += wt * p.X
+		sy += wt * p.Y
+		sz += wt * p.Z
+		wsum += wt
+	}
+	if wsum == 0 {
+		return cur
+	}
+	return geom.Point3{X: sx / wsum, Y: sy / wsum, Z: sz / wsum}
+}
+
+// ConstrainedKernel3 is the plain update with the per-sweep displacement
+// clamped to MaxDisplacement.
+type ConstrainedKernel3 struct {
+	// MaxDisplacement bounds each per-sweep move (must be > 0).
+	MaxDisplacement float64
+}
+
+// Name implements Kernel3.
+func (ConstrainedKernel3) Name() string { return "constrained" }
+
+// InPlace implements Kernel3.
+func (ConstrainedKernel3) InPlace() bool { return false }
+
+// Update implements Kernel3.
+func (k ConstrainedKernel3) Update(m *mesh.TetMesh, v int32) geom.Point3 {
+	cur := m.Coords[v]
+	target := plainDivTarget3(m, v)
+	d := target.Sub(cur)
+	if norm := d.Norm(); norm > k.MaxDisplacement {
+		target = cur.Add(d.Scale(k.MaxDisplacement / norm))
+	}
+	return target
+}

@@ -1,0 +1,179 @@
+package smooth
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"lams/internal/mesh"
+	"lams/internal/order"
+	"lams/internal/parallel"
+	"lams/internal/quality"
+)
+
+func coords3Equal(t *testing.T, label string, got, want *mesh.TetMesh) {
+	t.Helper()
+	for v := range want.Coords {
+		if got.Coords[v] != want.Coords[v] {
+			t.Fatalf("%s: vertex %d = %v, want bit-identical %v", label, v, got.Coords[v], want.Coords[v])
+		}
+	}
+}
+
+// TestSchedule3Equivalence is the 3D acceptance harness, mirroring
+// TestScheduleEquivalence: for every registered schedule, every worker
+// count, and both traversals, a multi-iteration Jacobi run over the cube
+// tet mesh must produce bit-identical coordinates — and identical Result
+// accounting — to the serial static reference. The schedulers only decide
+// which worker computes a vertex, never what it computes, and that contract
+// is dimension-blind.
+func TestSchedule3Equivalence(t *testing.T) {
+	base := genTetMesh(t, 8)
+	const iters = 5
+
+	for _, traversal := range []Traversal{QualityGreedy, StorageOrder} {
+		ref := base.Clone()
+		refRes, err := Run3(ref, Options3{MaxIters: iters, Tol: -1, Traversal: traversal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, schedule := range parallel.Schedules() {
+			for _, workers := range scheduleWorkerCounts {
+				name := fmt.Sprintf("%s/%s/workers=%d", traversal, schedule, workers)
+				t.Run(name, func(t *testing.T) {
+					got := base.Clone()
+					res, err := Run3(got, Options3{
+						MaxIters:  iters,
+						Tol:       -1,
+						Traversal: traversal,
+						Workers:   workers,
+						Schedule:  schedule,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					coords3Equal(t, name, got, ref)
+					if res.Iterations != refRes.Iterations {
+						t.Errorf("iterations = %d, want %d", res.Iterations, refRes.Iterations)
+					}
+					if res.Accesses != refRes.Accesses {
+						t.Errorf("accesses = %d, want %d (some vertex was skipped or double-visited)",
+							res.Accesses, refRes.Accesses)
+					}
+					if res.FinalQuality != refRes.FinalQuality {
+						t.Errorf("final quality = %v, want bit-identical %v", res.FinalQuality, refRes.FinalQuality)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSchedule3EquivalenceReordered runs the full ordering x schedule grid:
+// a BFS- or RDR-reordered cube must smooth to bit-identical coordinates
+// under every schedule and worker count — the reordered layouts are exactly
+// the meshes the paper's pipeline hands the parallel smoother.
+func TestSchedule3EquivalenceReordered(t *testing.T) {
+	base := genTetMesh(t, 7)
+	vq := quality.TetVertexQualities(base, quality.MeanRatio3{})
+	for _, ordName := range []string{"BFS", "RDR"} {
+		ord, err := order.ByName(ordName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm, err := ord.Compute(base, vq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reordered, err := base.Renumber(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := reordered.Clone()
+		refRes, err := Run3(ref, Options3{MaxIters: 4, Tol: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, schedule := range parallel.Schedules() {
+			for _, workers := range scheduleWorkerCounts {
+				name := fmt.Sprintf("%s/%s/workers=%d", ordName, schedule, workers)
+				t.Run(name, func(t *testing.T) {
+					got := reordered.Clone()
+					res, err := Run3(got, Options3{MaxIters: 4, Tol: -1, Workers: workers, Schedule: schedule})
+					if err != nil {
+						t.Fatal(err)
+					}
+					coords3Equal(t, name, got, ref)
+					if res.FinalQuality != refRes.FinalQuality {
+						t.Errorf("final quality = %v, want bit-identical %v", res.FinalQuality, refRes.FinalQuality)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSchedule3TinyMeshes pushes degenerate shapes through every schedule:
+// the 2x2x2 cube has exactly one interior vertex, far fewer than the worker
+// counts, so most chunks are empty — the exactly-once contract must hold.
+func TestSchedule3TinyMeshes(t *testing.T) {
+	for _, cells := range []int{2, 3} {
+		base, err := mesh.GenerateTetCube(cells, cells, cells, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := base.Clone()
+		refRes, err := Run3(ref, Options3{MaxIters: 3, Tol: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, schedule := range parallel.Schedules() {
+			for _, workers := range []int{3, 16} {
+				t.Run(fmt.Sprintf("cells=%d/%s/workers=%d", cells, schedule, workers), func(t *testing.T) {
+					got := base.Clone()
+					res, err := Run3(got, Options3{MaxIters: 3, Tol: -1, Workers: workers, Schedule: schedule})
+					if err != nil {
+						t.Fatal(err)
+					}
+					coords3Equal(t, schedule, got, ref)
+					if res.Accesses != refRes.Accesses {
+						t.Errorf("accesses = %d, want %d", res.Accesses, refRes.Accesses)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSmoother3ScheduleSwitch reuses one 3D engine across schedules and
+// checks each run still matches a fresh engine bit-for-bit, mirroring
+// TestSmootherScheduleSwitch.
+func TestSmoother3ScheduleSwitch(t *testing.T) {
+	base := genTetMesh(t, 6)
+	s := NewSmoother3()
+	ctx := context.Background()
+	sequence := append(parallel.Schedules(), parallel.Schedules()...)
+	for i, schedule := range sequence {
+		reused := base.Clone()
+		fresh := base.Clone()
+		opt := Options3{MaxIters: 3, Tol: -1, Workers: 4, Schedule: schedule}
+		if _, err := s.Run(ctx, reused, opt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run3(fresh, opt); err != nil {
+			t.Fatal(err)
+		}
+		coords3Equal(t, fmt.Sprintf("switch %d (%s)", i, schedule), reused, fresh)
+	}
+}
+
+// TestSchedule3UnknownName verifies the 3D engine rejects an unregistered
+// schedule up front and leaves the mesh untouched.
+func TestSchedule3UnknownName(t *testing.T) {
+	m := genTetMesh(t, 3)
+	before := m.Clone()
+	if _, err := Run3(m, Options3{MaxIters: 2, Tol: -1, Workers: 2, Schedule: "round-robin"}); err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+	coords3Equal(t, "untouched", m, before)
+}

@@ -100,6 +100,18 @@ func NewTraceBuffer(workers int) *TraceBuffer { return trace.NewBuffer(workers) 
 // result holds the index (in the input mesh) of the vertex to store k-th.
 type Ordering = order.Ordering
 
+// Graph is the adjacency view an Ordering traverses: CSR vertex
+// neighborhoods plus the boundary/interior partition. Both *Mesh and
+// *TetMesh implement it, which is why one registry of orderings serves both
+// dimensions; custom orderings registered through RegisterOrdering receive
+// their input as a Graph.
+type Graph = order.Graph
+
+// SpatialGraph is the optional coordinate view of a Graph: space-filling-
+// curve keys over the vertex positions. Both mesh types implement it; the
+// curve orderings (HILBERT, MORTON) require it.
+type SpatialGraph = order.Spatial
+
 // Reordered is a mesh relabeled by an ordering, with the permutation and
 // the time the ordering took (the pre-computation cost the paper's §5.4
 // weighs against the smoothing gain).

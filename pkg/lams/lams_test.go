@@ -290,8 +290,8 @@ type identityOrdering struct{}
 
 func (identityOrdering) Name() string { return "ZZZ-PUBLIC-STUB" }
 
-func (identityOrdering) Compute(m *lams.Mesh, _ []float64) ([]int32, error) {
-	perm := make([]int32, m.NumVerts())
+func (identityOrdering) Compute(g lams.Graph, _ []float64) ([]int32, error) {
+	perm := make([]int32, g.NumVerts())
 	for i := range perm {
 		perm[i] = int32(i)
 	}

@@ -2,6 +2,7 @@ package lams
 
 import (
 	"context"
+	"fmt"
 
 	"lams/internal/parallel"
 	"lams/internal/smooth"
@@ -11,10 +12,11 @@ import (
 const DefaultTol = smooth.DefaultTol
 
 // SmoothResult reports a smoothing run: iterations executed, global quality
-// before/after and per iteration, and the vertex-access count.
+// before/after and per iteration, and the vertex-access count. 2D and 3D
+// runs share this shape.
 type SmoothResult = smooth.Result
 
-// Kernel is the per-vertex update rule of a smoothing sweep; see the
+// Kernel is the per-vertex update rule of a 2D smoothing sweep; see the
 // *Kernel constructors. Custom kernels plug into the same engine.
 type Kernel = smooth.Kernel
 
@@ -56,14 +58,25 @@ func RegisterScheduler(name string, factory func() Scheduler) {
 	parallel.RegisterScheduler(name, factory)
 }
 
-// SmoothOption configures a smoothing run.
-type SmoothOption func(*smooth.Options)
+// smoothConfig collects SmoothOption settings. The scalar fields (workers,
+// schedule, iteration and convergence controls, traversal, tracing) apply
+// to 2D and 3D runs alike; the metric/kernel pairs are dimension-specific
+// and validated by Smooth and SmoothTet respectively.
+type smoothConfig struct {
+	opt       smooth.Options // 2D metric/kernel plus all shared fields
+	tetMetric TetMetric
+	tetKernel TetKernel
+}
+
+// SmoothOption configures a smoothing run (2D or 3D; the dimension-specific
+// options say which entry points accept them).
+type SmoothOption func(*smoothConfig)
 
 // WithWorkers sets the number of parallel workers (default 1). The visit
 // sequence is statically partitioned into contiguous chunks, one per
 // worker — the OpenMP schedule(static) analogue.
 func WithWorkers(n int) SmoothOption {
-	return func(o *smooth.Options) { o.Workers = n }
+	return func(c *smoothConfig) { c.opt.Workers = n }
 }
 
 // WithSchedule selects the registered chunk schedule that distributes the
@@ -74,68 +87,112 @@ func WithWorkers(n int) SmoothOption {
 // schedule — only load balance and locality change. An unknown name makes
 // Smooth return an error listing the registered schedules (see Schedules).
 func WithSchedule(name string) SmoothOption {
-	return func(o *smooth.Options) { o.Schedule = name }
+	return func(c *smoothConfig) { c.opt.Schedule = name }
 }
 
 // WithMaxIterations caps the number of smoothing sweeps (default 100).
 func WithMaxIterations(n int) SmoothOption {
-	return func(o *smooth.Options) { o.MaxIters = n }
+	return func(c *smoothConfig) { c.opt.MaxIters = n }
 }
 
 // WithTolerance stops the run when an iteration improves global quality by
 // less than tol (default DefaultTol). A negative tol disables the criterion
 // so exactly the iteration cap runs.
 func WithTolerance(tol float64) SmoothOption {
-	return func(o *smooth.Options) { o.Tol = tol }
+	return func(c *smoothConfig) { c.opt.Tol = tol }
 }
 
 // WithGoalQuality stops the run once global quality reaches q.
 func WithGoalQuality(q float64) SmoothOption {
-	return func(o *smooth.Options) { o.GoalQuality = q }
+	return func(c *smoothConfig) { c.opt.GoalQuality = q }
 }
 
-// WithMetric sets the quality metric (default EdgeRatio).
+// WithMetric sets the 2D quality metric (default EdgeRatio). Smooth only;
+// use WithTetMetric for tetrahedral runs.
 func WithMetric(met Metric) SmoothOption {
-	return func(o *smooth.Options) { o.Metric = met }
+	return func(c *smoothConfig) { c.opt.Metric = met }
 }
 
-// WithKernel sets the per-vertex update rule (default PlainKernel).
+// WithKernel sets the 2D per-vertex update rule (default PlainKernel).
+// Smooth only; use WithTetKernel for tetrahedral runs.
 func WithKernel(k Kernel) SmoothOption {
-	return func(o *smooth.Options) { o.Kernel = k }
+	return func(c *smoothConfig) { c.opt.Kernel = k }
+}
+
+// WithTetMetric sets the tetrahedral quality metric (default MeanRatio).
+// SmoothTet only.
+func WithTetMetric(met TetMetric) SmoothOption {
+	return func(c *smoothConfig) { c.tetMetric = met }
+}
+
+// WithTetKernel sets the tetrahedral per-vertex update rule (default
+// PlainTetKernel). SmoothTet only.
+func WithTetKernel(k TetKernel) SmoothOption {
+	return func(c *smoothConfig) { c.tetKernel = k }
 }
 
 // WithStorageOrderTraversal sweeps the interior vertices in storage order
 // instead of the paper's quality-greedy traversal (an ablation).
 func WithStorageOrderTraversal() SmoothOption {
-	return func(o *smooth.Options) { o.Traversal = smooth.StorageOrder }
+	return func(c *smoothConfig) { c.opt.Traversal = smooth.StorageOrder }
 }
 
 // WithGaussSeidel applies each update in place (serial), instead of the
 // default Jacobi buffering that makes results independent of ordering and
 // worker count.
 func WithGaussSeidel() SmoothOption {
-	return func(o *smooth.Options) { o.GaussSeidel = true }
+	return func(c *smoothConfig) { c.opt.GaussSeidel = true }
 }
 
 // WithTrace records every vertex access on tb (which needs one stream per
 // worker) for locality analysis.
 func WithTrace(tb *TraceBuffer) SmoothOption {
-	return func(o *smooth.Options) { o.Trace = tb }
+	return func(c *smoothConfig) { c.opt.Trace = tb }
 }
 
-func buildOptions(opts []SmoothOption) smooth.Options {
-	var o smooth.Options
+func buildOptions(opts []SmoothOption) (smooth.Options, error) {
+	var c smoothConfig
 	for _, opt := range opts {
-		opt(&o)
+		opt(&c)
 	}
-	return o
+	if c.tetMetric != nil || c.tetKernel != nil {
+		return smooth.Options{}, fmt.Errorf("lams: WithTetMetric/WithTetKernel select tetrahedral rules; use them with SmoothTet, not Smooth")
+	}
+	return c.opt, nil
+}
+
+func buildOptions3(opts []SmoothOption) (smooth.Options3, error) {
+	var c smoothConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if c.opt.Metric != nil || c.opt.Kernel != nil {
+		return smooth.Options3{}, fmt.Errorf("lams: WithMetric/WithKernel select 2D rules; use WithTetMetric/WithTetKernel with SmoothTet")
+	}
+	o := c.opt
+	return smooth.Options3{
+		Metric:      c.tetMetric,
+		Kernel:      c.tetKernel,
+		Tol:         o.Tol,
+		GoalQuality: o.GoalQuality,
+		MaxIters:    o.MaxIters,
+		Workers:     o.Workers,
+		Schedule:    o.Schedule,
+		Traversal:   o.Traversal,
+		GaussSeidel: o.GaussSeidel,
+		Trace:       o.Trace,
+	}, nil
 }
 
 // Smooth runs Laplacian smoothing on m in place and returns the run
 // statistics. The context cancels between iterations and worker chunks; on
 // cancellation the mesh holds the last completed sweep's coordinates.
 func Smooth(ctx context.Context, m *Mesh, opts ...SmoothOption) (SmoothResult, error) {
-	return smooth.RunContext(ctx, m, buildOptions(opts))
+	o, err := buildOptions(opts)
+	if err != nil {
+		return SmoothResult{}, err
+	}
+	return smooth.RunContext(ctx, m, o)
 }
 
 // SmoothTraced smooths m in place for exactly iters iterations (ignoring
@@ -154,9 +211,12 @@ func SmoothTraced(ctx context.Context, m *Mesh, workers, iters int) (SmoothResul
 // Smoother is a reusable smoothing engine: it keeps the visit-sequence,
 // next-coordinate, and quality scratch buffers across runs, so services
 // that smooth many meshes (or one mesh repeatedly) stop reallocating on the
-// hot path. Not safe for concurrent use; the zero value is ready.
+// hot path. It holds one engine per dimension, so a single pooled instance
+// serves triangular and tetrahedral meshes alike. Not safe for concurrent
+// use; the zero value is ready.
 type Smoother struct {
-	engine smooth.Smoother
+	engine  smooth.Smoother
+	engine3 smooth.Smoother3
 }
 
 // NewSmoother returns a reusable smoothing engine.
@@ -164,11 +224,28 @@ func NewSmoother() *Smoother { return &Smoother{} }
 
 // Smooth is like the package-level Smooth but reuses the engine's buffers.
 func (s *Smoother) Smooth(ctx context.Context, m *Mesh, opts ...SmoothOption) (SmoothResult, error) {
-	return s.engine.Run(ctx, m, buildOptions(opts))
+	o, err := buildOptions(opts)
+	if err != nil {
+		return SmoothResult{}, err
+	}
+	return s.engine.Run(ctx, m, o)
+}
+
+// SmoothTet is like the package-level SmoothTet but reuses the engine's
+// buffers.
+func (s *Smoother) SmoothTet(ctx context.Context, m *TetMesh, opts ...SmoothOption) (SmoothResult, error) {
+	o, err := buildOptions3(opts)
+	if err != nil {
+		return SmoothResult{}, err
+	}
+	return s.engine3.Run(ctx, m, o)
 }
 
 // Reset releases the engine's scratch buffers. Engine pools call it when
 // parking an engine that last smoothed an unusually large mesh, so idle
 // engines do not pin their high-water-mark memory; the buffers re-grow on
 // the next run.
-func (s *Smoother) Reset() { s.engine.Reset() }
+func (s *Smoother) Reset() {
+	s.engine.Reset()
+	s.engine3.Reset()
+}

@@ -1,0 +1,242 @@
+package lams_test
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"lams/pkg/lams"
+)
+
+func testTetMesh(t testing.TB, cells int) *lams.TetMesh {
+	t.Helper()
+	m, err := lams.GenerateTetCube(cells, cells, cells, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestTetPipelineScheduleEquivalence is the acceptance harness at the
+// public-API level: a cube tetrahedral mesh runs the full pipeline — build,
+// BFS/RDR reorder, smooth, analyze — and the smoothed coordinates are
+// bit-identical across every registered schedule and worker count, matching
+// the serial static reference on the same reordered layout.
+func TestTetPipelineScheduleEquivalence(t *testing.T) {
+	ctx := context.Background()
+	base := testTetMesh(t, 7)
+
+	for _, ordering := range []string{"BFS", "RDR"} {
+		re, err := lams.ReorderTet(base, ordering)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(re.NewToOld) != base.NumVerts() {
+			t.Fatalf("%s: permutation length %d", ordering, len(re.NewToOld))
+		}
+
+		ref := re.Mesh.Clone()
+		refRes, err := lams.SmoothTet(ctx, ref, lams.WithMaxIterations(4), lams.WithTolerance(-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refRes.FinalQuality <= refRes.InitialQuality {
+			t.Fatalf("%s: smoothing did not improve quality: %v -> %v",
+				ordering, refRes.InitialQuality, refRes.FinalQuality)
+		}
+
+		for _, schedule := range lams.Schedules() {
+			for _, workers := range []int{1, 2, 4, 8, 16} {
+				name := fmt.Sprintf("%s/%s/workers=%d", ordering, schedule, workers)
+				t.Run(name, func(t *testing.T) {
+					m := re.Mesh.Clone()
+					res, err := lams.SmoothTet(ctx, m,
+						lams.WithMaxIterations(4),
+						lams.WithTolerance(-1),
+						lams.WithWorkers(workers),
+						lams.WithSchedule(schedule))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for v := range ref.Coords {
+						if m.Coords[v] != ref.Coords[v] {
+							t.Fatalf("vertex %d differs from serial reference", v)
+						}
+					}
+					if res.FinalQuality != refRes.FinalQuality {
+						t.Errorf("final quality = %v, want bit-identical %v", res.FinalQuality, refRes.FinalQuality)
+					}
+					if res.Accesses != refRes.Accesses {
+						t.Errorf("accesses = %d, want %d", res.Accesses, refRes.Accesses)
+					}
+				})
+			}
+		}
+
+		rep, err := lams.AnalyzeTetLocality(ctx, re.Mesh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Accesses <= 0 || rep.MeanReuseDistance <= 0 {
+			t.Errorf("%s: degenerate locality report %+v", ordering, rep)
+		}
+	}
+}
+
+// TestTetOrderingsReduceReuseDistance is the paper's claim carried to 3D:
+// the locality orderings must not worsen — and RDR should improve — the
+// mean reuse distance of the smoother's access stream relative to a random
+// shuffle.
+func TestTetOrderingsReduceReuseDistance(t *testing.T) {
+	ctx := context.Background()
+	base := testTetMesh(t, 8)
+
+	random, err := lams.ReorderTet(base, "RANDOM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomRep, err := lams.AnalyzeTetLocality(ctx, random.Mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdr, err := lams.ReorderTet(base, "RDR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdrRep, err := lams.AnalyzeTetLocality(ctx, rdr.Mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rdrRep.MeanReuseDistance >= randomRep.MeanReuseDistance {
+		t.Errorf("RDR mean reuse distance %v not better than RANDOM %v",
+			rdrRep.MeanReuseDistance, randomRep.MeanReuseDistance)
+	}
+}
+
+func TestBuildTetAndQualities(t *testing.T) {
+	coords := []lams.Point3{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 0, Z: 0}, {X: 0, Y: 1, Z: 0}, {X: 0, Y: 0, Z: 1}}
+	m, err := lams.BuildTet(coords, [][4]int32{{0, 2, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Summary(); got.Verts != 4 || got.Tets != 1 {
+		t.Errorf("summary = %+v", got)
+	}
+	if q := lams.TetGlobalQuality(m, nil); q <= 0 || q > 1 {
+		t.Errorf("global quality = %v", q)
+	}
+	if vq := lams.TetVertexQualities(m, lams.TetEdgeRatio{}); len(vq) != 4 {
+		t.Errorf("vertex qualities length %d", len(vq))
+	}
+	if tq := lams.TetQualities(m, nil); len(tq) != 1 || tq[0] <= 0 {
+		t.Errorf("tet qualities = %v", tq)
+	}
+}
+
+func TestTetSaveLoadRoundTrip(t *testing.T) {
+	m := testTetMesh(t, 3)
+	base := filepath.Join(t.TempDir(), "cube")
+	if err := m.SaveFiles(base); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := lams.LoadTetMesh(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumVerts() != m.NumVerts() || m2.NumTets() != m.NumTets() {
+		t.Errorf("round trip changed mesh: %s vs %s", m2.Summary(), m.Summary())
+	}
+}
+
+// TestSmoothTetKernelsAndOptionValidation exercises each 3D kernel through
+// the public options and pins the dimension cross-validation: 2D options
+// with SmoothTet (and tet options with Smooth) fail loudly instead of being
+// silently ignored.
+func TestSmoothTetKernelsAndOptionValidation(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		opts []lams.SmoothOption
+	}{
+		{"plain", nil},
+		{"smart", []lams.SmoothOption{lams.WithTetKernel(lams.SmartTetKernel(nil))}},
+		{"weighted", []lams.SmoothOption{lams.WithTetKernel(lams.WeightedTetKernel())}},
+		{"constrained", []lams.SmoothOption{lams.WithTetKernel(lams.ConstrainedTetKernel(0.01))}},
+		{"edge-ratio metric", []lams.SmoothOption{lams.WithTetMetric(lams.TetEdgeRatio{})}},
+	} {
+		m := testTetMesh(t, 4)
+		opts := append(tc.opts, lams.WithMaxIterations(2), lams.WithTolerance(-1))
+		res, err := lams.SmoothTet(ctx, m, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Iterations != 2 {
+			t.Errorf("%s: iterations = %d", tc.name, res.Iterations)
+		}
+	}
+
+	m := testTetMesh(t, 3)
+	if _, err := lams.SmoothTet(ctx, m, lams.WithKernel(lams.PlainKernel())); err == nil {
+		t.Error("SmoothTet accepted a 2D kernel")
+	}
+	if _, err := lams.SmoothTet(ctx, m, lams.WithMetric(lams.EdgeRatio{})); err == nil {
+		t.Error("SmoothTet accepted a 2D metric")
+	}
+	m2, err := lams.GenerateMesh("carabiner", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lams.Smooth(ctx, m2, lams.WithTetKernel(lams.PlainTetKernel())); err == nil {
+		t.Error("Smooth accepted a tet kernel")
+	}
+	if _, err := lams.Smooth(ctx, m2, lams.WithTetMetric(lams.MeanRatio{})); err == nil {
+		t.Error("Smooth accepted a tet metric")
+	}
+}
+
+// TestSmootherServesBothDimensions checks a single pooled engine instance
+// alternating between 2D and 3D meshes matches fresh one-shot runs — the
+// property the lamsd engine pool relies on.
+func TestSmootherServesBothDimensions(t *testing.T) {
+	ctx := context.Background()
+	s := lams.NewSmoother()
+	for i := 0; i < 2; i++ {
+		tm := testTetMesh(t, 4)
+		tmFresh := tm.Clone()
+		res, err := s.SmoothTet(ctx, tm, lams.WithMaxIterations(2), lams.WithTolerance(-1), lams.WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := lams.SmoothTet(ctx, tmFresh, lams.WithMaxIterations(2), lams.WithTolerance(-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FinalQuality != fresh.FinalQuality {
+			t.Errorf("pooled tet run quality %v != fresh %v", res.FinalQuality, fresh.FinalQuality)
+		}
+		for v := range tm.Coords {
+			if tm.Coords[v] != tmFresh.Coords[v] {
+				t.Fatal("pooled tet run differs from fresh run")
+			}
+		}
+
+		m2, err := lams.GenerateMesh("carabiner", 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2Fresh := m2.Clone()
+		if _, err := s.Smooth(ctx, m2, lams.WithMaxIterations(2), lams.WithTolerance(-1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lams.Smooth(ctx, m2Fresh, lams.WithMaxIterations(2), lams.WithTolerance(-1)); err != nil {
+			t.Fatal(err)
+		}
+		for v := range m2.Coords {
+			if m2.Coords[v] != m2Fresh.Coords[v] {
+				t.Fatal("pooled 2D run differs from fresh run after tet use")
+			}
+		}
+		s.Reset()
+	}
+}

@@ -123,16 +123,27 @@ func decodeJSON(r *http.Request, dst any, allowEmpty bool) error {
 	return nil
 }
 
-// meshInfo is the JSON summary of a resident mesh.
+// meshInfo is the JSON summary of a resident mesh. Summary holds
+// lams.MeshStats for dim=2 meshes and lams.TetMeshStats for dim=3.
 type meshInfo struct {
-	ID          string         `json:"id"`
-	Name        string         `json:"name"`
-	Ordering    string         `json:"ordering"`
-	OrderTimeMS float64        `json:"order_time_ms"`
-	Created     time.Time      `json:"created"`
-	SmoothRuns  int64          `json:"smooth_runs"`
-	Quality     float64        `json:"quality"`
-	Summary     lams.MeshStats `json:"summary"`
+	ID          string    `json:"id"`
+	Name        string    `json:"name"`
+	Dim         int       `json:"dim"`
+	Ordering    string    `json:"ordering"`
+	OrderTimeMS float64   `json:"order_time_ms"`
+	Created     time.Time `json:"created"`
+	SmoothRuns  int64     `json:"smooth_runs"`
+	Quality     float64   `json:"quality"`
+	Summary     any       `json:"summary"`
+}
+
+// globalQuality computes the record's default-metric global quality; the
+// caller must hold the mesh read lock.
+func (rec *meshRecord) globalQuality() float64 {
+	if rec.dim == 3 {
+		return lams.TetGlobalQuality(rec.tet, nil)
+	}
+	return lams.GlobalQuality(rec.mesh, nil)
 }
 
 // info snapshots the record's display metadata, refreshing the cached
@@ -145,7 +156,7 @@ func (rec *meshRecord) info() meshInfo {
 	stale := rec.qualityStale
 	rec.metaMu.Unlock()
 	if stale && rec.mu.TryRLock() {
-		q := lams.GlobalQuality(rec.mesh, nil)
+		q := rec.globalQuality()
 		gen := rec.gen.Load()
 		rec.mu.RUnlock()
 		rec.metaMu.Lock()
@@ -162,6 +173,7 @@ func (rec *meshRecord) info() meshInfo {
 	return meshInfo{
 		ID:          rec.id,
 		Name:        rec.name,
+		Dim:         rec.dim,
 		Ordering:    rec.ordering,
 		OrderTimeMS: float64(rec.orderTime) / float64(time.Millisecond),
 		Created:     rec.created,
@@ -203,7 +215,10 @@ func (s *Server) handleOrderings(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"domains": lams.Domains()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"domains":    lams.Domains(),
+		"domains_3d": tetDomains,
+	})
 }
 
 func (s *Server) handleSchedules(w http.ResponseWriter, r *http.Request) {
@@ -216,25 +231,40 @@ func (s *Server) handleSchedules(w http.ResponseWriter, r *http.Request) {
 // --- mesh lifecycle ---
 
 // generateRequest is the JSON body of POST /v1/meshes: generate one of the
-// paper's named domains server-side.
+// paper's named domains server-side (dim 2, the default), or the structured
+// cube tetrahedral mesh (dim 3, domain "cube").
 type generateRequest struct {
 	Domain      string `json:"domain"`
 	TargetVerts int    `json:"target_verts"`
+	// Dim selects the mesh dimension: 0 or 2 for the paper's 2D domains,
+	// 3 for the tetrahedral cube.
+	Dim int `json:"dim"`
+	// Jitter displaces the cube's interior vertices by up to jitter*h per
+	// axis (dim 3 only; default 0.3, the value the test meshes use). A
+	// pointer, like smoothRequest.Tol, so an explicit 0 — the regular grid —
+	// is distinguishable from unset.
+	Jitter *float64 `json:"jitter"`
 }
+
+// tetDomains lists the generatable 3D domains.
+var tetDomains = []string{"cube"}
 
 func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	ct := r.Header.Get("Content-Type")
 	var (
-		m    *lams.Mesh
-		name string
-		err  error
+		rec *meshRecord
+		err error
 	)
 	switch {
 	case strings.HasPrefix(ct, "application/json"):
-		m, name, err = s.generateMesh(r)
+		rec, err = s.generateMesh(r)
 	case strings.HasPrefix(ct, "multipart/"):
-		m, name, err = s.uploadMesh(r)
+		var m *lams.Mesh
+		var name string
+		if m, name, err = s.uploadMesh(r); err == nil {
+			rec, err = s.addMesh(func() (*meshRecord, error) { return s.store.Add(m, name) })
+		}
 	default:
 		err = apiErrorf(http.StatusUnsupportedMediaType,
 			"Content-Type %q: want application/json (generate a domain) or multipart/form-data with node and ele parts (upload)", ct)
@@ -243,36 +273,62 @@ func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	rec, err := s.store.Add(m, name)
-	if err != nil {
-		writeError(w, apiErrorf(http.StatusInsufficientStorage, "%v", err))
-		return
-	}
 	s.metrics.uploads.Add(1)
 	w.Header().Set("Location", "/v1/meshes/"+rec.id)
 	writeJSON(w, http.StatusCreated, rec.info())
 }
 
-func (s *Server) generateMesh(r *http.Request) (*lams.Mesh, string, error) {
+// addMesh maps a store-capacity failure to 507 Insufficient Storage.
+func (s *Server) addMesh(add func() (*meshRecord, error)) (*meshRecord, error) {
+	rec, err := add()
+	if err != nil {
+		return nil, apiErrorf(http.StatusInsufficientStorage, "%v", err)
+	}
+	return rec, nil
+}
+
+func (s *Server) generateMesh(r *http.Request) (*meshRecord, error) {
 	var req generateRequest
 	if err := decodeJSON(r, &req, false); err != nil {
-		return nil, "", err
+		return nil, err
+	}
+	if req.Dim != 0 && req.Dim != 2 && req.Dim != 3 {
+		return nil, apiErrorf(http.StatusBadRequest, "dim %d: want 2 (triangles) or 3 (tetrahedra)", req.Dim)
 	}
 	if req.Domain == "" {
-		return nil, "", apiErrorf(http.StatusBadRequest, "domain is required; known domains: %v", lams.Domains())
+		return nil, apiErrorf(http.StatusBadRequest,
+			"domain is required; known domains: %v (dim 2), %v (dim 3)", lams.Domains(), tetDomains)
 	}
 	if req.TargetVerts <= 0 {
 		req.TargetVerts = 10_000
 	}
 	if req.TargetVerts > s.cfg.MaxMeshVerts {
-		return nil, "", apiErrorf(http.StatusRequestEntityTooLarge,
+		return nil, apiErrorf(http.StatusRequestEntityTooLarge,
 			"target_verts %d exceeds the server limit %d", req.TargetVerts, s.cfg.MaxMeshVerts)
+	}
+	if req.Dim == 3 {
+		if req.Domain != "cube" {
+			return nil, apiErrorf(http.StatusBadRequest,
+				"domain %q: dim 3 domains are %v", req.Domain, tetDomains)
+		}
+		jitter := 0.3
+		if req.Jitter != nil {
+			jitter = *req.Jitter
+		}
+		if jitter < 0 || jitter >= 0.5 {
+			return nil, apiErrorf(http.StatusBadRequest, "jitter %g out of range [0, 0.5)", jitter)
+		}
+		m, err := lams.GenerateTetCubeVerts(req.TargetVerts, jitter)
+		if err != nil {
+			return nil, apiErrorf(http.StatusBadRequest, "generating tet mesh: %v", err)
+		}
+		return s.addMesh(func() (*meshRecord, error) { return s.store.AddTet(m, req.Domain) })
 	}
 	m, err := lams.GenerateMesh(req.Domain, req.TargetVerts)
 	if err != nil {
-		return nil, "", apiErrorf(http.StatusBadRequest, "generating mesh: %v", err)
+		return nil, apiErrorf(http.StatusBadRequest, "generating mesh: %v", err)
 	}
-	return m, req.Domain, nil
+	return s.addMesh(func() (*meshRecord, error) { return s.store.Add(m, req.Domain) })
 }
 
 // uploadMesh streams a Triangle-format mesh out of a multipart body. The
@@ -380,11 +436,22 @@ func (s *Server) handleExportMesh(w http.ResponseWriter, r *http.Request) {
 	// Clone under the read lock and stream from the copy: a slow-reading
 	// client must never pin the mesh lock (and with it every writer of this
 	// mesh) for the duration of its download.
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.%s", rec.id, part))
+	if rec.dim == 3 {
+		rec.mu.RLock()
+		clone := rec.tet.Clone()
+		rec.mu.RUnlock()
+		if part == "node" {
+			_ = clone.WriteNode(w)
+		} else {
+			_ = clone.WriteEle(w)
+		}
+		return
+	}
 	rec.mu.RLock()
 	clone := rec.mesh.Clone()
 	rec.mu.RUnlock()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.%s", rec.id, part))
 	if part == "node" {
 		_ = clone.WriteNode(w)
 	} else {
@@ -424,32 +491,52 @@ func (s *Server) handleReorderMesh(w http.ResponseWriter, r *http.Request) {
 	// other requests for this mesh keep flowing during the computation. The
 	// generation counter detects a concurrent mutation at commit time.
 	rec.mu.RLock()
-	clone := rec.mesh.Clone()
+	var clone2 *lams.Mesh
+	var clone3 *lams.TetMesh
+	if rec.dim == 3 {
+		clone3 = rec.tet.Clone()
+	} else {
+		clone2 = rec.mesh.Clone()
+	}
 	gen := rec.gen.Load()
 	rec.mu.RUnlock()
 
 	type reorderResult struct {
-		re  *lams.Reordered
-		err error
+		mesh2     *lams.Mesh
+		mesh3     *lams.TetMesh
+		orderTime time.Duration
+		err       error
 	}
 	ch := make(chan reorderResult, 1)
 	go func() {
-		re, err := lams.Reorder(clone, req.Ordering)
-		ch <- reorderResult{re: re, err: err}
+		if clone3 != nil {
+			re, err := lams.ReorderTet(clone3, req.Ordering)
+			if err != nil {
+				ch <- reorderResult{err: err}
+				return
+			}
+			ch <- reorderResult{mesh3: re.Mesh, orderTime: re.OrderTime}
+			return
+		}
+		re, err := lams.Reorder(clone2, req.Ordering)
+		if err != nil {
+			ch <- reorderResult{err: err}
+			return
+		}
+		ch <- reorderResult{mesh2: re.Mesh, orderTime: re.OrderTime}
 	}()
 
-	var re *lams.Reordered
+	var res reorderResult
 	select {
 	case <-r.Context().Done():
 		// The orphaned computation finishes on the clone and is discarded.
 		writeError(w, r.Context().Err())
 		return
-	case res := <-ch:
+	case res = <-ch:
 		if res.err != nil {
 			writeError(w, res.err)
 			return
 		}
-		re = res.re
 	}
 
 	rec.mu.Lock()
@@ -459,11 +546,15 @@ func (s *Server) handleReorderMesh(w http.ResponseWriter, r *http.Request) {
 			"mesh %q was modified while the ordering was being computed; retry", rec.id))
 		return
 	}
-	rec.mesh = re.Mesh
+	if res.mesh3 != nil {
+		rec.tet = res.mesh3
+	} else {
+		rec.mesh = res.mesh2
+	}
 	rec.gen.Add(1)
 	rec.metaMu.Lock()
 	rec.ordering = req.Ordering
-	rec.orderTime = re.OrderTime
+	rec.orderTime = res.orderTime
 	// Quality is permutation-invariant up to float summation order;
 	// recompute lazily rather than serve a subtly drifted cache.
 	rec.qualityStale = true
@@ -474,7 +565,7 @@ func (s *Server) handleReorderMesh(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id":            rec.id,
 		"ordering":      req.Ordering,
-		"order_time_ms": float64(re.OrderTime) / float64(time.Millisecond),
+		"order_time_ms": float64(res.orderTime) / float64(time.Millisecond),
 	})
 }
 
@@ -571,6 +662,40 @@ func metricFor(name string) (lams.Metric, error) {
 		"unknown metric %q: want edge-ratio, min-angle, or aspect-ratio", name)
 }
 
+// tetMetricFor resolves the request metric for a dim=3 mesh ("" means the
+// library default, mean-ratio).
+func tetMetricFor(name string) (lams.TetMetric, error) {
+	switch name {
+	case "", "mean-ratio":
+		return nil, nil // library default
+	case "edge-ratio":
+		return lams.TetEdgeRatio{}, nil
+	}
+	return nil, apiErrorf(http.StatusBadRequest,
+		"unknown tet metric %q: want mean-ratio or edge-ratio", name)
+}
+
+// tetKernelFor resolves the request kernel for a dim=3 mesh; the kernel
+// names are the same four the 2D path accepts.
+func tetKernelFor(req smoothRequest, met lams.TetMetric) (lams.TetKernel, string, error) {
+	switch req.Kernel {
+	case "", "plain":
+		return lams.PlainTetKernel(), "plain", nil
+	case "smart":
+		return lams.SmartTetKernel(met), "smart", nil
+	case "weighted":
+		return lams.WeightedTetKernel(), "weighted", nil
+	case "constrained":
+		if req.MaxDisplacement <= 0 {
+			return nil, "", apiErrorf(http.StatusBadRequest,
+				"constrained kernel needs max_displacement > 0, got %g", req.MaxDisplacement)
+		}
+		return lams.ConstrainedTetKernel(req.MaxDisplacement), "constrained", nil
+	}
+	return nil, "", apiErrorf(http.StatusBadRequest,
+		"unknown kernel %q: want plain, smart, weighted, or constrained", req.Kernel)
+}
+
 func (s *Server) handleSmoothMesh(w http.ResponseWriter, r *http.Request) {
 	rec, err := s.recordOr404(r.PathValue("id"))
 	if err != nil {
@@ -600,13 +725,44 @@ func (s *Server) handleSmoothMesh(w http.ResponseWriter, r *http.Request) {
 // the engine's visit/next/quality scratch buffers were grown by earlier
 // requests; see TestServerPooledSmoothSteadyState.
 func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothRequest) (smoothResponse, error) {
-	met, err := metricFor(req.Metric)
-	if err != nil {
-		return smoothResponse{}, err
-	}
-	kern, kernName, err := kernelFor(req, met)
-	if err != nil {
-		return smoothResponse{}, err
+	// Resolve the dimension-specific rules first: metric and kernel. The
+	// resulting options list, kernel name, and whether the default metric is
+	// in play feed the shared path below.
+	var (
+		kernName      string
+		dimOpts       []lams.SmoothOption
+		defaultMetric bool
+	)
+	if rec.dim == 3 {
+		met, err := tetMetricFor(req.Metric)
+		if err != nil {
+			return smoothResponse{}, err
+		}
+		kern, name, err := tetKernelFor(req, met)
+		if err != nil {
+			return smoothResponse{}, err
+		}
+		kernName = name
+		defaultMetric = met == nil
+		dimOpts = append(dimOpts, lams.WithTetKernel(kern))
+		if met != nil {
+			dimOpts = append(dimOpts, lams.WithTetMetric(met))
+		}
+	} else {
+		met, err := metricFor(req.Metric)
+		if err != nil {
+			return smoothResponse{}, err
+		}
+		kern, name, err := kernelFor(req, met)
+		if err != nil {
+			return smoothResponse{}, err
+		}
+		kernName = name
+		defaultMetric = met == nil
+		dimOpts = append(dimOpts, lams.WithKernel(kern))
+		if met != nil {
+			dimOpts = append(dimOpts, lams.WithMetric(met))
+		}
 	}
 	workers := req.Workers
 	if workers == 0 {
@@ -638,7 +794,7 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	if err := ctx.Err(); err != nil {
 		return smoothResponse{}, err
 	}
-	key := engineKey{Kernel: kernName, Workers: workers, Schedule: schedule}
+	key := engineKey{Dim: rec.dim, Kernel: kernName, Workers: workers, Schedule: schedule}
 	eng, err := s.pool.Acquire(ctx, key)
 	if err != nil {
 		// The deadline or client disconnect fired while queued.
@@ -647,10 +803,8 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	defer s.pool.Release(key, eng)
 
 	opts := make([]lams.SmoothOption, 0, 10)
-	opts = append(opts, lams.WithKernel(kern), lams.WithWorkers(workers), lams.WithSchedule(schedule))
-	if met != nil {
-		opts = append(opts, lams.WithMetric(met))
-	}
+	opts = append(opts, dimOpts...)
+	opts = append(opts, lams.WithWorkers(workers), lams.WithSchedule(schedule))
 	if req.MaxIters > 0 {
 		opts = append(opts, lams.WithMaxIterations(req.MaxIters))
 	}
@@ -668,7 +822,12 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	}
 
 	start := time.Now()
-	res, err := eng.Smooth(ctx, rec.mesh, opts...)
+	var res lams.SmoothResult
+	if rec.dim == 3 {
+		res, err = eng.SmoothTet(ctx, rec.tet, opts...)
+	} else {
+		res, err = eng.Smooth(ctx, rec.mesh, opts...)
+	}
 	dur := time.Since(start)
 	if res.Iterations > 0 {
 		rec.gen.Add(1)
@@ -680,7 +839,7 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 		if res.Iterations > 0 {
 			rec.qualityStale = true
 		}
-	case met == nil:
+	case defaultMetric:
 		// The engine's final quality IS the default-metric global quality:
 		// refresh the cache for free on the common path.
 		rec.smoothRuns++
@@ -751,19 +910,30 @@ func (s *Server) handleAnalyzeMesh(w http.ResponseWriter, r *http.Request) {
 	// Analysis traces a clone, so only the copy needs the read lock; the
 	// (expensive) trace and simulation run without blocking other requests
 	// for this mesh.
-	rec.mu.RLock()
-	clone := rec.mesh.Clone()
-	rec.mu.RUnlock()
 	rec.metaMu.Lock()
 	ordering := rec.ordering
 	rec.metaMu.Unlock()
 
 	start := time.Now()
-	rep, err := lams.AnalyzeLocality(r.Context(), clone,
-		lams.WithAnalysisIterations(iters),
-		lams.WithAnalysisWorkers(workers))
-	if err != nil {
-		writeError(w, err)
+	var rep *lams.LocalityReport
+	var err2 error
+	if rec.dim == 3 {
+		rec.mu.RLock()
+		clone := rec.tet.Clone()
+		rec.mu.RUnlock()
+		rep, err2 = lams.AnalyzeTetLocality(r.Context(), clone,
+			lams.WithAnalysisIterations(iters),
+			lams.WithAnalysisWorkers(workers))
+	} else {
+		rec.mu.RLock()
+		clone := rec.mesh.Clone()
+		rec.mu.RUnlock()
+		rep, err2 = lams.AnalyzeLocality(r.Context(), clone,
+			lams.WithAnalysisIterations(iters),
+			lams.WithAnalysisWorkers(workers))
+	}
+	if err2 != nil {
+		writeError(w, err2)
 		return
 	}
 	s.metrics.analyses.Add(1)

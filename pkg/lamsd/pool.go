@@ -9,11 +9,14 @@ import (
 )
 
 // engineKey identifies a smoothing configuration whose engines are
-// interchangeable. Engines are pooled per kernel × worker count × schedule
-// so a warm engine handed to a request has scratch buffers (including the
-// cached scheduler's per-worker state) shaped by the same kind of run that
-// grew them.
+// interchangeable. Engines are pooled per dimension × kernel × worker count
+// × schedule so a warm engine handed to a request has scratch buffers
+// (including the cached scheduler's per-worker state) shaped by the same
+// kind of run that grew them — a lams.Smoother serves both dimensions, but
+// keying on Dim keeps a 2D-heavy workload from thrashing the 3D buffers and
+// vice versa.
 type engineKey struct {
+	Dim      int
 	Kernel   string
 	Workers  int
 	Schedule string

@@ -1,0 +1,177 @@
+package lamsd
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// createCubeMesh generates a dim=3 cube mesh through the HTTP API.
+func createCubeMesh(t *testing.T, baseURL string, verts int) meshInfo {
+	t.Helper()
+	resp, data := doJSON(t, http.MethodPost, baseURL+"/v1/meshes",
+		map[string]any{"domain": "cube", "dim": 3, "target_verts": verts})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create cube: status %d: %s", resp.StatusCode, data)
+	}
+	var info meshInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// TestServerTetLifecycle drives the full 3D pipeline over HTTP: generate a
+// cube tet mesh, reorder it with BFS, smooth it through the pooled engine,
+// analyze its locality, and export it in TetGen format.
+func TestServerTetLifecycle(t *testing.T) {
+	_, ts := newTestServer(t)
+	info := createCubeMesh(t, ts.URL, 800)
+	if info.Dim != 3 || info.Ordering != "ORI" {
+		t.Fatalf("malformed create response: %+v", info)
+	}
+	verts, tets := summaryCounts(t, info)
+	if verts == 0 || tets == 0 {
+		t.Fatalf("empty cube summary: %+v", info.Summary)
+	}
+
+	// Reorder with BFS.
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/reorder",
+		map[string]any{"ordering": "BFS"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reorder: status %d: %s", resp.StatusCode, data)
+	}
+
+	// Smooth through the pool, parallel, under a non-default schedule.
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/smooth?schedule=guided",
+		map[string]any{"workers": 2, "max_iters": 4, "tol": -1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("smooth: status %d: %s", resp.StatusCode, data)
+	}
+	var sm smoothResponse
+	if err := json.Unmarshal(data, &sm); err != nil {
+		t.Fatal(err)
+	}
+	if sm.Iterations != 4 || sm.Schedule != "guided" || sm.Kernel != "plain" {
+		t.Errorf("smooth response %+v", sm)
+	}
+	if sm.FinalQuality <= sm.InitialQuality {
+		t.Errorf("smoothing did not improve quality: %v -> %v", sm.InitialQuality, sm.FinalQuality)
+	}
+
+	// The summary now reports the improved quality under the 3D default
+	// metric.
+	resp, data = doJSON(t, http.MethodGet, ts.URL+"/v1/meshes/"+info.ID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: status %d", resp.StatusCode)
+	}
+	var got meshInfo
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Quality != sm.FinalQuality {
+		t.Errorf("cached quality %v != smooth final %v", got.Quality, sm.FinalQuality)
+	}
+	if got.SmoothRuns != 1 || got.Ordering != "BFS" {
+		t.Errorf("bookkeeping %+v", got)
+	}
+
+	// Analyze the 3D access stream.
+	resp, data = doJSON(t, http.MethodGet, ts.URL+"/v1/meshes/"+info.ID+"/analyze?iters=1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: status %d: %s", resp.StatusCode, data)
+	}
+	var rep analyzeResponse
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accesses <= 0 || rep.MeanReuseDistance <= 0 || rep.Ordering != "BFS" {
+		t.Errorf("degenerate analyze response %+v", rep)
+	}
+
+	// Export both TetGen parts: the .node header declares dimension 3, the
+	// .ele header 4-node elements.
+	resp, data = doJSON(t, http.MethodGet, ts.URL+"/v1/meshes/"+info.ID+"/export?part=node", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(strings.SplitN(string(data), "\n", 2)[0], " 3 ") {
+		t.Fatalf("node export: status %d, header %.40q", resp.StatusCode, data)
+	}
+	resp, data = doJSON(t, http.MethodGet, ts.URL+"/v1/meshes/"+info.ID+"/export?part=ele", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(strings.SplitN(string(data), "\n", 2)[0], " 4 ") {
+		t.Fatalf("ele export: status %d, header %.40q", resp.StatusCode, data)
+	}
+
+	// Evict.
+	resp, _ = doJSON(t, http.MethodDelete, ts.URL+"/v1/meshes/"+info.ID, nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("delete: status %d", resp.StatusCode)
+	}
+}
+
+// TestServerTetSmoothKernelsAndMetrics covers the 3D kernel and metric
+// resolution plus the validation paths.
+func TestServerTetSmoothKernelsAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	info := createCubeMesh(t, ts.URL, 400)
+
+	for _, body := range []map[string]any{
+		{"kernel": "smart", "max_iters": 2, "tol": -1},
+		{"kernel": "weighted", "max_iters": 2, "tol": -1, "workers": 2},
+		{"kernel": "constrained", "max_displacement": 0.01, "max_iters": 2, "tol": -1},
+		{"metric": "edge-ratio", "max_iters": 2, "tol": -1},
+		{"metric": "mean-ratio", "max_iters": 2, "tol": -1},
+	} {
+		resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/smooth", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("smooth %v: status %d: %s", body, resp.StatusCode, data)
+		}
+	}
+
+	// 2D-only metric names are rejected for tets.
+	resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/smooth",
+		map[string]any{"metric": "min-angle"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("min-angle on a tet mesh: status %d, want 400", resp.StatusCode)
+	}
+	// Constrained still validates its displacement.
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/smooth",
+		map[string]any{"kernel": "constrained"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("constrained without displacement: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerTetGenerateValidation pins the create-time validation for 3D
+// requests.
+func TestServerTetGenerateValidation(t *testing.T) {
+	_, ts := newTestServer(t, WithMaxMeshVerts(5000))
+	cases := []map[string]any{
+		{"domain": "carabiner", "dim": 3},               // not a 3D domain
+		{"domain": "cube", "dim": 4},                    // bad dim
+		{"domain": "cube", "dim": 3, "jitter": 0.7},     // jitter out of range
+		{"domain": "cube", "dim": 3, "target_verts": 0}, // falls back to default 10k > cap -> 413
+	}
+	for i, body := range cases {
+		resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/meshes", body)
+		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("case %d (%v): status %d, want 4xx", i, body, resp.StatusCode)
+		}
+	}
+	// An explicit jitter of 0 means the regular grid, not the 0.3 default.
+	resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/meshes",
+		map[string]any{"domain": "cube", "dim": 3, "target_verts": 300, "jitter": 0})
+	if resp.StatusCode != http.StatusCreated {
+		t.Errorf("explicit jitter 0: status %d", resp.StatusCode)
+	}
+	// The 2D path is untouched by a dim=2 that is explicit.
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes",
+		map[string]any{"domain": "carabiner", "dim": 2, "target_verts": 500})
+	if resp.StatusCode != http.StatusCreated {
+		t.Errorf("explicit dim=2: status %d", resp.StatusCode)
+	}
+	// /v1/domains advertises the 3D domain list.
+	resp, data := doJSON(t, http.MethodGet, ts.URL+"/v1/domains", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "domains_3d") {
+		t.Errorf("domains: status %d, body %s", resp.StatusCode, data)
+	}
+}

@@ -70,6 +70,24 @@ func createDomainMesh(t *testing.T, baseURL, domain string, verts int) meshInfo 
 	return info
 }
 
+// summaryCounts extracts the topological counts from a decoded meshInfo
+// summary (a JSON object once round-tripped: Summary is declared any so it
+// can carry 2D or 3D stats). elems is the triangle count for dim=2 records
+// and the tet count for dim=3.
+func summaryCounts(t *testing.T, info meshInfo) (verts, elems int) {
+	t.Helper()
+	m, ok := info.Summary.(map[string]any)
+	if !ok {
+		t.Fatalf("summary is %T, want a JSON object: %+v", info.Summary, info)
+	}
+	v, _ := m["verts"].(float64)
+	if tr, ok := m["tris"].(float64); ok {
+		return int(v), int(tr)
+	}
+	te, _ := m["tets"].(float64)
+	return int(v), int(te)
+}
+
 func TestServerHealthzAndMetrics(t *testing.T) {
 	_, ts := newTestServer(t)
 	resp, data := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil)
@@ -143,7 +161,8 @@ func TestServerOrderingsAndDomains(t *testing.T) {
 func TestServerMeshLifecycle(t *testing.T) {
 	_, ts := newTestServer(t, WithMaxMeshes(2))
 	info := createDomainMesh(t, ts.URL, "carabiner", 1200)
-	if info.ID == "" || info.Summary.Verts == 0 || info.Ordering != "ORI" {
+	infoVerts, _ := summaryCounts(t, info)
+	if info.ID == "" || infoVerts == 0 || info.Ordering != "ORI" {
 		t.Fatalf("malformed create response: %+v", info)
 	}
 
@@ -159,7 +178,7 @@ func TestServerMeshLifecycle(t *testing.T) {
 
 	// Export streams a parseable .node.
 	resp, data = doJSON(t, http.MethodGet, ts.URL+"/v1/meshes/"+info.ID+"/export?part=node", nil)
-	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(data), fmt.Sprintf("%d 2", info.Summary.Verts)) {
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(data), fmt.Sprintf("%d 2", infoVerts)) {
 		t.Fatalf("export: status %d, body %.40s", resp.StatusCode, data)
 	}
 	resp, _ = doJSON(t, http.MethodGet, ts.URL+"/v1/meshes/"+info.ID+"/export?part=bogus", nil)
@@ -246,7 +265,7 @@ func TestServerUploadMultipart(t *testing.T) {
 	if err := json.Unmarshal(data, &info); err != nil {
 		t.Fatal(err)
 	}
-	if info.Summary.Verts != m.NumVerts() || info.Summary.Tris != m.NumTris() {
+	if v, tr := summaryCounts(t, info); v != m.NumVerts() || tr != m.NumTris() {
 		t.Errorf("upload round trip changed counts: %+v vs %d/%d", info.Summary, m.NumVerts(), m.NumTris())
 	}
 	if info.Name != "upload" {
@@ -325,6 +344,7 @@ func TestServerUploadRejectsMalformed(t *testing.T) {
 func TestServerReorder(t *testing.T) {
 	_, ts := newTestServer(t)
 	info := createDomainMesh(t, ts.URL, "carabiner", 1500)
+	infoVerts, _ := summaryCounts(t, info)
 
 	for _, ordering := range []string{"RDR", "BFS-WORST", "RDR-DESC"} {
 		resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/reorder",
@@ -340,7 +360,7 @@ func TestServerReorder(t *testing.T) {
 		if got.Ordering != ordering {
 			t.Errorf("stored ordering %q after reorder to %s", got.Ordering, ordering)
 		}
-		if got.Summary.Verts != info.Summary.Verts {
+		if gotVerts, _ := summaryCounts(t, got); gotVerts != infoVerts {
 			t.Errorf("%s: reorder changed vertex count", ordering)
 		}
 	}

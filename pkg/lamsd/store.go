@@ -28,12 +28,17 @@ type meshRecord struct {
 	seq     uint64
 	created time.Time
 	name    string // originating domain, or "upload"
+	// dim is the mesh dimension: 2 (triangles, mesh set) or 3 (tetrahedra,
+	// tet set). It never changes after Add.
+	dim int
 	// summary is computed once at Add time: it is purely topological
 	// (counts and degrees), which neither smoothing nor renumbering changes.
-	summary lams.MeshStats
+	// It holds lams.MeshStats (dim 2) or lams.TetMeshStats (dim 3).
+	summary any
 
 	mu   sync.RWMutex
-	mesh *lams.Mesh
+	mesh *lams.Mesh    // set when dim == 2
+	tet  *lams.TetMesh // set when dim == 3
 	// gen counts mesh mutations. It is incremented under mu's write lock
 	// but read atomically anywhere, letting off-lock computations (reorder,
 	// quality refresh) detect that the mesh changed under them and discard
@@ -69,25 +74,29 @@ func newMeshStore(maxMeshes int) *meshStore {
 	return &meshStore{maxMeshes: maxMeshes, records: make(map[string]*meshRecord)}
 }
 
-// Add registers a mesh and returns its record, or an error when the store
-// is at capacity (the handler maps it to 507 Insufficient Storage).
+// Add registers a 2D mesh and returns its record, or an error when the
+// store is at capacity (the handler maps it to 507 Insufficient Storage).
 func (st *meshStore) Add(m *lams.Mesh, name string) (*meshRecord, error) {
+	return st.add(&meshRecord{dim: 2, mesh: m, summary: m.Summary(), name: name})
+}
+
+// AddTet registers a 3D mesh, with the same capacity bound as Add.
+func (st *meshStore) AddTet(m *lams.TetMesh, name string) (*meshRecord, error) {
+	return st.add(&meshRecord{dim: 3, tet: m, summary: m.Summary(), name: name})
+}
+
+func (st *meshStore) add(rec *meshRecord) (*meshRecord, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if len(st.records) >= st.maxMeshes {
 		return nil, fmt.Errorf("mesh store full (%d meshes resident); delete one first", len(st.records))
 	}
 	st.nextSeq++
-	rec := &meshRecord{
-		id:           fmt.Sprintf("m%d", st.nextSeq),
-		seq:          st.nextSeq,
-		created:      time.Now(),
-		mesh:         m,
-		name:         name,
-		ordering:     "ORI",
-		qualityStale: true,
-		summary:      m.Summary(),
-	}
+	rec.id = fmt.Sprintf("m%d", st.nextSeq)
+	rec.seq = st.nextSeq
+	rec.created = time.Now()
+	rec.ordering = "ORI"
+	rec.qualityStale = true
 	st.records[rec.id] = rec
 	return rec, nil
 }
