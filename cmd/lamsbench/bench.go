@@ -1,0 +1,237 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"lams/internal/mesh"
+	"lams/internal/smooth"
+)
+
+// The -json benchmark: the full converge loop (sweep + global quality
+// measurement per iteration) across dimensions, worker counts, and both
+// engine paths, written as machine-readable JSON. The committed
+// BENCH_smooth.json at the repository root is this report from the
+// CI-class container — its iface entries are the baseline the fast-path
+// speedups are measured against; CI regenerates and uploads the report on
+// every run so the quality trajectory is never empty again.
+//
+// The two paths of one (dim, workers) cell are timed in interleaved reps —
+// iface op, fast op, iface op, ... — so a shared-CPU frequency or quota
+// shift during the run degrades both paths alike instead of poisoning the
+// comparison.
+
+// benchIters is the converge-loop length of each benchmark op. Tol is
+// disabled, so every op executes exactly this many sweeps plus
+// benchIters+1 global quality measurements.
+const benchIters = 10
+
+// benchResult is one benchmark cell.
+type benchResult struct {
+	Name     string `json:"name"`
+	Dim      int    `json:"dim"`
+	Mesh     string `json:"mesh"`
+	Verts    int    `json:"verts"`
+	Interior int    `json:"interior"`
+	// Elements is the metric-pass element count: triangles (dim 2) or
+	// tetrahedra (dim 3).
+	Elements   int    `json:"elements"`
+	Workers    int    `json:"workers"`
+	Schedule   string `json:"schedule"`
+	Path       string `json:"path"` // "iface" (baseline) or "fast"
+	CheckEvery int    `json:"check_every"`
+	Iterations int    `json:"iterations"`
+	Reps       int    `json:"reps"`
+	// NsPerOp is the best (minimum) wall-clock of one converge loop.
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	MeanNsPerOp float64 `json:"mean_ns_per_op"`
+	// QualityTrajectory is the measured global quality after each measured
+	// iteration (the Result.QualityHistory of one op); bit-identical across
+	// every cell of the same dimension and check_every by construction.
+	QualityTrajectory []float64 `json:"quality_trajectory"`
+}
+
+// benchReport is the top-level JSON document.
+type benchReport struct {
+	Generated  time.Time     `json:"generated"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Results    []benchResult `json:"results"`
+}
+
+// pathTiming accumulates one path's interleaved reps.
+type pathTiming struct {
+	reps         int
+	best         int64
+	total        time.Duration
+	allocs, size uint64
+}
+
+func (p *pathTiming) add(d time.Duration, allocs, size uint64) {
+	p.reps++
+	p.total += d
+	if p.best == 0 || d.Nanoseconds() < p.best {
+		p.best = d.Nanoseconds()
+	}
+	p.allocs += allocs
+	p.size += size
+}
+
+func (p *pathTiming) fill(r *benchResult) {
+	r.Reps = p.reps
+	r.NsPerOp = p.best
+	r.MeanNsPerOp = float64(p.total.Nanoseconds()) / float64(p.reps)
+	r.AllocsPerOp = p.allocs / uint64(p.reps)
+	r.BytesPerOp = p.size / uint64(p.reps)
+}
+
+// timeOp times one op, including its allocation deltas.
+func timeOp(op func() error) (time.Duration, uint64, uint64, error) {
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	err := op()
+	d := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	return d, ms1.Mallocs - ms0.Mallocs, ms1.TotalAlloc - ms0.TotalAlloc, err
+}
+
+// benchPair runs the iface and fast ops of one (dim, workers) cell in
+// interleaved reps and returns their timings.
+func benchPair(opIface, opFast func() error) (iface, fast pathTiming, err error) {
+	const (
+		minTime = 4 * time.Second
+		maxReps = 5
+	)
+	var total time.Duration
+	for rep := 0; rep < maxReps && (rep < 2 || total < minTime); rep++ {
+		d, allocs, size, e := timeOp(opIface)
+		if e != nil {
+			return iface, fast, e
+		}
+		iface.add(d, allocs, size)
+		total += d
+		if d, allocs, size, e = timeOp(opFast); e != nil {
+			return iface, fast, e
+		}
+		fast.add(d, allocs, size)
+		total += d
+	}
+	return iface, fast, nil
+}
+
+// runBenchJSON runs the converge benchmark and writes the report to path.
+func runBenchJSON(path, schedule string, verts2, cells3, checkEvery int) error {
+	m2, err := mesh.Generate("carabiner", verts2)
+	if err != nil {
+		return fmt.Errorf("generating 2D bench mesh: %w", err)
+	}
+	m3, err := mesh.GenerateTetCube(cells3, cells3, cells3, 0.3)
+	if err != nil {
+		return fmt.Errorf("generating 3D bench mesh: %w", err)
+	}
+	if schedule == "" {
+		schedule = "static"
+	}
+
+	rep := benchReport{
+		Generated:  time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	ctx := context.Background()
+
+	for _, workers := range []int{1, 4, 8} {
+		// 2D cell: one engine and mesh per path, interleaved reps.
+		optI := smooth.Options{
+			MaxIters: benchIters, Tol: -1, Traversal: smooth.StorageOrder,
+			Workers: workers, Schedule: schedule, NoFastPath: true, CheckEvery: checkEvery,
+		}
+		optF := optI
+		optF.NoFastPath = false
+		engI, engF := smooth.NewSmoother(), smooth.NewSmoother()
+		meshI, meshF := m2.Clone(), m2.Clone()
+		warm, err := engF.Run(ctx, meshF.Clone(), optF)
+		if err != nil {
+			return err
+		}
+		if _, err := engI.Run(ctx, meshI.Clone(), optI); err != nil {
+			return err
+		}
+		ti, tf, err := benchPair(
+			func() error { _, err := engI.Run(ctx, meshI, optI); return err },
+			func() error { _, err := engF.Run(ctx, meshF, optF); return err },
+		)
+		if err != nil {
+			return err
+		}
+		base := benchResult{
+			Dim: 2, Mesh: "carabiner", Verts: m2.NumVerts(), Interior: len(m2.InteriorVerts),
+			Elements: m2.NumTris(), Workers: workers, Schedule: schedule,
+			CheckEvery: checkEvery, Iterations: warm.Iterations,
+			QualityTrajectory: warm.QualityHistory,
+		}
+		rep.Results = append(rep.Results, cell(base, "iface", ti), cell(base, "fast", tf))
+		report(os.Stderr, rep.Results[len(rep.Results)-2:])
+
+		// 3D cell.
+		optI3 := smooth.Options3{
+			MaxIters: benchIters, Tol: -1, Traversal: smooth.StorageOrder,
+			Workers: workers, Schedule: schedule, NoFastPath: true, CheckEvery: checkEvery,
+		}
+		optF3 := optI3
+		optF3.NoFastPath = false
+		engI3, engF3 := smooth.NewSmoother3(), smooth.NewSmoother3()
+		meshI3, meshF3 := m3.Clone(), m3.Clone()
+		warm3, err := engF3.Run(ctx, meshF3.Clone(), optF3)
+		if err != nil {
+			return err
+		}
+		if _, err := engI3.Run(ctx, meshI3.Clone(), optI3); err != nil {
+			return err
+		}
+		ti3, tf3, err := benchPair(
+			func() error { _, err := engI3.Run(ctx, meshI3, optI3); return err },
+			func() error { _, err := engF3.Run(ctx, meshF3, optF3); return err },
+		)
+		if err != nil {
+			return err
+		}
+		base3 := benchResult{
+			Dim: 3, Mesh: "cube", Verts: m3.NumVerts(), Interior: len(m3.InteriorVerts),
+			Elements: m3.NumTets(), Workers: workers, Schedule: schedule,
+			CheckEvery: checkEvery, Iterations: warm3.Iterations,
+			QualityTrajectory: warm3.QualityHistory,
+		}
+		rep.Results = append(rep.Results, cell(base3, "iface", ti3), cell(base3, "fast", tf3))
+		report(os.Stderr, rep.Results[len(rep.Results)-2:])
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// cell stamps one path's timings onto a copy of the cell's shared fields.
+func cell(base benchResult, path string, t pathTiming) benchResult {
+	base.Path = path
+	base.Name = fmt.Sprintf("RunConverged/dim=%d/path=%s/workers=%d", base.Dim, path, base.Workers)
+	t.fill(&base)
+	return base
+}
+
+func report(w *os.File, cells []benchResult) {
+	for _, r := range cells {
+		fmt.Fprintf(w, "%-44s %12d ns/op  %6d allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+}

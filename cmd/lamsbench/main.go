@@ -4,10 +4,17 @@
 //
 // Usage:
 //
-//	lamsbench [-exp id] [-verts n] [-full] [-meshes a,b,c] [-nowall] [-schedule static|guided|stealing]
+//	lamsbench [-exp id] [-verts n] [-full] [-meshes a,b,c] [-nowall] [-schedule static|guided|stealing] [-checkevery k]
+//	lamsbench -json FILE [-schedule s] [-benchverts n] [-benchcells n] [-checkevery k]
 //
 // Experiment ids: table1, fig1, fig4, fig5, fig6, fig8, fig9, table2,
 // table3, eq2, fig10, fig11, fig12, fig13, cost, all.
+//
+// With -json, lamsbench skips the experiments and runs the converge-loop
+// benchmark instead (full sweep+measure loops across dimensions, worker
+// counts, and the interface/fast engine paths), writing machine-readable
+// results to FILE; see BENCH_smooth.json at the repository root for the
+// committed baseline.
 package main
 
 import (
@@ -23,12 +30,16 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1, fig1, fig4, fig5, fig6, fig7, fig8, fig9, table2, table3, eq2, fig10, fig11, fig12, fig13, cost, cpack, prefetch, mrc, variants, gs, all)")
-		verts    = flag.Int("verts", 20000, "target vertices per mesh")
-		full     = flag.Bool("full", false, "use the paper's full mesh sizes (~330k vertices; slow)")
-		meshes   = flag.String("meshes", "", "comma-separated mesh subset (default: all nine)")
-		nowall   = flag.Bool("nowall", false, "skip wall-clock measurements in fig8")
-		schedule = flag.String("schedule", "", "chunk schedule for the parallel traced runs: "+strings.Join(parallel.Schedules(), ", ")+" (default static)")
+		exp        = flag.String("exp", "all", "experiment id (table1, fig1, fig4, fig5, fig6, fig7, fig8, fig9, table2, table3, eq2, fig10, fig11, fig12, fig13, cost, cpack, prefetch, mrc, variants, gs, all)")
+		verts      = flag.Int("verts", 20000, "target vertices per mesh")
+		full       = flag.Bool("full", false, "use the paper's full mesh sizes (~330k vertices; slow)")
+		meshes     = flag.String("meshes", "", "comma-separated mesh subset (default: all nine)")
+		nowall     = flag.Bool("nowall", false, "skip wall-clock measurements in fig8")
+		schedule   = flag.String("schedule", "", "chunk schedule for the parallel traced runs: "+strings.Join(parallel.Schedules(), ", ")+" (default static)")
+		checkevery = flag.Int("checkevery", 1, "measure global quality every k-th sweep of the convergence runs (default 1: every sweep)")
+		jsonOut    = flag.String("json", "", "run the converge-loop benchmark instead of the experiments and write machine-readable results to FILE")
+		benchVerts = flag.Int("benchverts", 262144, "target 2D mesh vertices for the -json benchmark (default: the 512x512-grid magnitude)")
+		benchCells = flag.Int("benchcells", 40, "cells per axis of the 3D cube for the -json benchmark (default 40, i.e. 40^3)")
 	)
 	flag.Parse()
 
@@ -41,11 +52,23 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *checkevery < 1 {
+		fmt.Fprintf(os.Stderr, "lamsbench: -checkevery %d: want >= 1\n", *checkevery)
+		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		if err := runBenchJSON(*jsonOut, *schedule, *benchVerts, *benchCells, *checkevery); err != nil {
+			fmt.Fprintln(os.Stderr, "lamsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	cfg := experiments.ConfigForSize(*verts)
 	if *meshes != "" {
 		cfg.Meshes = strings.Split(*meshes, ",")
 	}
 	cfg.Schedule = *schedule
+	cfg.CheckEvery = *checkevery
 	s := experiments.NewSuite(cfg)
 
 	if err := run(s, *exp, !*nowall); err != nil {

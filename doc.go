@@ -13,10 +13,15 @@
 // triangles and tetrahedra — the kernel-driven smoothing engines
 // (internal/smooth: Smoother for triangles, Smoother3 for tets, twin
 // engines with one convergence-loop/Jacobi/tracing structure built on the
-// same scheduler, trace, and quality-scratch components), the chunk
-// schedulers that distribute each sweep across workers — static (the
-// paper's OpenMP configuration, the default), guided, and lock-free
-// work-stealing, all bit-identical in results and selectable per run in
+// same scheduler, trace, and quality-scratch components, with monomorphic
+// fast-path loops for the built-in kernels and a CheckEvery measurement
+// cadence), the quality metrics whose global measurement runs chunk-
+// parallel through a fixed-block ordered reduction — bit-identical to the
+// serial pass at every worker count and schedule (internal/quality,
+// parallel.OrderedReducer) — the chunk schedulers that distribute each
+// sweep across workers — static (the paper's OpenMP configuration, the
+// default), guided, and lock-free work-stealing, all bit-identical in
+// results and selectable per run in
 // either dimension (internal/parallel), the mesh data structures and
 // generator substrates (internal/mesh, internal/delaunay,
 // internal/domains, internal/geom — including the Orient3D predicate and

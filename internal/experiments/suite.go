@@ -42,6 +42,12 @@ type Config struct {
 	// which vertices — exactly what the NUMA-style per-core trace analyses
 	// measure.
 	Schedule string
+	// CheckEvery measures global quality every CheckEvery-th sweep in the
+	// convergence runs (default 1, the paper's loop, which measures after
+	// every sweep). The smoothed coordinates are unaffected; only the
+	// measurement cadence — and with it the convergence-check granularity —
+	// changes. See smooth.Options.CheckEvery.
+	CheckEvery int
 }
 
 // DefaultConfig returns the configuration used by cmd/lamsbench and the
@@ -171,7 +177,7 @@ func (s *Suite) ConvergedIters(meshName string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := smooth.Run(m.Clone(), smooth.Options{})
+	res, err := smooth.Run(m.Clone(), smooth.Options{CheckEvery: s.Cfg.CheckEvery})
 	if err != nil {
 		return 0, err
 	}

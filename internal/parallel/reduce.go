@@ -1,0 +1,122 @@
+package parallel
+
+import "context"
+
+// Ordered reduction: the parallel-sum primitive the quality measurement
+// pass is built on.
+//
+// Floating-point addition is not associative, so a reduction whose partial
+// sums follow the scheduler's chunk boundaries is only reproducible when
+// the boundaries are — and the dynamic schedules' boundaries depend on
+// runtime interleaving (guided sizes chunks off a racing remaining-work
+// estimate; stealing splits deques wherever a thief lands). The ordered
+// reduction therefore fixes its own granularity: [0, n) is tiled into
+// ReduceBlock-sized blocks, the SCHEDULER distributes block indices (any
+// schedule, any worker count), each block's partial sum is accumulated
+// left-to-right over the block's elements, and the partials are combined
+// serially in block order. Every term and every addition order is then a
+// function of n alone, so the result is bit-identical to the serial blocked
+// sum under every schedule and worker count.
+
+// ReduceBlock is the fixed tile size of ordered reductions. It is a
+// granularity constant, not a tuning knob: changing it changes the rounding
+// of every blocked sum, so it is fixed for reproducibility. 1024 elements
+// (8 KiB of float64) is small enough to give the dynamic schedules blocks
+// to balance with and large enough that per-block bookkeeping vanishes.
+const ReduceBlock = 1024
+
+// ReduceBlocks returns the number of ReduceBlock-sized blocks tiling [0, n).
+func ReduceBlocks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + ReduceBlock - 1) / ReduceBlock
+}
+
+// BlockSpan returns the element range of block b of the [0, n) tiling.
+func BlockSpan(n, b int) Chunk {
+	lo := b * ReduceBlock
+	hi := lo + ReduceBlock
+	if hi > n {
+		hi = n
+	}
+	return Chunk{Lo: lo, Hi: hi}
+}
+
+// SumBlocked returns the blocked sum of xs: each ReduceBlock-sized block
+// accumulated left-to-right, block partials combined left-to-right. This is
+// the exact summation OrderedReducer.Reduce computes when its body sums the
+// same elements, so serial callers summing a materialized slice stay
+// bit-identical to parallel callers reducing it.
+func SumBlocked(xs []float64) float64 {
+	var total float64
+	for lo := 0; lo < len(xs); lo += ReduceBlock {
+		hi := lo + ReduceBlock
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		var s float64
+		for _, x := range xs[lo:hi] {
+			s += x
+		}
+		total += s
+	}
+	return total
+}
+
+// OrderedReducer runs deterministic sum reductions over [0, n). It keeps
+// the per-block partial-sum scratch and the prebuilt scheduler body across
+// calls, so steady-state reductions allocate nothing. Like the schedulers
+// it drives, a reducer is single-owner: not safe for concurrent Reduce
+// calls. The zero value is ready to use.
+type OrderedReducer struct {
+	sums []float64
+	n    int
+	body func(worker, block int, span Chunk) float64
+	run  func(worker int, c Chunk)
+}
+
+// Reduce tiles [0, n) into ReduceBlock-sized blocks, calls body once per
+// block (distributed across workers by sched; serially in block order when
+// sched is nil or workers <= 1), and returns the block partial sums
+// combined in block order. body receives the block index and its element
+// span and must return the block's partial sum accumulated left-to-right;
+// it may also write per-element results into caller-owned buffers (block
+// spans are disjoint, so no synchronization is needed). The result is
+// bit-identical across schedules and worker counts by construction.
+//
+// On cancellation Reduce returns ctx.Err(); the partial sums are
+// incomplete and no total is produced.
+func (r *OrderedReducer) Reduce(ctx context.Context, sched Scheduler, n, workers int, body func(worker, block int, span Chunk) float64) (float64, error) {
+	nb := ReduceBlocks(n)
+	if cap(r.sums) < nb {
+		r.sums = make([]float64, nb)
+	}
+	r.sums = r.sums[:nb]
+	r.n, r.body = n, body
+	if sched == nil || workers <= 1 {
+		for b := 0; b < nb; b++ {
+			r.sums[b] = body(0, b, BlockSpan(n, b))
+		}
+	} else {
+		if r.run == nil {
+			// Prebuilt once: the steady-state Reduce passes an existing func
+			// value to the scheduler and allocates nothing.
+			r.run = func(w int, c Chunk) {
+				for b := c.Lo; b < c.Hi; b++ {
+					r.sums[b] = r.body(w, b, BlockSpan(r.n, b))
+				}
+			}
+		}
+		if err := sched.Run(ctx, nb, workers, r.run); err != nil {
+			r.body = nil
+			return 0, err
+		}
+	}
+	r.body = nil
+	var total float64
+	for _, s := range r.sums {
+		total += s
+	}
+	return total, nil
+}

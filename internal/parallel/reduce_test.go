@@ -1,0 +1,185 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestBlockTiling checks that ReduceBlocks/BlockSpan tile [0, n) exactly:
+// spans are contiguous, non-overlapping, full-size except the last, and
+// cover every index.
+func TestBlockTiling(t *testing.T) {
+	for _, n := range []int{0, 1, ReduceBlock - 1, ReduceBlock, ReduceBlock + 1, 3*ReduceBlock + 17, 10 * ReduceBlock} {
+		nb := ReduceBlocks(n)
+		covered := 0
+		for b := 0; b < nb; b++ {
+			span := BlockSpan(n, b)
+			if span.Lo != covered {
+				t.Fatalf("n=%d block %d starts at %d, want %d", n, b, span.Lo, covered)
+			}
+			if span.Len() <= 0 {
+				t.Fatalf("n=%d block %d is empty", n, b)
+			}
+			if b < nb-1 && span.Len() != ReduceBlock {
+				t.Fatalf("n=%d block %d has %d elements, want %d", n, b, span.Len(), ReduceBlock)
+			}
+			covered = span.Hi
+		}
+		if covered != n {
+			t.Fatalf("n=%d blocks cover [0,%d), want [0,%d)", n, covered, n)
+		}
+	}
+}
+
+// TestReduceMatchesSumBlocked is the determinism contract: for every
+// registered schedule and worker count, Reduce over a slice-summing body
+// must be bit-identical to SumBlocked — which is itself NOT generally
+// bit-identical to a plain left-to-right sum, so the test also pins that
+// the two orderings really are tied together by construction rather than
+// by accident.
+func TestReduceMatchesSumBlocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 100, ReduceBlock, 5*ReduceBlock + 123, 40 * ReduceBlock} {
+		xs := make([]float64, n)
+		for i := range xs {
+			// Wildly varying magnitudes make float addition order visible.
+			xs[i] = rng.NormFloat64() * float64(int64(1)<<uint(rng.Intn(40)))
+		}
+		want := SumBlocked(xs)
+		body := func(_, _ int, span Chunk) float64 {
+			var s float64
+			for _, x := range xs[span.Lo:span.Hi] {
+				s += x
+			}
+			return s
+		}
+		var serial OrderedReducer
+		got, err := serial.Reduce(context.Background(), nil, n, 1, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("n=%d serial Reduce = %v, want bit-identical %v", n, got, want)
+		}
+		for _, schedule := range Schedules() {
+			for _, workers := range []int{1, 2, 3, 8, 16} {
+				t.Run(fmt.Sprintf("n=%d/%s/workers=%d", n, schedule, workers), func(t *testing.T) {
+					sched, err := SchedulerByName(schedule)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var r OrderedReducer
+					got, err := r.Reduce(context.Background(), sched, n, workers, body)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Errorf("Reduce = %v, want bit-identical %v", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestReducerReuse drives one reducer through shrinking and growing sizes,
+// mixing serial and parallel calls: the sums scratch must resize correctly
+// and stale entries must never leak into a total.
+func TestReducerReuse(t *testing.T) {
+	var r OrderedReducer
+	sched, err := SchedulerByName(ScheduleStealing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{10 * ReduceBlock, 3, 4 * ReduceBlock, 0, ReduceBlock + 1} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i%97) + 0.5
+		}
+		body := func(_, _ int, span Chunk) float64 {
+			var s float64
+			for _, x := range xs[span.Lo:span.Hi] {
+				s += x
+			}
+			return s
+		}
+		for _, workers := range []int{1, 4} {
+			got, err := r.Reduce(context.Background(), sched, n, workers, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := SumBlocked(xs); got != want {
+				t.Fatalf("n=%d workers=%d: Reduce = %v, want %v", n, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestReduceCancellation checks that a canceled context surfaces as
+// ctx.Err() and no total is produced.
+func TestReduceCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sched, err := SchedulerByName(ScheduleStatic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r OrderedReducer
+	_, err = r.Reduce(ctx, sched, 8*ReduceBlock, 4, func(_, _ int, span Chunk) float64 { return 1 })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestReduceSteadyStateAllocs pins the reducer's zero-alloc steady state:
+// after the first call has grown the sums scratch and prebuilt the run
+// body, repeated reductions (serial and parallel) allocate nothing beyond
+// what the scheduler itself does.
+func TestReduceSteadyStateAllocs(t *testing.T) {
+	xs := make([]float64, 20*ReduceBlock)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	body := func(_, _ int, span Chunk) float64 {
+		var s float64
+		for _, x := range xs[span.Lo:span.Hi] {
+			s += x
+		}
+		return s
+	}
+	ctx := context.Background()
+	var serial OrderedReducer
+	if _, err := serial.Reduce(ctx, nil, len(xs), 1, body); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, err := serial.Reduce(ctx, nil, len(xs), 1, body); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("serial Reduce: %.0f allocs per steady-state call, want 0", allocs)
+	}
+
+	for _, schedule := range Schedules() {
+		t.Run(schedule, func(t *testing.T) {
+			sched, err := SchedulerByName(schedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var r OrderedReducer
+			if _, err := r.Reduce(ctx, sched, len(xs), 8, body); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := r.Reduce(ctx, sched, len(xs), 8, body); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 2 {
+				t.Errorf("schedule %s: %.0f allocs per steady-state Reduce, want <= 2", schedule, allocs)
+			}
+		})
+	}
+}

@@ -10,10 +10,12 @@
 package quality
 
 import (
+	"context"
 	"math"
 
 	"lams/internal/geom"
 	"lams/internal/mesh"
+	"lams/internal/parallel"
 )
 
 // Metric maps a triangle to a quality value in [0, 1].
@@ -130,68 +132,195 @@ func VertexQuality(m *mesh.Mesh, met Metric, v int32) float64 {
 }
 
 // Global returns the mesh-wide quality: the average vertex quality (§3.2).
+// The vertex qualities are summed with the blocked order parallel.SumBlocked
+// defines, so the value is bit-identical to Scratch.Global and to the
+// parallel reduction at every worker count and schedule.
 func Global(m *mesh.Mesh, met Metric) float64 {
 	vq := VertexQualities(m, met)
 	if len(vq) == 0 {
 		return 0
 	}
-	var s float64
-	for _, q := range vq {
-		s += q
-	}
-	return s / float64(len(vq))
+	return parallel.SumBlocked(vq) / float64(len(vq))
 }
+
+// boxedMetric hides a metric's concrete type behind one more indirection so
+// the devirtualized fast paths do not recognize it and the generic
+// interface-dispatch loops run instead.
+type boxedMetric struct{ Metric }
+
+// BoxMetric wraps met so every quality pass takes the interface-dispatch
+// path even for the built-in metrics. It exists for the fast-path
+// equivalence tests and the before/after benchmarks (smooth's NoFastPath
+// ablation); results are bit-identical to the unboxed metric.
+func BoxMetric(met Metric) Metric { return boxedMetric{met} }
 
 // Scratch holds reusable buffers for repeated quality evaluations, so a
 // convergence loop that re-measures global quality every iteration does not
-// reallocate two O(n) slices per sweep. The zero value is ready to use; a
-// Scratch is not safe for concurrent use.
+// reallocate two O(n) slices per sweep. It also owns the ordered-reduction
+// scratch and the prebuilt worker bodies of the parallel passes, keeping
+// repeated parallel measurements allocation-free in steady state. The zero
+// value is ready to use; a Scratch is not safe for concurrent use.
 type Scratch struct {
 	tri, vert []float64
+	red       parallel.OrderedReducer
+
+	// Parameters of the in-flight parallel pass, read by the prebuilt
+	// bodies below (set on entry, cleared on exit so a parked Scratch does
+	// not pin the last-measured mesh).
+	pm   *mesh.Mesh
+	pmet Metric
+	ptm  *mesh.TetMesh
+	ptmt TetMetric
+
+	// Prebuilt pass bodies (one-time closures over the receiver), so
+	// steady-state parallel passes hand the scheduler existing func values.
+	triBody   func(worker int, c parallel.Chunk)
+	vertBody  func(worker, block int, span parallel.Chunk) float64
+	tetBody   func(worker int, c parallel.Chunk)
+	vert3Body func(worker, block int, span parallel.Chunk) float64
+}
+
+// triRange fills s.tri for triangles [lo, hi). The built-in default metric
+// is devirtualized: EdgeRatio.Triangle's body is replayed inline —
+// operation for operation, so the values stay bit-identical — instead of
+// dispatching through the interface per triangle (Triangle itself is past
+// the inliner's budget, so even a concrete call would pay a frame per
+// element).
+func (s *Scratch) triRange(m *mesh.Mesh, met Metric, lo, hi int) {
+	coords, tri := m.Coords, s.tri
+	if _, ok := met.(EdgeRatio); ok {
+		for i, tv := range m.Tris[lo:hi] {
+			a, b, c := coords[tv[0]], coords[tv[1]], coords[tv[2]]
+			e0 := a.Dist(b)
+			e1 := b.Dist(c)
+			e2 := c.Dist(a)
+			elo := math.Min(e0, math.Min(e1, e2))
+			ehi := math.Max(e0, math.Max(e1, e2))
+			q := 0.0
+			if ehi != 0 {
+				q = elo / ehi
+			}
+			tri[lo+i] = q
+		}
+		return
+	}
+	for i, tv := range m.Tris[lo:hi] {
+		tri[lo+i] = met.Triangle(coords[tv[0]], coords[tv[1]], coords[tv[2]])
+	}
+}
+
+// vertRange fills s.vert for vertices [lo, hi) from the triangle qualities
+// in s.tri and returns their left-to-right quality sum — one block of the
+// ordered global reduction. The CSR incidence loads are hoisted out of the
+// loop.
+func (s *Scratch) vertRange(m *mesh.Mesh, lo, hi int) float64 {
+	triQ, vert := s.tri, s.vert
+	triStart, triList := m.TriStart, m.TriList
+	var sum float64
+	for v := lo; v < hi; v++ {
+		a, b := triStart[v], triStart[v+1]
+		if a == b {
+			vert[v] = 0
+			continue
+		}
+		var q float64
+		for _, t := range triList[a:b] {
+			q += triQ[t]
+		}
+		q /= float64(b - a)
+		vert[v] = q
+		sum += q
+	}
+	return sum
+}
+
+// globalSum runs the two quality passes (per-triangle metric, per-vertex
+// average) and returns the blocked sum of the vertex qualities. With a
+// scheduler and workers > 1 both passes and the reduction run in parallel;
+// the result is bit-identical to the serial pass because every per-element
+// value is independent and the reduction granularity is fixed (see
+// parallel.OrderedReducer).
+func (s *Scratch) globalSum(ctx context.Context, m *mesh.Mesh, met Metric, workers int, sched parallel.Scheduler) (float64, error) {
+	s.tri = grow(s.tri, m.NumTris())
+	s.vert = grow(s.vert, m.NumVerts())
+	nv := m.NumVerts()
+	if sched == nil || workers <= 1 {
+		s.triRange(m, met, 0, m.NumTris())
+		var total float64
+		for b := 0; b < parallel.ReduceBlocks(nv); b++ {
+			span := parallel.BlockSpan(nv, b)
+			total += s.vertRange(m, span.Lo, span.Hi)
+		}
+		return total, nil
+	}
+	s.pm, s.pmet = m, met
+	if s.triBody == nil {
+		s.triBody = func(_ int, c parallel.Chunk) { s.triRange(s.pm, s.pmet, c.Lo, c.Hi) }
+	}
+	if s.vertBody == nil {
+		s.vertBody = func(_, _ int, span parallel.Chunk) float64 { return s.vertRange(s.pm, span.Lo, span.Hi) }
+	}
+	err := sched.Run(ctx, m.NumTris(), workers, s.triBody)
+	var total float64
+	if err == nil {
+		total, err = s.red.Reduce(ctx, sched, nv, workers, s.vertBody)
+	}
+	s.pm, s.pmet = nil, nil
+	return total, err
 }
 
 // TriangleQualities is like the package-level TriangleQualities but writes
 // into the scratch buffer. The result is valid until the next call on s.
 func (s *Scratch) TriangleQualities(m *mesh.Mesh, met Metric) []float64 {
 	s.tri = grow(s.tri, m.NumTris())
-	for i, tv := range m.Tris {
-		s.tri[i] = met.Triangle(m.Coords[tv[0]], m.Coords[tv[1]], m.Coords[tv[2]])
-	}
+	s.triRange(m, met, 0, m.NumTris())
 	return s.tri
 }
 
 // VertexQualities is like the package-level VertexQualities but writes into
 // the scratch buffers. The result is valid until the next call on s.
 func (s *Scratch) VertexQualities(m *mesh.Mesh, met Metric) []float64 {
-	triQ := s.TriangleQualities(m, met)
-	s.vert = grow(s.vert, m.NumVerts())
-	for v := int32(0); v < int32(m.NumVerts()); v++ {
-		ts := m.VertTris(v)
-		if len(ts) == 0 {
-			s.vert[v] = 0
-			continue
-		}
-		var sum float64
-		for _, t := range ts {
-			sum += triQ[t]
-		}
-		s.vert[v] = sum / float64(len(ts))
+	vq, _ := s.VertexQualitiesParallel(context.Background(), m, met, 1, nil)
+	return vq
+}
+
+// VertexQualitiesParallel is VertexQualities with both passes distributed
+// across workers by sched (nil or workers <= 1 runs serially, inline).
+// Per-vertex values are computed independently, so the result is
+// bit-identical to the serial pass at every worker count and schedule. The
+// slice is valid until the next call on s. On cancellation it returns
+// ctx.Err() and the buffer contents are unspecified.
+func (s *Scratch) VertexQualitiesParallel(ctx context.Context, m *mesh.Mesh, met Metric, workers int, sched parallel.Scheduler) ([]float64, error) {
+	if _, err := s.globalSum(ctx, m, met, workers, sched); err != nil {
+		return nil, err
 	}
-	return s.vert
+	return s.vert, nil
 }
 
 // Global is like the package-level Global but allocation-free after the
 // scratch buffers have grown to the mesh's size.
 func (s *Scratch) Global(m *mesh.Mesh, met Metric) float64 {
-	vq := s.VertexQualities(m, met)
-	if len(vq) == 0 {
-		return 0
+	g, _ := s.GlobalParallel(context.Background(), m, met, 1, nil)
+	return g
+}
+
+// GlobalParallel is Global with the metric pass, the vertex-average pass,
+// and the final reduction distributed across workers by sched (nil or
+// workers <= 1 runs serially, inline, and never fails). Partial sums follow
+// the fixed ReduceBlock tiling and are combined in block order, so the
+// value is bit-identical to the serial Global at every worker count and
+// schedule — the property that lets the sweep engines parallelize
+// measurement without perturbing convergence.
+func (s *Scratch) GlobalParallel(ctx context.Context, m *mesh.Mesh, met Metric, workers int, sched parallel.Scheduler) (float64, error) {
+	sum, err := s.globalSum(ctx, m, met, workers, sched)
+	if err != nil {
+		return 0, err
 	}
-	var sum float64
-	for _, q := range vq {
-		sum += q
+	nv := m.NumVerts()
+	if nv == 0 {
+		return 0, nil
 	}
-	return sum / float64(len(vq))
+	return sum / float64(nv), nil
 }
 
 func grow(buf []float64, n int) []float64 {

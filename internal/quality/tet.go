@@ -1,10 +1,12 @@
 package quality
 
 import (
+	"context"
 	"math"
 
 	"lams/internal/geom"
 	"lams/internal/mesh"
+	"lams/internal/parallel"
 )
 
 // Tetrahedral quality metrics — the 3D counterparts of the triangle metrics,
@@ -116,59 +118,155 @@ func TetVertexQuality(m *mesh.TetMesh, met TetMetric, v int32) float64 {
 	return s / float64(len(ts))
 }
 
-// TetGlobal returns the mesh-wide quality: the average vertex quality.
+// TetGlobal returns the mesh-wide quality: the average vertex quality. Like
+// the 2D Global, the vertex qualities are summed with the blocked order
+// parallel.SumBlocked defines, so the value is bit-identical to
+// Scratch.TetGlobal and to the parallel reduction at every worker count and
+// schedule.
 func TetGlobal(m *mesh.TetMesh, met TetMetric) float64 {
 	vq := TetVertexQualities(m, met)
 	if len(vq) == 0 {
 		return 0
 	}
-	var s float64
-	for _, q := range vq {
-		s += q
+	return parallel.SumBlocked(vq) / float64(len(vq))
+}
+
+// boxedTetMetric is the 3D twin of boxedMetric.
+type boxedTetMetric struct{ TetMetric }
+
+// BoxTetMetric wraps met so every quality pass takes the interface-dispatch
+// path even for the built-in tet metrics; see BoxMetric.
+func BoxTetMetric(met TetMetric) TetMetric { return boxedTetMetric{met} }
+
+// tetRange fills s.tri for tetrahedra [lo, hi), devirtualizing the built-in
+// metrics: MeanRatio3.Tet's body is replayed inline — operation for
+// operation, so the values stay bit-identical — and EdgeRatio3 gets a
+// concrete direct call (its Tet is array-bound and benefits less from
+// manual inlining); everything else dispatches through the interface.
+func (s *Scratch) tetRange(m *mesh.TetMesh, met TetMetric, lo, hi int) {
+	coords, tri := m.Coords, s.tri
+	switch met.(type) {
+	case MeanRatio3:
+		for i, tv := range m.Tets[lo:hi] {
+			a, b, c, d := coords[tv[0]], coords[tv[1]], coords[tv[2]], coords[tv[3]]
+			q := 0.0
+			if vol6 := geom.Orient3DValue(a, b, c, d); vol6 > 0 {
+				s := a.Dist2(b) + a.Dist2(c) + a.Dist2(d) + b.Dist2(c) + b.Dist2(d) + c.Dist2(d)
+				if s != 0 {
+					// vol6 is 6V, so 3V = vol6/2 (matching MeanRatio3.Tet).
+					q = 12 * math.Cbrt((vol6/2)*(vol6/2)) / s
+				}
+			}
+			tri[lo+i] = q
+		}
+	case EdgeRatio3:
+		for i, tv := range m.Tets[lo:hi] {
+			tri[lo+i] = EdgeRatio3{}.Tet(coords[tv[0]], coords[tv[1]], coords[tv[2]], coords[tv[3]])
+		}
+	default:
+		for i, tv := range m.Tets[lo:hi] {
+			tri[lo+i] = met.Tet(coords[tv[0]], coords[tv[1]], coords[tv[2]], coords[tv[3]])
+		}
 	}
-	return s / float64(len(vq))
+}
+
+// vertRange3 is the 3D twin of vertRange: it fills s.vert for vertices
+// [lo, hi) from the tet qualities in s.tri and returns their left-to-right
+// quality sum.
+func (s *Scratch) vertRange3(m *mesh.TetMesh, lo, hi int) float64 {
+	tetQ, vert := s.tri, s.vert
+	tetStart, tetList := m.TetStart, m.TetList
+	var sum float64
+	for v := lo; v < hi; v++ {
+		a, b := tetStart[v], tetStart[v+1]
+		if a == b {
+			vert[v] = 0
+			continue
+		}
+		var q float64
+		for _, t := range tetList[a:b] {
+			q += tetQ[t]
+		}
+		q /= float64(b - a)
+		vert[v] = q
+		sum += q
+	}
+	return sum
+}
+
+// globalSum3 is the 3D twin of globalSum.
+func (s *Scratch) globalSum3(ctx context.Context, m *mesh.TetMesh, met TetMetric, workers int, sched parallel.Scheduler) (float64, error) {
+	s.tri = grow(s.tri, m.NumTets())
+	s.vert = grow(s.vert, m.NumVerts())
+	nv := m.NumVerts()
+	if sched == nil || workers <= 1 {
+		s.tetRange(m, met, 0, m.NumTets())
+		var total float64
+		for b := 0; b < parallel.ReduceBlocks(nv); b++ {
+			span := parallel.BlockSpan(nv, b)
+			total += s.vertRange3(m, span.Lo, span.Hi)
+		}
+		return total, nil
+	}
+	s.ptm, s.ptmt = m, met
+	if s.tetBody == nil {
+		s.tetBody = func(_ int, c parallel.Chunk) { s.tetRange(s.ptm, s.ptmt, c.Lo, c.Hi) }
+	}
+	if s.vert3Body == nil {
+		s.vert3Body = func(_, _ int, span parallel.Chunk) float64 { return s.vertRange3(s.ptm, span.Lo, span.Hi) }
+	}
+	err := sched.Run(ctx, m.NumTets(), workers, s.tetBody)
+	var total float64
+	if err == nil {
+		total, err = s.red.Reduce(ctx, sched, nv, workers, s.vert3Body)
+	}
+	s.ptm, s.ptmt = nil, nil
+	return total, err
 }
 
 // TetQualities is like the package-level TetQualities but writes into the
 // scratch buffer. The result is valid until the next call on s.
 func (s *Scratch) TetQualities(m *mesh.TetMesh, met TetMetric) []float64 {
 	s.tri = grow(s.tri, m.NumTets())
-	for i, tv := range m.Tets {
-		s.tri[i] = met.Tet(m.Coords[tv[0]], m.Coords[tv[1]], m.Coords[tv[2]], m.Coords[tv[3]])
-	}
+	s.tetRange(m, met, 0, m.NumTets())
 	return s.tri
 }
 
 // TetVertexQualities is like the package-level TetVertexQualities but writes
 // into the scratch buffers. The result is valid until the next call on s.
 func (s *Scratch) TetVertexQualities(m *mesh.TetMesh, met TetMetric) []float64 {
-	tetQ := s.TetQualities(m, met)
-	s.vert = grow(s.vert, m.NumVerts())
-	for v := int32(0); v < int32(m.NumVerts()); v++ {
-		ts := m.VertTets(v)
-		if len(ts) == 0 {
-			s.vert[v] = 0
-			continue
-		}
-		var sum float64
-		for _, t := range ts {
-			sum += tetQ[t]
-		}
-		s.vert[v] = sum / float64(len(ts))
+	vq, _ := s.TetVertexQualitiesParallel(context.Background(), m, met, 1, nil)
+	return vq
+}
+
+// TetVertexQualitiesParallel is the 3D twin of VertexQualitiesParallel:
+// bit-identical to the serial pass at every worker count and schedule.
+func (s *Scratch) TetVertexQualitiesParallel(ctx context.Context, m *mesh.TetMesh, met TetMetric, workers int, sched parallel.Scheduler) ([]float64, error) {
+	if _, err := s.globalSum3(ctx, m, met, workers, sched); err != nil {
+		return nil, err
 	}
-	return s.vert
+	return s.vert, nil
 }
 
 // TetGlobal is like the package-level TetGlobal but allocation-free after
 // the scratch buffers have grown to the mesh's size.
 func (s *Scratch) TetGlobal(m *mesh.TetMesh, met TetMetric) float64 {
-	vq := s.TetVertexQualities(m, met)
-	if len(vq) == 0 {
-		return 0
+	g, _ := s.TetGlobalParallel(context.Background(), m, met, 1, nil)
+	return g
+}
+
+// TetGlobalParallel is the 3D twin of GlobalParallel: the tet-metric pass,
+// the vertex-average pass, and the blocked reduction distributed across
+// workers, bit-identical to the serial TetGlobal at every worker count and
+// schedule.
+func (s *Scratch) TetGlobalParallel(ctx context.Context, m *mesh.TetMesh, met TetMetric, workers int, sched parallel.Scheduler) (float64, error) {
+	sum, err := s.globalSum3(ctx, m, met, workers, sched)
+	if err != nil {
+		return 0, err
 	}
-	var sum float64
-	for _, q := range vq {
-		sum += q
+	nv := m.NumVerts()
+	if nv == 0 {
+		return 0, nil
 	}
-	return sum / float64(len(vq))
+	return sum / float64(nv), nil
 }

@@ -1,0 +1,54 @@
+package smooth
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"lams/internal/mesh"
+)
+
+// convergedBenchCells is the cells-per-axis of the 3D converge-loop
+// benchmark cube: 40^3 cells (68921 vertices, 384000 tets), the 3D
+// acceptance workload mirroring BenchmarkRunConverged's 2D mesh.
+const convergedBenchCells = 40
+
+// BenchmarkRunConverged3 is the 3D twin of BenchmarkRunConverged: the full
+// sweep+measure convergence loop on the jittered Kuhn-split cube, across
+// worker counts and both engine paths (iface = interface dispatch + serial
+// measurement, fast = monomorphic loops + parallel ordered reduction). The
+// per-iteration mean-ratio pass over the tets is even more expensive
+// relative to the sweep than in 2D (six tets per interior vertex, a cbrt
+// per tet), so this is where the parallel measurement pays most.
+func BenchmarkRunConverged3(b *testing.B) {
+	base, err := mesh.GenerateTetCube(convergedBenchCells, convergedBenchCells, convergedBenchCells, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, path := range []struct {
+		name   string
+		noFast bool
+	}{{"iface", true}, {"fast", false}} {
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("path=%s/workers=%d", path.name, workers), func(b *testing.B) {
+				m := base.Clone()
+				s := NewSmoother3()
+				opt := Options3{
+					MaxIters: 10, Tol: -1, Traversal: StorageOrder,
+					Workers: workers, NoFastPath: path.noFast,
+				}
+				if _, err := s.Run(ctx, m, opt); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Run(ctx, m, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

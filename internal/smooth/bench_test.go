@@ -170,6 +170,53 @@ func BenchmarkSweepSchedules(b *testing.B) {
 	}
 }
 
+// convergedBenchVerts is the 512x512-grid-equivalent mesh size of the full
+// converge-loop benchmark (the acceptance workload of the measurement
+// parallelization): large enough that the per-iteration quality pass is a
+// real fraction of the sweep, matching the paper's mesh magnitudes.
+const convergedBenchVerts = 262144
+
+// BenchmarkRunConverged measures the FULL convergence loop — sweep plus
+// global quality measurement per iteration, the whole of Algorithm 1 — not
+// just one sweep, across worker counts and both engine paths: the generic
+// interface-dispatch path with the serial measurement pass (iface, the
+// pre-fast-path baseline), and the monomorphic kernel/metric loops with the
+// parallel ordered quality reduction (fast). The iface/fast gap at high
+// worker counts is the Amdahl bottleneck the measurement parallelization
+// removes; results are bit-identical between all cells by construction.
+func BenchmarkRunConverged(b *testing.B) {
+	base, err := mesh.Generate("carabiner", convergedBenchVerts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, path := range []struct {
+		name   string
+		noFast bool
+	}{{"iface", true}, {"fast", false}} {
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("path=%s/workers=%d", path.name, workers), func(b *testing.B) {
+				m := base.Clone()
+				s := NewSmoother()
+				opt := Options{
+					MaxIters: 10, Tol: -1, Traversal: StorageOrder,
+					Workers: workers, NoFastPath: path.noFast,
+				}
+				if _, err := s.Run(ctx, m, opt); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Run(ctx, m, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkSweepKernels measures one sweep per update kernel, all through
 // the same engine path.
 func BenchmarkSweepKernels(b *testing.B) {

@@ -51,6 +51,9 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 	if opt.Workers < 1 {
 		return Result{}, fmt.Errorf("smooth: workers must be >= 1, got %d", opt.Workers)
 	}
+	if opt.CheckEvery < 1 {
+		return Result{}, fmt.Errorf("smooth: check-every must be >= 1, got %d", opt.CheckEvery)
+	}
 	kern := opt.Kernel
 	if kern == nil {
 		kern = PlainKernel{}
@@ -67,7 +70,19 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 		return Result{}, err
 	}
 
-	visit, err := s.visitSequence(m, opt)
+	// Measurement configuration: the quality passes run on the same workers
+	// and scheduler as the sweep (bit-identical to serial by construction;
+	// see quality.GlobalParallel). The NoFastPath ablation forces the
+	// legacy serial interface-dispatch pass by boxing the metric and
+	// dropping the scheduler.
+	met := opt.Metric
+	qworkers, qsched := opt.Workers, s.sched
+	if opt.NoFastPath {
+		met = quality.BoxMetric(met)
+		qworkers, qsched = 1, nil
+	}
+
+	visit, err := s.visitSequence(ctx, m, opt, met, qworkers, qsched)
 	if err != nil {
 		return Result{}, err
 	}
@@ -76,7 +91,11 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 		next = s.nextBuffer(len(m.Coords))
 	}
 
-	res := Result{InitialQuality: s.qs.Global(m, opt.Metric)}
+	q0, err := s.qs.GlobalParallel(ctx, m, met, qworkers, qsched)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{InitialQuality: q0}
 	res.FinalQuality = res.InitialQuality
 	if opt.MaxIters > 0 {
 		res.QualityHistory = make([]float64, 0, opt.MaxIters)
@@ -90,7 +109,7 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 		if prevQ >= opt.GoalQuality {
 			break
 		}
-		acc, err := s.sweep(ctx, m, kern, inPlace, visit, next, opt.Workers, opt.Trace)
+		acc, err := s.sweep(ctx, m, kern, inPlace, visit, next, opt)
 		res.Accesses += acc
 		if err != nil {
 			return res, err
@@ -99,8 +118,14 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 			opt.Trace.EndIteration()
 		}
 		res.Iterations++
+		if res.Iterations%opt.CheckEvery != 0 && iter != opt.MaxIters-1 {
+			continue
+		}
 
-		q := s.qs.Global(m, opt.Metric)
+		q, err := s.qs.GlobalParallel(ctx, m, met, qworkers, qsched)
+		if err != nil {
+			return res, err
+		}
 		res.QualityHistory = append(res.QualityHistory, q)
 		res.FinalQuality = q
 		if q-prevQ < opt.Tol {
@@ -115,7 +140,8 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 // compute into the next buffer across worker chunks — distributed by the
 // resolved scheduler — and commit afterwards; in-place kernels apply each
 // update immediately (serial). Returns the number of vertex accesses.
-func (s *Smoother) sweep(ctx context.Context, m *mesh.Mesh, kern Kernel, inPlace bool, visit []int32, next []geom.Point, workers int, tb *trace.Buffer) (int64, error) {
+func (s *Smoother) sweep(ctx context.Context, m *mesh.Mesh, kern Kernel, inPlace bool, visit []int32, next []geom.Point, opt Options) (int64, error) {
+	tb := opt.Trace
 	if inPlace {
 		var accesses int64
 		for _, v := range visit {
@@ -129,16 +155,8 @@ func (s *Smoother) sweep(ctx context.Context, m *mesh.Mesh, kern Kernel, inPlace
 	// Dynamic schedules hand a worker many chunks, so the per-worker access
 	// counts accumulate (each worker id runs on one goroutine per sweep, so
 	// no atomics are needed).
-	counts := s.countsBuffer(workers)
-	err := s.sched.Run(ctx, len(visit), workers, func(w int, ch parallel.Chunk) {
-		var acc int64
-		for _, v := range visit[ch.Lo:ch.Hi] {
-			traceTouch(tb, w, m, v)
-			next[v] = kern.Update(m, v)
-			acc += int64(m.Degree(v)) + 1
-		}
-		counts[w] += acc
-	})
+	counts := s.countsBuffer(opt.Workers)
+	err := s.sched.Run(ctx, len(visit), opt.Workers, s.sweepBody(m, kern, visit, next, counts, opt))
 	var accesses int64
 	for _, c := range counts {
 		accesses += c
@@ -152,6 +170,41 @@ func (s *Smoother) sweep(ctx context.Context, m *mesh.Mesh, kern Kernel, inPlace
 		m.Coords[v] = next[v]
 	}
 	return accesses, nil
+}
+
+// sweepBody selects the chunk body for one Jacobi sweep: a monomorphic
+// fast-path loop for the built-in kernels (see fastpath.go), or the generic
+// interface-dispatch loop for user kernels, traced runs, and the NoFastPath
+// ablation. Either way the body allocates once per sweep (the closure), as
+// the engine always has.
+func (s *Smoother) sweepBody(m *mesh.Mesh, kern Kernel, visit []int32, next []geom.Point, counts []int64, opt Options) func(worker int, ch parallel.Chunk) {
+	if opt.Trace == nil && !opt.NoFastPath {
+		adjStart, adjList, coords := m.AdjStart, m.AdjList, m.Coords
+		switch k := kern.(type) {
+		case PlainKernel:
+			return func(w int, ch parallel.Chunk) {
+				counts[w] += sweepChunkPlain(adjStart, adjList, coords, next, visit[ch.Lo:ch.Hi])
+			}
+		case WeightedKernel:
+			return func(w int, ch parallel.Chunk) {
+				counts[w] += sweepChunkWeighted(adjStart, adjList, coords, next, visit[ch.Lo:ch.Hi])
+			}
+		case ConstrainedKernel:
+			return func(w int, ch parallel.Chunk) {
+				counts[w] += sweepChunkConstrained(adjStart, adjList, coords, next, visit[ch.Lo:ch.Hi], k.MaxDisplacement)
+			}
+		}
+	}
+	tb := opt.Trace
+	return func(w int, ch parallel.Chunk) {
+		var acc int64
+		for _, v := range visit[ch.Lo:ch.Hi] {
+			traceTouch(tb, w, m, v)
+			next[v] = kern.Update(m, v)
+			acc += int64(m.Degree(v)) + 1
+		}
+		counts[w] += acc
+	}
 }
 
 // traceTouch records the access pattern of one vertex update: the smoothed
@@ -168,11 +221,16 @@ func traceTouch(tb *trace.Buffer, core int, m *mesh.Mesh, v int32) {
 
 // visitSequence returns the interior vertices in the order the sweeps visit
 // them, reusing the engine's visit buffer for the quality-greedy traversal.
-func (s *Smoother) visitSequence(m *mesh.Mesh, opt Options) ([]int32, error) {
+// The initial vertex qualities driving the greedy walk are computed with
+// the same (parallel or serial) quality configuration as the measurements.
+func (s *Smoother) visitSequence(ctx context.Context, m *mesh.Mesh, opt Options, met quality.Metric, qworkers int, qsched parallel.Scheduler) ([]int32, error) {
 	if opt.Traversal == StorageOrder {
 		return m.InteriorVerts, nil
 	}
-	vq := s.qs.VertexQualities(m, opt.Metric)
+	vq, err := s.qs.VertexQualitiesParallel(ctx, m, met, qworkers, qsched)
+	if err != nil {
+		return nil, err
+	}
 	w, err := order.GreedyWalk(m, vq, false)
 	if err != nil {
 		return nil, fmt.Errorf("smooth: computing traversal: %w", err)

@@ -41,6 +41,12 @@ type Options3 struct {
 	// GaussSeidel selects in-place updates for a Jacobi-style kernel. Only
 	// valid with Workers == 1.
 	GaussSeidel bool
+	// CheckEvery measures global quality every CheckEvery-th sweep instead
+	// of after every sweep (default 1); see Options.CheckEvery.
+	CheckEvery int
+	// NoFastPath forces the generic interface-dispatch sweep body and the
+	// serial interface-dispatch quality pass; see Options.NoFastPath.
+	NoFastPath bool
 	// Trace, when non-nil, records every vertex-array access on the
 	// worker's stream; the buffer must have at least Workers cores.
 	Trace *trace.Buffer
@@ -61,6 +67,14 @@ func (o Options3) withDefaults() Options3 {
 	}
 	if o.Workers == 0 {
 		o.Workers = 1
+	}
+	if o.CheckEvery == 0 {
+		o.CheckEvery = 1
+	}
+	// Resolve SmartKernel3's nil-default metric once here instead of on
+	// every vertex visit inside Update; see Options.withDefaults.
+	if sk, ok := o.Kernel.(SmartKernel3); ok && sk.Metric == nil {
+		o.Kernel = SmartKernel3{Metric: quality.MeanRatio3{}}
 	}
 	return o
 }
@@ -96,6 +110,9 @@ func (s *Smoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Options3) (Res
 	if opt.Workers < 1 {
 		return Result{}, fmt.Errorf("smooth: workers must be >= 1, got %d", opt.Workers)
 	}
+	if opt.CheckEvery < 1 {
+		return Result{}, fmt.Errorf("smooth: check-every must be >= 1, got %d", opt.CheckEvery)
+	}
 	kern := opt.Kernel
 	if kern == nil {
 		kern = PlainKernel3{}
@@ -112,7 +129,15 @@ func (s *Smoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Options3) (Res
 		return Result{}, err
 	}
 
-	visit, err := s.visitSequence(m, opt)
+	// Measurement configuration; see Smoother.Run.
+	met := opt.Metric
+	qworkers, qsched := opt.Workers, s.sched
+	if opt.NoFastPath {
+		met = quality.BoxTetMetric(met)
+		qworkers, qsched = 1, nil
+	}
+
+	visit, err := s.visitSequence(ctx, m, opt, met, qworkers, qsched)
 	if err != nil {
 		return Result{}, err
 	}
@@ -121,7 +146,11 @@ func (s *Smoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Options3) (Res
 		next = s.nextBuffer(len(m.Coords))
 	}
 
-	res := Result{InitialQuality: s.qs.TetGlobal(m, opt.Metric)}
+	q0, err := s.qs.TetGlobalParallel(ctx, m, met, qworkers, qsched)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{InitialQuality: q0}
 	res.FinalQuality = res.InitialQuality
 	if opt.MaxIters > 0 {
 		res.QualityHistory = make([]float64, 0, opt.MaxIters)
@@ -135,7 +164,7 @@ func (s *Smoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Options3) (Res
 		if prevQ >= opt.GoalQuality {
 			break
 		}
-		acc, err := s.sweep(ctx, m, kern, inPlace, visit, next, opt.Workers, opt.Trace)
+		acc, err := s.sweep(ctx, m, kern, inPlace, visit, next, opt)
 		res.Accesses += acc
 		if err != nil {
 			return res, err
@@ -144,8 +173,14 @@ func (s *Smoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Options3) (Res
 			opt.Trace.EndIteration()
 		}
 		res.Iterations++
+		if res.Iterations%opt.CheckEvery != 0 && iter != opt.MaxIters-1 {
+			continue
+		}
 
-		q := s.qs.TetGlobal(m, opt.Metric)
+		q, err := s.qs.TetGlobalParallel(ctx, m, met, qworkers, qsched)
+		if err != nil {
+			return res, err
+		}
 		res.QualityHistory = append(res.QualityHistory, q)
 		res.FinalQuality = q
 		if q-prevQ < opt.Tol {
@@ -159,7 +194,8 @@ func (s *Smoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Options3) (Res
 // sweep performs one iteration with the given kernel; see Smoother.sweep —
 // the structure (Jacobi next-buffer, scheduler-distributed chunks, serial
 // commit, cancellation without partial commit) is identical.
-func (s *Smoother3) sweep(ctx context.Context, m *mesh.TetMesh, kern Kernel3, inPlace bool, visit []int32, next []geom.Point3, workers int, tb *trace.Buffer) (int64, error) {
+func (s *Smoother3) sweep(ctx context.Context, m *mesh.TetMesh, kern Kernel3, inPlace bool, visit []int32, next []geom.Point3, opt Options3) (int64, error) {
+	tb := opt.Trace
 	if inPlace {
 		var accesses int64
 		for _, v := range visit {
@@ -170,16 +206,8 @@ func (s *Smoother3) sweep(ctx context.Context, m *mesh.TetMesh, kern Kernel3, in
 		return accesses, nil
 	}
 
-	counts := s.countsBuffer(workers)
-	err := s.sched.Run(ctx, len(visit), workers, func(w int, ch parallel.Chunk) {
-		var acc int64
-		for _, v := range visit[ch.Lo:ch.Hi] {
-			traceTouch3(tb, w, m, v)
-			next[v] = kern.Update(m, v)
-			acc += int64(m.Degree(v)) + 1
-		}
-		counts[w] += acc
-	})
+	counts := s.countsBuffer(opt.Workers)
+	err := s.sched.Run(ctx, len(visit), opt.Workers, s.sweepBody(m, kern, visit, next, counts, opt))
 	var accesses int64
 	for _, c := range counts {
 		accesses += c
@@ -192,6 +220,38 @@ func (s *Smoother3) sweep(ctx context.Context, m *mesh.TetMesh, kern Kernel3, in
 		m.Coords[v] = next[v]
 	}
 	return accesses, nil
+}
+
+// sweepBody selects the chunk body for one 3D Jacobi sweep; see
+// Smoother.sweepBody.
+func (s *Smoother3) sweepBody(m *mesh.TetMesh, kern Kernel3, visit []int32, next []geom.Point3, counts []int64, opt Options3) func(worker int, ch parallel.Chunk) {
+	if opt.Trace == nil && !opt.NoFastPath {
+		adjStart, adjList, coords := m.AdjStart, m.AdjList, m.Coords
+		switch k := kern.(type) {
+		case PlainKernel3:
+			return func(w int, ch parallel.Chunk) {
+				counts[w] += sweepChunkPlain3(adjStart, adjList, coords, next, visit[ch.Lo:ch.Hi])
+			}
+		case WeightedKernel3:
+			return func(w int, ch parallel.Chunk) {
+				counts[w] += sweepChunkWeighted3(adjStart, adjList, coords, next, visit[ch.Lo:ch.Hi])
+			}
+		case ConstrainedKernel3:
+			return func(w int, ch parallel.Chunk) {
+				counts[w] += sweepChunkConstrained3(adjStart, adjList, coords, next, visit[ch.Lo:ch.Hi], k.MaxDisplacement)
+			}
+		}
+	}
+	tb := opt.Trace
+	return func(w int, ch parallel.Chunk) {
+		var acc int64
+		for _, v := range visit[ch.Lo:ch.Hi] {
+			traceTouch3(tb, w, m, v)
+			next[v] = kern.Update(m, v)
+			acc += int64(m.Degree(v)) + 1
+		}
+		counts[w] += acc
+	}
 }
 
 // traceTouch3 records the access pattern of one vertex update: the smoothed
@@ -208,12 +268,17 @@ func traceTouch3(tb *trace.Buffer, core int, m *mesh.TetMesh, v int32) {
 
 // visitSequence returns the interior vertices in visit order. The
 // quality-greedy traversal runs order.GreedyWalk over the tet mesh through
-// the same Graph view the orderings use.
-func (s *Smoother3) visitSequence(m *mesh.TetMesh, opt Options3) ([]int32, error) {
+// the same Graph view the orderings use; the initial vertex qualities are
+// computed with the same (parallel or serial) quality configuration as the
+// measurements.
+func (s *Smoother3) visitSequence(ctx context.Context, m *mesh.TetMesh, opt Options3, met quality.TetMetric, qworkers int, qsched parallel.Scheduler) ([]int32, error) {
 	if opt.Traversal == StorageOrder {
 		return m.InteriorVerts, nil
 	}
-	vq := s.qs.TetVertexQualities(m, opt.Metric)
+	vq, err := s.qs.TetVertexQualitiesParallel(ctx, m, met, qworkers, qsched)
+	if err != nil {
+		return nil, err
+	}
 	w, err := order.GreedyWalk(m, vq, false)
 	if err != nil {
 		return nil, fmt.Errorf("smooth: computing traversal: %w", err)

@@ -1,0 +1,165 @@
+package smooth
+
+import "lams/internal/geom"
+
+// Monomorphic sweep loops for the built-in Jacobi kernels. The generic
+// sweep body pays an interface dispatch per vertex (kern.Update), which
+// blocks inlining of the ~10-flop Laplacian update and forces the mesh's
+// CSR base pointers to be reloaded on every call. These specializations
+// inline the whole update into one loop over the chunk: the AdjStart
+// bounds are read once per vertex, the adjacency is walked as a direct
+// sub-slice, and the coordinate arrays stay in registers.
+//
+// Every loop replays its kernel's Update arithmetic operation-for-operation
+// (the same additions in the same order, the same reciprocal-vs-division
+// form), so the committed coordinates are bit-identical to the interface
+// path — the property the fast-path equivalence suite pins. The access
+// accounting ((degree + 1) per vertex) is identical too.
+//
+// The mesh parameters come in as the raw CSR arrays rather than the mesh so
+// the 2D and 3D engines share the shape; each function returns the chunk's
+// access count.
+
+// sweepChunkPlain is PlainKernel.Update inlined over a chunk.
+func sweepChunkPlain(adjStart, adjList []int32, coords, next []geom.Point, visit []int32) int64 {
+	var acc int64
+	for _, v := range visit {
+		lo, hi := adjStart[v], adjStart[v+1]
+		var sx, sy float64
+		for _, w := range adjList[lo:hi] {
+			p := coords[w]
+			sx += p.X
+			sy += p.Y
+		}
+		inv := 1 / float64(hi-lo)
+		next[v] = geom.Point{X: sx * inv, Y: sy * inv}
+		acc += int64(hi-lo) + 1
+	}
+	return acc
+}
+
+// sweepChunkWeighted is WeightedKernel.Update inlined over a chunk.
+func sweepChunkWeighted(adjStart, adjList []int32, coords, next []geom.Point, visit []int32) int64 {
+	var acc int64
+	for _, v := range visit {
+		lo, hi := adjStart[v], adjStart[v+1]
+		cur := coords[v]
+		var sx, sy, wsum float64
+		for _, w := range adjList[lo:hi] {
+			p := coords[w]
+			d := cur.Dist(p)
+			wt := 1.0
+			if d > 0 {
+				wt = 1 / d
+			}
+			sx += wt * p.X
+			sy += wt * p.Y
+			wsum += wt
+		}
+		if wsum == 0 {
+			next[v] = cur
+		} else {
+			next[v] = geom.Point{X: sx / wsum, Y: sy / wsum}
+		}
+		acc += int64(hi-lo) + 1
+	}
+	return acc
+}
+
+// sweepChunkConstrained is ConstrainedKernel.Update inlined over a chunk
+// (note the division form of the Eq. (1) target, matching plainDivTarget).
+func sweepChunkConstrained(adjStart, adjList []int32, coords, next []geom.Point, visit []int32, maxDisplacement float64) int64 {
+	var acc int64
+	for _, v := range visit {
+		lo, hi := adjStart[v], adjStart[v+1]
+		var sx, sy float64
+		for _, w := range adjList[lo:hi] {
+			p := coords[w]
+			sx += p.X
+			sy += p.Y
+		}
+		n := float64(hi - lo)
+		target := geom.Point{X: sx / n, Y: sy / n}
+		cur := coords[v]
+		d := target.Sub(cur)
+		if norm := d.Norm(); norm > maxDisplacement {
+			target = cur.Add(d.Scale(maxDisplacement / norm))
+		}
+		next[v] = target
+		acc += int64(hi-lo) + 1
+	}
+	return acc
+}
+
+// sweepChunkPlain3 is PlainKernel3.Update inlined over a chunk.
+func sweepChunkPlain3(adjStart, adjList []int32, coords, next []geom.Point3, visit []int32) int64 {
+	var acc int64
+	for _, v := range visit {
+		lo, hi := adjStart[v], adjStart[v+1]
+		var sx, sy, sz float64
+		for _, w := range adjList[lo:hi] {
+			p := coords[w]
+			sx += p.X
+			sy += p.Y
+			sz += p.Z
+		}
+		inv := 1 / float64(hi-lo)
+		next[v] = geom.Point3{X: sx * inv, Y: sy * inv, Z: sz * inv}
+		acc += int64(hi-lo) + 1
+	}
+	return acc
+}
+
+// sweepChunkWeighted3 is WeightedKernel3.Update inlined over a chunk.
+func sweepChunkWeighted3(adjStart, adjList []int32, coords, next []geom.Point3, visit []int32) int64 {
+	var acc int64
+	for _, v := range visit {
+		lo, hi := adjStart[v], adjStart[v+1]
+		cur := coords[v]
+		var sx, sy, sz, wsum float64
+		for _, w := range adjList[lo:hi] {
+			p := coords[w]
+			d := cur.Dist(p)
+			wt := 1.0
+			if d > 0 {
+				wt = 1 / d
+			}
+			sx += wt * p.X
+			sy += wt * p.Y
+			sz += wt * p.Z
+			wsum += wt
+		}
+		if wsum == 0 {
+			next[v] = cur
+		} else {
+			next[v] = geom.Point3{X: sx / wsum, Y: sy / wsum, Z: sz / wsum}
+		}
+		acc += int64(hi-lo) + 1
+	}
+	return acc
+}
+
+// sweepChunkConstrained3 is ConstrainedKernel3.Update inlined over a chunk.
+func sweepChunkConstrained3(adjStart, adjList []int32, coords, next []geom.Point3, visit []int32, maxDisplacement float64) int64 {
+	var acc int64
+	for _, v := range visit {
+		lo, hi := adjStart[v], adjStart[v+1]
+		var sx, sy, sz float64
+		for _, w := range adjList[lo:hi] {
+			p := coords[w]
+			sx += p.X
+			sy += p.Y
+			sz += p.Z
+		}
+		n := float64(hi - lo)
+		target := geom.Point3{X: sx / n, Y: sy / n, Z: sz / n}
+		cur := coords[v]
+		d := target.Sub(cur)
+		if norm := d.Norm(); norm > maxDisplacement {
+			target = cur.Add(d.Scale(maxDisplacement / norm))
+		}
+		next[v] = target
+		acc += int64(hi-lo) + 1
+	}
+	return acc
+}

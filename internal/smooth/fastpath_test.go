@@ -1,0 +1,320 @@
+package smooth
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"lams/internal/parallel"
+	"lams/internal/quality"
+	"lams/internal/trace"
+)
+
+// fastPathWorkerCounts is the worker axis of the fast-path equivalence
+// suite: serial, the small powers of two, and an oversubscribed 16.
+var fastPathWorkerCounts = []int{1, 2, 4, 8, 16}
+
+// resultsEqual pins the full Result accounting two equivalent runs must
+// share: iteration count, access count, and bit-identical quality values
+// (initial, final, and the whole measured history).
+func resultsEqual(t *testing.T, got, want Result) {
+	t.Helper()
+	if got.Iterations != want.Iterations {
+		t.Errorf("iterations = %d, want %d", got.Iterations, want.Iterations)
+	}
+	if got.Accesses != want.Accesses {
+		t.Errorf("accesses = %d, want %d (some vertex was skipped or double-visited)", got.Accesses, want.Accesses)
+	}
+	if got.InitialQuality != want.InitialQuality {
+		t.Errorf("initial quality = %v, want bit-identical %v", got.InitialQuality, want.InitialQuality)
+	}
+	if got.FinalQuality != want.FinalQuality {
+		t.Errorf("final quality = %v, want bit-identical %v", got.FinalQuality, want.FinalQuality)
+	}
+	if len(got.QualityHistory) != len(want.QualityHistory) {
+		t.Fatalf("history length = %d, want %d", len(got.QualityHistory), len(want.QualityHistory))
+	}
+	for i := range want.QualityHistory {
+		if got.QualityHistory[i] != want.QualityHistory[i] {
+			t.Errorf("history[%d] = %v, want bit-identical %v", i, got.QualityHistory[i], want.QualityHistory[i])
+		}
+	}
+}
+
+// TestFastPathEquivalence is the 2D fast-path equivalence suite: for every
+// built-in Jacobi kernel, every built-in metric, every registered schedule,
+// both traversals, and workers 1–16, the monomorphic fast path with the
+// parallel quality reduction must produce bit-identical coordinates,
+// accesses, and quality values to the NoFastPath reference (interface
+// dispatch, serial measurement) run serially. This is the invariant that
+// makes the fast paths a pure optimization: there is no input on which the
+// two paths can be told apart by results.
+func TestFastPathEquivalence(t *testing.T) {
+	base := genMesh(t, 1600)
+	const iters = 3
+	kernels := []Kernel{PlainKernel{}, WeightedKernel{}, ConstrainedKernel{MaxDisplacement: 0.05}}
+	metrics := []quality.Metric{quality.EdgeRatio{}, quality.MinAngle{}, quality.AspectRatio{}}
+
+	for _, kern := range kernels {
+		for _, met := range metrics {
+			for _, traversal := range []Traversal{QualityGreedy, StorageOrder} {
+				ref := base.Clone()
+				refRes, err := Run(ref, Options{
+					MaxIters: iters, Tol: -1, Traversal: traversal,
+					Kernel: kern, Metric: met, NoFastPath: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, schedule := range parallel.Schedules() {
+					for _, workers := range fastPathWorkerCounts {
+						name := fmt.Sprintf("%s/%s/%s/%s/workers=%d", kern.Name(), met.Name(), traversal, schedule, workers)
+						t.Run(name, func(t *testing.T) {
+							got := base.Clone()
+							res, err := Run(got, Options{
+								MaxIters: iters, Tol: -1, Traversal: traversal,
+								Kernel: kern, Metric: met,
+								Workers: workers, Schedule: schedule,
+							})
+							if err != nil {
+								t.Fatal(err)
+							}
+							coordsEqual(t, name, got, ref)
+							resultsEqual(t, res, refRes)
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastPathEquivalence3 is the 3D twin of TestFastPathEquivalence.
+func TestFastPathEquivalence3(t *testing.T) {
+	base := genTetMesh(t, 9)
+	const iters = 3
+	kernels := []Kernel3{PlainKernel3{}, WeightedKernel3{}, ConstrainedKernel3{MaxDisplacement: 0.02}}
+	metrics := []quality.TetMetric{quality.MeanRatio3{}, quality.EdgeRatio3{}}
+
+	for _, kern := range kernels {
+		for _, met := range metrics {
+			for _, traversal := range []Traversal{QualityGreedy, StorageOrder} {
+				ref := base.Clone()
+				refRes, err := Run3(ref, Options3{
+					MaxIters: iters, Tol: -1, Traversal: traversal,
+					Kernel: kern, Metric: met, NoFastPath: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, schedule := range parallel.Schedules() {
+					for _, workers := range fastPathWorkerCounts {
+						name := fmt.Sprintf("%s/%s/%s/%s/workers=%d", kern.Name(), met.Name(), traversal, schedule, workers)
+						t.Run(name, func(t *testing.T) {
+							got := base.Clone()
+							res, err := Run3(got, Options3{
+								MaxIters: iters, Tol: -1, Traversal: traversal,
+								Kernel: kern, Metric: met,
+								Workers: workers, Schedule: schedule,
+							})
+							if err != nil {
+								t.Fatal(err)
+							}
+							coords3Equal(t, name, got, ref)
+							resultsEqual(t, res, refRes)
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastPathTracedRunsMatch pins that a traced run (which always takes
+// the generic body so every access lands on the trace) still produces the
+// same results as the untraced fast path.
+func TestFastPathTracedRunsMatch(t *testing.T) {
+	base := genMesh(t, 1200)
+	ref := base.Clone()
+	refRes, err := Run(ref, Options{MaxIters: 3, Tol: -1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := base.Clone()
+	tb := trace.NewBuffer(4)
+	res, err := Run(got, Options{MaxIters: 3, Tol: -1, Workers: 4, Trace: tb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordsEqual(t, "traced vs fast", got, ref)
+	resultsEqual(t, res, refRes)
+}
+
+// TestSmartKernelMetricHoist pins the withDefaults hoist: an engine run
+// with SmartKernel{} (nil metric, resolved once at setup) must match a run
+// with the metric spelled out, in both dimensions.
+func TestSmartKernelMetricHoist(t *testing.T) {
+	base := genMesh(t, 900)
+	implicit := base.Clone()
+	resI, err := Run(implicit, Options{MaxIters: 4, Tol: -1, Kernel: SmartKernel{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := base.Clone()
+	resE, err := Run(explicit, Options{MaxIters: 4, Tol: -1, Kernel: SmartKernel{Metric: quality.EdgeRatio{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordsEqual(t, "smart hoist", implicit, explicit)
+	resultsEqual(t, resI, resE)
+
+	base3 := genTetMesh(t, 6)
+	implicit3 := base3.Clone()
+	resI3, err := Run3(implicit3, Options3{MaxIters: 4, Tol: -1, Kernel: SmartKernel3{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit3 := base3.Clone()
+	resE3, err := Run3(explicit3, Options3{MaxIters: 4, Tol: -1, Kernel: SmartKernel3{Metric: quality.MeanRatio3{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords3Equal(t, "smart hoist 3D", implicit3, explicit3)
+	resultsEqual(t, resI3, resE3)
+}
+
+// TestCheckEverySemantics pins the documented CheckEvery contract: the
+// smoothed coordinates are untouched (sweeps never read the measurement),
+// the history records only the measured iterations, the final sweep is
+// always measured, and the final quality is bit-identical to the
+// measure-every-sweep run's.
+func TestCheckEverySemantics(t *testing.T) {
+	base := genMesh(t, 1200)
+	const iters = 10
+	ref := base.Clone()
+	refRes, err := Run(ref, Options{MaxIters: iters, Tol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3, 7, 10, 25} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			got := base.Clone()
+			res, err := Run(got, Options{MaxIters: iters, Tol: -1, CheckEvery: k, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			coordsEqual(t, "check-every", got, ref)
+			if res.Iterations != iters {
+				t.Errorf("iterations = %d, want %d", res.Iterations, iters)
+			}
+			// Measured iterations: every k-th sweep plus the final one.
+			wantMeasured := iters / k
+			if iters%k != 0 {
+				wantMeasured++
+			}
+			if len(res.QualityHistory) != wantMeasured {
+				t.Errorf("history length = %d, want %d", len(res.QualityHistory), wantMeasured)
+			}
+			if res.FinalQuality != refRes.FinalQuality {
+				t.Errorf("final quality = %v, want bit-identical %v", res.FinalQuality, refRes.FinalQuality)
+			}
+			// Each measured value must equal the every-sweep run's value at
+			// the same iteration.
+			for i, q := range res.QualityHistory {
+				iter := (i + 1) * k
+				if iter > iters {
+					iter = iters
+				}
+				if q != refRes.QualityHistory[iter-1] {
+					t.Errorf("history[%d] = %v, want bit-identical %v (iteration %d)", i, q, refRes.QualityHistory[iter-1], iter)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckEverySemantics3 spot-checks the 3D engine's CheckEvery wiring.
+func TestCheckEverySemantics3(t *testing.T) {
+	base := genTetMesh(t, 6)
+	const iters = 7
+	ref := base.Clone()
+	refRes, err := Run3(ref, Options3{MaxIters: iters, Tol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := base.Clone()
+	res, err := Run3(got, Options3{MaxIters: iters, Tol: -1, CheckEvery: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords3Equal(t, "check-every 3D", got, ref)
+	if len(res.QualityHistory) != 3 { // iterations 3, 6, and the final 7th
+		t.Errorf("history length = %d, want 3", len(res.QualityHistory))
+	}
+	if res.FinalQuality != refRes.FinalQuality {
+		t.Errorf("final quality = %v, want bit-identical %v", res.FinalQuality, refRes.FinalQuality)
+	}
+}
+
+// TestCheckEveryConvergenceStops verifies the tolerance still stops a
+// CheckEvery run: the criterion applies to the improvement since the
+// previous measurement, so a converged mesh stops at the first measured
+// iteration instead of running the full cap.
+func TestCheckEveryConvergenceStops(t *testing.T) {
+	m := genMesh(t, 800)
+	// Converge well past the default criterion first: the CheckEvery run's
+	// measured improvement spans 4 sweeps, so the per-sweep improvement must
+	// be safely below Tol/4 for the first measurement to stop it.
+	if _, err := Run(m, Options{MaxIters: 500, Tol: DefaultTol / 16}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, Options{MaxIters: 50, CheckEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 4 {
+		t.Errorf("converged mesh ran %d iterations with CheckEvery=4, want <= 4", res.Iterations)
+	}
+}
+
+// TestCheckEveryRejectsNegative pins the validation in both engines.
+func TestCheckEveryRejectsNegative(t *testing.T) {
+	if _, err := Run(genMesh(t, 300), Options{CheckEvery: -2}); err == nil {
+		t.Error("2D engine accepted negative CheckEvery")
+	}
+	if _, err := Run3(genTetMesh(t, 4), Options3{CheckEvery: -2}); err == nil {
+		t.Error("3D engine accepted negative CheckEvery")
+	}
+}
+
+// TestConvergeSteadyStateAllocs pins the steady-state allocation budget of
+// the full converge loop WITH the parallel quality reduction: after warmup,
+// each Run must stay within one request-scoped allocation per sweep (the
+// chunk-body closure) plus the quality-history slice — the parallel
+// measurement passes themselves (prebuilt bodies, reducer scratch, spawner
+// reuse) must add nothing. The bound is deliberately loose enough for
+// -race builds.
+func TestConvergeSteadyStateAllocs(t *testing.T) {
+	base := genMesh(t, 4000)
+	ctx := context.Background()
+	const iters = 3
+	for _, schedule := range parallel.Schedules() {
+		t.Run(schedule, func(t *testing.T) {
+			m := base.Clone()
+			s := NewSmoother()
+			opt := Options{MaxIters: iters, Tol: -1, Traversal: StorageOrder, Workers: 8, Schedule: schedule}
+			if _, err := s.Run(ctx, m, opt); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := s.Run(ctx, m, opt); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > float64(2*iters+4) {
+				t.Errorf("schedule %s: %.0f allocs per steady-state %d-iteration converge loop, want <= %d",
+					schedule, allocs, iters, 2*iters+4)
+			}
+		})
+	}
+}

@@ -76,7 +76,9 @@ func (SmartKernel) Name() string { return "smart" }
 // InPlace implements Kernel.
 func (SmartKernel) InPlace() bool { return true }
 
-// Update implements Kernel.
+// Update implements Kernel. The engine resolves a nil Metric to the default
+// once per run (Options.withDefaults), so on the engine path the fallback
+// below never branches; it remains for direct callers of Update.
 func (k SmartKernel) Update(m *mesh.Mesh, v int32) geom.Point {
 	met := k.Metric
 	if met == nil {

@@ -76,7 +76,9 @@ func (SmartKernel3) Name() string { return "smart" }
 // InPlace implements Kernel3.
 func (SmartKernel3) InPlace() bool { return true }
 
-// Update implements Kernel3.
+// Update implements Kernel3. The engine resolves a nil Metric to the
+// default once per run (Options3.withDefaults), so on the engine path the
+// fallback below never branches; it remains for direct callers of Update.
 func (k SmartKernel3) Update(m *mesh.TetMesh, v int32) geom.Point3 {
 	met := k.Metric
 	if met == nil {

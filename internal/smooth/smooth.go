@@ -89,6 +89,21 @@ type Options struct {
 	// GaussSeidel selects in-place updates for a Jacobi-style kernel. Only
 	// valid with Workers == 1.
 	GaussSeidel bool
+	// CheckEvery measures global quality every CheckEvery-th sweep instead
+	// of after every sweep (default 1). Quality measurement costs a full
+	// pass over the elements; converged workloads that run many cheap
+	// sweeps can amortize it. QualityHistory records only the measured
+	// iterations, the convergence criterion (Tol) applies to the
+	// improvement since the previous measurement, and the final executed
+	// sweep is always measured so FinalQuality stays exact. The smoothed
+	// coordinates are unaffected: sweeps never read the measurement.
+	CheckEvery int
+	// NoFastPath forces the generic interface-dispatch sweep body and the
+	// serial interface-dispatch quality pass, disabling the monomorphic
+	// kernel/metric loops and the parallel quality reduction. Results are
+	// bit-identical either way (the fast-path equivalence suite pins this);
+	// the switch exists for that suite and for before/after benchmarks.
+	NoFastPath bool
 	// Trace, when non-nil, records every vertex-array access (the smoothed
 	// vertex, then each of its neighbors) on the worker's stream. The
 	// buffer must have at least Workers cores.
@@ -110,6 +125,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers == 0 {
 		o.Workers = 1
+	}
+	if o.CheckEvery == 0 {
+		o.CheckEvery = 1
+	}
+	// Resolve SmartKernel's nil-default metric once here instead of on
+	// every vertex visit inside Update, so the in-place sweep stops
+	// re-branching per vertex.
+	if sk, ok := o.Kernel.(SmartKernel); ok && sk.Metric == nil {
+		o.Kernel = SmartKernel{Metric: quality.EdgeRatio{}}
 	}
 	return o
 }

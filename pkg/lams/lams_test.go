@@ -129,6 +129,60 @@ func TestSmoothSchedules(t *testing.T) {
 	}
 }
 
+// TestSmoothCheckEvery is the public-API face of the measurement cadence:
+// WithCheckEvery(k) must leave the smoothed coordinates bit-identical to
+// the measure-every-sweep run, record only the measured iterations in the
+// history, always measure the final sweep, reject k < 0, and apply to
+// tetrahedral runs too.
+func TestSmoothCheckEvery(t *testing.T) {
+	base := testMesh(t, 1500)
+	ctx := context.Background()
+	ref := base.Clone()
+	refRes, err := lams.Smooth(ctx, ref, lams.WithMaxIterations(6), lams.WithTolerance(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := base.Clone()
+	res, err := lams.Smooth(ctx, got,
+		lams.WithMaxIterations(6),
+		lams.WithTolerance(-1),
+		lams.WithWorkers(4),
+		lams.WithCheckEvery(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ref.Coords {
+		if got.Coords[v] != ref.Coords[v] {
+			t.Fatalf("vertex %d differs bit-wise under WithCheckEvery", v)
+		}
+	}
+	if len(res.QualityHistory) != 2 { // iterations 4 and the final 6th
+		t.Errorf("history length = %d, want 2", len(res.QualityHistory))
+	}
+	if res.FinalQuality != refRes.FinalQuality {
+		t.Errorf("final quality = %v, want bit-identical %v", res.FinalQuality, refRes.FinalQuality)
+	}
+
+	if _, err := lams.Smooth(ctx, base.Clone(), lams.WithCheckEvery(-1)); err == nil {
+		t.Error("negative check-every accepted")
+	}
+
+	tet, err := lams.GenerateTetCubeVerts(800, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tres, err := lams.SmoothTet(ctx, tet,
+		lams.WithMaxIterations(5),
+		lams.WithTolerance(-1),
+		lams.WithCheckEvery(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tres.QualityHistory) != 3 { // iterations 2, 4, and the final 5th
+		t.Errorf("tet history length = %d, want 3", len(tres.QualityHistory))
+	}
+}
+
 func TestSmoothCancellation(t *testing.T) {
 	m := testMesh(t, 1000)
 	ctx, cancel := context.WithCancel(context.Background())

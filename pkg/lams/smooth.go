@@ -107,6 +107,20 @@ func WithGoalQuality(q float64) SmoothOption {
 	return func(c *smoothConfig) { c.opt.GoalQuality = q }
 }
 
+// WithCheckEvery measures global quality every k-th sweep instead of after
+// every sweep (default 1). Measurement costs a full pass over the mesh's
+// elements; workloads that run many sweeps to convergence can amortize it
+// across k sweeps. The semantics are documented on smooth.Options: the
+// quality history records only the measured iterations, the convergence
+// tolerance applies to the improvement since the previous measurement, the
+// final executed sweep is always measured (so the reported final quality is
+// exact), and the smoothed coordinates are unaffected. k == 0 selects the
+// default cadence of 1; a negative k makes the run fail. Applies to Smooth
+// and SmoothTet alike.
+func WithCheckEvery(k int) SmoothOption {
+	return func(c *smoothConfig) { c.opt.CheckEvery = k }
+}
+
 // WithMetric sets the 2D quality metric (default EdgeRatio). Smooth only;
 // use WithTetMetric for tetrahedral runs.
 func WithMetric(met Metric) SmoothOption {
@@ -180,6 +194,7 @@ func buildOptions3(opts []SmoothOption) (smooth.Options3, error) {
 		Schedule:    o.Schedule,
 		Traversal:   o.Traversal,
 		GaussSeidel: o.GaussSeidel,
+		CheckEvery:  o.CheckEvery,
 		Trace:       o.Trace,
 	}, nil
 }

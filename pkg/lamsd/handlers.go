@@ -589,6 +589,11 @@ type smoothRequest struct {
 	Tol *float64 `json:"tol"`
 	// GoalQuality stops the run once global quality reaches it.
 	GoalQuality float64 `json:"goal_quality"`
+	// CheckEvery measures global quality every CheckEvery-th sweep instead
+	// of after every sweep (default 1), amortizing the measurement pass for
+	// long converging runs; the quality history records only the measured
+	// iterations and the final sweep is always measured.
+	CheckEvery int `json:"check_every"`
 	// Metric is one of edge-ratio (default), min-angle, aspect-ratio.
 	Metric string `json:"metric"`
 	// StorageOrder sweeps in storage order instead of the quality-greedy
@@ -604,6 +609,7 @@ type smoothResponse struct {
 	Kernel         string    `json:"kernel"`
 	Workers        int       `json:"workers"`
 	Schedule       string    `json:"schedule"`
+	CheckEvery     int       `json:"check_every"`
 	Iterations     int       `json:"iterations"`
 	InitialQuality float64   `json:"initial_quality"`
 	FinalQuality   float64   `json:"final_quality"`
@@ -779,6 +785,14 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	if req.MaxIters < 0 {
 		return smoothResponse{}, apiErrorf(http.StatusBadRequest, "max_iters %d is negative", req.MaxIters)
 	}
+	checkEvery := req.CheckEvery
+	if checkEvery == 0 {
+		checkEvery = 1
+	}
+	if checkEvery < 1 {
+		return smoothResponse{}, apiErrorf(http.StatusBadRequest,
+			"check_every %d: want >= 1 (measure global quality every k-th sweep)", req.CheckEvery)
+	}
 	schedule, err := scheduleFor(req.Schedule)
 	if err != nil {
 		return smoothResponse{}, err
@@ -819,6 +833,9 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	}
 	if req.GaussSeidel {
 		opts = append(opts, lams.WithGaussSeidel())
+	}
+	if checkEvery > 1 {
+		opts = append(opts, lams.WithCheckEvery(checkEvery))
 	}
 
 	start := time.Now()
@@ -865,6 +882,7 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 		Kernel:         kernName,
 		Workers:        workers,
 		Schedule:       schedule,
+		CheckEvery:     checkEvery,
 		Iterations:     res.Iterations,
 		InitialQuality: res.InitialQuality,
 		FinalQuality:   res.FinalQuality,

@@ -442,6 +442,51 @@ func TestServerSmooth(t *testing.T) {
 	}
 }
 
+// TestServerSmoothCheckEvery covers the measurement-cadence surface of the
+// smooth endpoint: check_every thins the measured history (the engine's
+// quality trajectory) without changing the iteration count or the final
+// quality, the response echoes the effective cadence (default 1), and a
+// negative value is a 400 before any work happens.
+func TestServerSmoothCheckEvery(t *testing.T) {
+	_, ts := newTestServer(t)
+	info := createDomainMesh(t, ts.URL, "carabiner", 1500)
+
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/smooth",
+		map[string]any{"workers": 2, "max_iters": 6, "tol": -1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("smooth status %d: %s", resp.StatusCode, data)
+	}
+	var ref smoothResponse
+	if err := json.Unmarshal(data, &ref); err != nil {
+		t.Fatal(err)
+	}
+	if ref.CheckEvery != 1 {
+		t.Errorf("default check_every = %d, want 1", ref.CheckEvery)
+	}
+
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/smooth",
+		map[string]any{"workers": 2, "max_iters": 6, "tol": -1, "check_every": 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check_every smooth status %d: %s", resp.StatusCode, data)
+	}
+	var sr smoothResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.CheckEvery != 3 {
+		t.Errorf("check_every = %d, want 3", sr.CheckEvery)
+	}
+	if sr.Iterations != 6 {
+		t.Errorf("iterations = %d, want 6 (cadence must not change the sweep count)", sr.Iterations)
+	}
+
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/smooth",
+		map[string]any{"check_every": -2})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative check_every: status %d, want 400 (%s)", resp.StatusCode, data)
+	}
+}
+
 // TestServerSmoothSchedules covers the chunk-schedule surface of the
 // smooth endpoint: the /v1/schedules discovery route, ?schedule= and the
 // body field (query wins), the 400 for an unregistered name carrying the
