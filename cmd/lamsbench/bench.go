@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"lams/internal/mesh"
+	"lams/internal/order"
+	"lams/internal/quality"
 	"lams/internal/smooth"
 )
 
@@ -24,6 +26,11 @@ import (
 // iface op, fast op, iface op, ... — so a shared-CPU frequency or quota
 // shift during the run degrades both paths alike instead of poisoning the
 // comparison.
+//
+// The report also carries a "setup" section: cold-start phase timings
+// (mesh build, CSR construction, Hilbert key sort, greedy walk) so the
+// one-time ordering cost the paper amortizes (§5.3) has a measured
+// trajectory next to the steady-state sweep numbers.
 
 // benchIters is the converge-loop length of each benchmark op. Tol is
 // disabled, so every op executes exactly this many sweeps plus
@@ -57,12 +64,29 @@ type benchResult struct {
 	QualityTrajectory []float64 `json:"quality_trajectory"`
 }
 
+// setupResult is one cold-start phase timing: the work a smoothing service
+// does once per mesh before any sweep can run. build is the full mesh
+// synthesis, csr is the adjacency/incidence CSR construction alone (rebuild
+// from the already-synthesized vertex and element arrays — the part the
+// parallel setup passes accelerate), key_sort is the Hilbert key computation
+// plus the curve-order index sort, and greedy_walk is the quality-greedy
+// traversal that seeds the RDR ordering and the smoother's visit sequence.
+type setupResult struct {
+	Name    string `json:"name"`
+	Dim     int    `json:"dim"`
+	Phase   string `json:"phase"`
+	Verts   int    `json:"verts"`
+	Reps    int    `json:"reps"`
+	NsPerOp int64  `json:"ns_per_op"` // best (minimum) rep
+}
+
 // benchReport is the top-level JSON document.
 type benchReport struct {
 	Generated  time.Time     `json:"generated"`
 	GoVersion  string        `json:"go_version"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	NumCPU     int           `json:"num_cpu"`
+	Setup      []setupResult `json:"setup"`
 	Results    []benchResult `json:"results"`
 }
 
@@ -90,6 +114,80 @@ func (p *pathTiming) fill(r *benchResult) {
 	r.MeanNsPerOp = float64(p.total.Nanoseconds()) / float64(p.reps)
 	r.AllocsPerOp = p.allocs / uint64(p.reps)
 	r.BytesPerOp = p.size / uint64(p.reps)
+}
+
+// setupReps is how many times each cold-start phase runs; the best rep is
+// reported (the phases are deterministic, so the minimum is the
+// least-noise estimate).
+const setupReps = 3
+
+func timeSetup(fn func() error) (int64, error) {
+	best := int64(0)
+	for rep := 0; rep < setupReps; rep++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(t0).Nanoseconds(); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// benchSetup times the cold-start pipeline on both benchmark meshes: full
+// mesh synthesis (build), the CSR adjacency/incidence construction alone
+// (csr — New on the already-synthesized arrays, the part the parallel setup
+// passes accelerate), Hilbert key computation plus the curve-order sort
+// (key_sort), and the quality-greedy traversal (greedy_walk).
+func benchSetup(rep *benchReport, m2 *mesh.Mesh, m3 *mesh.TetMesh, verts2, cells3 int) error {
+	add := func(dim int, phase string, verts int, fn func() error) error {
+		ns, err := timeSetup(fn)
+		if err != nil {
+			return fmt.Errorf("setup %s (dim %d): %w", phase, dim, err)
+		}
+		s := setupResult{
+			Name: fmt.Sprintf("Setup/dim=%d/phase=%s", dim, phase),
+			Dim:  dim, Phase: phase, Verts: verts, Reps: setupReps, NsPerOp: ns,
+		}
+		rep.Setup = append(rep.Setup, s)
+		fmt.Fprintf(os.Stderr, "%-44s %12d ns/op\n", s.Name, s.NsPerOp)
+		return nil
+	}
+
+	hilbert := order.Hilbert{}
+	vq2 := quality.VertexQualities(m2, quality.EdgeRatio{})
+	phases2 := []struct {
+		phase string
+		fn    func() error
+	}{
+		{"build", func() error { _, err := mesh.Generate("carabiner", verts2); return err }},
+		{"csr", func() error { _, err := mesh.New(m2.Coords, m2.Tris); return err }},
+		{"key_sort", func() error { _, err := hilbert.Compute(m2, nil); return err }},
+		{"greedy_walk", func() error { _, err := order.GreedyWalk(m2, vq2, false); return err }},
+	}
+	for _, p := range phases2 {
+		if err := add(2, p.phase, m2.NumVerts(), p.fn); err != nil {
+			return err
+		}
+	}
+
+	vq3 := quality.TetVertexQualities(m3, quality.MeanRatio3{})
+	phases3 := []struct {
+		phase string
+		fn    func() error
+	}{
+		{"build", func() error { _, err := mesh.GenerateTetCube(cells3, cells3, cells3, 0.3); return err }},
+		{"csr", func() error { _, err := mesh.NewTet(m3.Coords, m3.Tets); return err }},
+		{"key_sort", func() error { _, err := hilbert.Compute(m3, nil); return err }},
+		{"greedy_walk", func() error { _, err := order.GreedyWalk(m3, vq3, false); return err }},
+	}
+	for _, p := range phases3 {
+		if err := add(3, p.phase, m3.NumVerts(), p.fn); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // timeOp times one op, including its allocation deltas.
@@ -146,6 +244,9 @@ func runBenchJSON(path, schedule string, verts2, cells3, checkEvery int) error {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+	}
+	if err := benchSetup(&rep, m2, m3, verts2, cells3); err != nil {
+		return err
 	}
 	ctx := context.Background()
 

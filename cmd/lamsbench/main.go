@@ -7,20 +7,25 @@
 //	lamsbench [-exp id] [-verts n] [-full] [-meshes a,b,c] [-nowall] [-schedule static|guided|stealing] [-checkevery k]
 //	lamsbench -json FILE [-schedule s] [-benchverts n] [-benchcells n] [-checkevery k]
 //
+// Either mode takes -cpuprofile FILE and -memprofile FILE to write pprof
+// CPU and heap profiles of the run.
+//
 // Experiment ids: table1, fig1, fig4, fig5, fig6, fig8, fig9, table2,
 // table3, eq2, fig10, fig11, fig12, fig13, cost, all.
 //
 // With -json, lamsbench skips the experiments and runs the converge-loop
 // benchmark instead (full sweep+measure loops across dimensions, worker
-// counts, and the interface/fast engine paths), writing machine-readable
-// results to FILE; see BENCH_smooth.json at the repository root for the
-// committed baseline.
+// counts, and the interface/fast engine paths, plus cold-start setup-phase
+// timings), writing machine-readable results to FILE; see BENCH_smooth.json
+// at the repository root for the committed baseline.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,6 +45,8 @@ func main() {
 		jsonOut    = flag.String("json", "", "run the converge-loop benchmark instead of the experiments and write machine-readable results to FILE")
 		benchVerts = flag.Int("benchverts", 262144, "target 2D mesh vertices for the -json benchmark (default: the 512x512-grid magnitude)")
 		benchCells = flag.Int("benchcells", 40, "cells per axis of the 3D cube for the -json benchmark (default 40, i.e. 40^3)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to FILE")
+		memprofile = flag.String("memprofile", "", "write a heap profile to FILE at exit")
 	)
 	flag.Parse()
 
@@ -56,11 +63,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lamsbench: -checkevery %d: want >= 1\n", *checkevery)
 		os.Exit(2)
 	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lamsbench:", err)
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "lamsbench:", err)
+		stopProfiles()
+		os.Exit(1)
+	}
 	if *jsonOut != "" {
 		if err := runBenchJSON(*jsonOut, *schedule, *benchVerts, *benchCells, *checkevery); err != nil {
-			fmt.Fprintln(os.Stderr, "lamsbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
+		stopProfiles()
 		return
 	}
 	cfg := experiments.ConfigForSize(*verts)
@@ -72,9 +89,47 @@ func main() {
 	s := experiments.NewSuite(cfg)
 
 	if err := run(s, *exp, !*nowall); err != nil {
-		fmt.Fprintln(os.Stderr, "lamsbench:", err)
-		os.Exit(1)
+		fail(err)
 	}
+	stopProfiles()
+}
+
+// startProfiles starts a CPU profile and/or arranges a heap profile per the
+// flag values ("" disables either). The returned func stops the CPU profile
+// and writes the heap snapshot; it must run before every process exit so the
+// profile files are complete even on error paths.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lamsbench: heap profile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle live-heap accounting before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lamsbench: heap profile:", err)
+		}
+	}, nil
 }
 
 func run(s *experiments.Suite, exp string, wall bool) error {

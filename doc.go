@@ -13,8 +13,10 @@
 // triangles and tetrahedra — the kernel-driven smoothing engines
 // (internal/smooth: Smoother for triangles, Smoother3 for tets, twin
 // engines with one convergence-loop/Jacobi/tracing structure built on the
-// same scheduler, trace, and quality-scratch components, with monomorphic
-// fast-path loops for the built-in kernels and a CheckEvery measurement
+// same scheduler, trace, and quality-scratch components, whose hot state
+// is packed into structure-of-arrays coordinate mirrors feeding
+// monomorphic fast-path loops for the built-in kernels — including the
+// smart kernel's inlined accept test — with a CheckEvery measurement
 // cadence), the quality metrics whose global measurement runs chunk-
 // parallel through a fixed-block ordered reduction — bit-identical to the
 // serial pass at every worker count and schedule (internal/quality,
@@ -25,7 +27,10 @@
 // either dimension (internal/parallel), the mesh data structures and
 // generator substrates (internal/mesh, internal/delaunay,
 // internal/domains, internal/geom — including the Orient3D predicate and
-// 3D Hilbert/Morton keys), and the locality-analysis machinery
+// 3D Hilbert/Morton keys; CSR adjacency construction and curve-key
+// computation run chunk-parallel through the same scheduler registry, so
+// cold-start setup scales with the sweeps), and the locality-analysis
+// machinery
 // (internal/trace, internal/reuse, internal/cache, internal/perfmodel).
 // internal/core is the thin facade pkg/lams delegates to;
 // internal/experiments regenerates every table and figure of the paper's

@@ -1,5 +1,7 @@
 package geom
 
+import "lams/internal/parallel"
+
 // HilbertIndex returns the index of cell (x, y) along a Hilbert curve of the
 // given order (the curve fills a 2^order x 2^order grid). Both coordinates
 // must be < 2^order.
@@ -59,10 +61,15 @@ func HilbertSortKeys(pts []Point, order uint) []uint64 {
 		h = 1
 	}
 	side := float64(uint32(1)<<order - 1)
-	for i, p := range pts {
-		gx := uint32((p.X - b.Min.X) / w * side)
-		gy := uint32((p.Y - b.Min.Y) / h * side)
-		keys[i] = HilbertIndex(gx, gy, order)
-	}
+	// Each key depends only on its own point and the (already computed)
+	// bounds, so the loop chunk-parallelizes with deterministic output.
+	parallel.Setup(len(pts), func(c parallel.Chunk) {
+		for i := c.Lo; i < c.Hi; i++ {
+			p := pts[i]
+			gx := uint32((p.X - b.Min.X) / w * side)
+			gy := uint32((p.Y - b.Min.Y) / h * side)
+			keys[i] = HilbertIndex(gx, gy, order)
+		}
+	})
 	return keys
 }

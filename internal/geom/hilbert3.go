@@ -1,5 +1,7 @@
 package geom
 
+import "lams/internal/parallel"
+
 // HilbertIndex3 returns the index of cell (x, y, z) along a 3D Hilbert curve
 // of the given order (the curve fills a 2^order cube per axis). All three
 // coordinates must be < 2^order. It implements Skilling's transpose
@@ -100,12 +102,17 @@ func curveKeys3(pts []Point3, order uint, index func(gx, gy, gz uint32) uint64) 
 		d = 1
 	}
 	side := float64(uint32(1)<<order - 1)
-	for i, p := range pts {
-		gx := uint32((p.X - b.Min.X) / w * side)
-		gy := uint32((p.Y - b.Min.Y) / h * side)
-		gz := uint32((p.Z - b.Min.Z) / d * side)
-		keys[i] = index(gx, gy, gz)
-	}
+	// Keys are independent per point; chunk-parallel with deterministic
+	// output, as in the 2D pass.
+	parallel.Setup(len(pts), func(c parallel.Chunk) {
+		for i := c.Lo; i < c.Hi; i++ {
+			p := pts[i]
+			gx := uint32((p.X - b.Min.X) / w * side)
+			gy := uint32((p.Y - b.Min.Y) / h * side)
+			gz := uint32((p.Z - b.Min.Z) / d * side)
+			keys[i] = index(gx, gy, gz)
+		}
+	})
 	return keys
 }
 
@@ -127,10 +134,13 @@ func MortonSortKeys(pts []Point, order uint) []uint64 {
 		h = 1
 	}
 	side := float64(uint32(1)<<order - 1)
-	for i, p := range pts {
-		gx := uint32((p.X - b.Min.X) / w * side)
-		gy := uint32((p.Y - b.Min.Y) / h * side)
-		keys[i] = MortonIndex(gx, gy)
-	}
+	parallel.Setup(len(pts), func(c parallel.Chunk) {
+		for i := c.Lo; i < c.Hi; i++ {
+			p := pts[i]
+			gx := uint32((p.X - b.Min.X) / w * side)
+			gy := uint32((p.Y - b.Min.Y) / h * side)
+			keys[i] = MortonIndex(gx, gy)
+		}
+	})
 	return keys
 }

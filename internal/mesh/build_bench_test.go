@@ -1,0 +1,37 @@
+package mesh
+
+import "testing"
+
+// BenchmarkMeshBuild measures cold-start mesh assembly — CSR adjacency
+// (per-vertex sort + dedupe), vertex→element incidence, and boundary
+// classification — in both dimensions. This is the "build" column of the
+// lamsbench setup report; the per-vertex sort/dedupe pass runs
+// chunk-parallel with deterministic output.
+func BenchmarkMeshBuild(b *testing.B) {
+	b.Run("dim=2", func(b *testing.B) {
+		m, err := Generate("carabiner", 20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := New(m.Coords, m.Tris); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dim=3", func(b *testing.B) {
+		m, err := GenerateTetCube(14, 14, 14, 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := NewTet(m.Coords, m.Tets); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

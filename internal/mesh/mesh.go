@@ -162,22 +162,9 @@ func (m *Mesh) build() error {
 		}
 	}
 
-	// Sort and dedupe each vertex's neighbor list in place, then compact.
-	m.AdjStart = make([]int32, nv+1)
-	m.AdjList = adj[:0]
-	for v := int32(0); v < nv; v++ {
-		lst := adj[start[v] : start[v]+fill[v]]
-		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
-		m.AdjStart[v] = int32(len(m.AdjList))
-		var prev int32 = -1
-		for _, w := range lst {
-			if w != prev {
-				m.AdjList = append(m.AdjList, w)
-				prev = w
-			}
-		}
-	}
-	m.AdjStart[nv] = int32(len(m.AdjList))
+	// Sort and dedupe each vertex's neighbor list (chunk-parallel over
+	// vertices), then compact into CSR form.
+	m.AdjStart, m.AdjList = sortDedupeAdj(nv, start, fill, adj)
 
 	// Vertex -> triangle incidence.
 	tdeg := make([]int32, nv+1)

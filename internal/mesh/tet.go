@@ -131,21 +131,7 @@ func (m *TetMesh) build() error {
 		}
 	}
 
-	m.AdjStart = make([]int32, nv+1)
-	m.AdjList = adj[:0]
-	for v := int32(0); v < nv; v++ {
-		lst := adj[start[v] : start[v]+fill[v]]
-		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
-		m.AdjStart[v] = int32(len(m.AdjList))
-		var prev int32 = -1
-		for _, w := range lst {
-			if w != prev {
-				m.AdjList = append(m.AdjList, w)
-				prev = w
-			}
-		}
-	}
-	m.AdjStart[nv] = int32(len(m.AdjList))
+	m.AdjStart, m.AdjList = sortDedupeAdj(nv, start, fill, adj)
 
 	// Vertex -> tet incidence.
 	tdeg := make([]int32, nv+1)

@@ -32,6 +32,10 @@ func GreedyWalk(g Graph, vq []float64, descending bool) (Walk, error) {
 	if len(vq) != nv {
 		return Walk{}, fmt.Errorf("order: quality slice length %d != vertex count %d", len(vq), nv)
 	}
+	// less orders vertices by quality with an index tie-break — a total
+	// order, so every comparison sort of a vertex set produces the same
+	// sequence. The closure is built once per walk and shared by the seed
+	// sort and the per-head neighbor sorts.
 	less := func(a, b int32) bool {
 		if vq[a] != vq[b] {
 			if descending {
@@ -60,7 +64,22 @@ func GreedyWalk(g Graph, vq []float64, descending bool) (Walk, error) {
 				l = append(l, u)
 			}
 		}
-		sort.Slice(l, func(i, j int) bool { return less(l[i], l[j]) })
+		// The walk sorts one neighbor list per processed head, and mesh
+		// degrees are small (~6 in 2D, ~14 in 3D) — at that size the
+		// sort.Slice call this used to make costs more in its per-call
+		// allocations (the closure and the interface header) than the sort
+		// itself. An insertion sort over the reused buffer allocates
+		// nothing, and less is a total order, so the output sequence is
+		// unchanged.
+		for i := 1; i < len(l); i++ {
+			u := l[i]
+			j := i - 1
+			for j >= 0 && less(u, l[j]) {
+				l[j+1] = l[j]
+				j--
+			}
+			l[j+1] = u
+		}
 		return l
 	}
 

@@ -1,0 +1,28 @@
+package order
+
+import (
+	"testing"
+
+	"lams/internal/mesh"
+	"lams/internal/quality"
+)
+
+// BenchmarkGreedyWalk measures the quality-greedy traversal — the largest
+// serial stage of a cold-start run (every smooth with the QualityGreedy
+// traversal and every RDR reorder pays it once per mesh). The hot loop is
+// the per-head neighbor sort; this benchmark is the before/after evidence
+// for replacing the sort.Slice closures with the alloc-free insertion sort.
+func BenchmarkGreedyWalk(b *testing.B) {
+	m, err := mesh.Generate("carabiner", 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vq := quality.VertexQualities(m, quality.EdgeRatio{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GreedyWalk(m, vq, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package parallel
+
+import (
+	"context"
+	"runtime"
+)
+
+// Cold-start setup parallelism. The reorder-once/smooth-many amortization
+// divides by the cost of the serial setup stages — spatial-key computation,
+// CSR construction, the greedy walk — so the per-element setup passes run
+// chunk-parallel through the same scheduler registry as the sweeps. Setup
+// passes differ from sweeps in lifecycle (one-shot, not steady-state) and
+// in caller (mesh assembly and key generation have no worker knob), so this
+// file provides the policy: pick a worker count from GOMAXPROCS and the
+// element count, grab a fresh static scheduler, and run. Correctness does
+// not depend on the worker count — every setup body writes disjoint,
+// position-determined outputs, so the result is deterministic (and equal to
+// the serial pass) at any parallelism.
+
+// setupGrain is the minimum number of elements a setup worker must have to
+// be worth spawning: below it the fork/join overhead exceeds the work.
+const setupGrain = 2048
+
+// SetupWorkers returns the worker count a cold-start setup pass uses for n
+// elements: GOMAXPROCS, capped so every worker has at least setupGrain
+// elements; always at least 1.
+func SetupWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if max := n / setupGrain; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Setup runs fn over [0, n) in contiguous chunks, distributed across
+// SetupWorkers(n) workers by a fresh static scheduler (serially, inline,
+// when the pass is too small to parallelize). fn must write only outputs
+// whose position is determined by the index — under that contract the
+// result is bit-identical to the serial pass at every worker count, which
+// is what keeps parallel setup invisible to everything downstream.
+func Setup(n int, fn func(c Chunk)) {
+	workers := SetupWorkers(n)
+	if workers <= 1 {
+		if n > 0 {
+			fn(Chunk{Lo: 0, Hi: n})
+		}
+		return
+	}
+	sched, err := SchedulerByName(ScheduleStatic)
+	if err != nil {
+		// The static schedule registers from this package's init; its
+		// absence is a programmer error, not a runtime condition.
+		panic(err)
+	}
+	// A fresh scheduler and the background context: setup passes are
+	// one-shot (no scratch worth keeping) and not cancelable mid-build (a
+	// half-built CSR is useless, and the passes are short).
+	_ = sched.Run(context.Background(), n, workers, func(_ int, c Chunk) { fn(c) })
+}

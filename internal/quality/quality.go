@@ -172,12 +172,18 @@ type Scratch struct {
 	ptm  *mesh.TetMesh
 	ptmt TetMetric
 
+	// SoA coordinate views of the in-flight pass (the smoothing engines'
+	// structure-of-arrays mirrors); px/py in 2D, plus pz in 3D.
+	px, py, pz []float64
+
 	// Prebuilt pass bodies (one-time closures over the receiver), so
 	// steady-state parallel passes hand the scheduler existing func values.
-	triBody   func(worker int, c parallel.Chunk)
-	vertBody  func(worker, block int, span parallel.Chunk) float64
-	tetBody   func(worker int, c parallel.Chunk)
-	vert3Body func(worker, block int, span parallel.Chunk) float64
+	triBody    func(worker int, c parallel.Chunk)
+	vertBody   func(worker, block int, span parallel.Chunk) float64
+	tetBody    func(worker int, c parallel.Chunk)
+	vert3Body  func(worker, block int, span parallel.Chunk) float64
+	triSoABody func(worker int, c parallel.Chunk)
+	tetSoABody func(worker int, c parallel.Chunk)
 }
 
 // triRange fills s.tri for triangles [lo, hi). The built-in default metric
@@ -206,6 +212,31 @@ func (s *Scratch) triRange(m *mesh.Mesh, met Metric, lo, hi int) {
 	}
 	for i, tv := range m.Tris[lo:hi] {
 		tri[lo+i] = met.Triangle(coords[tv[0]], coords[tv[1]], coords[tv[2]])
+	}
+}
+
+// triRangeSoA is triRange over the structure-of-arrays coordinate mirrors
+// the smoothing engines keep (x[i], y[i] is vertex i): the metric is the
+// devirtualized EdgeRatio body, replayed operation for operation on points
+// assembled from the raw slices, so the values are bit-identical to triRange
+// over an equal m.Coords. SoA callers opt in per metric — this pass exists
+// only for the metric the 2D fast path devirtualizes.
+func (s *Scratch) triRangeSoA(m *mesh.Mesh, x, y []float64, lo, hi int) {
+	tri := s.tri
+	for i, tv := range m.Tris[lo:hi] {
+		a := geom.Point{X: x[tv[0]], Y: y[tv[0]]}
+		b := geom.Point{X: x[tv[1]], Y: y[tv[1]]}
+		c := geom.Point{X: x[tv[2]], Y: y[tv[2]]}
+		e0 := a.Dist(b)
+		e1 := b.Dist(c)
+		e2 := c.Dist(a)
+		elo := math.Min(e0, math.Min(e1, e2))
+		ehi := math.Max(e0, math.Max(e1, e2))
+		q := 0.0
+		if ehi != 0 {
+			q = elo / ehi
+		}
+		tri[lo+i] = q
 	}
 }
 
@@ -267,6 +298,67 @@ func (s *Scratch) globalSum(ctx context.Context, m *mesh.Mesh, met Metric, worke
 	}
 	s.pm, s.pmet = nil, nil
 	return total, err
+}
+
+// globalSumSoA is globalSum over the SoA coordinate mirrors with the
+// EdgeRatio metric: the triangle pass is triRangeSoA, the vertex-average
+// pass and the blocked reduction are the same code as the interface path
+// (they read only s.tri and the CSR incidence), so the sum is bit-identical
+// to globalSum over an equal m.Coords.
+func (s *Scratch) globalSumSoA(ctx context.Context, m *mesh.Mesh, x, y []float64, workers int, sched parallel.Scheduler) (float64, error) {
+	s.tri = grow(s.tri, m.NumTris())
+	s.vert = grow(s.vert, m.NumVerts())
+	nv := m.NumVerts()
+	if sched == nil || workers <= 1 {
+		s.triRangeSoA(m, x, y, 0, m.NumTris())
+		var total float64
+		for b := 0; b < parallel.ReduceBlocks(nv); b++ {
+			span := parallel.BlockSpan(nv, b)
+			total += s.vertRange(m, span.Lo, span.Hi)
+		}
+		return total, nil
+	}
+	s.pm, s.px, s.py = m, x, y
+	if s.triSoABody == nil {
+		s.triSoABody = func(_ int, c parallel.Chunk) { s.triRangeSoA(s.pm, s.px, s.py, c.Lo, c.Hi) }
+	}
+	if s.vertBody == nil {
+		s.vertBody = func(_, _ int, span parallel.Chunk) float64 { return s.vertRange(s.pm, span.Lo, span.Hi) }
+	}
+	err := sched.Run(ctx, m.NumTris(), workers, s.triSoABody)
+	var total float64
+	if err == nil {
+		total, err = s.red.Reduce(ctx, sched, nv, workers, s.vertBody)
+	}
+	s.pm, s.px, s.py = nil, nil, nil
+	return total, err
+}
+
+// GlobalParallelSoA is GlobalParallel with the EdgeRatio metric evaluated
+// over the engines' SoA coordinate mirrors (x[i], y[i] is vertex i) instead
+// of m.Coords — m's connectivity is used, its coordinates are ignored. The
+// value is bit-identical to GlobalParallel with quality.EdgeRatio over an
+// equal m.Coords, at every worker count and schedule.
+func (s *Scratch) GlobalParallelSoA(ctx context.Context, m *mesh.Mesh, x, y []float64, workers int, sched parallel.Scheduler) (float64, error) {
+	sum, err := s.globalSumSoA(ctx, m, x, y, workers, sched)
+	if err != nil {
+		return 0, err
+	}
+	nv := m.NumVerts()
+	if nv == 0 {
+		return 0, nil
+	}
+	return sum / float64(nv), nil
+}
+
+// VertexQualitiesParallelSoA is VertexQualitiesParallel with the EdgeRatio
+// metric over the SoA coordinate mirrors; see GlobalParallelSoA. The slice
+// is valid until the next call on s.
+func (s *Scratch) VertexQualitiesParallelSoA(ctx context.Context, m *mesh.Mesh, x, y []float64, workers int, sched parallel.Scheduler) ([]float64, error) {
+	if _, err := s.globalSumSoA(ctx, m, x, y, workers, sched); err != nil {
+		return nil, err
+	}
+	return s.vert, nil
 }
 
 // TriangleQualities is like the package-level TriangleQualities but writes

@@ -170,6 +170,29 @@ func (s *Scratch) tetRange(m *mesh.TetMesh, met TetMetric, lo, hi int) {
 	}
 }
 
+// tetRangeSoA is tetRange over the structure-of-arrays coordinate mirrors
+// with the devirtualized MeanRatio3 body replayed on points assembled from
+// the raw slices — bit-identical to tetRange over an equal m.Coords; the 3D
+// twin of triRangeSoA.
+func (s *Scratch) tetRangeSoA(m *mesh.TetMesh, x, y, z []float64, lo, hi int) {
+	tri := s.tri
+	for i, tv := range m.Tets[lo:hi] {
+		a := geom.Point3{X: x[tv[0]], Y: y[tv[0]], Z: z[tv[0]]}
+		b := geom.Point3{X: x[tv[1]], Y: y[tv[1]], Z: z[tv[1]]}
+		c := geom.Point3{X: x[tv[2]], Y: y[tv[2]], Z: z[tv[2]]}
+		d := geom.Point3{X: x[tv[3]], Y: y[tv[3]], Z: z[tv[3]]}
+		q := 0.0
+		if vol6 := geom.Orient3DValue(a, b, c, d); vol6 > 0 {
+			s := a.Dist2(b) + a.Dist2(c) + a.Dist2(d) + b.Dist2(c) + b.Dist2(d) + c.Dist2(d)
+			if s != 0 {
+				// vol6 is 6V, so 3V = vol6/2 (matching MeanRatio3.Tet).
+				q = 12 * math.Cbrt((vol6/2)*(vol6/2)) / s
+			}
+		}
+		tri[lo+i] = q
+	}
+}
+
 // vertRange3 is the 3D twin of vertRange: it fills s.vert for vertices
 // [lo, hi) from the tet qualities in s.tri and returns their left-to-right
 // quality sum.
@@ -222,6 +245,65 @@ func (s *Scratch) globalSum3(ctx context.Context, m *mesh.TetMesh, met TetMetric
 	}
 	s.ptm, s.ptmt = nil, nil
 	return total, err
+}
+
+// globalSumSoA3 is the 3D twin of globalSumSoA: the tet pass is tetRangeSoA
+// (MeanRatio3), the vertex-average and reduction are the shared code, so the
+// sum is bit-identical to globalSum3 over an equal m.Coords.
+func (s *Scratch) globalSumSoA3(ctx context.Context, m *mesh.TetMesh, x, y, z []float64, workers int, sched parallel.Scheduler) (float64, error) {
+	s.tri = grow(s.tri, m.NumTets())
+	s.vert = grow(s.vert, m.NumVerts())
+	nv := m.NumVerts()
+	if sched == nil || workers <= 1 {
+		s.tetRangeSoA(m, x, y, z, 0, m.NumTets())
+		var total float64
+		for b := 0; b < parallel.ReduceBlocks(nv); b++ {
+			span := parallel.BlockSpan(nv, b)
+			total += s.vertRange3(m, span.Lo, span.Hi)
+		}
+		return total, nil
+	}
+	s.ptm, s.px, s.py, s.pz = m, x, y, z
+	if s.tetSoABody == nil {
+		s.tetSoABody = func(_ int, c parallel.Chunk) { s.tetRangeSoA(s.ptm, s.px, s.py, s.pz, c.Lo, c.Hi) }
+	}
+	if s.vert3Body == nil {
+		s.vert3Body = func(_, _ int, span parallel.Chunk) float64 { return s.vertRange3(s.ptm, span.Lo, span.Hi) }
+	}
+	err := sched.Run(ctx, m.NumTets(), workers, s.tetSoABody)
+	var total float64
+	if err == nil {
+		total, err = s.red.Reduce(ctx, sched, nv, workers, s.vert3Body)
+	}
+	s.ptm, s.px, s.py, s.pz = nil, nil, nil, nil
+	return total, err
+}
+
+// TetGlobalParallelSoA is TetGlobalParallel with the MeanRatio3 metric
+// evaluated over the engines' SoA coordinate mirrors (x[i], y[i], z[i] is
+// vertex i) instead of m.Coords — m's connectivity is used, its coordinates
+// are ignored. Bit-identical to TetGlobalParallel with quality.MeanRatio3
+// over an equal m.Coords, at every worker count and schedule.
+func (s *Scratch) TetGlobalParallelSoA(ctx context.Context, m *mesh.TetMesh, x, y, z []float64, workers int, sched parallel.Scheduler) (float64, error) {
+	sum, err := s.globalSumSoA3(ctx, m, x, y, z, workers, sched)
+	if err != nil {
+		return 0, err
+	}
+	nv := m.NumVerts()
+	if nv == 0 {
+		return 0, nil
+	}
+	return sum / float64(nv), nil
+}
+
+// TetVertexQualitiesParallelSoA is TetVertexQualitiesParallel with the
+// MeanRatio3 metric over the SoA coordinate mirrors; see
+// TetGlobalParallelSoA. The slice is valid until the next call on s.
+func (s *Scratch) TetVertexQualitiesParallelSoA(ctx context.Context, m *mesh.TetMesh, x, y, z []float64, workers int, sched parallel.Scheduler) ([]float64, error) {
+	if _, err := s.globalSumSoA3(ctx, m, x, y, z, workers, sched); err != nil {
+		return nil, err
+	}
+	return s.vert, nil
 }
 
 // TetQualities is like the package-level TetQualities but writes into the

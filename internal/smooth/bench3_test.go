@@ -20,6 +20,41 @@ const convergedBenchCells = 40
 // per-iteration mean-ratio pass over the tets is even more expensive
 // relative to the sweep than in 2D (six tets per interior vertex, a cbrt
 // per tet), so this is where the parallel measurement pays most.
+// BenchmarkRunSmart3 is the 3D twin of BenchmarkRunSmart: the smart-kernel
+// accept test recomputes the mean-ratio of every incident tet twice per
+// vertex visit, so the monomorphic SoA evaluation dominates the fast path's
+// win here.
+func BenchmarkRunSmart3(b *testing.B) {
+	base, err := mesh.GenerateTetCube(16, 16, 16, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, path := range []struct {
+		name   string
+		noFast bool
+	}{{"iface", true}, {"fast", false}} {
+		b.Run(fmt.Sprintf("path=%s", path.name), func(b *testing.B) {
+			m := base.Clone()
+			s := NewSmoother3()
+			opt := Options3{
+				MaxIters: 4, Tol: -1, Traversal: StorageOrder,
+				Kernel: SmartKernel3{}, NoFastPath: path.noFast,
+			}
+			if _, err := s.Run(ctx, m, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(ctx, m, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkRunConverged3(b *testing.B) {
 	base, err := mesh.GenerateTetCube(convergedBenchCells, convergedBenchCells, convergedBenchCells, 0.3)
 	if err != nil {

@@ -217,6 +217,41 @@ func BenchmarkRunConverged(b *testing.B) {
 	}
 }
 
+// BenchmarkRunSmart measures the smart-kernel convergence loop on both
+// engine paths: iface is the generic in-place sweep (an interface dispatch
+// into SmartKernel.Update, which itself dispatches the metric per incident
+// triangle) with the serial measurement pass; fast is the monomorphic SoA
+// accept-test sweep with the parallel reduction. The sweep is serial either
+// way (in-place semantics), so the gap is pure devirtualization plus the
+// measurement parallelism.
+func BenchmarkRunSmart(b *testing.B) {
+	base := benchMesh(b)
+	ctx := context.Background()
+	for _, path := range []struct {
+		name   string
+		noFast bool
+	}{{"iface", true}, {"fast", false}} {
+		b.Run(fmt.Sprintf("path=%s", path.name), func(b *testing.B) {
+			m := base.Clone()
+			s := NewSmoother()
+			opt := Options{
+				MaxIters: 4, Tol: -1, Traversal: StorageOrder,
+				Kernel: SmartKernel{}, NoFastPath: path.noFast,
+			}
+			if _, err := s.Run(ctx, m, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(ctx, m, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSweepKernels measures one sweep per update kernel, all through
 // the same engine path.
 func BenchmarkSweepKernels(b *testing.B) {

@@ -26,6 +26,15 @@ type Smoother struct {
 	counts []int64
 	qs     quality.Scratch
 
+	// Structure-of-arrays mirrors of the coordinate and Jacobi scratch
+	// buffers (cx[i], cy[i] is vertex i). Fast-path runs pack m.Coords into
+	// them at sweep entry and commit back at exit, so the hot loops read
+	// and write per-axis float64 slices instead of gathering Point structs;
+	// see fastpath.go. Between pack and commit the mirrors are
+	// authoritative and m.Coords is stale.
+	cx, cy []float64
+	nx, ny []float64
+
 	// sched is the resolved chunk scheduler, cached by name so repeated
 	// runs with the same Options.Schedule reuse its per-worker scratch.
 	sched     parallel.Scheduler
@@ -58,10 +67,12 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 	if kern == nil {
 		kern = PlainKernel{}
 	}
+	// In-place (Gauss-Seidel style) sweeps always run serially — the update
+	// order is the semantics — but Workers > 1 is still meaningful: the
+	// quality measurements parallelize (bit-identically; see
+	// quality.GlobalParallel), which is where in-place runs spend much of
+	// their time.
 	inPlace := opt.GaussSeidel || kern.InPlace()
-	if inPlace && opt.Workers != 1 {
-		return Result{}, fmt.Errorf("smooth: in-place (Gauss-Seidel style) updates require a single worker, got %d", opt.Workers)
-	}
 	if opt.Trace != nil && opt.Trace.NumCores() < opt.Workers {
 		return Result{}, fmt.Errorf("smooth: trace buffer has %d cores, need %d", opt.Trace.NumCores(), opt.Workers)
 	}
@@ -86,12 +97,21 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 	if err != nil {
 		return Result{}, err
 	}
+
+	// Fast-path runs operate on the SoA mirrors: pack the coordinates now
+	// and commit whatever state the mirrors hold on every exit, so the
+	// documented contract — the mesh holds the coordinates of the last
+	// completed sweep — survives cancellation and errors unchanged.
+	soa := s.soaEligible(kern, opt)
 	var next []geom.Point
-	if !inPlace {
+	if soa {
+		s.packCoords(m, !inPlace)
+		defer s.commitCoords(m)
+	} else if !inPlace {
 		next = s.nextBuffer(len(m.Coords))
 	}
 
-	q0, err := s.qs.GlobalParallel(ctx, m, met, qworkers, qsched)
+	q0, err := s.measure(ctx, m, met, qworkers, qsched, soa)
 	if err != nil {
 		return Result{}, err
 	}
@@ -109,7 +129,7 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 		if prevQ >= opt.GoalQuality {
 			break
 		}
-		acc, err := s.sweep(ctx, m, kern, inPlace, visit, next, opt)
+		acc, err := s.sweep(ctx, m, kern, inPlace, soa, visit, next, opt)
 		res.Accesses += acc
 		if err != nil {
 			return res, err
@@ -122,7 +142,7 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 			continue
 		}
 
-		q, err := s.qs.GlobalParallel(ctx, m, met, qworkers, qsched)
+		q, err := s.measure(ctx, m, met, qworkers, qsched, soa)
 		if err != nil {
 			return res, err
 		}
@@ -136,13 +156,74 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 	return res, nil
 }
 
+// soaEligible reports whether the run can operate on the SoA coordinate
+// mirrors: an untraced, un-ablated run of a built-in kernel whose whole
+// sweep has a monomorphic SoA loop in fastpath.go. The smart kernel
+// qualifies only with the metric its accept test devirtualizes; the Jacobi
+// kernels only without the Gauss-Seidel ablation (whose in-place sweep goes
+// through the interface Update).
+func (s *Smoother) soaEligible(kern Kernel, opt Options) bool {
+	if opt.Trace != nil || opt.NoFastPath {
+		return false
+	}
+	switch k := kern.(type) {
+	case PlainKernel, WeightedKernel, ConstrainedKernel:
+		return !opt.GaussSeidel
+	case SmartKernel:
+		_, ok := k.Metric.(quality.EdgeRatio)
+		return ok
+	}
+	return false
+}
+
+// packCoords fills the SoA mirrors from m.Coords (and sizes the Jacobi
+// next-buffer mirrors when the run needs them). Plain float64 copies, so
+// every bit pattern — NaNs, signed zeros — survives the round trip.
+func (s *Smoother) packCoords(m *mesh.Mesh, jacobi bool) {
+	n := len(m.Coords)
+	s.cx, s.cy = growFloats(s.cx, n), growFloats(s.cy, n)
+	for i, p := range m.Coords {
+		s.cx[i], s.cy[i] = p.X, p.Y
+	}
+	if jacobi {
+		s.nx, s.ny = growFloats(s.nx, n), growFloats(s.ny, n)
+	}
+}
+
+// commitCoords writes the SoA mirrors back to m.Coords; the inverse of
+// packCoords.
+func (s *Smoother) commitCoords(m *mesh.Mesh) {
+	for i := range m.Coords {
+		m.Coords[i] = geom.Point{X: s.cx[i], Y: s.cy[i]}
+	}
+}
+
+// measure returns the global quality of the current coordinates. SoA runs
+// with the devirtualized metric measure the mirrors directly; SoA runs with
+// any other metric first commit the mirrors so the interface-dispatch pass
+// sees current coordinates. Either way the value is bit-identical to the
+// non-SoA run's measurement.
+func (s *Smoother) measure(ctx context.Context, m *mesh.Mesh, met quality.Metric, qworkers int, qsched parallel.Scheduler, soa bool) (float64, error) {
+	if soa {
+		if _, ok := met.(quality.EdgeRatio); ok {
+			return s.qs.GlobalParallelSoA(ctx, m, s.cx, s.cy, qworkers, qsched)
+		}
+		s.commitCoords(m)
+	}
+	return s.qs.GlobalParallel(ctx, m, met, qworkers, qsched)
+}
+
 // sweep performs one iteration with the given kernel. Jacobi-style kernels
 // compute into the next buffer across worker chunks — distributed by the
 // resolved scheduler — and commit afterwards; in-place kernels apply each
 // update immediately (serial). Returns the number of vertex accesses.
-func (s *Smoother) sweep(ctx context.Context, m *mesh.Mesh, kern Kernel, inPlace bool, visit []int32, next []geom.Point, opt Options) (int64, error) {
+func (s *Smoother) sweep(ctx context.Context, m *mesh.Mesh, kern Kernel, inPlace, soa bool, visit []int32, next []geom.Point, opt Options) (int64, error) {
 	tb := opt.Trace
 	if inPlace {
+		if soa {
+			// Only the smart kernel is both in-place and SoA-eligible.
+			return sweepInPlaceSmart(m.Tris, m.TriStart, m.TriList, m.AdjStart, m.AdjList, s.cx, s.cy, visit), nil
+		}
 		var accesses int64
 		for _, v := range visit {
 			traceTouch(tb, 0, m, v)
@@ -156,15 +237,29 @@ func (s *Smoother) sweep(ctx context.Context, m *mesh.Mesh, kern Kernel, inPlace
 	// counts accumulate (each worker id runs on one goroutine per sweep, so
 	// no atomics are needed).
 	counts := s.countsBuffer(opt.Workers)
-	err := s.sched.Run(ctx, len(visit), opt.Workers, s.sweepBody(m, kern, visit, next, counts, opt))
+	var body func(worker int, ch parallel.Chunk)
+	if soa {
+		body = s.sweepBodySoA(m, kern, visit, counts)
+	} else {
+		body = s.sweepBody(m, kern, visit, next, counts, opt)
+	}
+	err := s.sched.Run(ctx, len(visit), opt.Workers, body)
 	var accesses int64
 	for _, c := range counts {
 		accesses += c
 	}
 	if err != nil {
 		// Canceled mid-sweep: the next buffer may be incomplete, so do not
-		// commit it; the mesh keeps the previous iteration's coordinates.
+		// commit it; the mesh (or its SoA mirror) keeps the previous
+		// iteration's coordinates.
 		return accesses, err
+	}
+	if soa {
+		cx, cy, nx, ny := s.cx, s.cy, s.nx, s.ny
+		for _, v := range visit {
+			cx[v], cy[v] = nx[v], ny[v]
+		}
+		return accesses, nil
 	}
 	for _, v := range visit {
 		m.Coords[v] = next[v]
@@ -172,29 +267,33 @@ func (s *Smoother) sweep(ctx context.Context, m *mesh.Mesh, kern Kernel, inPlace
 	return accesses, nil
 }
 
-// sweepBody selects the chunk body for one Jacobi sweep: a monomorphic
-// fast-path loop for the built-in kernels (see fastpath.go), or the generic
-// interface-dispatch loop for user kernels, traced runs, and the NoFastPath
-// ablation. Either way the body allocates once per sweep (the closure), as
+// sweepBodySoA selects the monomorphic SoA chunk body for one Jacobi sweep
+// of a built-in kernel (see fastpath.go); only called when soaEligible
+// approved the kernel. The body allocates once per sweep (the closure), as
 // the engine always has.
-func (s *Smoother) sweepBody(m *mesh.Mesh, kern Kernel, visit []int32, next []geom.Point, counts []int64, opt Options) func(worker int, ch parallel.Chunk) {
-	if opt.Trace == nil && !opt.NoFastPath {
-		adjStart, adjList, coords := m.AdjStart, m.AdjList, m.Coords
-		switch k := kern.(type) {
-		case PlainKernel:
-			return func(w int, ch parallel.Chunk) {
-				counts[w] += sweepChunkPlain(adjStart, adjList, coords, next, visit[ch.Lo:ch.Hi])
-			}
-		case WeightedKernel:
-			return func(w int, ch parallel.Chunk) {
-				counts[w] += sweepChunkWeighted(adjStart, adjList, coords, next, visit[ch.Lo:ch.Hi])
-			}
-		case ConstrainedKernel:
-			return func(w int, ch parallel.Chunk) {
-				counts[w] += sweepChunkConstrained(adjStart, adjList, coords, next, visit[ch.Lo:ch.Hi], k.MaxDisplacement)
-			}
+func (s *Smoother) sweepBodySoA(m *mesh.Mesh, kern Kernel, visit []int32, counts []int64) func(worker int, ch parallel.Chunk) {
+	adjStart, adjList := m.AdjStart, m.AdjList
+	cx, cy, nx, ny := s.cx, s.cy, s.nx, s.ny
+	switch k := kern.(type) {
+	case PlainKernel:
+		return func(w int, ch parallel.Chunk) {
+			counts[w] += sweepChunkPlain(adjStart, adjList, cx, cy, nx, ny, visit[ch.Lo:ch.Hi])
+		}
+	case WeightedKernel:
+		return func(w int, ch parallel.Chunk) {
+			counts[w] += sweepChunkWeighted(adjStart, adjList, cx, cy, nx, ny, visit[ch.Lo:ch.Hi])
+		}
+	case ConstrainedKernel:
+		return func(w int, ch parallel.Chunk) {
+			counts[w] += sweepChunkConstrained(adjStart, adjList, cx, cy, nx, ny, visit[ch.Lo:ch.Hi], k.MaxDisplacement)
 		}
 	}
+	panic("smooth: sweepBodySoA called with non-fast-path kernel")
+}
+
+// sweepBody builds the generic interface-dispatch chunk body for one Jacobi
+// sweep — user kernels, traced runs, and the NoFastPath ablation.
+func (s *Smoother) sweepBody(m *mesh.Mesh, kern Kernel, visit []int32, next []geom.Point, counts []int64, opt Options) func(worker int, ch parallel.Chunk) {
 	tb := opt.Trace
 	return func(w int, ch parallel.Chunk) {
 		var acc int64
@@ -274,6 +373,15 @@ func (s *Smoother) nextBuffer(n int) []geom.Point {
 	}
 	s.next = s.next[:n]
 	return s.next
+}
+
+// growFloats returns a length-n scratch slice reusing buf's storage when it
+// fits; contents are unspecified until written.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // countsBuffer returns a zeroed per-worker access-count slice.

@@ -38,8 +38,9 @@ type Options3 struct {
 	Traversal Traversal
 	// Kernel is the per-vertex update rule (default PlainKernel3{}).
 	Kernel Kernel3
-	// GaussSeidel selects in-place updates for a Jacobi-style kernel. Only
-	// valid with Workers == 1.
+	// GaussSeidel selects in-place updates for a Jacobi-style kernel. The
+	// in-place sweep is serial at any worker count; Workers > 1
+	// parallelizes the quality measurements.
 	GaussSeidel bool
 	// CheckEvery measures global quality every CheckEvery-th sweep instead
 	// of after every sweep (default 1); see Options.CheckEvery.
@@ -90,6 +91,11 @@ type Smoother3 struct {
 	counts []int64
 	qs     quality.Scratch
 
+	// Structure-of-arrays mirrors of the coordinate and Jacobi scratch
+	// buffers; see the Smoother fields of the same names.
+	cx, cy, cz []float64
+	nx, ny, nz []float64
+
 	sched     parallel.Scheduler
 	schedName string
 }
@@ -117,10 +123,8 @@ func (s *Smoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Options3) (Res
 	if kern == nil {
 		kern = PlainKernel3{}
 	}
+	// In-place sweeps run serially regardless of Workers; see Smoother.Run.
 	inPlace := opt.GaussSeidel || kern.InPlace()
-	if inPlace && opt.Workers != 1 {
-		return Result{}, fmt.Errorf("smooth: in-place (Gauss-Seidel style) updates require a single worker, got %d", opt.Workers)
-	}
 	if opt.Trace != nil && opt.Trace.NumCores() < opt.Workers {
 		return Result{}, fmt.Errorf("smooth: trace buffer has %d cores, need %d", opt.Trace.NumCores(), opt.Workers)
 	}
@@ -141,12 +145,18 @@ func (s *Smoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Options3) (Res
 	if err != nil {
 		return Result{}, err
 	}
+
+	// SoA pack/commit bracket; see Smoother.Run.
+	soa := s.soaEligible(kern, opt)
 	var next []geom.Point3
-	if !inPlace {
+	if soa {
+		s.packCoords(m, !inPlace)
+		defer s.commitCoords(m)
+	} else if !inPlace {
 		next = s.nextBuffer(len(m.Coords))
 	}
 
-	q0, err := s.qs.TetGlobalParallel(ctx, m, met, qworkers, qsched)
+	q0, err := s.measure(ctx, m, met, qworkers, qsched, soa)
 	if err != nil {
 		return Result{}, err
 	}
@@ -164,7 +174,7 @@ func (s *Smoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Options3) (Res
 		if prevQ >= opt.GoalQuality {
 			break
 		}
-		acc, err := s.sweep(ctx, m, kern, inPlace, visit, next, opt)
+		acc, err := s.sweep(ctx, m, kern, inPlace, soa, visit, next, opt)
 		res.Accesses += acc
 		if err != nil {
 			return res, err
@@ -177,7 +187,7 @@ func (s *Smoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Options3) (Res
 			continue
 		}
 
-		q, err := s.qs.TetGlobalParallel(ctx, m, met, qworkers, qsched)
+		q, err := s.measure(ctx, m, met, qworkers, qsched, soa)
 		if err != nil {
 			return res, err
 		}
@@ -191,12 +201,65 @@ func (s *Smoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Options3) (Res
 	return res, nil
 }
 
+// soaEligible reports whether the run can operate on the SoA coordinate
+// mirrors; the 3D twin of Smoother.soaEligible (the smart kernel qualifies
+// with the MeanRatio3 accept metric).
+func (s *Smoother3) soaEligible(kern Kernel3, opt Options3) bool {
+	if opt.Trace != nil || opt.NoFastPath {
+		return false
+	}
+	switch k := kern.(type) {
+	case PlainKernel3, WeightedKernel3, ConstrainedKernel3:
+		return !opt.GaussSeidel
+	case SmartKernel3:
+		_, ok := k.Metric.(quality.MeanRatio3)
+		return ok
+	}
+	return false
+}
+
+// packCoords fills the SoA mirrors from m.Coords; see Smoother.packCoords.
+func (s *Smoother3) packCoords(m *mesh.TetMesh, jacobi bool) {
+	n := len(m.Coords)
+	s.cx, s.cy, s.cz = growFloats(s.cx, n), growFloats(s.cy, n), growFloats(s.cz, n)
+	for i, p := range m.Coords {
+		s.cx[i], s.cy[i], s.cz[i] = p.X, p.Y, p.Z
+	}
+	if jacobi {
+		s.nx, s.ny, s.nz = growFloats(s.nx, n), growFloats(s.ny, n), growFloats(s.nz, n)
+	}
+}
+
+// commitCoords writes the SoA mirrors back to m.Coords; the inverse of
+// packCoords.
+func (s *Smoother3) commitCoords(m *mesh.TetMesh) {
+	for i := range m.Coords {
+		m.Coords[i] = geom.Point3{X: s.cx[i], Y: s.cy[i], Z: s.cz[i]}
+	}
+}
+
+// measure returns the global quality of the current coordinates; see
+// Smoother.measure (the SoA pass devirtualizes MeanRatio3 in 3D).
+func (s *Smoother3) measure(ctx context.Context, m *mesh.TetMesh, met quality.TetMetric, qworkers int, qsched parallel.Scheduler, soa bool) (float64, error) {
+	if soa {
+		if _, ok := met.(quality.MeanRatio3); ok {
+			return s.qs.TetGlobalParallelSoA(ctx, m, s.cx, s.cy, s.cz, qworkers, qsched)
+		}
+		s.commitCoords(m)
+	}
+	return s.qs.TetGlobalParallel(ctx, m, met, qworkers, qsched)
+}
+
 // sweep performs one iteration with the given kernel; see Smoother.sweep —
 // the structure (Jacobi next-buffer, scheduler-distributed chunks, serial
 // commit, cancellation without partial commit) is identical.
-func (s *Smoother3) sweep(ctx context.Context, m *mesh.TetMesh, kern Kernel3, inPlace bool, visit []int32, next []geom.Point3, opt Options3) (int64, error) {
+func (s *Smoother3) sweep(ctx context.Context, m *mesh.TetMesh, kern Kernel3, inPlace, soa bool, visit []int32, next []geom.Point3, opt Options3) (int64, error) {
 	tb := opt.Trace
 	if inPlace {
+		if soa {
+			// Only the smart kernel is both in-place and SoA-eligible.
+			return sweepInPlaceSmart3(m.Tets, m.TetStart, m.TetList, m.AdjStart, m.AdjList, s.cx, s.cy, s.cz, visit), nil
+		}
 		var accesses int64
 		for _, v := range visit {
 			traceTouch3(tb, 0, m, v)
@@ -207,7 +270,13 @@ func (s *Smoother3) sweep(ctx context.Context, m *mesh.TetMesh, kern Kernel3, in
 	}
 
 	counts := s.countsBuffer(opt.Workers)
-	err := s.sched.Run(ctx, len(visit), opt.Workers, s.sweepBody(m, kern, visit, next, counts, opt))
+	var body func(worker int, ch parallel.Chunk)
+	if soa {
+		body = s.sweepBodySoA(m, kern, visit, counts)
+	} else {
+		body = s.sweepBody(m, kern, visit, next, counts, opt)
+	}
+	err := s.sched.Run(ctx, len(visit), opt.Workers, body)
 	var accesses int64
 	for _, c := range counts {
 		accesses += c
@@ -216,32 +285,44 @@ func (s *Smoother3) sweep(ctx context.Context, m *mesh.TetMesh, kern Kernel3, in
 		// Canceled mid-sweep: do not commit the possibly-incomplete buffer.
 		return accesses, err
 	}
+	if soa {
+		cx, cy, cz, nx, ny, nz := s.cx, s.cy, s.cz, s.nx, s.ny, s.nz
+		for _, v := range visit {
+			cx[v], cy[v], cz[v] = nx[v], ny[v], nz[v]
+		}
+		return accesses, nil
+	}
 	for _, v := range visit {
 		m.Coords[v] = next[v]
 	}
 	return accesses, nil
 }
 
-// sweepBody selects the chunk body for one 3D Jacobi sweep; see
-// Smoother.sweepBody.
-func (s *Smoother3) sweepBody(m *mesh.TetMesh, kern Kernel3, visit []int32, next []geom.Point3, counts []int64, opt Options3) func(worker int, ch parallel.Chunk) {
-	if opt.Trace == nil && !opt.NoFastPath {
-		adjStart, adjList, coords := m.AdjStart, m.AdjList, m.Coords
-		switch k := kern.(type) {
-		case PlainKernel3:
-			return func(w int, ch parallel.Chunk) {
-				counts[w] += sweepChunkPlain3(adjStart, adjList, coords, next, visit[ch.Lo:ch.Hi])
-			}
-		case WeightedKernel3:
-			return func(w int, ch parallel.Chunk) {
-				counts[w] += sweepChunkWeighted3(adjStart, adjList, coords, next, visit[ch.Lo:ch.Hi])
-			}
-		case ConstrainedKernel3:
-			return func(w int, ch parallel.Chunk) {
-				counts[w] += sweepChunkConstrained3(adjStart, adjList, coords, next, visit[ch.Lo:ch.Hi], k.MaxDisplacement)
-			}
+// sweepBodySoA selects the monomorphic SoA chunk body for one 3D Jacobi
+// sweep; see Smoother.sweepBodySoA.
+func (s *Smoother3) sweepBodySoA(m *mesh.TetMesh, kern Kernel3, visit []int32, counts []int64) func(worker int, ch parallel.Chunk) {
+	adjStart, adjList := m.AdjStart, m.AdjList
+	cx, cy, cz, nx, ny, nz := s.cx, s.cy, s.cz, s.nx, s.ny, s.nz
+	switch k := kern.(type) {
+	case PlainKernel3:
+		return func(w int, ch parallel.Chunk) {
+			counts[w] += sweepChunkPlain3(adjStart, adjList, cx, cy, cz, nx, ny, nz, visit[ch.Lo:ch.Hi])
+		}
+	case WeightedKernel3:
+		return func(w int, ch parallel.Chunk) {
+			counts[w] += sweepChunkWeighted3(adjStart, adjList, cx, cy, cz, nx, ny, nz, visit[ch.Lo:ch.Hi])
+		}
+	case ConstrainedKernel3:
+		return func(w int, ch parallel.Chunk) {
+			counts[w] += sweepChunkConstrained3(adjStart, adjList, cx, cy, cz, nx, ny, nz, visit[ch.Lo:ch.Hi], k.MaxDisplacement)
 		}
 	}
+	panic("smooth: sweepBodySoA called with non-fast-path kernel")
+}
+
+// sweepBody builds the generic interface-dispatch chunk body for one 3D
+// Jacobi sweep; see Smoother.sweepBody.
+func (s *Smoother3) sweepBody(m *mesh.TetMesh, kern Kernel3, visit []int32, next []geom.Point3, counts []int64, opt Options3) func(worker int, ch parallel.Chunk) {
 	tb := opt.Trace
 	return func(w int, ch parallel.Chunk) {
 		var acc int64

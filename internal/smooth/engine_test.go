@@ -213,9 +213,22 @@ func TestSmootherReuseMatchesFresh(t *testing.T) {
 	}
 }
 
-func TestEngineRejectsParallelInPlaceKernel(t *testing.T) {
-	m := genMesh(t, 500)
-	if _, err := Run(m, Options{Workers: 2, Kernel: SmartKernel{}}); err == nil {
-		t.Error("parallel in-place kernel accepted")
+func TestEngineParallelInPlaceKernelSerialSweep(t *testing.T) {
+	// An in-place kernel with Workers > 1 runs its sweep serially and
+	// parallelizes only the measurement passes — bit-identical to the
+	// single-worker run.
+	serial := genMesh(t, 500)
+	resS, err := Run(serial, Options{Kernel: SmartKernel{}, MaxIters: 3, Tol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := genMesh(t, 500)
+	resP, err := Run(par, Options{Workers: 2, Kernel: SmartKernel{}, MaxIters: 3, Tol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordsEqual(t, "parallel-measurement smart", par, serial)
+	if resP.Accesses != resS.Accesses || resP.FinalQuality != resS.FinalQuality {
+		t.Errorf("parallel-measurement smart run differs: %+v vs %+v", resP, resS)
 	}
 }

@@ -1,14 +1,21 @@
 package smooth
 
-import "lams/internal/geom"
+import (
+	"math"
 
-// Monomorphic sweep loops for the built-in Jacobi kernels. The generic
-// sweep body pays an interface dispatch per vertex (kern.Update), which
-// blocks inlining of the ~10-flop Laplacian update and forces the mesh's
-// CSR base pointers to be reloaded on every call. These specializations
-// inline the whole update into one loop over the chunk: the AdjStart
-// bounds are read once per vertex, the adjacency is walked as a direct
-// sub-slice, and the coordinate arrays stay in registers.
+	"lams/internal/geom"
+)
+
+// Monomorphic sweep loops for the built-in kernels, operating on the
+// engines' structure-of-arrays coordinate mirrors. The generic sweep body
+// pays an interface dispatch per vertex (kern.Update), which blocks inlining
+// of the ~10-flop Laplacian update and forces the mesh's CSR base pointers
+// to be reloaded on every call. These specializations inline the whole
+// update into one loop over the chunk: the AdjStart bounds are read once per
+// vertex, the adjacency is walked as a direct sub-slice, and — with the
+// coordinates split into per-axis float64 slices — the inner gather loop is
+// plain unit-stride-indexed loads the compiler can bounds-check-eliminate
+// and vectorize, instead of struct loads.
 //
 // Every loop replays its kernel's Update arithmetic operation-for-operation
 // (the same additions in the same order, the same reciprocal-vs-division
@@ -18,48 +25,48 @@ import "lams/internal/geom"
 //
 // The mesh parameters come in as the raw CSR arrays rather than the mesh so
 // the 2D and 3D engines share the shape; each function returns the chunk's
-// access count.
+// or sweep's access count.
 
 // sweepChunkPlain is PlainKernel.Update inlined over a chunk.
-func sweepChunkPlain(adjStart, adjList []int32, coords, next []geom.Point, visit []int32) int64 {
+func sweepChunkPlain(adjStart, adjList []int32, x, y, nx, ny []float64, visit []int32) int64 {
 	var acc int64
 	for _, v := range visit {
 		lo, hi := adjStart[v], adjStart[v+1]
 		var sx, sy float64
 		for _, w := range adjList[lo:hi] {
-			p := coords[w]
-			sx += p.X
-			sy += p.Y
+			sx += x[w]
+			sy += y[w]
 		}
 		inv := 1 / float64(hi-lo)
-		next[v] = geom.Point{X: sx * inv, Y: sy * inv}
+		nx[v] = sx * inv
+		ny[v] = sy * inv
 		acc += int64(hi-lo) + 1
 	}
 	return acc
 }
 
 // sweepChunkWeighted is WeightedKernel.Update inlined over a chunk.
-func sweepChunkWeighted(adjStart, adjList []int32, coords, next []geom.Point, visit []int32) int64 {
+func sweepChunkWeighted(adjStart, adjList []int32, x, y, nx, ny []float64, visit []int32) int64 {
 	var acc int64
 	for _, v := range visit {
 		lo, hi := adjStart[v], adjStart[v+1]
-		cur := coords[v]
+		cx, cy := x[v], y[v]
 		var sx, sy, wsum float64
 		for _, w := range adjList[lo:hi] {
-			p := coords[w]
-			d := cur.Dist(p)
+			px, py := x[w], y[w]
+			d := math.Hypot(cx-px, cy-py)
 			wt := 1.0
 			if d > 0 {
 				wt = 1 / d
 			}
-			sx += wt * p.X
-			sy += wt * p.Y
+			sx += wt * px
+			sy += wt * py
 			wsum += wt
 		}
 		if wsum == 0 {
-			next[v] = cur
+			nx[v], ny[v] = cx, cy
 		} else {
-			next[v] = geom.Point{X: sx / wsum, Y: sy / wsum}
+			nx[v], ny[v] = sx/wsum, sy/wsum
 		}
 		acc += int64(hi-lo) + 1
 	}
@@ -68,57 +75,114 @@ func sweepChunkWeighted(adjStart, adjList []int32, coords, next []geom.Point, vi
 
 // sweepChunkConstrained is ConstrainedKernel.Update inlined over a chunk
 // (note the division form of the Eq. (1) target, matching plainDivTarget).
-func sweepChunkConstrained(adjStart, adjList []int32, coords, next []geom.Point, visit []int32, maxDisplacement float64) int64 {
+func sweepChunkConstrained(adjStart, adjList []int32, x, y, nx, ny []float64, visit []int32, maxDisplacement float64) int64 {
 	var acc int64
 	for _, v := range visit {
 		lo, hi := adjStart[v], adjStart[v+1]
 		var sx, sy float64
 		for _, w := range adjList[lo:hi] {
-			p := coords[w]
-			sx += p.X
-			sy += p.Y
+			sx += x[w]
+			sy += y[w]
 		}
 		n := float64(hi - lo)
-		target := geom.Point{X: sx / n, Y: sy / n}
-		cur := coords[v]
-		d := target.Sub(cur)
-		if norm := d.Norm(); norm > maxDisplacement {
-			target = cur.Add(d.Scale(maxDisplacement / norm))
+		tx, ty := sx/n, sy/n
+		cx, cy := x[v], y[v]
+		dx, dy := tx-cx, ty-cy
+		if norm := math.Hypot(dx, dy); norm > maxDisplacement {
+			s := maxDisplacement / norm
+			tx, ty = cx+s*dx, cy+s*dy
 		}
-		next[v] = target
+		nx[v], ny[v] = tx, ty
+		acc += int64(hi-lo) + 1
+	}
+	return acc
+}
+
+// vertexQualityER is quality.VertexQuality with the EdgeRatio metric,
+// replayed over the SoA mirrors: the same per-triangle EdgeRatio.Triangle
+// arithmetic in incidence order, the same average. It is the smart kernel's
+// accept test without the two interface dispatches (metric and kernel) the
+// generic path pays per incident triangle.
+func vertexQualityER(tris [][3]int32, triStart, triList []int32, x, y []float64, v int32) float64 {
+	a, b := triStart[v], triStart[v+1]
+	if a == b {
+		return 0
+	}
+	var s float64
+	for _, t := range triList[a:b] {
+		tv := tris[t]
+		pa := geom.Point{X: x[tv[0]], Y: y[tv[0]]}
+		pb := geom.Point{X: x[tv[1]], Y: y[tv[1]]}
+		pc := geom.Point{X: x[tv[2]], Y: y[tv[2]]}
+		e0 := pa.Dist(pb)
+		e1 := pb.Dist(pc)
+		e2 := pc.Dist(pa)
+		lo := math.Min(e0, math.Min(e1, e2))
+		hi := math.Max(e0, math.Max(e1, e2))
+		q := 0.0
+		if hi != 0 {
+			q = lo / hi
+		}
+		s += q
+	}
+	return s / float64(b-a)
+}
+
+// sweepInPlaceSmart is SmartKernel.Update (with the EdgeRatio metric)
+// inlined over the whole visit sequence: quality before, Eq. (1) target in
+// division form, quality after with the candidate applied, revert on
+// decrease. In-place semantics require the serial full-sweep loop rather
+// than a chunk body.
+func sweepInPlaceSmart(tris [][3]int32, triStart, triList, adjStart, adjList []int32, x, y []float64, visit []int32) int64 {
+	var acc int64
+	for _, v := range visit {
+		before := vertexQualityER(tris, triStart, triList, x, y, v)
+		lo, hi := adjStart[v], adjStart[v+1]
+		var sx, sy float64
+		for _, w := range adjList[lo:hi] {
+			sx += x[w]
+			sy += y[w]
+		}
+		n := float64(hi - lo)
+		oldX, oldY := x[v], y[v]
+		x[v], y[v] = sx/n, sy/n
+		if vertexQualityER(tris, triStart, triList, x, y, v) < before {
+			x[v], y[v] = oldX, oldY // reject the move
+		}
 		acc += int64(hi-lo) + 1
 	}
 	return acc
 }
 
 // sweepChunkPlain3 is PlainKernel3.Update inlined over a chunk.
-func sweepChunkPlain3(adjStart, adjList []int32, coords, next []geom.Point3, visit []int32) int64 {
+func sweepChunkPlain3(adjStart, adjList []int32, x, y, z, nx, ny, nz []float64, visit []int32) int64 {
 	var acc int64
 	for _, v := range visit {
 		lo, hi := adjStart[v], adjStart[v+1]
 		var sx, sy, sz float64
 		for _, w := range adjList[lo:hi] {
-			p := coords[w]
-			sx += p.X
-			sy += p.Y
-			sz += p.Z
+			sx += x[w]
+			sy += y[w]
+			sz += z[w]
 		}
 		inv := 1 / float64(hi-lo)
-		next[v] = geom.Point3{X: sx * inv, Y: sy * inv, Z: sz * inv}
+		nx[v] = sx * inv
+		ny[v] = sy * inv
+		nz[v] = sz * inv
 		acc += int64(hi-lo) + 1
 	}
 	return acc
 }
 
 // sweepChunkWeighted3 is WeightedKernel3.Update inlined over a chunk.
-func sweepChunkWeighted3(adjStart, adjList []int32, coords, next []geom.Point3, visit []int32) int64 {
+func sweepChunkWeighted3(adjStart, adjList []int32, x, y, z, nx, ny, nz []float64, visit []int32) int64 {
 	var acc int64
 	for _, v := range visit {
 		lo, hi := adjStart[v], adjStart[v+1]
-		cur := coords[v]
+		cur := geom.Point3{X: x[v], Y: y[v], Z: z[v]}
 		var sx, sy, sz, wsum float64
 		for _, w := range adjList[lo:hi] {
-			p := coords[w]
+			p := geom.Point3{X: x[w], Y: y[w], Z: z[w]}
 			d := cur.Dist(p)
 			wt := 1.0
 			if d > 0 {
@@ -130,9 +194,9 @@ func sweepChunkWeighted3(adjStart, adjList []int32, coords, next []geom.Point3, 
 			wsum += wt
 		}
 		if wsum == 0 {
-			next[v] = cur
+			nx[v], ny[v], nz[v] = cur.X, cur.Y, cur.Z
 		} else {
-			next[v] = geom.Point3{X: sx / wsum, Y: sy / wsum, Z: sz / wsum}
+			nx[v], ny[v], nz[v] = sx/wsum, sy/wsum, sz/wsum
 		}
 		acc += int64(hi-lo) + 1
 	}
@@ -140,25 +204,76 @@ func sweepChunkWeighted3(adjStart, adjList []int32, coords, next []geom.Point3, 
 }
 
 // sweepChunkConstrained3 is ConstrainedKernel3.Update inlined over a chunk.
-func sweepChunkConstrained3(adjStart, adjList []int32, coords, next []geom.Point3, visit []int32, maxDisplacement float64) int64 {
+func sweepChunkConstrained3(adjStart, adjList []int32, x, y, z, nx, ny, nz []float64, visit []int32, maxDisplacement float64) int64 {
 	var acc int64
 	for _, v := range visit {
 		lo, hi := adjStart[v], adjStart[v+1]
 		var sx, sy, sz float64
 		for _, w := range adjList[lo:hi] {
-			p := coords[w]
-			sx += p.X
-			sy += p.Y
-			sz += p.Z
+			sx += x[w]
+			sy += y[w]
+			sz += z[w]
 		}
 		n := float64(hi - lo)
 		target := geom.Point3{X: sx / n, Y: sy / n, Z: sz / n}
-		cur := coords[v]
+		cur := geom.Point3{X: x[v], Y: y[v], Z: z[v]}
 		d := target.Sub(cur)
 		if norm := d.Norm(); norm > maxDisplacement {
 			target = cur.Add(d.Scale(maxDisplacement / norm))
 		}
-		next[v] = target
+		nx[v], ny[v], nz[v] = target.X, target.Y, target.Z
+		acc += int64(hi-lo) + 1
+	}
+	return acc
+}
+
+// tetQualityMR3 is quality.TetVertexQuality with the MeanRatio3 metric,
+// replayed over the SoA mirrors; the 3D twin of vertexQualityER (and the
+// same devirtualized MeanRatio3 body quality.Scratch's tetRange uses).
+func tetQualityMR3(tets [][4]int32, tetStart, tetList []int32, x, y, z []float64, v int32) float64 {
+	a, b := tetStart[v], tetStart[v+1]
+	if a == b {
+		return 0
+	}
+	var s float64
+	for _, t := range tetList[a:b] {
+		tv := tets[t]
+		pa := geom.Point3{X: x[tv[0]], Y: y[tv[0]], Z: z[tv[0]]}
+		pb := geom.Point3{X: x[tv[1]], Y: y[tv[1]], Z: z[tv[1]]}
+		pc := geom.Point3{X: x[tv[2]], Y: y[tv[2]], Z: z[tv[2]]}
+		pd := geom.Point3{X: x[tv[3]], Y: y[tv[3]], Z: z[tv[3]]}
+		q := 0.0
+		if vol6 := geom.Orient3DValue(pa, pb, pc, pd); vol6 > 0 {
+			ss := pa.Dist2(pb) + pa.Dist2(pc) + pa.Dist2(pd) + pb.Dist2(pc) + pb.Dist2(pd) + pc.Dist2(pd)
+			if ss != 0 {
+				// vol6 is 6V, so 3V = vol6/2 (matching MeanRatio3.Tet).
+				q = 12 * math.Cbrt((vol6/2)*(vol6/2)) / ss
+			}
+		}
+		s += q
+	}
+	return s / float64(b-a)
+}
+
+// sweepInPlaceSmart3 is SmartKernel3.Update (with the MeanRatio3 metric)
+// inlined over the whole visit sequence; the 3D twin of sweepInPlaceSmart.
+func sweepInPlaceSmart3(tets [][4]int32, tetStart, tetList, adjStart, adjList []int32, x, y, z []float64, visit []int32) int64 {
+	var acc int64
+	for _, v := range visit {
+		before := tetQualityMR3(tets, tetStart, tetList, x, y, z, v)
+		lo, hi := adjStart[v], adjStart[v+1]
+		var sx, sy, sz float64
+		for _, w := range adjList[lo:hi] {
+			sx += x[w]
+			sy += y[w]
+			sz += z[w]
+		}
+		n := float64(hi - lo)
+		oldX, oldY, oldZ := x[v], y[v], z[v]
+		x[v], y[v], z[v] = sx/n, sy/n, sz/n
+		if tetQualityMR3(tets, tetStart, tetList, x, y, z, v) < before {
+			x[v], y[v], z[v] = oldX, oldY, oldZ // reject the move
+		}
 		acc += int64(hi-lo) + 1
 	}
 	return acc

@@ -3,8 +3,10 @@ package smooth
 import (
 	"context"
 	"fmt"
+	"math"
 	"testing"
 
+	"lams/internal/geom"
 	"lams/internal/parallel"
 	"lams/internal/quality"
 	"lams/internal/trace"
@@ -42,17 +44,18 @@ func resultsEqual(t *testing.T, got, want Result) {
 }
 
 // TestFastPathEquivalence is the 2D fast-path equivalence suite: for every
-// built-in Jacobi kernel, every built-in metric, every registered schedule,
-// both traversals, and workers 1–16, the monomorphic fast path with the
-// parallel quality reduction must produce bit-identical coordinates,
-// accesses, and quality values to the NoFastPath reference (interface
-// dispatch, serial measurement) run serially. This is the invariant that
-// makes the fast paths a pure optimization: there is no input on which the
-// two paths can be told apart by results.
+// built-in kernel (including the in-place smart kernel), every built-in
+// metric, every registered schedule, both traversals, and workers 1–16, the
+// monomorphic fast path — the SoA sweep loops and the parallel quality
+// reduction — must produce bit-identical coordinates, accesses, and quality
+// values to the NoFastPath reference (interface dispatch, serial
+// measurement) run serially. This is the invariant that makes the fast
+// paths a pure optimization: there is no input on which the two paths can
+// be told apart by results.
 func TestFastPathEquivalence(t *testing.T) {
 	base := genMesh(t, 1600)
 	const iters = 3
-	kernels := []Kernel{PlainKernel{}, WeightedKernel{}, ConstrainedKernel{MaxDisplacement: 0.05}}
+	kernels := []Kernel{PlainKernel{}, WeightedKernel{}, ConstrainedKernel{MaxDisplacement: 0.05}, SmartKernel{}}
 	metrics := []quality.Metric{quality.EdgeRatio{}, quality.MinAngle{}, quality.AspectRatio{}}
 
 	for _, kern := range kernels {
@@ -93,7 +96,7 @@ func TestFastPathEquivalence(t *testing.T) {
 func TestFastPathEquivalence3(t *testing.T) {
 	base := genTetMesh(t, 9)
 	const iters = 3
-	kernels := []Kernel3{PlainKernel3{}, WeightedKernel3{}, ConstrainedKernel3{MaxDisplacement: 0.02}}
+	kernels := []Kernel3{PlainKernel3{}, WeightedKernel3{}, ConstrainedKernel3{MaxDisplacement: 0.02}, SmartKernel3{}}
 	metrics := []quality.TetMetric{quality.MeanRatio3{}, quality.EdgeRatio3{}}
 
 	for _, kern := range kernels {
@@ -181,6 +184,112 @@ func TestSmartKernelMetricHoist(t *testing.T) {
 	}
 	coords3Equal(t, "smart hoist 3D", implicit3, explicit3)
 	resultsEqual(t, resI3, resE3)
+}
+
+// TestSmartGenericAcceptMetricEquivalence pins the generic fallback for
+// smart kernels with an accept metric the fast path does not devirtualize:
+// the run is SoA-ineligible and goes through the interface Update, and its
+// parallel-measurement results must still be bit-identical to the NoFastPath
+// serial reference.
+func TestSmartGenericAcceptMetricEquivalence(t *testing.T) {
+	base := genMesh(t, 900)
+	ref := base.Clone()
+	refRes, err := Run(ref, Options{
+		MaxIters: 3, Tol: -1, Kernel: SmartKernel{Metric: quality.MinAngle{}}, NoFastPath: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := base.Clone()
+	res, err := Run(got, Options{
+		MaxIters: 3, Tol: -1, Kernel: SmartKernel{Metric: quality.MinAngle{}}, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordsEqual(t, "smart generic accept metric", got, ref)
+	resultsEqual(t, res, refRes)
+
+	base3 := genTetMesh(t, 5)
+	ref3 := base3.Clone()
+	refRes3, err := Run3(ref3, Options3{
+		MaxIters: 3, Tol: -1, Kernel: SmartKernel3{Metric: quality.EdgeRatio3{}}, NoFastPath: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got3 := base3.Clone()
+	res3, err := Run3(got3, Options3{
+		MaxIters: 3, Tol: -1, Kernel: SmartKernel3{Metric: quality.EdgeRatio3{}}, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords3Equal(t, "smart generic accept metric 3D", got3, ref3)
+	resultsEqual(t, res3, refRes3)
+}
+
+// soaSpecials is the set of coordinate values whose bit patterns a plain
+// float64 copy must preserve: quiet NaNs (including a payload that a
+// comparison-based round trip would lose), both signed zeros, both
+// infinities, and denormals.
+var soaSpecials = []float64{
+	math.NaN(),
+	math.Float64frombits(0x7FF8_0000_0000_BEEF), // NaN with payload
+	math.Copysign(0, -1),
+	0,
+	math.Inf(1),
+	math.Inf(-1),
+	math.SmallestNonzeroFloat64,
+	-math.SmallestNonzeroFloat64,
+	1.5, -2.25,
+}
+
+// TestSoAPackCommitRoundTrip is the SoA pack/commit property test: packing
+// m.Coords into the engines' per-axis mirrors and committing back must
+// reproduce every coordinate bit-for-bit — including NaNs (which compare
+// unequal to themselves, so an arithmetic round trip would pass vacuously or
+// fail spuriously), NaN payloads, and the sign of zero.
+func TestSoAPackCommitRoundTrip(t *testing.T) {
+	m := genMesh(t, 300)
+	for i := range m.Coords {
+		m.Coords[i].X = soaSpecials[i%len(soaSpecials)]
+		m.Coords[i].Y = soaSpecials[(i*3+1)%len(soaSpecials)]
+	}
+	want := append([]geom.Point(nil), m.Coords...)
+	s := NewSmoother()
+	s.packCoords(m, true)
+	for i := range m.Coords {
+		m.Coords[i] = geom.Point{} // commit must fully overwrite
+	}
+	s.commitCoords(m)
+	for i := range m.Coords {
+		if math.Float64bits(m.Coords[i].X) != math.Float64bits(want[i].X) ||
+			math.Float64bits(m.Coords[i].Y) != math.Float64bits(want[i].Y) {
+			t.Fatalf("vertex %d: round trip %v -> %v", i, want[i], m.Coords[i])
+		}
+	}
+
+	m3 := genTetMesh(t, 4)
+	for i := range m3.Coords {
+		m3.Coords[i].X = soaSpecials[i%len(soaSpecials)]
+		m3.Coords[i].Y = soaSpecials[(i*3+1)%len(soaSpecials)]
+		m3.Coords[i].Z = soaSpecials[(i*7+2)%len(soaSpecials)]
+	}
+	want3 := append([]geom.Point3(nil), m3.Coords...)
+	s3 := NewSmoother3()
+	s3.packCoords(m3, true)
+	for i := range m3.Coords {
+		m3.Coords[i] = geom.Point3{}
+	}
+	s3.commitCoords(m3)
+	for i := range m3.Coords {
+		if math.Float64bits(m3.Coords[i].X) != math.Float64bits(want3[i].X) ||
+			math.Float64bits(m3.Coords[i].Y) != math.Float64bits(want3[i].Y) ||
+			math.Float64bits(m3.Coords[i].Z) != math.Float64bits(want3[i].Z) {
+			t.Fatalf("vertex %d: round trip %v -> %v", i, want3[i], m3.Coords[i])
+		}
+	}
 }
 
 // TestCheckEverySemantics pins the documented CheckEvery contract: the
@@ -317,4 +426,46 @@ func TestConvergeSteadyStateAllocs(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestSmartConvergeSteadyStateAllocs pins the smart-kernel (SoA in-place)
+// steady-state budget in both dimensions: the SoA pack/commit and the
+// monomorphic accept-test sweep reuse the engine mirrors, so a warm Run adds
+// nothing beyond the history slice and the measurement pass's per-sweep
+// closures — the same budget as the Jacobi engines.
+func TestSmartConvergeSteadyStateAllocs(t *testing.T) {
+	ctx := context.Background()
+	const iters = 3
+	t.Run("dim=2", func(t *testing.T) {
+		m := genMesh(t, 4000)
+		s := NewSmoother()
+		opt := Options{MaxIters: iters, Tol: -1, Traversal: StorageOrder, Workers: 8, Kernel: SmartKernel{}}
+		if _, err := s.Run(ctx, m, opt); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := s.Run(ctx, m, opt); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > float64(2*iters+4) {
+			t.Errorf("%.0f allocs per steady-state %d-iteration smart converge loop, want <= %d", allocs, iters, 2*iters+4)
+		}
+	})
+	t.Run("dim=3", func(t *testing.T) {
+		m := genTetMesh(t, 8)
+		s := NewSmoother3()
+		opt := Options3{MaxIters: iters, Tol: -1, Traversal: StorageOrder, Workers: 8, Kernel: SmartKernel3{}}
+		if _, err := s.Run(ctx, m, opt); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := s.Run(ctx, m, opt); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > float64(2*iters+4) {
+			t.Errorf("%.0f allocs per steady-state %d-iteration smart converge loop, want <= %d", allocs, iters, 2*iters+4)
+		}
+	})
 }

@@ -86,8 +86,9 @@ type Options struct {
 	Traversal Traversal
 	// Kernel is the per-vertex update rule (default PlainKernel{}, Eq. 1).
 	Kernel Kernel
-	// GaussSeidel selects in-place updates for a Jacobi-style kernel. Only
-	// valid with Workers == 1.
+	// GaussSeidel selects in-place updates for a Jacobi-style kernel. The
+	// in-place sweep is serial at any worker count (the update order is the
+	// semantics); Workers > 1 parallelizes the quality measurements.
 	GaussSeidel bool
 	// CheckEvery measures global quality every CheckEvery-th sweep instead
 	// of after every sweep (default 1). Quality measurement costs a full

@@ -70,8 +70,9 @@ func KernelForVariant(v Variant, met quality.Metric, maxDisplacement float64) (K
 // VariantOptions configures RunVariant.
 type VariantOptions struct {
 	// Options embeds the base smoothing options; GaussSeidel and Trace are
-	// honored, Workers must be 1 for Smart (its accept test reads updated
-	// local state).
+	// honored. Smart sweeps run serially at any worker count (the accept
+	// test reads updated local state); Workers > 1 parallelizes their
+	// quality measurements.
 	Options
 	Variant Variant
 	// MaxDisplacement bounds each per-iteration move for Constrained
@@ -84,9 +85,6 @@ type VariantOptions struct {
 // engine.
 func RunVariant(m *mesh.Mesh, opt VariantOptions) (Result, error) {
 	base := opt.Options.withDefaults()
-	if opt.Variant == Smart && base.Workers != 1 {
-		return Result{}, fmt.Errorf("smooth: smart variant is serial (got %d workers)", base.Workers)
-	}
 	kern, err := KernelForVariant(opt.Variant, base.Metric, opt.MaxDisplacement)
 	if err != nil {
 		return Result{}, err

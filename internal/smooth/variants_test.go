@@ -72,10 +72,33 @@ func TestVariantErrors(t *testing.T) {
 	if _, err := RunVariant(m, VariantOptions{Variant: Constrained}); err == nil {
 		t.Error("constrained without MaxDisplacement accepted")
 	}
-	opt := VariantOptions{Variant: Smart}
-	opt.Workers = 2
-	if _, err := RunVariant(m, opt); err == nil {
-		t.Error("parallel smart accepted")
+}
+
+func TestSmartVariantWorkersInvariant(t *testing.T) {
+	// Smart sweeps are serial at any worker count; Workers > 1 only
+	// parallelizes the measurement passes, so results are identical.
+	serial := genMesh(t, 600)
+	optS := VariantOptions{Variant: Smart}
+	optS.MaxIters = 3
+	optS.Tol = -1
+	resS, err := RunVariant(serial, optS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := genMesh(t, 600)
+	optP := optS
+	optP.Workers = 2
+	resP, err := RunVariant(par, optP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resP.FinalQuality != resS.FinalQuality || resP.Accesses != resS.Accesses {
+		t.Errorf("parallel smart variant differs: %+v vs %+v", resP, resS)
+	}
+	for v := range serial.Coords {
+		if par.Coords[v] != serial.Coords[v] {
+			t.Fatalf("vertex %d differs: %v vs %v", v, par.Coords[v], serial.Coords[v])
+		}
 	}
 }
 

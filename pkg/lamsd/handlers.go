@@ -599,7 +599,8 @@ type smoothRequest struct {
 	// StorageOrder sweeps in storage order instead of the quality-greedy
 	// traversal.
 	StorageOrder bool `json:"storage_order"`
-	// GaussSeidel applies updates in place (requires workers == 1).
+	// GaussSeidel applies updates in place. The in-place sweep is serial at
+	// any worker count; workers > 1 parallelizes the quality measurements.
 	GaussSeidel bool `json:"gauss_seidel"`
 }
 
@@ -777,10 +778,6 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	if workers < 1 || workers > s.cfg.MaxWorkers {
 		return smoothResponse{}, apiErrorf(http.StatusBadRequest,
 			"workers %d out of range [1,%d]", workers, s.cfg.MaxWorkers)
-	}
-	if (req.GaussSeidel || req.Kernel == "smart") && workers != 1 {
-		return smoothResponse{}, apiErrorf(http.StatusBadRequest,
-			"in-place updates (gauss_seidel or the smart kernel) require workers == 1, got %d", workers)
 	}
 	if req.MaxIters < 0 {
 		return smoothResponse{}, apiErrorf(http.StatusBadRequest, "max_iters %d is negative", req.MaxIters)

@@ -424,7 +424,9 @@ func TestServerSmooth(t *testing.T) {
 		{map[string]any{"kernel": "bogus"}, http.StatusBadRequest},
 		{map[string]any{"workers": -3}, http.StatusBadRequest},
 		{map[string]any{"workers": 10_000}, http.StatusBadRequest},
-		{map[string]any{"gauss_seidel": true, "workers": 4}, http.StatusBadRequest},
+		// In-place updates with workers > 1 are valid: the sweep runs
+		// serially and only the measurements parallelize.
+		{map[string]any{"gauss_seidel": true, "workers": 4, "max_iters": 2}, http.StatusOK},
 		{map[string]any{"kernel": "constrained"}, http.StatusBadRequest},
 		{map[string]any{"metric": "bogus"}, http.StatusBadRequest},
 		{map[string]any{"max_iters": -1}, http.StatusBadRequest},
