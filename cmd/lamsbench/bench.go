@@ -10,6 +10,7 @@ import (
 
 	"lams/internal/mesh"
 	"lams/internal/order"
+	"lams/internal/partition"
 	"lams/internal/quality"
 	"lams/internal/smooth"
 )
@@ -80,6 +81,29 @@ type setupResult struct {
 	NsPerOp int64  `json:"ns_per_op"` // best (minimum) rep
 }
 
+// partitionLayoutResult describes one dimension's decomposition in the
+// partition section: the layout statistics (partition sizes, ghost
+// fraction, exchange volumes) plus the one-time decomposition cost, the
+// domain-decomposition analogue of the setup section's cold-start phases.
+type partitionLayoutResult struct {
+	Name string `json:"name"`
+	Dim  int    `json:"dim"`
+	Mesh string `json:"mesh"`
+	// DecomposeNs is the best (minimum) wall-clock of partitioning the mesh
+	// and building every partition's local mesh and exchange lists.
+	DecomposeNs int64           `json:"decompose_ns"`
+	Stats       partition.Stats `json:"stats"`
+}
+
+// partitionSection is the -partitions report section: the decomposition
+// config, per-dimension layout statistics, and the converge-loop timing
+// cells (paths "single" and "partitioned") appended to the main results.
+type partitionSection struct {
+	Partitions  int                     `json:"partitions"`
+	Partitioner string                  `json:"partitioner"`
+	Layouts     []partitionLayoutResult `json:"layouts"`
+}
+
 // benchReport is the top-level JSON document.
 type benchReport struct {
 	Generated  time.Time     `json:"generated"`
@@ -87,7 +111,9 @@ type benchReport struct {
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	NumCPU     int           `json:"num_cpu"`
 	Setup      []setupResult `json:"setup"`
-	Results    []benchResult `json:"results"`
+	// Partition is present when the benchmark ran with -partitions > 1.
+	Partition *partitionSection `json:"partition,omitempty"`
+	Results   []benchResult     `json:"results"`
 }
 
 // pathTiming accumulates one path's interleaved reps.
@@ -226,7 +252,7 @@ func benchPair(opIface, opFast func() error) (iface, fast pathTiming, err error)
 }
 
 // runBenchJSON runs the converge benchmark and writes the report to path.
-func runBenchJSON(path, schedule string, verts2, cells3, checkEvery int) error {
+func runBenchJSON(path, schedule string, verts2, cells3, checkEvery, partitions int, partitioner string) error {
 	m2, err := mesh.Generate("carabiner", verts2)
 	if err != nil {
 		return fmt.Errorf("generating 2D bench mesh: %w", err)
@@ -316,11 +342,144 @@ func runBenchJSON(path, schedule string, verts2, cells3, checkEvery int) error {
 		report(os.Stderr, rep.Results[len(rep.Results)-2:])
 	}
 
+	if partitions > 1 {
+		if err := benchPartitions(ctx, &rep, m2, m3, partitions, partitioner, schedule, checkEvery); err != nil {
+			return err
+		}
+	}
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// benchPartitions runs the -partitions section: decomposition cost and
+// layout statistics for both benchmark meshes, plus interleaved
+// converge-loop timings of the single-engine run against the partitioned
+// multi-engine run (paths "single" and "partitioned"; Jacobi updates make
+// their results bit-identical, so the cells measure pure execution-layout
+// cost — halo exchange and barrier overhead against per-partition
+// locality).
+func benchPartitions(ctx context.Context, rep *benchReport, m2 *mesh.Mesh, m3 *mesh.TetMesh, k int, pname, schedule string, checkEvery int) error {
+	sec := &partitionSection{Partitions: k, Partitioner: pname}
+	rep.Partition = sec
+
+	addLayout := func(dim int, meshName string, in partition.Input, decompose func() error) error {
+		ns, err := timeSetup(decompose)
+		if err != nil {
+			return fmt.Errorf("partitioning (dim %d): %w", dim, err)
+		}
+		l, err := partition.New(in, k, pname)
+		if err != nil {
+			return err
+		}
+		lr := partitionLayoutResult{
+			Name: fmt.Sprintf("Partition/dim=%d/k=%d/%s", dim, k, pname),
+			Dim:  dim, Mesh: meshName, DecomposeNs: ns, Stats: l.Stats(),
+		}
+		sec.Layouts = append(sec.Layouts, lr)
+		fmt.Fprintf(os.Stderr, "%-44s %12d ns/op  ghosts %.4f\n", lr.Name, lr.DecomposeNs, lr.Stats.GhostFraction)
+		return nil
+	}
+	if err := addLayout(2, "carabiner", partition.FromMesh(m2), func() error {
+		l, err := partition.New(partition.FromMesh(m2), k, pname)
+		if err != nil {
+			return err
+		}
+		for p := range l.Parts {
+			if _, _, err := partition.BuildLocal(m2, &l.Parts[p]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := addLayout(3, "cube", partition.FromTetMesh(m3), func() error {
+		l, err := partition.New(partition.FromTetMesh(m3), k, pname)
+		if err != nil {
+			return err
+		}
+		for p := range l.Parts {
+			if _, _, err := partition.BuildLocalTet(m3, &l.Parts[p]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Match the main loop's workers=4 cells so single/partitioned timings
+	// are directly comparable to the iface/fast pairs.
+	const workers = 4
+
+	// 2D cell: single engine vs partitioned driver, interleaved reps.
+	optS := smooth.Options{
+		MaxIters: benchIters, Tol: -1, Traversal: smooth.StorageOrder,
+		Workers: workers, Schedule: schedule, CheckEvery: checkEvery,
+	}
+	optP := optS
+	optP.Partitions, optP.Partitioner = k, pname
+	engS, engP := smooth.NewSmoother(), smooth.NewPartitionedSmoother()
+	meshS, meshP := m2.Clone(), m2.Clone()
+	warm, err := engS.Run(ctx, meshS.Clone(), optS)
+	if err != nil {
+		return err
+	}
+	if _, err := engP.Run(ctx, meshP.Clone(), optP); err != nil {
+		return err
+	}
+	ts, tp, err := benchPair(
+		func() error { _, err := engS.Run(ctx, meshS, optS); return err },
+		func() error { _, err := engP.Run(ctx, meshP, optP); return err },
+	)
+	if err != nil {
+		return err
+	}
+	base := benchResult{
+		Dim: 2, Mesh: "carabiner", Verts: m2.NumVerts(), Interior: len(m2.InteriorVerts),
+		Elements: m2.NumTris(), Workers: workers, Schedule: schedule,
+		CheckEvery: checkEvery, Iterations: warm.Iterations,
+		QualityTrajectory: warm.QualityHistory,
+	}
+	rep.Results = append(rep.Results, cell(base, "single", ts), cell(base, "partitioned", tp))
+	report(os.Stderr, rep.Results[len(rep.Results)-2:])
+
+	// 3D cell.
+	optS3 := smooth.Options3{
+		MaxIters: benchIters, Tol: -1, Traversal: smooth.StorageOrder,
+		Workers: workers, Schedule: schedule, CheckEvery: checkEvery,
+	}
+	optP3 := optS3
+	optP3.Partitions, optP3.Partitioner = k, pname
+	engS3, engP3 := smooth.NewSmoother3(), smooth.NewPartitionedSmoother3()
+	meshS3, meshP3 := m3.Clone(), m3.Clone()
+	warm3, err := engS3.Run(ctx, meshS3.Clone(), optS3)
+	if err != nil {
+		return err
+	}
+	if _, err := engP3.Run(ctx, meshP3.Clone(), optP3); err != nil {
+		return err
+	}
+	ts3, tp3, err := benchPair(
+		func() error { _, err := engS3.Run(ctx, meshS3, optS3); return err },
+		func() error { _, err := engP3.Run(ctx, meshP3, optP3); return err },
+	)
+	if err != nil {
+		return err
+	}
+	base3 := benchResult{
+		Dim: 3, Mesh: "cube", Verts: m3.NumVerts(), Interior: len(m3.InteriorVerts),
+		Elements: m3.NumTets(), Workers: workers, Schedule: schedule,
+		CheckEvery: checkEvery, Iterations: warm3.Iterations,
+		QualityTrajectory: warm3.QualityHistory,
+	}
+	rep.Results = append(rep.Results, cell(base3, "single", ts3), cell(base3, "partitioned", tp3))
+	report(os.Stderr, rep.Results[len(rep.Results)-2:])
+	return nil
 }
 
 // cell stamps one path's timings onto a copy of the cell's shared fields.

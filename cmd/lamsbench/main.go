@@ -5,7 +5,7 @@
 // Usage:
 //
 //	lamsbench [-exp id] [-verts n] [-full] [-meshes a,b,c] [-nowall] [-schedule static|guided|stealing] [-checkevery k]
-//	lamsbench -json FILE [-schedule s] [-benchverts n] [-benchcells n] [-checkevery k]
+//	lamsbench -json FILE [-schedule s] [-benchverts n] [-benchcells n] [-checkevery k] [-partitions k [-partitioner bfs|bisect]]
 //
 // Either mode takes -cpuprofile FILE and -memprofile FILE to write pprof
 // CPU and heap profiles of the run.
@@ -17,7 +17,10 @@
 // benchmark instead (full sweep+measure loops across dimensions, worker
 // counts, and the interface/fast engine paths, plus cold-start setup-phase
 // timings), writing machine-readable results to FILE; see BENCH_smooth.json
-// at the repository root for the committed baseline.
+// at the repository root for the committed baseline. Adding -partitions k
+// (k > 1) appends a domain-decomposition section: layout statistics and
+// decomposition cost for both benchmark meshes, plus interleaved timings of
+// the single-engine converge loop against the k-partition multi-engine run.
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 
 	"lams/internal/experiments"
 	"lams/internal/parallel"
+	"lams/internal/partition"
 )
 
 func main() {
@@ -45,6 +49,8 @@ func main() {
 		jsonOut    = flag.String("json", "", "run the converge-loop benchmark instead of the experiments and write machine-readable results to FILE")
 		benchVerts = flag.Int("benchverts", 262144, "target 2D mesh vertices for the -json benchmark (default: the 512x512-grid magnitude)")
 		benchCells = flag.Int("benchcells", 40, "cells per axis of the 3D cube for the -json benchmark (default 40, i.e. 40^3)")
+		partitions = flag.Int("partitions", 0, "with -json: also benchmark the k-partition multi-engine smoother against the single engine (0 skips the section)")
+		partnr     = flag.String("partitioner", "", "decomposition strategy for -partitions: "+strings.Join(partition.Names(), ", ")+" (default bfs)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to FILE")
 		memprofile = flag.String("memprofile", "", "write a heap profile to FILE at exit")
 	)
@@ -63,6 +69,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lamsbench: -checkevery %d: want >= 1\n", *checkevery)
 		os.Exit(2)
 	}
+	if *partitions < 0 || (*partitions != 0 && *partitions < 2) {
+		fmt.Fprintf(os.Stderr, "lamsbench: -partitions %d: want >= 2 (or 0 to skip the section)\n", *partitions)
+		os.Exit(2)
+	}
+	pname := *partnr
+	if pname == "" {
+		pname = partition.BFS
+	}
+	if _, err := partition.ByName(pname); err != nil {
+		fmt.Fprintln(os.Stderr, "lamsbench:", err)
+		os.Exit(2)
+	}
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lamsbench:", err)
@@ -74,7 +92,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *jsonOut != "" {
-		if err := runBenchJSON(*jsonOut, *schedule, *benchVerts, *benchCells, *checkevery); err != nil {
+		if err := runBenchJSON(*jsonOut, *schedule, *benchVerts, *benchCells, *checkevery, *partitions, pname); err != nil {
 			fail(err)
 		}
 		stopProfiles()

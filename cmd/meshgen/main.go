@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	meshgen [-verts n] [-out dir] [-mesh name] [-validate] [-dim 2|3] [-jitter j]
+//	meshgen [-verts n] [-out dir] [-domain name] [-validate] [-dim 2|3] [-jitter j]
 package main
 
 import (
@@ -20,7 +20,8 @@ func main() {
 	var (
 		verts    = flag.Int("verts", 20000, "target vertices per mesh")
 		out      = flag.String("out", ".", "output directory")
-		name     = flag.String("mesh", "", "single mesh to generate (default: all nine)")
+		name     = flag.String("mesh", "", "single mesh to generate (default: all nine); synonym for -domain")
+		domain   = flag.String("domain", "", "single Table-1 domain to generate (default: all nine); takes precedence over -mesh")
 		validate = flag.Bool("validate", true, "validate structural invariants")
 		dim      = flag.Int("dim", 2, "mesh dimension: 2 (triangle domains) or 3 (cube tet mesh)")
 		jitter   = flag.Float64("jitter", 0.3, "interior jitter fraction for -dim 3 (0 keeps the regular grid)")
@@ -54,6 +55,9 @@ func main() {
 	}
 
 	names := lams.Domains()
+	if *domain != "" {
+		*name = *domain
+	}
 	if *name != "" {
 		names = []string{*name}
 	}

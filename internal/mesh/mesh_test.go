@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"lams/internal/delaunay"
+	"lams/internal/domains"
 	"lams/internal/geom"
 )
 
@@ -262,6 +263,41 @@ func TestGenerateAllSmall(t *testing.T) {
 		s := m.Summary()
 		if s.MinDegree < 2 {
 			t.Errorf("%s: min degree %d", name, s.MinDegree)
+		}
+	}
+}
+
+// TestGenerateTilesDomainArea is the 2D analogue of TestGenerateTetCube's
+// volume check: every Table-1 generator must produce a triangulation that
+// tiles its domain polygon — triangle areas summing to the region's area.
+// Carving trims triangles whose centroid falls outside the (possibly
+// concave, holed) region, so slivers along curved boundaries are lost; the
+// tolerance is relative and absorbs that, while still catching a generator
+// gone stale (dropped triangles, wrong region, degenerate carving).
+func TestGenerateTilesDomainArea(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range domains.Names() {
+		d, err := domains.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Generate(name, 1500)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var area float64
+		for _, tri := range m.Tris {
+			area += geom.TriangleArea(m.Coords[tri[0]], m.Coords[tri[1]], m.Coords[tri[2]])
+		}
+		want := d.Region.Area()
+		if want <= 0 {
+			t.Fatalf("%s: region area %v", name, want)
+		}
+		if rel := math.Abs(area-want) / want; rel > 0.05 {
+			t.Errorf("%s: triangles tile %v of the domain's %v area (off by %.1f%%)",
+				name, area, want, 100*rel)
 		}
 	}
 }

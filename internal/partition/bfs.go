@@ -1,0 +1,59 @@
+package partition
+
+import "fmt"
+
+func init() {
+	Register(BFS, func() Partitioner { return bfsPartitioner{} })
+}
+
+// bfsPartitioner grows each partition by breadth-first search from the
+// lowest-index unassigned vertex until the partition reaches its size
+// target, then seeds the next one. Frontier vertices are visited in FIFO
+// order and neighbors pushed in adjacency (ascending-index) order, so the
+// assignment is fully determined by the topology. Partitions come out
+// connected whenever the remaining unassigned region is; on a disconnected
+// remainder the partition re-seeds at the lowest unassigned index and
+// keeps growing.
+type bfsPartitioner struct{}
+
+func (bfsPartitioner) Name() string { return BFS }
+
+func (bfsPartitioner) Assign(in Input, k int) ([]int32, error) {
+	n := in.NumVerts
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("partition: bfs: k=%d out of range [1,%d]", k, n)
+	}
+	owner := make([]int32, n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	want := targets(n, k)
+	queue := make([]int32, 0, n)
+	seed := int32(0) // lowest index that might still be unassigned
+	for p := 0; p < k; p++ {
+		size := 0
+		queue = queue[:0]
+		for size < want[p] {
+			if len(queue) == 0 {
+				// Fresh seed: the lowest-index unassigned vertex.
+				for owner[seed] != -1 {
+					seed++
+				}
+				queue = append(queue, seed)
+			}
+			v := queue[0]
+			queue = queue[1:]
+			if owner[v] != -1 {
+				continue
+			}
+			owner[v] = int32(p)
+			size++
+			for _, w := range in.Neighbors(v) {
+				if owner[w] == -1 {
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return owner, nil
+}

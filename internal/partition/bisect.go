@@ -1,0 +1,72 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+func init() {
+	Register(Bisect, func() Partitioner { return bisectPartitioner{} })
+}
+
+// bisectPartitioner is recursive coordinate bisection: split the vertex
+// set along the axis of largest coordinate extent at the size-proportional
+// cut, recurse on both halves. Sorting is by (coordinate, index) — a total
+// order — so the assignment is deterministic even with duplicate
+// coordinates. Non-power-of-two counts split the partition budget
+// unevenly (k/2 vs k-k/2) with the vertex cut placed proportionally.
+type bisectPartitioner struct{}
+
+func (bisectPartitioner) Name() string { return Bisect }
+
+func (bisectPartitioner) Assign(in Input, k int) ([]int32, error) {
+	n := in.NumVerts
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("partition: bisect: k=%d out of range [1,%d]", k, n)
+	}
+	owner := make([]int32, n)
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	bisectRec(in, ids, 0, k, owner)
+	return owner, nil
+}
+
+func bisectRec(in Input, ids []int32, base, parts int, owner []int32) {
+	if parts == 1 {
+		for _, v := range ids {
+			owner[v] = int32(base)
+		}
+		return
+	}
+	// Axis of largest extent; ties resolve to the lower axis index.
+	lo := in.Coord(ids[0])
+	hi := lo
+	for _, v := range ids[1:] {
+		c := in.Coord(v)
+		for a := 0; a < 3; a++ {
+			lo[a] = min(lo[a], c[a])
+			hi[a] = max(hi[a], c[a])
+		}
+	}
+	axis := 0
+	for a := 1; a < 3; a++ {
+		if hi[a]-lo[a] > hi[axis]-lo[axis] {
+			axis = a
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ci, cj := in.Coord(ids[i])[axis], in.Coord(ids[j])[axis]
+		if ci != cj {
+			return ci < cj
+		}
+		return ids[i] < ids[j]
+	})
+	// Cut proportionally to the partition budgets; len(ids) >= parts
+	// guarantees both sides keep at least one vertex per partition.
+	kl := parts / 2
+	nl := len(ids) * kl / parts
+	bisectRec(in, ids[:nl], base, kl, owner)
+	bisectRec(in, ids[nl:], base+kl, parts-kl, owner)
+}

@@ -1,0 +1,101 @@
+package partition
+
+import "context"
+
+// Exchanger moves halo coordinate payloads between partitions at a sweep
+// barrier. It is the seam a future wire transport (partitions sharded
+// across processes or machines) plugs into; the in-process implementation
+// is NewChanExchanger.
+//
+// Protocol: within one round, every partition calls Exchange exactly once
+// from its own goroutine — outgoing[i] is the flat coordinate payload for
+// the partition's Sends[i] link (len(Verts) vertices × the coordinate
+// dimension, vertex-major), and the returned incoming[i] matches its
+// Recvs[i] link the same way. Rounds are separated by a barrier among all
+// partitions (the smoothing driver's sweep barrier): outgoing buffers must
+// stay untouched until that barrier, and incoming buffers belong to the
+// exchanger and are valid until the partition's next call.
+type Exchanger interface {
+	Exchange(ctx context.Context, part int, outgoing [][]float64) ([][]float64, error)
+}
+
+// ChanExchanger is the in-process Exchanger: one single-slot buffered
+// channel per directed link of the layout. A round's sends all complete
+// without blocking (every slot is empty at the round barrier), so
+// partitions never deadlock regardless of the order their goroutines are
+// scheduled in; receives block only until the peer's send lands.
+// Cancellation mid-exchange returns ctx.Err() immediately — any payload
+// left in a slot is simply abandoned with the run.
+type ChanExchanger struct {
+	sendCh  [][]chan []float64 // [part][i] channel of the part's Sends[i] link
+	recvCh  [][]chan []float64 // [part][i] channel of the part's Recvs[i] link
+	recvBuf [][][]float64      // [part][i] owned storage the incoming payload is copied into
+}
+
+// NewChanExchanger wires a channel exchanger for the layout's links. dim
+// is the coordinate dimension of the payloads (2 or 3).
+func NewChanExchanger(l *Layout, dim int) *ChanExchanger {
+	e := &ChanExchanger{
+		sendCh:  make([][]chan []float64, l.K),
+		recvCh:  make([][]chan []float64, l.K),
+		recvBuf: make([][][]float64, l.K),
+	}
+	for p := range l.Parts {
+		part := &l.Parts[p]
+		e.sendCh[p] = make([]chan []float64, len(part.Sends))
+		e.recvCh[p] = make([]chan []float64, len(part.Recvs))
+		e.recvBuf[p] = make([][]float64, len(part.Recvs))
+		for i, lk := range part.Recvs {
+			e.recvBuf[p][i] = make([]float64, dim*len(lk.Verts))
+		}
+	}
+	for p := range l.Parts {
+		for i, lk := range l.Parts[p].Sends {
+			ch := make(chan []float64, 1)
+			e.sendCh[p][i] = ch
+			for j, rk := range l.Parts[lk.Peer].Recvs {
+				if rk.Peer == p {
+					e.recvCh[lk.Peer][j] = ch
+				}
+			}
+		}
+	}
+	return e
+}
+
+// Reset drains any payload a canceled round left in a channel slot,
+// restoring the empty-slots state a fresh round requires. Callers that
+// reuse one exchanger across runs call it before each run; it must not
+// run concurrently with Exchange.
+func (e *ChanExchanger) Reset() {
+	for _, chs := range e.sendCh {
+		for _, ch := range chs {
+			select {
+			case <-ch:
+			default:
+			}
+		}
+	}
+}
+
+// Exchange implements Exchanger: send every outgoing payload, then receive
+// (and copy into owned buffers) every incoming one.
+func (e *ChanExchanger) Exchange(ctx context.Context, part int, outgoing [][]float64) ([][]float64, error) {
+	for i, ch := range e.sendCh[part] {
+		select {
+		case ch <- outgoing[i]:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	incoming := e.recvBuf[part]
+	for i, ch := range e.recvCh[part] {
+		select {
+		case msg := <-ch:
+			copy(incoming[i], msg)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return incoming, nil
+}

@@ -1,0 +1,122 @@
+package partition
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestChanExchangerRoutesPayloads runs several rounds of a full halo
+// exchange on a real layout with one goroutine per partition (the driver's
+// shape) and checks every received payload is exactly what the owning
+// partition sent for that link and round.
+func TestChanExchangerRoutesPayloads(t *testing.T) {
+	in := FromMesh(gen2D(t, 600))
+	l, err := New(in, 4, BFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewChanExchanger(l, 2)
+	value := func(v int32, round, axis int) float64 {
+		return float64(v)*10 + float64(round) + float64(axis)/10
+	}
+	const rounds = 3
+	ctx := context.Background()
+	errs := make([]error, l.K)
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for p := range l.Parts {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				part := &l.Parts[p]
+				out := make([][]float64, len(part.Sends))
+				for i, lk := range part.Sends {
+					buf := make([]float64, 2*len(lk.Verts))
+					for j, v := range lk.Verts {
+						buf[2*j], buf[2*j+1] = value(v, round, 0), value(v, round, 1)
+					}
+					out[i] = buf
+				}
+				incoming, err := ex.Exchange(ctx, p, out)
+				if err != nil {
+					errs[p] = err
+					return
+				}
+				for i, lk := range part.Recvs {
+					for j, v := range lk.Verts {
+						if incoming[i][2*j] != value(v, round, 0) || incoming[i][2*j+1] != value(v, round, 1) {
+							t.Errorf("round %d: part %d received wrong payload for vertex %d from %d", round, p, v, lk.Peer)
+							return
+						}
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		for p, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d: part %d: %v", round, p, err)
+			}
+		}
+	}
+}
+
+// TestChanExchangerCancellation cancels a round in which one partition
+// never shows up: the waiting partitions must return ctx.Err() instead of
+// deadlocking, and after Reset the exchanger must serve a clean round.
+func TestChanExchangerCancellation(t *testing.T) {
+	in := FromMesh(gen2D(t, 400))
+	l, err := New(in, 3, BFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewChanExchanger(l, 2)
+	outFor := func(p int) [][]float64 {
+		part := &l.Parts[p]
+		out := make([][]float64, len(part.Sends))
+		for i, lk := range part.Sends {
+			out[i] = make([]float64, 2*len(lk.Verts))
+		}
+		return out
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	errs := make([]error, l.K)
+	// Partitions 1.. run the round; partition 0 never calls Exchange, so
+	// the others block on its payloads until the cancellation lands.
+	for p := 1; p < l.K; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			_, errs[p] = ex.Exchange(ctx, p, outFor(p))
+		}(p)
+	}
+	time.AfterFunc(10*time.Millisecond, cancel)
+	wg.Wait()
+	for p := 1; p < l.K; p++ {
+		if errs[p] != context.Canceled {
+			t.Fatalf("part %d: err = %v, want context.Canceled", p, errs[p])
+		}
+	}
+
+	// The abandoned round left payloads in some slots; Reset must clear
+	// them so a full round succeeds afterwards.
+	ex.Reset()
+	ctx = context.Background()
+	for p := range l.Parts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			_, errs[p] = ex.Exchange(ctx, p, outFor(p))
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("post-reset round: part %d: %v", p, err)
+		}
+	}
+}

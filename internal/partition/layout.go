@@ -1,0 +1,393 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Link is one directed halo-exchange edge: the vertices whose coordinates
+// one partition sends to (or receives from) a peer each sweep. Verts holds
+// global vertex indices in ascending order; the sender owns them, the
+// receiver holds them as ghosts. The lists on both ends of a directed edge
+// are identical, so payloads need no per-vertex framing — position in the
+// list is the identity.
+type Link struct {
+	// Peer is the partition index on the other end.
+	Peer int
+	// Verts are the exchanged vertices (global indices, ascending). Only
+	// movable (globally interior) vertices are exchanged: boundary
+	// coordinates never change, so their ghost copies stay valid.
+	Verts []int32
+}
+
+// Part is one partition of a mesh: the vertices it owns (and is alone
+// responsible for updating), the ghost vertices it reads but does not own,
+// the closure of elements incident to its owned vertices, and its
+// exchange lists. All index slices are ascending global indices.
+type Part struct {
+	// Index is this partition's position in Layout.Parts.
+	Index int
+	// Owned lists the vertices assigned to this partition.
+	Owned []int32
+	// Ghosts lists the vertices of this partition's elements owned by
+	// other partitions.
+	Ghosts []int32
+	// Elems lists every element incident to at least one owned vertex.
+	// This closure makes each owned vertex's neighborhood locally
+	// complete: a globally interior owned vertex sees all of its elements
+	// and neighbors, so its local Jacobi update is bit-identical to the
+	// global one.
+	Elems []int32
+	// Sends[i] holds the owned vertices whose coordinates this partition
+	// sends to Sends[i].Peer after each sweep; Recvs[i] the ghosts it
+	// receives from Recvs[i].Peer. Both are sorted by peer.
+	Sends []Link
+	Recvs []Link
+}
+
+// Layout is a complete decomposition of one mesh: the per-vertex owner map
+// plus the derived Parts.
+type Layout struct {
+	// K is the partition count.
+	K int
+	// Owner maps every vertex to the partition that owns it.
+	Owner []int32
+	// Parts holds the per-partition index sets and exchange lists.
+	Parts []Part
+}
+
+// New partitions the input with the named strategy ("" selects BFS) and
+// builds the full layout. k must be in [1, NumVerts].
+func New(in Input, k int, strategy string) (*Layout, error) {
+	p, err := ByName(strategy)
+	if err != nil {
+		return nil, err
+	}
+	owner, err := p.Assign(in, k)
+	if err != nil {
+		return nil, err
+	}
+	return Build(in, owner, k)
+}
+
+// Build derives the per-partition structure from a vertex→owner
+// assignment: owned and ghost vertex sets, element closures, and the
+// symmetric send/receive exchange lists.
+func Build(in Input, owner []int32, k int) (*Layout, error) {
+	if len(owner) != in.NumVerts {
+		return nil, fmt.Errorf("partition: owner map has %d entries, mesh has %d vertices", len(owner), in.NumVerts)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k=%d out of range", k)
+	}
+	l := &Layout{K: k, Owner: owner, Parts: make([]Part, k)}
+	for p := range l.Parts {
+		l.Parts[p].Index = p
+	}
+	for v, p := range owner {
+		if p < 0 || int(p) >= k {
+			return nil, fmt.Errorf("partition: vertex %d assigned to partition %d, want [0,%d)", v, p, k)
+		}
+		l.Parts[p].Owned = append(l.Parts[p].Owned, int32(v))
+	}
+	for p := range l.Parts {
+		if len(l.Parts[p].Owned) == 0 {
+			return nil, fmt.Errorf("partition: partition %d owns no vertices", p)
+		}
+	}
+
+	// Element closure: element e belongs to every partition owning one of
+	// its vertices. Iterating elements in ascending order keeps each
+	// Elems list sorted for free.
+	var mark [8]int32 // distinct owners seen in the current element
+	for e := int32(0); e < int32(in.NumElems); e++ {
+		seen := mark[:0]
+		for _, v := range in.Elem(e) {
+			p := owner[v]
+			dup := false
+			for _, q := range seen {
+				if q == p {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seen = append(seen, p)
+				l.Parts[p].Elems = append(l.Parts[p].Elems, e)
+			}
+		}
+	}
+
+	// Ghosts: the foreign vertices of each partition's elements. The
+	// stamp array dedupes without a per-partition set allocation.
+	stamp := make([]int32, in.NumVerts)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for p := range l.Parts {
+		part := &l.Parts[p]
+		for _, e := range part.Elems {
+			for _, v := range in.Elem(e) {
+				if owner[v] != int32(p) && stamp[v] != int32(p) {
+					stamp[v] = int32(p)
+					part.Ghosts = append(part.Ghosts, v)
+				}
+			}
+		}
+		sort.Slice(part.Ghosts, func(i, j int) bool { return part.Ghosts[i] < part.Ghosts[j] })
+	}
+
+	// Exchange lists: partition q receives each of its movable ghosts
+	// from the ghost's owner. Iterating receivers in ascending partition
+	// order and their ghost lists in ascending vertex order makes every
+	// Verts list ascending and both endpoints of a directed edge
+	// identical by construction.
+	sends := make([]map[int]*Link, k) // sender -> receiver -> link
+	for q := range l.Parts {
+		var recvs map[int]*Link
+		for _, g := range l.Parts[q].Ghosts {
+			if in.OnBoundary(g) {
+				continue
+			}
+			p := int(owner[g])
+			if recvs == nil {
+				recvs = make(map[int]*Link)
+			}
+			lk := recvs[p]
+			if lk == nil {
+				lk = &Link{Peer: p}
+				recvs[p] = lk
+				if sends[p] == nil {
+					sends[p] = make(map[int]*Link)
+				}
+			}
+			lk.Verts = append(lk.Verts, g)
+		}
+		for p, lk := range recvs {
+			l.Parts[q].Recvs = append(l.Parts[q].Recvs, Link{Peer: p, Verts: lk.Verts})
+			sends[p][q] = &Link{Peer: q, Verts: lk.Verts}
+		}
+		sort.Slice(l.Parts[q].Recvs, func(i, j int) bool { return l.Parts[q].Recvs[i].Peer < l.Parts[q].Recvs[j].Peer })
+	}
+	for p := range l.Parts {
+		for q, lk := range sends[p] {
+			l.Parts[p].Sends = append(l.Parts[p].Sends, Link{Peer: q, Verts: lk.Verts})
+		}
+		sort.Slice(l.Parts[p].Sends, func(i, j int) bool { return l.Parts[p].Sends[i].Peer < l.Parts[p].Sends[j].Peer })
+	}
+	return l, nil
+}
+
+// Validate checks the layout invariants against the mesh it was built
+// from: the owned sets cover the vertices disjointly, each element closure
+// is exactly the elements incident to owned vertices and every element is
+// covered, ghosts are exactly the foreign vertices of the closure, halo
+// closure holds (every neighbor of a movable owned vertex is locally
+// present), and the exchange lists are symmetric and cover every movable
+// ghost exactly once.
+func (l *Layout) Validate(in Input) error {
+	if len(l.Owner) != in.NumVerts {
+		return fmt.Errorf("partition: owner map has %d entries, mesh has %d vertices", len(l.Owner), in.NumVerts)
+	}
+	if len(l.Parts) != l.K {
+		return fmt.Errorf("partition: %d parts, K=%d", len(l.Parts), l.K)
+	}
+	ownedTotal := 0
+	for p := range l.Parts {
+		part := &l.Parts[p]
+		if part.Index != p {
+			return fmt.Errorf("partition: part %d has Index %d", p, part.Index)
+		}
+		ownedTotal += len(part.Owned)
+		prev := int32(-1)
+		for _, v := range part.Owned {
+			if v <= prev {
+				return fmt.Errorf("partition: part %d owned list not ascending", p)
+			}
+			prev = v
+			if l.Owner[v] != int32(p) {
+				return fmt.Errorf("partition: vertex %d in part %d owned list but Owner says %d", v, p, l.Owner[v])
+			}
+		}
+	}
+	if ownedTotal != in.NumVerts {
+		return fmt.Errorf("partition: owned sets cover %d of %d vertices", ownedTotal, in.NumVerts)
+	}
+
+	elemCover := make([]bool, in.NumElems)
+	for p := range l.Parts {
+		part := &l.Parts[p]
+		inClosure := func(e int32) bool {
+			for _, v := range in.Elem(e) {
+				if l.Owner[v] == int32(p) {
+					return true
+				}
+			}
+			return false
+		}
+		prev := int32(-1)
+		for _, e := range part.Elems {
+			if e <= prev {
+				return fmt.Errorf("partition: part %d element list not ascending", p)
+			}
+			prev = e
+			if !inClosure(e) {
+				return fmt.Errorf("partition: part %d holds element %d with no owned vertex", p, e)
+			}
+			elemCover[e] = true
+		}
+		// The converse — every incident element present — via counting:
+		// count the elements with an owned vertex and compare.
+		want := 0
+		for e := int32(0); e < int32(in.NumElems); e++ {
+			if inClosure(e) {
+				want++
+			}
+		}
+		if want != len(part.Elems) {
+			return fmt.Errorf("partition: part %d closure has %d elements, want %d", p, len(part.Elems), want)
+		}
+
+		// Ghosts: exactly the foreign vertices of the closure, ascending.
+		foreign := map[int32]bool{}
+		for _, e := range part.Elems {
+			for _, v := range in.Elem(e) {
+				if l.Owner[v] != int32(p) {
+					foreign[v] = true
+				}
+			}
+		}
+		if len(foreign) != len(part.Ghosts) {
+			return fmt.Errorf("partition: part %d has %d ghosts, want %d", p, len(part.Ghosts), len(foreign))
+		}
+		prev = -1
+		for _, g := range part.Ghosts {
+			if g <= prev {
+				return fmt.Errorf("partition: part %d ghost list not ascending", p)
+			}
+			prev = g
+			if !foreign[g] {
+				return fmt.Errorf("partition: part %d ghost %d is not a foreign closure vertex", p, g)
+			}
+		}
+
+		// Halo closure: movable owned vertices see all their neighbors.
+		local := map[int32]bool{}
+		for _, v := range part.Owned {
+			local[v] = true
+		}
+		for _, g := range part.Ghosts {
+			local[g] = true
+		}
+		for _, v := range part.Owned {
+			if in.OnBoundary(v) {
+				continue
+			}
+			for _, w := range in.Neighbors(v) {
+				if !local[w] {
+					return fmt.Errorf("partition: part %d misses neighbor %d of movable owned vertex %d", p, w, v)
+				}
+			}
+		}
+	}
+	for e, ok := range elemCover {
+		if !ok {
+			return fmt.Errorf("partition: element %d belongs to no partition", e)
+		}
+	}
+
+	// Exchange lists: symmetric, owned-by-sender, movable, and covering
+	// every movable ghost exactly once.
+	for p := range l.Parts {
+		for _, lk := range l.Parts[p].Sends {
+			if lk.Peer < 0 || lk.Peer >= l.K || lk.Peer == p {
+				return fmt.Errorf("partition: part %d send link to invalid peer %d", p, lk.Peer)
+			}
+			for _, v := range lk.Verts {
+				if l.Owner[v] != int32(p) {
+					return fmt.Errorf("partition: part %d sends vertex %d it does not own", p, v)
+				}
+				if in.OnBoundary(v) {
+					return fmt.Errorf("partition: part %d sends boundary vertex %d", p, v)
+				}
+			}
+			// The matching receive on the peer.
+			var match *Link
+			for i := range l.Parts[lk.Peer].Recvs {
+				if l.Parts[lk.Peer].Recvs[i].Peer == p {
+					match = &l.Parts[lk.Peer].Recvs[i]
+					break
+				}
+			}
+			if match == nil {
+				return fmt.Errorf("partition: part %d sends to %d but %d has no matching receive", p, lk.Peer, lk.Peer)
+			}
+			if len(match.Verts) != len(lk.Verts) {
+				return fmt.Errorf("partition: link %d->%d length mismatch: %d vs %d", p, lk.Peer, len(lk.Verts), len(match.Verts))
+			}
+			for i := range lk.Verts {
+				if lk.Verts[i] != match.Verts[i] {
+					return fmt.Errorf("partition: link %d->%d vertex mismatch at %d", p, lk.Peer, i)
+				}
+			}
+		}
+		seen := map[int32]bool{}
+		for _, lk := range l.Parts[p].Recvs {
+			for _, g := range lk.Verts {
+				if seen[g] {
+					return fmt.Errorf("partition: part %d receives ghost %d twice", p, g)
+				}
+				seen[g] = true
+				if l.Owner[g] != int32(lk.Peer) {
+					return fmt.Errorf("partition: part %d receives ghost %d from %d, owner is %d", p, g, lk.Peer, l.Owner[g])
+				}
+			}
+		}
+		for _, g := range l.Parts[p].Ghosts {
+			if !in.OnBoundary(g) && !seen[g] {
+				return fmt.Errorf("partition: part %d movable ghost %d is not received from anyone", p, g)
+			}
+		}
+	}
+	return nil
+}
+
+// PartStats summarizes one partition for reports; the JSON field names are
+// part of the lamsbench -json schema.
+type PartStats struct {
+	Owned  int `json:"owned"`
+	Ghosts int `json:"ghosts"`
+	Elems  int `json:"elems"`
+	// SendVerts is the total per-sweep outbound halo payload in vertices.
+	SendVerts int `json:"send_verts"`
+	// Peers is the number of partitions this one exchanges with.
+	Peers int `json:"peers"`
+}
+
+// Stats summarizes the whole layout for reports.
+type Stats struct {
+	K int `json:"k"`
+	// GhostFraction is total ghosts over total owned vertices — the
+	// replication overhead of the decomposition.
+	GhostFraction float64     `json:"ghost_fraction"`
+	Parts         []PartStats `json:"parts"`
+}
+
+// Stats computes the layout summary.
+func (l *Layout) Stats() Stats {
+	s := Stats{K: l.K, Parts: make([]PartStats, l.K)}
+	ghosts := 0
+	for p := range l.Parts {
+		part := &l.Parts[p]
+		ps := PartStats{Owned: len(part.Owned), Ghosts: len(part.Ghosts), Elems: len(part.Elems), Peers: len(part.Recvs)}
+		for _, lk := range part.Sends {
+			ps.SendVerts += len(lk.Verts)
+		}
+		ghosts += ps.Ghosts
+		s.Parts[p] = ps
+	}
+	if len(l.Owner) > 0 {
+		s.GhostFraction = float64(ghosts) / float64(len(l.Owner))
+	}
+	return s
+}

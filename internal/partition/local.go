@@ -1,0 +1,78 @@
+package partition
+
+import (
+	"lams/internal/geom"
+	"lams/internal/mesh"
+)
+
+// localIndex merges a part's owned and ghost lists into the local→global
+// vertex map and returns it with the inverse (global→local, -1 elsewhere).
+// Both inputs are ascending and disjoint, so the merge is ascending: local
+// index order mirrors global index order. That monotonicity is the
+// bit-identity foundation — the local mesh's sorted adjacency lists visit
+// a vertex's neighbors in exactly the global mesh's order, so each Jacobi
+// update performs the same floating-point operations in the same order.
+func localIndex(numVerts int, part *Part) (l2g []int32, g2l []int32) {
+	l2g = make([]int32, 0, len(part.Owned)+len(part.Ghosts))
+	i, j := 0, 0
+	for i < len(part.Owned) && j < len(part.Ghosts) {
+		if part.Owned[i] < part.Ghosts[j] {
+			l2g = append(l2g, part.Owned[i])
+			i++
+		} else {
+			l2g = append(l2g, part.Ghosts[j])
+			j++
+		}
+	}
+	l2g = append(l2g, part.Owned[i:]...)
+	l2g = append(l2g, part.Ghosts[j:]...)
+	g2l = make([]int32, numVerts)
+	for v := range g2l {
+		g2l[v] = -1
+	}
+	for l, g := range l2g {
+		g2l[g] = int32(l)
+	}
+	return l2g, g2l
+}
+
+// BuildLocal constructs the part's local triangle mesh — its element
+// closure re-indexed over the ascending union of owned and ghost vertices
+// — and returns it with the local→global vertex map. The local mesh's
+// coordinates are copies; refresh them from the global mesh before use.
+func BuildLocal(m *mesh.Mesh, part *Part) (*mesh.Mesh, []int32, error) {
+	l2g, g2l := localIndex(m.NumVerts(), part)
+	coords := make([]geom.Point, len(l2g))
+	for l, g := range l2g {
+		coords[l] = m.Coords[g]
+	}
+	tris := make([][3]int32, len(part.Elems))
+	for i, e := range part.Elems {
+		tv := m.Tris[e]
+		tris[i] = [3]int32{g2l[tv[0]], g2l[tv[1]], g2l[tv[2]]}
+	}
+	lm, err := mesh.New(coords, tris)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lm, l2g, nil
+}
+
+// BuildLocalTet is BuildLocal for tetrahedral meshes.
+func BuildLocalTet(m *mesh.TetMesh, part *Part) (*mesh.TetMesh, []int32, error) {
+	l2g, g2l := localIndex(m.NumVerts(), part)
+	coords := make([]geom.Point3, len(l2g))
+	for l, g := range l2g {
+		coords[l] = m.Coords[g]
+	}
+	tets := make([][4]int32, len(part.Elems))
+	for i, e := range part.Elems {
+		tv := m.Tets[e]
+		tets[i] = [4]int32{g2l[tv[0]], g2l[tv[1]], g2l[tv[2]], g2l[tv[3]]}
+	}
+	lm, err := mesh.NewTet(coords, tets)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lm, l2g, nil
+}

@@ -1,0 +1,193 @@
+// Package partition implements domain decomposition for the smoothing
+// engines: it splits a mesh into k vertex partitions, computes the halo
+// (ghost) vertices each partition needs from its neighbors, and derives
+// deterministic send/receive exchange lists for the per-sweep halo
+// exchange.
+//
+// The decomposition is designed around the Jacobi bit-identity contract
+// the schedule and reduction layers already enforce: every update within a
+// sweep reads the previous sweep's coordinates, so *where* a vertex is
+// computed cannot change *what* is computed — provided each partition sees
+// its owned vertices' complete neighborhoods. The layout therefore gives
+// each partition the closure of elements incident to its owned vertices;
+// the vertices of those elements that belong to other partitions are the
+// ghosts, refreshed between sweeps by an Exchanger.
+//
+// Partitioning strategies live behind a self-registering registry
+// mirroring the ordering and schedule registries: each strategy registers
+// itself from its defining file's init function, so adding one is a
+// one-file change. The built-ins are greedy BFS growth ("bfs", the
+// default) and recursive coordinate bisection ("bisect").
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"lams/internal/mesh"
+)
+
+// Input is the mesh view the partitioners and the layout builder consume:
+// enough of the Mesh/TetMesh shape (elements, adjacency, boundary flags,
+// coordinates) to decompose either dimension through one code path. The
+// accessor closures return shared sub-slices; callers must not modify
+// them.
+type Input struct {
+	// NumVerts and NumElems are the global vertex and element counts.
+	NumVerts int
+	NumElems int
+	// ElemSize is the number of vertices per element: 3 for triangle
+	// meshes, 4 for tetrahedral meshes.
+	ElemSize int
+	// Elem returns the vertex indices of element e.
+	Elem func(e int32) []int32
+	// Neighbors returns the sorted adjacency list of vertex v.
+	Neighbors func(v int32) []int32
+	// OnBoundary reports whether vertex v lies on the mesh boundary.
+	// Boundary vertices never move, so they are excluded from the
+	// exchange lists (their ghost copies stay valid for a whole run).
+	OnBoundary func(v int32) bool
+	// Coord returns the position of vertex v, zero-padded to three axes.
+	Coord func(v int32) [3]float64
+}
+
+// FromMesh adapts a triangle mesh to the partitioning view.
+func FromMesh(m *mesh.Mesh) Input {
+	return Input{
+		NumVerts:   m.NumVerts(),
+		NumElems:   m.NumTris(),
+		ElemSize:   3,
+		Elem:       func(e int32) []int32 { return m.Tris[e][:] },
+		Neighbors:  m.Neighbors,
+		OnBoundary: m.OnBoundary,
+		Coord: func(v int32) [3]float64 {
+			p := m.Coords[v]
+			return [3]float64{p.X, p.Y, 0}
+		},
+	}
+}
+
+// FromTetMesh adapts a tetrahedral mesh to the partitioning view.
+func FromTetMesh(m *mesh.TetMesh) Input {
+	return Input{
+		NumVerts:   m.NumVerts(),
+		NumElems:   m.NumTets(),
+		ElemSize:   4,
+		Elem:       func(e int32) []int32 { return m.Tets[e][:] },
+		Neighbors:  m.Neighbors,
+		OnBoundary: m.OnBoundary,
+		Coord: func(v int32) [3]float64 {
+			p := m.Coords[v]
+			return [3]float64{p.X, p.Y, p.Z}
+		},
+	}
+}
+
+// Partitioner assigns every vertex to one of k partitions. Implementations
+// must be deterministic: the same Input and k always produce the same
+// assignment (the equivalence harness and the lamsd engine pool both rely
+// on this).
+type Partitioner interface {
+	// Name returns the registered strategy name.
+	Name() string
+	// Assign returns owner[v] in [0, k) for every vertex. Every partition
+	// receives at least one vertex; callers must ensure 1 <= k <= NumVerts.
+	Assign(in Input, k int) ([]int32, error)
+}
+
+// Built-in partitioner names.
+const (
+	// BFS is the default: greedy breadth-first growth from the
+	// lowest-index unassigned seed to balanced size targets, using only
+	// the mesh topology.
+	BFS = "bfs"
+	// Bisect is recursive coordinate bisection: split along the axis of
+	// largest extent at the size-proportional median, recurse.
+	Bisect = "bisect"
+)
+
+// The strategy registry; mirrors the schedule registry in internal/parallel.
+
+var partitioners = struct {
+	sync.RWMutex
+	factories map[string]func() Partitioner
+}{factories: make(map[string]func() Partitioner)}
+
+// partitionerOrder fixes the presentation order of the built-ins in Names:
+// bfs (the default) first, then bisect. Later registrations sort
+// alphabetically after them.
+var partitionerOrder = map[string]int{BFS: 0, Bisect: 1}
+
+// Register makes the strategy produced by factory available through ByName
+// under the given name. It panics on an empty name, a nil factory, or a
+// duplicate registration — programmer errors caught at init time.
+func Register(name string, factory func() Partitioner) {
+	if name == "" {
+		panic("partition: Register with empty name")
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("partition: Register(%q) with nil factory", name))
+	}
+	partitioners.Lock()
+	defer partitioners.Unlock()
+	if _, dup := partitioners.factories[name]; dup {
+		panic(fmt.Sprintf("partition: strategy %q registered twice", name))
+	}
+	partitioners.factories[name] = factory
+}
+
+// ByName returns a fresh instance of the named strategy ("" selects the
+// default, BFS).
+func ByName(name string) (Partitioner, error) {
+	if name == "" {
+		name = BFS
+	}
+	partitioners.RLock()
+	factory, ok := partitioners.factories[name]
+	partitioners.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("partition: unknown partitioner %q (known: %v)", name, Names())
+	}
+	return factory(), nil
+}
+
+// Names lists the registered strategy names: the built-ins in presentation
+// order, then any further registrations alphabetically.
+func Names() []string {
+	partitioners.RLock()
+	out := make([]string, 0, len(partitioners.factories))
+	for name := range partitioners.factories {
+		out = append(out, name)
+	}
+	partitioners.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		ri, iKnown := partitionerOrder[out[i]]
+		rj, jKnown := partitionerOrder[out[j]]
+		switch {
+		case iKnown && jKnown:
+			return ri < rj
+		case iKnown:
+			return true
+		case jKnown:
+			return false
+		default:
+			return out[i] < out[j]
+		}
+	})
+	return out
+}
+
+// targets returns the per-partition owned-vertex size targets: n/k each,
+// with the remainder spread one extra over the first n%k partitions.
+func targets(n, k int) []int {
+	t := make([]int, k)
+	base, rem := n/k, n%k
+	for i := range t {
+		t[i] = base
+		if i < rem {
+			t[i]++
+		}
+	}
+	return t
+}

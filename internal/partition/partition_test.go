@@ -1,0 +1,250 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"lams/internal/mesh"
+)
+
+func gen2D(t testing.TB, n int) *mesh.Mesh {
+	t.Helper()
+	m, err := mesh.Generate("carabiner", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func gen3D(t testing.TB, cells int) *mesh.TetMesh {
+	t.Helper()
+	m, err := mesh.GenerateTetCube(cells, cells, cells, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 2 || names[0] != BFS || names[1] != Bisect {
+		t.Fatalf("Names() = %v, want [bfs bisect ...]", names)
+	}
+	p, err := ByName("")
+	if err != nil || p.Name() != BFS {
+		t.Fatalf("ByName(\"\") = %v, %v; want the bfs default", p, err)
+	}
+	if _, err := ByName("metis"); err == nil {
+		t.Fatal("unknown partitioner accepted")
+	} else {
+		for _, want := range []string{"metis", "bfs", "bisect"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q does not mention %q", err, want)
+			}
+		}
+	}
+}
+
+// TestAssignDeterministicAndBalanced checks, for every registered strategy
+// and both dimensions, that assignments are reproducible, in range, and
+// that every partition receives at least one vertex with sizes near n/k
+// (bfs hits its targets exactly; bisect's proportional cuts stay within
+// the rounding of the recursion).
+func TestAssignDeterministicAndBalanced(t *testing.T) {
+	inputs := map[string]Input{
+		"2d": FromMesh(gen2D(t, 900)),
+		"3d": FromTetMesh(gen3D(t, 6)),
+	}
+	for dim, in := range inputs {
+		for _, name := range Names() {
+			p, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 2, 3, 8} {
+				owner, err := p.Assign(in, k)
+				if err != nil {
+					t.Fatalf("%s/%s/k=%d: %v", dim, name, k, err)
+				}
+				again, err := p.Assign(in, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sizes := make([]int, k)
+				for v, o := range owner {
+					if o != again[v] {
+						t.Fatalf("%s/%s/k=%d: assignment not deterministic at vertex %d", dim, name, k, v)
+					}
+					if o < 0 || int(o) >= k {
+						t.Fatalf("%s/%s/k=%d: vertex %d assigned to %d", dim, name, k, v, o)
+					}
+					sizes[o]++
+				}
+				want := in.NumVerts / k
+				for part, size := range sizes {
+					if size == 0 {
+						t.Fatalf("%s/%s/k=%d: partition %d is empty", dim, name, k, part)
+					}
+					if name == BFS && size != want && size != want+1 {
+						t.Errorf("%s/bfs/k=%d: partition %d has %d vertices, want %d or %d", dim, k, part, size, want, want+1)
+					}
+					if size < want/2 || size > 2*want+1 {
+						t.Errorf("%s/%s/k=%d: partition %d has %d vertices, far from the %d target", dim, name, k, part, size, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLayoutInvariants builds and validates full layouts for every
+// strategy × partition count × dimension — the cover/disjointness/
+// halo-closure/exchange-symmetry contract Validate enforces.
+func TestLayoutInvariants(t *testing.T) {
+	inputs := map[string]Input{
+		"2d": FromMesh(gen2D(t, 900)),
+		"3d": FromTetMesh(gen3D(t, 6)),
+	}
+	for dim, in := range inputs {
+		for _, name := range Names() {
+			for _, k := range []int{1, 2, 3, 8} {
+				l, err := New(in, k, name)
+				if err != nil {
+					t.Fatalf("%s/%s/k=%d: %v", dim, name, k, err)
+				}
+				if err := l.Validate(in); err != nil {
+					t.Fatalf("%s/%s/k=%d: %v", dim, name, k, err)
+				}
+				st := l.Stats()
+				if st.K != k || len(st.Parts) != k {
+					t.Fatalf("%s/%s/k=%d: stats %+v", dim, name, k, st)
+				}
+				if k == 1 && (st.GhostFraction != 0 || st.Parts[0].Peers != 0) {
+					t.Errorf("%s/%s/k=1: single partition has ghosts/peers: %+v", dim, name, st)
+				}
+				if k > 1 && st.GhostFraction == 0 {
+					t.Errorf("%s/%s/k=%d: no ghosts in a multi-partition layout", dim, name, k)
+				}
+			}
+		}
+	}
+}
+
+// TestValidateCatchesCorruption corrupts a valid layout in several ways
+// and checks Validate reports each.
+func TestValidateCatchesCorruption(t *testing.T) {
+	in := FromMesh(gen2D(t, 400))
+	fresh := func() *Layout {
+		l, err := New(in, 3, BFS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	corrupt := map[string]func(l *Layout){
+		"owner flip":    func(l *Layout) { l.Owner[l.Parts[1].Owned[0]] = 0 },
+		"dropped ghost": func(l *Layout) { l.Parts[1].Ghosts = l.Parts[1].Ghosts[1:] },
+		"dropped elem":  func(l *Layout) { l.Parts[0].Elems = l.Parts[0].Elems[:len(l.Parts[0].Elems)-1] },
+		"asymmetric link": func(l *Layout) {
+			if len(l.Parts[0].Sends) == 0 || len(l.Parts[0].Sends[0].Verts) == 0 {
+				t.Fatal("expected part 0 to send something")
+			}
+			l.Parts[0].Sends[0].Verts = l.Parts[0].Sends[0].Verts[:len(l.Parts[0].Sends[0].Verts)-1]
+		},
+	}
+	for name, mutate := range corrupt {
+		l := fresh()
+		if err := l.Validate(in); err != nil {
+			t.Fatalf("fresh layout invalid: %v", err)
+		}
+		mutate(l)
+		if err := l.Validate(in); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}
+
+// TestLocalMeshPreservesNeighborOrder is the bit-identity foundation: for
+// every owned movable vertex of every partition, the local mesh's
+// adjacency mapped back through l2g must equal the global adjacency —
+// same neighbors, same order — and the local boundary classification must
+// agree for owned vertices (the element closure keeps their incidence
+// complete).
+func TestLocalMeshPreservesNeighborOrder(t *testing.T) {
+	m := gen2D(t, 900)
+	in := FromMesh(m)
+	for _, name := range Names() {
+		l, err := New(in, 5, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := range l.Parts {
+			local, l2g, err := BuildLocal(m, &l.Parts[p])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := local.Validate(); err != nil {
+				t.Fatalf("%s/part %d: local mesh invalid: %v", name, p, err)
+			}
+			g2l := make(map[int32]int32, len(l2g))
+			for lo, g := range l2g {
+				g2l[g] = int32(lo)
+			}
+			for _, g := range l.Parts[p].Owned {
+				lo := g2l[g]
+				if local.IsBoundary[lo] != m.IsBoundary[g] {
+					t.Fatalf("%s/part %d: owned vertex %d boundary status differs locally", name, p, g)
+				}
+				want := m.Neighbors(g)
+				got := local.Neighbors(lo)
+				if len(got) != len(want) {
+					t.Fatalf("%s/part %d: vertex %d has %d local neighbors, want %d", name, p, g, len(got), len(want))
+				}
+				for i := range got {
+					if l2g[got[i]] != want[i] {
+						t.Fatalf("%s/part %d: vertex %d neighbor %d is %d locally, want %d", name, p, g, i, l2g[got[i]], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLocalTetMeshPreservesNeighborOrder is the 3D twin of the above.
+func TestLocalTetMeshPreservesNeighborOrder(t *testing.T) {
+	m := gen3D(t, 5)
+	in := FromTetMesh(m)
+	l, err := New(in, 4, Bisect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range l.Parts {
+		local, l2g, err := BuildLocalTet(m, &l.Parts[p])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := local.Validate(); err != nil {
+			t.Fatalf("part %d: local mesh invalid: %v", p, err)
+		}
+		g2l := make(map[int32]int32, len(l2g))
+		for lo, g := range l2g {
+			g2l[g] = int32(lo)
+		}
+		for _, g := range l.Parts[p].Owned {
+			lo := g2l[g]
+			if local.IsBoundary[lo] != m.IsBoundary[g] {
+				t.Fatalf("part %d: owned vertex %d boundary status differs locally", p, g)
+			}
+			want := m.Neighbors(g)
+			got := local.Neighbors(lo)
+			if len(got) != len(want) {
+				t.Fatalf("part %d: vertex %d has %d local neighbors, want %d", p, g, len(got), len(want))
+			}
+			for i := range got {
+				if l2g[got[i]] != want[i] {
+					t.Fatalf("part %d: vertex %d neighbor order differs locally", p, g)
+				}
+			}
+		}
+	}
+}

@@ -63,6 +63,9 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 	if opt.CheckEvery < 1 {
 		return Result{}, fmt.Errorf("smooth: check-every must be >= 1, got %d", opt.CheckEvery)
 	}
+	if opt.Partitions > 1 {
+		return Result{}, fmt.Errorf("smooth: Smoother is a single engine; partitions=%d needs RunPartitioned or a PartitionedSmoother", opt.Partitions)
+	}
 	kern := opt.Kernel
 	if kern == nil {
 		kern = PlainKernel{}

@@ -45,6 +45,11 @@ type Options3 struct {
 	// CheckEvery measures global quality every CheckEvery-th sweep instead
 	// of after every sweep (default 1); see Options.CheckEvery.
 	CheckEvery int
+	// Partitions > 1 decomposes the mesh and runs one engine per
+	// partition with per-sweep halo exchange; see Options.Partitions.
+	Partitions int
+	// Partitioner names the decomposition strategy; see Options.Partitioner.
+	Partitioner string
 	// NoFastPath forces the generic interface-dispatch sweep body and the
 	// serial interface-dispatch quality pass; see Options.NoFastPath.
 	NoFastPath bool
@@ -118,6 +123,9 @@ func (s *Smoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Options3) (Res
 	}
 	if opt.CheckEvery < 1 {
 		return Result{}, fmt.Errorf("smooth: check-every must be >= 1, got %d", opt.CheckEvery)
+	}
+	if opt.Partitions > 1 {
+		return Result{}, fmt.Errorf("smooth: Smoother3 is a single engine; partitions=%d needs RunPartitioned3 or a PartitionedSmoother3", opt.Partitions)
 	}
 	kern := opt.Kernel
 	if kern == nil {
@@ -416,13 +424,18 @@ func (s *Smoother3) countsBuffer(n int) []int64 {
 }
 
 // Run3 smooths the tetrahedral mesh in place with a one-shot engine.
-// Callers that smooth repeatedly should hold a Smoother3 and use its Run
-// method, which reuses the scratch buffers across runs.
+// Callers that smooth repeatedly should hold a Smoother3 (or a
+// PartitionedSmoother3) and use its Run method, which reuses the scratch
+// buffers across runs.
 func Run3(m *mesh.TetMesh, opt Options3) (Result, error) {
-	return NewSmoother3().Run(context.Background(), m, opt)
+	return RunContext3(context.Background(), m, opt)
 }
 
-// RunContext3 is Run3 with cancellation.
+// RunContext3 is Run3 with cancellation. Options with Partitions > 1 route
+// to the multi-engine partitioned driver.
 func RunContext3(ctx context.Context, m *mesh.TetMesh, opt Options3) (Result, error) {
+	if opt.Partitions > 1 {
+		return RunPartitioned3(ctx, m, opt)
+	}
 	return NewSmoother3().Run(ctx, m, opt)
 }

@@ -1,0 +1,404 @@
+package smooth
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+	"lams/internal/parallel"
+	"lams/internal/partition"
+	"lams/internal/quality"
+)
+
+// PartitionedSmoother runs the convergence loop across k cooperating
+// engines: the mesh is decomposed into k partitions (see
+// internal/partition), each partition is smoothed by its own Smoother on
+// its own goroutine — with its own SoA mirrors, scratch, and scheduler —
+// and the engines barrier after every Jacobi sweep to exchange halo
+// (ghost) coordinates and publish their owned vertices back to the global
+// mesh, where the driver measures quality with the same fixed-block
+// ordered reduction the single engine uses.
+//
+// Because Jacobi updates read only the previous sweep's coordinates, and
+// each partition's local mesh preserves the global neighbor order (see
+// partition.BuildLocal), the run is bit-identical — coordinates, access
+// counts, quality history — to the single-engine run at every partition
+// count × partitioner × worker count × schedule; the partitioned
+// equivalence harness enforces this. In-place updates (the Gauss-Seidel
+// ablation and the smart kernel) are inherently sequential across the
+// whole mesh and are rejected.
+//
+// The decomposition (layout, local meshes, exchange wiring) is computed on
+// first use and reused while the same mesh is smoothed with the same
+// partition configuration — the reorder-once/amortize-many argument one
+// level up. A PartitionedSmoother is not safe for concurrent use; the zero
+// value is ready to use.
+type PartitionedSmoother struct {
+	qs        quality.Scratch
+	sched     parallel.Scheduler
+	schedName string
+
+	// Cached decomposition, valid while (mesh identity, k, partitioner)
+	// are unchanged. The mesh pointer plus vertex/element counts identify
+	// the topology: smoothing moves coordinates but never edits elements,
+	// and any layout of the current topology yields identical results, so
+	// coordinate drift cannot invalidate the cache.
+	mesh   *mesh.Mesh
+	nv, ne int
+	k      int
+	pname  string
+	layout *partition.Layout
+	parts  []*partEngine
+	ex     partition.Exchanger
+}
+
+// NewPartitionedSmoother returns an empty multi-engine driver whose
+// decomposition and scratch grow on first use.
+func NewPartitionedSmoother() *PartitionedSmoother { return &PartitionedSmoother{} }
+
+// Reset releases the cached decomposition and scratch; see Smoother.Reset.
+func (ps *PartitionedSmoother) Reset() { *ps = PartitionedSmoother{} }
+
+// partEngine is one partition's worker state: its engine, local mesh,
+// index maps, and exchange scratch.
+type partEngine struct {
+	index int
+	eng   Smoother
+	local *mesh.Mesh
+	l2g   []int32   // local -> global vertex map (monotone)
+	visit []int32   // local ids of owned, globally interior vertices
+	sIdx  [][]int32 // per send link: local ids of Link.Verts
+	rIdx  [][]int32 // per recv link: local ids of Link.Verts
+	sBuf  [][]float64
+
+	// Per-run state.
+	soa  bool
+	next []geom.Point
+	acc  int64
+	err  error
+}
+
+// RunPartitioned smooths the mesh with opt.Partitions cooperating engines
+// using a one-shot driver. Callers that smooth repeatedly should hold a
+// PartitionedSmoother, which caches the decomposition across runs.
+func RunPartitioned(ctx context.Context, m *mesh.Mesh, opt Options) (Result, error) {
+	return NewPartitionedSmoother().Run(ctx, m, opt)
+}
+
+// Run smooths the mesh in place across the partitions and returns the run
+// statistics. The cancellation contract matches the single engine's: on
+// ctx cancellation — mid-sweep or mid-exchange — the global mesh holds the
+// coordinates of the last sweep every partition completed.
+func (ps *PartitionedSmoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	if opt.Workers < 1 {
+		return Result{}, fmt.Errorf("smooth: workers must be >= 1, got %d", opt.Workers)
+	}
+	if opt.CheckEvery < 1 {
+		return Result{}, fmt.Errorf("smooth: check-every must be >= 1, got %d", opt.CheckEvery)
+	}
+	k := opt.Partitions
+	if k == 0 {
+		k = 1
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("smooth: partitions must be >= 1, got %d", opt.Partitions)
+	}
+	kern := opt.Kernel
+	if kern == nil {
+		kern = PlainKernel{}
+	}
+	if opt.GaussSeidel || kern.InPlace() {
+		return Result{}, fmt.Errorf("smooth: partitioned runs require Jacobi updates; kernel %q updates in place", kern.Name())
+	}
+	if opt.Trace != nil {
+		return Result{}, fmt.Errorf("smooth: partitioned runs do not support tracing")
+	}
+	if err := ps.resolveScheduler(opt.Schedule); err != nil {
+		return Result{}, err
+	}
+	if err := ps.setup(m, k, opt.Partitioner); err != nil {
+		return Result{}, err
+	}
+
+	// Measurement configuration, exactly as the single engine sets it up:
+	// the global quality passes run over the global mesh with the fixed
+	// 1024-element reduction blocking, so the measured values are
+	// bit-identical at any worker count and schedule.
+	met := opt.Metric
+	qworkers, qsched := opt.Workers, ps.sched
+	if opt.NoFastPath {
+		met = quality.BoxMetric(met)
+		qworkers, qsched = 1, nil
+	}
+
+	// Per-run engine preparation: refresh local coordinates from the
+	// global mesh, resolve each engine's scheduler, and pack the SoA
+	// mirrors (or size the generic Jacobi buffer).
+	soa := !opt.NoFastPath && soaPartKernel(kern)
+	for _, pe := range ps.parts {
+		for l, g := range pe.l2g {
+			pe.local.Coords[l] = m.Coords[g]
+		}
+		if err := pe.eng.resolveScheduler(opt.Schedule); err != nil {
+			return Result{}, err
+		}
+		pe.soa = soa
+		if soa {
+			pe.eng.packCoords(pe.local, true)
+			pe.next = nil
+		} else {
+			pe.next = pe.eng.nextBuffer(len(pe.local.Coords))
+		}
+	}
+	if ce, ok := ps.ex.(*partition.ChanExchanger); ok {
+		ce.Reset()
+	}
+
+	q0, err := ps.qs.GlobalParallel(ctx, m, met, qworkers, qsched)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{InitialQuality: q0}
+	res.FinalQuality = res.InitialQuality
+	if opt.MaxIters > 0 {
+		res.QualityHistory = make([]float64, 0, opt.MaxIters)
+	}
+	prevQ := res.InitialQuality
+
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		if prevQ >= opt.GoalQuality {
+			break
+		}
+
+		// Phase 1 — sweep: every partition runs one Jacobi sweep over its
+		// owned interior vertices. The barrier before publishing is what
+		// keeps the global mesh untorn: no partition's sweep-i result
+		// becomes visible unless every partition completed sweep i.
+		ps.fanOut(func(pe *partEngine) {
+			pe.acc, pe.err = pe.eng.sweep(ctx, pe.local, kern, false, pe.soa, pe.visit, pe.next, opt)
+		})
+		firstErr := error(nil)
+		for _, pe := range ps.parts {
+			res.Accesses += pe.acc
+			if pe.err != nil && firstErr == nil {
+				firstErr = pe.err
+			}
+		}
+		if firstErr != nil {
+			// Canceled mid-sweep: no partition published, the global mesh
+			// still holds the last completed sweep everywhere.
+			return res, firstErr
+		}
+
+		// Phase 2 — publish and halo exchange: each partition copies its
+		// owned coordinates into the (disjoint) global slots, then trades
+		// halo payloads with its peers. The publish is unconditional, so
+		// even if cancellation interrupts the exchange, the global mesh
+		// holds all of sweep i by the time the barrier joins.
+		ps.fanOut(func(pe *partEngine) {
+			pe.publish(m)
+			pe.err = pe.exchange(ctx, ps.ex)
+		})
+		res.Iterations++
+		for _, pe := range ps.parts {
+			if pe.err != nil {
+				return res, pe.err
+			}
+		}
+
+		if res.Iterations%opt.CheckEvery != 0 && iter != opt.MaxIters-1 {
+			continue
+		}
+		q, err := ps.qs.GlobalParallel(ctx, m, met, qworkers, qsched)
+		if err != nil {
+			return res, err
+		}
+		res.QualityHistory = append(res.QualityHistory, q)
+		res.FinalQuality = q
+		if q-prevQ < opt.Tol {
+			break
+		}
+		prevQ = q
+	}
+	return res, nil
+}
+
+// fanOut runs fn on every partition engine concurrently and joins them —
+// the per-phase barrier of the driver loop.
+func (ps *PartitionedSmoother) fanOut(fn func(pe *partEngine)) {
+	if len(ps.parts) == 1 {
+		fn(ps.parts[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(ps.parts))
+	for _, pe := range ps.parts {
+		go func(pe *partEngine) {
+			defer wg.Done()
+			fn(pe)
+		}(pe)
+	}
+	wg.Wait()
+}
+
+// publish copies the partition's owned interior coordinates into their
+// global-mesh slots. Partitions own disjoint vertex sets, so concurrent
+// publishes never write the same slot.
+func (pe *partEngine) publish(m *mesh.Mesh) {
+	if pe.soa {
+		cx, cy := pe.eng.cx, pe.eng.cy
+		for _, l := range pe.visit {
+			m.Coords[pe.l2g[l]] = geom.Point{X: cx[l], Y: cy[l]}
+		}
+		return
+	}
+	for _, l := range pe.visit {
+		m.Coords[pe.l2g[l]] = pe.local.Coords[l]
+	}
+}
+
+// exchange gathers the partition's outbound halo payloads, trades them
+// through the exchanger, and scatters the received coordinates over the
+// partition's ghost slots.
+func (pe *partEngine) exchange(ctx context.Context, ex partition.Exchanger) error {
+	if len(pe.sBuf) == 0 && len(pe.rIdx) == 0 {
+		return nil
+	}
+	if pe.soa {
+		cx, cy := pe.eng.cx, pe.eng.cy
+		for i, idx := range pe.sIdx {
+			buf := pe.sBuf[i]
+			for j, l := range idx {
+				buf[2*j], buf[2*j+1] = cx[l], cy[l]
+			}
+		}
+	} else {
+		for i, idx := range pe.sIdx {
+			buf := pe.sBuf[i]
+			for j, l := range idx {
+				p := pe.local.Coords[l]
+				buf[2*j], buf[2*j+1] = p.X, p.Y
+			}
+		}
+	}
+	incoming, err := ex.Exchange(ctx, pe.index, pe.sBuf)
+	if err != nil {
+		return err
+	}
+	if pe.soa {
+		cx, cy := pe.eng.cx, pe.eng.cy
+		for i, idx := range pe.rIdx {
+			buf := incoming[i]
+			for j, l := range idx {
+				cx[l], cy[l] = buf[2*j], buf[2*j+1]
+			}
+		}
+		return nil
+	}
+	for i, idx := range pe.rIdx {
+		buf := incoming[i]
+		for j, l := range idx {
+			pe.local.Coords[l] = geom.Point{X: buf[2*j], Y: buf[2*j+1]}
+		}
+	}
+	return nil
+}
+
+// soaPartKernel reports whether the kernel has a monomorphic SoA Jacobi
+// loop (fastpath.go); the partitioned analogue of Smoother.soaEligible
+// with the in-place cases already rejected.
+func soaPartKernel(kern Kernel) bool {
+	switch kern.(type) {
+	case PlainKernel, WeightedKernel, ConstrainedKernel:
+		return true
+	}
+	return false
+}
+
+// setup (re)builds the cached decomposition when the mesh identity or the
+// partition configuration changed since the previous run.
+func (ps *PartitionedSmoother) setup(m *mesh.Mesh, k int, pname string) error {
+	if pname == "" {
+		pname = partition.BFS
+	}
+	if ps.mesh == m && ps.nv == m.NumVerts() && ps.ne == m.NumTris() && ps.k == k && ps.pname == pname {
+		return nil
+	}
+	layout, err := partition.New(partition.FromMesh(m), k, pname)
+	if err != nil {
+		return fmt.Errorf("smooth: partitioning: %w", err)
+	}
+	parts := make([]*partEngine, k)
+	for p := range layout.Parts {
+		part := &layout.Parts[p]
+		local, l2g, err := partition.BuildLocal(m, part)
+		if err != nil {
+			return fmt.Errorf("smooth: partition %d local mesh: %w", p, err)
+		}
+		pe := &partEngine{index: p, local: local, l2g: l2g}
+		for l, g := range l2g {
+			if layout.Owner[g] == int32(p) && !m.IsBoundary[g] {
+				pe.visit = append(pe.visit, int32(l))
+			}
+		}
+		pe.sIdx, pe.sBuf = linkLocals(part.Sends, l2g, 2)
+		pe.rIdx, _ = linkLocals(part.Recvs, l2g, 0)
+		parts[p] = pe
+	}
+	ps.mesh, ps.nv, ps.ne = m, m.NumVerts(), m.NumTris()
+	ps.k, ps.pname = k, pname
+	ps.layout, ps.parts = layout, parts
+	ps.ex = partition.NewChanExchanger(layout, 2)
+	return nil
+}
+
+// linkLocals maps each link's global vertex list to local indices via
+// binary search over the monotone l2g map, and sizes a payload buffer of
+// dim floats per vertex (dim 0 skips the buffers — receive payloads are
+// owned by the exchanger).
+func linkLocals(links []partition.Link, l2g []int32, dim int) ([][]int32, [][]float64) {
+	idx := make([][]int32, len(links))
+	var bufs [][]float64
+	if dim > 0 {
+		bufs = make([][]float64, len(links))
+	}
+	for i, lk := range links {
+		loc := make([]int32, len(lk.Verts))
+		for j, g := range lk.Verts {
+			loc[j] = int32(sort.Search(len(l2g), func(x int) bool { return l2g[x] >= g }))
+		}
+		idx[i] = loc
+		if dim > 0 {
+			bufs[i] = make([]float64, dim*len(lk.Verts))
+		}
+	}
+	return idx, bufs
+}
+
+// Layout returns the driver's cached decomposition, or nil before the
+// first run; reporting callers (lamsbench) read its Stats.
+func (ps *PartitionedSmoother) Layout() *partition.Layout { return ps.layout }
+
+// resolveScheduler caches the driver's measurement scheduler; see
+// Smoother.resolveScheduler.
+func (ps *PartitionedSmoother) resolveScheduler(name string) error {
+	if name == "" {
+		name = parallel.ScheduleStatic
+	}
+	if ps.sched != nil && ps.schedName == name {
+		return nil
+	}
+	sched, err := parallel.SchedulerByName(name)
+	if err != nil {
+		return fmt.Errorf("smooth: %w", err)
+	}
+	ps.sched, ps.schedName = sched, name
+	return nil
+}

@@ -1,0 +1,330 @@
+package smooth
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+	"lams/internal/parallel"
+	"lams/internal/partition"
+	"lams/internal/quality"
+)
+
+// PartitionedSmoother3 is the tetrahedral multi-engine driver: the same
+// decomposition, per-sweep barrier, halo exchange, and bit-identity
+// contract as the 2D PartitionedSmoother, run over a TetMesh with one
+// Smoother3 per partition. The zero value is ready to use; not safe for
+// concurrent use.
+type PartitionedSmoother3 struct {
+	qs        quality.Scratch
+	sched     parallel.Scheduler
+	schedName string
+
+	// Cached decomposition; see PartitionedSmoother.
+	mesh   *mesh.TetMesh
+	nv, ne int
+	k      int
+	pname  string
+	layout *partition.Layout
+	parts  []*partEngine3
+	ex     partition.Exchanger
+}
+
+// NewPartitionedSmoother3 returns an empty 3D multi-engine driver.
+func NewPartitionedSmoother3() *PartitionedSmoother3 { return &PartitionedSmoother3{} }
+
+// Reset releases the cached decomposition and scratch; see Smoother.Reset.
+func (ps *PartitionedSmoother3) Reset() { *ps = PartitionedSmoother3{} }
+
+// partEngine3 is one partition's worker state; the 3D partEngine.
+type partEngine3 struct {
+	index int
+	eng   Smoother3
+	local *mesh.TetMesh
+	l2g   []int32
+	visit []int32
+	sIdx  [][]int32
+	rIdx  [][]int32
+	sBuf  [][]float64
+
+	soa  bool
+	next []geom.Point3
+	acc  int64
+	err  error
+}
+
+// RunPartitioned3 smooths the tetrahedral mesh with opt.Partitions
+// cooperating engines using a one-shot driver; see RunPartitioned.
+func RunPartitioned3(ctx context.Context, m *mesh.TetMesh, opt Options3) (Result, error) {
+	return NewPartitionedSmoother3().Run(ctx, m, opt)
+}
+
+// Run smooths the tetrahedral mesh in place across the partitions; the
+// cancellation contract matches PartitionedSmoother.Run.
+func (ps *PartitionedSmoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Options3) (Result, error) {
+	opt = opt.withDefaults()
+	if opt.Workers < 1 {
+		return Result{}, fmt.Errorf("smooth: workers must be >= 1, got %d", opt.Workers)
+	}
+	if opt.CheckEvery < 1 {
+		return Result{}, fmt.Errorf("smooth: check-every must be >= 1, got %d", opt.CheckEvery)
+	}
+	k := opt.Partitions
+	if k == 0 {
+		k = 1
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("smooth: partitions must be >= 1, got %d", opt.Partitions)
+	}
+	kern := opt.Kernel
+	if kern == nil {
+		kern = PlainKernel3{}
+	}
+	if opt.GaussSeidel || kern.InPlace() {
+		return Result{}, fmt.Errorf("smooth: partitioned runs require Jacobi updates; kernel %q updates in place", kern.Name())
+	}
+	if opt.Trace != nil {
+		return Result{}, fmt.Errorf("smooth: partitioned runs do not support tracing")
+	}
+	if err := ps.resolveScheduler(opt.Schedule); err != nil {
+		return Result{}, err
+	}
+	if err := ps.setup(m, k, opt.Partitioner); err != nil {
+		return Result{}, err
+	}
+
+	// Measurement configuration; see PartitionedSmoother.Run.
+	met := opt.Metric
+	qworkers, qsched := opt.Workers, ps.sched
+	if opt.NoFastPath {
+		met = quality.BoxTetMetric(met)
+		qworkers, qsched = 1, nil
+	}
+
+	soa := !opt.NoFastPath && soaPartKernel3(kern)
+	for _, pe := range ps.parts {
+		for l, g := range pe.l2g {
+			pe.local.Coords[l] = m.Coords[g]
+		}
+		if err := pe.eng.resolveScheduler(opt.Schedule); err != nil {
+			return Result{}, err
+		}
+		pe.soa = soa
+		if soa {
+			pe.eng.packCoords(pe.local, true)
+			pe.next = nil
+		} else {
+			pe.next = pe.eng.nextBuffer(len(pe.local.Coords))
+		}
+	}
+	if ce, ok := ps.ex.(*partition.ChanExchanger); ok {
+		ce.Reset()
+	}
+
+	q0, err := ps.qs.TetGlobalParallel(ctx, m, met, qworkers, qsched)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{InitialQuality: q0}
+	res.FinalQuality = res.InitialQuality
+	if opt.MaxIters > 0 {
+		res.QualityHistory = make([]float64, 0, opt.MaxIters)
+	}
+	prevQ := res.InitialQuality
+
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		if prevQ >= opt.GoalQuality {
+			break
+		}
+
+		// Phase 1 — sweep; see PartitionedSmoother.Run.
+		ps.fanOut(func(pe *partEngine3) {
+			pe.acc, pe.err = pe.eng.sweep(ctx, pe.local, kern, false, pe.soa, pe.visit, pe.next, opt)
+		})
+		firstErr := error(nil)
+		for _, pe := range ps.parts {
+			res.Accesses += pe.acc
+			if pe.err != nil && firstErr == nil {
+				firstErr = pe.err
+			}
+		}
+		if firstErr != nil {
+			return res, firstErr
+		}
+
+		// Phase 2 — publish and halo exchange; see PartitionedSmoother.Run.
+		ps.fanOut(func(pe *partEngine3) {
+			pe.publish(m)
+			pe.err = pe.exchange(ctx, ps.ex)
+		})
+		res.Iterations++
+		for _, pe := range ps.parts {
+			if pe.err != nil {
+				return res, pe.err
+			}
+		}
+
+		if res.Iterations%opt.CheckEvery != 0 && iter != opt.MaxIters-1 {
+			continue
+		}
+		q, err := ps.qs.TetGlobalParallel(ctx, m, met, qworkers, qsched)
+		if err != nil {
+			return res, err
+		}
+		res.QualityHistory = append(res.QualityHistory, q)
+		res.FinalQuality = q
+		if q-prevQ < opt.Tol {
+			break
+		}
+		prevQ = q
+	}
+	return res, nil
+}
+
+// fanOut runs fn on every partition engine concurrently and joins them.
+func (ps *PartitionedSmoother3) fanOut(fn func(pe *partEngine3)) {
+	if len(ps.parts) == 1 {
+		fn(ps.parts[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(ps.parts))
+	for _, pe := range ps.parts {
+		go func(pe *partEngine3) {
+			defer wg.Done()
+			fn(pe)
+		}(pe)
+	}
+	wg.Wait()
+}
+
+// publish copies the partition's owned interior coordinates into their
+// (disjoint) global-mesh slots.
+func (pe *partEngine3) publish(m *mesh.TetMesh) {
+	if pe.soa {
+		cx, cy, cz := pe.eng.cx, pe.eng.cy, pe.eng.cz
+		for _, l := range pe.visit {
+			m.Coords[pe.l2g[l]] = geom.Point3{X: cx[l], Y: cy[l], Z: cz[l]}
+		}
+		return
+	}
+	for _, l := range pe.visit {
+		m.Coords[pe.l2g[l]] = pe.local.Coords[l]
+	}
+}
+
+// exchange gathers, trades, and scatters the partition's halo payloads.
+func (pe *partEngine3) exchange(ctx context.Context, ex partition.Exchanger) error {
+	if len(pe.sBuf) == 0 && len(pe.rIdx) == 0 {
+		return nil
+	}
+	if pe.soa {
+		cx, cy, cz := pe.eng.cx, pe.eng.cy, pe.eng.cz
+		for i, idx := range pe.sIdx {
+			buf := pe.sBuf[i]
+			for j, l := range idx {
+				buf[3*j], buf[3*j+1], buf[3*j+2] = cx[l], cy[l], cz[l]
+			}
+		}
+	} else {
+		for i, idx := range pe.sIdx {
+			buf := pe.sBuf[i]
+			for j, l := range idx {
+				p := pe.local.Coords[l]
+				buf[3*j], buf[3*j+1], buf[3*j+2] = p.X, p.Y, p.Z
+			}
+		}
+	}
+	incoming, err := ex.Exchange(ctx, pe.index, pe.sBuf)
+	if err != nil {
+		return err
+	}
+	if pe.soa {
+		cx, cy, cz := pe.eng.cx, pe.eng.cy, pe.eng.cz
+		for i, idx := range pe.rIdx {
+			buf := incoming[i]
+			for j, l := range idx {
+				cx[l], cy[l], cz[l] = buf[3*j], buf[3*j+1], buf[3*j+2]
+			}
+		}
+		return nil
+	}
+	for i, idx := range pe.rIdx {
+		buf := incoming[i]
+		for j, l := range idx {
+			pe.local.Coords[l] = geom.Point3{X: buf[3*j], Y: buf[3*j+1], Z: buf[3*j+2]}
+		}
+	}
+	return nil
+}
+
+// soaPartKernel3 reports whether the 3D kernel has a monomorphic SoA
+// Jacobi loop; see soaPartKernel.
+func soaPartKernel3(kern Kernel3) bool {
+	switch kern.(type) {
+	case PlainKernel3, WeightedKernel3, ConstrainedKernel3:
+		return true
+	}
+	return false
+}
+
+// setup (re)builds the cached decomposition; see PartitionedSmoother.setup.
+func (ps *PartitionedSmoother3) setup(m *mesh.TetMesh, k int, pname string) error {
+	if pname == "" {
+		pname = partition.BFS
+	}
+	if ps.mesh == m && ps.nv == m.NumVerts() && ps.ne == m.NumTets() && ps.k == k && ps.pname == pname {
+		return nil
+	}
+	layout, err := partition.New(partition.FromTetMesh(m), k, pname)
+	if err != nil {
+		return fmt.Errorf("smooth: partitioning: %w", err)
+	}
+	parts := make([]*partEngine3, k)
+	for p := range layout.Parts {
+		part := &layout.Parts[p]
+		local, l2g, err := partition.BuildLocalTet(m, part)
+		if err != nil {
+			return fmt.Errorf("smooth: partition %d local mesh: %w", p, err)
+		}
+		pe := &partEngine3{index: p, local: local, l2g: l2g}
+		for l, g := range l2g {
+			if layout.Owner[g] == int32(p) && !m.IsBoundary[g] {
+				pe.visit = append(pe.visit, int32(l))
+			}
+		}
+		pe.sIdx, pe.sBuf = linkLocals(part.Sends, l2g, 3)
+		pe.rIdx, _ = linkLocals(part.Recvs, l2g, 0)
+		parts[p] = pe
+	}
+	ps.mesh, ps.nv, ps.ne = m, m.NumVerts(), m.NumTets()
+	ps.k, ps.pname = k, pname
+	ps.layout, ps.parts = layout, parts
+	ps.ex = partition.NewChanExchanger(layout, 3)
+	return nil
+}
+
+// Layout returns the driver's cached decomposition, or nil before the
+// first run.
+func (ps *PartitionedSmoother3) Layout() *partition.Layout { return ps.layout }
+
+// resolveScheduler caches the driver's measurement scheduler.
+func (ps *PartitionedSmoother3) resolveScheduler(name string) error {
+	if name == "" {
+		name = parallel.ScheduleStatic
+	}
+	if ps.sched != nil && ps.schedName == name {
+		return nil
+	}
+	sched, err := parallel.SchedulerByName(name)
+	if err != nil {
+		return fmt.Errorf("smooth: %w", err)
+	}
+	ps.sched, ps.schedName = sched, name
+	return nil
+}

@@ -19,6 +19,12 @@
 // the number of cores, matching the paper's observation that "the orderings
 // did not change the number of iterations needed". A Gauss–Seidel in-place
 // variant is provided for the serial ablation study.
+//
+// The same Jacobi property underwrites the domain-decomposed drivers
+// (PartitionedSmoother, PartitionedSmoother3): one engine per
+// halo-carrying partition, synchronized by a per-sweep ghost exchange,
+// with convergence decided on the global mesh — bit-identical to the
+// single-engine run at any partition count.
 package smooth
 
 import (
@@ -99,6 +105,17 @@ type Options struct {
 	// sweep is always measured so FinalQuality stays exact. The smoothed
 	// coordinates are unaffected: sweeps never read the measurement.
 	CheckEvery int
+	// Partitions > 1 decomposes the mesh and runs one engine per
+	// partition with per-sweep halo exchange (see PartitionedSmoother);
+	// Run and RunContext route such options to RunPartitioned. Jacobi
+	// updates make the result bit-identical to the single-engine run at
+	// any partition count. 0 or 1 selects the single engine. Partitioned
+	// runs reject in-place kernels, GaussSeidel, and Trace.
+	Partitions int
+	// Partitioner names the registered decomposition strategy for
+	// Partitions > 1: "bfs" (default) or "bisect", or any strategy added
+	// via partition.Register.
+	Partitioner string
 	// NoFastPath forces the generic interface-dispatch sweep body and the
 	// serial interface-dispatch quality pass, disabling the monomorphic
 	// kernel/metric loops and the parallel quality reduction. Results are
@@ -154,14 +171,19 @@ type Result struct {
 }
 
 // Run smooths the mesh in place with a one-shot engine and returns the run
-// statistics. Callers that smooth repeatedly should hold a Smoother and use
-// its Run method, which reuses the scratch buffers across runs.
+// statistics. Callers that smooth repeatedly should hold a Smoother (or a
+// PartitionedSmoother) and use its Run method, which reuses the scratch
+// buffers across runs.
 func Run(m *mesh.Mesh, opt Options) (Result, error) {
-	return NewSmoother().Run(context.Background(), m, opt)
+	return RunContext(context.Background(), m, opt)
 }
 
 // RunContext is Run with cancellation: the context is checked between
-// iterations and between worker chunks.
+// iterations and between worker chunks. Options with Partitions > 1 route
+// to the multi-engine partitioned driver.
 func RunContext(ctx context.Context, m *mesh.Mesh, opt Options) (Result, error) {
+	if opt.Partitions > 1 {
+		return RunPartitioned(ctx, m, opt)
+	}
 	return NewSmoother().Run(ctx, m, opt)
 }

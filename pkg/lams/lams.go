@@ -15,6 +15,13 @@
 // orderings, quality metrics, trace buffers) are aliases of the internal
 // implementation packages, so values returned here interoperate with every
 // stage without conversion.
+//
+// Smoothing scales along two independent axes: WithWorkers parallelizes
+// the sweeps and quality measurements inside one engine, and
+// WithPartitions decomposes the mesh into halo-carrying partitions served
+// by one engine each, synchronized per sweep. Both axes (and WithSchedule,
+// in any combination) are pure performance decisions — results are
+// bit-identical to the serial single-engine run.
 package lams
 
 import (

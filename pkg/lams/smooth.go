@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"lams/internal/parallel"
+	"lams/internal/partition"
 	"lams/internal/smooth"
 )
 
@@ -58,6 +59,15 @@ func RegisterScheduler(name string, factory func() Scheduler) {
 	parallel.RegisterScheduler(name, factory)
 }
 
+// DefaultPartitioner is the decomposition strategy used when WithPartitioner
+// is not given: greedy BFS growth into contiguous, balanced partitions.
+const DefaultPartitioner = partition.BFS
+
+// Partitioners lists the registered domain-decomposition strategy names in
+// presentation order: bfs, bisect, then any strategies added through
+// partition.Register.
+func Partitioners() []string { return partition.Names() }
+
 // smoothConfig collects SmoothOption settings. The scalar fields (workers,
 // schedule, iteration and convergence controls, traversal, tracing) apply
 // to 2D and 3D runs alike; the metric/kernel pairs are dimension-specific
@@ -88,6 +98,27 @@ func WithWorkers(n int) SmoothOption {
 // Smooth return an error listing the registered schedules (see Schedules).
 func WithSchedule(name string) SmoothOption {
 	return func(c *smoothConfig) { c.opt.Schedule = name }
+}
+
+// WithPartitions decomposes the mesh into k partitions and smooths with one
+// engine per partition, exchanging halo (ghost-vertex) coordinates at every
+// sweep barrier — the domain-decomposition execution mode. Jacobi updates
+// make the smoothed coordinates, quality history, and access counts
+// bit-identical to the single-engine run at any partition count; only the
+// execution layout changes. k <= 1 selects the single engine. Partitioned
+// runs reject in-place kernels (SmartKernel), WithGaussSeidel, and
+// WithTrace. Applies to Smooth and SmoothTet alike.
+func WithPartitions(k int) SmoothOption {
+	return func(c *smoothConfig) { c.opt.Partitions = k }
+}
+
+// WithPartitioner selects the registered decomposition strategy used by
+// WithPartitions: "bfs" (the default; greedy breadth-first growth into
+// contiguous balanced partitions) or "bisect" (recursive coordinate
+// bisection). An unknown name makes the run fail with an error listing the
+// registered strategies (see Partitioners).
+func WithPartitioner(name string) SmoothOption {
+	return func(c *smoothConfig) { c.opt.Partitioner = name }
 }
 
 // WithMaxIterations caps the number of smoothing sweeps (default 100).
@@ -195,6 +226,8 @@ func buildOptions3(opts []SmoothOption) (smooth.Options3, error) {
 		Traversal:   o.Traversal,
 		GaussSeidel: o.GaussSeidel,
 		CheckEvery:  o.CheckEvery,
+		Partitions:  o.Partitions,
+		Partitioner: o.Partitioner,
 		Trace:       o.Trace,
 	}, nil
 }
@@ -232,35 +265,58 @@ func SmoothTraced(ctx context.Context, m *Mesh, workers, iters int) (SmoothResul
 type Smoother struct {
 	engine  smooth.Smoother
 	engine3 smooth.Smoother3
+
+	// The partitioned drivers are allocated on first use: most Smoother
+	// holders never run partitioned, and the drivers cache a per-mesh
+	// decomposition worth keeping across runs when they do.
+	parted  *smooth.PartitionedSmoother
+	parted3 *smooth.PartitionedSmoother3
 }
 
 // NewSmoother returns a reusable smoothing engine.
 func NewSmoother() *Smoother { return &Smoother{} }
 
 // Smooth is like the package-level Smooth but reuses the engine's buffers.
+// Options with WithPartitions(k > 1) route to the engine's partitioned
+// driver, which additionally caches the mesh decomposition across runs.
 func (s *Smoother) Smooth(ctx context.Context, m *Mesh, opts ...SmoothOption) (SmoothResult, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return SmoothResult{}, err
 	}
+	if o.Partitions > 1 {
+		if s.parted == nil {
+			s.parted = smooth.NewPartitionedSmoother()
+		}
+		return s.parted.Run(ctx, m, o)
+	}
 	return s.engine.Run(ctx, m, o)
 }
 
 // SmoothTet is like the package-level SmoothTet but reuses the engine's
-// buffers.
+// buffers. Options with WithPartitions(k > 1) route to the engine's
+// partitioned driver, which additionally caches the mesh decomposition
+// across runs.
 func (s *Smoother) SmoothTet(ctx context.Context, m *TetMesh, opts ...SmoothOption) (SmoothResult, error) {
 	o, err := buildOptions3(opts)
 	if err != nil {
 		return SmoothResult{}, err
 	}
+	if o.Partitions > 1 {
+		if s.parted3 == nil {
+			s.parted3 = smooth.NewPartitionedSmoother3()
+		}
+		return s.parted3.Run(ctx, m, o)
+	}
 	return s.engine3.Run(ctx, m, o)
 }
 
-// Reset releases the engine's scratch buffers. Engine pools call it when
-// parking an engine that last smoothed an unusually large mesh, so idle
-// engines do not pin their high-water-mark memory; the buffers re-grow on
-// the next run.
+// Reset releases the engine's scratch buffers and any cached mesh
+// decompositions. Engine pools call it when parking an engine that last
+// smoothed an unusually large mesh, so idle engines do not pin their
+// high-water-mark memory; the buffers re-grow on the next run.
 func (s *Smoother) Reset() {
 	s.engine.Reset()
 	s.engine3.Reset()
+	s.parted, s.parted3 = nil, nil
 }

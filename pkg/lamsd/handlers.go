@@ -228,6 +228,13 @@ func (s *Server) handleSchedules(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handlePartitioners(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"partitioners": lams.Partitioners(),
+		"default":      lams.DefaultPartitioner,
+	})
+}
+
 // --- mesh lifecycle ---
 
 // generateRequest is the JSON body of POST /v1/meshes: generate one of the
@@ -602,6 +609,15 @@ type smoothRequest struct {
 	// GaussSeidel applies updates in place. The in-place sweep is serial at
 	// any worker count; workers > 1 parallelizes the quality measurements.
 	GaussSeidel bool `json:"gauss_seidel"`
+	// Partitions > 1 decomposes the mesh and smooths with one engine per
+	// partition, exchanging halo coordinates at every sweep barrier. Jacobi
+	// updates keep the result bit-identical to the single-engine run at any
+	// partition count. Partitioned runs reject the smart kernel and
+	// gauss_seidel (both update in place).
+	Partitions int `json:"partitions"`
+	// Partitioner names the decomposition strategy for partitions > 1:
+	// bfs (default) or bisect.
+	Partitioner string `json:"partitioner"`
 }
 
 // smoothResponse reports a smoothing run and the pool state that served it.
@@ -611,6 +627,8 @@ type smoothResponse struct {
 	Workers        int       `json:"workers"`
 	Schedule       string    `json:"schedule"`
 	CheckEvery     int       `json:"check_every"`
+	Partitions     int       `json:"partitions,omitempty"`
+	Partitioner    string    `json:"partitioner,omitempty"`
 	Iterations     int       `json:"iterations"`
 	InitialQuality float64   `json:"initial_quality"`
 	FinalQuality   float64   `json:"final_quality"`
@@ -654,6 +672,20 @@ func scheduleFor(name string) (string, error) {
 	}
 	return "", apiErrorf(http.StatusBadRequest,
 		"unknown schedule %q: registered schedules are %v", name, lams.Schedules())
+}
+
+// partitionerFor resolves the request's decomposition strategy ("" means
+// the library default) against the registry, keeping unknown names a cheap
+// 400 like scheduleFor does.
+func partitionerFor(name string) (string, error) {
+	if name == "" {
+		return lams.DefaultPartitioner, nil
+	}
+	if slices.Contains(lams.Partitioners(), name) {
+		return name, nil
+	}
+	return "", apiErrorf(http.StatusBadRequest,
+		"unknown partitioner %q: registered partitioners are %v", name, lams.Partitioners())
 }
 
 func metricFor(name string) (lams.Metric, error) {
@@ -794,6 +826,33 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	if err != nil {
 		return smoothResponse{}, err
 	}
+	partitions := req.Partitions
+	if partitions == 0 {
+		partitions = 1
+	}
+	if partitions < 1 {
+		return smoothResponse{}, apiErrorf(http.StatusBadRequest,
+			"partitions %d: want >= 1 (smooth with one engine per partition)", req.Partitions)
+	}
+	partitioner := ""
+	if partitions > 1 {
+		if req.GaussSeidel {
+			return smoothResponse{}, apiErrorf(http.StatusBadRequest,
+				"partitions %d: partitioned runs need Jacobi updates; drop gauss_seidel", partitions)
+		}
+		if kernName == "smart" {
+			return smoothResponse{}, apiErrorf(http.StatusBadRequest,
+				"partitions %d: the smart kernel updates in place; partitioned runs need a Jacobi kernel", partitions)
+		}
+		if partitioner, err = partitionerFor(req.Partitioner); err != nil {
+			return smoothResponse{}, err
+		}
+	} else if req.Partitioner != "" {
+		// Validate even when unused so typos do not pass silently.
+		if _, err := partitionerFor(req.Partitioner); err != nil {
+			return smoothResponse{}, err
+		}
+	}
 
 	// Serialize on the mesh BEFORE taking a pool slot: requests for one hot
 	// mesh queue on its lock without pinning global smooth capacity, so they
@@ -805,7 +864,12 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	if err := ctx.Err(); err != nil {
 		return smoothResponse{}, err
 	}
-	key := engineKey{Dim: rec.dim, Kernel: kernName, Workers: workers, Schedule: schedule}
+	if nverts := rec.numVerts(); partitions > nverts {
+		return smoothResponse{}, apiErrorf(http.StatusBadRequest,
+			"partitions %d out of range [1,%d] for this mesh", partitions, nverts)
+	}
+	key := engineKey{Dim: rec.dim, Kernel: kernName, Workers: workers, Schedule: schedule,
+		Partitions: partitions, Partitioner: partitioner}
 	eng, err := s.pool.Acquire(ctx, key)
 	if err != nil {
 		// The deadline or client disconnect fired while queued.
@@ -833,6 +897,9 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	}
 	if checkEvery > 1 {
 		opts = append(opts, lams.WithCheckEvery(checkEvery))
+	}
+	if partitions > 1 {
+		opts = append(opts, lams.WithPartitions(partitions), lams.WithPartitioner(partitioner))
 	}
 
 	start := time.Now()
@@ -874,7 +941,7 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	s.metrics.smoothBySchedule.Add(schedule, 1)
 	s.metrics.smoothIterations.Add(int64(res.Iterations))
 	s.metrics.smoothAccesses.Add(res.Accesses)
-	return smoothResponse{
+	resp := smoothResponse{
 		ID:             rec.id,
 		Kernel:         kernName,
 		Workers:        workers,
@@ -886,7 +953,12 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 		Accesses:       res.Accesses,
 		DurationMS:     float64(dur) / float64(time.Millisecond),
 		Pool:           s.pool.Stats(),
-	}, nil
+	}
+	if partitions > 1 {
+		s.metrics.smoothPartitioned.Add(1)
+		resp.Partitions, resp.Partitioner = partitions, partitioner
+	}
+	return resp, nil
 }
 
 // analyzeResponse is the JSON shape of GET /v1/meshes/{id}/analyze.

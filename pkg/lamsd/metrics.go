@@ -11,34 +11,37 @@ import (
 type metrics struct {
 	vars *expvar.Map
 
-	requests         *expvar.Map // per-route request counts
-	errors           *expvar.Map // per-route non-2xx response counts
-	smoothRuns       *expvar.Int
-	smoothBySchedule *expvar.Map // completed smooth runs per chunk schedule
-	smoothIterations *expvar.Int
-	smoothAccesses   *expvar.Int
-	reorders         *expvar.Int
-	analyses         *expvar.Int
-	uploads          *expvar.Int
+	requests          *expvar.Map // per-route request counts
+	errors            *expvar.Map // per-route non-2xx response counts
+	smoothRuns        *expvar.Int
+	smoothBySchedule  *expvar.Map // completed smooth runs per chunk schedule
+	smoothPartitioned *expvar.Int // completed smooth runs with partitions > 1
+	smoothIterations  *expvar.Int
+	smoothAccesses    *expvar.Int
+	reorders          *expvar.Int
+	analyses          *expvar.Int
+	uploads           *expvar.Int
 }
 
 func newMetrics() *metrics {
 	m := &metrics{
-		vars:             new(expvar.Map).Init(),
-		requests:         new(expvar.Map).Init(),
-		errors:           new(expvar.Map).Init(),
-		smoothRuns:       new(expvar.Int),
-		smoothBySchedule: new(expvar.Map).Init(),
-		smoothIterations: new(expvar.Int),
-		smoothAccesses:   new(expvar.Int),
-		reorders:         new(expvar.Int),
-		analyses:         new(expvar.Int),
-		uploads:          new(expvar.Int),
+		vars:              new(expvar.Map).Init(),
+		requests:          new(expvar.Map).Init(),
+		errors:            new(expvar.Map).Init(),
+		smoothRuns:        new(expvar.Int),
+		smoothBySchedule:  new(expvar.Map).Init(),
+		smoothPartitioned: new(expvar.Int),
+		smoothIterations:  new(expvar.Int),
+		smoothAccesses:    new(expvar.Int),
+		reorders:          new(expvar.Int),
+		analyses:          new(expvar.Int),
+		uploads:           new(expvar.Int),
 	}
 	m.vars.Set("requests", m.requests)
 	m.vars.Set("errors", m.errors)
 	m.vars.Set("smooth_runs", m.smoothRuns)
 	m.vars.Set("smooth_runs_by_schedule", m.smoothBySchedule)
+	m.vars.Set("smooth_runs_partitioned", m.smoothPartitioned)
 	m.vars.Set("smooth_iterations", m.smoothIterations)
 	m.vars.Set("smooth_vertex_accesses", m.smoothAccesses)
 	m.vars.Set("reorders", m.reorders)

@@ -1,0 +1,136 @@
+package lamsd
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestServerPartitionersEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, data := doJSON(t, http.MethodGet, ts.URL+"/v1/partitioners", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var body struct {
+		Partitioners []string `json:"partitioners"`
+		Default      string   `json:"default"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Partitioners) < 2 || body.Partitioners[0] != "bfs" || body.Partitioners[1] != "bisect" {
+		t.Errorf("partitioners = %v, want [bfs bisect ...]", body.Partitioners)
+	}
+	if body.Default != "bfs" {
+		t.Errorf("default = %q, want bfs", body.Default)
+	}
+}
+
+// TestServerPartitionedSmooth runs the same smooth twice through the HTTP
+// API — single-engine and partitioned — on two identically generated
+// meshes, and checks the partitioned response echoes its configuration and
+// reports bit-identical quality and access accounting (domain generation is
+// deterministic, so the meshes start equal).
+func TestServerPartitionedSmooth(t *testing.T) {
+	s, ts := newTestServer(t)
+	single := createDomainMesh(t, ts.URL, "carabiner", 900)
+	parted := createDomainMesh(t, ts.URL, "carabiner", 900)
+
+	base := map[string]any{"max_iters": 3, "tol": -1.0, "workers": 2}
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+single.ID+"/smooth", base)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single smooth: status %d: %s", resp.StatusCode, data)
+	}
+	var ref smoothResponse
+	if err := json.Unmarshal(data, &ref); err != nil {
+		t.Fatal(err)
+	}
+
+	req := map[string]any{"max_iters": 3, "tol": -1.0, "workers": 2,
+		"partitions": 3, "partitioner": "bisect", "schedule": "guided"}
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+parted.ID+"/smooth", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partitioned smooth: status %d: %s", resp.StatusCode, data)
+	}
+	var got smoothResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Partitions != 3 || got.Partitioner != "bisect" {
+		t.Errorf("response echoes partitions=%d partitioner=%q, want 3/bisect", got.Partitions, got.Partitioner)
+	}
+	if got.Iterations != ref.Iterations || got.Accesses != ref.Accesses {
+		t.Errorf("partitioned run did %d iters / %d accesses, single did %d / %d",
+			got.Iterations, got.Accesses, ref.Iterations, ref.Accesses)
+	}
+	if got.InitialQuality != ref.InitialQuality || got.FinalQuality != ref.FinalQuality {
+		t.Errorf("partitioned qualities %v -> %v, want bit-identical %v -> %v",
+			got.InitialQuality, got.FinalQuality, ref.InitialQuality, ref.FinalQuality)
+	}
+	if ref.Partitions != 0 || ref.Partitioner != "" {
+		t.Errorf("single-engine response leaked partition fields: %+v", ref)
+	}
+	if n := s.metrics.smoothPartitioned.Value(); n != 1 {
+		t.Errorf("smooth_runs_partitioned = %d, want 1", n)
+	}
+
+	// A repeat partitioned request reuses the pooled engine (and its cached
+	// decomposition).
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+parted.ID+"/smooth", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat partitioned smooth: status %d: %s", resp.StatusCode, data)
+	}
+	if n := s.metrics.smoothPartitioned.Value(); n != 2 {
+		t.Errorf("smooth_runs_partitioned = %d after repeat, want 2", n)
+	}
+}
+
+// TestServerPartitionedSmoothTet exercises the partitioned path on a dim=3
+// mesh through the same endpoint.
+func TestServerPartitionedSmoothTet(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/meshes",
+		map[string]any{"domain": "cube", "dim": 3, "target_verts": 400})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create cube: status %d: %s", resp.StatusCode, data)
+	}
+	var info meshInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		t.Fatal(err)
+	}
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/smooth",
+		map[string]any{"max_iters": 2, "tol": -1.0, "partitions": 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partitioned tet smooth: status %d: %s", resp.StatusCode, data)
+	}
+	var got smoothResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Partitions != 4 || got.Partitioner != "bfs" || got.Iterations != 2 {
+		t.Errorf("tet partitioned response %+v, want partitions=4 partitioner=bfs iterations=2", got)
+	}
+}
+
+// TestServerPartitionedSmoothValidation pins the 400s: bad counts, unknown
+// strategies, and in-place configurations that partitioned runs reject.
+func TestServerPartitionedSmoothValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	info := createDomainMesh(t, ts.URL, "carabiner", 300)
+	verts, _ := summaryCounts(t, info)
+	bad := []map[string]any{
+		{"partitions": -1},
+		{"partitions": verts + 1},
+		{"partitions": 2, "partitioner": "metis"},
+		{"partitioner": "metis"}, // typo caught even without partitions
+		{"partitions": 2, "gauss_seidel": true},
+		{"partitions": 2, "kernel": "smart"},
+	}
+	for i, req := range bad {
+		resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/meshes/"+info.ID+"/smooth", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d (%v): status %d, want 400: %s", i, req, resp.StatusCode, data)
+		}
+	}
+}

@@ -10,8 +10,9 @@ import (
 
 // engineKey identifies a smoothing configuration whose engines are
 // interchangeable. Engines are pooled per dimension × kernel × worker count
-// × schedule so a warm engine handed to a request has scratch buffers
-// (including the cached scheduler's per-worker state) shaped by the same
+// × schedule × partitioning so a warm engine handed to a request has
+// scratch buffers (including the cached scheduler's per-worker state and,
+// for partitioned runs, the cached mesh decomposition) shaped by the same
 // kind of run that grew them — a lams.Smoother serves both dimensions, but
 // keying on Dim keeps a 2D-heavy workload from thrashing the 3D buffers and
 // vice versa.
@@ -20,6 +21,12 @@ type engineKey struct {
 	Kernel   string
 	Workers  int
 	Schedule string
+	// Partitions and Partitioner are 1 and "" for single-engine runs; a
+	// partitioned engine's driver caches a per-mesh decomposition, so
+	// pooling it separately keeps that cache warm for repeat requests with
+	// the same layout.
+	Partitions  int
+	Partitioner string
 }
 
 // enginePool is a keyed pool of warm lams.Smoother engines with bounded

@@ -23,6 +23,7 @@
 //	GET    /v1/orderings            registered ordering names
 //	GET    /v1/domains              generatable domain names
 //	GET    /v1/schedules            registered chunk-schedule names
+//	GET    /v1/partitioners         registered domain-decomposition strategy names
 //	GET    /healthz                 liveness + pool/store gauges
 //	GET    /metrics                 expvar counters (JSON)
 //
@@ -168,6 +169,7 @@ func (s *Server) routes() {
 	s.handle("GET /v1/orderings", s.handleOrderings)
 	s.handle("GET /v1/domains", s.handleDomains)
 	s.handle("GET /v1/schedules", s.handleSchedules)
+	s.handle("GET /v1/partitioners", s.handlePartitioners)
 	s.handle("POST /v1/meshes", s.handleCreateMesh)
 	s.handle("GET /v1/meshes", s.handleListMeshes)
 	s.handle("GET /v1/meshes/{id}", s.handleGetMesh)

@@ -57,6 +57,15 @@ type meshRecord struct {
 	qualityStale bool
 }
 
+// numVerts returns the record's vertex count, which never changes after
+// Add. Callers hold rec.mu (read or write).
+func (rec *meshRecord) numVerts() int {
+	if rec.dim == 3 {
+		return rec.tet.NumVerts()
+	}
+	return rec.mesh.NumVerts()
+}
+
 // meshStore is the in-memory mesh registry: id → record, bounded by
 // maxMeshes so a misbehaving client cannot grow the server without limit.
 type meshStore struct {
