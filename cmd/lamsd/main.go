@@ -1,12 +1,15 @@
 // Command lamsd serves the lams smoothing pipeline over HTTP: upload or
 // generate a mesh, reorder it with any registered ordering (RDR by
-// default), smooth it through a pool of warm engines, and fetch locality
-// analyses — the paper's preprocess-once / smooth-many amortization
-// argument as a long-running service.
+// default), smooth it through a pool of warm engines — synchronously or as
+// polled async jobs — and fetch locality analyses; the paper's
+// preprocess-once / smooth-many amortization argument as a long-running
+// service. With -data-dir, resident meshes survive restarts: they are
+// snapshotted atomically on a timer and at graceful shutdown, and restored
+// at boot.
 //
 // Usage:
 //
-//	lamsd -addr :8080 -max-concurrent 4
+//	lamsd -addr :8080 -max-concurrent 4 -data-dir /var/lib/lamsd
 //
 // See pkg/lamsd for the endpoint reference and README.md ("Running the
 // service") for a curl walkthrough.
@@ -35,16 +38,31 @@ func main() {
 		maxWorkers    = flag.Int("max-workers", 0, "max smoothing workers per request (0 = GOMAXPROCS)")
 		defTimeout    = flag.Duration("default-timeout", 60*time.Second, "default per-request deadline")
 		maxTimeout    = flag.Duration("max-timeout", 10*time.Minute, "maximum per-request deadline (?timeout is clamped to this)")
+
+		dataDir      = flag.String("data-dir", "", "directory for durable mesh snapshots (empty = in-memory only)")
+		snapEvery    = flag.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval (with -data-dir)")
+		jobTTL       = flag.Duration("job-ttl", 15*time.Minute, "how long finished async jobs stay fetchable")
+		maxJobs      = flag.Int("max-jobs", 256, "max resident async jobs (running + retained)")
+		tenantRPS    = flag.Float64("tenant-rps", 0, "per-tenant request rate limit in requests/second (0 = unlimited)")
+		tenantBurst  = flag.Int("tenant-burst", 0, "per-tenant rate-limit burst (0 = 2×rps)")
+		tenantMeshes = flag.Int("tenant-max-meshes", 0, "max resident meshes per tenant (0 = unlimited)")
+		tenantJobs   = flag.Int("tenant-max-jobs", 16, "max in-flight async jobs per tenant (negative = unlimited)")
 	)
 	flag.Parse()
 
-	srv := lamsd.New(
+	srv, err := lamsd.Open(
 		lamsd.WithMaxConcurrentSmooths(*maxConcurrent),
 		lamsd.WithMaxMeshes(*maxMeshes),
 		lamsd.WithMaxMeshVerts(*maxVerts),
 		lamsd.WithMaxWorkers(*maxWorkers),
 		lamsd.WithTimeouts(*defTimeout, *maxTimeout),
+		lamsd.WithPersistence(*dataDir, *snapEvery),
+		lamsd.WithJobRetention(*jobTTL, *maxJobs),
+		lamsd.WithTenantQuotas(*tenantRPS, *tenantBurst, *tenantMeshes, *tenantJobs),
 	)
+	if err != nil {
+		log.Fatalf("lamsd: %v", err)
+	}
 	srv.PublishExpvar("lamsd")
 
 	httpSrv := &http.Server{
@@ -72,6 +90,11 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("lamsd: shutdown: %v", err)
+		}
+		// Drain async jobs and write the final snapshot only after the
+		// listener stops accepting work.
+		if err := srv.Close(); err != nil {
+			log.Printf("lamsd: close: %v", err)
 		}
 	}
 }

@@ -1,0 +1,328 @@
+// Command lamsload drives a lamsd server with a mixed workload — mesh
+// creation and deletion, reorders, pooled smooths, locality analyses, and
+// summary reads — at a target request rate, and reports the latency
+// distribution (p50/p90/p99), achieved throughput, and error counts as
+// JSON. It is the service-level counterpart of the library benchmarks: the
+// numbers include HTTP, the deadline middleware, the tenant layer, and
+// engine-pool queueing, not just the sweep kernels.
+//
+// Point it at a running server:
+//
+//	lamsload -addr http://localhost:8080 -rate 50 -duration 10s
+//
+// or let it host one in-process (the CI smoke does this; no daemon needed):
+//
+//	lamsload -self -rate 50 -duration 10s > BENCH_lamsd.json
+//
+// The generator is open-loop: requests are issued on a fixed tick whether
+// or not earlier ones have finished, so a server that cannot keep up shows
+// as dropped ticks and a widening tail, not a silently slower workload.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lams/pkg/lamsd"
+)
+
+type opResult struct {
+	op  string
+	dur time.Duration
+	err bool
+}
+
+type opStats struct {
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+type report struct {
+	Addr          string             `json:"addr"`
+	TargetRPS     float64            `json:"target_rps"`
+	DurationS     float64            `json:"duration_s"`
+	Concurrency   int                `json:"concurrency"`
+	Meshes        int                `json:"meshes"`
+	TargetVerts   int                `json:"target_verts"`
+	Requests      int                `json:"requests"`
+	Errors        int                `json:"errors"`
+	Dropped       int                `json:"dropped"`
+	ThroughputRPS float64            `json:"throughput_rps"`
+	LatencyMS     opStats            `json:"latency_ms"`
+	Ops           map[string]opStats `json:"ops"`
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "base URL of the lamsd server to drive")
+		self        = flag.Bool("self", false, "host an in-process lamsd server instead of dialing -addr")
+		rate        = flag.Float64("rate", 50, "target request rate (requests/second)")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		concurrency = flag.Int("concurrency", 8, "max in-flight requests")
+		meshes      = flag.Int("meshes", 4, "resident meshes to create before the run")
+		verts       = flag.Int("verts", 2000, "target vertex count per mesh")
+		domain      = flag.String("domain", "carabiner", "domain to generate the working meshes from")
+		seed        = flag.Int64("seed", 1, "PRNG seed for the op mix")
+		tenant      = flag.String("tenant", "", "X-Tenant header to send (empty = none)")
+	)
+	flag.Parse()
+	if *rate <= 0 || *concurrency < 1 || *meshes < 1 {
+		log.Fatal("lamsload: -rate, -concurrency, and -meshes must be positive")
+	}
+
+	base := strings.TrimRight(*addr, "/")
+	if *self {
+		ts := httptest.NewServer(lamsd.New().Handler())
+		defer ts.Close()
+		base = ts.URL
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	ld := &loader{base: base, client: client, tenant: *tenant, verts: *verts, domain: *domain}
+
+	ids, err := ld.setup(*meshes)
+	if err != nil {
+		log.Fatalf("lamsload: setup: %v", err)
+	}
+	ld.ids = ids
+
+	// Open-loop generation: one token per tick into a buffer the size of
+	// the worker pool; a full buffer means the server is behind and the
+	// tick is counted as dropped rather than queued without bound.
+	ticks := make(chan struct{}, *concurrency)
+	results := make(chan opResult, 4**concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		// Per-worker PRNGs: deterministic under -seed, no lock contention.
+		rng := rand.New(rand.NewSource(*seed + int64(w)))
+		go func() {
+			defer wg.Done()
+			for range ticks {
+				results <- ld.step(rng)
+			}
+		}()
+	}
+
+	var all []opResult
+	collected := make(chan struct{})
+	go func() {
+		for r := range results {
+			all = append(all, r)
+		}
+		close(collected)
+	}()
+
+	dropped := 0
+	interval := time.Duration(float64(time.Second) / *rate)
+	ticker := time.NewTicker(interval)
+	deadline := time.After(*duration)
+	start := time.Now()
+loop:
+	for {
+		select {
+		case <-ticker.C:
+			select {
+			case ticks <- struct{}{}:
+			default:
+				dropped++
+			}
+		case <-deadline:
+			break loop
+		}
+	}
+	ticker.Stop()
+	close(ticks)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(results)
+	<-collected
+
+	rep := summarize(all, *rate, elapsed, dropped)
+	rep.Addr = base
+	rep.Concurrency = *concurrency
+	rep.Meshes = *meshes
+	rep.TargetVerts = *verts
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatalf("lamsload: %v", err)
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+func summarize(all []opResult, rate float64, elapsed time.Duration, dropped int) report {
+	rep := report{
+		TargetRPS: rate,
+		DurationS: elapsed.Seconds(),
+		Requests:  len(all),
+		Dropped:   dropped,
+		Ops:       make(map[string]opStats),
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(len(all)) / elapsed.Seconds()
+	}
+	byOp := make(map[string][]opResult)
+	for _, r := range all {
+		if r.err {
+			rep.Errors++
+		}
+		byOp[r.op] = append(byOp[r.op], r)
+	}
+	rep.LatencyMS = statsOf(all)
+	for op, rs := range byOp {
+		rep.Ops[op] = statsOf(rs)
+	}
+	return rep
+}
+
+func statsOf(rs []opResult) opStats {
+	st := opStats{Count: len(rs)}
+	if len(rs) == 0 {
+		return st
+	}
+	durs := make([]float64, 0, len(rs))
+	for _, r := range rs {
+		if r.err {
+			st.Errors++
+		}
+		durs = append(durs, float64(r.dur)/float64(time.Millisecond))
+	}
+	sort.Float64s(durs)
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(durs)-1))
+		return durs[i]
+	}
+	st.P50MS, st.P90MS, st.P99MS = pct(0.50), pct(0.90), pct(0.99)
+	return st
+}
+
+// loader holds the target server and the working-set mesh ids.
+type loader struct {
+	base   string
+	client *http.Client
+	tenant string
+	verts  int
+	domain string
+	ids    []string
+}
+
+// setup creates the resident working set the mixed ops run against.
+func (ld *loader) setup(n int) ([]string, error) {
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		id, status, err := ld.createMesh()
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusCreated {
+			return nil, fmt.Errorf("creating mesh: status %d", status)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// step runs one operation from the mix and times it. The weights lean on
+// smooth — the hot path the pool exists for — with reorders, analyses,
+// reads, and full create/delete churn keeping every subsystem in play.
+func (ld *loader) step(rng *rand.Rand) opResult {
+	id := ld.ids[rng.Intn(len(ld.ids))]
+	roll := rng.Float64()
+	start := time.Now()
+	var (
+		op     string
+		status int
+		err    error
+	)
+	switch {
+	case roll < 0.50:
+		op = "smooth"
+		status, err = ld.do("POST", "/v1/meshes/"+id+"/smooth",
+			`{"workers":1,"max_iters":2,"tol":-1}`)
+	case roll < 0.65:
+		op = "reorder"
+		status, err = ld.do("POST", "/v1/meshes/"+id+"/reorder", `{"ordering":"RDR"}`)
+	case roll < 0.75:
+		op = "analyze"
+		status, err = ld.do("GET", "/v1/meshes/"+id+"/analyze?iters=1", "")
+	case roll < 0.90:
+		op = "get"
+		status, err = ld.do("GET", "/v1/meshes/"+id, "")
+	default:
+		// Create-and-delete churn: exercises store admission, quota
+		// accounting, and the delete path's engine-cache eviction.
+		op = "churn"
+		var newID string
+		newID, status, err = ld.createMesh()
+		if err == nil && status == http.StatusCreated {
+			status, err = ld.do("DELETE", "/v1/meshes/"+newID, "")
+		}
+	}
+	ok := err == nil && status >= 200 && status < 300
+	return opResult{op: op, dur: time.Since(start), err: !ok}
+}
+
+func (ld *loader) createMesh() (id string, status int, err error) {
+	body := fmt.Sprintf(`{"domain":%q,"target_verts":%d}`, ld.domain, ld.verts)
+	req, err := http.NewRequest("POST", ld.base+"/v1/meshes", strings.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if ld.tenant != "" {
+		req.Header.Set("X-Tenant", ld.tenant)
+	}
+	resp, err := ld.client.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", resp.StatusCode, err
+	}
+	return out.ID, resp.StatusCode, nil
+}
+
+func (ld *loader) do(method, path, body string) (int, error) {
+	var rdr io.Reader
+	if body != "" {
+		rdr = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, ld.base+path, rdr)
+	if err != nil {
+		return 0, err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if ld.tenant != "" {
+		req.Header.Set("X-Tenant", ld.tenant)
+	}
+	resp, err := ld.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}

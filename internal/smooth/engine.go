@@ -120,6 +120,9 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 	}
 	res := Result{InitialQuality: q0}
 	res.FinalQuality = res.InitialQuality
+	if opt.Progress != nil {
+		opt.Progress(0, q0)
+	}
 	if opt.MaxIters > 0 {
 		res.QualityHistory = make([]float64, 0, opt.MaxIters)
 	}
@@ -151,6 +154,9 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 		}
 		res.QualityHistory = append(res.QualityHistory, q)
 		res.FinalQuality = q
+		if opt.Progress != nil {
+			opt.Progress(res.Iterations, q)
+		}
 		if q-prevQ < opt.Tol {
 			break
 		}

@@ -53,6 +53,9 @@ type Options3 struct {
 	// NoFastPath forces the generic interface-dispatch sweep body and the
 	// serial interface-dispatch quality pass; see Options.NoFastPath.
 	NoFastPath bool
+	// Progress, when non-nil, observes the measured iterations live; see
+	// Options.Progress.
+	Progress func(iteration int, quality float64)
 	// Trace, when non-nil, records every vertex-array access on the
 	// worker's stream; the buffer must have at least Workers cores.
 	Trace *trace.Buffer
@@ -170,6 +173,9 @@ func (s *Smoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Options3) (Res
 	}
 	res := Result{InitialQuality: q0}
 	res.FinalQuality = res.InitialQuality
+	if opt.Progress != nil {
+		opt.Progress(0, q0)
+	}
 	if opt.MaxIters > 0 {
 		res.QualityHistory = make([]float64, 0, opt.MaxIters)
 	}
@@ -201,6 +207,9 @@ func (s *Smoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Options3) (Res
 		}
 		res.QualityHistory = append(res.QualityHistory, q)
 		res.FinalQuality = q
+		if opt.Progress != nil {
+			opt.Progress(res.Iterations, q)
+		}
 		if q-prevQ < opt.Tol {
 			break
 		}

@@ -62,6 +62,11 @@ func NewPartitionedSmoother() *PartitionedSmoother { return &PartitionedSmoother
 // Reset releases the cached decomposition and scratch; see Smoother.Reset.
 func (ps *PartitionedSmoother) Reset() { *ps = PartitionedSmoother{} }
 
+// CachedMesh returns the mesh whose decomposition the driver currently
+// caches, or nil before the first run. Long-lived holders (engine pools)
+// use it to drop decompositions of meshes that no longer exist.
+func (ps *PartitionedSmoother) CachedMesh() *mesh.Mesh { return ps.mesh }
+
 // partEngine is one partition's worker state: its engine, local mesh,
 // index maps, and exchange scratch.
 type partEngine struct {
@@ -164,6 +169,9 @@ func (ps *PartitionedSmoother) Run(ctx context.Context, m *mesh.Mesh, opt Option
 	}
 	res := Result{InitialQuality: q0}
 	res.FinalQuality = res.InitialQuality
+	if opt.Progress != nil {
+		opt.Progress(0, q0)
+	}
 	if opt.MaxIters > 0 {
 		res.QualityHistory = make([]float64, 0, opt.MaxIters)
 	}
@@ -222,6 +230,9 @@ func (ps *PartitionedSmoother) Run(ctx context.Context, m *mesh.Mesh, opt Option
 		}
 		res.QualityHistory = append(res.QualityHistory, q)
 		res.FinalQuality = q
+		if opt.Progress != nil {
+			opt.Progress(res.Iterations, q)
+		}
 		if q-prevQ < opt.Tol {
 			break
 		}

@@ -38,6 +38,10 @@ func NewPartitionedSmoother3() *PartitionedSmoother3 { return &PartitionedSmooth
 // Reset releases the cached decomposition and scratch; see Smoother.Reset.
 func (ps *PartitionedSmoother3) Reset() { *ps = PartitionedSmoother3{} }
 
+// CachedMesh returns the mesh whose decomposition the driver currently
+// caches, or nil before the first run; see PartitionedSmoother.CachedMesh.
+func (ps *PartitionedSmoother3) CachedMesh() *mesh.TetMesh { return ps.mesh }
+
 // partEngine3 is one partition's worker state; the 3D partEngine.
 type partEngine3 struct {
 	index int
@@ -129,6 +133,9 @@ func (ps *PartitionedSmoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Op
 	}
 	res := Result{InitialQuality: q0}
 	res.FinalQuality = res.InitialQuality
+	if opt.Progress != nil {
+		opt.Progress(0, q0)
+	}
 	if opt.MaxIters > 0 {
 		res.QualityHistory = make([]float64, 0, opt.MaxIters)
 	}
@@ -178,6 +185,9 @@ func (ps *PartitionedSmoother3) Run(ctx context.Context, m *mesh.TetMesh, opt Op
 		}
 		res.QualityHistory = append(res.QualityHistory, q)
 		res.FinalQuality = q
+		if opt.Progress != nil {
+			opt.Progress(res.Iterations, q)
+		}
 		if q-prevQ < opt.Tol {
 			break
 		}

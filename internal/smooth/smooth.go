@@ -122,6 +122,12 @@ type Options struct {
 	// bit-identical either way (the fast-path equivalence suite pins this);
 	// the switch exists for that suite and for before/after benchmarks.
 	NoFastPath bool
+	// Progress, when non-nil, observes the run's convergence live: it is
+	// called serially from the converge loop with the initial measurement
+	// (iteration 0) and then after every measured sweep — the same points
+	// QualityHistory records. It must be fast and must not smooth the mesh
+	// reentrantly; long-running services use it to surface job progress.
+	Progress func(iteration int, quality float64)
 	// Trace, when non-nil, records every vertex-array access (the smoothed
 	// vertex, then each of its neighbors) on the worker's stream. The
 	// buffer must have at least Workers cores.

@@ -12,6 +12,10 @@ import (
 // DefaultTol is the paper's quality convergence criterion (§5.1).
 const DefaultTol = smooth.DefaultTol
 
+// DefaultMaxIterations is the sweep cap applied when WithMaxIterations is
+// not given.
+const DefaultMaxIterations = 100
+
 // SmoothResult reports a smoothing run: iterations executed, global quality
 // before/after and per iteration, and the vertex-access count. 2D and 3D
 // runs share this shape.
@@ -195,6 +199,16 @@ func WithTrace(tb *TraceBuffer) SmoothOption {
 	return func(c *smoothConfig) { c.opt.Trace = tb }
 }
 
+// WithProgress observes the run's convergence live: fn is called serially
+// from the converge loop with the initial measurement (iteration 0) and
+// then after every measured sweep — the same points the result's
+// QualityHistory records (so with WithCheckEvery(k) it fires every k-th
+// sweep). fn must be fast and must not smooth reentrantly; services use it
+// to surface async-job progress. Applies to Smooth and SmoothTet alike.
+func WithProgress(fn func(iteration int, quality float64)) SmoothOption {
+	return func(c *smoothConfig) { c.opt.Progress = fn }
+}
+
 func buildOptions(opts []SmoothOption) (smooth.Options, error) {
 	var c smoothConfig
 	for _, opt := range opts {
@@ -228,6 +242,7 @@ func buildOptions3(opts []SmoothOption) (smooth.Options3, error) {
 		CheckEvery:  o.CheckEvery,
 		Partitions:  o.Partitions,
 		Partitioner: o.Partitioner,
+		Progress:    o.Progress,
 		Trace:       o.Trace,
 	}, nil
 }
@@ -320,3 +335,32 @@ func (s *Smoother) Reset() {
 	s.engine3.Reset()
 	s.parted, s.parted3 = nil, nil
 }
+
+// DropMeshCache releases any per-mesh state the engine caches for m (the
+// partitioned drivers keep a mesh decomposition warm across runs), and
+// reports whether anything was dropped. m is the *Mesh or *TetMesh the
+// cache would reference; services call this when a mesh is evicted so a
+// warm pooled engine cannot pin the deleted mesh — and its O(mesh)
+// decomposition — until the whole pool is trimmed.
+func (s *Smoother) DropMeshCache(m any) bool {
+	dropped := false
+	if s.parted != nil {
+		if cm := s.parted.CachedMesh(); cm != nil && any(cm) == m {
+			s.parted = nil
+			dropped = true
+		}
+	}
+	if s.parted3 != nil {
+		if cm := s.parted3.CachedMesh(); cm != nil && any(cm) == m {
+			s.parted3 = nil
+			dropped = true
+		}
+	}
+	return dropped
+}
+
+// DropPartitionCaches unconditionally releases both partitioned drivers
+// and their cached decompositions, keeping the rest of the engine's
+// (mesh-agnostic) scratch warm. The conservative form of DropMeshCache for
+// callers that no longer know which meshes are stale.
+func (s *Smoother) DropPartitionCaches() { s.parted, s.parted3 = nil, nil }

@@ -84,26 +84,64 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// withDeadline maps the per-request deadline onto the request context: the
-// configured default, or ?timeout=DURATION clamped to the configured
-// maximum. Work cut off by the deadline surfaces as 504.
+// parseTimeout resolves the request's time budget: the configured default,
+// or ?timeout=DURATION clamped to the configured maximum. Zero, negative,
+// and unparsable values are a 400 — never an already-expired or unbounded
+// context. Both the synchronous deadline middleware and the async job
+// submission path (where the budget outlives the HTTP request) use it.
+func (s *Server) parseTimeout(r *http.Request) (time.Duration, error) {
+	d := s.cfg.DefaultTimeout
+	if q := r.URL.Query().Get("timeout"); q != "" {
+		pd, err := time.ParseDuration(q)
+		if err != nil || pd <= 0 {
+			return 0, apiErrorf(http.StatusBadRequest, "invalid timeout %q: want a positive Go duration like 30s", q)
+		}
+		if pd > s.cfg.MaxTimeout {
+			pd = s.cfg.MaxTimeout
+		}
+		d = pd
+	}
+	return d, nil
+}
+
+// withDeadline maps the per-request deadline onto the request context.
+// Work cut off by the deadline surfaces as 504.
 func (s *Server) withDeadline(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		d := s.cfg.DefaultTimeout
-		if q := r.URL.Query().Get("timeout"); q != "" {
-			pd, err := time.ParseDuration(q)
-			if err != nil || pd <= 0 {
-				writeError(w, apiErrorf(http.StatusBadRequest, "invalid timeout %q: want a positive Go duration like 30s", q))
-				return
-			}
-			if pd > s.cfg.MaxTimeout {
-				pd = s.cfg.MaxTimeout
-			}
-			d = pd
+		d, err := s.parseTimeout(r)
+		if err != nil {
+			writeError(w, err)
+			return
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), d)
 		defer cancel()
 		h(w, r.WithContext(ctx))
+	}
+}
+
+// withTenant resolves the request's tenant (the X-Tenant header, or
+// DefaultTenant) onto the context and admits the request through the
+// tenant's token bucket. A drained bucket is a 429 with a Retry-After hint.
+func (s *Server) withTenant(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tenant := r.Header.Get("X-Tenant")
+		if tenant == "" {
+			tenant = DefaultTenant
+		} else if !validTenant(tenant) {
+			writeError(w, apiErrorf(http.StatusBadRequest,
+				"invalid X-Tenant %q: want 1-64 characters from [A-Za-z0-9._-]", tenant))
+			return
+		}
+		s.metrics.tenantCounter(tenant, "requests")
+		if ok, retry := s.quotas.Allow(tenant); !ok {
+			w.Header().Set("Retry-After", strconv.FormatInt(int64(retry/time.Second), 10))
+			s.metrics.throttled.Add(1)
+			s.metrics.tenantCounter(tenant, "throttled")
+			writeError(w, apiErrorf(http.StatusTooManyRequests,
+				"tenant %q over its request rate limit; retry in %s", tenant, retry))
+			return
+		}
+		h(w, r.WithContext(context.WithValue(r.Context(), tenantKey, tenant)))
 	}
 }
 
@@ -257,6 +295,14 @@ type generateRequest struct {
 var tetDomains = []string{"cube"}
 
 func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
+	tenant := tenantFrom(r.Context())
+	if quota := s.cfg.TenantMaxMeshes; quota > 0 && s.store.CountTenant(tenant) >= quota {
+		w.Header().Set("Retry-After", "1")
+		s.metrics.tenantCounter(tenant, "throttled")
+		writeError(w, apiErrorf(http.StatusTooManyRequests,
+			"tenant %q at its resident-mesh quota (%d); delete one first", tenant, quota))
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	ct := r.Header.Get("Content-Type")
 	var (
@@ -265,12 +311,12 @@ func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
 	)
 	switch {
 	case strings.HasPrefix(ct, "application/json"):
-		rec, err = s.generateMesh(r)
+		rec, err = s.generateMesh(r, tenant)
 	case strings.HasPrefix(ct, "multipart/"):
 		var m *lams.Mesh
 		var name string
 		if m, name, err = s.uploadMesh(r); err == nil {
-			rec, err = s.addMesh(func() (*meshRecord, error) { return s.store.Add(m, name) })
+			rec, err = s.addMesh(func() (*meshRecord, error) { return s.store.Add(m, name, tenant) })
 		}
 	default:
 		err = apiErrorf(http.StatusUnsupportedMediaType,
@@ -294,7 +340,7 @@ func (s *Server) addMesh(add func() (*meshRecord, error)) (*meshRecord, error) {
 	return rec, nil
 }
 
-func (s *Server) generateMesh(r *http.Request) (*meshRecord, error) {
+func (s *Server) generateMesh(r *http.Request, tenant string) (*meshRecord, error) {
 	var req generateRequest
 	if err := decodeJSON(r, &req, false); err != nil {
 		return nil, err
@@ -329,13 +375,13 @@ func (s *Server) generateMesh(r *http.Request) (*meshRecord, error) {
 		if err != nil {
 			return nil, apiErrorf(http.StatusBadRequest, "generating tet mesh: %v", err)
 		}
-		return s.addMesh(func() (*meshRecord, error) { return s.store.AddTet(m, req.Domain) })
+		return s.addMesh(func() (*meshRecord, error) { return s.store.AddTet(m, req.Domain, tenant) })
 	}
 	m, err := lams.GenerateMesh(req.Domain, req.TargetVerts)
 	if err != nil {
 		return nil, apiErrorf(http.StatusBadRequest, "generating mesh: %v", err)
 	}
-	return s.addMesh(func() (*meshRecord, error) { return s.store.Add(m, req.Domain) })
+	return s.addMesh(func() (*meshRecord, error) { return s.store.Add(m, req.Domain, tenant) })
 }
 
 // uploadMesh streams a Triangle-format mesh out of a multipart body. The
@@ -413,11 +459,15 @@ func (s *Server) handleGetMesh(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteMesh(w http.ResponseWriter, r *http.Request) {
-	existed, empty := s.store.Delete(r.PathValue("id"))
-	if !existed {
+	rec, empty := s.store.Delete(r.PathValue("id"))
+	if rec == nil {
 		writeError(w, apiErrorf(http.StatusNotFound, "mesh %q not found", r.PathValue("id")))
 		return
 	}
+	// Warm partitioned engines may hold a decomposition cached against this
+	// mesh; drop those references so deleting the mesh actually frees it
+	// (engines checked out right now are swept when they return to the pool).
+	s.pool.EvictMesh(rec.liveMesh())
 	if empty {
 		// No meshes left: parked engine buffers are sized for meshes that no
 		// longer exist, so release them.
@@ -553,11 +603,13 @@ func (s *Server) handleReorderMesh(w http.ResponseWriter, r *http.Request) {
 			"mesh %q was modified while the ordering was being computed; retry", rec.id))
 		return
 	}
+	oldMesh := rec.liveMesh()
 	if res.mesh3 != nil {
 		rec.tet = res.mesh3
 	} else {
 		rec.mesh = res.mesh2
 	}
+	rec.storeLive()
 	rec.gen.Add(1)
 	rec.metaMu.Lock()
 	rec.ordering = req.Ordering
@@ -568,6 +620,11 @@ func (s *Server) handleReorderMesh(w http.ResponseWriter, r *http.Request) {
 	rec.metaMu.Unlock()
 	rec.mu.Unlock()
 
+	// The pre-reorder mesh object is gone; decompositions cached against it
+	// in warm engines would only pin its memory (they could never be reused —
+	// the cache keys on the mesh pointer).
+	s.pool.EvictMesh(oldMesh)
+	s.store.Touch()
 	s.metrics.reorders.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id":            rec.id,
@@ -749,7 +806,24 @@ func (s *Server) handleSmoothMesh(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("schedule"); q != "" {
 		req.Schedule = q
 	}
-	resp, err := s.runSmooth(r.Context(), rec, req)
+	async := false
+	if q := r.URL.Query().Get("async"); q != "" {
+		async, err = strconv.ParseBool(q)
+		if err != nil {
+			writeError(w, apiErrorf(http.StatusBadRequest, "invalid async %q: want a boolean like 1 or true", q))
+			return
+		}
+	}
+	plan, err := s.planSmooth(rec, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if async {
+		s.submitSmoothJob(w, r, rec, plan)
+		return
+	}
+	resp, err := s.executeSmooth(r.Context(), rec, plan, nil)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -757,13 +831,69 @@ func (s *Server) handleSmoothMesh(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// runSmooth is the pooled hot path: validate the request, check a warm
-// engine out of the pool (queueing under the request deadline), run the
-// sweep engine on the stored mesh under its write lock, and return the
-// engine. In steady state this performs no per-request engine allocation —
-// the engine's visit/next/quality scratch buffers were grown by earlier
-// requests; see TestServerPooledSmoothSteadyState.
+// submitSmoothJob is the ?async=1 leg of the smooth endpoint: admit the job
+// against the tenant's in-flight cap, register it, detach the run onto a
+// background goroutine under its own ?timeout-derived budget, and answer
+// 202 with the job's poll URL.
+func (s *Server) submitSmoothJob(w http.ResponseWriter, r *http.Request, rec *meshRecord, plan smoothPlan) {
+	tenant := tenantFrom(r.Context())
+	// Re-parse rather than inherit the request deadline: the job's budget
+	// starts when the run does, not when the submission arrived.
+	budget, err := s.parseTimeout(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !s.quotas.AcquireJob(tenant) {
+		w.Header().Set("Retry-After", "1")
+		s.metrics.tenantCounter(tenant, "throttled")
+		writeError(w, apiErrorf(http.StatusTooManyRequests,
+			"tenant %q at its in-flight async job quota (%d); poll or cancel a job first", tenant, s.cfg.TenantMaxJobs))
+		return
+	}
+	job, err := s.jobs.add(tenant, rec.id, plan.maxIters, budget)
+	if err != nil {
+		s.quotas.ReleaseJob(tenant)
+		writeError(w, err)
+		return
+	}
+	s.metrics.jobsSubmitted.Add(1)
+	s.metrics.tenantCounter(tenant, "jobs_submitted")
+	s.startJob(job, rec, plan)
+	w.Header().Set("Location", "/v1/jobs/"+job.id)
+	writeJSON(w, http.StatusAccepted, job.info())
+}
+
+// runSmooth plans and executes a smooth request in one step — the
+// synchronous path in a single call, for direct (non-HTTP) use.
 func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothRequest) (smoothResponse, error) {
+	plan, err := s.planSmooth(rec, req)
+	if err != nil {
+		return smoothResponse{}, err
+	}
+	return s.executeSmooth(ctx, rec, plan, nil)
+}
+
+// smoothPlan is a validated smooth request, ready to execute: the resolved
+// engine-pool key fields, the option list for the run, and the bookkeeping
+// the response and the async progress view need. Splitting planning from
+// execution keeps validation errors a cheap 400 on the submission path and
+// lets the async path carry the plan across the HTTP/goroutine boundary.
+type smoothPlan struct {
+	kernName      string
+	schedule      string
+	partitions    int
+	partitioner   string
+	workers       int
+	checkEvery    int
+	maxIters      int // effective sweep cap (the library default when the request left it 0)
+	defaultMetric bool
+	opts          []lams.SmoothOption
+}
+
+// planSmooth validates the request against the server limits and the mesh's
+// dimension and resolves it into a smoothPlan. It takes no locks.
+func (s *Server) planSmooth(rec *meshRecord, req smoothRequest) (smoothPlan, error) {
 	// Resolve the dimension-specific rules first: metric and kernel. The
 	// resulting options list, kernel name, and whether the default metric is
 	// in play feed the shared path below.
@@ -775,11 +905,11 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	if rec.dim == 3 {
 		met, err := tetMetricFor(req.Metric)
 		if err != nil {
-			return smoothResponse{}, err
+			return smoothPlan{}, err
 		}
 		kern, name, err := tetKernelFor(req, met)
 		if err != nil {
-			return smoothResponse{}, err
+			return smoothPlan{}, err
 		}
 		kernName = name
 		defaultMetric = met == nil
@@ -790,11 +920,11 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	} else {
 		met, err := metricFor(req.Metric)
 		if err != nil {
-			return smoothResponse{}, err
+			return smoothPlan{}, err
 		}
 		kern, name, err := kernelFor(req, met)
 		if err != nil {
-			return smoothResponse{}, err
+			return smoothPlan{}, err
 		}
 		kernName = name
 		defaultMetric = met == nil
@@ -808,75 +938,56 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 		workers = 1
 	}
 	if workers < 1 || workers > s.cfg.MaxWorkers {
-		return smoothResponse{}, apiErrorf(http.StatusBadRequest,
+		return smoothPlan{}, apiErrorf(http.StatusBadRequest,
 			"workers %d out of range [1,%d]", workers, s.cfg.MaxWorkers)
 	}
 	if req.MaxIters < 0 {
-		return smoothResponse{}, apiErrorf(http.StatusBadRequest, "max_iters %d is negative", req.MaxIters)
+		return smoothPlan{}, apiErrorf(http.StatusBadRequest, "max_iters %d is negative", req.MaxIters)
 	}
 	checkEvery := req.CheckEvery
 	if checkEvery == 0 {
 		checkEvery = 1
 	}
 	if checkEvery < 1 {
-		return smoothResponse{}, apiErrorf(http.StatusBadRequest,
+		return smoothPlan{}, apiErrorf(http.StatusBadRequest,
 			"check_every %d: want >= 1 (measure global quality every k-th sweep)", req.CheckEvery)
 	}
 	schedule, err := scheduleFor(req.Schedule)
 	if err != nil {
-		return smoothResponse{}, err
+		return smoothPlan{}, err
 	}
 	partitions := req.Partitions
 	if partitions == 0 {
 		partitions = 1
 	}
 	if partitions < 1 {
-		return smoothResponse{}, apiErrorf(http.StatusBadRequest,
+		return smoothPlan{}, apiErrorf(http.StatusBadRequest,
 			"partitions %d: want >= 1 (smooth with one engine per partition)", req.Partitions)
 	}
 	partitioner := ""
 	if partitions > 1 {
 		if req.GaussSeidel {
-			return smoothResponse{}, apiErrorf(http.StatusBadRequest,
+			return smoothPlan{}, apiErrorf(http.StatusBadRequest,
 				"partitions %d: partitioned runs need Jacobi updates; drop gauss_seidel", partitions)
 		}
 		if kernName == "smart" {
-			return smoothResponse{}, apiErrorf(http.StatusBadRequest,
+			return smoothPlan{}, apiErrorf(http.StatusBadRequest,
 				"partitions %d: the smart kernel updates in place; partitioned runs need a Jacobi kernel", partitions)
 		}
 		if partitioner, err = partitionerFor(req.Partitioner); err != nil {
-			return smoothResponse{}, err
+			return smoothPlan{}, err
 		}
 	} else if req.Partitioner != "" {
 		// Validate even when unused so typos do not pass silently.
 		if _, err := partitionerFor(req.Partitioner); err != nil {
-			return smoothResponse{}, err
+			return smoothPlan{}, err
 		}
 	}
 
-	// Serialize on the mesh BEFORE taking a pool slot: requests for one hot
-	// mesh queue on its lock without pinning global smooth capacity, so they
-	// cannot starve smooths of other meshes. The mutex wait itself is not
-	// context-aware, but it is bounded by the lock holder's own deadline and
-	// the request's deadline is re-checked the moment the lock arrives.
-	rec.mu.Lock()
-	defer rec.mu.Unlock()
-	if err := ctx.Err(); err != nil {
-		return smoothResponse{}, err
+	maxIters := req.MaxIters
+	if maxIters == 0 {
+		maxIters = lams.DefaultMaxIterations
 	}
-	if nverts := rec.numVerts(); partitions > nverts {
-		return smoothResponse{}, apiErrorf(http.StatusBadRequest,
-			"partitions %d out of range [1,%d] for this mesh", partitions, nverts)
-	}
-	key := engineKey{Dim: rec.dim, Kernel: kernName, Workers: workers, Schedule: schedule,
-		Partitions: partitions, Partitioner: partitioner}
-	eng, err := s.pool.Acquire(ctx, key)
-	if err != nil {
-		// The deadline or client disconnect fired while queued.
-		return smoothResponse{}, err
-	}
-	defer s.pool.Release(key, eng)
-
 	opts := make([]lams.SmoothOption, 0, 10)
 	opts = append(opts, dimOpts...)
 	opts = append(opts, lams.WithWorkers(workers), lams.WithSchedule(schedule))
@@ -901,6 +1012,57 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	if partitions > 1 {
 		opts = append(opts, lams.WithPartitions(partitions), lams.WithPartitioner(partitioner))
 	}
+	return smoothPlan{
+		kernName:      kernName,
+		schedule:      schedule,
+		partitions:    partitions,
+		partitioner:   partitioner,
+		workers:       workers,
+		checkEvery:    checkEvery,
+		maxIters:      maxIters,
+		defaultMetric: defaultMetric,
+		opts:          opts,
+	}, nil
+}
+
+// executeSmooth is the pooled hot path shared by the synchronous endpoint
+// and the async job runner: check a warm engine out of the pool (queueing
+// under ctx's deadline), run the sweep engine on the stored mesh under its
+// write lock, and return the engine. In steady state this performs no
+// per-request engine allocation — the engine's visit/next/quality scratch
+// buffers were grown by earlier requests; see
+// TestServerPooledSmoothSteadyState. progress, when non-nil, is threaded to
+// the engine's convergence loop (the async path's live job view).
+func (s *Server) executeSmooth(ctx context.Context, rec *meshRecord, plan smoothPlan, progress func(iteration int, quality float64)) (smoothResponse, error) {
+	// Serialize on the mesh BEFORE taking a pool slot: requests for one hot
+	// mesh queue on its lock without pinning global smooth capacity, so they
+	// cannot starve smooths of other meshes. The mutex wait itself is not
+	// context-aware, but it is bounded by the lock holder's own deadline and
+	// the request's deadline is re-checked the moment the lock arrives.
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return smoothResponse{}, err
+	}
+	if nverts := rec.numVerts(); plan.partitions > nverts {
+		return smoothResponse{}, apiErrorf(http.StatusBadRequest,
+			"partitions %d out of range [1,%d] for this mesh", plan.partitions, nverts)
+	}
+	key := engineKey{Dim: rec.dim, Kernel: plan.kernName, Workers: plan.workers, Schedule: plan.schedule,
+		Partitions: plan.partitions, Partitioner: plan.partitioner}
+	eng, err := s.pool.Acquire(ctx, key)
+	if err != nil {
+		// The deadline or client disconnect fired while queued.
+		return smoothResponse{}, err
+	}
+	defer s.pool.Release(key, eng)
+
+	opts := plan.opts
+	if progress != nil {
+		// Full-slice append: never grow the plan's backing array in place (a
+		// canceled-and-resubmitted plan must not see a stale Progress option).
+		opts = append(opts[:len(opts):len(opts)], lams.WithProgress(progress))
+	}
 
 	start := time.Now()
 	var res lams.SmoothResult
@@ -912,6 +1074,9 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	dur := time.Since(start)
 	if res.Iterations > 0 {
 		rec.gen.Add(1)
+		// Coordinates moved: the resident state drifted from the last
+		// snapshot, whatever the outcome below.
+		s.store.Touch()
 	}
 	rec.metaMu.Lock()
 	switch {
@@ -920,7 +1085,7 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 		if res.Iterations > 0 {
 			rec.qualityStale = true
 		}
-	case defaultMetric:
+	case plan.defaultMetric:
 		// The engine's final quality IS the default-metric global quality:
 		// refresh the cache for free on the common path.
 		rec.smoothRuns++
@@ -938,15 +1103,15 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 	}
 
 	s.metrics.smoothRuns.Add(1)
-	s.metrics.smoothBySchedule.Add(schedule, 1)
+	s.metrics.smoothBySchedule.Add(plan.schedule, 1)
 	s.metrics.smoothIterations.Add(int64(res.Iterations))
 	s.metrics.smoothAccesses.Add(res.Accesses)
 	resp := smoothResponse{
 		ID:             rec.id,
-		Kernel:         kernName,
-		Workers:        workers,
-		Schedule:       schedule,
-		CheckEvery:     checkEvery,
+		Kernel:         plan.kernName,
+		Workers:        plan.workers,
+		Schedule:       plan.schedule,
+		CheckEvery:     plan.checkEvery,
 		Iterations:     res.Iterations,
 		InitialQuality: res.InitialQuality,
 		FinalQuality:   res.FinalQuality,
@@ -954,9 +1119,9 @@ func (s *Server) runSmooth(ctx context.Context, rec *meshRecord, req smoothReque
 		DurationMS:     float64(dur) / float64(time.Millisecond),
 		Pool:           s.pool.Stats(),
 	}
-	if partitions > 1 {
+	if plan.partitions > 1 {
 		s.metrics.smoothPartitioned.Add(1)
-		resp.Partitions, resp.Partitioner = partitions, partitioner
+		resp.Partitions, resp.Partitioner = plan.partitions, plan.partitioner
 	}
 	return resp, nil
 }

@@ -1,0 +1,349 @@
+package lamsd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// jobState is the lifecycle of an async smooth job.
+type jobState string
+
+const (
+	jobQueued   jobState = "queued"
+	jobRunning  jobState = "running"
+	jobDone     jobState = "done"
+	jobFailed   jobState = "failed"
+	jobCanceled jobState = "canceled"
+)
+
+// terminal reports whether the state is final (the TTL sweep only collects
+// terminal jobs).
+func (st jobState) terminal() bool {
+	return st == jobDone || st == jobFailed || st == jobCanceled
+}
+
+// smoothJob is one asynchronous smooth: submitted with ?async=1, executed
+// by a background goroutine through the same pooled executeSmooth path the
+// synchronous endpoint uses, polled via GET /v1/jobs/{id}, and canceled via
+// DELETE (which fires the job context's cancel — the same plumbing that
+// maps request deadlines onto the sweep engine).
+type smoothJob struct {
+	id      string
+	seq     uint64
+	tenant  string
+	meshID  string
+	created time.Time
+	// maxIters is the run's effective iteration cap, the denominator of
+	// the progress/ETA estimate.
+	maxIters int
+	timeout  time.Duration
+	cancel   context.CancelFunc
+
+	// Live progress, written by the engine's Progress callback from the
+	// converge loop and read lock-free by pollers: the latest measured
+	// iteration and the quality it measured.
+	progIter atomic.Int64
+	progQual atomic.Uint64 // math.Float64bits
+
+	mu        sync.Mutex
+	state     jobState
+	started   time.Time
+	finished  time.Time
+	result    *smoothResponse
+	errMsg    string
+	errStatus int
+}
+
+// jobInfo is the JSON shape of a job in every jobs endpoint.
+type jobInfo struct {
+	ID      string    `json:"id"`
+	MeshID  string    `json:"mesh_id"`
+	Tenant  string    `json:"tenant"`
+	State   jobState  `json:"state"`
+	Created time.Time `json:"created"`
+	// Iterations and LatestQuality are the engine's live convergence
+	// progress: the last measured sweep and the global quality it measured
+	// (0 iterations until the initial measurement lands).
+	Iterations    int     `json:"iterations"`
+	LatestQuality float64 `json:"latest_quality"`
+	MaxIters      int     `json:"max_iters"`
+	// EtaMS linearly extrapolates the remaining time from the per-sweep
+	// pace so far, against the iteration cap — an upper bound, since the
+	// convergence criterion usually stops the run earlier. Only present on
+	// running jobs that have completed at least one measured sweep.
+	EtaMS      *float64        `json:"eta_ms,omitempty"`
+	DurationMS float64         `json:"duration_ms"`
+	Result     *smoothResponse `json:"result,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	ErrorCode  int             `json:"error_code,omitempty"`
+}
+
+func (j *smoothJob) info() jobInfo {
+	iter := int(j.progIter.Load())
+	qual := math.Float64frombits(j.progQual.Load())
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := jobInfo{
+		ID:            j.id,
+		MeshID:        j.meshID,
+		Tenant:        j.tenant,
+		State:         j.state,
+		Created:       j.created,
+		Iterations:    iter,
+		LatestQuality: qual,
+		MaxIters:      j.maxIters,
+		Result:        j.result,
+		Error:         j.errMsg,
+		ErrorCode:     j.errStatus,
+	}
+	switch {
+	case j.state.terminal():
+		info.DurationMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+	case j.state == jobRunning:
+		elapsed := time.Since(j.started)
+		info.DurationMS = float64(elapsed) / float64(time.Millisecond)
+		if iter > 0 && iter < j.maxIters {
+			eta := float64(elapsed) / float64(iter) * float64(j.maxIters-iter) / float64(time.Millisecond)
+			info.EtaMS = &eta
+		}
+	}
+	return info
+}
+
+// jobStore is the in-memory job registry. Terminal jobs are retained for
+// ttl (so clients can fetch results after completion) and swept lazily on
+// every access — no background goroutine needed — with maxJobs bounding
+// total residency against pollers that never collect their results.
+type jobStore struct {
+	ttl     time.Duration
+	maxJobs int
+
+	mu      sync.Mutex
+	jobs    map[string]*smoothJob
+	nextSeq uint64
+	closed  bool
+
+	wg sync.WaitGroup // running job goroutines; Close waits for them
+}
+
+func newJobStore(ttl time.Duration, maxJobs int) *jobStore {
+	return &jobStore{ttl: ttl, maxJobs: maxJobs, jobs: make(map[string]*smoothJob)}
+}
+
+// add registers a new queued job. It fails when the server is shutting
+// down or when even evicting terminal jobs cannot make room.
+func (js *jobStore) add(tenant, meshID string, maxIters int, timeout time.Duration) (*smoothJob, error) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if js.closed {
+		return nil, apiErrorf(http.StatusServiceUnavailable, "server is shutting down")
+	}
+	js.sweepLocked(time.Now())
+	if len(js.jobs) >= js.maxJobs {
+		// Retained results yield to new work: evict the oldest terminal
+		// jobs to make room, and reject only when the cap is filled by
+		// jobs that are actually running.
+		js.evictTerminalLocked(len(js.jobs) - js.maxJobs + 1)
+	}
+	if len(js.jobs) >= js.maxJobs {
+		return nil, apiErrorf(http.StatusTooManyRequests,
+			"job store full (%d jobs running); wait or cancel one", len(js.jobs))
+	}
+	js.nextSeq++
+	job := &smoothJob{
+		id:       fmt.Sprintf("j%d", js.nextSeq),
+		seq:      js.nextSeq,
+		tenant:   tenant,
+		meshID:   meshID,
+		created:  time.Now(),
+		maxIters: maxIters,
+		timeout:  timeout,
+		state:    jobQueued,
+	}
+	js.jobs[job.id] = job
+	// Count the job's goroutine here, under the same lock that decides
+	// closed: a concurrent close() either rejects this add or waits for the
+	// run startJob is about to launch — never a Wait that misses it.
+	js.wg.Add(1)
+	return job, nil
+}
+
+// get returns the job for id (sweeping expired ones first), or nil.
+func (js *jobStore) get(id string) *smoothJob {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	js.sweepLocked(time.Now())
+	return js.jobs[id]
+}
+
+// list returns all resident jobs in submission order.
+func (js *jobStore) list() []*smoothJob {
+	js.mu.Lock()
+	js.sweepLocked(time.Now())
+	out := make([]*smoothJob, 0, len(js.jobs))
+	for _, j := range js.jobs {
+		out = append(out, j)
+	}
+	js.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].seq < out[k].seq })
+	return out
+}
+
+// Len returns the number of resident jobs (running + retained).
+func (js *jobStore) Len() int {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return len(js.jobs)
+}
+
+// remove deletes the job record outright (DELETE on a terminal job).
+func (js *jobStore) remove(id string) {
+	js.mu.Lock()
+	delete(js.jobs, id)
+	js.mu.Unlock()
+}
+
+// sweepLocked drops terminal jobs past their retention TTL. Running jobs
+// are never evicted. Callers hold js.mu.
+func (js *jobStore) sweepLocked(now time.Time) {
+	for id, j := range js.jobs {
+		j.mu.Lock()
+		done, finished := j.state.terminal(), j.finished
+		j.mu.Unlock()
+		if done && now.Sub(finished) > js.ttl {
+			delete(js.jobs, id)
+		}
+	}
+}
+
+// evictTerminalLocked removes up to n of the oldest terminal jobs to make
+// room for a new submission. Callers hold js.mu.
+func (js *jobStore) evictTerminalLocked(n int) {
+	var terminal []*smoothJob
+	for _, j := range js.jobs {
+		j.mu.Lock()
+		done := j.state.terminal()
+		j.mu.Unlock()
+		if done {
+			terminal = append(terminal, j)
+		}
+	}
+	sort.Slice(terminal, func(i, k int) bool { return terminal[i].seq < terminal[k].seq })
+	for _, j := range terminal[:min(n, len(terminal))] {
+		delete(js.jobs, j.id)
+	}
+}
+
+// close marks the store closed (rejecting new submissions), cancels every
+// non-terminal job, and waits for the job goroutines to drain.
+func (js *jobStore) close() {
+	js.mu.Lock()
+	js.closed = true
+	for _, j := range js.jobs {
+		j.mu.Lock()
+		cancel, terminal := j.cancel, j.state.terminal()
+		j.mu.Unlock()
+		if !terminal && cancel != nil {
+			cancel()
+		}
+	}
+	js.mu.Unlock()
+	js.wg.Wait()
+}
+
+// startJob launches the job's background run: the same pooled
+// executeSmooth path the synchronous endpoint uses, under a fresh context
+// carrying the job's own deadline, with the engine's Progress callback
+// feeding the job's live counters.
+func (s *Server) startJob(job *smoothJob, rec *meshRecord, plan smoothPlan) {
+	ctx, cancel := context.WithTimeout(context.Background(), job.timeout)
+	job.mu.Lock()
+	job.cancel = cancel
+	job.mu.Unlock()
+	go func() {
+		defer s.jobs.wg.Done()
+		defer cancel()
+		defer s.quotas.ReleaseJob(job.tenant)
+		job.mu.Lock()
+		job.state = jobRunning
+		job.started = time.Now()
+		job.mu.Unlock()
+
+		resp, err := s.executeSmooth(ctx, rec, plan, func(iter int, q float64) {
+			job.progQual.Store(math.Float64bits(q))
+			job.progIter.Store(int64(iter))
+		})
+
+		job.mu.Lock()
+		defer job.mu.Unlock()
+		job.finished = time.Now()
+		switch {
+		case err == nil:
+			job.state = jobDone
+			job.result = &resp
+			s.metrics.jobsCompleted.Add(1)
+		case errors.Is(err, context.Canceled):
+			// DELETE /v1/jobs/{id} (or server shutdown) fired the cancel;
+			// the mesh holds the last completed sweep.
+			job.state = jobCanceled
+			job.errMsg = "canceled"
+			s.metrics.jobsCanceled.Add(1)
+		default:
+			job.state = jobFailed
+			job.errMsg = err.Error()
+			job.errStatus = errorStatus(err)
+			s.metrics.jobsFailed.Add(1)
+		}
+	}()
+}
+
+// --- jobs endpoints ---
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.list()
+	infos := make([]jobInfo, len(jobs))
+	for i, j := range jobs {
+		infos[i] = j.info()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": infos})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job := s.jobs.get(r.PathValue("id"))
+	if job == nil {
+		writeError(w, apiErrorf(http.StatusNotFound, "job %q not found", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.info())
+}
+
+// handleCancelJob cancels a queued/running job through its context (202 —
+// the job transitions to "canceled" when the engine observes the
+// cancellation and commits the last completed sweep), or deletes the
+// record of a terminal job (204).
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job := s.jobs.get(r.PathValue("id"))
+	if job == nil {
+		writeError(w, apiErrorf(http.StatusNotFound, "job %q not found", r.PathValue("id")))
+		return
+	}
+	job.mu.Lock()
+	terminal, cancel := job.state.terminal(), job.cancel
+	job.mu.Unlock()
+	if terminal {
+		s.jobs.remove(job.id)
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if cancel != nil {
+		cancel()
+	}
+	writeJSON(w, http.StatusAccepted, job.info())
+}

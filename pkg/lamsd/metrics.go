@@ -2,6 +2,7 @@ package lamsd
 
 import (
 	"expvar"
+	"sync"
 )
 
 // metrics holds the service counters as expvar values. The vars live in a
@@ -21,6 +22,21 @@ type metrics struct {
 	reorders          *expvar.Int
 	analyses          *expvar.Int
 	uploads           *expvar.Int
+
+	jobsSubmitted *expvar.Int // async jobs accepted
+	jobsCompleted *expvar.Int // async jobs that finished successfully
+	jobsFailed    *expvar.Int // async jobs that errored (incl. deadline)
+	jobsCanceled  *expvar.Int // async jobs canceled via DELETE
+	throttled     *expvar.Int // requests rejected 429 by the rate limiter
+	snapshots     *expvar.Int // mesh-store snapshots written
+	snapshotErrs  *expvar.Int // snapshot attempts that failed
+	restored      *expvar.Int // meshes restored from the snapshot at boot
+
+	// tenants holds one sub-map per X-Tenant key seen (requests and
+	// throttled counts); tenant names are validated and length-bounded
+	// before they reach here, which bounds the cardinality.
+	tenants   *expvar.Map
+	tenantsMu sync.Mutex
 }
 
 func newMetrics() *metrics {
@@ -36,6 +52,15 @@ func newMetrics() *metrics {
 		reorders:          new(expvar.Int),
 		analyses:          new(expvar.Int),
 		uploads:           new(expvar.Int),
+		jobsSubmitted:     new(expvar.Int),
+		jobsCompleted:     new(expvar.Int),
+		jobsFailed:        new(expvar.Int),
+		jobsCanceled:      new(expvar.Int),
+		throttled:         new(expvar.Int),
+		snapshots:         new(expvar.Int),
+		snapshotErrs:      new(expvar.Int),
+		restored:          new(expvar.Int),
+		tenants:           new(expvar.Map).Init(),
 	}
 	m.vars.Set("requests", m.requests)
 	m.vars.Set("errors", m.errors)
@@ -47,7 +72,29 @@ func newMetrics() *metrics {
 	m.vars.Set("reorders", m.reorders)
 	m.vars.Set("analyses", m.analyses)
 	m.vars.Set("uploads", m.uploads)
+	m.vars.Set("jobs_submitted", m.jobsSubmitted)
+	m.vars.Set("jobs_completed", m.jobsCompleted)
+	m.vars.Set("jobs_failed", m.jobsFailed)
+	m.vars.Set("jobs_canceled", m.jobsCanceled)
+	m.vars.Set("requests_throttled", m.throttled)
+	m.vars.Set("snapshots", m.snapshots)
+	m.vars.Set("snapshot_errors", m.snapshotErrs)
+	m.vars.Set("meshes_restored", m.restored)
+	m.vars.Set("tenants", m.tenants)
 	return m
+}
+
+// tenantCounter bumps the named per-tenant counter, creating the tenant's
+// sub-map on first sight.
+func (m *metrics) tenantCounter(tenant, name string) {
+	m.tenantsMu.Lock()
+	sub, _ := m.tenants.Get(tenant).(*expvar.Map)
+	if sub == nil {
+		sub = new(expvar.Map).Init()
+		m.tenants.Set(tenant, sub)
+	}
+	m.tenantsMu.Unlock()
+	sub.Add(name, 1)
 }
 
 // PublishExpvar mounts the server's metrics map into the process-global

@@ -41,12 +41,26 @@ type enginePool struct {
 	mu        sync.Mutex
 	idle      map[engineKey][]*lams.Smoother
 	totalIdle int // parked engines across all keys, bounded by capacity
+	// condemned lists meshes deleted while engines were checked out: an
+	// in-flight engine may still hold a decomposition cache referencing
+	// one, so Release sweeps returning engines against this list. Entries
+	// accumulate only while the pool is busy and are cleared the moment
+	// the last engine comes back (every parked engine has been swept by
+	// then, by EvictMesh directly or by its own Release). Bounded by
+	// condemnedCap; on overflow condemnedAll makes Release drop returning
+	// engines' partition caches wholesale instead — a conservative
+	// rebuild, never a leak.
+	condemned    []any
+	condemnedAll bool
 
 	queued atomic.Int64
 	inUse  atomic.Int64
 	hits   atomic.Int64
 	misses atomic.Int64
 }
+
+// condemnedCap bounds the deferred-eviction list; see the field comment.
+const condemnedCap = 64
 
 // PoolStats is a point-in-time snapshot of the engine pool, reported by
 // /healthz, /metrics, and every smooth response.
@@ -99,6 +113,12 @@ func (p *enginePool) Acquire(ctx context.Context, key engineKey) (*lams.Smoother
 		p.idle[key] = list[:len(list)-1]
 		p.totalIdle--
 	}
+	// inUse is incremented while still holding mu so EvictMesh always sees
+	// a consistent picture: every engine is either parked (swept directly)
+	// or counted in-use (condemned-list sweep at Release). An increment
+	// outside the lock would open a window where a just-popped engine is
+	// in neither set.
+	p.inUse.Add(1)
 	p.mu.Unlock()
 
 	if eng != nil {
@@ -107,7 +127,6 @@ func (p *enginePool) Acquire(ctx context.Context, key engineKey) (*lams.Smoother
 		p.misses.Add(1)
 		eng = lams.NewSmoother()
 	}
-	p.inUse.Add(1)
 	return eng, nil
 }
 
@@ -118,13 +137,56 @@ func (p *enginePool) Acquire(ctx context.Context, key engineKey) (*lams.Smoother
 // engines beyond the bound are dropped for the garbage collector.
 func (p *enginePool) Release(key engineKey, eng *lams.Smoother) {
 	p.mu.Lock()
+	// Sweep the returning engine against meshes deleted while it was
+	// checked out, so a warm decomposition cache cannot pin a deleted
+	// mesh; see EvictMesh.
+	if p.condemnedAll {
+		eng.DropPartitionCaches()
+	} else {
+		for _, m := range p.condemned {
+			eng.DropMeshCache(m)
+		}
+	}
 	if p.totalIdle < p.capacity {
 		p.idle[key] = append(p.idle[key], eng)
 		p.totalIdle++
 	}
+	if p.inUse.Add(-1) == 0 {
+		// Every engine is parked and swept: the condemned list has done
+		// its job (and holding the mesh pointers any longer would itself
+		// pin their memory).
+		p.condemned = nil
+		p.condemnedAll = false
+	}
 	p.mu.Unlock()
-	p.inUse.Add(-1)
 	<-p.sem
+}
+
+// EvictMesh drops every parked engine's per-mesh caches referencing m (the
+// *lams.Mesh or *lams.TetMesh of a mesh that was deleted or replaced by a
+// reorder). Engines currently checked out are covered by the condemned
+// list, which Release consults when they come back. Without this, a warm
+// partitioned engine would pin the deleted mesh — and its O(mesh)
+// decomposition — until the store emptied and Trim ran.
+func (p *enginePool) EvictMesh(m any) {
+	if m == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, list := range p.idle {
+		for _, eng := range list {
+			eng.DropMeshCache(m)
+		}
+	}
+	if p.inUse.Load() > 0 && !p.condemnedAll {
+		if len(p.condemned) < condemnedCap {
+			p.condemned = append(p.condemned, m)
+		} else {
+			p.condemned = nil
+			p.condemnedAll = true
+		}
+	}
 }
 
 // Trim resets and drops every parked engine. The server calls it when the

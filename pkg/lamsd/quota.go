@@ -1,0 +1,151 @@
+package lamsd
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// tenantKey is the context key carrying the request's resolved tenant name.
+type tenantKeyType struct{}
+
+var tenantKey tenantKeyType
+
+// tenantFrom returns the tenant name the quota middleware attached to the
+// request context, or DefaultTenant for contexts that never passed through
+// it (direct executeSmooth calls in tests).
+func tenantFrom(ctx context.Context) string {
+	if t, ok := ctx.Value(tenantKey).(string); ok {
+		return t
+	}
+	return DefaultTenant
+}
+
+// DefaultTenant is the tenant key assumed when a request carries no
+// X-Tenant header.
+const DefaultTenant = "default"
+
+// validTenant reports whether name is an acceptable X-Tenant key: 1–64
+// characters from [A-Za-z0-9._-]. Keeping the charset tight bounds the
+// cardinality abuse surface (each distinct tenant allocates a bucket and a
+// metrics entry).
+func validTenant(name string) bool {
+	if len(name) == 0 || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// tenantQuotas is the per-tenant admission layer: a token-bucket request
+// limiter plus resident-mesh and in-flight-job caps, all keyed by the
+// X-Tenant header. The zero limits mean unlimited; see Config.
+type tenantQuotas struct {
+	rps       float64 // request tokens per second; <= 0 disables rate limiting
+	burst     float64 // bucket capacity
+	maxMeshes int     // resident meshes per tenant; <= 0 disables
+	maxJobs   int     // in-flight async jobs per tenant; <= 0 disables
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+}
+
+// tenantState is one tenant's bucket and gauges.
+type tenantState struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	jobs   int // in-flight async jobs
+}
+
+func newTenantQuotas(cfg Config) *tenantQuotas {
+	return &tenantQuotas{
+		rps:       cfg.TenantRPS,
+		burst:     float64(cfg.TenantBurst),
+		maxMeshes: cfg.TenantMaxMeshes,
+		maxJobs:   cfg.TenantMaxJobs,
+		tenants:   make(map[string]*tenantState),
+	}
+}
+
+func (q *tenantQuotas) state(tenant string) *tenantState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ts := q.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{tokens: q.burst, last: time.Now()}
+		q.tenants[tenant] = ts
+	}
+	return ts
+}
+
+// Allow spends one request token from the tenant's bucket. When the bucket
+// is empty it returns false and how long until the next token accrues (the
+// Retry-After value).
+func (q *tenantQuotas) Allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if q.rps <= 0 {
+		return true, 0
+	}
+	ts := q.state(tenant)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	now := time.Now()
+	ts.tokens = math.Min(q.burst, ts.tokens+now.Sub(ts.last).Seconds()*q.rps)
+	ts.last = now
+	if ts.tokens >= 1 {
+		ts.tokens--
+		return true, 0
+	}
+	need := (1 - ts.tokens) / q.rps
+	return false, time.Duration(math.Ceil(need)) * time.Second
+}
+
+// AcquireJob claims an in-flight async-job slot for the tenant, reporting
+// false when the tenant is at its cap. Balanced by ReleaseJob when the job
+// finishes (whatever its outcome).
+func (q *tenantQuotas) AcquireJob(tenant string) bool {
+	if q.maxJobs <= 0 {
+		return true
+	}
+	ts := q.state(tenant)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.jobs >= q.maxJobs {
+		return false
+	}
+	ts.jobs++
+	return true
+}
+
+// ReleaseJob returns an in-flight job slot claimed by AcquireJob.
+func (q *tenantQuotas) ReleaseJob(tenant string) {
+	if q.maxJobs <= 0 {
+		return
+	}
+	ts := q.state(tenant)
+	ts.mu.Lock()
+	if ts.jobs > 0 {
+		ts.jobs--
+	}
+	ts.mu.Unlock()
+}
+
+// InFlightJobs returns the tenant's current in-flight job count.
+func (q *tenantQuotas) InFlightJobs(tenant string) int {
+	if q.maxJobs <= 0 {
+		return 0
+	}
+	ts := q.state(tenant)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.jobs
+}

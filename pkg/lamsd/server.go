@@ -18,7 +18,10 @@
 //	DELETE /v1/meshes/{id}          evict a mesh
 //	GET    /v1/meshes/{id}/export   download the mesh (?part=node|ele)
 //	POST   /v1/meshes/{id}/reorder  apply a registered ordering in place
-//	POST   /v1/meshes/{id}/smooth   run smoothing through the engine pool (?schedule=static|guided|stealing)
+//	POST   /v1/meshes/{id}/smooth   run smoothing through the engine pool (?schedule=..., ?async=1)
+//	GET    /v1/jobs                 list async smooth jobs
+//	GET    /v1/jobs/{id}            poll an async job (live progress, ETA, result)
+//	DELETE /v1/jobs/{id}            cancel a running job / delete a finished record
 //	GET    /v1/meshes/{id}/analyze  reuse-distance / cache-simulation report
 //	GET    /v1/orderings            registered ordering names
 //	GET    /v1/domains              generatable domain names
@@ -31,13 +34,29 @@
 // request with ?timeout=DURATION (clamped to the configured maximum), mapped
 // onto the context.Context cancellation that pkg/lams threads through the
 // sweep engine. A smooth cut off by its deadline leaves the mesh on the last
-// completed sweep and returns 504.
+// completed sweep and returns 504. POST .../smooth?async=1 detaches the run
+// from the HTTP request instead: it returns 202 with a job id immediately,
+// the run proceeds under its own ?timeout-derived budget, and GET
+// /v1/jobs/{id} reports live convergence progress until the result is ready.
+//
+// Servers created with Open (rather than New) are durable: resident meshes
+// are snapshotted to the data directory — atomically, via temp file and
+// rename — on a timer and at graceful Close, and restored on the next Open.
+//
+// Every /v1 request is attributed to a tenant (the X-Tenant header, or
+// "default") and admitted through per-tenant quotas: a token-bucket request
+// rate limit, a resident-mesh cap, and an in-flight async job cap, each
+// rejecting with 429 and a Retry-After hint when exceeded.
 package lamsd
 
 import (
 	"expvar"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -65,6 +84,32 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps client-requested deadlines. Default: 10m.
 	MaxTimeout time.Duration
+
+	// DataDir, when non-empty, makes the mesh store durable: resident
+	// meshes are snapshotted here and restored on the next Open. Default:
+	// empty (in-memory only).
+	DataDir string
+	// SnapshotInterval is the periodic snapshot cadence when DataDir is
+	// set. Default: 5m.
+	SnapshotInterval time.Duration
+	// JobTTL is how long finished async jobs are retained for result
+	// pickup. Default: 15m.
+	JobTTL time.Duration
+	// MaxJobs bounds resident async jobs (running + retained). Default: 256.
+	MaxJobs int
+
+	// TenantRPS is the per-tenant request rate limit in requests/second;
+	// <= 0 disables rate limiting. Default: 0.
+	TenantRPS float64
+	// TenantBurst is the rate limiter's bucket capacity. Default: twice
+	// TenantRPS, floored at 1 (only meaningful when TenantRPS > 0).
+	TenantBurst int
+	// TenantMaxMeshes caps resident meshes per tenant; <= 0 disables.
+	// Default: 0.
+	TenantMaxMeshes int
+	// TenantMaxJobs caps in-flight async jobs per tenant; <= 0 disables.
+	// Default: 16.
+	TenantMaxJobs int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +133,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 5 * time.Minute
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 15 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	if c.TenantBurst <= 0 && c.TenantRPS > 0 {
+		c.TenantBurst = max(1, int(2*c.TenantRPS))
+	}
+	if c.TenantMaxJobs == 0 {
+		c.TenantMaxJobs = 16
 	}
 	return c
 }
@@ -121,18 +181,64 @@ func WithTimeouts(def, max time.Duration) Option {
 	}
 }
 
-// Server is the lamsd HTTP service. Create one with New and serve its
-// Handler; it is safe for concurrent use.
+// WithPersistence makes the mesh store durable: meshes are restored from
+// dir at Open and snapshotted back every interval and at Close. A zero
+// interval keeps the default cadence.
+func WithPersistence(dir string, interval time.Duration) Option {
+	return func(c *Config) {
+		c.DataDir = dir
+		c.SnapshotInterval = interval
+	}
+}
+
+// WithJobRetention sets how long finished async jobs stay fetchable and how
+// many jobs may be resident at once.
+func WithJobRetention(ttl time.Duration, maxJobs int) Option {
+	return func(c *Config) {
+		c.JobTTL = ttl
+		c.MaxJobs = maxJobs
+	}
+}
+
+// WithTenantQuotas sets the per-tenant admission limits: request rate
+// (tokens/second, with bucket capacity burst), resident meshes, and
+// in-flight async jobs. Zero values disable the corresponding limit, except
+// maxJobs where a negative disables and zero keeps the default.
+func WithTenantQuotas(rps float64, burst, maxMeshes, maxJobs int) Option {
+	return func(c *Config) {
+		c.TenantRPS = rps
+		c.TenantBurst = burst
+		c.TenantMaxMeshes = maxMeshes
+		c.TenantMaxJobs = maxJobs
+	}
+}
+
+// Server is the lamsd HTTP service. Create one with New (in-memory) or Open
+// (durable); serve its Handler. It is safe for concurrent use.
 type Server struct {
 	cfg     Config
 	store   *meshStore
 	pool    *enginePool
+	jobs    *jobStore
+	quotas  *tenantQuotas
 	metrics *metrics
 	mux     *http.ServeMux
 	start   time.Time
+
+	// Persistence state; see persist.go. lastSnap is the store mutation
+	// counter at the last successful snapshot, snapMu serializes snapshot
+	// writes, stopSnap/snapWG manage the periodic snapshot goroutine.
+	lastSnap  atomic.Uint64
+	snapMu    sync.Mutex
+	stopSnap  chan struct{}
+	snapWG    sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// New assembles a Server with the given options.
+// New assembles an in-memory Server with the given options. A DataDir
+// configured through New is honored by Snapshot but nothing is restored and
+// no periodic snapshots run; use Open for the full durable lifecycle.
 func New(opts ...Option) *Server {
 	var cfg Config
 	for _, opt := range opts {
@@ -143,6 +249,8 @@ func New(opts ...Option) *Server {
 		cfg:     cfg,
 		store:   newMeshStore(cfg.MaxMeshes),
 		pool:    newEnginePool(cfg.MaxConcurrentSmooths),
+		jobs:    newJobStore(cfg.JobTTL, cfg.MaxJobs),
+		quotas:  newTenantQuotas(cfg),
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
@@ -151,8 +259,52 @@ func New(opts ...Option) *Server {
 	s.metrics.vars.Set("uptime_seconds", expvar.Func(func() any { return time.Since(s.start).Seconds() }))
 	s.metrics.vars.Set("pool", expvar.Func(func() any { return s.pool.Stats() }))
 	s.metrics.vars.Set("meshes_resident", expvar.Func(func() any { return s.store.Len() }))
+	s.metrics.vars.Set("jobs_resident", expvar.Func(func() any { return s.jobs.Len() }))
 	s.routes()
 	return s
+}
+
+// Open assembles a Server and, when a data directory is configured, brings
+// up the durable lifecycle: any stale partial snapshot is discarded, the
+// last complete snapshot is restored, and the periodic snapshotter starts.
+// Pair it with Close.
+func Open(opts ...Option) (*Server, error) {
+	s := New(opts...)
+	if s.cfg.DataDir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	// A leftover temp file is an interrupted snapshot write; the complete
+	// snapshot it would have replaced is still in place.
+	os.Remove(filepath.Join(s.cfg.DataDir, snapshotTmp))
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	// The freshly-restored state matches the snapshot it came from.
+	s.lastSnap.Store(s.store.Mutations())
+	s.startSnapshotLoop()
+	return s, nil
+}
+
+// Close shuts the server down gracefully: new job submissions are rejected,
+// in-flight async jobs are canceled and drained (each commits its last
+// completed sweep), the periodic snapshotter stops, and — when a data
+// directory is configured — a final snapshot captures the resident meshes.
+// Safe to call more than once; subsequent calls return the first result.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.jobs.close()
+		if s.stopSnap != nil {
+			close(s.stopSnap)
+			s.snapWG.Wait()
+		}
+		if s.cfg.DataDir != "" {
+			s.closeErr = s.snapshotIfDirty()
+		}
+	})
+	return s.closeErr
 }
 
 // Handler returns the server's HTTP handler.
@@ -162,24 +314,34 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // routes wires every endpoint through the shared instrumentation (request
-// counters) and deadline middleware.
+// counters) and deadline middleware. /v1 routes additionally pass the
+// tenant layer: X-Tenant resolution and per-tenant rate limiting. The probe
+// endpoints stay outside it so health checks and scrapes are never
+// throttled.
 func (s *Server) routes() {
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
-	s.handle("GET /v1/orderings", s.handleOrderings)
-	s.handle("GET /v1/domains", s.handleDomains)
-	s.handle("GET /v1/schedules", s.handleSchedules)
-	s.handle("GET /v1/partitioners", s.handlePartitioners)
-	s.handle("POST /v1/meshes", s.handleCreateMesh)
-	s.handle("GET /v1/meshes", s.handleListMeshes)
-	s.handle("GET /v1/meshes/{id}", s.handleGetMesh)
-	s.handle("DELETE /v1/meshes/{id}", s.handleDeleteMesh)
-	s.handle("GET /v1/meshes/{id}/export", s.handleExportMesh)
-	s.handle("POST /v1/meshes/{id}/reorder", s.handleReorderMesh)
-	s.handle("POST /v1/meshes/{id}/smooth", s.handleSmoothMesh)
-	s.handle("GET /v1/meshes/{id}/analyze", s.handleAnalyzeMesh)
+	s.handleAPI("GET /v1/orderings", s.handleOrderings)
+	s.handleAPI("GET /v1/domains", s.handleDomains)
+	s.handleAPI("GET /v1/schedules", s.handleSchedules)
+	s.handleAPI("GET /v1/partitioners", s.handlePartitioners)
+	s.handleAPI("POST /v1/meshes", s.handleCreateMesh)
+	s.handleAPI("GET /v1/meshes", s.handleListMeshes)
+	s.handleAPI("GET /v1/meshes/{id}", s.handleGetMesh)
+	s.handleAPI("DELETE /v1/meshes/{id}", s.handleDeleteMesh)
+	s.handleAPI("GET /v1/meshes/{id}/export", s.handleExportMesh)
+	s.handleAPI("POST /v1/meshes/{id}/reorder", s.handleReorderMesh)
+	s.handleAPI("POST /v1/meshes/{id}/smooth", s.handleSmoothMesh)
+	s.handleAPI("GET /v1/meshes/{id}/analyze", s.handleAnalyzeMesh)
+	s.handleAPI("GET /v1/jobs", s.handleListJobs)
+	s.handleAPI("GET /v1/jobs/{id}", s.handleGetJob)
+	s.handleAPI("DELETE /v1/jobs/{id}", s.handleCancelJob)
 }
 
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, s.instrument(pattern, s.withDeadline(h)))
+}
+
+func (s *Server) handleAPI(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.instrument(pattern, s.withTenant(s.withDeadline(h))))
 }

@@ -24,6 +24,9 @@ func newTestServer(t *testing.T, opts ...Option) (*Server, *httptest.Server) {
 	s := New(opts...)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	// Runs before ts.Close (LIFO): cancels and drains any async jobs the
+	// test left running so they cannot outlive it.
+	t.Cleanup(func() { _ = s.Close() })
 	return s, ts
 }
 
@@ -672,7 +675,7 @@ func TestServerPooledSmoothSteadyState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := s.store.Add(m, "carabiner")
+	rec, err := s.store.Add(m, "carabiner", DefaultTenant)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -721,7 +724,7 @@ func BenchmarkServerPooledSmooth(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rec, err := s.store.Add(m, "carabiner")
+	rec, err := s.store.Add(m, "carabiner", DefaultTenant)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -28,6 +28,10 @@ type meshRecord struct {
 	seq     uint64
 	created time.Time
 	name    string // originating domain, or "upload"
+	// tenant is the X-Tenant key that created the mesh (the per-tenant
+	// resident-mesh quota counts it against this key). It never changes
+	// after Add.
+	tenant string
 	// dim is the mesh dimension: 2 (triangles, mesh set) or 3 (tetrahedra,
 	// tet set). It never changes after Add.
 	dim int
@@ -44,6 +48,12 @@ type meshRecord struct {
 	// quality refresh) detect that the mesh changed under them and discard
 	// their result instead of committing stale data.
 	gen atomic.Uint64
+	// live mirrors the current mesh pointer (*lams.Mesh or *lams.TetMesh —
+	// the same value rec.mesh/rec.tet hold under mu) so eviction paths can
+	// learn which mesh a warm engine's decomposition cache references
+	// without waiting on mu behind an in-flight smooth. Updated at Add and
+	// at every reorder commit.
+	live atomic.Value
 
 	metaMu     sync.Mutex
 	ordering   string // last applied ordering ("ORI" until reordered)
@@ -71,6 +81,12 @@ func (rec *meshRecord) numVerts() int {
 type meshStore struct {
 	maxMeshes int
 
+	// mutations counts registry- and mesh-level changes (adds, deletes,
+	// committed reorders and smooths). The periodic snapshotter compares it
+	// against the value it last persisted, so an idle server stops
+	// rewriting identical snapshots.
+	mutations atomic.Uint64
+
 	mu      sync.Mutex
 	records map[string]*meshRecord
 	nextSeq uint64
@@ -85,13 +101,13 @@ func newMeshStore(maxMeshes int) *meshStore {
 
 // Add registers a 2D mesh and returns its record, or an error when the
 // store is at capacity (the handler maps it to 507 Insufficient Storage).
-func (st *meshStore) Add(m *lams.Mesh, name string) (*meshRecord, error) {
-	return st.add(&meshRecord{dim: 2, mesh: m, summary: m.Summary(), name: name})
+func (st *meshStore) Add(m *lams.Mesh, name, tenant string) (*meshRecord, error) {
+	return st.add(&meshRecord{dim: 2, mesh: m, summary: m.Summary(), name: name, tenant: tenant})
 }
 
 // AddTet registers a 3D mesh, with the same capacity bound as Add.
-func (st *meshStore) AddTet(m *lams.TetMesh, name string) (*meshRecord, error) {
-	return st.add(&meshRecord{dim: 3, tet: m, summary: m.Summary(), name: name})
+func (st *meshStore) AddTet(m *lams.TetMesh, name, tenant string) (*meshRecord, error) {
+	return st.add(&meshRecord{dim: 3, tet: m, summary: m.Summary(), name: name, tenant: tenant})
 }
 
 func (st *meshStore) add(rec *meshRecord) (*meshRecord, error) {
@@ -106,8 +122,59 @@ func (st *meshStore) add(rec *meshRecord) (*meshRecord, error) {
 	rec.created = time.Now()
 	rec.ordering = "ORI"
 	rec.qualityStale = true
+	rec.storeLive()
 	st.records[rec.id] = rec
+	st.mutations.Add(1)
 	return rec, nil
+}
+
+// restore re-registers a record deserialized from a snapshot, preserving
+// its identity (id, seq, creation time, ordering, tenant). It bypasses the
+// capacity bound — shrinking -max-meshes across a restart must not drop
+// uploads — and advances nextSeq past the restored sequence so future Adds
+// cannot collide with restored ids.
+func (st *meshStore) restore(rec *meshRecord) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.records[rec.id]; ok {
+		return fmt.Errorf("duplicate mesh id %q in snapshot", rec.id)
+	}
+	rec.qualityStale = true
+	rec.storeLive()
+	st.records[rec.id] = rec
+	if rec.seq > st.nextSeq {
+		st.nextSeq = rec.seq
+	}
+	return nil
+}
+
+// storeLive publishes the record's current mesh pointer to the lock-free
+// mirror; callers hold mu's write lock (or the record is not yet shared).
+func (rec *meshRecord) storeLive() {
+	if rec.dim == 3 {
+		rec.live.Store(any(rec.tet))
+	} else {
+		rec.live.Store(any(rec.mesh))
+	}
+}
+
+// liveMesh returns the record's current mesh pointer (*lams.Mesh or
+// *lams.TetMesh) without taking the mesh lock.
+func (rec *meshRecord) liveMesh() any { return rec.live.Load() }
+
+// Touch records a mesh-level mutation (a committed smooth or reorder) so
+// the periodic snapshotter knows the resident state drifted from the last
+// snapshot.
+func (st *meshStore) Touch() { st.mutations.Add(1) }
+
+// Mutations returns the mutation counter; see the field comment.
+func (st *meshStore) Mutations() uint64 { return st.mutations.Load() }
+
+// Seq returns the highest sequence number ever assigned, for snapshots.
+func (st *meshStore) Seq() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.nextSeq
 }
 
 // Get returns the record for id, or nil.
@@ -117,16 +184,32 @@ func (st *meshStore) Get(id string) *meshRecord {
 	return st.records[id]
 }
 
-// Delete removes the record for id, reporting whether it existed and
+// Delete removes the record for id, returning it (nil if absent) and
 // whether the store is now empty.
-func (st *meshStore) Delete(id string) (existed, empty bool) {
+func (st *meshStore) Delete(id string) (rec *meshRecord, empty bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if _, ok := st.records[id]; !ok {
-		return false, len(st.records) == 0
+	rec, ok := st.records[id]
+	if !ok {
+		return nil, len(st.records) == 0
 	}
 	delete(st.records, id)
-	return true, len(st.records) == 0
+	st.mutations.Add(1)
+	return rec, len(st.records) == 0
+}
+
+// CountTenant returns how many resident meshes tenant owns. O(resident
+// meshes), which the store bounds; called on mesh creation only.
+func (st *meshStore) CountTenant(tenant string) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, rec := range st.records {
+		if rec.tenant == tenant {
+			n++
+		}
+	}
+	return n
 }
 
 // List returns the resident records in creation order.
