@@ -310,24 +310,24 @@ func runBenchJSON(path, schedule string, verts2, cells3, checkEvery, partitions 
 		report(os.Stderr, rep.Results[len(rep.Results)-2:])
 
 		// 3D cell.
-		optI3 := smooth.Options3{
+		optI3 := smooth.Options{
 			MaxIters: benchIters, Tol: -1, Traversal: smooth.StorageOrder,
 			Workers: workers, Schedule: schedule, NoFastPath: true, CheckEvery: checkEvery,
 		}
 		optF3 := optI3
 		optF3.NoFastPath = false
-		engI3, engF3 := smooth.NewSmoother3(), smooth.NewSmoother3()
+		engI3, engF3 := smooth.NewSmoother(), smooth.NewSmoother()
 		meshI3, meshF3 := m3.Clone(), m3.Clone()
-		warm3, err := engF3.Run(ctx, meshF3.Clone(), optF3)
+		warm3, err := engF3.RunTet(ctx, meshF3.Clone(), optF3)
 		if err != nil {
 			return err
 		}
-		if _, err := engI3.Run(ctx, meshI3.Clone(), optI3); err != nil {
+		if _, err := engI3.RunTet(ctx, meshI3.Clone(), optI3); err != nil {
 			return err
 		}
 		ti3, tf3, err := benchPair(
-			func() error { _, err := engI3.Run(ctx, meshI3, optI3); return err },
-			func() error { _, err := engF3.Run(ctx, meshF3, optF3); return err },
+			func() error { _, err := engI3.RunTet(ctx, meshI3, optI3); return err },
+			func() error { _, err := engF3.RunTet(ctx, meshF3, optF3); return err },
 		)
 		if err != nil {
 			return err
@@ -449,24 +449,24 @@ func benchPartitions(ctx context.Context, rep *benchReport, m2 *mesh.Mesh, m3 *m
 	report(os.Stderr, rep.Results[len(rep.Results)-2:])
 
 	// 3D cell.
-	optS3 := smooth.Options3{
+	optS3 := smooth.Options{
 		MaxIters: benchIters, Tol: -1, Traversal: smooth.StorageOrder,
 		Workers: workers, Schedule: schedule, CheckEvery: checkEvery,
 	}
 	optP3 := optS3
 	optP3.Partitions, optP3.Partitioner = k, pname
-	engS3, engP3 := smooth.NewSmoother3(), smooth.NewPartitionedSmoother3()
+	engS3, engP3 := smooth.NewSmoother(), smooth.NewPartitionedSmoother()
 	meshS3, meshP3 := m3.Clone(), m3.Clone()
-	warm3, err := engS3.Run(ctx, meshS3.Clone(), optS3)
+	warm3, err := engS3.RunTet(ctx, meshS3.Clone(), optS3)
 	if err != nil {
 		return err
 	}
-	if _, err := engP3.Run(ctx, meshP3.Clone(), optP3); err != nil {
+	if _, err := engP3.RunTet(ctx, meshP3.Clone(), optP3); err != nil {
 		return err
 	}
 	ts3, tp3, err := benchPair(
-		func() error { _, err := engS3.Run(ctx, meshS3, optS3); return err },
-		func() error { _, err := engP3.Run(ctx, meshP3, optP3); return err },
+		func() error { _, err := engS3.RunTet(ctx, meshS3, optS3); return err },
+		func() error { _, err := engP3.RunTet(ctx, meshP3, optP3); return err },
 	)
 	if err != nil {
 		return err

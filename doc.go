@@ -10,16 +10,18 @@
 // baselines behind a self-registering registry (internal/order) — the
 // orderings traverse a dimension-agnostic adjacency abstraction
 // (order.Graph/order.Spatial), so the same registry entries reorder
-// triangles and tetrahedra — the kernel-driven smoothing engines
-// (internal/smooth: Smoother for triangles, Smoother3 for tets, twin
-// engines with one convergence-loop/Jacobi/tracing structure built on the
-// same scheduler, trace, and quality-scratch components, whose hot state
-// is packed into structure-of-arrays coordinate mirrors feeding
-// monomorphic fast-path loops for the built-in kernels — including the
-// smart kernel's inlined accept test — with a CheckEvery measurement
-// cadence), the quality metrics whose global measurement runs chunk-
-// parallel through a fixed-block ordered reduction — bit-identical to the
-// serial pass at every worker count and schedule (internal/quality,
+// triangles and tetrahedra — the dimension-generic smoothing core
+// (internal/smooth: one engine, generic over a dim2/dim3 coordinate
+// abstraction, serves both mesh kinds through Smoother.Run and
+// Smoother.RunTet — one convergence loop, one kernel registry resolving
+// both dimensions' kernels from the same rows, one Jacobi/tracing
+// structure — whose hot state is packed into structure-of-arrays
+// coordinate mirrors feeding monomorphic fast-path loops for the built-in
+// kernels, including the smart kernel's inlined accept test, with a
+// CheckEvery measurement cadence), the quality metrics whose global
+// measurement runs one generic two-stage element pass chunk-parallel
+// through a fixed-block ordered reduction — bit-identical to the serial
+// pass at every worker count and schedule (internal/quality,
 // parallel.OrderedReducer) — the chunk schedulers that distribute each
 // sweep across workers — static (the paper's OpenMP configuration, the
 // default), guided, and lock-free work-stealing, all bit-identical in

@@ -207,18 +207,19 @@ func (s *Suite) Variants() (*VariantsResult, error) {
 	meshName := s.Cfg.Meshes[0]
 	out := &VariantsResult{Mesh: meshName}
 	cfg := s.Cfg.Model.Cache
-	for _, variant := range []smooth.Variant{smooth.Smart, smooth.Weighted, smooth.Constrained} {
+	for _, variant := range []string{"smart", "weighted", "constrained"} {
+		kern, err := smooth.KernelByName(variant, smooth.KernelConfig{MaxDisplacement: 0.05})
+		if err != nil {
+			return nil, err
+		}
 		for _, ordName := range []string{"ORI", "RDR"} {
 			m, err := s.Reordered(meshName, ordName)
 			if err != nil {
 				return nil, err
 			}
 			tb := trace.NewBuffer(1)
-			opt := smooth.VariantOptions{Variant: variant, MaxDisplacement: 0.05}
-			opt.MaxIters = 2
-			opt.Tol = -1
-			opt.Trace = tb
-			res, err := smooth.RunVariant(m.Clone(), opt)
+			opt := smooth.Options{Kernel: kern, MaxIters: 2, Tol: -1, Trace: tb}
+			res, err := smooth.Run(m.Clone(), opt)
 			if err != nil {
 				return nil, err
 			}
@@ -230,7 +231,7 @@ func (s *Suite) Variants() (*VariantsResult, error) {
 				return nil, err
 			}
 			out.Rows = append(out.Rows, VariantRow{
-				Variant:       variant.String(),
+				Variant:       variant,
 				Ordering:      ordName,
 				FinalQuality:  res.FinalQuality,
 				PenaltyCycles: sim.CorePenaltyCycles(0),

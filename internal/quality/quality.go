@@ -164,26 +164,28 @@ type Scratch struct {
 	tri, vert []float64
 	red       parallel.OrderedReducer
 
-	// Parameters of the in-flight parallel pass, read by the prebuilt
-	// bodies below (set on entry, cleared on exit so a parked Scratch does
-	// not pin the last-measured mesh).
-	pm   *mesh.Mesh
-	pmet Metric
-	ptm  *mesh.TetMesh
-	ptmt TetMetric
+	// Descriptor of the staged element pass (set on entry, cleared on exit
+	// so a parked Scratch does not pin the last-measured mesh): which range
+	// body runs, its dimension-specific parameters, and the CSR incidence
+	// the shared vertex-average pass reads. See pass.go.
+	pkind passKind
+	pm    *mesh.Mesh
+	pmet  Metric
+	ptm   *mesh.TetMesh
+	ptmt  TetMetric
 
-	// SoA coordinate views of the in-flight pass (the smoothing engines'
+	// SoA coordinate views of the staged pass (the smoothing engines'
 	// structure-of-arrays mirrors); px/py in 2D, plus pz in 3D.
 	px, py, pz []float64
 
+	// CSR vertex-to-element incidence of the staged pass (TriStart/TriList
+	// or TetStart/TetList).
+	pstart, plist []int32
+
 	// Prebuilt pass bodies (one-time closures over the receiver), so
 	// steady-state parallel passes hand the scheduler existing func values.
-	triBody    func(worker int, c parallel.Chunk)
-	vertBody   func(worker, block int, span parallel.Chunk) float64
-	tetBody    func(worker int, c parallel.Chunk)
-	vert3Body  func(worker, block int, span parallel.Chunk) float64
-	triSoABody func(worker int, c parallel.Chunk)
-	tetSoABody func(worker int, c parallel.Chunk)
+	elemBody func(worker int, c parallel.Chunk)
+	avgBody  func(worker, block int, span parallel.Chunk) float64
 }
 
 // triRange fills s.tri for triangles [lo, hi). The built-in default metric
@@ -240,98 +242,24 @@ func (s *Scratch) triRangeSoA(m *mesh.Mesh, x, y []float64, lo, hi int) {
 	}
 }
 
-// vertRange fills s.vert for vertices [lo, hi) from the triangle qualities
-// in s.tri and returns their left-to-right quality sum — one block of the
-// ordered global reduction. The CSR incidence loads are hoisted out of the
-// loop.
-func (s *Scratch) vertRange(m *mesh.Mesh, lo, hi int) float64 {
-	triQ, vert := s.tri, s.vert
-	triStart, triList := m.TriStart, m.TriList
-	var sum float64
-	for v := lo; v < hi; v++ {
-		a, b := triStart[v], triStart[v+1]
-		if a == b {
-			vert[v] = 0
-			continue
-		}
-		var q float64
-		for _, t := range triList[a:b] {
-			q += triQ[t]
-		}
-		q /= float64(b - a)
-		vert[v] = q
-		sum += q
-	}
-	return sum
-}
-
-// globalSum runs the two quality passes (per-triangle metric, per-vertex
-// average) and returns the blocked sum of the vertex qualities. With a
-// scheduler and workers > 1 both passes and the reduction run in parallel;
-// the result is bit-identical to the serial pass because every per-element
-// value is independent and the reduction granularity is fixed (see
-// parallel.OrderedReducer).
+// globalSum stages the per-triangle metric pass and runs the generic
+// two-stage pipeline (see pass.go): bit-identical to the serial pass at
+// every worker count and schedule.
 func (s *Scratch) globalSum(ctx context.Context, m *mesh.Mesh, met Metric, workers int, sched parallel.Scheduler) (float64, error) {
-	s.tri = grow(s.tri, m.NumTris())
-	s.vert = grow(s.vert, m.NumVerts())
-	nv := m.NumVerts()
-	if sched == nil || workers <= 1 {
-		s.triRange(m, met, 0, m.NumTris())
-		var total float64
-		for b := 0; b < parallel.ReduceBlocks(nv); b++ {
-			span := parallel.BlockSpan(nv, b)
-			total += s.vertRange(m, span.Lo, span.Hi)
-		}
-		return total, nil
-	}
-	s.pm, s.pmet = m, met
-	if s.triBody == nil {
-		s.triBody = func(_ int, c parallel.Chunk) { s.triRange(s.pm, s.pmet, c.Lo, c.Hi) }
-	}
-	if s.vertBody == nil {
-		s.vertBody = func(_, _ int, span parallel.Chunk) float64 { return s.vertRange(s.pm, span.Lo, span.Hi) }
-	}
-	err := sched.Run(ctx, m.NumTris(), workers, s.triBody)
-	var total float64
-	if err == nil {
-		total, err = s.red.Reduce(ctx, sched, nv, workers, s.vertBody)
-	}
-	s.pm, s.pmet = nil, nil
-	return total, err
+	s.pkind, s.pm, s.pmet = passTri, m, met
+	s.pstart, s.plist = m.TriStart, m.TriList
+	return s.passSum(ctx, m.NumTris(), m.NumVerts(), workers, sched)
 }
 
 // globalSumSoA is globalSum over the SoA coordinate mirrors with the
-// EdgeRatio metric: the triangle pass is triRangeSoA, the vertex-average
-// pass and the blocked reduction are the same code as the interface path
+// EdgeRatio metric: the triangle stage is triRangeSoA, the vertex-average
+// stage and the blocked reduction are the same code as the interface path
 // (they read only s.tri and the CSR incidence), so the sum is bit-identical
 // to globalSum over an equal m.Coords.
 func (s *Scratch) globalSumSoA(ctx context.Context, m *mesh.Mesh, x, y []float64, workers int, sched parallel.Scheduler) (float64, error) {
-	s.tri = grow(s.tri, m.NumTris())
-	s.vert = grow(s.vert, m.NumVerts())
-	nv := m.NumVerts()
-	if sched == nil || workers <= 1 {
-		s.triRangeSoA(m, x, y, 0, m.NumTris())
-		var total float64
-		for b := 0; b < parallel.ReduceBlocks(nv); b++ {
-			span := parallel.BlockSpan(nv, b)
-			total += s.vertRange(m, span.Lo, span.Hi)
-		}
-		return total, nil
-	}
-	s.pm, s.px, s.py = m, x, y
-	if s.triSoABody == nil {
-		s.triSoABody = func(_ int, c parallel.Chunk) { s.triRangeSoA(s.pm, s.px, s.py, c.Lo, c.Hi) }
-	}
-	if s.vertBody == nil {
-		s.vertBody = func(_, _ int, span parallel.Chunk) float64 { return s.vertRange(s.pm, span.Lo, span.Hi) }
-	}
-	err := sched.Run(ctx, m.NumTris(), workers, s.triSoABody)
-	var total float64
-	if err == nil {
-		total, err = s.red.Reduce(ctx, sched, nv, workers, s.vertBody)
-	}
-	s.pm, s.px, s.py = nil, nil, nil
-	return total, err
+	s.pkind, s.pm, s.px, s.py = passTriSoA, m, x, y
+	s.pstart, s.plist = m.TriStart, m.TriList
+	return s.passSum(ctx, m.NumTris(), m.NumVerts(), workers, sched)
 }
 
 // GlobalParallelSoA is GlobalParallel with the EdgeRatio metric evaluated

@@ -193,90 +193,21 @@ func (s *Scratch) tetRangeSoA(m *mesh.TetMesh, x, y, z []float64, lo, hi int) {
 	}
 }
 
-// vertRange3 is the 3D twin of vertRange: it fills s.vert for vertices
-// [lo, hi) from the tet qualities in s.tri and returns their left-to-right
-// quality sum.
-func (s *Scratch) vertRange3(m *mesh.TetMesh, lo, hi int) float64 {
-	tetQ, vert := s.tri, s.vert
-	tetStart, tetList := m.TetStart, m.TetList
-	var sum float64
-	for v := lo; v < hi; v++ {
-		a, b := tetStart[v], tetStart[v+1]
-		if a == b {
-			vert[v] = 0
-			continue
-		}
-		var q float64
-		for _, t := range tetList[a:b] {
-			q += tetQ[t]
-		}
-		q /= float64(b - a)
-		vert[v] = q
-		sum += q
-	}
-	return sum
-}
-
-// globalSum3 is the 3D twin of globalSum.
+// globalSum3 is the 3D twin of globalSum: it stages the per-tet metric pass
+// and runs the same generic two-stage pipeline (see pass.go).
 func (s *Scratch) globalSum3(ctx context.Context, m *mesh.TetMesh, met TetMetric, workers int, sched parallel.Scheduler) (float64, error) {
-	s.tri = grow(s.tri, m.NumTets())
-	s.vert = grow(s.vert, m.NumVerts())
-	nv := m.NumVerts()
-	if sched == nil || workers <= 1 {
-		s.tetRange(m, met, 0, m.NumTets())
-		var total float64
-		for b := 0; b < parallel.ReduceBlocks(nv); b++ {
-			span := parallel.BlockSpan(nv, b)
-			total += s.vertRange3(m, span.Lo, span.Hi)
-		}
-		return total, nil
-	}
-	s.ptm, s.ptmt = m, met
-	if s.tetBody == nil {
-		s.tetBody = func(_ int, c parallel.Chunk) { s.tetRange(s.ptm, s.ptmt, c.Lo, c.Hi) }
-	}
-	if s.vert3Body == nil {
-		s.vert3Body = func(_, _ int, span parallel.Chunk) float64 { return s.vertRange3(s.ptm, span.Lo, span.Hi) }
-	}
-	err := sched.Run(ctx, m.NumTets(), workers, s.tetBody)
-	var total float64
-	if err == nil {
-		total, err = s.red.Reduce(ctx, sched, nv, workers, s.vert3Body)
-	}
-	s.ptm, s.ptmt = nil, nil
-	return total, err
+	s.pkind, s.ptm, s.ptmt = passTet, m, met
+	s.pstart, s.plist = m.TetStart, m.TetList
+	return s.passSum(ctx, m.NumTets(), m.NumVerts(), workers, sched)
 }
 
-// globalSumSoA3 is the 3D twin of globalSumSoA: the tet pass is tetRangeSoA
+// globalSumSoA3 is the 3D twin of globalSumSoA: the tet stage is tetRangeSoA
 // (MeanRatio3), the vertex-average and reduction are the shared code, so the
 // sum is bit-identical to globalSum3 over an equal m.Coords.
 func (s *Scratch) globalSumSoA3(ctx context.Context, m *mesh.TetMesh, x, y, z []float64, workers int, sched parallel.Scheduler) (float64, error) {
-	s.tri = grow(s.tri, m.NumTets())
-	s.vert = grow(s.vert, m.NumVerts())
-	nv := m.NumVerts()
-	if sched == nil || workers <= 1 {
-		s.tetRangeSoA(m, x, y, z, 0, m.NumTets())
-		var total float64
-		for b := 0; b < parallel.ReduceBlocks(nv); b++ {
-			span := parallel.BlockSpan(nv, b)
-			total += s.vertRange3(m, span.Lo, span.Hi)
-		}
-		return total, nil
-	}
-	s.ptm, s.px, s.py, s.pz = m, x, y, z
-	if s.tetSoABody == nil {
-		s.tetSoABody = func(_ int, c parallel.Chunk) { s.tetRangeSoA(s.ptm, s.px, s.py, s.pz, c.Lo, c.Hi) }
-	}
-	if s.vert3Body == nil {
-		s.vert3Body = func(_, _ int, span parallel.Chunk) float64 { return s.vertRange3(s.ptm, span.Lo, span.Hi) }
-	}
-	err := sched.Run(ctx, m.NumTets(), workers, s.tetSoABody)
-	var total float64
-	if err == nil {
-		total, err = s.red.Reduce(ctx, sched, nv, workers, s.vert3Body)
-	}
-	s.ptm, s.px, s.py, s.pz = nil, nil, nil, nil
-	return total, err
+	s.pkind, s.ptm, s.px, s.py, s.pz = passTetSoA, m, x, y, z
+	s.pstart, s.plist = m.TetStart, m.TetList
+	return s.passSum(ctx, m.NumTets(), m.NumVerts(), workers, sched)
 }
 
 // TetGlobalParallelSoA is TetGlobalParallel with the MeanRatio3 metric

@@ -36,18 +36,18 @@ func BenchmarkRunSmart3(b *testing.B) {
 	}{{"iface", true}, {"fast", false}} {
 		b.Run(fmt.Sprintf("path=%s", path.name), func(b *testing.B) {
 			m := base.Clone()
-			s := NewSmoother3()
-			opt := Options3{
+			s := NewSmoother()
+			opt := Options{
 				MaxIters: 4, Tol: -1, Traversal: StorageOrder,
-				Kernel: SmartKernel3{}, NoFastPath: path.noFast,
+				TetKernel: SmartKernel3{}, NoFastPath: path.noFast,
 			}
-			if _, err := s.Run(ctx, m, opt); err != nil {
+			if _, err := s.RunTet(ctx, m, opt); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := s.Run(ctx, m, opt); err != nil {
+				if _, err := s.RunTet(ctx, m, opt); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -68,18 +68,18 @@ func BenchmarkRunConverged3(b *testing.B) {
 		for _, workers := range []int{1, 4, 8} {
 			b.Run(fmt.Sprintf("path=%s/workers=%d", path.name, workers), func(b *testing.B) {
 				m := base.Clone()
-				s := NewSmoother3()
-				opt := Options3{
+				s := NewSmoother()
+				opt := Options{
 					MaxIters: 10, Tol: -1, Traversal: StorageOrder,
 					Workers: workers, NoFastPath: path.noFast,
 				}
-				if _, err := s.Run(ctx, m, opt); err != nil {
+				if _, err := s.RunTet(ctx, m, opt); err != nil {
 					b.Fatal(err)
 				}
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := s.Run(ctx, m, opt); err != nil {
+					if _, err := s.RunTet(ctx, m, opt); err != nil {
 						b.Fatal(err)
 					}
 				}

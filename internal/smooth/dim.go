@@ -1,0 +1,621 @@
+package smooth
+
+import (
+	"context"
+	"fmt"
+
+	"lams/internal/geom"
+	"lams/internal/mesh"
+	"lams/internal/order"
+	"lams/internal/parallel"
+	"lams/internal/partition"
+	"lams/internal/quality"
+	"lams/internal/trace"
+)
+
+// This file is the Dim abstraction: everything about a smoothing run that
+// actually depends on the spatial dimension — the mesh type, the per-axis
+// coordinate mirrors, point pack/unpack, metric and kernel resolution, and
+// the per-vertex sweep loop bodies — concentrated in two small value types,
+// dim2 and dim3. The generic engine (engine.go) and partitioned driver
+// (partitioned.go) are written once against the dimOps constraint and
+// instantiated at both.
+//
+// The performance contract: every per-vertex loop lives INSIDE a dim
+// method, whose body is ordinary monomorphic code on a concrete receiver
+// (*dim2 or *dim3) — the compiler stencils one copy per instantiation, so
+// no interface or dictionary call enters a hot loop. The engine calls dim
+// methods only at per-run and per-sweep granularity.
+
+// dimOps is the compile-time plug a dimension provides to the generic
+// engine. D is the dimension's state struct (dim2 or dim3); the constraint
+// requires pointer receivers so the methods mutate the engine-owned value
+// in place without allocation.
+type dimOps[D any] interface {
+	*D
+
+	// prepare resolves the run's kernel and metric from the unified
+	// Options — applying the dimension's defaults, hoisting the smart
+	// kernel's nil accept metric, and rejecting options that select the
+	// other dimension's rules — and reports whether the sweep updates in
+	// place (Gauss-Seidel style).
+	prepare(opt *Options) (inPlace bool, err error)
+	// kernelName names the resolved kernel for error messages.
+	kernelName() string
+	// boxMetric wraps the resolved metric so quality passes go through
+	// interface dispatch (the NoFastPath ablation).
+	boxMetric()
+	// soaEligible reports whether the run can operate on the SoA
+	// coordinate mirrors: an untraced, un-ablated run of a built-in kernel
+	// whose whole sweep has a monomorphic SoA loop in fastpath.go.
+	soaEligible(opt *Options) bool
+	// jacobiSoA reports whether the resolved kernel has a monomorphic SoA
+	// Jacobi loop (the partitioned drivers' eligibility test, with the
+	// in-place cases already rejected).
+	jacobiSoA() bool
+	// release drops the per-run references (mesh, kernel, metric) so a
+	// pooled engine does not pin them between runs; scratch stays.
+	release()
+
+	// numVerts, interior, boundary and graph expose the mesh topology the
+	// engine's traversal and bookkeeping need.
+	numVerts() int
+	interior() []int32
+	boundary() []bool
+	graph() order.Graph
+	// vertexQualities computes the per-vertex qualities driving the
+	// quality-greedy traversal, with the run's metric and measurement
+	// configuration.
+	vertexQualities(ctx context.Context, qs *quality.Scratch, workers int, sched parallel.Scheduler) ([]float64, error)
+
+	// pack fills the SoA mirrors from the mesh coordinates (sizing the
+	// Jacobi next-mirrors when requested); commit writes them back. Plain
+	// float64 copies, so every bit pattern survives the round trip.
+	pack(jacobi bool)
+	commit()
+	// ensureNext sizes the AoS Jacobi next-buffer for the current mesh.
+	ensureNext()
+	// measure returns the global quality of the current coordinates,
+	// bit-identical between the SoA and AoS paths.
+	measure(ctx context.Context, qs *quality.Scratch, soa bool, workers int, sched parallel.Scheduler) (float64, error)
+
+	// The sweep bodies. In-place sweeps are whole-visit serial loops;
+	// Jacobi sweeps are chunk bodies run by the engine's scheduler and
+	// committed by commitSoA/commitNext afterwards.
+	sweepInPlace(tb *trace.Buffer, visit []int32) int64
+	sweepInPlaceSoA(visit []int32) int64
+	soaBody(counts []int64, visit []int32) func(worker int, ch parallel.Chunk)
+	genericBody(tb *trace.Buffer, counts []int64, visit []int32) func(worker int, ch parallel.Chunk)
+	commitSoA(visit []int32)
+	commitNext(visit []int32)
+
+	// Partitioned-driver hooks: decomposition input, local-mesh
+	// construction, per-sweep publish and halo gather/scatter.
+	meshAny() any
+	elemCount() int
+	axes() int
+	partitionInput() partition.Input
+	buildLocal(src *D, part *partition.Part) ([]int32, error)
+	refreshLocal(src *D, l2g []int32)
+	adoptKernel(src *D)
+	publish(dst *D, l2g, visit []int32, soa bool)
+	gather(idx []int32, buf []float64, soa bool)
+	scatter(idx []int32, buf []float64, soa bool)
+}
+
+// dim2 is the triangle-mesh dimension: the mesh, the run's resolved kernel
+// and metric, the structure-of-arrays coordinate mirrors (cx[i], cy[i] is
+// vertex i), and the Jacobi buffers. Fast-path runs pack m.Coords into the
+// mirrors at sweep entry and commit back at exit, so the hot loops read and
+// write per-axis float64 slices instead of gathering Point structs; see
+// fastpath.go. Between pack and commit the mirrors are authoritative and
+// m.Coords is stale.
+type dim2 struct {
+	m    *mesh.Mesh
+	kern Kernel
+	met  quality.Metric
+
+	cx, cy []float64
+	nx, ny []float64
+	next   []geom.Point
+}
+
+// dim3 is the tetrahedral dimension; see dim2.
+type dim3 struct {
+	m    *mesh.TetMesh
+	kern TetKernel
+	met  quality.TetMetric
+
+	cx, cy, cz []float64
+	nx, ny, nz []float64
+	next       []geom.Point3
+}
+
+func (d *dim2) prepare(opt *Options) (bool, error) {
+	if opt.TetMetric != nil || opt.TetKernel != nil {
+		return false, fmt.Errorf("smooth: options select tetrahedral rules (TetMetric/TetKernel) but the run is 2D; use RunTet")
+	}
+	kern := opt.Kernel
+	if kern == nil {
+		kern = PlainKernel{}
+	}
+	// Resolve SmartKernel's nil-default metric once here instead of on
+	// every vertex visit inside Update, so the in-place sweep stops
+	// re-branching per vertex.
+	if sk, ok := kern.(SmartKernel); ok && sk.Metric == nil {
+		kern = SmartKernel{Metric: quality.EdgeRatio{}}
+	}
+	met := opt.Metric
+	if met == nil {
+		met = quality.EdgeRatio{}
+	}
+	d.kern, d.met = kern, met
+	return opt.GaussSeidel || kern.InPlace(), nil
+}
+
+func (d *dim3) prepare(opt *Options) (bool, error) {
+	if opt.Metric != nil || opt.Kernel != nil {
+		return false, fmt.Errorf("smooth: options select triangle rules (Metric/Kernel) but the run is tetrahedral; use Run")
+	}
+	kern := opt.TetKernel
+	if kern == nil {
+		kern = PlainKernel3{}
+	}
+	// Resolve SmartKernel3's nil-default metric once per run; see
+	// dim2.prepare.
+	if sk, ok := kern.(SmartKernel3); ok && sk.Metric == nil {
+		kern = SmartKernel3{Metric: quality.MeanRatio3{}}
+	}
+	met := opt.TetMetric
+	if met == nil {
+		met = quality.MeanRatio3{}
+	}
+	d.kern, d.met = kern, met
+	return opt.GaussSeidel || kern.InPlace(), nil
+}
+
+func (d *dim2) kernelName() string { return d.kern.Name() }
+func (d *dim3) kernelName() string { return d.kern.Name() }
+
+func (d *dim2) boxMetric() { d.met = quality.BoxMetric(d.met) }
+func (d *dim3) boxMetric() { d.met = quality.BoxTetMetric(d.met) }
+
+// soaEligible: the smart kernel qualifies only with the metric its accept
+// test devirtualizes; the Jacobi kernels only without the Gauss-Seidel
+// ablation (whose in-place sweep goes through the interface Update).
+func (d *dim2) soaEligible(opt *Options) bool {
+	if opt.Trace != nil || opt.NoFastPath {
+		return false
+	}
+	switch k := d.kern.(type) {
+	case PlainKernel, WeightedKernel, ConstrainedKernel:
+		return !opt.GaussSeidel
+	case SmartKernel:
+		_, ok := k.Metric.(quality.EdgeRatio)
+		return ok
+	}
+	return false
+}
+
+func (d *dim3) soaEligible(opt *Options) bool {
+	if opt.Trace != nil || opt.NoFastPath {
+		return false
+	}
+	switch k := d.kern.(type) {
+	case PlainKernel3, WeightedKernel3, ConstrainedKernel3:
+		return !opt.GaussSeidel
+	case SmartKernel3:
+		_, ok := k.Metric.(quality.MeanRatio3)
+		return ok
+	}
+	return false
+}
+
+func (d *dim2) jacobiSoA() bool {
+	switch d.kern.(type) {
+	case PlainKernel, WeightedKernel, ConstrainedKernel:
+		return true
+	}
+	return false
+}
+
+func (d *dim3) jacobiSoA() bool {
+	switch d.kern.(type) {
+	case PlainKernel3, WeightedKernel3, ConstrainedKernel3:
+		return true
+	}
+	return false
+}
+
+func (d *dim2) release() { d.m, d.kern, d.met = nil, nil, nil }
+func (d *dim3) release() { d.m, d.kern, d.met = nil, nil, nil }
+
+func (d *dim2) numVerts() int     { return d.m.NumVerts() }
+func (d *dim3) numVerts() int     { return d.m.NumVerts() }
+func (d *dim2) interior() []int32 { return d.m.InteriorVerts }
+func (d *dim3) interior() []int32 { return d.m.InteriorVerts }
+func (d *dim2) boundary() []bool  { return d.m.IsBoundary }
+func (d *dim3) boundary() []bool  { return d.m.IsBoundary }
+
+// graph exposes the mesh through the Graph view the orderings use; a
+// pointer-to-interface conversion, so no allocation.
+func (d *dim2) graph() order.Graph { return d.m }
+func (d *dim3) graph() order.Graph { return d.m }
+
+func (d *dim2) vertexQualities(ctx context.Context, qs *quality.Scratch, workers int, sched parallel.Scheduler) ([]float64, error) {
+	return qs.VertexQualitiesParallel(ctx, d.m, d.met, workers, sched)
+}
+
+func (d *dim3) vertexQualities(ctx context.Context, qs *quality.Scratch, workers int, sched parallel.Scheduler) ([]float64, error) {
+	return qs.TetVertexQualitiesParallel(ctx, d.m, d.met, workers, sched)
+}
+
+func (d *dim2) pack(jacobi bool) {
+	n := len(d.m.Coords)
+	d.cx, d.cy = growFloats(d.cx, n), growFloats(d.cy, n)
+	for i, p := range d.m.Coords {
+		d.cx[i], d.cy[i] = p.X, p.Y
+	}
+	if jacobi {
+		d.nx, d.ny = growFloats(d.nx, n), growFloats(d.ny, n)
+	}
+}
+
+func (d *dim3) pack(jacobi bool) {
+	n := len(d.m.Coords)
+	d.cx, d.cy, d.cz = growFloats(d.cx, n), growFloats(d.cy, n), growFloats(d.cz, n)
+	for i, p := range d.m.Coords {
+		d.cx[i], d.cy[i], d.cz[i] = p.X, p.Y, p.Z
+	}
+	if jacobi {
+		d.nx, d.ny, d.nz = growFloats(d.nx, n), growFloats(d.ny, n), growFloats(d.nz, n)
+	}
+}
+
+func (d *dim2) commit() {
+	for i := range d.m.Coords {
+		d.m.Coords[i] = geom.Point{X: d.cx[i], Y: d.cy[i]}
+	}
+}
+
+func (d *dim3) commit() {
+	for i := range d.m.Coords {
+		d.m.Coords[i] = geom.Point3{X: d.cx[i], Y: d.cy[i], Z: d.cz[i]}
+	}
+}
+
+func (d *dim2) ensureNext() {
+	if n := len(d.m.Coords); cap(d.next) < n {
+		d.next = make([]geom.Point, n)
+	} else {
+		d.next = d.next[:n]
+	}
+}
+
+func (d *dim3) ensureNext() {
+	if n := len(d.m.Coords); cap(d.next) < n {
+		d.next = make([]geom.Point3, n)
+	} else {
+		d.next = d.next[:n]
+	}
+}
+
+// measure: SoA runs with the devirtualized metric measure the mirrors
+// directly; SoA runs with any other metric first commit the mirrors so the
+// interface-dispatch pass sees current coordinates. Either way the value is
+// bit-identical to the non-SoA run's measurement.
+func (d *dim2) measure(ctx context.Context, qs *quality.Scratch, soa bool, workers int, sched parallel.Scheduler) (float64, error) {
+	if soa {
+		if _, ok := d.met.(quality.EdgeRatio); ok {
+			return qs.GlobalParallelSoA(ctx, d.m, d.cx, d.cy, workers, sched)
+		}
+		d.commit()
+	}
+	return qs.GlobalParallel(ctx, d.m, d.met, workers, sched)
+}
+
+func (d *dim3) measure(ctx context.Context, qs *quality.Scratch, soa bool, workers int, sched parallel.Scheduler) (float64, error) {
+	if soa {
+		if _, ok := d.met.(quality.MeanRatio3); ok {
+			return qs.TetGlobalParallelSoA(ctx, d.m, d.cx, d.cy, d.cz, workers, sched)
+		}
+		d.commit()
+	}
+	return qs.TetGlobalParallel(ctx, d.m, d.met, workers, sched)
+}
+
+func (d *dim2) sweepInPlace(tb *trace.Buffer, visit []int32) int64 {
+	m, kern := d.m, d.kern
+	var accesses int64
+	for _, v := range visit {
+		traceTouch(tb, 0, m, v)
+		m.Coords[v] = kern.Update(m, v)
+		accesses += int64(m.Degree(v)) + 1
+	}
+	return accesses
+}
+
+func (d *dim3) sweepInPlace(tb *trace.Buffer, visit []int32) int64 {
+	m, kern := d.m, d.kern
+	var accesses int64
+	for _, v := range visit {
+		traceTouch3(tb, 0, m, v)
+		m.Coords[v] = kern.Update(m, v)
+		accesses += int64(m.Degree(v)) + 1
+	}
+	return accesses
+}
+
+// sweepInPlaceSoA: only the smart kernel is both in-place and SoA-eligible.
+func (d *dim2) sweepInPlaceSoA(visit []int32) int64 {
+	return sweepInPlaceSmart(d.m.Tris, d.m.TriStart, d.m.TriList, d.m.AdjStart, d.m.AdjList, d.cx, d.cy, visit)
+}
+
+func (d *dim3) sweepInPlaceSoA(visit []int32) int64 {
+	return sweepInPlaceSmart3(d.m.Tets, d.m.TetStart, d.m.TetList, d.m.AdjStart, d.m.AdjList, d.cx, d.cy, d.cz, visit)
+}
+
+// soaBody selects the monomorphic SoA chunk body for one Jacobi sweep of a
+// built-in kernel (see fastpath.go); only called when soaEligible approved
+// the kernel. The body allocates once per sweep (the closure), as the
+// engine always has.
+func (d *dim2) soaBody(counts []int64, visit []int32) func(worker int, ch parallel.Chunk) {
+	adjStart, adjList := d.m.AdjStart, d.m.AdjList
+	cx, cy, nx, ny := d.cx, d.cy, d.nx, d.ny
+	switch k := d.kern.(type) {
+	case PlainKernel:
+		return func(w int, ch parallel.Chunk) {
+			counts[w] += sweepChunkPlain(adjStart, adjList, cx, cy, nx, ny, visit[ch.Lo:ch.Hi])
+		}
+	case WeightedKernel:
+		return func(w int, ch parallel.Chunk) {
+			counts[w] += sweepChunkWeighted(adjStart, adjList, cx, cy, nx, ny, visit[ch.Lo:ch.Hi])
+		}
+	case ConstrainedKernel:
+		return func(w int, ch parallel.Chunk) {
+			counts[w] += sweepChunkConstrained(adjStart, adjList, cx, cy, nx, ny, visit[ch.Lo:ch.Hi], k.MaxDisplacement)
+		}
+	}
+	panic("smooth: soaBody called with non-fast-path kernel")
+}
+
+func (d *dim3) soaBody(counts []int64, visit []int32) func(worker int, ch parallel.Chunk) {
+	adjStart, adjList := d.m.AdjStart, d.m.AdjList
+	cx, cy, cz, nx, ny, nz := d.cx, d.cy, d.cz, d.nx, d.ny, d.nz
+	switch k := d.kern.(type) {
+	case PlainKernel3:
+		return func(w int, ch parallel.Chunk) {
+			counts[w] += sweepChunkPlain3(adjStart, adjList, cx, cy, cz, nx, ny, nz, visit[ch.Lo:ch.Hi])
+		}
+	case WeightedKernel3:
+		return func(w int, ch parallel.Chunk) {
+			counts[w] += sweepChunkWeighted3(adjStart, adjList, cx, cy, cz, nx, ny, nz, visit[ch.Lo:ch.Hi])
+		}
+	case ConstrainedKernel3:
+		return func(w int, ch parallel.Chunk) {
+			counts[w] += sweepChunkConstrained3(adjStart, adjList, cx, cy, cz, nx, ny, nz, visit[ch.Lo:ch.Hi], k.MaxDisplacement)
+		}
+	}
+	panic("smooth: soaBody called with non-fast-path kernel")
+}
+
+// genericBody builds the interface-dispatch chunk body for one Jacobi sweep
+// — user kernels, traced runs, and the NoFastPath ablation.
+func (d *dim2) genericBody(tb *trace.Buffer, counts []int64, visit []int32) func(worker int, ch parallel.Chunk) {
+	m, kern, next := d.m, d.kern, d.next
+	return func(w int, ch parallel.Chunk) {
+		var acc int64
+		for _, v := range visit[ch.Lo:ch.Hi] {
+			traceTouch(tb, w, m, v)
+			next[v] = kern.Update(m, v)
+			acc += int64(m.Degree(v)) + 1
+		}
+		counts[w] += acc
+	}
+}
+
+func (d *dim3) genericBody(tb *trace.Buffer, counts []int64, visit []int32) func(worker int, ch parallel.Chunk) {
+	m, kern, next := d.m, d.kern, d.next
+	return func(w int, ch parallel.Chunk) {
+		var acc int64
+		for _, v := range visit[ch.Lo:ch.Hi] {
+			traceTouch3(tb, w, m, v)
+			next[v] = kern.Update(m, v)
+			acc += int64(m.Degree(v)) + 1
+		}
+		counts[w] += acc
+	}
+}
+
+func (d *dim2) commitSoA(visit []int32) {
+	cx, cy, nx, ny := d.cx, d.cy, d.nx, d.ny
+	for _, v := range visit {
+		cx[v], cy[v] = nx[v], ny[v]
+	}
+}
+
+func (d *dim3) commitSoA(visit []int32) {
+	cx, cy, cz, nx, ny, nz := d.cx, d.cy, d.cz, d.nx, d.ny, d.nz
+	for _, v := range visit {
+		cx[v], cy[v], cz[v] = nx[v], ny[v], nz[v]
+	}
+}
+
+func (d *dim2) commitNext(visit []int32) {
+	for _, v := range visit {
+		d.m.Coords[v] = d.next[v]
+	}
+}
+
+func (d *dim3) commitNext(visit []int32) {
+	for _, v := range visit {
+		d.m.Coords[v] = d.next[v]
+	}
+}
+
+func (d *dim2) meshAny() any   { return d.m }
+func (d *dim3) meshAny() any   { return d.m }
+func (d *dim2) elemCount() int { return d.m.NumTris() }
+func (d *dim3) elemCount() int { return d.m.NumTets() }
+func (d *dim2) axes() int      { return 2 }
+func (d *dim3) axes() int      { return 3 }
+
+func (d *dim2) partitionInput() partition.Input { return partition.FromMesh(d.m) }
+func (d *dim3) partitionInput() partition.Input { return partition.FromTetMesh(d.m) }
+
+// buildLocal constructs this dim's mesh as the halo-carrying local mesh of
+// one partition of src's mesh, returning the monotone local-to-global
+// vertex map.
+func (d *dim2) buildLocal(src *dim2, part *partition.Part) ([]int32, error) {
+	local, l2g, err := partition.BuildLocal(src.m, part)
+	if err != nil {
+		return nil, err
+	}
+	d.m = local
+	return l2g, nil
+}
+
+func (d *dim3) buildLocal(src *dim3, part *partition.Part) ([]int32, error) {
+	local, l2g, err := partition.BuildLocalTet(src.m, part)
+	if err != nil {
+		return nil, err
+	}
+	d.m = local
+	return l2g, nil
+}
+
+// refreshLocal copies the current global coordinates into the local mesh.
+func (d *dim2) refreshLocal(src *dim2, l2g []int32) {
+	for l, g := range l2g {
+		d.m.Coords[l] = src.m.Coords[g]
+	}
+}
+
+func (d *dim3) refreshLocal(src *dim3, l2g []int32) {
+	for l, g := range l2g {
+		d.m.Coords[l] = src.m.Coords[g]
+	}
+}
+
+// adoptKernel copies the driver's resolved kernel into a partition's local
+// dim for the run.
+func (d *dim2) adoptKernel(src *dim2) { d.kern = src.kern }
+func (d *dim3) adoptKernel(src *dim3) { d.kern = src.kern }
+
+// publish copies the partition's owned interior coordinates into their
+// global-mesh slots. Partitions own disjoint vertex sets, so concurrent
+// publishes never write the same slot.
+func (d *dim2) publish(dst *dim2, l2g, visit []int32, soa bool) {
+	if soa {
+		cx, cy := d.cx, d.cy
+		for _, l := range visit {
+			dst.m.Coords[l2g[l]] = geom.Point{X: cx[l], Y: cy[l]}
+		}
+		return
+	}
+	for _, l := range visit {
+		dst.m.Coords[l2g[l]] = d.m.Coords[l]
+	}
+}
+
+func (d *dim3) publish(dst *dim3, l2g, visit []int32, soa bool) {
+	if soa {
+		cx, cy, cz := d.cx, d.cy, d.cz
+		for _, l := range visit {
+			dst.m.Coords[l2g[l]] = geom.Point3{X: cx[l], Y: cy[l], Z: cz[l]}
+		}
+		return
+	}
+	for _, l := range visit {
+		dst.m.Coords[l2g[l]] = d.m.Coords[l]
+	}
+}
+
+// gather packs the listed local coordinates into a halo payload buffer
+// (axes() floats per vertex); scatter is its inverse over received
+// payloads.
+func (d *dim2) gather(idx []int32, buf []float64, soa bool) {
+	if soa {
+		cx, cy := d.cx, d.cy
+		for j, l := range idx {
+			buf[2*j], buf[2*j+1] = cx[l], cy[l]
+		}
+		return
+	}
+	for j, l := range idx {
+		p := d.m.Coords[l]
+		buf[2*j], buf[2*j+1] = p.X, p.Y
+	}
+}
+
+func (d *dim3) gather(idx []int32, buf []float64, soa bool) {
+	if soa {
+		cx, cy, cz := d.cx, d.cy, d.cz
+		for j, l := range idx {
+			buf[3*j], buf[3*j+1], buf[3*j+2] = cx[l], cy[l], cz[l]
+		}
+		return
+	}
+	for j, l := range idx {
+		p := d.m.Coords[l]
+		buf[3*j], buf[3*j+1], buf[3*j+2] = p.X, p.Y, p.Z
+	}
+}
+
+func (d *dim2) scatter(idx []int32, buf []float64, soa bool) {
+	if soa {
+		cx, cy := d.cx, d.cy
+		for j, l := range idx {
+			cx[l], cy[l] = buf[2*j], buf[2*j+1]
+		}
+		return
+	}
+	for j, l := range idx {
+		d.m.Coords[l] = geom.Point{X: buf[2*j], Y: buf[2*j+1]}
+	}
+}
+
+func (d *dim3) scatter(idx []int32, buf []float64, soa bool) {
+	if soa {
+		cx, cy, cz := d.cx, d.cy, d.cz
+		for j, l := range idx {
+			cx[l], cy[l], cz[l] = buf[3*j], buf[3*j+1], buf[3*j+2]
+		}
+		return
+	}
+	for j, l := range idx {
+		d.m.Coords[l] = geom.Point3{X: buf[3*j], Y: buf[3*j+1], Z: buf[3*j+2]}
+	}
+}
+
+// traceTouch records the access pattern of one vertex update: the smoothed
+// vertex, then each of its neighbors.
+func traceTouch(tb *trace.Buffer, core int, m *mesh.Mesh, v int32) {
+	if tb == nil {
+		return
+	}
+	tb.Access(core, v)
+	for _, w := range m.Neighbors(v) {
+		tb.Access(core, w)
+	}
+}
+
+// traceTouch3 is traceTouch over a tetrahedral mesh.
+func traceTouch3(tb *trace.Buffer, core int, m *mesh.TetMesh, v int32) {
+	if tb == nil {
+		return
+	}
+	tb.Access(core, v)
+	for _, w := range m.Neighbors(v) {
+		tb.Access(core, w)
+	}
+}
+
+// growFloats returns a length-n scratch slice reusing buf's storage when it
+// fits; contents are unspecified until written.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}

@@ -4,41 +4,42 @@ import (
 	"context"
 	"fmt"
 
-	"lams/internal/geom"
 	"lams/internal/mesh"
 	"lams/internal/order"
 	"lams/internal/parallel"
 	"lams/internal/quality"
-	"lams/internal/trace"
 )
 
-// Smoother is the unified sweep engine. It runs the convergence loop of
-// Algorithm 1 with any Kernel, any traversal, and any worker count, and it
-// owns the per-run scratch buffers (the visit sequence, the Jacobi
-// next-coordinate array, the per-worker access counters) so repeated runs
-// reuse them instead of reallocating on the hot path.
-//
-// A Smoother is not safe for concurrent use; each goroutine that smooths
-// should own one. The zero value is ready to use.
-type Smoother struct {
+// engine is the dimension-generic sweep engine. It runs the convergence
+// loop of Algorithm 1 with any kernel, any traversal, and any worker count,
+// and it owns the per-run scratch buffers (the visit sequence, the
+// per-worker access counters, the quality scratch) so repeated runs reuse
+// them instead of reallocating on the hot path. Everything
+// dimension-specific — coordinates, kernels, metrics, sweep loop bodies —
+// lives in the embedded dim value D, reached through the dimOps constraint
+// (see dim.go); the compiler stencils one engine per dimension, so the hot
+// loops stay monomorphic.
+type engine[D any, PD dimOps[D]] struct {
+	d      D
 	visit  []int32
-	next   []geom.Point
 	counts []int64
 	qs     quality.Scratch
-
-	// Structure-of-arrays mirrors of the coordinate and Jacobi scratch
-	// buffers (cx[i], cy[i] is vertex i). Fast-path runs pack m.Coords into
-	// them at sweep entry and commit back at exit, so the hot loops read
-	// and write per-axis float64 slices instead of gathering Point structs;
-	// see fastpath.go. Between pack and commit the mirrors are
-	// authoritative and m.Coords is stale.
-	cx, cy []float64
-	nx, ny []float64
 
 	// sched is the resolved chunk scheduler, cached by name so repeated
 	// runs with the same Options.Schedule reuse its per-worker scratch.
 	sched     parallel.Scheduler
 	schedName string
+}
+
+// Smoother is the unified sweep engine for both dimensions: Run smooths a
+// triangle mesh, RunTet a tetrahedral mesh, through the same generic
+// convergence loop instantiated per dimension.
+//
+// A Smoother is not safe for concurrent use; each goroutine that smooths
+// should own one. The zero value is ready to use.
+type Smoother struct {
+	e2 engine[dim2, *dim2]
+	e3 engine[dim3, *dim3]
 }
 
 // NewSmoother returns an empty engine whose scratch buffers grow on first
@@ -51,36 +52,42 @@ func NewSmoother() *Smoother { return &Smoother{} }
 // memory forever; the next run re-grows the buffers to fit its mesh.
 func (s *Smoother) Reset() { *s = Smoother{} }
 
-// Run smooths the mesh in place and returns the run statistics. The context
-// cancels between iterations and between worker chunks: on cancellation the
-// mesh holds the coordinates of the last completed sweep, the partial
-// Result reflects the work done, and ctx.Err() is returned.
+// Run smooths the triangle mesh in place and returns the run statistics.
+// The context cancels between iterations and between worker chunks: on
+// cancellation the mesh holds the coordinates of the last completed sweep,
+// the partial Result reflects the work done, and ctx.Err() is returned.
 func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, error) {
+	s.e2.d.m = m
+	return s.e2.run(ctx, opt)
+}
+
+// RunTet is Run over a tetrahedral mesh; same loop, same contracts.
+func (s *Smoother) RunTet(ctx context.Context, m *mesh.TetMesh, opt Options) (Result, error) {
+	s.e3.d.m = m
+	return s.e3.run(ctx, opt)
+}
+
+func (e *engine[D, PD]) run(ctx context.Context, opt Options) (Result, error) {
+	d := PD(&e.d)
 	opt = opt.withDefaults()
-	if opt.Workers < 1 {
-		return Result{}, fmt.Errorf("smooth: workers must be >= 1, got %d", opt.Workers)
-	}
-	if opt.CheckEvery < 1 {
-		return Result{}, fmt.Errorf("smooth: check-every must be >= 1, got %d", opt.CheckEvery)
-	}
-	if opt.Partitions > 1 {
-		return Result{}, fmt.Errorf("smooth: Smoother is a single engine; partitions=%d needs RunPartitioned or a PartitionedSmoother", opt.Partitions)
-	}
-	kern := opt.Kernel
-	if kern == nil {
-		kern = PlainKernel{}
+	if err := opt.validate(false); err != nil {
+		return Result{}, err
 	}
 	// In-place (Gauss-Seidel style) sweeps always run serially — the update
 	// order is the semantics — but Workers > 1 is still meaningful: the
 	// quality measurements parallelize (bit-identically; see
 	// quality.GlobalParallel), which is where in-place runs spend much of
 	// their time.
-	inPlace := opt.GaussSeidel || kern.InPlace()
-	if opt.Trace != nil && opt.Trace.NumCores() < opt.Workers {
-		return Result{}, fmt.Errorf("smooth: trace buffer has %d cores, need %d", opt.Trace.NumCores(), opt.Workers)
+	inPlace, err := d.prepare(&opt)
+	if err != nil {
+		return Result{}, err
 	}
+	// The engine references the mesh, kernel, and metric only for the
+	// duration of the run; drop them on exit so pooled engines do not pin
+	// retired meshes.
+	defer d.release()
 
-	if err := s.resolveScheduler(opt.Schedule); err != nil {
+	if err := e.resolveScheduler(opt.Schedule); err != nil {
 		return Result{}, err
 	}
 
@@ -89,14 +96,13 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 	// see quality.GlobalParallel). The NoFastPath ablation forces the
 	// legacy serial interface-dispatch pass by boxing the metric and
 	// dropping the scheduler.
-	met := opt.Metric
-	qworkers, qsched := opt.Workers, s.sched
+	qworkers, qsched := opt.Workers, e.sched
 	if opt.NoFastPath {
-		met = quality.BoxMetric(met)
+		d.boxMetric()
 		qworkers, qsched = 1, nil
 	}
 
-	visit, err := s.visitSequence(ctx, m, opt, met, qworkers, qsched)
+	visit, err := e.visitSequence(ctx, &opt, qworkers, qsched)
 	if err != nil {
 		return Result{}, err
 	}
@@ -105,16 +111,15 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 	// and commit whatever state the mirrors hold on every exit, so the
 	// documented contract — the mesh holds the coordinates of the last
 	// completed sweep — survives cancellation and errors unchanged.
-	soa := s.soaEligible(kern, opt)
-	var next []geom.Point
+	soa := d.soaEligible(&opt)
 	if soa {
-		s.packCoords(m, !inPlace)
-		defer s.commitCoords(m)
+		d.pack(!inPlace)
+		defer d.commit()
 	} else if !inPlace {
-		next = s.nextBuffer(len(m.Coords))
+		d.ensureNext()
 	}
 
-	q0, err := s.measure(ctx, m, met, qworkers, qsched, soa)
+	q0, err := d.measure(ctx, &e.qs, soa, qworkers, qsched)
 	if err != nil {
 		return Result{}, err
 	}
@@ -135,7 +140,7 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 		if prevQ >= opt.GoalQuality {
 			break
 		}
-		acc, err := s.sweep(ctx, m, kern, inPlace, soa, visit, next, opt)
+		acc, err := e.sweep(ctx, inPlace, soa, visit, &opt)
 		res.Accesses += acc
 		if err != nil {
 			return res, err
@@ -148,7 +153,7 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 			continue
 		}
 
-		q, err := s.measure(ctx, m, met, qworkers, qsched, soa)
+		q, err := d.measure(ctx, &e.qs, soa, qworkers, qsched)
 		if err != nil {
 			return res, err
 		}
@@ -165,94 +170,30 @@ func (s *Smoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, 
 	return res, nil
 }
 
-// soaEligible reports whether the run can operate on the SoA coordinate
-// mirrors: an untraced, un-ablated run of a built-in kernel whose whole
-// sweep has a monomorphic SoA loop in fastpath.go. The smart kernel
-// qualifies only with the metric its accept test devirtualizes; the Jacobi
-// kernels only without the Gauss-Seidel ablation (whose in-place sweep goes
-// through the interface Update).
-func (s *Smoother) soaEligible(kern Kernel, opt Options) bool {
-	if opt.Trace != nil || opt.NoFastPath {
-		return false
-	}
-	switch k := kern.(type) {
-	case PlainKernel, WeightedKernel, ConstrainedKernel:
-		return !opt.GaussSeidel
-	case SmartKernel:
-		_, ok := k.Metric.(quality.EdgeRatio)
-		return ok
-	}
-	return false
-}
-
-// packCoords fills the SoA mirrors from m.Coords (and sizes the Jacobi
-// next-buffer mirrors when the run needs them). Plain float64 copies, so
-// every bit pattern — NaNs, signed zeros — survives the round trip.
-func (s *Smoother) packCoords(m *mesh.Mesh, jacobi bool) {
-	n := len(m.Coords)
-	s.cx, s.cy = growFloats(s.cx, n), growFloats(s.cy, n)
-	for i, p := range m.Coords {
-		s.cx[i], s.cy[i] = p.X, p.Y
-	}
-	if jacobi {
-		s.nx, s.ny = growFloats(s.nx, n), growFloats(s.ny, n)
-	}
-}
-
-// commitCoords writes the SoA mirrors back to m.Coords; the inverse of
-// packCoords.
-func (s *Smoother) commitCoords(m *mesh.Mesh) {
-	for i := range m.Coords {
-		m.Coords[i] = geom.Point{X: s.cx[i], Y: s.cy[i]}
-	}
-}
-
-// measure returns the global quality of the current coordinates. SoA runs
-// with the devirtualized metric measure the mirrors directly; SoA runs with
-// any other metric first commit the mirrors so the interface-dispatch pass
-// sees current coordinates. Either way the value is bit-identical to the
-// non-SoA run's measurement.
-func (s *Smoother) measure(ctx context.Context, m *mesh.Mesh, met quality.Metric, qworkers int, qsched parallel.Scheduler, soa bool) (float64, error) {
-	if soa {
-		if _, ok := met.(quality.EdgeRatio); ok {
-			return s.qs.GlobalParallelSoA(ctx, m, s.cx, s.cy, qworkers, qsched)
-		}
-		s.commitCoords(m)
-	}
-	return s.qs.GlobalParallel(ctx, m, met, qworkers, qsched)
-}
-
-// sweep performs one iteration with the given kernel. Jacobi-style kernels
-// compute into the next buffer across worker chunks — distributed by the
-// resolved scheduler — and commit afterwards; in-place kernels apply each
-// update immediately (serial). Returns the number of vertex accesses.
-func (s *Smoother) sweep(ctx context.Context, m *mesh.Mesh, kern Kernel, inPlace, soa bool, visit []int32, next []geom.Point, opt Options) (int64, error) {
-	tb := opt.Trace
+// sweep performs one iteration with the resolved kernel. Jacobi-style
+// kernels compute into the next buffer across worker chunks — distributed
+// by the resolved scheduler — and commit afterwards; in-place kernels apply
+// each update immediately (serial). Returns the number of vertex accesses.
+func (e *engine[D, PD]) sweep(ctx context.Context, inPlace, soa bool, visit []int32, opt *Options) (int64, error) {
+	d := PD(&e.d)
 	if inPlace {
 		if soa {
-			// Only the smart kernel is both in-place and SoA-eligible.
-			return sweepInPlaceSmart(m.Tris, m.TriStart, m.TriList, m.AdjStart, m.AdjList, s.cx, s.cy, visit), nil
+			return d.sweepInPlaceSoA(visit), nil
 		}
-		var accesses int64
-		for _, v := range visit {
-			traceTouch(tb, 0, m, v)
-			m.Coords[v] = kern.Update(m, v)
-			accesses += int64(m.Degree(v)) + 1
-		}
-		return accesses, nil
+		return d.sweepInPlace(opt.Trace, visit), nil
 	}
 
 	// Dynamic schedules hand a worker many chunks, so the per-worker access
 	// counts accumulate (each worker id runs on one goroutine per sweep, so
 	// no atomics are needed).
-	counts := s.countsBuffer(opt.Workers)
+	counts := e.countsBuffer(opt.Workers)
 	var body func(worker int, ch parallel.Chunk)
 	if soa {
-		body = s.sweepBodySoA(m, kern, visit, counts)
+		body = d.soaBody(counts, visit)
 	} else {
-		body = s.sweepBody(m, kern, visit, next, counts, opt)
+		body = d.genericBody(opt.Trace, counts, visit)
 	}
-	err := s.sched.Run(ctx, len(visit), opt.Workers, body)
+	err := e.sched.Run(ctx, len(visit), opt.Workers, body)
 	var accesses int64
 	for _, c := range counts {
 		accesses += c
@@ -264,143 +205,76 @@ func (s *Smoother) sweep(ctx context.Context, m *mesh.Mesh, kern Kernel, inPlace
 		return accesses, err
 	}
 	if soa {
-		cx, cy, nx, ny := s.cx, s.cy, s.nx, s.ny
-		for _, v := range visit {
-			cx[v], cy[v] = nx[v], ny[v]
-		}
-		return accesses, nil
-	}
-	for _, v := range visit {
-		m.Coords[v] = next[v]
+		d.commitSoA(visit)
+	} else {
+		d.commitNext(visit)
 	}
 	return accesses, nil
-}
-
-// sweepBodySoA selects the monomorphic SoA chunk body for one Jacobi sweep
-// of a built-in kernel (see fastpath.go); only called when soaEligible
-// approved the kernel. The body allocates once per sweep (the closure), as
-// the engine always has.
-func (s *Smoother) sweepBodySoA(m *mesh.Mesh, kern Kernel, visit []int32, counts []int64) func(worker int, ch parallel.Chunk) {
-	adjStart, adjList := m.AdjStart, m.AdjList
-	cx, cy, nx, ny := s.cx, s.cy, s.nx, s.ny
-	switch k := kern.(type) {
-	case PlainKernel:
-		return func(w int, ch parallel.Chunk) {
-			counts[w] += sweepChunkPlain(adjStart, adjList, cx, cy, nx, ny, visit[ch.Lo:ch.Hi])
-		}
-	case WeightedKernel:
-		return func(w int, ch parallel.Chunk) {
-			counts[w] += sweepChunkWeighted(adjStart, adjList, cx, cy, nx, ny, visit[ch.Lo:ch.Hi])
-		}
-	case ConstrainedKernel:
-		return func(w int, ch parallel.Chunk) {
-			counts[w] += sweepChunkConstrained(adjStart, adjList, cx, cy, nx, ny, visit[ch.Lo:ch.Hi], k.MaxDisplacement)
-		}
-	}
-	panic("smooth: sweepBodySoA called with non-fast-path kernel")
-}
-
-// sweepBody builds the generic interface-dispatch chunk body for one Jacobi
-// sweep — user kernels, traced runs, and the NoFastPath ablation.
-func (s *Smoother) sweepBody(m *mesh.Mesh, kern Kernel, visit []int32, next []geom.Point, counts []int64, opt Options) func(worker int, ch parallel.Chunk) {
-	tb := opt.Trace
-	return func(w int, ch parallel.Chunk) {
-		var acc int64
-		for _, v := range visit[ch.Lo:ch.Hi] {
-			traceTouch(tb, w, m, v)
-			next[v] = kern.Update(m, v)
-			acc += int64(m.Degree(v)) + 1
-		}
-		counts[w] += acc
-	}
-}
-
-// traceTouch records the access pattern of one vertex update: the smoothed
-// vertex, then each of its neighbors.
-func traceTouch(tb *trace.Buffer, core int, m *mesh.Mesh, v int32) {
-	if tb == nil {
-		return
-	}
-	tb.Access(core, v)
-	for _, w := range m.Neighbors(v) {
-		tb.Access(core, w)
-	}
 }
 
 // visitSequence returns the interior vertices in the order the sweeps visit
 // them, reusing the engine's visit buffer for the quality-greedy traversal.
 // The initial vertex qualities driving the greedy walk are computed with
 // the same (parallel or serial) quality configuration as the measurements.
-func (s *Smoother) visitSequence(ctx context.Context, m *mesh.Mesh, opt Options, met quality.Metric, qworkers int, qsched parallel.Scheduler) ([]int32, error) {
+func (e *engine[D, PD]) visitSequence(ctx context.Context, opt *Options, qworkers int, qsched parallel.Scheduler) ([]int32, error) {
+	d := PD(&e.d)
 	if opt.Traversal == StorageOrder {
-		return m.InteriorVerts, nil
+		return d.interior(), nil
 	}
-	vq, err := s.qs.VertexQualitiesParallel(ctx, m, met, qworkers, qsched)
+	vq, err := d.vertexQualities(ctx, &e.qs, qworkers, qsched)
 	if err != nil {
 		return nil, err
 	}
-	w, err := order.GreedyWalk(m, vq, false)
+	w, err := order.GreedyWalk(d.graph(), vq, false)
 	if err != nil {
 		return nil, fmt.Errorf("smooth: computing traversal: %w", err)
 	}
-	s.visit = s.visit[:0]
+	e.visit = e.visit[:0]
+	boundary := d.boundary()
 	for _, v := range w.Heads {
-		if !m.IsBoundary[v] {
-			s.visit = append(s.visit, v)
+		if !boundary[v] {
+			e.visit = append(e.visit, v)
 		}
 	}
-	if len(s.visit) != len(m.InteriorVerts) {
-		return nil, fmt.Errorf("smooth: traversal visited %d of %d interior vertices", len(s.visit), len(m.InteriorVerts))
+	if len(e.visit) != len(d.interior()) {
+		return nil, fmt.Errorf("smooth: traversal visited %d of %d interior vertices", len(e.visit), len(d.interior()))
 	}
-	return s.visit, nil
+	return e.visit, nil
 }
 
 // resolveScheduler caches the chunk scheduler for the named schedule (""
 // means static). Keeping the instance across runs preserves its per-worker
 // scratch, which is what makes the dynamic schedules near-zero-alloc in
 // steady state.
-func (s *Smoother) resolveScheduler(name string) error {
+func (e *engine[D, PD]) resolveScheduler(name string) (err error) {
+	e.sched, e.schedName, err = resolveScheduler(e.sched, e.schedName, name)
+	return err
+}
+
+// resolveScheduler implements the by-name scheduler cache shared by the
+// single engine and the partitioned driver.
+func resolveScheduler(cur parallel.Scheduler, curName, name string) (parallel.Scheduler, string, error) {
 	if name == "" {
 		name = parallel.ScheduleStatic
 	}
-	if s.sched != nil && s.schedName == name {
-		return nil
+	if cur != nil && curName == name {
+		return cur, curName, nil
 	}
 	sched, err := parallel.SchedulerByName(name)
 	if err != nil {
-		return fmt.Errorf("smooth: %w", err)
+		return cur, curName, fmt.Errorf("smooth: %w", err)
 	}
-	s.sched, s.schedName = sched, name
-	return nil
-}
-
-// nextBuffer returns a zeroed-or-stale scratch slice of n points; contents
-// are fully overwritten before being read.
-func (s *Smoother) nextBuffer(n int) []geom.Point {
-	if cap(s.next) < n {
-		s.next = make([]geom.Point, n)
-	}
-	s.next = s.next[:n]
-	return s.next
-}
-
-// growFloats returns a length-n scratch slice reusing buf's storage when it
-// fits; contents are unspecified until written.
-func growFloats(buf []float64, n int) []float64 {
-	if cap(buf) < n {
-		return make([]float64, n)
-	}
-	return buf[:n]
+	return sched, name, nil
 }
 
 // countsBuffer returns a zeroed per-worker access-count slice.
-func (s *Smoother) countsBuffer(n int) []int64 {
-	if cap(s.counts) < n {
-		s.counts = make([]int64, n)
+func (e *engine[D, PD]) countsBuffer(n int) []int64 {
+	if cap(e.counts) < n {
+		e.counts = make([]int64, n)
 	}
-	s.counts = s.counts[:n]
-	for i := range s.counts {
-		s.counts[i] = 0
+	e.counts = e.counts[:n]
+	for i := range e.counts {
+		e.counts[i] = 0
 	}
-	return s.counts
+	return e.counts
 }

@@ -23,7 +23,7 @@ func genTetMesh(t testing.TB, cells int) *mesh.TetMesh {
 
 func TestSmoothing3ImprovesQuality(t *testing.T) {
 	m := genTetMesh(t, 6)
-	res, err := Run3(m, Options3{MaxIters: 10, Tol: -1})
+	res, err := RunTet(m, Options{MaxIters: 10, Tol: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestSmoothing3ImprovesQuality(t *testing.T) {
 func TestBoundary3VerticesFixed(t *testing.T) {
 	m := genTetMesh(t, 5)
 	before := append([]geom.Point3(nil), m.Coords...)
-	if _, err := Run3(m, Options3{MaxIters: 3, Tol: -1}); err != nil {
+	if _, err := RunTet(m, Options{MaxIters: 3, Tol: -1}); err != nil {
 		t.Fatal(err)
 	}
 	for v := 0; v < m.NumVerts(); v++ {
@@ -54,7 +54,7 @@ func TestBoundary3VerticesFixed(t *testing.T) {
 func TestJacobi3MatchesEquationOne(t *testing.T) {
 	m := genTetMesh(t, 4)
 	before := append([]geom.Point3(nil), m.Coords...)
-	if _, err := Run3(m, Options3{MaxIters: 1, Tol: -1}); err != nil {
+	if _, err := RunTet(m, Options{MaxIters: 1, Tol: -1}); err != nil {
 		t.Fatal(err)
 	}
 	for _, v := range m.InteriorVerts {
@@ -85,7 +85,7 @@ func TestJacobi3MatchesEquationOne(t *testing.T) {
 func TestOrdering3IndependentResult(t *testing.T) {
 	base := genTetMesh(t, 5)
 	ref := base.Clone()
-	refRes, err := Run3(ref, Options3{MaxIters: 5, Tol: -1})
+	refRes, err := RunTet(ref, Options{MaxIters: 5, Tol: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestOrdering3IndependentResult(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Run3(rm, Options3{MaxIters: 5, Tol: -1})
+		res, err := RunTet(rm, Options{MaxIters: 5, Tol: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +123,7 @@ func TestOrdering3IndependentResult(t *testing.T) {
 
 func TestGaussSeidel3SerialSweep(t *testing.T) {
 	m := genTetMesh(t, 4)
-	res, err := Run3(m, Options3{GaussSeidel: true, MaxIters: 3, Tol: -1})
+	res, err := RunTet(m, Options{GaussSeidel: true, MaxIters: 3, Tol: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestGaussSeidel3SerialSweep(t *testing.T) {
 	// Workers > 1 parallelizes only the measurement passes; the in-place
 	// sweep itself stays serial, so the result is identical.
 	m2 := genTetMesh(t, 4)
-	res2, err := Run3(m2, Options3{GaussSeidel: true, MaxIters: 3, Tol: -1, Workers: 4})
+	res2, err := RunTet(m2, Options{GaussSeidel: true, MaxIters: 3, Tol: -1, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestGaussSeidel3SerialSweep(t *testing.T) {
 
 func TestSmart3IsInPlaceAndMonotone(t *testing.T) {
 	m := genTetMesh(t, 4)
-	res, err := Run3(m, Options3{Kernel: SmartKernel3{}, MaxIters: 4, Tol: -1})
+	res, err := RunTet(m, Options{TetKernel: SmartKernel3{}, MaxIters: 4, Tol: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestSmart3IsInPlaceAndMonotone(t *testing.T) {
 	// The smart sweep is serial at any worker count (only measurement
 	// parallelizes), so workers must not change the result.
 	m2 := genTetMesh(t, 4)
-	res2, err := Run3(m2, Options3{Kernel: SmartKernel3{}, MaxIters: 4, Tol: -1, Workers: 4})
+	res2, err := RunTet(m2, Options{TetKernel: SmartKernel3{}, MaxIters: 4, Tol: -1, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestConstrained3BoundsMoves(t *testing.T) {
 	const maxD = 1e-4
 	m := genTetMesh(t, 4)
 	before := append([]geom.Point3(nil), m.Coords...)
-	if _, err := Run3(m, Options3{Kernel: ConstrainedKernel3{MaxDisplacement: maxD}, MaxIters: 1, Tol: -1}); err != nil {
+	if _, err := RunTet(m, Options{TetKernel: ConstrainedKernel3{MaxDisplacement: maxD}, MaxIters: 1, Tol: -1}); err != nil {
 		t.Fatal(err)
 	}
 	for v := range m.Coords {
@@ -180,7 +180,7 @@ func TestConstrained3BoundsMoves(t *testing.T) {
 func TestTrace3Accounting(t *testing.T) {
 	m := genTetMesh(t, 4)
 	tb := trace.NewBuffer(1)
-	res, err := Run3(m, Options3{MaxIters: 2, Tol: -1, Trace: tb})
+	res, err := RunTet(m, Options{MaxIters: 2, Tol: -1, Trace: tb})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestTrace3Accounting(t *testing.T) {
 	if tb.Iterations() != 2 {
 		t.Errorf("trace iterations = %d", tb.Iterations())
 	}
-	if _, err := Run3(m, Options3{Workers: 2, Trace: trace.NewBuffer(1)}); err == nil {
+	if _, err := RunTet(m, Options{Workers: 2, Trace: trace.NewBuffer(1)}); err == nil {
 		t.Error("undersized trace buffer accepted")
 	}
 }
@@ -200,7 +200,7 @@ func TestRun3Cancellation(t *testing.T) {
 	before := m.Clone()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res, err := NewSmoother3().Run(ctx, m, Options3{MaxIters: 5, Tol: -1})
+	res, err := NewSmoother().RunTet(ctx, m, Options{MaxIters: 5, Tol: -1})
 	if err != context.Canceled {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

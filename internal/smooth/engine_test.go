@@ -111,28 +111,30 @@ func TestEngineGaussSeidelBitIdentical(t *testing.T) {
 	coordsEqual(t, "gauss-seidel", got, want)
 }
 
-func TestEngineKernelOptionMatchesVariant(t *testing.T) {
-	// Options.Kernel and RunVariant are two spellings of the same engine
-	// invocation and must agree exactly.
+func TestEngineKernelOptionMatchesRegistry(t *testing.T) {
+	// A registry-resolved kernel and the directly-constructed kernel struct
+	// are two spellings of the same engine invocation and must agree
+	// exactly.
 	base := genMesh(t, 1200)
-	for _, v := range []Variant{Smart, Weighted, Constrained} {
-		kern, err := KernelForVariant(v, nil, 0.05)
+	direct := map[string]Kernel{
+		"smart":       SmartKernel{},
+		"weighted":    WeightedKernel{},
+		"constrained": ConstrainedKernel{MaxDisplacement: 0.05},
+	}
+	for name, kern := range direct {
+		viaStruct := base.Clone()
+		if _, err := Run(viaStruct, Options{MaxIters: 5, Tol: -1, Kernel: kern}); err != nil {
+			t.Fatal(err)
+		}
+		reg, err := KernelByName(name, KernelConfig{MaxDisplacement: 0.05})
 		if err != nil {
 			t.Fatal(err)
 		}
-		viaKernel := base.Clone()
-		if _, err := Run(viaKernel, Options{MaxIters: 5, Tol: -1, Kernel: kern}); err != nil {
+		viaRegistry := base.Clone()
+		if _, err := Run(viaRegistry, Options{MaxIters: 5, Tol: -1, Kernel: reg}); err != nil {
 			t.Fatal(err)
 		}
-		viaVariant := base.Clone()
-		if _, err := RunVariant(viaVariant, VariantOptions{
-			Options:         Options{MaxIters: 5, Tol: -1},
-			Variant:         v,
-			MaxDisplacement: 0.05,
-		}); err != nil {
-			t.Fatal(err)
-		}
-		coordsEqual(t, v.String(), viaKernel, viaVariant)
+		coordsEqual(t, name, viaStruct, viaRegistry)
 	}
 }
 

@@ -96,16 +96,16 @@ func TestFastPathEquivalence(t *testing.T) {
 func TestFastPathEquivalence3(t *testing.T) {
 	base := genTetMesh(t, 9)
 	const iters = 3
-	kernels := []Kernel3{PlainKernel3{}, WeightedKernel3{}, ConstrainedKernel3{MaxDisplacement: 0.02}, SmartKernel3{}}
+	kernels := []TetKernel{PlainKernel3{}, WeightedKernel3{}, ConstrainedKernel3{MaxDisplacement: 0.02}, SmartKernel3{}}
 	metrics := []quality.TetMetric{quality.MeanRatio3{}, quality.EdgeRatio3{}}
 
 	for _, kern := range kernels {
 		for _, met := range metrics {
 			for _, traversal := range []Traversal{QualityGreedy, StorageOrder} {
 				ref := base.Clone()
-				refRes, err := Run3(ref, Options3{
+				refRes, err := RunTet(ref, Options{
 					MaxIters: iters, Tol: -1, Traversal: traversal,
-					Kernel: kern, Metric: met, NoFastPath: true,
+					TetKernel: kern, TetMetric: met, NoFastPath: true,
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -115,9 +115,9 @@ func TestFastPathEquivalence3(t *testing.T) {
 						name := fmt.Sprintf("%s/%s/%s/%s/workers=%d", kern.Name(), met.Name(), traversal, schedule, workers)
 						t.Run(name, func(t *testing.T) {
 							got := base.Clone()
-							res, err := Run3(got, Options3{
+							res, err := RunTet(got, Options{
 								MaxIters: iters, Tol: -1, Traversal: traversal,
-								Kernel: kern, Metric: met,
+								TetKernel: kern, TetMetric: met,
 								Workers: workers, Schedule: schedule,
 							})
 							if err != nil {
@@ -173,12 +173,12 @@ func TestSmartKernelMetricHoist(t *testing.T) {
 
 	base3 := genTetMesh(t, 6)
 	implicit3 := base3.Clone()
-	resI3, err := Run3(implicit3, Options3{MaxIters: 4, Tol: -1, Kernel: SmartKernel3{}})
+	resI3, err := RunTet(implicit3, Options{MaxIters: 4, Tol: -1, TetKernel: SmartKernel3{}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	explicit3 := base3.Clone()
-	resE3, err := Run3(explicit3, Options3{MaxIters: 4, Tol: -1, Kernel: SmartKernel3{Metric: quality.MeanRatio3{}}})
+	resE3, err := RunTet(explicit3, Options{MaxIters: 4, Tol: -1, TetKernel: SmartKernel3{Metric: quality.MeanRatio3{}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,15 +212,15 @@ func TestSmartGenericAcceptMetricEquivalence(t *testing.T) {
 
 	base3 := genTetMesh(t, 5)
 	ref3 := base3.Clone()
-	refRes3, err := Run3(ref3, Options3{
-		MaxIters: 3, Tol: -1, Kernel: SmartKernel3{Metric: quality.EdgeRatio3{}}, NoFastPath: true,
+	refRes3, err := RunTet(ref3, Options{
+		MaxIters: 3, Tol: -1, TetKernel: SmartKernel3{Metric: quality.EdgeRatio3{}}, NoFastPath: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	got3 := base3.Clone()
-	res3, err := Run3(got3, Options3{
-		MaxIters: 3, Tol: -1, Kernel: SmartKernel3{Metric: quality.EdgeRatio3{}}, Workers: 4,
+	res3, err := RunTet(got3, Options{
+		MaxIters: 3, Tol: -1, TetKernel: SmartKernel3{Metric: quality.EdgeRatio3{}}, Workers: 4,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -257,12 +257,12 @@ func TestSoAPackCommitRoundTrip(t *testing.T) {
 		m.Coords[i].Y = soaSpecials[(i*3+1)%len(soaSpecials)]
 	}
 	want := append([]geom.Point(nil), m.Coords...)
-	s := NewSmoother()
-	s.packCoords(m, true)
+	d := dim2{m: m}
+	d.pack(true)
 	for i := range m.Coords {
 		m.Coords[i] = geom.Point{} // commit must fully overwrite
 	}
-	s.commitCoords(m)
+	d.commit()
 	for i := range m.Coords {
 		if math.Float64bits(m.Coords[i].X) != math.Float64bits(want[i].X) ||
 			math.Float64bits(m.Coords[i].Y) != math.Float64bits(want[i].Y) {
@@ -277,12 +277,12 @@ func TestSoAPackCommitRoundTrip(t *testing.T) {
 		m3.Coords[i].Z = soaSpecials[(i*7+2)%len(soaSpecials)]
 	}
 	want3 := append([]geom.Point3(nil), m3.Coords...)
-	s3 := NewSmoother3()
-	s3.packCoords(m3, true)
+	d3 := dim3{m: m3}
+	d3.pack(true)
 	for i := range m3.Coords {
 		m3.Coords[i] = geom.Point3{}
 	}
-	s3.commitCoords(m3)
+	d3.commit()
 	for i := range m3.Coords {
 		if math.Float64bits(m3.Coords[i].X) != math.Float64bits(want3[i].X) ||
 			math.Float64bits(m3.Coords[i].Y) != math.Float64bits(want3[i].Y) ||
@@ -347,12 +347,12 @@ func TestCheckEverySemantics3(t *testing.T) {
 	base := genTetMesh(t, 6)
 	const iters = 7
 	ref := base.Clone()
-	refRes, err := Run3(ref, Options3{MaxIters: iters, Tol: -1})
+	refRes, err := RunTet(ref, Options{MaxIters: iters, Tol: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	got := base.Clone()
-	res, err := Run3(got, Options3{MaxIters: iters, Tol: -1, CheckEvery: 3, Workers: 4})
+	res, err := RunTet(got, Options{MaxIters: iters, Tol: -1, CheckEvery: 3, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +391,7 @@ func TestCheckEveryRejectsNegative(t *testing.T) {
 	if _, err := Run(genMesh(t, 300), Options{CheckEvery: -2}); err == nil {
 		t.Error("2D engine accepted negative CheckEvery")
 	}
-	if _, err := Run3(genTetMesh(t, 4), Options3{CheckEvery: -2}); err == nil {
+	if _, err := RunTet(genTetMesh(t, 4), Options{CheckEvery: -2}); err == nil {
 		t.Error("3D engine accepted negative CheckEvery")
 	}
 }
@@ -454,13 +454,13 @@ func TestSmartConvergeSteadyStateAllocs(t *testing.T) {
 	})
 	t.Run("dim=3", func(t *testing.T) {
 		m := genTetMesh(t, 8)
-		s := NewSmoother3()
-		opt := Options3{MaxIters: iters, Tol: -1, Traversal: StorageOrder, Workers: 8, Kernel: SmartKernel3{}}
-		if _, err := s.Run(ctx, m, opt); err != nil {
+		s := NewSmoother()
+		opt := Options{MaxIters: iters, Tol: -1, Traversal: StorageOrder, Workers: 8, TetKernel: SmartKernel3{}}
+		if _, err := s.RunTet(ctx, m, opt); err != nil {
 			t.Fatal(err)
 		}
 		allocs := testing.AllocsPerRun(10, func() {
-			if _, err := s.Run(ctx, m, opt); err != nil {
+			if _, err := s.RunTet(ctx, m, opt); err != nil {
 				t.Fatal(err)
 			}
 		})

@@ -1,0 +1,206 @@
+package smooth
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden-hash regression pins the engine's numerical output — committed
+// coordinates, quality history, access counts, iteration count — for a fixed
+// matrix of dim × kernel × schedule × workers × partitions configurations.
+// The hashes in testdata/golden_hashes.json were captured from the
+// pre-unification twin engines (Smoother/Smoother3 before the
+// dimension-generic refactor); the unified engine must reproduce every one
+// of them bitwise. Regenerate with GOLDEN_UPDATE=1 only when an intentional
+// numerical change is being made, and say so in the commit.
+
+const (
+	goldenIters  = 4
+	goldenVerts2 = 1200 // carabiner target vertex count
+	goldenCells3 = 5    // tet cube cells per axis
+	goldenMaxD   = 0.05 // constrained kernel displacement clamp
+)
+
+var goldenFile = filepath.Join("testdata", "golden_hashes.json")
+
+type goldenCase struct {
+	Dim        int
+	Kernel     string
+	Schedule   string
+	Workers    int
+	Partitions int
+}
+
+func (c goldenCase) name() string {
+	return fmt.Sprintf("dim=%d/kernel=%s/schedule=%s/workers=%d/partitions=%d",
+		c.Dim, c.Kernel, c.Schedule, c.Workers, c.Partitions)
+}
+
+// goldenMatrix enumerates the seed matrix. The smart kernel updates in
+// place, which partitioned runs reject, so its partitions>1 cells are
+// omitted rather than recorded as errors.
+func goldenMatrix() []goldenCase {
+	var cases []goldenCase
+	for _, dim := range []int{2, 3} {
+		for _, kernel := range []string{"plain", "smart", "weighted", "constrained"} {
+			for _, schedule := range []string{"static", "guided", "stealing"} {
+				for _, workers := range []int{1, 4} {
+					for _, partitions := range []int{1, 3} {
+						if kernel == "smart" && partitions > 1 {
+							continue
+						}
+						cases = append(cases, goldenCase{dim, kernel, schedule, workers, partitions})
+					}
+				}
+			}
+		}
+	}
+	return cases
+}
+
+func goldenHashF64(h hash.Hash64, v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	h.Write(b[:])
+}
+
+func goldenHashI64(h hash.Hash64, v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	h.Write(b[:])
+}
+
+func goldenKernel2(t *testing.T, name string) Kernel {
+	t.Helper()
+	k, err := KernelByName(name, KernelConfig{MaxDisplacement: goldenMaxD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func goldenKernel3(t *testing.T, name string) TetKernel {
+	t.Helper()
+	k, err := TetKernelByName(name, KernelConfig{MaxDisplacement: goldenMaxD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// goldenRun executes one matrix cell from a fresh mesh and folds the
+// complete numerical outcome into one 64-bit FNV-1a hash.
+func goldenRun(t *testing.T, c goldenCase) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	var res Result
+	if c.Dim == 2 {
+		m := genMesh(t, goldenVerts2)
+		var err error
+		res, err = Run(m, Options{
+			MaxIters: goldenIters, Tol: -1,
+			Workers: c.Workers, Schedule: c.Schedule,
+			Kernel: goldenKernel2(t, c.Kernel), Partitions: c.Partitions,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range m.Coords {
+			goldenHashF64(h, p.X)
+			goldenHashF64(h, p.Y)
+		}
+	} else {
+		m := genTetMesh(t, goldenCells3)
+		var err error
+		res, err = RunTet(m, Options{
+			MaxIters: goldenIters, Tol: -1,
+			Workers: c.Workers, Schedule: c.Schedule,
+			TetKernel: goldenKernel3(t, c.Kernel), Partitions: c.Partitions,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range m.Coords {
+			goldenHashF64(h, p.X)
+			goldenHashF64(h, p.Y)
+			goldenHashF64(h, p.Z)
+		}
+	}
+	for _, q := range res.QualityHistory {
+		goldenHashF64(h, q)
+	}
+	goldenHashF64(h, res.InitialQuality)
+	goldenHashF64(h, res.FinalQuality)
+	goldenHashI64(h, int64(res.Iterations))
+	goldenHashI64(h, res.Accesses)
+	return h.Sum64()
+}
+
+type goldenRecord struct {
+	Iters  int               `json:"iters"`
+	Mesh2  string            `json:"mesh2"`
+	Mesh3  string            `json:"mesh3"`
+	Hashes map[string]string `json:"hashes"`
+}
+
+func TestGoldenHashes(t *testing.T) {
+	cases := goldenMatrix()
+
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		rec := goldenRecord{
+			Iters:  goldenIters,
+			Mesh2:  fmt.Sprintf("carabiner/%d", goldenVerts2),
+			Mesh3:  fmt.Sprintf("cube/%d", goldenCells3),
+			Hashes: make(map[string]string, len(cases)),
+		}
+		for _, c := range cases {
+			rec.Hashes[c.name()] = fmt.Sprintf("%016x", goldenRun(t, c))
+		}
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden hashes to %s", len(rec.Hashes), goldenFile)
+		return
+	}
+
+	buf, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("reading golden hashes (regenerate with GOLDEN_UPDATE=1): %v", err)
+	}
+	var rec goldenRecord
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Iters != goldenIters {
+		t.Fatalf("golden file captured %d iterations, test runs %d", rec.Iters, goldenIters)
+	}
+	if len(rec.Hashes) != len(cases) {
+		t.Errorf("golden file has %d hashes, matrix has %d cases", len(rec.Hashes), len(cases))
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name(), func(t *testing.T) {
+			want, ok := rec.Hashes[c.name()]
+			if !ok {
+				t.Fatalf("no golden hash for %s", c.name())
+			}
+			if got := fmt.Sprintf("%016x", goldenRun(t, c)); got != want {
+				t.Errorf("hash = %s, want %s (numerical output drifted from the pre-unification engines)", got, want)
+			}
+		})
+	}
+}

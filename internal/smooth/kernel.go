@@ -1,26 +1,132 @@
 package smooth
 
 import (
+	"fmt"
+	"strings"
+
 	"lams/internal/geom"
 	"lams/internal/mesh"
 	"lams/internal/quality"
 )
 
-// Kernel is the per-vertex update rule of a smoothing sweep. The engine owns
+// KernelOf is the per-vertex update rule of a smoothing sweep, generic over
+// the mesh type M and point type P of a dimension. The engine owns
 // everything else — traversal, chunking, tracing, Jacobi buffering and the
-// convergence loop — so a new smoothing variant is just a new Kernel.
-type Kernel interface {
+// convergence loop — so a new smoothing variant is just a new kernel, and a
+// new dimension is just a new (M, P) pair.
+type KernelOf[M any, P any] interface {
 	// Name identifies the kernel in reports.
 	Name() string
 	// InPlace reports whether the kernel must observe its own writes within
 	// a sweep (Gauss–Seidel style). In-place kernels run serially and the
-	// engine commits each Update to m.Coords immediately; otherwise updates
+	// engine commits each Update to the mesh immediately; otherwise updates
 	// are buffered and committed together after the sweep (Jacobi style).
 	InPlace() bool
 	// Update computes the new position of vertex v from the mesh's current
-	// coordinates. It must only read m.Coords at v and v's neighbors (plus,
-	// for in-place kernels, write m.Coords[v]).
-	Update(m *mesh.Mesh, v int32) geom.Point
+	// coordinates. It must only read coordinates at v and v's neighbors
+	// (plus, for in-place kernels, write the vertex's own coordinate).
+	Update(m M, v int32) P
+}
+
+// Kernel is the triangle-mesh kernel interface (the 2D instantiation).
+type Kernel = KernelOf[*mesh.Mesh, geom.Point]
+
+// TetKernel is the tetrahedral-mesh kernel interface (the 3D
+// instantiation).
+type TetKernel = KernelOf[*mesh.TetMesh, geom.Point3]
+
+// KernelConfig parameterizes the built-in kernels when they are resolved by
+// name through the registry. Zero values select the defaults.
+type KernelConfig struct {
+	// Metric is the smart kernel's 2D accept metric (nil means
+	// quality.EdgeRatio{}).
+	Metric quality.Metric
+	// TetMetric is the smart kernel's 3D accept metric (nil means
+	// quality.MeanRatio3{}).
+	TetMetric quality.TetMetric
+	// MaxDisplacement bounds the constrained kernel's per-sweep moves
+	// (required > 0 for that kernel, ignored by the others).
+	MaxDisplacement float64
+}
+
+// kernelSpec is one registry row: a kernel name and its builders for both
+// dimensions. Keeping the two builders in one row is what guarantees the
+// 2D and 3D vocabularies — and their validation — can never drift apart.
+type kernelSpec struct {
+	name  string
+	build func(cfg KernelConfig) (Kernel, TetKernel, error)
+}
+
+// kernelRegistry lists the built-in kernels in their canonical order.
+var kernelRegistry = []kernelSpec{
+	{"plain", func(KernelConfig) (Kernel, TetKernel, error) {
+		return PlainKernel{}, PlainKernel3{}, nil
+	}},
+	{"smart", func(cfg KernelConfig) (Kernel, TetKernel, error) {
+		return SmartKernel{Metric: cfg.Metric}, SmartKernel3{Metric: cfg.TetMetric}, nil
+	}},
+	{"weighted", func(KernelConfig) (Kernel, TetKernel, error) {
+		return WeightedKernel{}, WeightedKernel3{}, nil
+	}},
+	{"constrained", func(cfg KernelConfig) (Kernel, TetKernel, error) {
+		if cfg.MaxDisplacement <= 0 {
+			return nil, nil, fmt.Errorf("smooth: constrained kernel requires MaxDisplacement > 0, got %g", cfg.MaxDisplacement)
+		}
+		return ConstrainedKernel{MaxDisplacement: cfg.MaxDisplacement},
+			ConstrainedKernel3{MaxDisplacement: cfg.MaxDisplacement}, nil
+	}},
+}
+
+// KernelNames returns the registered kernel names in canonical order. The
+// same vocabulary is valid for both dimensions.
+func KernelNames() []string {
+	names := make([]string, len(kernelRegistry))
+	for i, spec := range kernelRegistry {
+		names[i] = spec.name
+	}
+	return names
+}
+
+func kernelSpecByName(name string) (*kernelSpec, error) {
+	for i := range kernelRegistry {
+		if kernelRegistry[i].name == name {
+			return &kernelRegistry[i], nil
+		}
+	}
+	return nil, fmt.Errorf("smooth: unknown kernel %q: want %s", name, strings.Join(KernelNames(), ", "))
+}
+
+// KernelByName resolves a built-in triangle-mesh kernel from its registry
+// name and configuration.
+func KernelByName(name string, cfg KernelConfig) (Kernel, error) {
+	spec, err := kernelSpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	k, _, err := spec.build(cfg)
+	return k, err
+}
+
+// TetKernelByName resolves a built-in tetrahedral-mesh kernel from its
+// registry name and configuration.
+func TetKernelByName(name string, cfg KernelConfig) (TetKernel, error) {
+	spec, err := kernelSpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	_, k, err := spec.build(cfg)
+	return k, err
+}
+
+// KernelsByName resolves both dimensions' kernels from one registry row in
+// a single call — one lookup and one validation pass, so a caller serving
+// both mesh kinds cannot resolve them inconsistently.
+func KernelsByName(name string, cfg KernelConfig) (Kernel, TetKernel, error) {
+	spec, err := kernelSpecByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return spec.build(cfg)
 }
 
 // PlainKernel is Eq. (1): move the vertex to the unweighted average of its
@@ -46,6 +152,30 @@ func (PlainKernel) Update(m *mesh.Mesh, v int32) geom.Point {
 	return geom.Point{X: sx * inv, Y: sy * inv}
 }
 
+// PlainKernel3 is Eq. (1) in 3D: move the vertex to the unweighted average
+// of its neighbors.
+type PlainKernel3 struct{}
+
+// Name implements TetKernel.
+func (PlainKernel3) Name() string { return "plain" }
+
+// InPlace implements TetKernel.
+func (PlainKernel3) InPlace() bool { return false }
+
+// Update implements TetKernel.
+func (PlainKernel3) Update(m *mesh.TetMesh, v int32) geom.Point3 {
+	nbrs := m.Neighbors(v)
+	var sx, sy, sz float64
+	for _, w := range nbrs {
+		p := m.Coords[w]
+		sx += p.X
+		sy += p.Y
+		sz += p.Z
+	}
+	inv := 1 / float64(len(nbrs))
+	return geom.Point3{X: sx * inv, Y: sy * inv, Z: sz * inv}
+}
+
 // plainDivTarget is the Eq. (1) target in the division form the smoothing
 // variants have always used. It is numerically equivalent to — but not
 // bit-identical with — PlainKernel's multiply-by-reciprocal form, so the
@@ -60,6 +190,22 @@ func plainDivTarget(m *mesh.Mesh, v int32) geom.Point {
 	}
 	n := float64(len(nbrs))
 	return geom.Point{X: sx / n, Y: sy / n}
+}
+
+// plainDivTarget3 is the Eq. (1) target in division form, mirroring the 2D
+// variants' historical arithmetic (numerically equivalent to, but not
+// bit-identical with, PlainKernel3's multiply-by-reciprocal form).
+func plainDivTarget3(m *mesh.TetMesh, v int32) geom.Point3 {
+	nbrs := m.Neighbors(v)
+	var sx, sy, sz float64
+	for _, w := range nbrs {
+		p := m.Coords[w]
+		sx += p.X
+		sy += p.Y
+		sz += p.Z
+	}
+	n := float64(len(nbrs))
+	return geom.Point3{X: sx / n, Y: sy / n, Z: sz / n}
 }
 
 // SmartKernel computes the Eq. (1) position but keeps the move only when it
@@ -77,8 +223,8 @@ func (SmartKernel) Name() string { return "smart" }
 func (SmartKernel) InPlace() bool { return true }
 
 // Update implements Kernel. The engine resolves a nil Metric to the default
-// once per run (Options.withDefaults), so on the engine path the fallback
-// below never branches; it remains for direct callers of Update.
+// once per run (dim2.prepare), so on the engine path the fallback below
+// never branches; it remains for direct callers of Update.
 func (k SmartKernel) Update(m *mesh.Mesh, v int32) geom.Point {
 	met := k.Metric
 	if met == nil {
@@ -88,6 +234,37 @@ func (k SmartKernel) Update(m *mesh.Mesh, v int32) geom.Point {
 	old := m.Coords[v]
 	m.Coords[v] = plainDivTarget(m, v)
 	if quality.VertexQuality(m, met, v) < before {
+		m.Coords[v] = old // reject the move
+	}
+	return m.Coords[v]
+}
+
+// SmartKernel3 computes the Eq. (1) position but keeps the move only when it
+// does not decrease the vertex's local quality. Its accept test must see the
+// candidate applied, so it runs in place (serial).
+type SmartKernel3 struct {
+	// Metric is the local quality metric (default quality.MeanRatio3{}).
+	Metric quality.TetMetric
+}
+
+// Name implements TetKernel.
+func (SmartKernel3) Name() string { return "smart" }
+
+// InPlace implements TetKernel.
+func (SmartKernel3) InPlace() bool { return true }
+
+// Update implements TetKernel. The engine resolves a nil Metric to the
+// default once per run (dim3.prepare), so on the engine path the fallback
+// below never branches; it remains for direct callers of Update.
+func (k SmartKernel3) Update(m *mesh.TetMesh, v int32) geom.Point3 {
+	met := k.Metric
+	if met == nil {
+		met = quality.MeanRatio3{}
+	}
+	before := quality.TetVertexQuality(m, met, v)
+	old := m.Coords[v]
+	m.Coords[v] = plainDivTarget3(m, v)
+	if quality.TetVertexQuality(m, met, v) < before {
 		m.Coords[v] = old // reject the move
 	}
 	return m.Coords[v]
@@ -124,6 +301,38 @@ func (WeightedKernel) Update(m *mesh.Mesh, v int32) geom.Point {
 	return geom.Point{X: sx / wsum, Y: sy / wsum}
 }
 
+// WeightedKernel3 averages neighbors with inverse-edge-length weights,
+// pulling vertices toward close neighbors more gently.
+type WeightedKernel3 struct{}
+
+// Name implements TetKernel.
+func (WeightedKernel3) Name() string { return "weighted" }
+
+// InPlace implements TetKernel.
+func (WeightedKernel3) InPlace() bool { return false }
+
+// Update implements TetKernel.
+func (WeightedKernel3) Update(m *mesh.TetMesh, v int32) geom.Point3 {
+	cur := m.Coords[v]
+	var sx, sy, sz, wsum float64
+	for _, w := range m.Neighbors(v) {
+		p := m.Coords[w]
+		d := cur.Dist(p)
+		wt := 1.0
+		if d > 0 {
+			wt = 1 / d
+		}
+		sx += wt * p.X
+		sy += wt * p.Y
+		sz += wt * p.Z
+		wsum += wt
+	}
+	if wsum == 0 {
+		return cur
+	}
+	return geom.Point3{X: sx / wsum, Y: sy / wsum, Z: sz / wsum}
+}
+
 // ConstrainedKernel is the plain update with the per-sweep displacement
 // clamped to MaxDisplacement, in the spirit of Parthasarathy and
 // Kodiyalam's constrained smoothing.
@@ -142,6 +351,30 @@ func (ConstrainedKernel) InPlace() bool { return false }
 func (k ConstrainedKernel) Update(m *mesh.Mesh, v int32) geom.Point {
 	cur := m.Coords[v]
 	target := plainDivTarget(m, v)
+	d := target.Sub(cur)
+	if norm := d.Norm(); norm > k.MaxDisplacement {
+		target = cur.Add(d.Scale(k.MaxDisplacement / norm))
+	}
+	return target
+}
+
+// ConstrainedKernel3 is the plain update with the per-sweep displacement
+// clamped to MaxDisplacement.
+type ConstrainedKernel3 struct {
+	// MaxDisplacement bounds each per-sweep move (must be > 0).
+	MaxDisplacement float64
+}
+
+// Name implements TetKernel.
+func (ConstrainedKernel3) Name() string { return "constrained" }
+
+// InPlace implements TetKernel.
+func (ConstrainedKernel3) InPlace() bool { return false }
+
+// Update implements TetKernel.
+func (k ConstrainedKernel3) Update(m *mesh.TetMesh, v int32) geom.Point3 {
+	cur := m.Coords[v]
+	target := plainDivTarget3(m, v)
 	d := target.Sub(cur)
 	if norm := d.Norm(); norm > k.MaxDisplacement {
 		target = cur.Add(d.Scale(k.MaxDisplacement / norm))

@@ -6,21 +6,21 @@ import (
 	"sort"
 	"sync"
 
-	"lams/internal/geom"
 	"lams/internal/mesh"
 	"lams/internal/parallel"
 	"lams/internal/partition"
 	"lams/internal/quality"
 )
 
-// PartitionedSmoother runs the convergence loop across k cooperating
-// engines: the mesh is decomposed into k partitions (see
-// internal/partition), each partition is smoothed by its own Smoother on
-// its own goroutine — with its own SoA mirrors, scratch, and scheduler —
-// and the engines barrier after every Jacobi sweep to exchange halo
-// (ghost) coordinates and publish their owned vertices back to the global
-// mesh, where the driver measures quality with the same fixed-block
-// ordered reduction the single engine uses.
+// partDriver runs the convergence loop across k cooperating engines: the
+// mesh is decomposed into k partitions (see internal/partition), each
+// partition is smoothed by its own engine on its own goroutine — with its
+// own SoA mirrors, scratch, and scheduler — and the engines barrier after
+// every Jacobi sweep to exchange halo (ghost) coordinates and publish their
+// owned vertices back to the global mesh, where the driver measures quality
+// with the same fixed-block ordered reduction the single engine uses. Like
+// engine, it is generic over the dimension; PartitionedSmoother is the
+// two-dimension facade.
 //
 // Because Jacobi updates read only the previous sweep's coordinates, and
 // each partition's local mesh preserves the global neighbor order (see
@@ -34,45 +34,35 @@ import (
 // The decomposition (layout, local meshes, exchange wiring) is computed on
 // first use and reused while the same mesh is smoothed with the same
 // partition configuration — the reorder-once/amortize-many argument one
-// level up. A PartitionedSmoother is not safe for concurrent use; the zero
-// value is ready to use.
-type PartitionedSmoother struct {
+// level up.
+type partDriver[D any, PD dimOps[D]] struct {
 	qs        quality.Scratch
 	sched     parallel.Scheduler
 	schedName string
+
+	// d is the global-mesh dim: the facade stores the run's mesh in it,
+	// and prepare resolves the run's kernel and metric into it.
+	d D
 
 	// Cached decomposition, valid while (mesh identity, k, partitioner)
 	// are unchanged. The mesh pointer plus vertex/element counts identify
 	// the topology: smoothing moves coordinates but never edits elements,
 	// and any layout of the current topology yields identical results, so
 	// coordinate drift cannot invalidate the cache.
-	mesh   *mesh.Mesh
+	cached any
 	nv, ne int
 	k      int
 	pname  string
 	layout *partition.Layout
-	parts  []*partEngine
+	parts  []*partUnit[D, PD]
 	ex     partition.Exchanger
 }
 
-// NewPartitionedSmoother returns an empty multi-engine driver whose
-// decomposition and scratch grow on first use.
-func NewPartitionedSmoother() *PartitionedSmoother { return &PartitionedSmoother{} }
-
-// Reset releases the cached decomposition and scratch; see Smoother.Reset.
-func (ps *PartitionedSmoother) Reset() { *ps = PartitionedSmoother{} }
-
-// CachedMesh returns the mesh whose decomposition the driver currently
-// caches, or nil before the first run. Long-lived holders (engine pools)
-// use it to drop decompositions of meshes that no longer exist.
-func (ps *PartitionedSmoother) CachedMesh() *mesh.Mesh { return ps.mesh }
-
-// partEngine is one partition's worker state: its engine, local mesh,
-// index maps, and exchange scratch.
-type partEngine struct {
+// partUnit is one partition's worker state: its engine (whose dim holds
+// the halo-carrying local mesh), index maps, and exchange scratch.
+type partUnit[D any, PD dimOps[D]] struct {
 	index int
-	eng   Smoother
-	local *mesh.Mesh
+	eng   engine[D, PD]
 	l2g   []int32   // local -> global vertex map (monotone)
 	visit []int32   // local ids of owned, globally interior vertices
 	sIdx  [][]int32 // per send link: local ids of Link.Verts
@@ -80,30 +70,90 @@ type partEngine struct {
 	sBuf  [][]float64
 
 	// Per-run state.
-	soa  bool
-	next []geom.Point
-	acc  int64
-	err  error
+	soa bool
+	acc int64
+	err error
 }
 
-// RunPartitioned smooths the mesh with opt.Partitions cooperating engines
-// using a one-shot driver. Callers that smooth repeatedly should hold a
-// PartitionedSmoother, which caches the decomposition across runs.
+// PartitionedSmoother is the unified multi-engine driver for both
+// dimensions: Run decomposes and smooths a triangle mesh, RunTet a
+// tetrahedral mesh, each dimension caching its own decomposition. A
+// PartitionedSmoother is not safe for concurrent use; the zero value is
+// ready to use.
+type PartitionedSmoother struct {
+	p2 partDriver[dim2, *dim2]
+	p3 partDriver[dim3, *dim3]
+
+	// layout is the decomposition built by the most recent run (either
+	// dimension); reporting callers (lamsbench) read its Stats.
+	layout *partition.Layout
+}
+
+// NewPartitionedSmoother returns an empty multi-engine driver whose
+// decomposition and scratch grow on first use.
+func NewPartitionedSmoother() *PartitionedSmoother { return &PartitionedSmoother{} }
+
+// Reset releases the cached decompositions and scratch; see Smoother.Reset.
+func (ps *PartitionedSmoother) Reset() { *ps = PartitionedSmoother{} }
+
+// CachedMesh returns the triangle mesh whose decomposition the driver
+// currently caches, or nil. Long-lived holders (engine pools) use it to
+// drop decompositions of meshes that no longer exist.
+func (ps *PartitionedSmoother) CachedMesh() *mesh.Mesh {
+	m, _ := ps.p2.cached.(*mesh.Mesh)
+	return m
+}
+
+// CachedTetMesh is CachedMesh for the tetrahedral decomposition.
+func (ps *PartitionedSmoother) CachedTetMesh() *mesh.TetMesh {
+	m, _ := ps.p3.cached.(*mesh.TetMesh)
+	return m
+}
+
+// Layout returns the decomposition of the most recent run, or nil before
+// the first run.
+func (ps *PartitionedSmoother) Layout() *partition.Layout { return ps.layout }
+
+// Run smooths the triangle mesh in place across the partitions and returns
+// the run statistics. The cancellation contract matches the single
+// engine's: on ctx cancellation — mid-sweep or mid-exchange — the global
+// mesh holds the coordinates of the last sweep every partition completed.
+func (ps *PartitionedSmoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, error) {
+	ps.p2.d.m = m
+	res, err := ps.p2.run(ctx, opt)
+	if ps.p2.layout != nil {
+		ps.layout = ps.p2.layout
+	}
+	return res, err
+}
+
+// RunTet is Run over a tetrahedral mesh; same driver, same contracts.
+func (ps *PartitionedSmoother) RunTet(ctx context.Context, m *mesh.TetMesh, opt Options) (Result, error) {
+	ps.p3.d.m = m
+	res, err := ps.p3.run(ctx, opt)
+	if ps.p3.layout != nil {
+		ps.layout = ps.p3.layout
+	}
+	return res, err
+}
+
+// RunPartitioned smooths the triangle mesh with opt.Partitions cooperating
+// engines using a one-shot driver. Callers that smooth repeatedly should
+// hold a PartitionedSmoother, which caches the decomposition across runs.
 func RunPartitioned(ctx context.Context, m *mesh.Mesh, opt Options) (Result, error) {
 	return NewPartitionedSmoother().Run(ctx, m, opt)
 }
 
-// Run smooths the mesh in place across the partitions and returns the run
-// statistics. The cancellation contract matches the single engine's: on
-// ctx cancellation — mid-sweep or mid-exchange — the global mesh holds the
-// coordinates of the last sweep every partition completed.
-func (ps *PartitionedSmoother) Run(ctx context.Context, m *mesh.Mesh, opt Options) (Result, error) {
+// RunPartitionedTet is RunPartitioned over a tetrahedral mesh.
+func RunPartitionedTet(ctx context.Context, m *mesh.TetMesh, opt Options) (Result, error) {
+	return NewPartitionedSmoother().RunTet(ctx, m, opt)
+}
+
+func (ps *partDriver[D, PD]) run(ctx context.Context, opt Options) (Result, error) {
+	d := PD(&ps.d)
 	opt = opt.withDefaults()
-	if opt.Workers < 1 {
-		return Result{}, fmt.Errorf("smooth: workers must be >= 1, got %d", opt.Workers)
-	}
-	if opt.CheckEvery < 1 {
-		return Result{}, fmt.Errorf("smooth: check-every must be >= 1, got %d", opt.CheckEvery)
+	if err := opt.validate(true); err != nil {
+		return Result{}, err
 	}
 	k := opt.Partitions
 	if k == 0 {
@@ -112,20 +162,17 @@ func (ps *PartitionedSmoother) Run(ctx context.Context, m *mesh.Mesh, opt Option
 	if k < 1 {
 		return Result{}, fmt.Errorf("smooth: partitions must be >= 1, got %d", opt.Partitions)
 	}
-	kern := opt.Kernel
-	if kern == nil {
-		kern = PlainKernel{}
+	inPlace, err := d.prepare(&opt)
+	if err != nil {
+		return Result{}, err
 	}
-	if opt.GaussSeidel || kern.InPlace() {
-		return Result{}, fmt.Errorf("smooth: partitioned runs require Jacobi updates; kernel %q updates in place", kern.Name())
-	}
-	if opt.Trace != nil {
-		return Result{}, fmt.Errorf("smooth: partitioned runs do not support tracing")
+	if inPlace {
+		return Result{}, fmt.Errorf("smooth: partitioned runs require Jacobi updates; kernel %q updates in place", d.kernelName())
 	}
 	if err := ps.resolveScheduler(opt.Schedule); err != nil {
 		return Result{}, err
 	}
-	if err := ps.setup(m, k, opt.Partitioner); err != nil {
+	if err := ps.setup(k, opt.Partitioner); err != nil {
 		return Result{}, err
 	}
 
@@ -133,37 +180,36 @@ func (ps *PartitionedSmoother) Run(ctx context.Context, m *mesh.Mesh, opt Option
 	// the global quality passes run over the global mesh with the fixed
 	// 1024-element reduction blocking, so the measured values are
 	// bit-identical at any worker count and schedule.
-	met := opt.Metric
 	qworkers, qsched := opt.Workers, ps.sched
 	if opt.NoFastPath {
-		met = quality.BoxMetric(met)
+		d.boxMetric()
 		qworkers, qsched = 1, nil
 	}
 
 	// Per-run engine preparation: refresh local coordinates from the
-	// global mesh, resolve each engine's scheduler, and pack the SoA
-	// mirrors (or size the generic Jacobi buffer).
-	soa := !opt.NoFastPath && soaPartKernel(kern)
-	for _, pe := range ps.parts {
-		for l, g := range pe.l2g {
-			pe.local.Coords[l] = m.Coords[g]
-		}
-		if err := pe.eng.resolveScheduler(opt.Schedule); err != nil {
+	// global mesh, resolve each engine's scheduler, adopt the driver's
+	// resolved kernel, and pack the SoA mirrors (or size the generic
+	// Jacobi buffer).
+	soa := !opt.NoFastPath && d.jacobiSoA()
+	for _, pu := range ps.parts {
+		ld := PD(&pu.eng.d)
+		ld.refreshLocal(&ps.d, pu.l2g)
+		if err := pu.eng.resolveScheduler(opt.Schedule); err != nil {
 			return Result{}, err
 		}
-		pe.soa = soa
+		ld.adoptKernel(&ps.d)
+		pu.soa = soa
 		if soa {
-			pe.eng.packCoords(pe.local, true)
-			pe.next = nil
+			ld.pack(true)
 		} else {
-			pe.next = pe.eng.nextBuffer(len(pe.local.Coords))
+			ld.ensureNext()
 		}
 	}
 	if ce, ok := ps.ex.(*partition.ChanExchanger); ok {
 		ce.Reset()
 	}
 
-	q0, err := ps.qs.GlobalParallel(ctx, m, met, qworkers, qsched)
+	q0, err := d.measure(ctx, &ps.qs, false, qworkers, qsched)
 	if err != nil {
 		return Result{}, err
 	}
@@ -189,14 +235,14 @@ func (ps *PartitionedSmoother) Run(ctx context.Context, m *mesh.Mesh, opt Option
 		// owned interior vertices. The barrier before publishing is what
 		// keeps the global mesh untorn: no partition's sweep-i result
 		// becomes visible unless every partition completed sweep i.
-		ps.fanOut(func(pe *partEngine) {
-			pe.acc, pe.err = pe.eng.sweep(ctx, pe.local, kern, false, pe.soa, pe.visit, pe.next, opt)
+		ps.fanOut(func(pu *partUnit[D, PD]) {
+			pu.acc, pu.err = pu.eng.sweep(ctx, false, pu.soa, pu.visit, &opt)
 		})
 		firstErr := error(nil)
-		for _, pe := range ps.parts {
-			res.Accesses += pe.acc
-			if pe.err != nil && firstErr == nil {
-				firstErr = pe.err
+		for _, pu := range ps.parts {
+			res.Accesses += pu.acc
+			if pu.err != nil && firstErr == nil {
+				firstErr = pu.err
 			}
 		}
 		if firstErr != nil {
@@ -210,21 +256,21 @@ func (ps *PartitionedSmoother) Run(ctx context.Context, m *mesh.Mesh, opt Option
 		// halo payloads with its peers. The publish is unconditional, so
 		// even if cancellation interrupts the exchange, the global mesh
 		// holds all of sweep i by the time the barrier joins.
-		ps.fanOut(func(pe *partEngine) {
-			pe.publish(m)
-			pe.err = pe.exchange(ctx, ps.ex)
+		ps.fanOut(func(pu *partUnit[D, PD]) {
+			PD(&pu.eng.d).publish(&ps.d, pu.l2g, pu.visit, pu.soa)
+			pu.err = pu.exchange(ctx, ps.ex)
 		})
 		res.Iterations++
-		for _, pe := range ps.parts {
-			if pe.err != nil {
-				return res, pe.err
+		for _, pu := range ps.parts {
+			if pu.err != nil {
+				return res, pu.err
 			}
 		}
 
 		if res.Iterations%opt.CheckEvery != 0 && iter != opt.MaxIters-1 {
 			continue
 		}
-		q, err := ps.qs.GlobalParallel(ctx, m, met, qworkers, qsched)
+		q, err := d.measure(ctx, &ps.qs, false, qworkers, qsched)
 		if err != nil {
 			return res, err
 		}
@@ -243,130 +289,80 @@ func (ps *PartitionedSmoother) Run(ctx context.Context, m *mesh.Mesh, opt Option
 
 // fanOut runs fn on every partition engine concurrently and joins them —
 // the per-phase barrier of the driver loop.
-func (ps *PartitionedSmoother) fanOut(fn func(pe *partEngine)) {
+func (ps *partDriver[D, PD]) fanOut(fn func(pu *partUnit[D, PD])) {
 	if len(ps.parts) == 1 {
 		fn(ps.parts[0])
 		return
 	}
 	var wg sync.WaitGroup
 	wg.Add(len(ps.parts))
-	for _, pe := range ps.parts {
-		go func(pe *partEngine) {
+	for _, pu := range ps.parts {
+		go func(pu *partUnit[D, PD]) {
 			defer wg.Done()
-			fn(pe)
-		}(pe)
+			fn(pu)
+		}(pu)
 	}
 	wg.Wait()
-}
-
-// publish copies the partition's owned interior coordinates into their
-// global-mesh slots. Partitions own disjoint vertex sets, so concurrent
-// publishes never write the same slot.
-func (pe *partEngine) publish(m *mesh.Mesh) {
-	if pe.soa {
-		cx, cy := pe.eng.cx, pe.eng.cy
-		for _, l := range pe.visit {
-			m.Coords[pe.l2g[l]] = geom.Point{X: cx[l], Y: cy[l]}
-		}
-		return
-	}
-	for _, l := range pe.visit {
-		m.Coords[pe.l2g[l]] = pe.local.Coords[l]
-	}
 }
 
 // exchange gathers the partition's outbound halo payloads, trades them
 // through the exchanger, and scatters the received coordinates over the
 // partition's ghost slots.
-func (pe *partEngine) exchange(ctx context.Context, ex partition.Exchanger) error {
-	if len(pe.sBuf) == 0 && len(pe.rIdx) == 0 {
+func (pu *partUnit[D, PD]) exchange(ctx context.Context, ex partition.Exchanger) error {
+	if len(pu.sBuf) == 0 && len(pu.rIdx) == 0 {
 		return nil
 	}
-	if pe.soa {
-		cx, cy := pe.eng.cx, pe.eng.cy
-		for i, idx := range pe.sIdx {
-			buf := pe.sBuf[i]
-			for j, l := range idx {
-				buf[2*j], buf[2*j+1] = cx[l], cy[l]
-			}
-		}
-	} else {
-		for i, idx := range pe.sIdx {
-			buf := pe.sBuf[i]
-			for j, l := range idx {
-				p := pe.local.Coords[l]
-				buf[2*j], buf[2*j+1] = p.X, p.Y
-			}
-		}
+	d := PD(&pu.eng.d)
+	for i, idx := range pu.sIdx {
+		d.gather(idx, pu.sBuf[i], pu.soa)
 	}
-	incoming, err := ex.Exchange(ctx, pe.index, pe.sBuf)
+	incoming, err := ex.Exchange(ctx, pu.index, pu.sBuf)
 	if err != nil {
 		return err
 	}
-	if pe.soa {
-		cx, cy := pe.eng.cx, pe.eng.cy
-		for i, idx := range pe.rIdx {
-			buf := incoming[i]
-			for j, l := range idx {
-				cx[l], cy[l] = buf[2*j], buf[2*j+1]
-			}
-		}
-		return nil
-	}
-	for i, idx := range pe.rIdx {
-		buf := incoming[i]
-		for j, l := range idx {
-			pe.local.Coords[l] = geom.Point{X: buf[2*j], Y: buf[2*j+1]}
-		}
+	for i, idx := range pu.rIdx {
+		d.scatter(idx, incoming[i], pu.soa)
 	}
 	return nil
 }
 
-// soaPartKernel reports whether the kernel has a monomorphic SoA Jacobi
-// loop (fastpath.go); the partitioned analogue of Smoother.soaEligible
-// with the in-place cases already rejected.
-func soaPartKernel(kern Kernel) bool {
-	switch kern.(type) {
-	case PlainKernel, WeightedKernel, ConstrainedKernel:
-		return true
-	}
-	return false
-}
-
 // setup (re)builds the cached decomposition when the mesh identity or the
 // partition configuration changed since the previous run.
-func (ps *PartitionedSmoother) setup(m *mesh.Mesh, k int, pname string) error {
+func (ps *partDriver[D, PD]) setup(k int, pname string) error {
+	d := PD(&ps.d)
 	if pname == "" {
 		pname = partition.BFS
 	}
-	if ps.mesh == m && ps.nv == m.NumVerts() && ps.ne == m.NumTris() && ps.k == k && ps.pname == pname {
+	if ps.cached == d.meshAny() && ps.nv == d.numVerts() && ps.ne == d.elemCount() && ps.k == k && ps.pname == pname {
 		return nil
 	}
-	layout, err := partition.New(partition.FromMesh(m), k, pname)
+	layout, err := partition.New(d.partitionInput(), k, pname)
 	if err != nil {
 		return fmt.Errorf("smooth: partitioning: %w", err)
 	}
-	parts := make([]*partEngine, k)
+	boundary := d.boundary()
+	parts := make([]*partUnit[D, PD], k)
 	for p := range layout.Parts {
 		part := &layout.Parts[p]
-		local, l2g, err := partition.BuildLocal(m, part)
+		pu := &partUnit[D, PD]{index: p}
+		l2g, err := PD(&pu.eng.d).buildLocal(&ps.d, part)
 		if err != nil {
 			return fmt.Errorf("smooth: partition %d local mesh: %w", p, err)
 		}
-		pe := &partEngine{index: p, local: local, l2g: l2g}
+		pu.l2g = l2g
 		for l, g := range l2g {
-			if layout.Owner[g] == int32(p) && !m.IsBoundary[g] {
-				pe.visit = append(pe.visit, int32(l))
+			if layout.Owner[g] == int32(p) && !boundary[g] {
+				pu.visit = append(pu.visit, int32(l))
 			}
 		}
-		pe.sIdx, pe.sBuf = linkLocals(part.Sends, l2g, 2)
-		pe.rIdx, _ = linkLocals(part.Recvs, l2g, 0)
-		parts[p] = pe
+		pu.sIdx, pu.sBuf = linkLocals(part.Sends, l2g, d.axes())
+		pu.rIdx, _ = linkLocals(part.Recvs, l2g, 0)
+		parts[p] = pu
 	}
-	ps.mesh, ps.nv, ps.ne = m, m.NumVerts(), m.NumTris()
+	ps.cached, ps.nv, ps.ne = d.meshAny(), d.numVerts(), d.elemCount()
 	ps.k, ps.pname = k, pname
 	ps.layout, ps.parts = layout, parts
-	ps.ex = partition.NewChanExchanger(layout, 2)
+	ps.ex = partition.NewChanExchanger(layout, d.axes())
 	return nil
 }
 
@@ -393,23 +389,9 @@ func linkLocals(links []partition.Link, l2g []int32, dim int) ([][]int32, [][]fl
 	return idx, bufs
 }
 
-// Layout returns the driver's cached decomposition, or nil before the
-// first run; reporting callers (lamsbench) read its Stats.
-func (ps *PartitionedSmoother) Layout() *partition.Layout { return ps.layout }
-
 // resolveScheduler caches the driver's measurement scheduler; see
-// Smoother.resolveScheduler.
-func (ps *PartitionedSmoother) resolveScheduler(name string) error {
-	if name == "" {
-		name = parallel.ScheduleStatic
-	}
-	if ps.sched != nil && ps.schedName == name {
-		return nil
-	}
-	sched, err := parallel.SchedulerByName(name)
-	if err != nil {
-		return fmt.Errorf("smooth: %w", err)
-	}
-	ps.sched, ps.schedName = sched, name
-	return nil
+// engine.resolveScheduler.
+func (ps *partDriver[D, PD]) resolveScheduler(name string) (err error) {
+	ps.sched, ps.schedName, err = resolveScheduler(ps.sched, ps.schedName, name)
+	return err
 }

@@ -99,7 +99,7 @@ func TestPartitionedEquivalence3D(t *testing.T) {
 	base := genTetMesh(t, 7)
 	const iters = 4
 	ref := base.Clone()
-	refRes, err := Run3(ref, Options3{MaxIters: iters, Tol: -1})
+	refRes, err := RunTet(ref, Options{MaxIters: iters, Tol: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestPartitionedEquivalence3D(t *testing.T) {
 					name := fmt.Sprintf("%s/k=%d/%s/workers=%d", pname, k, schedule, workers)
 					t.Run(name, func(t *testing.T) {
 						got := base.Clone()
-						res, err := RunPartitioned3(ctx, got, Options3{
+						res, err := RunPartitionedTet(ctx, got, Options{
 							MaxIters:    iters,
 							Tol:         -1,
 							Workers:     workers,
@@ -308,7 +308,7 @@ func TestPartitionedCancellationMidExchange(t *testing.T) {
 		if prime.Iterations != 0 {
 			t.Fatalf("priming run swept %d times", prime.Iterations)
 		}
-		ps.ex = &trippingExchanger{inner: ps.ex, tripAt: tripAt, cancel: cancel}
+		ps.p2.ex = &trippingExchanger{inner: ps.p2.ex, tripAt: tripAt, cancel: cancel}
 		res, err := ps.Run(ctx, got, Options{MaxIters: 6, Tol: -1, Workers: 2, Partitions: k})
 		if err != context.Canceled {
 			t.Fatalf("tripAt=%d: err = %v, want context.Canceled", tripAt, err)

@@ -1,0 +1,174 @@
+package smooth
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"lams/internal/geom"
+)
+
+func registryKernel(t *testing.T, name string, maxDisp float64) Kernel {
+	t.Helper()
+	k, err := KernelByName(name, KernelConfig{MaxDisplacement: maxDisp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestKernelRegistryNames(t *testing.T) {
+	want := []string{"plain", "smart", "weighted", "constrained"}
+	if got := KernelNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("KernelNames() = %v, want %v", got, want)
+	}
+	// One registry serves both dimensions: every name resolves to a kernel
+	// pair that reports the name back.
+	for _, name := range KernelNames() {
+		k2, err := KernelByName(name, KernelConfig{MaxDisplacement: 0.1})
+		if err != nil {
+			t.Fatalf("2D %s: %v", name, err)
+		}
+		k3, err := TetKernelByName(name, KernelConfig{MaxDisplacement: 0.1})
+		if err != nil {
+			t.Fatalf("3D %s: %v", name, err)
+		}
+		if k2.Name() != name || k3.Name() != name {
+			t.Errorf("%s resolves to kernels named %q (2D) and %q (3D)", name, k2.Name(), k3.Name())
+		}
+		if k2.InPlace() != k3.InPlace() {
+			t.Errorf("%s: InPlace disagrees across dims", name)
+		}
+	}
+}
+
+func TestKernelRegistryErrors(t *testing.T) {
+	// The same registry row validates both dimensions, so the error text is
+	// identical by construction.
+	_, err2 := KernelByName("constrained", KernelConfig{})
+	_, err3 := TetKernelByName("constrained", KernelConfig{})
+	if err2 == nil || err3 == nil {
+		t.Fatal("constrained without MaxDisplacement accepted")
+	}
+	if err2.Error() != err3.Error() {
+		t.Errorf("constrained errors differ across dims:\n  2D: %v\n  3D: %v", err2, err3)
+	}
+	_, err2 = KernelByName("laplacian++", KernelConfig{})
+	_, err3 = TetKernelByName("laplacian++", KernelConfig{})
+	if err2 == nil || err3 == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	if err2.Error() != err3.Error() {
+		t.Errorf("unknown-kernel errors differ across dims:\n  2D: %v\n  3D: %v", err2, err3)
+	}
+	for _, name := range KernelNames() {
+		if !strings.Contains(err2.Error(), name) {
+			t.Errorf("unknown-kernel error does not list %q: %v", name, err2)
+		}
+	}
+}
+
+func TestRegistryKernelsImproveQuality(t *testing.T) {
+	base := genMesh(t, 1500)
+	for _, name := range KernelNames() {
+		m := base.Clone()
+		res, err := Run(m, Options{MaxIters: 5, Tol: -1, Kernel: registryKernel(t, name, 0.1)})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.FinalQuality <= res.InitialQuality {
+			t.Errorf("%s: quality %v -> %v", name, res.InitialQuality, res.FinalQuality)
+		}
+	}
+}
+
+func TestSmartNeverDecreasesVertexQuality(t *testing.T) {
+	// Smart smoothing must never regress the global quality in an
+	// iteration (each accepted move keeps the local vertex quality).
+	m := genMesh(t, 1200)
+	res, err := Run(m, Options{MaxIters: 8, Tol: -1, Kernel: registryKernel(t, "smart", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := res.InitialQuality
+	for i, q := range res.QualityHistory {
+		if q < prev-1e-9 {
+			t.Errorf("smart kernel regressed at iteration %d: %v -> %v", i, prev, q)
+		}
+		prev = q
+	}
+}
+
+func TestConstrainedBoundsDisplacement(t *testing.T) {
+	m := genMesh(t, 1200)
+	before := append([]geom.Point(nil), m.Coords...)
+	const maxDisp = 1e-3
+	if _, err := Run(m, Options{MaxIters: 1, Tol: -1, Kernel: registryKernel(t, "constrained", maxDisp)}); err != nil {
+		t.Fatal(err)
+	}
+	for v := range m.Coords {
+		if d := m.Coords[v].Dist(before[v]); d > maxDisp*(1+1e-12) {
+			t.Fatalf("vertex %d moved %v > %v", v, d, maxDisp)
+		}
+	}
+}
+
+func TestSmartRegistryWorkersInvariant(t *testing.T) {
+	// Smart sweeps are serial at any worker count; Workers > 1 only
+	// parallelizes the measurement passes, so results are identical.
+	serial := genMesh(t, 600)
+	resS, err := Run(serial, Options{MaxIters: 3, Tol: -1, Kernel: registryKernel(t, "smart", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := genMesh(t, 600)
+	resP, err := Run(par, Options{MaxIters: 3, Tol: -1, Workers: 2, Kernel: registryKernel(t, "smart", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resP.FinalQuality != resS.FinalQuality || resP.Accesses != resS.Accesses {
+		t.Errorf("parallel smart run differs: %+v vs %+v", resP, resS)
+	}
+	for v := range serial.Coords {
+		if par.Coords[v] != serial.Coords[v] {
+			t.Fatalf("vertex %d differs: %v vs %v", v, par.Coords[v], serial.Coords[v])
+		}
+	}
+}
+
+func TestPlainRegistryEqualsRun(t *testing.T) {
+	a := genMesh(t, 1000)
+	b := a.Clone()
+	if _, err := Run(a, Options{MaxIters: 4, Tol: -1, Kernel: registryKernel(t, "plain", 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(b, Options{MaxIters: 4, Tol: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Coords {
+		if a.Coords[v] != b.Coords[v] {
+			t.Fatal("registry plain kernel diverged from the default Run")
+		}
+	}
+}
+
+func TestWeightedDiffersFromPlain(t *testing.T) {
+	a := genMesh(t, 1000)
+	b := a.Clone()
+	if _, err := Run(a, Options{MaxIters: 2, Tol: -1, Kernel: registryKernel(t, "weighted", 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(b, Options{MaxIters: 2, Tol: -1}); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for v := range a.Coords {
+		if a.Coords[v] != b.Coords[v] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("weighted kernel identical to plain")
+	}
+}

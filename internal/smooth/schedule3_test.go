@@ -33,7 +33,7 @@ func TestSchedule3Equivalence(t *testing.T) {
 
 	for _, traversal := range []Traversal{QualityGreedy, StorageOrder} {
 		ref := base.Clone()
-		refRes, err := Run3(ref, Options3{MaxIters: iters, Tol: -1, Traversal: traversal})
+		refRes, err := RunTet(ref, Options{MaxIters: iters, Tol: -1, Traversal: traversal})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,7 +42,7 @@ func TestSchedule3Equivalence(t *testing.T) {
 				name := fmt.Sprintf("%s/%s/workers=%d", traversal, schedule, workers)
 				t.Run(name, func(t *testing.T) {
 					got := base.Clone()
-					res, err := Run3(got, Options3{
+					res, err := RunTet(got, Options{
 						MaxIters:  iters,
 						Tol:       -1,
 						Traversal: traversal,
@@ -90,7 +90,7 @@ func TestSchedule3EquivalenceReordered(t *testing.T) {
 			t.Fatal(err)
 		}
 		ref := reordered.Clone()
-		refRes, err := Run3(ref, Options3{MaxIters: 4, Tol: -1})
+		refRes, err := RunTet(ref, Options{MaxIters: 4, Tol: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +99,7 @@ func TestSchedule3EquivalenceReordered(t *testing.T) {
 				name := fmt.Sprintf("%s/%s/workers=%d", ordName, schedule, workers)
 				t.Run(name, func(t *testing.T) {
 					got := reordered.Clone()
-					res, err := Run3(got, Options3{MaxIters: 4, Tol: -1, Workers: workers, Schedule: schedule})
+					res, err := RunTet(got, Options{MaxIters: 4, Tol: -1, Workers: workers, Schedule: schedule})
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -123,7 +123,7 @@ func TestSchedule3TinyMeshes(t *testing.T) {
 			t.Fatal(err)
 		}
 		ref := base.Clone()
-		refRes, err := Run3(ref, Options3{MaxIters: 3, Tol: -1})
+		refRes, err := RunTet(ref, Options{MaxIters: 3, Tol: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +131,7 @@ func TestSchedule3TinyMeshes(t *testing.T) {
 			for _, workers := range []int{3, 16} {
 				t.Run(fmt.Sprintf("cells=%d/%s/workers=%d", cells, schedule, workers), func(t *testing.T) {
 					got := base.Clone()
-					res, err := Run3(got, Options3{MaxIters: 3, Tol: -1, Workers: workers, Schedule: schedule})
+					res, err := RunTet(got, Options{MaxIters: 3, Tol: -1, Workers: workers, Schedule: schedule})
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -150,17 +150,17 @@ func TestSchedule3TinyMeshes(t *testing.T) {
 // TestSmootherScheduleSwitch.
 func TestSmoother3ScheduleSwitch(t *testing.T) {
 	base := genTetMesh(t, 6)
-	s := NewSmoother3()
+	s := NewSmoother()
 	ctx := context.Background()
 	sequence := append(parallel.Schedules(), parallel.Schedules()...)
 	for i, schedule := range sequence {
 		reused := base.Clone()
 		fresh := base.Clone()
-		opt := Options3{MaxIters: 3, Tol: -1, Workers: 4, Schedule: schedule}
-		if _, err := s.Run(ctx, reused, opt); err != nil {
+		opt := Options{MaxIters: 3, Tol: -1, Workers: 4, Schedule: schedule}
+		if _, err := s.RunTet(ctx, reused, opt); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := Run3(fresh, opt); err != nil {
+		if _, err := RunTet(fresh, opt); err != nil {
 			t.Fatal(err)
 		}
 		coords3Equal(t, fmt.Sprintf("switch %d (%s)", i, schedule), reused, fresh)
@@ -172,7 +172,7 @@ func TestSmoother3ScheduleSwitch(t *testing.T) {
 func TestSchedule3UnknownName(t *testing.T) {
 	m := genTetMesh(t, 3)
 	before := m.Clone()
-	if _, err := Run3(m, Options3{MaxIters: 2, Tol: -1, Workers: 2, Schedule: "round-robin"}); err == nil {
+	if _, err := RunTet(m, Options{MaxIters: 2, Tol: -1, Workers: 2, Schedule: "round-robin"}); err == nil {
 		t.Fatal("unknown schedule accepted")
 	}
 	coords3Equal(t, "untouched", m, before)

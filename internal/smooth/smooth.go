@@ -1,8 +1,8 @@
 // Package smooth implements the Laplacian Mesh Smoothing application of the
 // paper (Algorithm 1): visit the interior vertices, move each to the average
-// of its neighbors (Eq. 1), and iterate until the global edge-length-ratio
-// quality improves by less than the convergence criterion (5e-6 in the
-// paper's evaluation) or an iteration cap is hit.
+// of its neighbors (Eq. 1), and iterate until the global quality improves by
+// less than the convergence criterion (5e-6 in the paper's evaluation) or an
+// iteration cap is hit.
 //
 // The visit order is the quality-greedy traversal §4.2 describes: the
 // smoother starts at the worst-quality vertex and repeatedly moves to the
@@ -20,15 +20,23 @@
 // did not change the number of iterations needed". A Gauss–Seidel in-place
 // variant is provided for the serial ablation study.
 //
-// The same Jacobi property underwrites the domain-decomposed drivers
-// (PartitionedSmoother, PartitionedSmoother3): one engine per
-// halo-carrying partition, synchronized by a per-sweep ghost exchange,
-// with convergence decided on the global mesh — bit-identical to the
-// single-engine run at any partition count.
+// The same Jacobi property underwrites the domain-decomposed driver
+// (PartitionedSmoother): one engine per halo-carrying partition,
+// synchronized by a per-sweep ghost exchange, with convergence decided on
+// the global mesh — bit-identical to the single-engine run at any
+// partition count.
+//
+// The paper's argument is dimension-agnostic, and so is the engine: one
+// generic convergence loop (engine.go), one kernel set and registry
+// (kernel.go), and one partitioned driver (partitioned.go) are instantiated
+// at 2D and 3D through the dim2/dim3 value types (dim.go). Run and
+// RunPartitioned smooth triangle meshes; RunTet and RunPartitionedTet
+// smooth tetrahedral meshes through the very same code.
 package smooth
 
 import (
 	"context"
+	"fmt"
 
 	"lams/internal/mesh"
 	"lams/internal/quality"
@@ -61,12 +69,22 @@ func (t Traversal) String() string {
 	return "quality-greedy"
 }
 
-// Options configures a smoothing run. The zero value means: edge-length
-// ratio metric, tolerance DefaultTol, at most 100 iterations, one worker,
-// quality-greedy traversal, Jacobi updates, no tracing.
+// Options configures a smoothing run in either dimension. The zero value
+// means: the dimension's default metric and kernel, tolerance DefaultTol,
+// at most 100 iterations, one worker, quality-greedy traversal, Jacobi
+// updates, no tracing.
+//
+// Metric and Kernel configure triangle-mesh (2D) runs; TetMetric and
+// TetKernel configure tetrahedral runs. Setting a field from the other
+// dimension is rejected, so a run cannot silently ignore half its
+// configuration.
 type Options struct {
-	// Metric is the quality metric (default quality.EdgeRatio{}).
+	// Metric is the quality metric for 2D runs (default
+	// quality.EdgeRatio{}).
 	Metric quality.Metric
+	// TetMetric is the quality metric for tetrahedral runs (default
+	// quality.MeanRatio3{}).
+	TetMetric quality.TetMetric
 	// Tol stops the run when an iteration improves global quality by less
 	// than this amount (default DefaultTol). A negative Tol disables the
 	// criterion so exactly MaxIters iterations run.
@@ -90,8 +108,12 @@ type Options struct {
 	Schedule string
 	// Traversal selects the visit order (default QualityGreedy).
 	Traversal Traversal
-	// Kernel is the per-vertex update rule (default PlainKernel{}, Eq. 1).
+	// Kernel is the per-vertex update rule for 2D runs (default
+	// PlainKernel{}, Eq. 1).
 	Kernel Kernel
+	// TetKernel is the per-vertex update rule for tetrahedral runs
+	// (default PlainKernel3{}).
+	TetKernel TetKernel
 	// GaussSeidel selects in-place updates for a Jacobi-style kernel. The
 	// in-place sweep is serial at any worker count (the update order is the
 	// semantics); Workers > 1 parallelizes the quality measurements.
@@ -107,10 +129,11 @@ type Options struct {
 	CheckEvery int
 	// Partitions > 1 decomposes the mesh and runs one engine per
 	// partition with per-sweep halo exchange (see PartitionedSmoother);
-	// Run and RunContext route such options to RunPartitioned. Jacobi
-	// updates make the result bit-identical to the single-engine run at
-	// any partition count. 0 or 1 selects the single engine. Partitioned
-	// runs reject in-place kernels, GaussSeidel, and Trace.
+	// Run/RunContext and RunTet/RunTetContext route such options to the
+	// partitioned driver. Jacobi updates make the result bit-identical to
+	// the single-engine run at any partition count. 0 or 1 selects the
+	// single engine. Partitioned runs reject in-place kernels,
+	// GaussSeidel, and Trace.
 	Partitions int
 	// Partitioner names the registered decomposition strategy for
 	// Partitions > 1: "bfs" (default) or "bisect", or any strategy added
@@ -134,10 +157,10 @@ type Options struct {
 	Trace *trace.Buffer
 }
 
+// withDefaults resolves the dimension-independent defaults. The
+// dimension-specific defaults (metric, kernel) resolve in dim2/dim3.prepare
+// so both dimensions share this one function.
 func (o Options) withDefaults() Options {
-	if o.Metric == nil {
-		o.Metric = quality.EdgeRatio{}
-	}
 	if o.Tol == 0 {
 		o.Tol = DefaultTol
 	}
@@ -153,13 +176,32 @@ func (o Options) withDefaults() Options {
 	if o.CheckEvery == 0 {
 		o.CheckEvery = 1
 	}
-	// Resolve SmartKernel's nil-default metric once here instead of on
-	// every vertex visit inside Update, so the in-place sweep stops
-	// re-branching per vertex.
-	if sk, ok := o.Kernel.(SmartKernel); ok && sk.Metric == nil {
-		o.Kernel = SmartKernel{Metric: quality.EdgeRatio{}}
-	}
 	return o
+}
+
+// validate rejects invalid resolved options with the same errors in both
+// dimensions; the partitioned driver has its own tracing and partition-count
+// rules. Called after withDefaults.
+func (o Options) validate(partitioned bool) error {
+	if o.Workers < 1 {
+		return fmt.Errorf("smooth: workers must be >= 1, got %d", o.Workers)
+	}
+	if o.CheckEvery < 1 {
+		return fmt.Errorf("smooth: check-every must be >= 1, got %d", o.CheckEvery)
+	}
+	if partitioned {
+		if o.Trace != nil {
+			return fmt.Errorf("smooth: partitioned runs do not support tracing")
+		}
+		return nil
+	}
+	if o.Partitions > 1 {
+		return fmt.Errorf("smooth: Smoother is a single engine; partitions=%d needs RunPartitioned or a PartitionedSmoother", o.Partitions)
+	}
+	if o.Trace != nil && o.Trace.NumCores() < o.Workers {
+		return fmt.Errorf("smooth: trace buffer has %d cores, need %d", o.Trace.NumCores(), o.Workers)
+	}
+	return nil
 }
 
 // Result reports a smoothing run.
@@ -176,10 +218,10 @@ type Result struct {
 	Accesses int64
 }
 
-// Run smooths the mesh in place with a one-shot engine and returns the run
-// statistics. Callers that smooth repeatedly should hold a Smoother (or a
-// PartitionedSmoother) and use its Run method, which reuses the scratch
-// buffers across runs.
+// Run smooths the triangle mesh in place with a one-shot engine and returns
+// the run statistics. Callers that smooth repeatedly should hold a Smoother
+// (or a PartitionedSmoother) and use its Run method, which reuses the
+// scratch buffers across runs.
 func Run(m *mesh.Mesh, opt Options) (Result, error) {
 	return RunContext(context.Background(), m, opt)
 }
@@ -192,4 +234,18 @@ func RunContext(ctx context.Context, m *mesh.Mesh, opt Options) (Result, error) 
 		return RunPartitioned(ctx, m, opt)
 	}
 	return NewSmoother().Run(ctx, m, opt)
+}
+
+// RunTet smooths the tetrahedral mesh in place with a one-shot engine; the
+// tetrahedral analogue of Run, executing the same generic engine.
+func RunTet(m *mesh.TetMesh, opt Options) (Result, error) {
+	return RunTetContext(context.Background(), m, opt)
+}
+
+// RunTetContext is RunTet with cancellation; see RunContext.
+func RunTetContext(ctx context.Context, m *mesh.TetMesh, opt Options) (Result, error) {
+	if opt.Partitions > 1 {
+		return RunPartitionedTet(ctx, m, opt)
+	}
+	return NewSmoother().RunTet(ctx, m, opt)
 }

@@ -42,6 +42,24 @@ func ConstrainedKernel(maxDisplacement float64) Kernel {
 	return smooth.ConstrainedKernel{MaxDisplacement: maxDisplacement}
 }
 
+// KernelNames lists the registered kernel names in canonical order: plain,
+// smart, weighted, constrained. The same vocabulary configures Smooth (2D)
+// and SmoothTet (3D).
+func KernelNames() []string { return smooth.KernelNames() }
+
+// KernelsByName resolves a registered kernel name into its 2D and 3D forms
+// in one call — the name-based form of the *Kernel constructors, for
+// services that select kernels from requests and serve both mesh kinds.
+// met and tmet parameterize the smart kernels (nil selects the dimension
+// defaults) and maxDisplacement the constrained kernel (required > 0 for
+// it, ignored by the others). Both kernels come from one registry row, so
+// the dimensions' vocabularies and validation cannot drift apart.
+func KernelsByName(name string, met Metric, tmet TetMetric, maxDisplacement float64) (Kernel, TetKernel, error) {
+	return smooth.KernelsByName(name, smooth.KernelConfig{
+		Metric: met, TetMetric: tmet, MaxDisplacement: maxDisplacement,
+	})
+}
+
 // DefaultSchedule is the chunk schedule used when WithSchedule is not
 // given: the paper's OpenMP schedule(static) analogue.
 const DefaultSchedule = parallel.ScheduleStatic
@@ -220,31 +238,18 @@ func buildOptions(opts []SmoothOption) (smooth.Options, error) {
 	return c.opt, nil
 }
 
-func buildOptions3(opts []SmoothOption) (smooth.Options3, error) {
+func buildOptions3(opts []SmoothOption) (smooth.Options, error) {
 	var c smoothConfig
 	for _, opt := range opts {
 		opt(&c)
 	}
 	if c.opt.Metric != nil || c.opt.Kernel != nil {
-		return smooth.Options3{}, fmt.Errorf("lams: WithMetric/WithKernel select 2D rules; use WithTetMetric/WithTetKernel with SmoothTet")
+		return smooth.Options{}, fmt.Errorf("lams: WithMetric/WithKernel select 2D rules; use WithTetMetric/WithTetKernel with SmoothTet")
 	}
 	o := c.opt
-	return smooth.Options3{
-		Metric:      c.tetMetric,
-		Kernel:      c.tetKernel,
-		Tol:         o.Tol,
-		GoalQuality: o.GoalQuality,
-		MaxIters:    o.MaxIters,
-		Workers:     o.Workers,
-		Schedule:    o.Schedule,
-		Traversal:   o.Traversal,
-		GaussSeidel: o.GaussSeidel,
-		CheckEvery:  o.CheckEvery,
-		Partitions:  o.Partitions,
-		Partitioner: o.Partitioner,
-		Progress:    o.Progress,
-		Trace:       o.Trace,
-	}, nil
+	o.TetMetric = c.tetMetric
+	o.TetKernel = c.tetKernel
+	return o, nil
 }
 
 // Smooth runs Laplacian smoothing on m in place and returns the run
@@ -274,18 +279,16 @@ func SmoothTraced(ctx context.Context, m *Mesh, workers, iters int) (SmoothResul
 // Smoother is a reusable smoothing engine: it keeps the visit-sequence,
 // next-coordinate, and quality scratch buffers across runs, so services
 // that smooth many meshes (or one mesh repeatedly) stop reallocating on the
-// hot path. It holds one engine per dimension, so a single pooled instance
-// serves triangular and tetrahedral meshes alike. Not safe for concurrent
-// use; the zero value is ready.
+// hot path. The one dimension-generic engine underneath serves triangular
+// and tetrahedral meshes alike from a single pooled instance. Not safe for
+// concurrent use; the zero value is ready.
 type Smoother struct {
-	engine  smooth.Smoother
-	engine3 smooth.Smoother3
+	engine smooth.Smoother
 
-	// The partitioned drivers are allocated on first use: most Smoother
-	// holders never run partitioned, and the drivers cache a per-mesh
+	// The partitioned driver is allocated on first use: most Smoother
+	// holders never run partitioned, and the driver caches a per-mesh
 	// decomposition worth keeping across runs when they do.
-	parted  *smooth.PartitionedSmoother
-	parted3 *smooth.PartitionedSmoother3
+	parted *smooth.PartitionedSmoother
 }
 
 // NewSmoother returns a reusable smoothing engine.
@@ -318,12 +321,12 @@ func (s *Smoother) SmoothTet(ctx context.Context, m *TetMesh, opts ...SmoothOpti
 		return SmoothResult{}, err
 	}
 	if o.Partitions > 1 {
-		if s.parted3 == nil {
-			s.parted3 = smooth.NewPartitionedSmoother3()
+		if s.parted == nil {
+			s.parted = smooth.NewPartitionedSmoother()
 		}
-		return s.parted3.Run(ctx, m, o)
+		return s.parted.RunTet(ctx, m, o)
 	}
-	return s.engine3.Run(ctx, m, o)
+	return s.engine.RunTet(ctx, m, o)
 }
 
 // Reset releases the engine's scratch buffers and any cached mesh
@@ -332,35 +335,32 @@ func (s *Smoother) SmoothTet(ctx context.Context, m *TetMesh, opts ...SmoothOpti
 // high-water-mark memory; the buffers re-grow on the next run.
 func (s *Smoother) Reset() {
 	s.engine.Reset()
-	s.engine3.Reset()
-	s.parted, s.parted3 = nil, nil
+	s.parted = nil
 }
 
 // DropMeshCache releases any per-mesh state the engine caches for m (the
-// partitioned drivers keep a mesh decomposition warm across runs), and
+// partitioned driver keeps a mesh decomposition warm across runs), and
 // reports whether anything was dropped. m is the *Mesh or *TetMesh the
 // cache would reference; services call this when a mesh is evicted so a
 // warm pooled engine cannot pin the deleted mesh — and its O(mesh)
 // decomposition — until the whole pool is trimmed.
 func (s *Smoother) DropMeshCache(m any) bool {
-	dropped := false
-	if s.parted != nil {
-		if cm := s.parted.CachedMesh(); cm != nil && any(cm) == m {
-			s.parted = nil
-			dropped = true
-		}
+	if s.parted == nil {
+		return false
 	}
-	if s.parted3 != nil {
-		if cm := s.parted3.CachedMesh(); cm != nil && any(cm) == m {
-			s.parted3 = nil
-			dropped = true
-		}
+	if cm := s.parted.CachedMesh(); cm != nil && any(cm) == m {
+		s.parted = nil
+		return true
 	}
-	return dropped
+	if cm := s.parted.CachedTetMesh(); cm != nil && any(cm) == m {
+		s.parted = nil
+		return true
+	}
+	return false
 }
 
-// DropPartitionCaches unconditionally releases both partitioned drivers
-// and their cached decompositions, keeping the rest of the engine's
+// DropPartitionCaches unconditionally releases the partitioned driver and
+// its cached decomposition, keeping the rest of the engine's
 // (mesh-agnostic) scratch warm. The conservative form of DropMeshCache for
 // callers that no longer know which meshes are stale.
-func (s *Smoother) DropPartitionCaches() { s.parted, s.parted3 = nil, nil }
+func (s *Smoother) DropPartitionCaches() { s.parted = nil }

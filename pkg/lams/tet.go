@@ -91,7 +91,7 @@ func orDefaultTetMetric(met TetMetric) TetMetric {
 
 // TetKernel is the per-vertex update rule of a 3D smoothing sweep; see the
 // *TetKernel constructors.
-type TetKernel = smooth.Kernel3
+type TetKernel = smooth.TetKernel
 
 // PlainTetKernel is Eq. (1) in 3D: move each vertex to the unweighted
 // average of its neighbors (the default).
@@ -135,7 +135,7 @@ func SmoothTet(ctx context.Context, m *TetMesh, opts ...SmoothOption) (SmoothRes
 	if err != nil {
 		return SmoothResult{}, err
 	}
-	return smooth.RunContext3(ctx, m, o)
+	return smooth.RunTetContext(ctx, m, o)
 }
 
 // SmoothTetTraced smooths m in place for exactly iters iterations while

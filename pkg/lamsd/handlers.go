@@ -694,26 +694,31 @@ type smoothResponse struct {
 	Pool           PoolStats `json:"pool"`
 }
 
-// kernelFor resolves the request kernel. met is the already-resolved
-// request metric, so the smart kernel judges moves with the same metric
-// that drives convergence and the reported qualities.
-func kernelFor(req smoothRequest, met lams.Metric) (lams.Kernel, string, error) {
-	switch req.Kernel {
-	case "", "plain":
-		return lams.PlainKernel(), "plain", nil
-	case "smart":
-		return lams.SmartKernel(met), "smart", nil
-	case "weighted":
-		return lams.WeightedKernel(), "weighted", nil
-	case "constrained":
-		if req.MaxDisplacement <= 0 {
-			return nil, "", apiErrorf(http.StatusBadRequest,
-				"constrained kernel needs max_displacement > 0, got %g", req.MaxDisplacement)
-		}
-		return lams.ConstrainedKernel(req.MaxDisplacement), "constrained", nil
+// kernelsFor resolves the request kernel through the library's shared
+// registry, producing the 2D and 3D kernels in one step: one lookup path
+// for both dimensions, so they accept the same vocabulary and reject bad
+// requests with byte-identical 400 bodies by construction. met and tmet
+// are the already-resolved request metrics, so the smart kernels judge
+// moves with the same metric that drives convergence and the reported
+// qualities.
+func kernelsFor(req smoothRequest, met lams.Metric, tmet lams.TetMetric) (lams.Kernel, lams.TetKernel, string, error) {
+	name := req.Kernel
+	if name == "" {
+		name = "plain"
 	}
-	return nil, "", apiErrorf(http.StatusBadRequest,
-		"unknown kernel %q: want plain, smart, weighted, or constrained", req.Kernel)
+	if !slices.Contains(lams.KernelNames(), name) {
+		return nil, nil, "", apiErrorf(http.StatusBadRequest,
+			"unknown kernel %q: want %s", name, strings.Join(lams.KernelNames(), ", "))
+	}
+	if name == "constrained" && req.MaxDisplacement <= 0 {
+		return nil, nil, "", apiErrorf(http.StatusBadRequest,
+			"constrained kernel needs max_displacement > 0, got %g", req.MaxDisplacement)
+	}
+	k2, k3, err := lams.KernelsByName(name, met, tmet, req.MaxDisplacement)
+	if err != nil {
+		return nil, nil, "", apiErrorf(http.StatusBadRequest, "%v", err)
+	}
+	return k2, k3, name, nil
 }
 
 // scheduleFor resolves the request's chunk schedule ("" means the library
@@ -769,27 +774,6 @@ func tetMetricFor(name string) (lams.TetMetric, error) {
 	}
 	return nil, apiErrorf(http.StatusBadRequest,
 		"unknown tet metric %q: want mean-ratio or edge-ratio", name)
-}
-
-// tetKernelFor resolves the request kernel for a dim=3 mesh; the kernel
-// names are the same four the 2D path accepts.
-func tetKernelFor(req smoothRequest, met lams.TetMetric) (lams.TetKernel, string, error) {
-	switch req.Kernel {
-	case "", "plain":
-		return lams.PlainTetKernel(), "plain", nil
-	case "smart":
-		return lams.SmartTetKernel(met), "smart", nil
-	case "weighted":
-		return lams.WeightedTetKernel(), "weighted", nil
-	case "constrained":
-		if req.MaxDisplacement <= 0 {
-			return nil, "", apiErrorf(http.StatusBadRequest,
-				"constrained kernel needs max_displacement > 0, got %g", req.MaxDisplacement)
-		}
-		return lams.ConstrainedTetKernel(req.MaxDisplacement), "constrained", nil
-	}
-	return nil, "", apiErrorf(http.StatusBadRequest,
-		"unknown kernel %q: want plain, smart, weighted, or constrained", req.Kernel)
 }
 
 func (s *Server) handleSmoothMesh(w http.ResponseWriter, r *http.Request) {
@@ -894,41 +878,36 @@ type smoothPlan struct {
 // planSmooth validates the request against the server limits and the mesh's
 // dimension and resolves it into a smoothPlan. It takes no locks.
 func (s *Server) planSmooth(rec *meshRecord, req smoothRequest) (smoothPlan, error) {
-	// Resolve the dimension-specific rules first: metric and kernel. The
-	// resulting options list, kernel name, and whether the default metric is
-	// in play feed the shared path below.
+	// Resolve the dimension-specific rules first. Only the metric vocabulary
+	// actually differs per dimension; the kernels resolve through one shared
+	// registry lookup, and the resulting options list, kernel name, and
+	// whether the default metric is in play feed the shared path below.
 	var (
-		kernName      string
-		dimOpts       []lams.SmoothOption
-		defaultMetric bool
+		met  lams.Metric
+		tmet lams.TetMetric
+		err  error
 	)
 	if rec.dim == 3 {
-		met, err := tetMetricFor(req.Metric)
-		if err != nil {
-			return smoothPlan{}, err
-		}
-		kern, name, err := tetKernelFor(req, met)
-		if err != nil {
-			return smoothPlan{}, err
-		}
-		kernName = name
-		defaultMetric = met == nil
-		dimOpts = append(dimOpts, lams.WithTetKernel(kern))
-		if met != nil {
-			dimOpts = append(dimOpts, lams.WithTetMetric(met))
+		tmet, err = tetMetricFor(req.Metric)
+	} else {
+		met, err = metricFor(req.Metric)
+	}
+	if err != nil {
+		return smoothPlan{}, err
+	}
+	defaultMetric := met == nil && tmet == nil
+	kern2, kern3, kernName, err := kernelsFor(req, met, tmet)
+	if err != nil {
+		return smoothPlan{}, err
+	}
+	var dimOpts []lams.SmoothOption
+	if rec.dim == 3 {
+		dimOpts = append(dimOpts, lams.WithTetKernel(kern3))
+		if tmet != nil {
+			dimOpts = append(dimOpts, lams.WithTetMetric(tmet))
 		}
 	} else {
-		met, err := metricFor(req.Metric)
-		if err != nil {
-			return smoothPlan{}, err
-		}
-		kern, name, err := kernelFor(req, met)
-		if err != nil {
-			return smoothPlan{}, err
-		}
-		kernName = name
-		defaultMetric = met == nil
-		dimOpts = append(dimOpts, lams.WithKernel(kern))
+		dimOpts = append(dimOpts, lams.WithKernel(kern2))
 		if met != nil {
 			dimOpts = append(dimOpts, lams.WithMetric(met))
 		}
