@@ -5,7 +5,10 @@
 // preprocess-once / smooth-many amortization argument as a long-running
 // service. With -data-dir, resident meshes survive restarts: they are
 // snapshotted atomically on a timer and at graceful shutdown, and restored
-// at boot.
+// at boot. Accepted async jobs are journaled before they are acknowledged,
+// so a crash or an expired -drain-timeout loses no acknowledged work — the
+// next boot replays the journal and resumes each interrupted job from its
+// last checkpoint. -chaos arms deterministic fault injection for drills.
 //
 // Usage:
 //
@@ -26,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"lams/internal/faultinject"
 	"lams/pkg/lamsd"
 )
 
@@ -47,10 +51,13 @@ func main() {
 		tenantBurst  = flag.Int("tenant-burst", 0, "per-tenant rate-limit burst (0 = 2×rps)")
 		tenantMeshes = flag.Int("tenant-max-meshes", 0, "max resident meshes per tenant (0 = unlimited)")
 		tenantJobs   = flag.Int("tenant-max-jobs", 16, "max in-flight async jobs per tenant (negative = unlimited)")
+
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long running async jobs may finish at shutdown before being interrupted (with -data-dir, interrupted jobs resume at the next boot)")
+		chaos        = flag.String("chaos", "", "fault-injection spec for crash testing, e.g. snapshot.write=3,engine.sweep=p0.01:7 (never use in production)")
 	)
 	flag.Parse()
 
-	srv, err := lamsd.Open(
+	opts := []lamsd.Option{
 		lamsd.WithMaxConcurrentSmooths(*maxConcurrent),
 		lamsd.WithMaxMeshes(*maxMeshes),
 		lamsd.WithMaxMeshVerts(*maxVerts),
@@ -59,7 +66,18 @@ func main() {
 		lamsd.WithPersistence(*dataDir, *snapEvery),
 		lamsd.WithJobRetention(*jobTTL, *maxJobs),
 		lamsd.WithTenantQuotas(*tenantRPS, *tenantBurst, *tenantMeshes, *tenantJobs),
-	)
+		lamsd.WithDrainTimeout(*drainTimeout),
+	}
+	if *chaos != "" {
+		fs, err := faultinject.Parse(*chaos)
+		if err != nil {
+			log.Fatalf("lamsd: -chaos: %v", err)
+		}
+		log.Printf("lamsd: FAULT INJECTION ARMED (-chaos %q) — crash testing only", *chaos)
+		opts = append(opts, lamsd.WithFaultInjection(fs))
+	}
+
+	srv, err := lamsd.Open(opts...)
 	if err != nil {
 		log.Fatalf("lamsd: %v", err)
 	}

@@ -17,6 +17,13 @@
 // The generator is open-loop: requests are issued on a fixed tick whether
 // or not earlier ones have finished, so a server that cannot keep up shows
 // as dropped ticks and a widening tail, not a silently slower workload.
+//
+// With -chaos-restart N (requires -self) the in-process server is torn down
+// and rebooted N times mid-load against a durable data dir: part of the
+// smooth traffic becomes async jobs, and the report gains a "chaos" object
+// counting acknowledged jobs that were recovered (reached a terminal state,
+// resuming across restarts from their journaled checkpoints) versus lost.
+// A lost acknowledged job is a durability bug and fails the run.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lams/pkg/lamsd"
@@ -65,6 +73,24 @@ type report struct {
 	ThroughputRPS float64            `json:"throughput_rps"`
 	LatencyMS     opStats            `json:"latency_ms"`
 	Ops           map[string]opStats `json:"ops"`
+	Chaos         *chaosStats        `json:"chaos,omitempty"`
+}
+
+// chaosStats summarizes a -chaos-restart run. JobsAcked counts async
+// submissions the server acknowledged with 202 (and therefore journaled);
+// each must reach a terminal state despite the restarts — JobsDone +
+// JobsFailed are the recovered outcomes, JobsLost is the durability
+// violations (unknown to the rebooted server, or never terminal). Retried
+// and Resumed aggregate the server's jobs_retried / jobs_resumed counters
+// across all restarts.
+type chaosStats struct {
+	Restarts    int   `json:"restarts"`
+	JobsAcked   int   `json:"jobs_acked"`
+	JobsDone    int   `json:"jobs_done"`
+	JobsFailed  int   `json:"jobs_failed"`
+	JobsLost    int   `json:"jobs_lost"`
+	JobsRetried int64 `json:"jobs_retried"`
+	JobsResumed int64 `json:"jobs_resumed"`
 }
 
 func main() {
@@ -79,20 +105,39 @@ func main() {
 		domain      = flag.String("domain", "carabiner", "domain to generate the working meshes from")
 		seed        = flag.Int64("seed", 1, "PRNG seed for the op mix")
 		tenant      = flag.String("tenant", "", "X-Tenant header to send (empty = none)")
+		chaosN      = flag.Int("chaos-restart", 0, "restart the in-process server N times mid-load (requires -self) and report lost vs recovered acknowledged jobs")
 	)
 	flag.Parse()
 	if *rate <= 0 || *concurrency < 1 || *meshes < 1 {
 		log.Fatal("lamsload: -rate, -concurrency, and -meshes must be positive")
 	}
+	if *chaosN > 0 && !*self {
+		log.Fatal("lamsload: -chaos-restart requires -self (it reboots the in-process server)")
+	}
 
 	base := strings.TrimRight(*addr, "/")
+	var harness *chaosHarness
 	if *self {
-		ts := httptest.NewServer(lamsd.New().Handler())
+		var handler http.Handler
+		if *chaosN > 0 {
+			var err error
+			if harness, err = newChaosHarness(*chaosN); err != nil {
+				log.Fatalf("lamsload: chaos: %v", err)
+			}
+			defer harness.cleanup()
+			handler = harness
+		} else {
+			handler = lamsd.New().Handler()
+		}
+		ts := httptest.NewServer(handler)
 		defer ts.Close()
 		base = ts.URL
 	}
 	client := &http.Client{Timeout: 60 * time.Second}
 	ld := &loader{base: base, client: client, tenant: *tenant, verts: *verts, domain: *domain}
+	if harness != nil {
+		ld.jobs = newJobTracker()
+	}
 
 	ids, err := ld.setup(*meshes)
 	if err != nil {
@@ -127,6 +172,21 @@ func main() {
 		close(collected)
 	}()
 
+	var restartsDone chan struct{}
+	var pollStop chan struct{}
+	if harness != nil {
+		restartsDone = make(chan struct{})
+		go func() {
+			defer close(restartsDone)
+			harness.schedule(*duration)
+		}()
+		// Observe job completions as they happen: a job that finishes and is
+		// then forgotten by a restart (terminal journal records are not
+		// replayed) must count as recovered, not lost.
+		pollStop = make(chan struct{})
+		go ld.pollJobsLoop(pollStop)
+	}
+
 	dropped := 0
 	interval := time.Duration(float64(time.Second) / *rate)
 	ticker := time.NewTicker(interval)
@@ -157,12 +217,26 @@ loop:
 	rep.Concurrency = *concurrency
 	rep.Meshes = *meshes
 	rep.TargetVerts = *verts
+	if harness != nil {
+		<-restartsDone
+		close(pollStop)
+		rep.Chaos = ld.resolveChaos(harness)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		log.Fatalf("lamsload: %v", err)
 	}
-	if rep.Errors > 0 {
+	switch {
+	case rep.Chaos != nil:
+		// Restart windows make some op failures expected; the chaos pass/fail
+		// criterion is durability alone.
+		if rep.Chaos.JobsLost > 0 {
+			log.Printf("lamsload: %d acknowledged jobs lost across %d restarts",
+				rep.Chaos.JobsLost, rep.Chaos.Restarts)
+			os.Exit(1)
+		}
+	case rep.Errors > 0:
 		os.Exit(1)
 	}
 }
@@ -221,6 +295,9 @@ type loader struct {
 	verts  int
 	domain string
 	ids    []string
+	// jobs is non-nil in chaos mode: part of the smooth traffic goes async
+	// and every acknowledged job id is tracked to a terminal state.
+	jobs *jobTracker
 }
 
 // setup creates the resident working set the mixed ops run against.
@@ -252,6 +329,11 @@ func (ld *loader) step(rng *rand.Rand) opResult {
 		err    error
 	)
 	switch {
+	case ld.jobs != nil && roll < 0.20:
+		// Chaos mode: a slice of the smooth traffic becomes async jobs long
+		// enough for a restart to catch them mid-run.
+		op = "smooth_async"
+		status, err = ld.smoothAsync(id)
 	case roll < 0.50:
 		op = "smooth"
 		status, err = ld.do("POST", "/v1/meshes/"+id+"/smooth",
@@ -301,6 +383,275 @@ func (ld *loader) createMesh() (id string, status int, err error) {
 		return "", resp.StatusCode, err
 	}
 	return out.ID, resp.StatusCode, nil
+}
+
+// --- chaos mode: restarts, job tracking, durability accounting ---
+
+// smoothAsync submits an async smoothing job — sized to take long enough
+// that restarts catch jobs mid-run — and tracks its id once the server
+// acknowledges it with 202 (i.e. once the accept record is journaled).
+func (ld *loader) smoothAsync(id string) (int, error) {
+	req, err := http.NewRequest("POST", ld.base+"/v1/meshes/"+id+"/smooth?async=1&timeout=5m",
+		strings.NewReader(`{"workers":1,"max_iters":1500,"tol":-1,"check_every":10}`))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if ld.tenant != "" {
+		req.Header.Set("X-Tenant", ld.tenant)
+	}
+	resp, err := ld.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	decErr := json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted {
+		if decErr != nil || out.ID == "" {
+			return resp.StatusCode, fmt.Errorf("202 without a job id")
+		}
+		ld.jobs.ack(out.ID)
+	}
+	return resp.StatusCode, nil
+}
+
+// pollJobs marks any tracked job the server currently reports terminal.
+// Transport errors and the 503s of a restart window are ignored — the next
+// tick retries.
+func (ld *loader) pollJobs() {
+	for _, id := range ld.jobs.pending() {
+		req, err := http.NewRequest("GET", ld.base+"/v1/jobs/"+id, nil)
+		if err != nil {
+			continue
+		}
+		if ld.tenant != "" {
+			req.Header.Set("X-Tenant", ld.tenant)
+		}
+		resp, err := ld.client.Do(req)
+		if err != nil {
+			continue
+		}
+		var info struct {
+			State string `json:"state"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		if decErr != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		switch info.State {
+		case "done", "failed", "canceled":
+			ld.jobs.resolve(id, info.State)
+		}
+	}
+}
+
+func (ld *loader) pollJobsLoop(stop <-chan struct{}) {
+	t := time.NewTicker(100 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			ld.pollJobs()
+		}
+	}
+}
+
+// resolveChaos waits (bounded) for every acknowledged job to reach a
+// terminal state after the final reboot, then folds in the server-side
+// retry/resume counters. Whatever never resolves is lost — the bug this
+// harness exists to catch.
+func (ld *loader) resolveChaos(h *chaosHarness) *chaosStats {
+	deadline := time.Now().Add(60 * time.Second)
+	for len(ld.jobs.pending()) > 0 && time.Now().Before(deadline) {
+		ld.pollJobs()
+		time.Sleep(100 * time.Millisecond)
+	}
+	acked, done, failed := ld.jobs.tally()
+	st := &chaosStats{
+		Restarts:   h.restarts,
+		JobsAcked:  acked,
+		JobsDone:   done,
+		JobsFailed: failed,
+		JobsLost:   acked - done - failed,
+	}
+	st.JobsRetried, st.JobsResumed = h.counters()
+	return st
+}
+
+// jobTracker records every acknowledged async job id and the terminal state
+// it was eventually observed in ("" = not yet).
+type jobTracker struct {
+	mu    sync.Mutex
+	state map[string]string
+}
+
+func newJobTracker() *jobTracker { return &jobTracker{state: make(map[string]string)} }
+
+func (jt *jobTracker) ack(id string) {
+	jt.mu.Lock()
+	if _, ok := jt.state[id]; !ok {
+		jt.state[id] = ""
+	}
+	jt.mu.Unlock()
+}
+
+func (jt *jobTracker) resolve(id, terminal string) {
+	jt.mu.Lock()
+	if st, ok := jt.state[id]; ok && st == "" {
+		jt.state[id] = terminal
+	}
+	jt.mu.Unlock()
+}
+
+func (jt *jobTracker) pending() []string {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	ids := make([]string, 0, len(jt.state))
+	for id, st := range jt.state {
+		if st == "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+func (jt *jobTracker) tally() (acked, done, failed int) {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	for _, st := range jt.state {
+		acked++
+		switch st {
+		case "done":
+			done++
+		case "":
+			// never reached a terminal state: lost
+		default:
+			failed++
+		}
+	}
+	return
+}
+
+// chaosHarness hosts the in-process durable server behind a swappable
+// pointer so it can be torn down and rebooted mid-load, the way a crashing
+// process behind a load balancer would look to clients.
+type chaosHarness struct {
+	dir      string
+	restarts int
+
+	srv atomic.Pointer[lamsd.Server]
+
+	mu      sync.Mutex // serializes restarts and counter accumulation
+	retried int64
+	resumed int64
+}
+
+func newChaosHarness(restarts int) (*chaosHarness, error) {
+	dir, err := os.MkdirTemp("", "lamsload-chaos-*")
+	if err != nil {
+		return nil, err
+	}
+	ch := &chaosHarness{dir: dir, restarts: restarts}
+	if err := ch.open(); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	return ch, nil
+}
+
+func (ch *chaosHarness) open() error {
+	srv, err := lamsd.Open(
+		lamsd.WithPersistence(ch.dir, time.Hour),
+		lamsd.WithDrainTimeout(0), // restarts must interrupt jobs, not drain them
+	)
+	if err != nil {
+		return err
+	}
+	ch.srv.Store(srv)
+	return nil
+}
+
+// ServeHTTP proxies to the current server instance; during the reboot gap
+// requests see 503, and the load workers count them as failed ops.
+func (ch *chaosHarness) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if srv := ch.srv.Load(); srv != nil {
+		srv.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, `{"error":"server restarting"}`, http.StatusServiceUnavailable)
+}
+
+// schedule spaces the restarts evenly across the load window.
+func (ch *chaosHarness) schedule(duration time.Duration) {
+	interval := duration / time.Duration(ch.restarts+1)
+	for i := 0; i < ch.restarts; i++ {
+		time.Sleep(interval)
+		if err := ch.restart(); err != nil {
+			log.Printf("lamsload: chaos restart %d: %v", i+1, err)
+			return
+		}
+	}
+}
+
+func (ch *chaosHarness) restart() error {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	srv := ch.srv.Swap(nil)
+	if srv == nil {
+		return fmt.Errorf("no live server to restart")
+	}
+	retried, resumed := scrapeJobCounters(srv)
+	ch.retried += retried
+	ch.resumed += resumed
+	if err := srv.Close(); err != nil {
+		log.Printf("lamsload: chaos close: %v", err)
+	}
+	return ch.open()
+}
+
+// counters returns the jobs_retried / jobs_resumed totals accumulated
+// across every instance, including the live one.
+func (ch *chaosHarness) counters() (retried, resumed int64) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	retried, resumed = ch.retried, ch.resumed
+	if srv := ch.srv.Load(); srv != nil {
+		r, rs := scrapeJobCounters(srv)
+		retried += r
+		resumed += rs
+	}
+	return
+}
+
+func (ch *chaosHarness) cleanup() {
+	if srv := ch.srv.Swap(nil); srv != nil {
+		_ = srv.Close()
+	}
+	os.RemoveAll(ch.dir)
+}
+
+// scrapeJobCounters reads an instance's /metrics expvar map directly (no
+// listener needed — instances come and go).
+func scrapeJobCounters(srv *lamsd.Server) (retried, resumed int64) {
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var m map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		return 0, 0
+	}
+	if v, ok := m["jobs_retried"].(float64); ok {
+		retried = int64(v)
+	}
+	if v, ok := m["jobs_resumed"].(float64); ok {
+		resumed = int64(v)
+	}
+	return
 }
 
 func (ld *loader) do(method, path, body string) (int, error) {

@@ -1,0 +1,204 @@
+// Package faultinject provides deterministic, named fault-injection points
+// for crash-safety testing.
+//
+// A Set holds a collection of armed points. Production code calls
+// Fire(name) at each point; a nil *Set is a valid receiver and Fire on it
+// is a no-op, so instrumented paths pay exactly one nil check when chaos
+// is disabled. Points are armed either by count (fire once, on the n-th
+// hit) or by seeded probability (fire each hit with probability p, from a
+// private deterministic PRNG), so a failing run can be replayed exactly.
+//
+// Injected failures are reported as errors wrapping ErrInjected; callers
+// classify them with errors.Is and treat them as transient.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the sentinel wrapped by every error returned from Fire.
+var ErrInjected = errors.New("injected fault")
+
+// Named injection points wired through the codebase. A Set accepts any
+// string name; these constants are the points production code fires.
+const (
+	PointSnapshotWrite = "snapshot.write" // lamsd mesh-snapshot write
+	PointJournalAppend = "journal.append" // lamsd job-journal append
+	PointExchangeSend  = "exchange.send"  // partition halo-exchange send
+	PointExchangeRecv  = "exchange.recv"  // partition halo-exchange receive
+	PointPoolAcquire   = "pool.acquire"   // lamsd engine-pool acquire
+	PointEngineSweep   = "engine.sweep"   // smoothing engine, once per sweep
+)
+
+type point struct {
+	after int        // fire once when hits reaches this value; 0 = not count-armed
+	prob  float64    // per-hit probability; 0 = not probability-armed
+	rng   *rand.Rand // private PRNG for prob arming
+	hits  int
+	fired int
+}
+
+// Set is a collection of armed injection points. The zero value is unarmed;
+// a nil *Set never fires. All methods are safe for concurrent use.
+type Set struct {
+	mu     sync.Mutex
+	points map[string]*point
+}
+
+// New returns an empty, unarmed Set.
+func New() *Set { return &Set{points: make(map[string]*point)} }
+
+func (s *Set) pt(name string) *point {
+	p := s.points[name]
+	if p == nil {
+		p = &point{}
+		s.points[name] = p
+	}
+	return p
+}
+
+// ArmAfter arms name to fail exactly once, on the n-th Fire (n >= 1).
+// Earlier and later hits pass through.
+func (s *Set) ArmAfter(name string, n int) {
+	if s == nil || n < 1 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.pt(name)
+	p.after = p.hits + n
+	p.prob = 0
+}
+
+// ArmProb arms name to fail on each Fire with probability prob, drawn from
+// a deterministic PRNG seeded with seed.
+func (s *Set) ArmProb(name string, prob float64, seed int64) {
+	if s == nil || prob <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.pt(name)
+	p.prob = prob
+	p.rng = rand.New(rand.NewSource(seed))
+	p.after = 0
+}
+
+// Disarm removes any arming for name but keeps its hit counters.
+func (s *Set) Disarm(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p := s.points[name]; p != nil {
+		p.after = 0
+		p.prob = 0
+		p.rng = nil
+	}
+}
+
+// Fire records a hit at name and returns a non-nil error (wrapping
+// ErrInjected) if the point's arming says this hit fails. A nil receiver
+// or an unarmed point returns nil.
+func (s *Set) Fire(name string) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.points[name]
+	if p == nil {
+		return nil
+	}
+	p.hits++
+	fire := false
+	switch {
+	case p.after > 0:
+		if p.hits >= p.after {
+			fire = true
+			p.after = 0 // count arming is one-shot
+		}
+	case p.prob > 0:
+		fire = p.rng.Float64() < p.prob
+	}
+	if !fire {
+		return nil
+	}
+	p.fired++
+	return fmt.Errorf("%w at %q (hit %d)", ErrInjected, name, p.hits)
+}
+
+// Hits reports how many times name has been fired at (armed or not).
+func (s *Set) Hits(name string) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p := s.points[name]; p != nil {
+		return p.hits
+	}
+	return 0
+}
+
+// Fired reports how many times name has actually injected a failure.
+func (s *Set) Fired(name string) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p := s.points[name]; p != nil {
+		return p.fired
+	}
+	return 0
+}
+
+// Parse builds a Set from a chaos spec string: comma-separated entries of
+// the form "name=N" (fail once on the N-th hit) or "name=pP[:seed]" (fail
+// each hit with probability P, PRNG seeded with seed, default 1).
+//
+//	snapshot.write=3,journal.append=p0.05:42
+//
+// An empty spec yields an empty (never-firing) Set.
+func Parse(spec string) (*Set, error) {
+	s := New()
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, arm, ok := strings.Cut(entry, "=")
+		if !ok || name == "" || arm == "" {
+			return nil, fmt.Errorf("faultinject: bad chaos entry %q (want name=N or name=pP[:seed])", entry)
+		}
+		if rest, isProb := strings.CutPrefix(arm, "p"); isProb {
+			probStr, seedStr, hasSeed := strings.Cut(rest, ":")
+			prob, err := strconv.ParseFloat(probStr, 64)
+			if err != nil || !(prob > 0 && prob <= 1) {
+				return nil, fmt.Errorf("faultinject: bad probability in %q", entry)
+			}
+			seed := int64(1)
+			if hasSeed {
+				seed, err = strconv.ParseInt(seedStr, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: bad seed in %q", entry)
+				}
+			}
+			s.ArmProb(name, prob, seed)
+			continue
+		}
+		n, err := strconv.Atoi(arm)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("faultinject: bad hit count in %q", entry)
+		}
+		s.ArmAfter(name, n)
+	}
+	return s, nil
+}

@@ -1,0 +1,152 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilSetNeverFires(t *testing.T) {
+	var s *Set
+	for i := 0; i < 3; i++ {
+		if err := s.Fire("anything"); err != nil {
+			t.Fatalf("nil set fired: %v", err)
+		}
+	}
+	if got := s.Hits("anything"); got != 0 {
+		t.Fatalf("nil set counted hits: %d", got)
+	}
+	s.ArmAfter("x", 1) // must not panic
+	s.ArmProb("x", 0.5, 1)
+	s.Disarm("x")
+}
+
+func TestUnarmedPointPasses(t *testing.T) {
+	s := New()
+	if err := s.Fire("p"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	if got := s.Hits("p"); got != 0 {
+		// hits are only tracked once the point exists in the map
+		t.Logf("hits on unknown point: %d", got)
+	}
+}
+
+func TestArmAfterFiresOnceOnNthHit(t *testing.T) {
+	s := New()
+	s.ArmAfter("p", 3)
+	for i := 1; i <= 5; i++ {
+		err := s.Fire("p")
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: want ErrInjected, got %v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("hit %d: unexpected error %v", i, err)
+		}
+	}
+	if got := s.Fired("p"); got != 1 {
+		t.Fatalf("fired count = %d, want 1", got)
+	}
+	if got := s.Hits("p"); got != 5 {
+		t.Fatalf("hits = %d, want 5", got)
+	}
+}
+
+func TestArmAfterCountsFromCurrentHit(t *testing.T) {
+	s := New()
+	s.ArmAfter("p", 1)
+	if err := s.Fire("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected, got %v", err)
+	}
+	// re-arm after some traffic: fires on the next hit, not an absolute index
+	_ = s.Fire("p")
+	s.ArmAfter("p", 1)
+	if err := s.Fire("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("re-armed point did not fire: %v", err)
+	}
+}
+
+func TestArmProbDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		s := New()
+		s.ArmProb("p", 0.3, seed)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = s.Fire("p") != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.3 over %d hits fired %d times; arming looks broken", len(a), fired)
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	s := New()
+	s.ArmAfter("p", 1)
+	s.Disarm("p")
+	if err := s.Fire("p"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	s, err := Parse("snapshot.write=2, journal.append=p0.5:7")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := s.Fire(PointSnapshotWrite); err != nil {
+		t.Fatalf("first hit fired early: %v", err)
+	}
+	if err := s.Fire(PointSnapshotWrite); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second hit did not fire: %v", err)
+	}
+	fired := false
+	for i := 0; i < 32; i++ {
+		if s.Fire(PointJournalAppend) != nil {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("p=0.5 never fired in 32 hits")
+	}
+
+	if s, err := Parse(""); err != nil || s == nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	for _, bad := range []string{"p", "p=", "=3", "p=0", "p=p2", "p=p0.5:x", "p=pnan"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	s := New()
+	s.ArmProb("p", 0.1, 99)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = s.Fire("p")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Hits("p"); got != 1600 {
+		t.Fatalf("hits = %d, want 1600", got)
+	}
+}

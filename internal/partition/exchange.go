@@ -1,6 +1,10 @@
 package partition
 
-import "context"
+import (
+	"context"
+
+	"lams/internal/faultinject"
+)
 
 // Exchanger moves halo coordinate payloads between partitions at a sweep
 // barrier. It is the seam a future wire transport (partitions sharded
@@ -30,6 +34,12 @@ type ChanExchanger struct {
 	sendCh  [][]chan []float64 // [part][i] channel of the part's Sends[i] link
 	recvCh  [][]chan []float64 // [part][i] channel of the part's Recvs[i] link
 	recvBuf [][][]float64      // [part][i] owned storage the incoming payload is copied into
+
+	// Faults, when non-nil, is consulted before the send and receive
+	// halves of every Exchange (faultinject.PointExchangeSend/Recv) —
+	// the rehearsal for wire-transport failures. Set it only between
+	// rounds (the driver does so alongside Reset).
+	Faults *faultinject.Set
 }
 
 // NewChanExchanger wires a channel exchanger for the layout's links. dim
@@ -81,12 +91,18 @@ func (e *ChanExchanger) Reset() {
 // Exchange implements Exchanger: send every outgoing payload, then receive
 // (and copy into owned buffers) every incoming one.
 func (e *ChanExchanger) Exchange(ctx context.Context, part int, outgoing [][]float64) ([][]float64, error) {
+	if err := e.Faults.Fire(faultinject.PointExchangeSend); err != nil {
+		return nil, err
+	}
 	for i, ch := range e.sendCh[part] {
 		select {
 		case ch <- outgoing[i]:
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
+	}
+	if err := e.Faults.Fire(faultinject.PointExchangeRecv); err != nil {
+		return nil, err
 	}
 	incoming := e.recvBuf[part]
 	for i, ch := range e.recvCh[part] {

@@ -68,6 +68,17 @@ type dimOps[D any] interface {
 	// configuration.
 	vertexQualities(ctx context.Context, qs *quality.Scratch, workers int, sched parallel.Scheduler) ([]float64, error)
 
+	// snapshotCoords returns a fresh axis-interleaved copy of the current
+	// coordinates — read from the SoA mirrors when they are authoritative
+	// — and restoreCoords writes such a snapshot back into the mesh.
+	// Plain float64 copies in both directions, so checkpoint/resume
+	// preserves every bit pattern.
+	snapshotCoords(soa bool) []float64
+	restoreCoords(src []float64)
+	// configDetail renders the resolved kernel and metric for the
+	// checkpoint fingerprint.
+	configDetail() string
+
 	// pack fills the SoA mirrors from the mesh coordinates (sizing the
 	// Jacobi next-mirrors when requested); commit writes them back. Plain
 	// float64 copies, so every bit pattern survives the round trip.
@@ -283,6 +294,53 @@ func (d *dim3) commit() {
 		d.m.Coords[i] = geom.Point3{X: d.cx[i], Y: d.cy[i], Z: d.cz[i]}
 	}
 }
+
+func (d *dim2) snapshotCoords(soa bool) []float64 {
+	out := make([]float64, 2*len(d.m.Coords))
+	if soa {
+		for i := range d.m.Coords {
+			out[2*i], out[2*i+1] = d.cx[i], d.cy[i]
+		}
+		return out
+	}
+	for i, p := range d.m.Coords {
+		out[2*i], out[2*i+1] = p.X, p.Y
+	}
+	return out
+}
+
+func (d *dim3) snapshotCoords(soa bool) []float64 {
+	out := make([]float64, 3*len(d.m.Coords))
+	if soa {
+		for i := range d.m.Coords {
+			out[3*i], out[3*i+1], out[3*i+2] = d.cx[i], d.cy[i], d.cz[i]
+		}
+		return out
+	}
+	for i, p := range d.m.Coords {
+		out[3*i], out[3*i+1], out[3*i+2] = p.X, p.Y, p.Z
+	}
+	return out
+}
+
+func (d *dim2) restoreCoords(src []float64) {
+	for i := range d.m.Coords {
+		d.m.Coords[i] = geom.Point{X: src[2*i], Y: src[2*i+1]}
+	}
+}
+
+func (d *dim3) restoreCoords(src []float64) {
+	for i := range d.m.Coords {
+		d.m.Coords[i] = geom.Point3{X: src[3*i], Y: src[3*i+1], Z: src[3*i+2]}
+	}
+}
+
+// configDetail renders the resolved kernel and metric. The built-in
+// kernels and metrics are plain value structs, so %#v is deterministic
+// across processes — which is what lets a persisted checkpoint resume
+// after a restart.
+func (d *dim2) configDetail() string { return fmt.Sprintf("kernel=%#v metric=%#v", d.kern, d.met) }
+func (d *dim3) configDetail() string { return fmt.Sprintf("kernel=%#v metric=%#v", d.kern, d.met) }
 
 func (d *dim2) ensureNext() {
 	if n := len(d.m.Coords); cap(d.next) < n {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"lams/internal/faultinject"
 	"lams/internal/mesh"
 	"lams/internal/order"
 	"lams/internal/parallel"
@@ -87,6 +88,20 @@ func (e *engine[D, PD]) run(ctx context.Context, opt Options) (Result, error) {
 	// retired meshes.
 	defer d.release()
 
+	// Checkpoint/resume: the fingerprint ties a checkpoint to the
+	// trajectory-affecting configuration; a resume restores the snapshot's
+	// coordinates before the mirrors pack and the traversal computes.
+	var fp string
+	if opt.Checkpoint != nil || opt.Resume != nil {
+		fp = configFingerprint[D, PD](d, &opt)
+	}
+	if opt.Resume != nil {
+		if err := opt.Resume.validateResume(fp, d.axes(), d.numVerts()); err != nil {
+			return Result{}, err
+		}
+		d.restoreCoords(opt.Resume.Coords)
+	}
+
 	if err := e.resolveScheduler(opt.Schedule); err != nil {
 		return Result{}, err
 	}
@@ -102,9 +117,21 @@ func (e *engine[D, PD]) run(ctx context.Context, opt Options) (Result, error) {
 		qworkers, qsched = 1, nil
 	}
 
-	visit, err := e.visitSequence(ctx, &opt, qworkers, qsched)
-	if err != nil {
-		return Result{}, err
+	// A resumed run replays the checkpointed visit order verbatim. For
+	// in-place kernels the order is the semantics, so this is what makes
+	// the resume exact; for Jacobi kernels it merely skips recomputing a
+	// traversal whose order cannot affect the result anyway.
+	var visit []int32
+	if opt.Resume != nil && len(opt.Resume.Visit) > 0 {
+		visit = opt.Resume.Visit
+		if len(visit) != len(d.interior()) {
+			return Result{}, fmt.Errorf("smooth: resume checkpoint visits %d vertices, mesh has %d interior", len(visit), len(d.interior()))
+		}
+	} else {
+		visit, err = e.visitSequence(ctx, &opt, qworkers, qsched)
+		if err != nil {
+			return Result{}, err
+		}
 	}
 
 	// Fast-path runs operate on the SoA mirrors: pack the coordinates now
@@ -119,26 +146,50 @@ func (e *engine[D, PD]) run(ctx context.Context, opt Options) (Result, error) {
 		d.ensureNext()
 	}
 
-	q0, err := d.measure(ctx, &e.qs, soa, qworkers, qsched)
-	if err != nil {
-		return Result{}, err
+	var res Result
+	var prevQ float64
+	startIter := 0
+	if cp := opt.Resume; cp != nil {
+		// Continue exactly where the checkpoint left off: counters and
+		// history carry over, and the initial measurement is skipped — it
+		// already happened, before the first sweep of the original run.
+		res = Result{Iterations: cp.Iteration, InitialQuality: cp.InitialQuality, Accesses: cp.Accesses}
+		res.QualityHistory = append(make([]float64, 0, max(opt.MaxIters, len(cp.QualityHistory))), cp.QualityHistory...)
+		prevQ = cp.InitialQuality
+		if n := len(cp.QualityHistory); n > 0 {
+			prevQ = cp.QualityHistory[n-1]
+		}
+		res.FinalQuality = prevQ
+		startIter = cp.Iteration
+		if opt.Progress != nil {
+			opt.Progress(cp.Iteration, prevQ)
+		}
+	} else {
+		q0, err := d.measure(ctx, &e.qs, soa, qworkers, qsched)
+		if err != nil {
+			return Result{}, err
+		}
+		res = Result{InitialQuality: q0}
+		res.FinalQuality = res.InitialQuality
+		if opt.Progress != nil {
+			opt.Progress(0, q0)
+		}
+		if opt.MaxIters > 0 {
+			res.QualityHistory = make([]float64, 0, opt.MaxIters)
+		}
+		prevQ = res.InitialQuality
 	}
-	res := Result{InitialQuality: q0}
-	res.FinalQuality = res.InitialQuality
-	if opt.Progress != nil {
-		opt.Progress(0, q0)
-	}
-	if opt.MaxIters > 0 {
-		res.QualityHistory = make([]float64, 0, opt.MaxIters)
-	}
-	prevQ := res.InitialQuality
 
-	for iter := 0; iter < opt.MaxIters; iter++ {
+	sinceCkpt := 0
+	for iter := startIter; iter < opt.MaxIters; iter++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
 		if prevQ >= opt.GoalQuality {
 			break
+		}
+		if err := opt.Faults.Fire(faultinject.PointEngineSweep); err != nil {
+			return res, err
 		}
 		acc, err := e.sweep(ctx, inPlace, soa, visit, &opt)
 		res.Accesses += acc
@@ -166,6 +217,16 @@ func (e *engine[D, PD]) run(ctx context.Context, opt Options) (Result, error) {
 			break
 		}
 		prevQ = q
+
+		// Emit only at measured sweeps that did not end the run: prevQ has
+		// just been advanced, so the snapshot's last history entry is the
+		// exact prevQ a resumed loop reconstructs.
+		if opt.Checkpoint != nil {
+			if sinceCkpt++; sinceCkpt >= opt.CheckpointEvery {
+				sinceCkpt = 0
+				opt.Checkpoint(makeCheckpoint[D, PD](d, fp, &res, visit, soa))
+			}
+		}
 	}
 	return res, nil
 }

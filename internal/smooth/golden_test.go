@@ -99,16 +99,27 @@ func goldenKernel3(t *testing.T, name string) TetKernel {
 // complete numerical outcome into one 64-bit FNV-1a hash.
 func goldenRun(t *testing.T, c goldenCase) uint64 {
 	t.Helper()
+	return goldenRunOpts(t, c, nil)
+}
+
+// goldenRunOpts is goldenRun with an options mutator, so the resume axis
+// can thread Checkpoint/Resume through the very same cell executions.
+func goldenRunOpts(t *testing.T, c goldenCase, mod func(*Options)) uint64 {
+	t.Helper()
 	h := fnv.New64a()
 	var res Result
 	if c.Dim == 2 {
 		m := genMesh(t, goldenVerts2)
-		var err error
-		res, err = Run(m, Options{
+		opt := Options{
 			MaxIters: goldenIters, Tol: -1,
 			Workers: c.Workers, Schedule: c.Schedule,
 			Kernel: goldenKernel2(t, c.Kernel), Partitions: c.Partitions,
-		})
+		}
+		if mod != nil {
+			mod(&opt)
+		}
+		var err error
+		res, err = Run(m, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,12 +129,16 @@ func goldenRun(t *testing.T, c goldenCase) uint64 {
 		}
 	} else {
 		m := genTetMesh(t, goldenCells3)
-		var err error
-		res, err = RunTet(m, Options{
+		opt := Options{
 			MaxIters: goldenIters, Tol: -1,
 			Workers: c.Workers, Schedule: c.Schedule,
 			TetKernel: goldenKernel3(t, c.Kernel), Partitions: c.Partitions,
-		})
+		}
+		if mod != nil {
+			mod(&opt)
+		}
+		var err error
+		res, err = RunTet(m, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -200,6 +215,54 @@ func TestGoldenHashes(t *testing.T) {
 			}
 			if got := fmt.Sprintf("%016x", goldenRun(t, c)); got != want {
 				t.Errorf("hash = %s, want %s (numerical output drifted from the pre-unification engines)", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenResumeAxis is the resume axis of the golden matrix: every cell
+// is run once capturing its checkpoints, then re-run resumed from each
+// checkpoint, and every resumed run must land on the cell's committed
+// golden hash — interrupt-and-resume is bitwise invisible at any
+// checkpoint of any cell. No new hashes are recorded; the pre-resume
+// hashes are the contract.
+func TestGoldenResumeAxis(t *testing.T) {
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		t.Skip("golden update run")
+	}
+	buf, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("reading golden hashes (regenerate with GOLDEN_UPDATE=1): %v", err)
+	}
+	var rec goldenRecord
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range goldenMatrix() {
+		c := c
+		t.Run(c.name(), func(t *testing.T) {
+			want, ok := rec.Hashes[c.name()]
+			if !ok {
+				t.Fatalf("no golden hash for %s", c.name())
+			}
+			var cps []Checkpoint
+			got := fmt.Sprintf("%016x", goldenRunOpts(t, c, func(o *Options) {
+				o.Checkpoint = func(cp Checkpoint) { cps = append(cps, cp) }
+			}))
+			if got != want {
+				t.Fatalf("checkpointed run hash = %s, want %s (emitting checkpoints must not perturb the run)", got, want)
+			}
+			// Tol is disabled and CheckEvery is 1, so every sweep emits.
+			if len(cps) != goldenIters {
+				t.Fatalf("captured %d checkpoints, want %d", len(cps), goldenIters)
+			}
+			for _, cp := range cps {
+				cp := cp
+				if got := fmt.Sprintf("%016x", goldenRunOpts(t, c, func(o *Options) {
+					o.Resume = &cp
+				})); got != want {
+					t.Errorf("resume from iteration %d: hash = %s, want %s", cp.Iteration, got, want)
+				}
 			}
 		})
 	}

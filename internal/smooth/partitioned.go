@@ -2,10 +2,12 @@ package smooth
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
+	"lams/internal/faultinject"
 	"lams/internal/mesh"
 	"lams/internal/parallel"
 	"lams/internal/partition"
@@ -169,6 +171,24 @@ func (ps *partDriver[D, PD]) run(ctx context.Context, opt Options) (Result, erro
 	if inPlace {
 		return Result{}, fmt.Errorf("smooth: partitioned runs require Jacobi updates; kernel %q updates in place", d.kernelName())
 	}
+
+	// Checkpoint/resume: the fingerprint excludes the partition
+	// configuration, so a checkpoint from a single-engine run resumes
+	// here (and vice versa) bit-identically — Jacobi updates make the
+	// decomposition irrelevant to the result. The restore runs before the
+	// per-partition refresh below, so the locals start from the
+	// checkpointed coordinates.
+	var fp string
+	if opt.Checkpoint != nil || opt.Resume != nil {
+		fp = configFingerprint[D, PD](d, &opt)
+	}
+	if opt.Resume != nil {
+		if err := opt.Resume.validateResume(fp, d.axes(), d.numVerts()); err != nil {
+			return Result{}, err
+		}
+		d.restoreCoords(opt.Resume.Coords)
+	}
+
 	if err := ps.resolveScheduler(opt.Schedule); err != nil {
 		return Result{}, err
 	}
@@ -207,28 +227,55 @@ func (ps *partDriver[D, PD]) run(ctx context.Context, opt Options) (Result, erro
 	}
 	if ce, ok := ps.ex.(*partition.ChanExchanger); ok {
 		ce.Reset()
+		ce.Faults = opt.Faults
 	}
 
-	q0, err := d.measure(ctx, &ps.qs, false, qworkers, qsched)
-	if err != nil {
-		return Result{}, err
+	var res Result
+	var prevQ float64
+	startIter := 0
+	if cp := opt.Resume; cp != nil {
+		// Continue from the checkpoint; see the single engine's resume —
+		// counters and history carry over, the initial measurement is
+		// skipped. The checkpointed visit order (if any) is ignored:
+		// partitioned sweeps derive their per-partition visit lists from
+		// the decomposition, and Jacobi results are order-independent.
+		res = Result{Iterations: cp.Iteration, InitialQuality: cp.InitialQuality, Accesses: cp.Accesses}
+		res.QualityHistory = append(make([]float64, 0, max(opt.MaxIters, len(cp.QualityHistory))), cp.QualityHistory...)
+		prevQ = cp.InitialQuality
+		if n := len(cp.QualityHistory); n > 0 {
+			prevQ = cp.QualityHistory[n-1]
+		}
+		res.FinalQuality = prevQ
+		startIter = cp.Iteration
+		if opt.Progress != nil {
+			opt.Progress(cp.Iteration, prevQ)
+		}
+	} else {
+		q0, err := d.measure(ctx, &ps.qs, false, qworkers, qsched)
+		if err != nil {
+			return Result{}, err
+		}
+		res = Result{InitialQuality: q0}
+		res.FinalQuality = res.InitialQuality
+		if opt.Progress != nil {
+			opt.Progress(0, q0)
+		}
+		if opt.MaxIters > 0 {
+			res.QualityHistory = make([]float64, 0, opt.MaxIters)
+		}
+		prevQ = res.InitialQuality
 	}
-	res := Result{InitialQuality: q0}
-	res.FinalQuality = res.InitialQuality
-	if opt.Progress != nil {
-		opt.Progress(0, q0)
-	}
-	if opt.MaxIters > 0 {
-		res.QualityHistory = make([]float64, 0, opt.MaxIters)
-	}
-	prevQ := res.InitialQuality
 
-	for iter := 0; iter < opt.MaxIters; iter++ {
+	sinceCkpt := 0
+	for iter := startIter; iter < opt.MaxIters; iter++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
 		if prevQ >= opt.GoalQuality {
 			break
+		}
+		if err := opt.Faults.Fire(faultinject.PointEngineSweep); err != nil {
+			return res, err
 		}
 
 		// Phase 1 — sweep: every partition runs one Jacobi sweep over its
@@ -256,15 +303,37 @@ func (ps *partDriver[D, PD]) run(ctx context.Context, opt Options) (Result, erro
 		// halo payloads with its peers. The publish is unconditional, so
 		// even if cancellation interrupts the exchange, the global mesh
 		// holds all of sweep i by the time the barrier joins.
+		// With fault injection armed, one partition's injected exchange
+		// failure must not strand its peers in their blocking receives, so
+		// the round gets a cancelable context torn down on first error.
+		exCtx, exCancel := ctx, context.CancelFunc(nil)
+		if opt.Faults != nil {
+			exCtx, exCancel = context.WithCancel(ctx)
+		}
 		ps.fanOut(func(pu *partUnit[D, PD]) {
 			PD(&pu.eng.d).publish(&ps.d, pu.l2g, pu.visit, pu.soa)
-			pu.err = pu.exchange(ctx, ps.ex)
-		})
-		res.Iterations++
-		for _, pu := range ps.parts {
-			if pu.err != nil {
-				return res, pu.err
+			pu.err = pu.exchange(exCtx, ps.ex)
+			if pu.err != nil && exCancel != nil {
+				exCancel()
 			}
+		})
+		if exCancel != nil {
+			exCancel()
+		}
+		res.Iterations++
+		var exErr error
+		for _, pu := range ps.parts {
+			if pu.err == nil {
+				continue
+			}
+			// Prefer the injected (or otherwise original) error over the
+			// context.Canceled its round-teardown induced in the peers.
+			if exErr == nil || (errors.Is(exErr, context.Canceled) && !errors.Is(pu.err, context.Canceled)) {
+				exErr = pu.err
+			}
+		}
+		if exErr != nil {
+			return res, exErr
 		}
 
 		if res.Iterations%opt.CheckEvery != 0 && iter != opt.MaxIters-1 {
@@ -283,6 +352,17 @@ func (ps *partDriver[D, PD]) run(ctx context.Context, opt Options) (Result, erro
 			break
 		}
 		prevQ = q
+
+		// Emit after the publish barrier and the measurement: the global
+		// mesh holds every partition's sweep-i coordinates, so the
+		// snapshot reads it directly (soa=false — the mirrors are local to
+		// the partition engines).
+		if opt.Checkpoint != nil {
+			if sinceCkpt++; sinceCkpt >= opt.CheckpointEvery {
+				sinceCkpt = 0
+				opt.Checkpoint(makeCheckpoint[D, PD](d, fp, &res, nil, false))
+			}
+		}
 	}
 	return res, nil
 }

@@ -38,6 +38,7 @@ import (
 	"context"
 	"fmt"
 
+	"lams/internal/faultinject"
 	"lams/internal/mesh"
 	"lams/internal/quality"
 	"lams/internal/trace"
@@ -151,6 +152,34 @@ type Options struct {
 	// QualityHistory records. It must be fast and must not smooth the mesh
 	// reentrantly; long-running services use it to surface job progress.
 	Progress func(iteration int, quality float64)
+	// Checkpoint, when non-nil, is called serially from the converge loop
+	// with a self-contained snapshot of the run after every
+	// CheckpointEvery-th measured sweep that did not end the run. A run
+	// resumed from any emitted Checkpoint finishes with bit-identical
+	// coordinates, Iterations, Accesses, and QualityHistory to the
+	// uninterrupted run. The snapshot owns its memory; the callback may
+	// persist it asynchronously.
+	Checkpoint func(Checkpoint)
+	// CheckpointEvery emits a checkpoint every CheckpointEvery-th measured
+	// sweep (default 1, i.e. every measurement; see CheckEvery for the
+	// measurement cadence itself). CheckpointInterval computes the
+	// Young/Daly optimum from measured sweep and checkpoint costs.
+	CheckpointEvery int
+	// Resume, when non-nil, restarts the run from the given checkpoint
+	// instead of from the mesh's current coordinates: the snapshot's
+	// coordinates are restored, the iteration/access counters and quality
+	// history continue from their checkpointed values, and the initial
+	// measurement is skipped. The checkpoint must have been emitted under
+	// the same trajectory-affecting configuration (kernel, metric,
+	// tolerances, caps, cadence, traversal — fingerprint-enforced);
+	// workers, schedule, and partition count may differ freely.
+	Resume *Checkpoint
+	// Faults, when non-nil, is consulted at named injection points (one
+	// per sweep at faultinject.PointEngineSweep, plus the halo-exchange
+	// points on partitioned runs) and aborts the run with the injected
+	// error when a point fires. Production runs leave it nil and pay one
+	// nil check per sweep.
+	Faults *faultinject.Set
 	// Trace, when non-nil, records every vertex-array access (the smoothed
 	// vertex, then each of its neighbors) on the worker's stream. The
 	// buffer must have at least Workers cores.
@@ -176,6 +205,9 @@ func (o Options) withDefaults() Options {
 	if o.CheckEvery == 0 {
 		o.CheckEvery = 1
 	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 1
+	}
 	return o
 }
 
@@ -188,6 +220,9 @@ func (o Options) validate(partitioned bool) error {
 	}
 	if o.CheckEvery < 1 {
 		return fmt.Errorf("smooth: check-every must be >= 1, got %d", o.CheckEvery)
+	}
+	if o.CheckpointEvery < 1 {
+		return fmt.Errorf("smooth: checkpoint-every must be >= 1, got %d", o.CheckpointEvery)
 	}
 	if partitioned {
 		if o.Trace != nil {

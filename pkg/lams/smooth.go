@@ -3,7 +3,9 @@ package lams
 import (
 	"context"
 	"fmt"
+	"time"
 
+	"lams/internal/faultinject"
 	"lams/internal/parallel"
 	"lams/internal/partition"
 	"lams/internal/smooth"
@@ -225,6 +227,64 @@ func WithTrace(tb *TraceBuffer) SmoothOption {
 // to surface async-job progress. Applies to Smooth and SmoothTet alike.
 func WithProgress(fn func(iteration int, quality float64)) SmoothOption {
 	return func(c *smoothConfig) { c.opt.Progress = fn }
+}
+
+// Checkpoint is a self-contained snapshot of a smoothing run emitted by
+// WithCheckpoint and accepted by WithResume: coordinates, iteration and
+// access counters, quality history, and a configuration fingerprint. A run
+// resumed from a Checkpoint finishes bit-identical — coordinates,
+// iterations, accesses, quality history — to the uninterrupted run, and
+// may do so under a different worker count, schedule, or partitioning
+// (the fingerprint covers only trajectory-affecting configuration).
+// Checkpoints serialize losslessly through encoding/json, so services
+// persist them for crash recovery.
+type Checkpoint = smooth.Checkpoint
+
+// WithCheckpoint calls fn serially from the converge loop with a snapshot
+// of the run after every WithCheckpointEvery-th measured sweep that did
+// not end the run. The snapshot owns its memory, so fn may hand it to a
+// persistence goroutine. Applies to Smooth and SmoothTet alike.
+func WithCheckpoint(fn func(Checkpoint)) SmoothOption {
+	return func(c *smoothConfig) { c.opt.Checkpoint = fn }
+}
+
+// WithCheckpointEvery emits a checkpoint every k-th measured sweep
+// (default 1; see WithCheckEvery for the measurement cadence itself).
+// CheckpointInterval computes the Young/Daly optimum from measured costs.
+func WithCheckpointEvery(k int) SmoothOption {
+	return func(c *smoothConfig) { c.opt.CheckpointEvery = k }
+}
+
+// WithResume restarts the run from cp instead of the mesh's current
+// coordinates: the snapshot's coordinates are restored and the counters
+// and quality history continue from their checkpointed values. The
+// checkpoint must come from a run with the same trajectory-affecting
+// configuration (kernel, metric, tolerances, caps, cadence, traversal) on
+// a mesh of the same dimension and size; workers, schedule, and
+// partitions may differ freely.
+func WithResume(cp *Checkpoint) SmoothOption {
+	return func(c *smoothConfig) { c.opt.Resume = cp }
+}
+
+// CheckpointInterval returns the Young/Daly optimal checkpoint period —
+// sqrt(2·C·MTBF), with C the measured cost of one checkpoint — expressed
+// in sweeps of the given measured cost (at least 1). Feed the result to
+// WithCheckpointEvery to compute the cadence instead of guessing it.
+func CheckpointInterval(sweepCost, checkpointCost, mtbf time.Duration) int {
+	return smooth.CheckpointInterval(sweepCost, checkpointCost, mtbf)
+}
+
+// FaultSet is a set of named, deterministically armed fault-injection
+// points (see internal/faultinject). Production code leaves it nil.
+type FaultSet = faultinject.Set
+
+// WithFaultInjection arms the run's fault-injection points (one per sweep,
+// plus the halo-exchange points on partitioned runs): when an armed point
+// fires, the run aborts with an error wrapping faultinject.ErrInjected.
+// Chaos testing only; a nil set is the production default and costs one
+// nil check per sweep.
+func WithFaultInjection(fs *FaultSet) SmoothOption {
+	return func(c *smoothConfig) { c.opt.Faults = fs }
 }
 
 func buildOptions(opts []SmoothOption) (smooth.Options, error) {

@@ -804,7 +804,7 @@ func (s *Server) handleSmoothMesh(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if async {
-		s.submitSmoothJob(w, r, rec, plan)
+		s.submitSmoothJob(w, r, rec, plan, req)
 		return
 	}
 	resp, err := s.executeSmooth(r.Context(), rec, plan, nil)
@@ -816,10 +816,12 @@ func (s *Server) handleSmoothMesh(w http.ResponseWriter, r *http.Request) {
 }
 
 // submitSmoothJob is the ?async=1 leg of the smooth endpoint: admit the job
-// against the tenant's in-flight cap, register it, detach the run onto a
+// against the tenant's in-flight cap, register it, journal the acceptance —
+// the 202 is a durability promise on durable servers, so the accept record
+// must be on disk before it goes out — then detach the run onto a
 // background goroutine under its own ?timeout-derived budget, and answer
 // 202 with the job's poll URL.
-func (s *Server) submitSmoothJob(w http.ResponseWriter, r *http.Request, rec *meshRecord, plan smoothPlan) {
+func (s *Server) submitSmoothJob(w http.ResponseWriter, r *http.Request, rec *meshRecord, plan smoothPlan, req smoothRequest) {
 	tenant := tenantFrom(r.Context())
 	// Re-parse rather than inherit the request deadline: the job's budget
 	// starts when the run does, not when the submission arrived.
@@ -838,7 +840,30 @@ func (s *Server) submitSmoothJob(w http.ResponseWriter, r *http.Request, rec *me
 	job, err := s.jobs.add(tenant, rec.id, plan.maxIters, budget)
 	if err != nil {
 		s.quotas.ReleaseJob(tenant)
+		if errorStatus(err) == http.StatusTooManyRequests {
+			// A full job store clears as running jobs finish or retained
+			// results expire; tell well-behaved clients when to come back.
+			w.Header().Set("Retry-After", "1")
+		}
 		writeError(w, err)
+		return
+	}
+	if err := s.journal.append(journalRecord{
+		Op:        opAccept,
+		Job:       job.id,
+		Seq:       job.seq,
+		Tenant:    tenant,
+		MeshID:    rec.id,
+		MaxIters:  plan.maxIters,
+		TimeoutNS: int64(budget),
+		Created:   job.created,
+		Request:   &req,
+	}); err != nil {
+		// No durable record, no 202: un-register the job and report the
+		// outage rather than acknowledge work a crash could silently lose.
+		s.jobs.abort(job.id)
+		s.quotas.ReleaseJob(tenant)
+		writeError(w, apiErrorf(http.StatusServiceUnavailable, "recording job: %v", err))
 		return
 	}
 	s.metrics.jobsSubmitted.Add(1)
@@ -1011,8 +1036,10 @@ func (s *Server) planSmooth(rec *meshRecord, req smoothRequest) (smoothPlan, err
 // per-request engine allocation — the engine's visit/next/quality scratch
 // buffers were grown by earlier requests; see
 // TestServerPooledSmoothSteadyState. progress, when non-nil, is threaded to
-// the engine's convergence loop (the async path's live job view).
-func (s *Server) executeSmooth(ctx context.Context, rec *meshRecord, plan smoothPlan, progress func(iteration int, quality float64)) (smoothResponse, error) {
+// the engine's convergence loop (the async path's live job view). extra
+// options are appended after the plan's — the async job runner passes its
+// checkpoint emission and resume options through here.
+func (s *Server) executeSmooth(ctx context.Context, rec *meshRecord, plan smoothPlan, progress func(iteration int, quality float64), extra ...lams.SmoothOption) (smoothResponse, error) {
 	// Serialize on the mesh BEFORE taking a pool slot: requests for one hot
 	// mesh queue on its lock without pinning global smooth capacity, so they
 	// cannot starve smooths of other meshes. The mutex wait itself is not
@@ -1036,12 +1063,18 @@ func (s *Server) executeSmooth(ctx context.Context, rec *meshRecord, plan smooth
 	}
 	defer s.pool.Release(key, eng)
 
-	opts := plan.opts
-	if progress != nil {
-		// Full-slice append: never grow the plan's backing array in place (a
-		// canceled-and-resubmitted plan must not see a stale Progress option).
-		opts = append(opts[:len(opts):len(opts)], lams.WithProgress(progress))
+	// Full-slice append: never grow the plan's backing array in place (a
+	// canceled-and-resubmitted plan must not see stale appended options).
+	opts := plan.opts[:len(plan.opts):len(plan.opts)]
+	if s.cfg.Faults != nil {
+		// Chaos mode reaches into the engine too: sweep and halo-exchange
+		// fault points fire inside the run.
+		opts = append(opts, lams.WithFaultInjection(s.cfg.Faults))
 	}
+	if progress != nil {
+		opts = append(opts, lams.WithProgress(progress))
+	}
+	opts = append(opts, extra...)
 
 	start := time.Now()
 	var res lams.SmoothResult

@@ -5,11 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lams/internal/faultinject"
+	"lams/pkg/lams"
 )
 
 // jobState is the lifecycle of an async smooth job.
@@ -59,6 +63,18 @@ type smoothJob struct {
 	result    *smoothResponse
 	errMsg    string
 	errStatus int
+	// attempts counts execution attempts so far (0 until the first run
+	// starts); transient failures bump it and retry with backoff. Restored
+	// jobs carry the count accumulated before the restart.
+	attempts int
+
+	// ckpt is the engine's latest emitted checkpoint: what a retry (or,
+	// through its on-disk twin job-<id>.ckpt, a post-restart replay) resumes
+	// from instead of re-running completed sweeps. Guarded by its own mutex
+	// because the engine emits from inside the sweep loop while pollers hold
+	// mu.
+	ckptMu sync.Mutex
+	ckpt   *lams.Checkpoint
 }
 
 // jobInfo is the JSON shape of a job in every jobs endpoint.
@@ -78,11 +94,14 @@ type jobInfo struct {
 	// pace so far, against the iteration cap — an upper bound, since the
 	// convergence criterion usually stops the run earlier. Only present on
 	// running jobs that have completed at least one measured sweep.
-	EtaMS      *float64        `json:"eta_ms,omitempty"`
-	DurationMS float64         `json:"duration_ms"`
-	Result     *smoothResponse `json:"result,omitempty"`
-	Error      string          `json:"error,omitempty"`
-	ErrorCode  int             `json:"error_code,omitempty"`
+	EtaMS      *float64 `json:"eta_ms,omitempty"`
+	DurationMS float64  `json:"duration_ms"`
+	// Attempts is how many execution attempts the job has made; > 1 means
+	// transient failures were retried (see jobs_retried in /metrics).
+	Attempts  int             `json:"attempts,omitempty"`
+	Result    *smoothResponse `json:"result,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	ErrorCode int             `json:"error_code,omitempty"`
 }
 
 func (j *smoothJob) info() jobInfo {
@@ -99,6 +118,7 @@ func (j *smoothJob) info() jobInfo {
 		Iterations:    iter,
 		LatestQuality: qual,
 		MaxIters:      j.maxIters,
+		Attempts:      j.attempts,
 		Result:        j.result,
 		Error:         j.errMsg,
 		ErrorCode:     j.errStatus,
@@ -175,6 +195,52 @@ func (js *jobStore) add(tenant, meshID string, maxIters int, timeout time.Durati
 	return job, nil
 }
 
+// restore inserts a journal-replayed job under its original id and
+// sequence number, advancing nextSeq past it so new submissions never
+// collide. launch is true when a goroutine will run the job (startJob
+// follows; its wg slot is claimed here, mirroring add) and false for jobs
+// restored directly in a terminal state.
+func (js *jobStore) restore(job *smoothJob, launch bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if job.seq > js.nextSeq {
+		js.nextSeq = job.seq
+	}
+	js.jobs[job.id] = job
+	if launch {
+		js.wg.Add(1)
+	}
+}
+
+// abort removes a just-added job whose goroutine will never start (the
+// accept could not be journaled), returning its wg slot.
+func (js *jobStore) abort(id string) {
+	js.mu.Lock()
+	delete(js.jobs, id)
+	js.mu.Unlock()
+	js.wg.Done()
+}
+
+// isClosed reports whether the store has begun shutting down. The job
+// runner uses it to tell a shutdown cancellation (keep the journal's accept
+// record and the checkpoint — the job resumes on the next boot) from a
+// client cancellation (journal a terminal record).
+func (js *jobStore) isClosed() bool {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.closed
+}
+
+// setNextSeq advances the id sequence to at least seq (journal replay saw
+// ids that far, including ones that finished and were compacted away).
+func (js *jobStore) setNextSeq(seq uint64) {
+	js.mu.Lock()
+	if seq > js.nextSeq {
+		js.nextSeq = seq
+	}
+	js.mu.Unlock()
+}
+
 // get returns the job for id (sweeping expired ones first), or nil.
 func (js *jobStore) get(id string) *smoothJob {
 	js.mu.Lock()
@@ -243,9 +309,32 @@ func (js *jobStore) evictTerminalLocked(n int) {
 
 // close marks the store closed (rejecting new submissions), cancels every
 // non-terminal job, and waits for the job goroutines to drain.
-func (js *jobStore) close() {
+func (js *jobStore) close() { js.closeWithDrain(0) }
+
+// closeWithDrain is close with a grace period: new submissions are rejected
+// immediately, but running jobs get up to drain to finish on their own
+// before the remainder are canceled. A canceled-at-drain-expiry job on a
+// durable server keeps its journal record and checkpoint, so the next Open
+// resumes it where it stopped.
+func (js *jobStore) closeWithDrain(drain time.Duration) {
 	js.mu.Lock()
 	js.closed = true
+	js.mu.Unlock()
+
+	if drain > 0 {
+		done := make(chan struct{})
+		go func() {
+			js.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+			return
+		case <-time.After(drain):
+		}
+	}
+
+	js.mu.Lock()
 	for _, j := range js.jobs {
 		j.mu.Lock()
 		cancel, terminal := j.cancel, j.state.terminal()
@@ -267,41 +356,188 @@ func (s *Server) startJob(job *smoothJob, rec *meshRecord, plan smoothPlan) {
 	job.mu.Lock()
 	job.cancel = cancel
 	job.mu.Unlock()
-	go func() {
-		defer s.jobs.wg.Done()
-		defer cancel()
-		defer s.quotas.ReleaseJob(job.tenant)
-		job.mu.Lock()
-		job.state = jobRunning
-		job.started = time.Now()
-		job.mu.Unlock()
+	go s.runJob(ctx, cancel, job, rec, plan)
+}
 
-		resp, err := s.executeSmooth(ctx, rec, plan, func(iter int, q float64) {
-			job.progQual.Store(math.Float64bits(q))
-			job.progIter.Store(int64(iter))
-		})
+// maxJobAttempts caps the retry loop: the first execution plus up to four
+// retries of transient failures.
+const maxJobAttempts = 5
 
-		job.mu.Lock()
-		defer job.mu.Unlock()
-		job.finished = time.Now()
-		switch {
-		case err == nil:
-			job.state = jobDone
-			job.result = &resp
-			s.metrics.jobsCompleted.Add(1)
-		case errors.Is(err, context.Canceled):
-			// DELETE /v1/jobs/{id} (or server shutdown) fired the cancel;
-			// the mesh holds the last completed sweep.
-			job.state = jobCanceled
-			job.errMsg = "canceled"
-			s.metrics.jobsCanceled.Add(1)
-		default:
-			job.state = jobFailed
-			job.errMsg = err.Error()
-			job.errStatus = errorStatus(err)
-			s.metrics.jobsFailed.Add(1)
+// transientJobError reports whether a job failure is worth retrying:
+// injected faults (the chaos harness's stand-ins for flaky infrastructure)
+// and 503-class conditions. Deadline expiry, cancellation, and request
+// errors are final.
+func transientJobError(err error) bool {
+	if errors.Is(err, faultinject.ErrInjected) {
+		return true
+	}
+	var ae apiError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusServiceUnavailable
+	}
+	return false
+}
+
+// jobBackoff is the delay before retry number attempt (1-based): 50ms
+// doubling to a 2s cap, plus up to 25% jitter so retries from concurrent
+// jobs decorrelate.
+func jobBackoff(attempt int) time.Duration {
+	d := 50 * time.Millisecond << uint(min(attempt-1, 6))
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d + time.Duration(rand.Int63n(int64(d/4)+1))
+}
+
+// sleepCtx sleeps for d, reporting false if ctx expired first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// coordsSnap is a copy of a mesh's coordinates: the replay baseline for a
+// retry that has no checkpoint yet (a failed attempt commits its completed
+// sweeps to the mesh, so "retry from the start" must restore the start).
+type coordsSnap struct {
+	pts2 []lams.Point
+	pts3 []lams.Point3
+}
+
+func captureCoords(rec *meshRecord) coordsSnap {
+	rec.mu.RLock()
+	defer rec.mu.RUnlock()
+	if rec.dim == 3 {
+		return coordsSnap{pts3: append([]lams.Point3(nil), rec.tet.Coords...)}
+	}
+	return coordsSnap{pts2: append([]lams.Point(nil), rec.mesh.Coords...)}
+}
+
+func restoreCoords(rec *meshRecord, snap coordsSnap) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.dim == 3 {
+		copy(rec.tet.Coords, snap.pts3)
+	} else {
+		copy(rec.mesh.Coords, snap.pts2)
+	}
+	rec.gen.Add(1)
+	rec.metaMu.Lock()
+	rec.qualityStale = true
+	rec.metaMu.Unlock()
+}
+
+// runJob is the job goroutine: an attempt loop around executeSmooth that
+// retries transient failures with capped exponential backoff, resuming each
+// retry from the engine's latest checkpoint (so completed sweeps are never
+// re-run), and journals retries and the terminal outcome. A cancellation
+// that arrives through server shutdown deliberately journals nothing — the
+// accept record and on-disk checkpoint stay behind, and the next Open
+// resumes the job from them.
+func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, job *smoothJob, rec *meshRecord, plan smoothPlan) {
+	defer s.jobs.wg.Done()
+	defer cancel()
+	defer s.quotas.ReleaseJob(job.tenant)
+	job.mu.Lock()
+	job.state = jobRunning
+	job.started = time.Now()
+	attempt := job.attempts
+	job.mu.Unlock()
+
+	base := captureCoords(rec)
+
+	progress := func(iter int, q float64) {
+		job.progQual.Store(math.Float64bits(q))
+		job.progIter.Store(int64(iter))
+	}
+	checkpoint := func(cp lams.Checkpoint) {
+		job.ckptMu.Lock()
+		job.ckpt = &cp
+		job.ckptMu.Unlock()
+		if s.cfg.DataDir != "" {
+			if err := writeJobCheckpoint(s.cfg.DataDir, job.id, &cp); err != nil {
+				// A failed checkpoint write widens the replay window but
+				// breaks nothing: the previous checkpoint file stands.
+				s.metrics.snapshotErrs.Add(1)
+			}
 		}
-	}()
+	}
+
+	var resp smoothResponse
+	var err error
+	for {
+		job.ckptMu.Lock()
+		cp := job.ckpt
+		job.ckptMu.Unlock()
+		extra := []lams.SmoothOption{lams.WithCheckpoint(checkpoint)}
+		if cp != nil {
+			extra = append(extra, lams.WithResume(cp))
+		} else if attempt > 0 {
+			restoreCoords(rec, base)
+		}
+		attempt++
+		job.mu.Lock()
+		job.attempts = attempt
+		job.mu.Unlock()
+		resp, err = s.executeSmooth(ctx, rec, plan, progress, extra...)
+		if err == nil || ctx.Err() != nil || attempt >= maxJobAttempts || !transientJobError(err) {
+			break
+		}
+		s.metrics.jobsRetried.Add(1)
+		_ = s.journal.append(journalRecord{Op: opRetry, Job: job.id, Attempt: attempt, Error: err.Error()})
+		if !sleepCtx(ctx, jobBackoff(attempt)) {
+			err = ctx.Err()
+			break
+		}
+	}
+
+	// Read the closed flag before taking job.mu: closeWithDrain holds the
+	// store lock while canceling jobs, so the reverse order here would be a
+	// lock-order inversion. The flag is already set by the time a shutdown
+	// cancellation can surface as an error.
+	closing := s.jobs.isClosed()
+	job.mu.Lock()
+	job.finished = time.Now()
+	var op journalOp
+	interrupted := false
+	switch {
+	case err == nil:
+		job.state = jobDone
+		job.result = &resp
+		s.metrics.jobsCompleted.Add(1)
+		op = opDone
+	case errors.Is(err, context.Canceled):
+		// DELETE /v1/jobs/{id} (or server shutdown) fired the cancel;
+		// the mesh holds the last completed sweep.
+		job.state = jobCanceled
+		job.errMsg = "canceled"
+		s.metrics.jobsCanceled.Add(1)
+		op = opCanceled
+		interrupted = closing
+	default:
+		job.state = jobFailed
+		job.errMsg = err.Error()
+		job.errStatus = errorStatus(err)
+		s.metrics.jobsFailed.Add(1)
+		op = opFailed
+	}
+	errMsg := job.errMsg
+	job.mu.Unlock()
+
+	if interrupted {
+		// Shutdown, not a verdict: leave the accept record and checkpoint
+		// for the next Open to resume from.
+		return
+	}
+	_ = s.journal.append(journalRecord{Op: op, Job: job.id, Error: errMsg})
+	if s.cfg.DataDir != "" {
+		removeJobCheckpoint(s.cfg.DataDir, job.id)
+	}
 }
 
 // --- jobs endpoints ---

@@ -629,7 +629,7 @@ func TestServerDeleteEvictsWarmDecomposition(t *testing.T) {
 // while an engine holding its decomposition is in flight must be swept when
 // that engine returns to the pool.
 func TestPoolCondemnedSweep(t *testing.T) {
-	p := newEnginePool(2)
+	p := newEnginePool(2, nil)
 	m, err := lams.GenerateMesh("wrench", 500)
 	if err != nil {
 		t.Fatal(err)

@@ -27,6 +27,8 @@ type metrics struct {
 	jobsCompleted *expvar.Int // async jobs that finished successfully
 	jobsFailed    *expvar.Int // async jobs that errored (incl. deadline)
 	jobsCanceled  *expvar.Int // async jobs canceled via DELETE
+	jobsRetried   *expvar.Int // transient job failures retried with backoff
+	jobsResumed   *expvar.Int // jobs re-enqueued from the journal at boot
 	throttled     *expvar.Int // requests rejected 429 by the rate limiter
 	snapshots     *expvar.Int // mesh-store snapshots written
 	snapshotErrs  *expvar.Int // snapshot attempts that failed
@@ -56,6 +58,8 @@ func newMetrics() *metrics {
 		jobsCompleted:     new(expvar.Int),
 		jobsFailed:        new(expvar.Int),
 		jobsCanceled:      new(expvar.Int),
+		jobsRetried:       new(expvar.Int),
+		jobsResumed:       new(expvar.Int),
 		throttled:         new(expvar.Int),
 		snapshots:         new(expvar.Int),
 		snapshotErrs:      new(expvar.Int),
@@ -76,6 +80,8 @@ func newMetrics() *metrics {
 	m.vars.Set("jobs_completed", m.jobsCompleted)
 	m.vars.Set("jobs_failed", m.jobsFailed)
 	m.vars.Set("jobs_canceled", m.jobsCanceled)
+	m.vars.Set("jobs_retried", m.jobsRetried)
+	m.vars.Set("jobs_resumed", m.jobsResumed)
 	m.vars.Set("requests_throttled", m.throttled)
 	m.vars.Set("snapshots", m.snapshots)
 	m.vars.Set("snapshot_errors", m.snapshotErrs)

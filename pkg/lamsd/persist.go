@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"lams/internal/faultinject"
 	"lams/internal/mesh"
 	"lams/pkg/lams"
 )
@@ -96,6 +97,11 @@ func (s *Server) snapshotIfDirty() error {
 }
 
 func (s *Server) writeSnapshot() error {
+	// Chaos point: a failed snapshot must leave the previous complete
+	// snapshot intact and surface only as a snapshot_errors tick.
+	if err := s.cfg.Faults.Fire(faultinject.PointSnapshotWrite); err != nil {
+		return err
+	}
 	recs := s.store.List()
 	tmp := filepath.Join(s.cfg.DataDir, snapshotTmp)
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)

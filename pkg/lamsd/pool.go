@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"lams/internal/faultinject"
 	"lams/pkg/lams"
 )
 
@@ -37,6 +38,10 @@ type engineKey struct {
 type enginePool struct {
 	capacity int
 	sem      chan struct{}
+	// faults, when armed, injects a checkout failure at Acquire entry
+	// (faultinject.PointPoolAcquire) — the rehearsal for capacity-layer
+	// outages; the job runner's retry loop absorbs them.
+	faults *faultinject.Set
 
 	mu        sync.Mutex
 	idle      map[engineKey][]*lams.Smoother
@@ -79,13 +84,14 @@ type PoolStats struct {
 	Misses int64 `json:"misses"`
 }
 
-func newEnginePool(capacity int) *enginePool {
+func newEnginePool(capacity int, faults *faultinject.Set) *enginePool {
 	if capacity < 1 {
 		capacity = 1
 	}
 	return &enginePool{
 		capacity: capacity,
 		sem:      make(chan struct{}, capacity),
+		faults:   faults,
 		idle:     make(map[engineKey][]*lams.Smoother),
 	}
 }
@@ -94,6 +100,9 @@ func newEnginePool(capacity int) *enginePool {
 // concurrency slot. It returns ctx.Err() if the context expires first, so a
 // queued request honors its deadline without ever holding a slot.
 func (p *enginePool) Acquire(ctx context.Context, key engineKey) (*lams.Smoother, error) {
+	if err := p.faults.Fire(faultinject.PointPoolAcquire); err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

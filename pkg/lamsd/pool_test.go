@@ -19,7 +19,7 @@ func TestServerPoolConcurrentCheckout(t *testing.T) {
 		goroutines = 16
 		runs       = 5
 	)
-	p := newEnginePool(capacity)
+	p := newEnginePool(capacity, nil)
 	base, err := lams.GenerateMesh("carabiner", 1200)
 	if err != nil {
 		t.Fatal(err)
@@ -75,7 +75,7 @@ func TestServerPoolConcurrentCheckout(t *testing.T) {
 // caller waiting for a concurrency slot gives up when its context expires,
 // without consuming a slot.
 func TestServerPoolQueueHonorsDeadline(t *testing.T) {
-	p := newEnginePool(1)
+	p := newEnginePool(1, nil)
 	key := engineKey{Kernel: "plain", Workers: 1}
 	eng, err := p.Acquire(context.Background(), key)
 	if err != nil {
@@ -105,7 +105,7 @@ func TestServerPoolQueueHonorsDeadline(t *testing.T) {
 // TestServerPoolKeyedReuse verifies engines come back for their own
 // (kernel × workers) key: a hit on the same key, a miss on a new one.
 func TestServerPoolKeyedReuse(t *testing.T) {
-	p := newEnginePool(2)
+	p := newEnginePool(2, nil)
 	ctx := context.Background()
 	a := engineKey{Kernel: "plain", Workers: 1}
 	b := engineKey{Kernel: "smart", Workers: 1}
@@ -131,7 +131,7 @@ func TestServerPoolKeyedReuse(t *testing.T) {
 }
 
 func TestServerPoolTrim(t *testing.T) {
-	p := newEnginePool(2)
+	p := newEnginePool(2, nil)
 	ctx := context.Background()
 	key := engineKey{Kernel: "plain", Workers: 1}
 	eng, err := p.Acquire(ctx, key)

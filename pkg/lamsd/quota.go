@@ -126,6 +126,20 @@ func (q *tenantQuotas) AcquireJob(tenant string) bool {
 	return true
 }
 
+// forceAcquireJob claims an in-flight job slot unconditionally. Journal
+// replay uses it for jobs admitted before the restart: their admission
+// already happened, so the cap must not silently drop them — the tenant may
+// transiently exceed its cap until the resumed jobs drain.
+func (q *tenantQuotas) forceAcquireJob(tenant string) {
+	if q.maxJobs <= 0 {
+		return
+	}
+	ts := q.state(tenant)
+	ts.mu.Lock()
+	ts.jobs++
+	ts.mu.Unlock()
+}
+
 // ReleaseJob returns an in-flight job slot claimed by AcquireJob.
 func (q *tenantQuotas) ReleaseJob(tenant string) {
 	if q.maxJobs <= 0 {

@@ -42,6 +42,13 @@
 // Servers created with Open (rather than New) are durable: resident meshes
 // are snapshotted to the data directory — atomically, via temp file and
 // rename — on a timer and at graceful Close, and restored on the next Open.
+// Async jobs are crash-safe too: each accept is appended to a fsynced
+// write-ahead journal before the 202 is sent, engine checkpoints are
+// persisted per job, and Open replays the journal — re-enqueueing every
+// interrupted job to resume from its checkpoint with results bit-identical
+// to an uninterrupted run. Transient execution failures retry with capped
+// exponential backoff (jobs_retried / jobs_resumed in /metrics), and Close
+// drains running jobs for a bounded DrainTimeout before interrupting them.
 //
 // Every /v1 request is attributed to a tenant (the X-Tenant header, or
 // "default") and admitted through per-tenant quotas: a token-bucket request
@@ -51,6 +58,7 @@ package lamsd
 
 import (
 	"expvar"
+	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -58,6 +66,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lams/internal/faultinject"
 )
 
 // Config collects the server limits. The zero value of any field selects
@@ -97,6 +107,18 @@ type Config struct {
 	JobTTL time.Duration
 	// MaxJobs bounds resident async jobs (running + retained). Default: 256.
 	MaxJobs int
+
+	// DrainTimeout is the grace period Close gives running async jobs to
+	// finish before canceling them. On a durable server the jobs canceled at
+	// expiry keep their journal record and checkpoint, so the next Open
+	// resumes them. Default: 0 (cancel immediately).
+	DrainTimeout time.Duration
+	// Faults, when non-nil, arms deterministic fault injection across the
+	// server's instrumented points (snapshot writes, journal appends, engine
+	// pool checkouts, and — threaded into the smoothing engine — sweeps and
+	// halo exchanges). Never set it in production; it exists for chaos
+	// testing (cmd/lamsd -chaos, cmd/lamsload -chaos-restart).
+	Faults *faultinject.Set
 
 	// TenantRPS is the per-tenant request rate limit in requests/second;
 	// <= 0 disables rate limiting. Default: 0.
@@ -200,6 +222,19 @@ func WithJobRetention(ttl time.Duration, maxJobs int) Option {
 	}
 }
 
+// WithDrainTimeout gives running async jobs up to d to finish at Close
+// before they are canceled (and, on a durable server, left for the next
+// Open to resume).
+func WithDrainTimeout(d time.Duration) Option {
+	return func(c *Config) { c.DrainTimeout = d }
+}
+
+// WithFaultInjection arms the server's deterministic fault-injection points
+// with fs. Chaos testing only; see Config.Faults.
+func WithFaultInjection(fs *faultinject.Set) Option {
+	return func(c *Config) { c.Faults = fs }
+}
+
 // WithTenantQuotas sets the per-tenant admission limits: request rate
 // (tokens/second, with bucket capacity burst), resident meshes, and
 // in-flight async jobs. Zero values disable the corresponding limit, except
@@ -225,6 +260,10 @@ type Server struct {
 	mux     *http.ServeMux
 	start   time.Time
 
+	// journal is the async-job write-ahead log (nil on in-memory servers;
+	// every append through a nil journal is a no-op). See journal.go.
+	journal *jobJournal
+
 	// Persistence state; see persist.go. lastSnap is the store mutation
 	// counter at the last successful snapshot, snapMu serializes snapshot
 	// writes, stopSnap/snapWG manage the periodic snapshot goroutine.
@@ -248,7 +287,7 @@ func New(opts ...Option) *Server {
 	s := &Server{
 		cfg:     cfg,
 		store:   newMeshStore(cfg.MaxMeshes),
-		pool:    newEnginePool(cfg.MaxConcurrentSmooths),
+		pool:    newEnginePool(cfg.MaxConcurrentSmooths, cfg.Faults),
 		jobs:    newJobStore(cfg.JobTTL, cfg.MaxJobs),
 		quotas:  newTenantQuotas(cfg),
 		metrics: newMetrics(),
@@ -266,8 +305,10 @@ func New(opts ...Option) *Server {
 
 // Open assembles a Server and, when a data directory is configured, brings
 // up the durable lifecycle: any stale partial snapshot is discarded, the
-// last complete snapshot is restored, and the periodic snapshotter starts.
-// Pair it with Close.
+// last complete snapshot is restored, the job journal is replayed —
+// re-enqueueing every job that was accepted but never finished, each
+// resuming from its persisted engine checkpoint — and the periodic
+// snapshotter starts. Pair it with Close.
 func Open(opts ...Option) (*Server, error) {
 	s := New(opts...)
 	if s.cfg.DataDir == "" {
@@ -284,24 +325,94 @@ func Open(opts ...Option) (*Server, error) {
 	}
 	// The freshly-restored state matches the snapshot it came from.
 	s.lastSnap.Store(s.store.Mutations())
+	if err := s.recoverJobs(); err != nil {
+		return nil, err
+	}
 	s.startSnapshotLoop()
 	return s, nil
 }
 
+// recoverJobs replays the job journal, compacts it down to the interrupted
+// work, and re-enqueues every pending job: the crash-recovery half of the
+// durable job queue. Jobs whose mesh or plan no longer reconstructs are
+// recorded as failed rather than dropped — an acknowledged job always
+// reaches an observable terminal state.
+func (s *Server) recoverJobs() error {
+	pending, maxSeq, err := replayJournal(s.cfg.DataDir)
+	if err != nil {
+		return err
+	}
+	if err := compactJournal(s.cfg.DataDir, pending); err != nil {
+		return err
+	}
+	journal, err := openJobJournal(s.cfg.DataDir, s.cfg.Faults)
+	if err != nil {
+		return err
+	}
+	s.journal = journal
+	s.jobs.setNextSeq(maxSeq)
+
+	for i := range pending {
+		pj := &pending[i]
+		job := &smoothJob{
+			id:       pj.id,
+			seq:      pj.seq,
+			tenant:   pj.tenant,
+			meshID:   pj.meshID,
+			created:  pj.created,
+			maxIters: pj.maxIters,
+			timeout:  pj.timeout,
+			attempts: pj.attempts,
+			state:    jobQueued,
+		}
+		rec := s.store.Get(pj.meshID)
+		var planErr error
+		var plan smoothPlan
+		if rec == nil {
+			planErr = fmt.Errorf("mesh %q did not survive the restart", pj.meshID)
+		} else {
+			plan, planErr = s.planSmooth(rec, pj.request)
+		}
+		if planErr != nil {
+			now := time.Now()
+			job.state = jobFailed
+			job.started, job.finished = now, now
+			job.errMsg = planErr.Error()
+			job.errStatus = http.StatusGone
+			s.jobs.restore(job, false)
+			s.metrics.jobsFailed.Add(1)
+			_ = s.journal.append(journalRecord{Op: opFailed, Job: job.id, Error: job.errMsg})
+			removeJobCheckpoint(s.cfg.DataDir, job.id)
+			continue
+		}
+		job.ckpt = loadJobCheckpoint(s.cfg.DataDir, pj.id)
+		s.quotas.forceAcquireJob(pj.tenant)
+		s.jobs.restore(job, true)
+		s.metrics.jobsResumed.Add(1)
+		s.startJob(job, rec, plan)
+	}
+	return nil
+}
+
 // Close shuts the server down gracefully: new job submissions are rejected,
-// in-flight async jobs are canceled and drained (each commits its last
-// completed sweep), the periodic snapshotter stops, and — when a data
-// directory is configured — a final snapshot captures the resident meshes.
-// Safe to call more than once; subsequent calls return the first result.
+// in-flight async jobs get DrainTimeout to finish before being canceled
+// (each commits its last completed sweep; on a durable server the canceled
+// ones keep their journal record and checkpoint for the next Open to
+// resume), the periodic snapshotter stops, and — when a data directory is
+// configured — a final snapshot captures the resident meshes. Safe to call
+// more than once; subsequent calls return the first result.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
-		s.jobs.close()
+		s.jobs.closeWithDrain(s.cfg.DrainTimeout)
 		if s.stopSnap != nil {
 			close(s.stopSnap)
 			s.snapWG.Wait()
 		}
 		if s.cfg.DataDir != "" {
 			s.closeErr = s.snapshotIfDirty()
+		}
+		if err := s.journal.close(); err != nil && s.closeErr == nil {
+			s.closeErr = err
 		}
 	})
 	return s.closeErr
